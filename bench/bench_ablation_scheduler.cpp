@@ -1,0 +1,83 @@
+// ABLATION: device queue discipline (FIFO vs SCAN).  §4 leaves "the best
+// ways to allocate space on the disks to minimize this [seek] problem" as
+// open work; besides allocation (EXP4), the device itself can reorder —
+// the elevator algorithm.  Sequential PS scans are self-ordering (FIFO
+// round-robin already sweeps the platter), so the contrast case is the
+// direct-access one: PDA processes reading random records within their
+// partitions, queueing at a shared device from scattered cylinders.
+#include "bench_util.hpp"
+#include "layout/layout.hpp"
+#include "sim/resource.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace pio;
+using pio::bench::kTrack;
+
+constexpr std::size_t kProcesses = 16;
+constexpr std::uint64_t kReadsPerProcess = 24;
+constexpr std::uint64_t kBlockBytes = 2 * kTrack;
+constexpr std::uint64_t kBlocksPerPartition = 64;  // 3 MB partitions
+constexpr double kCompute = 0.002;
+
+sim::Task worker(sim::Engine& eng, SimDiskArray& disks, const Layout& layout,
+                 std::size_t p, Rng rng, sim::WaitGroup& wg) {
+  for (std::uint64_t i = 0; i < kReadsPerProcess; ++i) {
+    // Exponential think times scramble arrival order; with deterministic
+    // think times the closed loop self-sorts and FIFO accidentally sweeps.
+    co_await eng.delay(rng.exponential(kCompute));
+    // Random block within this process's partition (PDA access).
+    const std::uint64_t block =
+        p * kBlocksPerPartition + rng.uniform_u64(kBlocksPerPartition);
+    std::vector<DiskSegment> segs;
+    for (const Segment& s : layout.map(block * kBlockBytes, kBlockBytes)) {
+      segs.push_back(DiskSegment{s.device, s.offset, s.length});
+    }
+    co_await parallel_io(eng, disks, std::move(segs));
+  }
+  wg.done();
+}
+
+void run_case(benchmark::State& state, QueueDiscipline discipline) {
+  const auto devices = static_cast<std::size_t>(state.range(0));
+  const std::uint64_t bytes = kProcesses * kReadsPerProcess * kBlockBytes;
+  double elapsed = 0;
+  double mean_seek = 0;
+  for (auto _ : state) {
+    sim::Engine eng;
+    SimDiskArray disks(eng, devices, {}, {}, discipline);
+    BlockedLayout layout(kProcesses, kBlocksPerPartition * kBlockBytes,
+                         devices, PartitionPlacement::grouped);
+    Rng rng{0x5CA0};  // identical access streams under both disciplines
+    sim::WaitGroup wg(eng);
+    wg.add(kProcesses);
+    for (std::size_t p = 0; p < kProcesses; ++p) {
+      eng.spawn(worker(eng, disks, layout, p, rng.split(), wg));
+    }
+    elapsed = eng.run();
+    OnlineStats seeks;
+    for (std::size_t d = 0; d < devices; ++d) seeks.merge(disks[d].seek_stats());
+    mean_seek = seeks.mean();
+  }
+  pio::bench::report_sim(state, elapsed, bytes);
+  state.counters["mean_seek_ms"] = mean_seek * 1e3;
+}
+
+void BM_Fifo(benchmark::State& state) {
+  run_case(state, QueueDiscipline::fifo);
+}
+void BM_Scan(benchmark::State& state) {
+  run_case(state, QueueDiscipline::scan);
+}
+
+}  // namespace
+
+BENCHMARK(BM_Fifo)->Arg(8)->Arg(4)->Arg(2)->Arg(1)->ArgNames({"devices"});
+BENCHMARK(BM_Scan)->Arg(8)->Arg(4)->Arg(2)->Arg(1)->ArgNames({"devices"});
+
+PIO_BENCH_MAIN(
+    "ABLATION: FIFO vs SCAN device scheduling under PDA sharing",
+    "16 direct-access (PDA) processes issue random in-partition reads on\n"
+    "shared devices.  SCAN (elevator) reorders the queue by cylinder and\n"
+    "recovers seek interference that allocation alone cannot.")

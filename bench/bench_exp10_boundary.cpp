@@ -1,0 +1,128 @@
+// EXP10 (§5 ¶2): partition-boundary overlap.  "One way of dealing with the
+// problem is to replicate boundary data in both of the adjacent partitions
+// in the file.  This will cause difficulties for the global view ...  An
+// alternative is to cache boundary data in memory (if it will fit).  This
+// would be helpful if more than one pass is made through the file."
+//
+// A k-pass stencil sweep over a partitioned file, P processes on P disks:
+//   replicate — each partition stores its halo records too: every pass is
+//               one contiguous scan, but the file is bigger
+//   cache     — partitions store only interior records: pass 1 issues two
+//               extra remote (neighbour-device) halo reads per process,
+//               later passes find the halo in memory
+//
+// Expected shape: replication wins at 1 pass and small halos; caching wins
+// as passes grow (its extra I/O is paid once) and as halos widen (the
+// replicated file's extra volume is re-read every pass).
+#include "bench_util.hpp"
+#include "core/boundary.hpp"
+#include "layout/layout.hpp"
+#include "workload/sim_process.hpp"
+
+namespace {
+
+using namespace pio;
+using pio::bench::kTrack;
+
+constexpr std::size_t kProcesses = 8;
+constexpr std::uint64_t kRecordBytes = 4096;
+constexpr std::uint64_t kInteriorRecords = 8192;  // 32 MB interior
+constexpr double kComputePerRecord = 10e-6;
+
+double run_replicated(std::uint32_t halo, int passes) {
+  HaloPartitioning parts(kInteriorRecords, kProcesses, halo);
+  sim::Engine eng;
+  SimDiskArray disks(eng, kProcesses);
+  // Stored file: contiguous per-partition regions, one per device.
+  const std::uint64_t max_stored = parts.stored_count(1);  // widest partition
+  BlockedLayout layout(kProcesses, max_stored * kRecordBytes, kProcesses);
+  std::vector<std::vector<SimOp>> ops(kProcesses);
+  for (std::size_t p = 0; p < kProcesses; ++p) {
+    const std::uint64_t stored = parts.stored_count(static_cast<std::uint32_t>(p));
+    for (int pass = 0; pass < passes; ++pass) {
+      // One contiguous scan of the partition (track-sized transfers).
+      const std::uint64_t bytes = stored * kRecordBytes;
+      for (std::uint64_t off = 0; off < bytes; off += 8 * kTrack) {
+        const std::uint64_t len = std::min<std::uint64_t>(8 * kTrack, bytes - off);
+        ops[p].push_back(SimOp{p * max_stored * kRecordBytes + off, len,
+                               kComputePerRecord * static_cast<double>(len) /
+                                   kRecordBytes});
+      }
+    }
+  }
+  return run_processes(eng, disks, layout, std::move(ops));
+}
+
+double run_cached(std::uint32_t halo, int passes) {
+  HaloPartitioning parts(kInteriorRecords, kProcesses, halo);
+  sim::Engine eng;
+  SimDiskArray disks(eng, kProcesses);
+  const std::uint64_t per = kInteriorRecords / kProcesses;
+  BlockedLayout layout(kProcesses, per * kRecordBytes, kProcesses);
+  std::vector<std::vector<SimOp>> ops(kProcesses);
+  for (std::size_t p = 0; p < kProcesses; ++p) {
+    for (int pass = 0; pass < passes; ++pass) {
+      if (pass == 0) {
+        // First pass: fetch neighbour halos (small reads on the
+        // neighbours' devices — extra seeks there).
+        if (p > 0) {
+          ops[p].push_back(SimOp{(p * per - halo) * kRecordBytes,
+                                 halo * kRecordBytes, 0.0});
+        }
+        if (p + 1 < kProcesses) {
+          ops[p].push_back(
+              SimOp{(p + 1) * per * kRecordBytes, halo * kRecordBytes, 0.0});
+        }
+      }
+      // Interior scan (halo now in memory: compute only costs stay).
+      const std::uint64_t bytes = per * kRecordBytes;
+      for (std::uint64_t off = 0; off < bytes; off += 8 * kTrack) {
+        const std::uint64_t len = std::min<std::uint64_t>(8 * kTrack, bytes - off);
+        ops[p].push_back(SimOp{p * per * kRecordBytes + off, len,
+                               kComputePerRecord * static_cast<double>(len) /
+                                   kRecordBytes});
+      }
+    }
+  }
+  return run_processes(eng, disks, layout, std::move(ops));
+}
+
+void BM_Replicated(benchmark::State& state) {
+  const auto halo = static_cast<std::uint32_t>(state.range(0));
+  const auto passes = static_cast<int>(state.range(1));
+  double t = 0;
+  for (auto _ : state) t = run_replicated(halo, passes);
+  HaloPartitioning parts(kInteriorRecords, kProcesses, halo);
+  pio::bench::report_sim(
+      state, t,
+      static_cast<std::uint64_t>(passes) * parts.total_stored() * kRecordBytes);
+  state.counters["file_overhead_pct"] = (parts.overhead() - 1.0) * 100.0;
+}
+
+void BM_HaloCached(benchmark::State& state) {
+  const auto halo = static_cast<std::uint32_t>(state.range(0));
+  const auto passes = static_cast<int>(state.range(1));
+  double t = 0;
+  for (auto _ : state) t = run_cached(halo, passes);
+  pio::bench::report_sim(state, t,
+                         static_cast<std::uint64_t>(passes) *
+                             kInteriorRecords * kRecordBytes);
+  state.counters["cache_bytes_per_proc"] =
+      static_cast<double>(2ull * halo * kRecordBytes);
+}
+
+}  // namespace
+
+BENCHMARK(BM_Replicated)
+    ->ArgsProduct({{16, 64, 256}, {1, 2, 4, 8}})
+    ->ArgNames({"halo_records", "passes"});
+BENCHMARK(BM_HaloCached)
+    ->ArgsProduct({{16, 64, 256}, {1, 2, 4, 8}})
+    ->ArgNames({"halo_records", "passes"});
+
+PIO_BENCH_MAIN(
+    "EXP10: partition-boundary overlap — replicate vs cache (paper §5)",
+    "k-pass stencil over a PS file (8 processes, 8 disks).  'Replicated'\n"
+    "stores halo records in both partitions (bigger file, re-read every\n"
+    "pass); 'cached' fetches neighbour halos once and keeps them in\n"
+    "memory.  Caching wins as passes and halo width grow.")

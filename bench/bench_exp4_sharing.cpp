@@ -1,0 +1,111 @@
+// EXP4 (§4 ¶4): "For systems with many processors, it may not be practical
+// to allocate a separate storage device for each processor.  In this case,
+// blocks belonging to several processes would be allocated to each device.
+// Seek times are likely to cause some performance degradation ...  Work is
+// needed here to determine the best ways to allocate space on the disks."
+//
+// 16 processes scanning their partitions, sweeping the device count from
+// 16 (dedicated) down to 1, under three allocations:
+//   blocked+grouped      — neighbouring partitions share a device
+//   blocked+round_robin  — distant partitions share a device
+//   interleaved          — the sharing processes' blocks are fine-grained
+//                          interleaved in device space (short seeks)
+//
+// Expected shape: per-process bandwidth degrades as processes-per-device
+// grows; the interleaved allocation degrades the least because the
+// concurrent regions stay close together on the platter.
+#include "bench_util.hpp"
+#include "layout/layout.hpp"
+#include "workload/sim_process.hpp"
+
+namespace {
+
+using namespace pio;
+using pio::bench::kTrack;
+
+constexpr std::size_t kProcesses = 16;
+constexpr std::uint64_t kBlocksPerProcess = 24;
+constexpr std::uint64_t kBlockBytes = 2 * kTrack;
+constexpr double kCompute = 0.002;
+
+enum class Alloc { blocked_grouped, blocked_round_robin, interleaved };
+
+std::unique_ptr<Layout> make_alloc(Alloc alloc, std::size_t devices) {
+  switch (alloc) {
+    case Alloc::blocked_grouped:
+      return std::make_unique<BlockedLayout>(kProcesses,
+                                             kBlocksPerProcess * kBlockBytes,
+                                             devices, PartitionPlacement::grouped);
+    case Alloc::blocked_round_robin:
+      return std::make_unique<BlockedLayout>(
+          kProcesses, kBlocksPerProcess * kBlockBytes, devices,
+          PartitionPlacement::round_robin);
+    case Alloc::interleaved:
+      return make_interleaved_layout(devices, kBlockBytes);
+  }
+  return nullptr;
+}
+
+void run_case(benchmark::State& state, Alloc alloc) {
+  const auto devices = static_cast<std::size_t>(state.range(0));
+  const std::uint64_t bytes = kProcesses * kBlocksPerProcess * kBlockBytes;
+  double elapsed = 0;
+  double mean_seek = 0;
+  for (auto _ : state) {
+    sim::Engine eng;
+    SimDiskArray disks(eng, devices);
+    auto layout = make_alloc(alloc, devices);
+    std::vector<std::vector<SimOp>> ops;
+    for (std::size_t p = 0; p < kProcesses; ++p) {
+      std::vector<SimOp> mine;
+      for (std::uint64_t b = 0; b < kBlocksPerProcess; ++b) {
+        // Process p's logical blocks: contiguous for PS, strided for IS.
+        const std::uint64_t block = alloc == Alloc::interleaved
+                                        ? p + b * kProcesses
+                                        : p * kBlocksPerProcess + b;
+        mine.push_back(SimOp{block * kBlockBytes, kBlockBytes, kCompute});
+      }
+      ops.push_back(std::move(mine));
+    }
+    elapsed = run_processes(eng, disks, *layout, std::move(ops));
+    OnlineStats seeks;
+    for (std::size_t d = 0; d < devices; ++d) {
+      seeks.merge(disks[d].seek_stats());
+    }
+    mean_seek = seeks.mean();
+  }
+  pio::bench::report_sim(state, elapsed, bytes);
+  state.counters["procs_per_device"] =
+      static_cast<double>(kProcesses) / static_cast<double>(devices);
+  state.counters["per_process_MB_s"] =
+      static_cast<double>(bytes) / kProcesses / elapsed / 1e6;
+  state.counters["mean_seek_ms"] = mean_seek * 1e3;
+}
+
+void BM_Sharing_BlockedGrouped(benchmark::State& state) {
+  run_case(state, Alloc::blocked_grouped);
+}
+void BM_Sharing_BlockedRoundRobin(benchmark::State& state) {
+  run_case(state, Alloc::blocked_round_robin);
+}
+void BM_Sharing_Interleaved(benchmark::State& state) {
+  run_case(state, Alloc::interleaved);
+}
+
+}  // namespace
+
+BENCHMARK(BM_Sharing_BlockedGrouped)
+    ->Arg(16)->Arg(8)->Arg(4)->Arg(2)->Arg(1)
+    ->ArgNames({"devices"});
+BENCHMARK(BM_Sharing_BlockedRoundRobin)
+    ->Arg(16)->Arg(8)->Arg(4)->Arg(2)->Arg(1)
+    ->ArgNames({"devices"});
+BENCHMARK(BM_Sharing_Interleaved)
+    ->Arg(16)->Arg(8)->Arg(4)->Arg(2)->Arg(1)
+    ->ArgNames({"devices"});
+
+PIO_BENCH_MAIN(
+    "EXP4: devices shared by several processes (paper §4)",
+    "16 PS/IS processes over 16..1 devices.  Reports per-process bandwidth\n"
+    "and mean seek time per allocation strategy — the paper's open\n"
+    "question on allocating space to minimize seek interference.")

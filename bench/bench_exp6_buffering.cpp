@@ -1,0 +1,139 @@
+// EXP6 (§4 ¶6): "Initial experiments using the S and SS organizations have
+// shown that buffering overheads can be a significant factor in limiting
+// speedups.  The sequential organizations can mitigate this effect through
+// the use of multiple buffering and dedicated I/O processors.  Since the
+// order of accesses is predictable, reading ahead and deferred writing can
+// be used to overlap I/O operations with computation."
+//
+// Three sweeps on a striped type-S stream:
+//   (1) buffer depth {sync, 1, 2, 4} x compute:io ratio  — overlap gains
+//   (2) per-chunk buffering (merge/split CPU) overhead    — the "limiting
+//       factor" claim: rising overhead erodes the striping speedup
+//   (3) deferred writing mirror of (1)
+#include "bench_util.hpp"
+#include "buffer/sim_stream.hpp"
+#include "layout/layout.hpp"
+
+namespace {
+
+using namespace pio;
+using pio::bench::kTrack;
+
+constexpr std::size_t kDevices = 4;
+constexpr std::uint64_t kChunks = 64;
+constexpr std::uint64_t kChunkBytes = kDevices * kTrack;  // full stripe
+
+SimChunkIo striped_fetch(sim::Engine& eng, SimDiskArray& disks,
+                         const StripedLayout& layout) {
+  return [&eng, &disks, &layout](std::uint64_t i) -> sim::Task {
+    std::vector<DiskSegment> segs;
+    for (const Segment& s : layout.map(i * kChunkBytes, kChunkBytes)) {
+      segs.push_back(DiskSegment{s.device, s.offset, s.length});
+    }
+    return parallel_io(eng, disks, std::move(segs));
+  };
+}
+
+// io time per chunk ~ half-rev + track transfer ~ 25 ms; sweep compute
+// against it.
+double compute_for_ratio(double ratio) { return 0.025 * ratio; }
+
+void BM_ReadBuffering(benchmark::State& state) {
+  const auto buffers = static_cast<std::size_t>(state.range(0));
+  const double ratio = static_cast<double>(state.range(1)) / 100.0;
+  double elapsed = 0;
+  for (auto _ : state) {
+    sim::Engine eng;
+    SimDiskArray disks(eng, kDevices);
+    StripedLayout layout(kDevices, kTrack);
+    BufferedStreamConfig cfg;
+    cfg.chunks = kChunks;
+    cfg.buffers = buffers == 0 ? 1 : buffers;
+    cfg.compute_per_chunk_s = compute_for_ratio(ratio);
+    cfg.overlap = buffers != 0;  // 0 encodes the synchronous baseline
+    eng.spawn(buffered_read_stream(eng, striped_fetch(eng, disks, layout),
+                                   cfg, &elapsed));
+    eng.run();
+  }
+  pio::bench::report_sim(state, elapsed, kChunks * kChunkBytes);
+  state.counters["compute_io_ratio"] = ratio;
+}
+
+void BM_WriteBuffering(benchmark::State& state) {
+  const auto buffers = static_cast<std::size_t>(state.range(0));
+  const double ratio = static_cast<double>(state.range(1)) / 100.0;
+  double elapsed = 0;
+  for (auto _ : state) {
+    sim::Engine eng;
+    SimDiskArray disks(eng, kDevices);
+    StripedLayout layout(kDevices, kTrack);
+    BufferedStreamConfig cfg;
+    cfg.chunks = kChunks;
+    cfg.buffers = buffers == 0 ? 1 : buffers;
+    cfg.compute_per_chunk_s = compute_for_ratio(ratio);
+    cfg.overlap = buffers != 0;
+    eng.spawn(buffered_write_stream(eng, striped_fetch(eng, disks, layout),
+                                    cfg, &elapsed));
+    eng.run();
+  }
+  pio::bench::report_sim(state, elapsed, kChunks * kChunkBytes);
+  state.counters["compute_io_ratio"] = ratio;
+}
+
+// The "buffering overheads limit speedups" sweep: fix double buffering,
+// charge a rising per-chunk merge/split CPU cost, and report the effective
+// speedup of 4-disk striping over the ideal single-disk stream.
+void BM_BufferOverheadLimitsSpeedup(benchmark::State& state) {
+  const double overhead_ms = static_cast<double>(state.range(0));
+  double striped_elapsed = 0;
+  double solo_elapsed = 0;
+  for (auto _ : state) {
+    {
+      sim::Engine eng;
+      SimDiskArray disks(eng, kDevices);
+      StripedLayout layout(kDevices, kTrack);
+      BufferedStreamConfig cfg;
+      cfg.chunks = kChunks;
+      cfg.buffers = 2;
+      cfg.buffer_overhead_s = overhead_ms * 1e-3;
+      eng.spawn(buffered_read_stream(eng, striped_fetch(eng, disks, layout),
+                                     cfg, &striped_elapsed));
+      eng.run();
+    }
+    {
+      sim::Engine eng;
+      SimDiskArray disks(eng, 1);
+      StripedLayout layout(1, kTrack);
+      BufferedStreamConfig cfg;
+      cfg.chunks = kChunks;
+      cfg.buffers = 2;
+      cfg.buffer_overhead_s = 0;  // ideal unbuffered-overhead baseline
+      eng.spawn(buffered_read_stream(eng, striped_fetch(eng, disks, layout),
+                                     cfg, &solo_elapsed));
+      eng.run();
+    }
+  }
+  pio::bench::report_sim(state, striped_elapsed, kChunks * kChunkBytes);
+  state.counters["overhead_ms_per_chunk"] = overhead_ms;
+  state.counters["speedup_vs_1disk"] = solo_elapsed / striped_elapsed;
+}
+
+}  // namespace
+
+// Arg 0 encodes the synchronous (no-overlap) baseline.
+BENCHMARK(BM_ReadBuffering)
+    ->ArgsProduct({{0, 1, 2, 4}, {25, 50, 100, 200}})
+    ->ArgNames({"buffers", "ratio_x100"});
+BENCHMARK(BM_WriteBuffering)
+    ->ArgsProduct({{0, 2, 4}, {50, 100}})
+    ->ArgNames({"buffers", "ratio_x100"});
+BENCHMARK(BM_BufferOverheadLimitsSpeedup)
+    ->Arg(0)->Arg(5)->Arg(10)->Arg(25)->Arg(50)->Arg(100)
+    ->ArgNames({"overhead_ms"});
+
+PIO_BENCH_MAIN(
+    "EXP6: buffering, read-ahead, deferred writing (paper §4)",
+    "Striped type-S stream: (1) elapsed vs buffer depth and compute:I/O\n"
+    "ratio, (2) deferred-write mirror, (3) per-chunk buffering overhead\n"
+    "eroding the 4-disk striping speedup — the paper's 'significant\n"
+    "factor in limiting speedups'.")

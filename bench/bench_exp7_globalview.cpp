@@ -1,0 +1,80 @@
+// EXP7 (§4 ¶7): "Most of the implementation strategies suggested above
+// would also yield performance improvements for sequential programs which
+// access the files using the global view.  One exception is the PS
+// organization, in which all of the data would have to be read from the
+// first disk, followed by all of the data from the second disk, etc., with
+// no potential for parallelism.  IS type files would have a similar
+// problem if block sizes approached or exceeded the buffer space
+// available."
+//
+// A single sequential program reads the whole file through the global
+// view in buffer-sized requests.  We compare striped / IS / PS layouts on
+// 8 devices, then sweep the IS block size against a fixed buffer.
+#include "bench_util.hpp"
+#include "layout/layout.hpp"
+#include "workload/sim_process.hpp"
+
+namespace {
+
+using namespace pio;
+using pio::bench::kTrack;
+
+constexpr std::size_t kDevices = 8;
+constexpr std::uint64_t kFileBytes = 24ull << 20;
+constexpr std::uint64_t kBufferBytes = 8 * kTrack;  // 192 KB of buffer space
+
+double global_read(std::unique_ptr<Layout> layout) {
+  sim::Engine eng;
+  SimDiskArray disks(eng, kDevices);
+  std::vector<SimOp> ops;
+  for (std::uint64_t off = 0; off < kFileBytes; off += kBufferBytes) {
+    ops.push_back(SimOp{off, kBufferBytes, 0.0});
+  }
+  return run_processes(eng, disks, *layout, {std::move(ops)});
+}
+
+void BM_GlobalView_Striped(benchmark::State& state) {
+  double elapsed = 0;
+  for (auto _ : state) {
+    elapsed = global_read(std::make_unique<StripedLayout>(kDevices, kTrack));
+  }
+  pio::bench::report_sim(state, elapsed, kFileBytes);
+}
+
+void BM_GlobalView_IS(benchmark::State& state) {
+  const auto block = static_cast<std::uint64_t>(state.range(0)) * kTrack;
+  double elapsed = 0;
+  for (auto _ : state) {
+    elapsed = global_read(make_interleaved_layout(kDevices, block));
+  }
+  pio::bench::report_sim(state, elapsed, kFileBytes);
+  state.counters["block_over_buffer"] =
+      static_cast<double>(block) / static_cast<double>(kBufferBytes);
+}
+
+void BM_GlobalView_PS(benchmark::State& state) {
+  // 8 partitions, one per device: the global reader drains device 0, then
+  // device 1, ... — "no potential for parallelism".
+  double elapsed = 0;
+  for (auto _ : state) {
+    elapsed = global_read(std::make_unique<BlockedLayout>(
+        kDevices, kFileBytes / kDevices, kDevices));
+  }
+  pio::bench::report_sim(state, elapsed, kFileBytes);
+}
+
+}  // namespace
+
+BENCHMARK(BM_GlobalView_Striped);
+// IS block sizes from 1 track up to 4x the buffer: parallelism collapses
+// once a buffer-sized request fits inside one block.
+BENCHMARK(BM_GlobalView_IS)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32)
+    ->ArgNames({"block_tracks"});
+BENCHMARK(BM_GlobalView_PS);
+
+PIO_BENCH_MAIN(
+    "EXP7: sequential (global-view) access to parallel files (paper §4)",
+    "One sequential program reads a 24 MB file on 8 disks in 192 KB\n"
+    "requests.  Striped: full parallel transfer.  IS: parallel until block\n"
+    "size reaches the buffer size.  PS: one device at a time.")

@@ -1,0 +1,162 @@
+// EXP8 (§5 ¶3-4): reliability.  "Assuming a MTBF of 30,000 hours for each
+// storage device, a file system containing 10 devices could be expected to
+// fail every 3000 hours (about 3 times per year ...).  A system with 100
+// devices ... would average more than one failure every two weeks."
+// Parity-based correction [Kim] repairs striped groups; shadowing provides
+// instant recovery at double the hardware.
+//
+// Reported here:
+//   (1) analytic + Monte-Carlo array MTBF vs device count (the paper's
+//       table row, including the 10- and 100-device examples)
+//   (2) protected (parity/shadow) mean time to data loss vs repair window
+//   (3) functional overhead of parity RMW and shadowing on writes, and
+//       recovery (reconstruction) throughput, on RAM devices (real time)
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "device/parity_group.hpp"
+#include "device/ram_disk.hpp"
+#include "device/shadow_device.hpp"
+#include "reliability/mtbf.hpp"
+#include "reliability/recovery.hpp"
+#include "util/bytes.hpp"
+
+namespace {
+
+using namespace pio;
+
+void print_mtbf_table() {
+  std::printf("Array MTBF, %g h devices (paper's Winchester example):\n",
+              kPaperDeviceMtbfHours);
+  std::printf("%8s %14s %14s %16s %18s\n", "devices", "analytic_h",
+              "montecarlo_h", "failures/year", "MTTDL(parity,24h)");
+  Rng rng{2024};
+  for (std::uint64_t n : {1ull, 2ull, 5ull, 10ull, 25ull, 50ull, 100ull, 200ull}) {
+    const double analytic = series_mtbf_hours(kPaperDeviceMtbfHours, n);
+    const auto mc = simulate_first_failure(rng, n, kPaperDeviceMtbfHours, 4000);
+    const double fpy = failures_per_year(kPaperDeviceMtbfHours, n);
+    const double mttdl =
+        n >= 2 ? protected_mttdl_hours(kPaperDeviceMtbfHours, n, 24.0) : 0.0;
+    std::printf("%8llu %14.0f %14.0f %16.2f %18.0f\n",
+                static_cast<unsigned long long>(n), analytic, mc.mean(), fpy,
+                mttdl);
+  }
+  std::printf(
+      "\n(10 devices -> ~3000 h, ~3 failures/year; 100 devices -> 300 h,\n"
+      " i.e. more than one failure every two weeks — §5's numbers.)\n\n");
+}
+
+// ---------------------------------------------------------- write overheads
+
+constexpr std::size_t kIoBytes = 4096;
+constexpr std::uint64_t kDevBytes = 1 << 22;
+
+void BM_PlainWrite(benchmark::State& state) {
+  RamDisk disk("d", kDevBytes);
+  std::vector<std::byte> buf(kIoBytes);
+  std::uint64_t off = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(disk.write(off, buf).ok());
+    off = (off + kIoBytes) % kDevBytes;
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations() * kIoBytes));
+}
+
+void BM_ShadowedWrite(benchmark::State& state) {
+  ShadowDevice dev(std::make_unique<RamDisk>("p", kDevBytes),
+                   std::make_unique<RamDisk>("s", kDevBytes));
+  std::vector<std::byte> buf(kIoBytes);
+  std::uint64_t off = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dev.write(off, buf).ok());
+    off = (off + kIoBytes) % kDevBytes;
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations() * kIoBytes));
+}
+
+void BM_ParityGroupWrite(benchmark::State& state) {
+  const auto width = static_cast<std::size_t>(state.range(0));
+  std::vector<std::unique_ptr<RamDisk>> disks;
+  std::vector<BlockDevice*> data;
+  for (std::size_t i = 0; i < width; ++i) {
+    disks.push_back(std::make_unique<RamDisk>("d" + std::to_string(i), kDevBytes));
+    data.push_back(disks.back().get());
+  }
+  RamDisk parity("p", kDevBytes);
+  ParityGroup group(data, &parity);
+  std::vector<std::byte> buf(kIoBytes);
+  std::uint64_t off = 0;
+  std::size_t dev = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(group.write(dev, off, buf).ok());
+    dev = (dev + 1) % width;
+    off = (off + kIoBytes) % kDevBytes;
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations() * kIoBytes));
+  state.counters["rmw_per_write"] = 1.0;  // every write pays a parity RMW
+}
+
+void BM_ParityReconstruction(benchmark::State& state) {
+  const auto width = static_cast<std::size_t>(state.range(0));
+  std::vector<std::unique_ptr<RamDisk>> disks;
+  std::vector<BlockDevice*> data;
+  for (std::size_t i = 0; i < width; ++i) {
+    disks.push_back(std::make_unique<RamDisk>("d" + std::to_string(i), kDevBytes));
+    data.push_back(disks.back().get());
+  }
+  RamDisk parity("p", kDevBytes);
+  ParityGroup group(data, &parity);
+  std::vector<std::byte> seed(kDevBytes);
+  fill_record_payload(seed, 1, 1);
+  for (std::size_t i = 0; i < width; ++i) {
+    (void)disks[i]->write(0, seed);
+  }
+  (void)group.rebuild_parity();
+  RamDisk replacement("r", kDevBytes);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(group.reconstruct_data(0, replacement).ok());
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations() * kDevBytes));
+}
+
+void BM_ShadowResilver(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    ShadowDevice dev(std::make_unique<RamDisk>("p", kDevBytes),
+                     std::make_unique<RamDisk>("s", kDevBytes));
+    std::vector<std::byte> seed(kDevBytes);
+    fill_record_payload(seed, 2, 2);
+    (void)dev.write(0, seed);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(
+        dev.resilver_primary(std::make_unique<RamDisk>("p2", kDevBytes)).ok());
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations() * kDevBytes));
+}
+
+}  // namespace
+
+BENCHMARK(BM_PlainWrite);
+BENCHMARK(BM_ShadowedWrite);
+BENCHMARK(BM_ParityGroupWrite)->Arg(4)->Arg(8)->ArgNames({"width"});
+BENCHMARK(BM_ParityReconstruction)->Arg(4)->Arg(8)->ArgNames({"width"});
+BENCHMARK(BM_ShadowResilver);
+
+int main(int argc, char** argv) {
+  pio::bench::banner(
+      "EXP8: reliability of multi-device file systems (paper §5)",
+      "Array MTBF table (analytic + Monte-Carlo), protected MTTDL, and the\n"
+      "functional costs: parity RMW vs shadowed vs plain writes, and\n"
+      "reconstruction/resilver throughput.");
+  print_mtbf_table();
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

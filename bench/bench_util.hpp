@@ -1,0 +1,47 @@
+// Shared helpers for the experiment benches.  Each bench binary reproduces
+// one experiment from DESIGN.md §4; simulated results are deterministic, so
+// every benchmark runs a single iteration and reports virtual-time metrics
+// through counters.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "device/sim_disk.hpp"
+#include "sim/engine.hpp"
+
+namespace pio::bench {
+
+/// Print the experiment banner (what the paper claims, what we measure).
+inline void banner(const char* experiment, const char* claim) {
+  std::printf("\n=== %s ===\n%s\n\n", experiment, claim);
+}
+
+/// Report simulated elapsed time and bandwidth through benchmark counters.
+inline void report_sim(benchmark::State& state, double sim_seconds,
+                       std::uint64_t bytes) {
+  state.counters["sim_s"] = sim_seconds;
+  if (sim_seconds > 0) {
+    state.counters["MB_per_s"] =
+        static_cast<double>(bytes) / sim_seconds / 1.0e6;
+  }
+}
+
+/// 1989 track size: the natural transfer unit for these disks.
+inline constexpr std::uint64_t kTrack = 24 * 1024;
+
+}  // namespace pio::bench
+
+/// Each bench provides PIO_BENCH_BANNER and uses this main.
+#define PIO_BENCH_MAIN(experiment, claim)                        \
+  int main(int argc, char** argv) {                              \
+    pio::bench::banner(experiment, claim);                       \
+    ::benchmark::Initialize(&argc, argv);                        \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) {  \
+      return 1;                                                  \
+    }                                                            \
+    ::benchmark::RunSpecifiedBenchmarks();                       \
+    ::benchmark::Shutdown();                                     \
+    return 0;                                                    \
+  }

@@ -1,0 +1,115 @@
+// Wrapped matrix storage — the paper's motivating use for the IS
+// organization (§3.1: "This organization would be useful for wrapped
+// storage of a matrix, for example").
+//
+// A dense matrix is stored one row per record, rows dealt round-robin to P
+// processes (wrapped mapping, the classic load-balance trick for
+// triangular work).  Each worker thread relaxes its own rows with a Jacobi
+// step, writing results to a second IS file.  A sequential post-processor
+// then checks the result through the global view — it sees plain row
+// order, unaware of the wrapping.
+#include <cmath>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "core/file_system.hpp"
+#include "core/global_view.hpp"
+#include "core/handles.hpp"
+#include "device/ram_disk.hpp"
+
+using namespace pio;
+
+namespace {
+
+constexpr std::uint32_t kN = 256;        // matrix dimension
+constexpr std::uint32_t kProcesses = 4;
+constexpr std::uint32_t kRowBytes = kN * sizeof(double);
+
+std::span<const std::byte> row_bytes(const std::vector<double>& row) {
+  return std::as_bytes(std::span<const double>(row));
+}
+
+void fail(const char* what, const Error& error) {
+  std::fprintf(stderr, "%s: %s\n", what, error.to_string().c_str());
+  std::exit(1);
+}
+
+}  // namespace
+
+int main() {
+  DeviceArray devices = make_ram_array(kProcesses, 16 << 20);
+  auto fs = FileSystem::format(devices);
+  if (!fs.ok()) fail("format", fs.error());
+
+  CreateOptions opts;
+  opts.organization = Organization::interleaved;
+  opts.record_bytes = kRowBytes;
+  opts.records_per_block = 1;   // one row per block: row-wrapped
+  opts.partitions = kProcesses;
+  opts.capacity_records = kN;
+
+  opts.name = "A.mat";
+  auto a = (*fs)->create(opts);
+  if (!a.ok()) fail("create A", a.error());
+  opts.name = "B.mat";
+  auto b = (*fs)->create(opts);
+  if (!b.ok()) fail("create B", b.error());
+
+  // Sequential producer fills A through the global view: row i of the
+  // discrete Laplace test problem u''=f with u(x)=sin(pi x) target.
+  {
+    GlobalSequentialView writer(*a);
+    std::vector<double> row(kN);
+    for (std::uint32_t i = 0; i < kN; ++i) {
+      for (std::uint32_t j = 0; j < kN; ++j) {
+        row[j] = i == j ? 2.0 : (j + 1 == i || i + 1 == j ? -1.0 : 0.0);
+      }
+      if (auto st = writer.write_next(row_bytes(row)); !st.ok()) {
+        fail("write A", st.error());
+      }
+    }
+  }
+
+  // Parallel phase: each process sweeps ITS wrapped rows (rank, rank+P,
+  // ...), computing row sums as a stand-in kernel and writing the result
+  // row to B with the same wrapped pattern.
+  std::vector<std::thread> workers;
+  for (std::uint32_t p = 0; p < kProcesses; ++p) {
+    workers.emplace_back([&, p] {
+      auto in = open_process_handle(*a, p);
+      auto out = open_process_handle(*b, p);
+      if (!in.ok() || !out.ok()) return;
+      std::vector<double> row(kN), result(kN);
+      while ((*in)->read_next(std::as_writable_bytes(std::span<double>(row)))
+                 .ok()) {
+        const std::uint64_t i = (*in)->last_record();
+        // One Jacobi-like transform of the row (kernel is illustrative).
+        for (std::uint32_t j = 0; j < kN; ++j) {
+          result[j] = 0.5 * row[j] + static_cast<double>(i);
+        }
+        if (!(*out)->write_next(row_bytes(result)).ok()) return;
+      }
+    });
+  }
+  for (auto& t : workers) t.join();
+  std::printf("parallel sweep complete: %llu rows through %u processes\n",
+              static_cast<unsigned long long>((*b)->record_count()),
+              kProcesses);
+
+  // Sequential consumer: the global view hides the wrapping entirely.
+  GlobalSequentialView reader(*b);
+  std::vector<double> row(kN);
+  std::uint64_t i = 0;
+  std::uint64_t errors = 0;
+  while (reader.read_next(std::as_writable_bytes(std::span<double>(row))).ok()) {
+    // Row i's diagonal entry must be 0.5*2 + i = 1 + i.
+    const double expect = 1.0 + static_cast<double>(i);
+    if (std::fabs(row[i] - expect) > 1e-12) ++errors;
+    ++i;
+  }
+  std::printf("sequential check: %llu rows in plain order, %llu errors\n",
+              static_cast<unsigned long long>(i),
+              static_cast<unsigned long long>(errors));
+  return errors == 0 ? 0 : 1;
+}

@@ -1,0 +1,130 @@
+// Self-scheduled file as a multi-server work queue (§3.1: "Self-scheduled
+// input is appropriate for algorithms which select the next available unit
+// of work for processing, as in a queue with multiple servers").
+//
+// Tasks with wildly uneven costs are stored one per record.  We run the
+// same workload twice with real threads:
+//   static    — PS-style pre-partitioning: worker w gets a contiguous
+//               quarter of the queue, stragglers and all
+//   dynamic   — SS handles: every worker pulls the next record when free
+// and report the load balance each achieves.
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "core/file_system.hpp"
+#include "core/handles.hpp"
+#include "device/ram_disk.hpp"
+#include "util/bytes.hpp"
+#include "util/rng.hpp"
+#include "workload/generators.hpp"
+
+using namespace pio;
+
+namespace {
+
+constexpr std::uint32_t kWorkers = 4;
+constexpr std::uint64_t kTasks = 400;
+constexpr std::uint32_t kRecordBytes = 256;
+
+void fail(const char* what, const Error& error) {
+  std::fprintf(stderr, "%s: %s\n", what, error.to_string().c_str());
+  std::exit(1);
+}
+
+/// "Process" a task for `units` microseconds.  Sleeping (rather than
+/// burning CPU) lets the workers genuinely interleave even on one core,
+/// so the schedule — not the host's core count — decides the outcome.
+void process_task(std::uint64_t units) {
+  std::this_thread::sleep_for(std::chrono::microseconds(units));
+}
+
+struct RunResult {
+  std::vector<std::uint64_t> work_units;  // per worker
+  double wall_ms;
+};
+
+RunResult run(std::shared_ptr<ParallelFile> file, bool dynamic) {
+  file->ss_rewind();
+  std::vector<std::uint64_t> done(kWorkers, 0);
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> workers;
+  for (std::uint32_t w = 0; w < kWorkers; ++w) {
+    workers.emplace_back([&, w] {
+      auto handle = dynamic
+          ? open_process_handle(file, w)
+          : open_pattern_handle(file, Organization::partitioned, w);
+      if (!handle.ok()) return;
+      std::vector<std::byte> record(kRecordBytes);
+      while ((*handle)->read_next(record).ok()) {
+        const std::uint64_t cost = read_record_index(record);
+        process_task(cost);
+        done[w] += cost;
+      }
+    });
+  }
+  for (auto& t : workers) t.join();
+  const auto t1 = std::chrono::steady_clock::now();
+  return RunResult{
+      done,
+      std::chrono::duration<double, std::milli>(t1 - t0).count()};
+}
+
+void report(const char* name, const RunResult& r) {
+  std::uint64_t total = 0, max = 0;
+  for (auto u : r.work_units) {
+    total += u;
+    max = max < u ? u : max;
+  }
+  const double balance =
+      static_cast<double>(total) / (kWorkers * static_cast<double>(max));
+  std::printf("%-8s wall=%7.1f ms  load-balance=%.2f  per-worker units:",
+              name, r.wall_ms, balance);
+  for (auto u : r.work_units) {
+    std::printf(" %llu", static_cast<unsigned long long>(u));
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  DeviceArray devices = make_ram_array(4, 4 << 20);
+  auto fs = FileSystem::format(devices);
+  if (!fs.ok()) fail("format", fs.error());
+
+  CreateOptions opts;
+  opts.name = "queue";
+  opts.organization = Organization::self_scheduled;
+  opts.category = FileCategory::specialized;  // private to this program
+  opts.record_bytes = kRecordBytes;
+  opts.partitions = kWorkers;  // enables the static PS comparison view
+  opts.capacity_records = kTasks;
+  auto file = (*fs)->create(opts);
+  if (!file.ok()) fail("create", file.error());
+
+  // Fill the queue: bimodal task costs (10% of tasks are 20x heavier),
+  // cost stored in the record itself.
+  Rng rng{42};
+  const auto costs = make_bimodal_task_costs(rng, kTasks, 50.0, 0.10, 20.0);
+  {
+    std::vector<std::byte> record(kRecordBytes);
+    for (std::uint64_t i = 0; i < kTasks; ++i) {
+      stamp_record_index(record, static_cast<std::uint64_t>(costs[i]));
+      if (auto st = (*file)->write_record(i, record); !st.ok()) {
+        fail("enqueue", st.error());
+      }
+    }
+  }
+  std::printf("queue: %llu tasks, 10%% are 20x heavier\n",
+              static_cast<unsigned long long>(kTasks));
+
+  report("static", run(*file, /*dynamic=*/false));
+  report("dynamic", run(*file, /*dynamic=*/true));
+  std::printf(
+      "(dynamic = SS handles pulling the shared cursor; its max/mean load\n"
+      " ratio stays near 1 regardless of where the heavy tasks landed)\n");
+  return 0;
+}

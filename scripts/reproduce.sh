@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Reproduce everything: build, run the full test suite, run every
+# experiment benchmark, and leave the transcripts in test_output.txt and
+# bench_output.txt (the same artifacts EXPERIMENTS.md was written from).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+for b in build/bench/bench_*; do
+  "$b"
+done 2>&1 | tee bench_output.txt
+
+echo
+echo "Done.  Compare against EXPERIMENTS.md (simulated numbers are"
+echo "deterministic and should match exactly; wall-clock columns vary)."

@@ -1,0 +1,47 @@
+#include "buffer/buffer_pool.hpp"
+
+#include <cassert>
+
+namespace pio {
+
+BufferPool::BufferPool(std::size_t count, std::size_t buffer_bytes)
+    : buffer_bytes_(buffer_bytes), storage_(count) {
+  assert(count > 0);
+  free_.reserve(count);
+  for (auto& buf : storage_) {
+    buf.resize(buffer_bytes);
+    free_.push_back(&buf);
+  }
+}
+
+std::vector<std::byte>* BufferPool::acquire() {
+  std::unique_lock lock(mutex_);
+  cv_.wait(lock, [&] { return !free_.empty(); });
+  auto* buf = free_.back();
+  free_.pop_back();
+  return buf;
+}
+
+std::vector<std::byte>* BufferPool::try_acquire() {
+  std::scoped_lock lock(mutex_);
+  if (free_.empty()) return nullptr;
+  auto* buf = free_.back();
+  free_.pop_back();
+  return buf;
+}
+
+void BufferPool::release(std::vector<std::byte>* buf) {
+  assert(buf != nullptr);
+  {
+    std::scoped_lock lock(mutex_);
+    free_.push_back(buf);
+  }
+  cv_.notify_one();
+}
+
+std::size_t BufferPool::available() const noexcept {
+  std::scoped_lock lock(mutex_);
+  return free_.size();
+}
+
+}  // namespace pio

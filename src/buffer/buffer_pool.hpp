@@ -1,0 +1,62 @@
+// BufferPool: a bounded pool of equally sized I/O buffers.  §4 argues
+// buffering overhead is a first-order cost for striped files; bounding the
+// pool is what creates the single/double/k-buffering trade-off.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <vector>
+
+namespace pio {
+
+class BufferPool {
+ public:
+  /// A pool of `count` buffers of `buffer_bytes` each.
+  BufferPool(std::size_t count, std::size_t buffer_bytes);
+
+  /// Borrow a buffer; blocks until one is free.  Contents are unspecified.
+  std::vector<std::byte>* acquire();
+
+  /// Try to borrow without blocking; nullptr if none free.
+  std::vector<std::byte>* try_acquire();
+
+  /// Return a buffer to the pool.
+  void release(std::vector<std::byte>* buf);
+
+  std::size_t buffer_bytes() const noexcept { return buffer_bytes_; }
+  std::size_t count() const noexcept { return storage_.size(); }
+  std::size_t available() const noexcept;
+
+ private:
+  std::size_t buffer_bytes_;
+  std::vector<std::vector<std::byte>> storage_;
+  std::vector<std::vector<std::byte>*> free_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+};
+
+/// RAII lease on a pool buffer.
+class BufferLease {
+ public:
+  explicit BufferLease(BufferPool& pool) : pool_(&pool), buf_(pool.acquire()) {}
+  ~BufferLease() {
+    if (buf_) pool_->release(buf_);
+  }
+  BufferLease(BufferLease&& other) noexcept
+      : pool_(other.pool_), buf_(other.buf_) {
+    other.buf_ = nullptr;
+  }
+  BufferLease& operator=(BufferLease&&) = delete;
+  BufferLease(const BufferLease&) = delete;
+  BufferLease& operator=(const BufferLease&) = delete;
+
+  std::vector<std::byte>& operator*() noexcept { return *buf_; }
+  std::vector<std::byte>* operator->() noexcept { return buf_; }
+
+ private:
+  BufferPool* pool_;
+  std::vector<std::byte>* buf_;
+};
+
+}  // namespace pio

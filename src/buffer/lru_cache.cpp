@@ -1,0 +1,111 @@
+#include "buffer/lru_cache.hpp"
+
+#include <cassert>
+#include <cstring>
+
+namespace pio {
+
+LruBufferCache::LruBufferCache(std::size_t frames, std::size_t block_bytes,
+                               FetchFn fetch, FlushFn flush)
+    : frames_(frames),
+      block_bytes_(block_bytes),
+      fetch_(std::move(fetch)),
+      flush_(std::move(flush)) {
+  assert(frames_ > 0);
+  assert(block_bytes_ > 0);
+}
+
+LruBufferCache::~LruBufferCache() {
+  // Best effort: persist dirty data.  Errors at destruction have no caller
+  // to report to; explicit flush_all() is the checked path.
+  (void)flush_all();
+}
+
+Result<LruBufferCache::LruList::iterator> LruBufferCache::pin(
+    std::uint64_t block, bool will_overwrite) {
+  if (auto it = index_.find(block); it != index_.end()) {
+    ++stats_.hits;
+    lru_.splice(lru_.begin(), lru_, it->second);  // promote to MRU
+    return lru_.begin();
+  }
+  ++stats_.misses;
+  Frame frame;
+  if (lru_.size() >= frames_) {
+    // Evict LRU (write back if dirty), recycling its storage.
+    auto victim = std::prev(lru_.end());
+    if (victim->dirty) {
+      PIO_TRY(flush_(victim->block, victim->data));
+      ++stats_.writebacks;
+    }
+    ++stats_.evictions;
+    index_.erase(victim->block);
+    frame.data = std::move(victim->data);
+    lru_.erase(victim);
+  } else {
+    frame.data.resize(block_bytes_);
+  }
+  frame.block = block;
+  frame.dirty = false;
+  if (!will_overwrite) {
+    PIO_TRY(fetch_(block, frame.data));
+  }
+  lru_.push_front(std::move(frame));
+  index_.emplace(block, lru_.begin());
+  return lru_.begin();
+}
+
+Status LruBufferCache::read(std::uint64_t block, std::span<std::byte> out) {
+  assert(out.size() <= block_bytes_);
+  std::scoped_lock lock(mutex_);
+  PIO_TRY_ASSIGN(auto it, pin(block, /*will_overwrite=*/false));
+  std::memcpy(out.data(), it->data.data(), out.size());
+  return ok_status();
+}
+
+Status LruBufferCache::write(std::uint64_t block, std::span<const std::byte> in) {
+  assert(in.size() == block_bytes_ && "partial-block writes use update()");
+  std::scoped_lock lock(mutex_);
+  PIO_TRY_ASSIGN(auto it, pin(block, /*will_overwrite=*/true));
+  std::memcpy(it->data.data(), in.data(), in.size());
+  it->dirty = true;
+  return ok_status();
+}
+
+Status LruBufferCache::update(
+    std::uint64_t block, const std::function<void(std::span<std::byte>)>& mutate) {
+  std::scoped_lock lock(mutex_);
+  PIO_TRY_ASSIGN(auto it, pin(block, /*will_overwrite=*/false));
+  mutate(it->data);
+  it->dirty = true;
+  return ok_status();
+}
+
+Status LruBufferCache::flush_all() {
+  std::scoped_lock lock(mutex_);
+  for (Frame& f : lru_) {
+    if (!f.dirty) continue;
+    PIO_TRY(flush_(f.block, f.data));
+    f.dirty = false;
+    ++stats_.writebacks;
+  }
+  return ok_status();
+}
+
+Status LruBufferCache::invalidate_all() {
+  std::scoped_lock lock(mutex_);
+  for (Frame& f : lru_) {
+    if (!f.dirty) continue;
+    PIO_TRY(flush_(f.block, f.data));
+    ++stats_.writebacks;
+  }
+  lru_.clear();
+  index_.clear();
+  return ok_status();
+}
+
+LruBufferCache::Stats LruBufferCache::stats() const {
+  std::scoped_lock lock(mutex_);
+  return stats_;
+}
+
+}  // namespace pio

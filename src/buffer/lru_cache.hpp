@@ -1,0 +1,84 @@
+// LruBufferCache: fixed-frame block cache with write-back, for the
+// direct-access organizations — §4: "for direct access methods, buffer
+// caching techniques would be helpful when there is some locality of
+// reference, as in the PDA organization."
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <mutex>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "util/result.hpp"
+
+namespace pio {
+
+class LruBufferCache {
+ public:
+  /// Backing-store operations keyed by block id.
+  using FetchFn = std::function<Status(std::uint64_t block, std::span<std::byte> into)>;
+  using FlushFn = std::function<Status(std::uint64_t block, std::span<const std::byte> from)>;
+
+  LruBufferCache(std::size_t frames, std::size_t block_bytes, FetchFn fetch,
+                 FlushFn flush);
+  ~LruBufferCache();
+
+  /// Copy block contents (through the cache) into `out`.
+  Status read(std::uint64_t block, std::span<std::byte> out);
+
+  /// Replace block contents; the frame is marked dirty and written back on
+  /// eviction or flush_all().
+  Status write(std::uint64_t block, std::span<const std::byte> in);
+
+  /// Read-modify-write a block in place under the cache lock.
+  Status update(std::uint64_t block,
+                const std::function<void(std::span<std::byte>)>& mutate);
+
+  /// Write back every dirty frame (keeps contents cached).
+  Status flush_all();
+
+  /// Drop every frame, writing back dirty ones first.
+  Status invalidate_all();
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t writebacks = 0;
+    double hit_rate() const noexcept {
+      const auto total = hits + misses;
+      return total ? static_cast<double>(hits) / static_cast<double>(total) : 0.0;
+    }
+  };
+  Stats stats() const;
+
+  std::size_t frames() const noexcept { return frames_; }
+  std::size_t block_bytes() const noexcept { return block_bytes_; }
+
+ private:
+  struct Frame {
+    std::uint64_t block = 0;
+    bool dirty = false;
+    std::vector<std::byte> data;
+  };
+  using LruList = std::list<Frame>;
+
+  /// Return the frame for `block`, faulting it in (and possibly evicting)
+  /// as needed.  Caller holds mutex_.
+  Result<LruList::iterator> pin(std::uint64_t block, bool will_overwrite);
+
+  std::size_t frames_;
+  std::size_t block_bytes_;
+  FetchFn fetch_;
+  FlushFn flush_;
+
+  mutable std::mutex mutex_;
+  LruList lru_;  // front = most recently used
+  std::unordered_map<std::uint64_t, LruList::iterator> index_;
+  Stats stats_;
+};
+
+}  // namespace pio

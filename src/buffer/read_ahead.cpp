@@ -1,0 +1,61 @@
+#include "buffer/read_ahead.hpp"
+
+#include <cassert>
+#include <cstring>
+
+namespace pio {
+
+ReadAhead::ReadAhead(FetchFn fetch, std::uint64_t total_chunks,
+                     std::size_t chunk_bytes, std::size_t depth)
+    : fetch_(std::move(fetch)),
+      total_chunks_(total_chunks),
+      chunk_bytes_(chunk_bytes),
+      depth_(depth ? depth : 1),
+      thread_([this] { worker(); }) {}
+
+ReadAhead::~ReadAhead() {
+  {
+    std::scoped_lock lock(mutex_);
+    shutdown_ = true;
+  }
+  cv_space_.notify_all();
+  thread_.join();
+}
+
+void ReadAhead::worker() {
+  for (std::uint64_t i = 0; i < total_chunks_; ++i) {
+    std::vector<std::byte> buf(chunk_bytes_);
+    Status st = fetch_(i, buf);
+    std::unique_lock lock(mutex_);
+    if (!st.ok()) {
+      worker_error_ = st.error();
+      break;
+    }
+    cv_space_.wait(lock, [&] { return ready_.size() < depth_ || shutdown_; });
+    if (shutdown_) return;
+    ready_.push_back(std::move(buf));
+    cv_data_.notify_one();
+  }
+  std::scoped_lock lock(mutex_);
+  worker_done_ = true;
+  cv_data_.notify_all();
+}
+
+Status ReadAhead::next(std::span<std::byte> out) {
+  assert(out.size() >= chunk_bytes_);
+  std::unique_lock lock(mutex_);
+  cv_data_.wait(lock, [&] { return !ready_.empty() || worker_done_; });
+  if (ready_.empty()) {
+    if (worker_error_.code != Errc::ok) return Error(worker_error_);
+    return Errc::end_of_file;
+  }
+  std::vector<std::byte> buf = std::move(ready_.front());
+  ready_.pop_front();
+  ++delivered_;
+  lock.unlock();
+  cv_space_.notify_one();
+  std::memcpy(out.data(), buf.data(), chunk_bytes_);
+  return ok_status();
+}
+
+}  // namespace pio

@@ -1,0 +1,60 @@
+// ReadAhead: a dedicated I/O thread prefetching sequential chunks into a
+// bounded ring of buffers — §4's "since the order of accesses is
+// predictable, reading ahead ... can be used to overlap I/O operations
+// with computation", via a "dedicated I/O processor".
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "util/result.hpp"
+
+namespace pio {
+
+class ReadAhead {
+ public:
+  /// Fetch chunk `index` of the underlying stream into `into`.
+  using FetchFn = std::function<Status(std::uint64_t index, std::span<std::byte> into)>;
+
+  /// Prefetch chunks [0, total_chunks) of `chunk_bytes` each, keeping at
+  /// most `depth` fetched-but-unconsumed chunks buffered.
+  ReadAhead(FetchFn fetch, std::uint64_t total_chunks, std::size_t chunk_bytes,
+            std::size_t depth);
+  ~ReadAhead();
+
+  ReadAhead(const ReadAhead&) = delete;
+  ReadAhead& operator=(const ReadAhead&) = delete;
+
+  /// Copy the next chunk, in order, into `out` (>= chunk_bytes).  Returns
+  /// end_of_file after the last chunk, or the first fetch error.
+  Status next(std::span<std::byte> out);
+
+  std::uint64_t chunks_delivered() const noexcept { return delivered_; }
+
+ private:
+  void worker();
+
+  FetchFn fetch_;
+  std::uint64_t total_chunks_;
+  std::size_t chunk_bytes_;
+  std::size_t depth_;
+
+  std::mutex mutex_;
+  std::condition_variable cv_space_;
+  std::condition_variable cv_data_;
+  std::deque<std::vector<std::byte>> ready_;
+  Error worker_error_{};
+  bool worker_done_ = false;
+  bool shutdown_ = false;
+  std::uint64_t delivered_ = 0;
+
+  std::thread thread_;
+};
+
+}  // namespace pio

@@ -1,0 +1,40 @@
+// Virtual-time models of the paper's buffering schemes (§4): k-deep
+// multiple buffering with read-ahead on the input side and deferred
+// writing on the output side, versus unbuffered synchronous I/O.
+//
+// The caller supplies the per-chunk device work as a coroutine factory
+// (typically SimDisk::io or a striped parallel_io), and these pipelines
+// decide how much of it overlaps the consumer's computation.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/engine.hpp"
+
+namespace pio {
+
+/// Produce the device-time work for fetching/storing chunk `index`.
+using SimChunkIo = std::function<sim::Task(std::uint64_t index)>;
+
+struct BufferedStreamConfig {
+  std::uint64_t chunks = 0;          ///< number of chunks in the stream
+  std::size_t buffers = 1;           ///< buffer pool depth (1 = single buffering)
+  double compute_per_chunk_s = 0.0;  ///< consumer computation per chunk
+  double buffer_overhead_s = 0.0;    ///< per-chunk merge/split/copy cost (CPU)
+  bool overlap = true;               ///< false: issue I/O synchronously in-line
+};
+
+/// Read pipeline: a prefetching producer fills up to `buffers` chunks ahead
+/// while the consumer computes.  Completes when the last chunk has been
+/// consumed; *elapsed_out receives total virtual seconds.
+sim::Task buffered_read_stream(sim::Engine& eng, SimChunkIo fetch,
+                               BufferedStreamConfig cfg, double* elapsed_out);
+
+/// Write pipeline: the producer computes each chunk then hands it to
+/// deferred-write I/O; up to `buffers` stores may be in flight.  Completes
+/// when the last store has retired.
+sim::Task buffered_write_stream(sim::Engine& eng, SimChunkIo store,
+                                BufferedStreamConfig cfg, double* elapsed_out);
+
+}  // namespace pio

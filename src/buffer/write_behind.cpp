@@ -1,0 +1,53 @@
+#include "buffer/write_behind.hpp"
+
+namespace pio {
+
+WriteBehind::WriteBehind(StoreFn store, std::size_t depth)
+    : store_(std::move(store)),
+      depth_(depth ? depth : 1),
+      thread_([this] { worker(); }) {}
+
+WriteBehind::~WriteBehind() {
+  {
+    std::scoped_lock lock(mutex_);
+    shutdown_ = true;
+  }
+  cv_data_.notify_all();
+  thread_.join();
+}
+
+void WriteBehind::worker() {
+  std::unique_lock lock(mutex_);
+  for (;;) {
+    cv_data_.wait(lock, [&] { return !queue_.empty() || shutdown_; });
+    if (queue_.empty()) return;  // shutdown with nothing pending
+    Item item = std::move(queue_.front());
+    queue_.pop_front();
+    in_flight_ = true;
+    cv_space_.notify_one();
+    lock.unlock();
+    Status st = store_(item.index, item.data);
+    lock.lock();
+    in_flight_ = false;
+    if (!st.ok() && first_error_.code == Errc::ok) first_error_ = st.error();
+    if (queue_.empty()) cv_idle_.notify_all();
+  }
+}
+
+Status WriteBehind::submit(std::uint64_t index, std::span<const std::byte> data) {
+  std::unique_lock lock(mutex_);
+  if (first_error_.code != Errc::ok) return Error(first_error_);
+  cv_space_.wait(lock, [&] { return queue_.size() < depth_; });
+  queue_.push_back(Item{index, {data.begin(), data.end()}});
+  cv_data_.notify_one();
+  return ok_status();
+}
+
+Status WriteBehind::drain() {
+  std::unique_lock lock(mutex_);
+  cv_idle_.wait(lock, [&] { return queue_.empty() && !in_flight_; });
+  if (first_error_.code != Errc::ok) return Error(first_error_);
+  return ok_status();
+}
+
+}  // namespace pio

@@ -1,0 +1,61 @@
+// WriteBehind: deferred writing through a dedicated I/O thread (§4).  The
+// caller's submit() returns as soon as the data is staged in a bounded
+// buffer; the worker flushes in submission order.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "util/result.hpp"
+
+namespace pio {
+
+class WriteBehind {
+ public:
+  /// Persist chunk `index` from `from`.
+  using StoreFn = std::function<Status(std::uint64_t index, std::span<const std::byte> from)>;
+
+  /// Defer writes through at most `depth` staged chunks.
+  WriteBehind(StoreFn store, std::size_t depth);
+  ~WriteBehind();
+
+  WriteBehind(const WriteBehind&) = delete;
+  WriteBehind& operator=(const WriteBehind&) = delete;
+
+  /// Stage chunk `index` for writing; blocks only when `depth` chunks are
+  /// already in flight.  Reports any store error seen so far.
+  Status submit(std::uint64_t index, std::span<const std::byte> data);
+
+  /// Wait until everything staged has been stored; returns the first error.
+  Status drain();
+
+ private:
+  struct Item {
+    std::uint64_t index;
+    std::vector<std::byte> data;
+  };
+
+  void worker();
+
+  StoreFn store_;
+  std::size_t depth_;
+
+  std::mutex mutex_;
+  std::condition_variable cv_space_;
+  std::condition_variable cv_data_;
+  std::condition_variable cv_idle_;
+  std::deque<Item> queue_;
+  bool in_flight_ = false;  ///< worker is storing an item popped from queue_
+  Error first_error_{};
+  bool shutdown_ = false;
+
+  std::thread thread_;
+};
+
+}  // namespace pio

@@ -1,0 +1,112 @@
+#include "core/access_methods.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+namespace pio {
+namespace {
+
+Status check_spec(const ParallelFile& file, const StridedSpec& spec,
+                  std::size_t buffer_bytes) {
+  if (!spec.valid()) {
+    return make_error(Errc::invalid_argument, "malformed strided spec");
+  }
+  if (spec.end_record() > file.meta().capacity_records) {
+    return make_error(Errc::out_of_range, "strided view beyond file capacity");
+  }
+  if (buffer_bytes < spec.total_records() * file.meta().record_bytes) {
+    return make_error(Errc::invalid_argument, "strided buffer too small");
+  }
+  return ok_status();
+}
+
+}  // namespace
+
+Status read_strided(ParallelFile& file, const StridedSpec& spec,
+                    std::span<std::byte> out) {
+  PIO_TRY(check_spec(file, spec, out.size()));
+  const std::uint64_t group_bytes =
+      spec.block_records * file.meta().record_bytes;
+  for (std::uint64_t k = 0; k < spec.count; ++k) {
+    PIO_TRY(file.read_records(
+        spec.start_record + k * spec.stride_records, spec.block_records,
+        out.subspan(static_cast<std::size_t>(k * group_bytes),
+                    static_cast<std::size_t>(group_bytes))));
+  }
+  return ok_status();
+}
+
+Status write_strided(ParallelFile& file, const StridedSpec& spec,
+                     std::span<const std::byte> in) {
+  PIO_TRY(check_spec(file, spec, in.size()));
+  const std::uint64_t group_bytes =
+      spec.block_records * file.meta().record_bytes;
+  for (std::uint64_t k = 0; k < spec.count; ++k) {
+    PIO_TRY(file.write_records(
+        spec.start_record + k * spec.stride_records, spec.block_records,
+        in.subspan(static_cast<std::size_t>(k * group_bytes),
+                   static_cast<std::size_t>(group_bytes))));
+  }
+  return ok_status();
+}
+
+Status read_strided_async(IoScheduler& io, ParallelFile& file,
+                          const StridedSpec& spec, std::span<std::byte> out,
+                          IoBatch& batch) {
+  PIO_TRY(check_spec(file, spec, out.size()));
+  const std::uint64_t group_bytes =
+      spec.block_records * file.meta().record_bytes;
+  for (std::uint64_t k = 0; k < spec.count; ++k) {
+    io.read_records(file, spec.start_record + k * spec.stride_records,
+                    spec.block_records,
+                    out.subspan(static_cast<std::size_t>(k * group_bytes),
+                                static_cast<std::size_t>(group_bytes)),
+                    batch);
+  }
+  return ok_status();
+}
+
+Result<std::uint64_t> collective_read_two_phase(
+    IoScheduler& io, ParallelFile& file, std::span<const StridedSpec> specs,
+    std::span<const std::span<std::byte>> outs) {
+  if (specs.size() != outs.size()) {
+    return make_error(Errc::invalid_argument,
+                      "one output buffer per rank required");
+  }
+  const std::uint32_t rb = file.meta().record_bytes;
+  std::uint64_t lo = UINT64_MAX;
+  std::uint64_t hi = 0;
+  for (std::size_t r = 0; r < specs.size(); ++r) {
+    PIO_TRY(check_spec(file, specs[r], outs[r].size()));
+    if (specs[r].count == 0) continue;
+    lo = std::min(lo, specs[r].start_record);
+    hi = std::max(hi, specs[r].end_record());
+  }
+  if (hi <= lo) return std::uint64_t{0};
+
+  // Phase 1: one contiguous read of the covering extent, split into
+  // per-device parallel transfers by the scheduler.
+  const std::uint64_t extent_records = hi - lo;
+  std::vector<std::byte> staging(
+      static_cast<std::size_t>(extent_records * rb));
+  IoBatch batch;
+  io.read_records(file, lo, extent_records, staging, batch);
+  PIO_TRY(batch.wait());
+
+  // Phase 2: in-memory scatter to each rank's view order.
+  std::uint64_t delivered = 0;
+  for (std::size_t r = 0; r < specs.size(); ++r) {
+    const StridedSpec& spec = specs[r];
+    for (std::uint64_t i = 0; i < spec.total_records(); ++i) {
+      const std::uint64_t record = spec.record_at(i);
+      assert(record >= lo && record < hi);
+      std::memcpy(outs[r].data() + i * rb,
+                  staging.data() + (record - lo) * rb, rb);
+      ++delivered;
+    }
+  }
+  return delivered;
+}
+
+}  // namespace pio

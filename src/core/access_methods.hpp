@@ -1,0 +1,77 @@
+// Access methods over file organizations — the paper's §6 future-work
+// item: "it may be useful to distinguish between file organizations and
+// access methods on those organizations."
+//
+// A StridedSpec describes a regular sub-view of the record space (start,
+// block length, stride, count) — the shape MPI-IO later standardized as a
+// vector filetype.  Any organization can be read/written through it; the
+// two-phase collective read turns many interleaved strided requests into
+// one contiguous sweep plus an in-memory scatter, the classic remedy for
+// stride-hostile layouts.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/io_scheduler.hpp"
+#include "core/parallel_file.hpp"
+#include "util/result.hpp"
+
+namespace pio {
+
+/// `count` groups of `block_records` consecutive records, the k-th group
+/// starting at `start_record + k * stride_records`.
+struct StridedSpec {
+  std::uint64_t start_record = 0;
+  std::uint64_t block_records = 1;
+  std::uint64_t stride_records = 1;
+  std::uint64_t count = 0;
+
+  std::uint64_t total_records() const noexcept {
+    return block_records * count;
+  }
+  /// One past the last record touched (0 for an empty spec).
+  std::uint64_t end_record() const noexcept {
+    if (count == 0) return start_record;
+    return start_record + (count - 1) * stride_records + block_records;
+  }
+  /// Record index of the i-th record in view order.
+  std::uint64_t record_at(std::uint64_t i) const noexcept {
+    return start_record + (i / block_records) * stride_records +
+           i % block_records;
+  }
+  bool valid() const noexcept {
+    return block_records >= 1 && stride_records >= block_records;
+  }
+};
+
+/// Read the spec's records, in view order, into `out`
+/// (total_records * record_bytes bytes).  Each group is one batched
+/// transfer.
+Status read_strided(ParallelFile& file, const StridedSpec& spec,
+                    std::span<std::byte> out);
+
+/// Write `in` into the spec's records, in view order.
+Status write_strided(ParallelFile& file, const StridedSpec& spec,
+                     std::span<const std::byte> in);
+
+/// Asynchronous variant: every group's segments are queued on the
+/// scheduler's per-device workers; completion via `batch.wait()`.
+Status read_strided_async(IoScheduler& io, ParallelFile& file,
+                          const StridedSpec& spec, std::span<std::byte> out,
+                          IoBatch& batch);
+
+/// Two-phase collective read: the union of all ranks' strided views is
+/// read as ONE contiguous extent (phase 1, parallel across devices via
+/// the scheduler), then scattered to each rank's buffer in memory
+/// (phase 2).  Returns the number of records transferred to ranks.
+///
+/// Worthwhile exactly when the views interleave finely: the contiguous
+/// sweep replaces count*ranks small strided transfers (see
+/// bench_ext_twophase for the crossover).
+Result<std::uint64_t> collective_read_two_phase(
+    IoScheduler& io, ParallelFile& file, std::span<const StridedSpec> specs,
+    std::span<const std::span<std::byte>> outs);
+
+}  // namespace pio

@@ -1,0 +1,106 @@
+// Pattern: the pure index math behind each sequential organization — which
+// logical record the k-th access of process `rank` touches.  Shared by the
+// functional process handles and by the simulator benches (which replay the
+// same index streams against timed disks), so both paths exercise
+// identical access patterns by construction.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+
+namespace pio {
+
+class Pattern {
+ public:
+  /// Type S: one process visits records 0, 1, 2, ...
+  static Pattern sequential() noexcept { return Pattern{Kind::sequential, 0, 0, 0}; }
+
+  /// Type PS: process `rank` visits its contiguous partition of
+  /// `partition_capacity` records.
+  static Pattern partitioned(std::uint64_t partition_capacity,
+                             std::uint32_t rank) noexcept {
+    assert(partition_capacity > 0);
+    return Pattern{Kind::partitioned, partition_capacity, 1, rank};
+  }
+
+  /// Type IS: process `rank` of `processes` visits blocks rank,
+  /// rank+processes, ... of `records_per_block` records each.
+  static Pattern interleaved(std::uint32_t records_per_block,
+                             std::uint32_t processes,
+                             std::uint32_t rank) noexcept {
+    assert(records_per_block > 0 && processes > 0 && rank < processes);
+    return Pattern{Kind::interleaved, records_per_block, processes, rank};
+  }
+
+  /// Logical record index touched by this process's k-th access.
+  std::uint64_t index(std::uint64_t k) const noexcept {
+    switch (kind_) {
+      case Kind::sequential:
+        return k;
+      case Kind::partitioned:
+        assert(k < a_);
+        return static_cast<std::uint64_t>(rank_) * a_ + k;
+      case Kind::interleaved: {
+        const std::uint64_t local_block = k / a_;
+        const std::uint64_t within = k % a_;
+        const std::uint64_t block = rank_ + local_block * b_;
+        return block * a_ + within;
+      }
+    }
+    return k;
+  }
+
+  /// How many accesses this process makes before its index would reach
+  /// `record_limit` (i.e. #k with index(k) < record_limit).
+  std::uint64_t visits_below(std::uint64_t record_limit) const noexcept {
+    switch (kind_) {
+      case Kind::sequential:
+        return record_limit;
+      case Kind::partitioned: {
+        const std::uint64_t start = static_cast<std::uint64_t>(rank_) * a_;
+        if (record_limit <= start) return 0;
+        const std::uint64_t avail = record_limit - start;
+        return avail < a_ ? avail : a_;
+      }
+      case Kind::interleaved: {
+        const std::uint64_t full_blocks = record_limit / a_;
+        const std::uint64_t tail = record_limit % a_;
+        std::uint64_t blocks_here = full_blocks / b_;
+        if (rank_ < full_blocks % b_) ++blocks_here;
+        std::uint64_t visits = blocks_here * a_;
+        if (tail > 0 && full_blocks % b_ == rank_) visits += tail;
+        return visits;
+      }
+    }
+    return record_limit;
+  }
+
+  std::string describe() const {
+    switch (kind_) {
+      case Kind::sequential:
+        return "sequential";
+      case Kind::partitioned:
+        return "partitioned(cap=" + std::to_string(a_) +
+               ", rank=" + std::to_string(rank_) + ")";
+      case Kind::interleaved:
+        return "interleaved(rpb=" + std::to_string(a_) +
+               ", P=" + std::to_string(b_) + ", rank=" + std::to_string(rank_) +
+               ")";
+    }
+    return "?";
+  }
+
+ private:
+  enum class Kind : std::uint8_t { sequential, partitioned, interleaved };
+
+  Pattern(Kind kind, std::uint64_t a, std::uint32_t b, std::uint32_t rank) noexcept
+      : kind_(kind), a_(a), b_(b), rank_(rank) {}
+
+  Kind kind_;
+  std::uint64_t a_;   ///< partition capacity (PS) or records/block (IS)
+  std::uint32_t b_;   ///< process count (IS)
+  std::uint32_t rank_;
+};
+
+}  // namespace pio

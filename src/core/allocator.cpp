@@ -1,0 +1,94 @@
+#include "core/allocator.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace pio {
+
+SpaceAllocator::SpaceAllocator(std::vector<std::uint64_t> capacities,
+                               std::vector<std::uint64_t> reserved) {
+  assert(capacities.size() == reserved.size());
+  free_.resize(capacities.size());
+  for (std::size_t d = 0; d < capacities.size(); ++d) {
+    assert(reserved[d] <= capacities[d]);
+    if (reserved[d] < capacities[d]) {
+      free_[d].push_back(Extent{reserved[d], capacities[d] - reserved[d]});
+    }
+  }
+}
+
+Result<std::uint64_t> SpaceAllocator::allocate(std::size_t device,
+                                               std::uint64_t bytes) {
+  assert(device < free_.size());
+  auto& extents = free_[device];
+  if (bytes == 0) {
+    // Zero-footprint file on this device; give it a harmless address.
+    return extents.empty() ? 0 : extents.front().offset;
+  }
+  for (auto it = extents.begin(); it != extents.end(); ++it) {
+    if (it->length >= bytes) {
+      const std::uint64_t offset = it->offset;
+      it->offset += bytes;
+      it->length -= bytes;
+      if (it->length == 0) extents.erase(it);
+      return offset;
+    }
+  }
+  return make_error(Errc::out_of_range,
+                    "device " + std::to_string(device) + " has no free extent of " +
+                        std::to_string(bytes) + " bytes");
+}
+
+void SpaceAllocator::release(std::size_t device, std::uint64_t offset,
+                             std::uint64_t bytes) {
+  assert(device < free_.size());
+  if (bytes == 0) return;
+  auto& extents = free_[device];
+  auto it = std::lower_bound(
+      extents.begin(), extents.end(), offset,
+      [](const Extent& e, std::uint64_t off) { return e.offset < off; });
+  it = extents.insert(it, Extent{offset, bytes});
+  // Merge with successor, then predecessor.
+  if (auto next = std::next(it); next != extents.end() &&
+                                 it->offset + it->length == next->offset) {
+    it->length += next->length;
+    extents.erase(next);
+  }
+  if (it != extents.begin()) {
+    auto prev = std::prev(it);
+    if (prev->offset + prev->length == it->offset) {
+      prev->length += it->length;
+      extents.erase(it);
+    }
+  }
+}
+
+Status SpaceAllocator::reserve_exact(std::size_t device, std::uint64_t offset,
+                                     std::uint64_t bytes) {
+  assert(device < free_.size());
+  if (bytes == 0) return ok_status();
+  auto& extents = free_[device];
+  for (auto it = extents.begin(); it != extents.end(); ++it) {
+    if (it->offset <= offset && offset + bytes <= it->offset + it->length) {
+      const Extent original = *it;
+      extents.erase(it);
+      if (original.offset < offset) {
+        release(device, original.offset, offset - original.offset);
+      }
+      if (offset + bytes < original.offset + original.length) {
+        release(device, offset + bytes,
+                original.offset + original.length - (offset + bytes));
+      }
+      return ok_status();
+    }
+  }
+  return make_error(Errc::corrupt, "catalog region overlaps allocated space");
+}
+
+std::uint64_t SpaceAllocator::free_bytes(std::size_t device) const noexcept {
+  std::uint64_t total = 0;
+  for (const Extent& e : free_[device]) total += e.length;
+  return total;
+}
+
+}  // namespace pio

@@ -1,0 +1,46 @@
+// SpaceAllocator: first-fit free-list allocation of device byte ranges.
+// Every parallel file reserves one contiguous region per device at
+// creation (sized by its layout's footprint); deletion returns and merges
+// the regions.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/result.hpp"
+
+namespace pio {
+
+class SpaceAllocator {
+ public:
+  /// `reserved[d]` bytes at the start of device d are never allocated
+  /// (superblock space).  `capacity[d]` is the device size.
+  SpaceAllocator(std::vector<std::uint64_t> capacities,
+                 std::vector<std::uint64_t> reserved);
+
+  /// First-fit allocate `bytes` on `device`; returns the region's offset.
+  /// Zero-byte requests succeed and return the reserved base.
+  Result<std::uint64_t> allocate(std::size_t device, std::uint64_t bytes);
+
+  /// Return a region (must exactly match a previously allocated or
+  /// reserved extent's coverage; adjacent free space is merged).
+  void release(std::size_t device, std::uint64_t offset, std::uint64_t bytes);
+
+  /// Mark [offset, offset+bytes) in use (rebuilding state at mount).
+  /// Fails if the range is not currently free.
+  Status reserve_exact(std::size_t device, std::uint64_t offset,
+                       std::uint64_t bytes);
+
+  std::uint64_t free_bytes(std::size_t device) const noexcept;
+  std::size_t device_count() const noexcept { return free_.size(); }
+
+ private:
+  struct Extent {
+    std::uint64_t offset;
+    std::uint64_t length;
+  };
+  // Sorted, non-adjacent free extents per device.
+  std::vector<std::vector<Extent>> free_;
+};
+
+}  // namespace pio

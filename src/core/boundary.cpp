@@ -1,0 +1,83 @@
+#include "core/boundary.hpp"
+
+#include <cassert>
+#include <cstring>
+
+namespace pio {
+
+HaloPartitioning::HaloPartitioning(std::uint64_t interior_records,
+                                   std::uint32_t partitions, std::uint32_t halo)
+    : interior_(interior_records), partitions_(partitions), halo_(halo) {
+  assert(partitions_ >= 1);
+  assert(interior_ >= partitions_);
+  // Halos must not reach past a neighbour's own interior.
+  assert(halo_ <= interior_ / partitions_);
+}
+
+std::uint64_t HaloPartitioning::interior_count(std::uint32_t p) const noexcept {
+  assert(p < partitions_);
+  const std::uint64_t base = interior_ / partitions_;
+  return p + 1 == partitions_ ? interior_ - base * (partitions_ - 1) : base;
+}
+
+std::uint64_t HaloPartitioning::interior_start(std::uint32_t p) const noexcept {
+  assert(p < partitions_);
+  return (interior_ / partitions_) * p;
+}
+
+std::uint64_t HaloPartitioning::stored_count(std::uint32_t p) const noexcept {
+  std::uint64_t n = interior_count(p);
+  if (p > 0) n += halo_;                   // left halo
+  if (p + 1 < partitions_) n += halo_;     // right halo
+  return n;
+}
+
+std::uint64_t HaloPartitioning::stored_start(std::uint32_t p) const noexcept {
+  std::uint64_t start = 0;
+  for (std::uint32_t q = 0; q < p; ++q) start += stored_count(q);
+  return start;
+}
+
+std::uint64_t HaloPartitioning::total_stored() const noexcept {
+  // interior + 2*halo replicas per internal boundary
+  return interior_ +
+         2ull * halo_ * (partitions_ > 0 ? partitions_ - 1 : 0);
+}
+
+double HaloPartitioning::overhead() const noexcept {
+  return static_cast<double>(total_stored()) / static_cast<double>(interior_);
+}
+
+std::uint64_t HaloPartitioning::interior_of_slot(std::uint32_t p,
+                                                 std::uint64_t slot) const noexcept {
+  assert(p < partitions_);
+  assert(slot < stored_count(p));
+  const std::uint64_t left = p > 0 ? halo_ : 0;
+  // Slots run: [own_start - left, own_start + own + right)
+  return interior_start(p) - left + slot;
+}
+
+bool HaloPartitioning::slot_is_halo(std::uint32_t p,
+                                    std::uint64_t slot) const noexcept {
+  assert(p < partitions_);
+  const std::uint64_t left = p > 0 ? halo_ : 0;
+  if (slot < left) return true;
+  return slot >= left + interior_count(p);
+}
+
+Status HaloCache::get(std::uint64_t interior_index, std::span<std::byte> out) {
+  assert(out.size() >= record_bytes_);
+  if (auto it = cache_.find(interior_index); it != cache_.end()) {
+    ++hits_;
+    std::memcpy(out.data(), it->second.data(), record_bytes_);
+    return ok_status();
+  }
+  ++misses_;
+  std::vector<std::byte> buf(record_bytes_);
+  PIO_TRY(fetch_(interior_index, buf));
+  std::memcpy(out.data(), buf.data(), record_bytes_);
+  cache_.emplace(interior_index, std::move(buf));
+  return ok_status();
+}
+
+}  // namespace pio

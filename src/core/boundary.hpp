@@ -1,0 +1,101 @@
+// Partition-boundary overlap (§5, second problem area): in many algorithms
+// the records along a partition boundary are needed by the processes on
+// both sides.  The paper names two remedies, both provided here:
+//
+//  1. HaloPartitioning — replicate boundary records into both adjacent
+//     partitions in the file.  Costs file space and complicates the global
+//     view (redundant records); this class provides the index math between
+//     the replicated ("stored") space and the underlying interior space,
+//     plus the de-duplicating global enumeration.
+//
+//  2. HaloCache — keep boundary records in memory between passes, so only
+//     the first pass pays neighbour-partition I/O.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "util/result.hpp"
+
+namespace pio {
+
+class HaloPartitioning {
+ public:
+  /// `interior_records` logical records split over `partitions` processes,
+  /// with `halo` records replicated across each internal boundary (in both
+  /// directions).
+  HaloPartitioning(std::uint64_t interior_records, std::uint32_t partitions,
+                   std::uint32_t halo);
+
+  std::uint32_t partitions() const noexcept { return partitions_; }
+  std::uint32_t halo() const noexcept { return halo_; }
+  std::uint64_t interior_records() const noexcept { return interior_; }
+
+  /// Interior records owned by partition p (last partition absorbs the
+  /// remainder).
+  std::uint64_t interior_count(std::uint32_t p) const noexcept;
+
+  /// First interior record owned by partition p.
+  std::uint64_t interior_start(std::uint32_t p) const noexcept;
+
+  /// Records partition p stores: left halo + interior + right halo.
+  std::uint64_t stored_count(std::uint32_t p) const noexcept;
+
+  /// First stored-record index of partition p in the replicated file.
+  std::uint64_t stored_start(std::uint32_t p) const noexcept;
+
+  /// Total records in the replicated file.
+  std::uint64_t total_stored() const noexcept;
+
+  /// Replication overhead: total_stored / interior_records.
+  double overhead() const noexcept;
+
+  /// Which interior record does stored slot `slot` of partition p hold?
+  std::uint64_t interior_of_slot(std::uint32_t p, std::uint64_t slot) const noexcept;
+
+  /// Is stored slot `slot` of partition p a replica (halo) rather than an
+  /// owned record?  The de-duplicated global view skips replicas.
+  bool slot_is_halo(std::uint32_t p, std::uint64_t slot) const noexcept;
+
+ private:
+  std::uint64_t interior_;
+  std::uint32_t partitions_;
+  std::uint32_t halo_;
+};
+
+/// In-memory halo cache: fetch-through map from interior record index to
+/// record bytes.  One instance per process; passes after the first hit in
+/// memory.
+class HaloCache {
+ public:
+  using FetchFn = std::function<Status(std::uint64_t interior_index,
+                                       std::span<std::byte> into)>;
+
+  HaloCache(std::size_t record_bytes, FetchFn fetch)
+      : record_bytes_(record_bytes), fetch_(std::move(fetch)) {}
+
+  /// Get the record, from memory if cached, else through `fetch` (caching
+  /// the result).
+  Status get(std::uint64_t interior_index, std::span<std::byte> out);
+
+  void invalidate() { cache_.clear(); }
+
+  std::uint64_t hits() const noexcept { return hits_; }
+  std::uint64_t misses() const noexcept { return misses_; }
+  std::size_t resident_records() const noexcept { return cache_.size(); }
+  std::size_t resident_bytes() const noexcept {
+    return cache_.size() * record_bytes_;
+  }
+
+ private:
+  std::size_t record_bytes_;
+  FetchFn fetch_;
+  std::unordered_map<std::uint64_t, std::vector<std::byte>> cache_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace pio

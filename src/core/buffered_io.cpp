@@ -1,0 +1,31 @@
+#include "core/buffered_io.hpp"
+
+namespace pio {
+
+BufferedPatternReader::BufferedPatternReader(std::shared_ptr<ParallelFile> file,
+                                             Pattern pattern,
+                                             std::uint64_t visits,
+                                             std::size_t depth)
+    : file_(std::move(file)),
+      pattern_(pattern),
+      read_ahead_(
+          [this](std::uint64_t k, std::span<std::byte> into) {
+            return file_->read_record(pattern_.index(k), into);
+          },
+          visits, file_->meta().record_bytes, depth) {}
+
+BufferedPatternWriter::BufferedPatternWriter(std::shared_ptr<ParallelFile> file,
+                                             Pattern pattern, std::size_t depth)
+    : file_(std::move(file)),
+      pattern_(pattern),
+      write_behind_(
+          [this](std::uint64_t k, std::span<const std::byte> from) {
+            return file_->write_record(pattern_.index(k), from);
+          },
+          depth) {}
+
+Status BufferedPatternWriter::write_next(std::span<const std::byte> in) {
+  return write_behind_.submit(pos_++, in);
+}
+
+}  // namespace pio

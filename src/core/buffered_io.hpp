@@ -1,0 +1,52 @@
+// Buffered pattern I/O: composes the §4 buffering machinery (dedicated
+// I/O threads with read-ahead / deferred writing) with the organization
+// patterns, so a process overlaps its computation with the next record's
+// transfer.
+#pragma once
+
+#include <memory>
+
+#include "buffer/read_ahead.hpp"
+#include "buffer/write_behind.hpp"
+#include "core/access_pattern.hpp"
+#include "core/parallel_file.hpp"
+
+namespace pio {
+
+/// Read a process's pattern sequence through a prefetching I/O thread.
+class BufferedPatternReader {
+ public:
+  /// Prefetch up to `depth` records ahead along `pattern`; reads `visits`
+  /// records total (e.g. pattern.visits_below(file->record_count())).
+  BufferedPatternReader(std::shared_ptr<ParallelFile> file, Pattern pattern,
+                        std::uint64_t visits, std::size_t depth);
+
+  /// Next record in pattern order; end_of_file when exhausted.
+  Status next(std::span<std::byte> out) { return read_ahead_.next(out); }
+
+ private:
+  std::shared_ptr<ParallelFile> file_;
+  Pattern pattern_;
+  ReadAhead read_ahead_;
+};
+
+/// Write a process's pattern sequence through a deferred-write I/O thread.
+class BufferedPatternWriter {
+ public:
+  BufferedPatternWriter(std::shared_ptr<ParallelFile> file, Pattern pattern,
+                        std::size_t depth);
+
+  /// Stage the k-th record (in pattern order) for writing.
+  Status write_next(std::span<const std::byte> in);
+
+  /// Wait for staged writes to land.
+  Status drain() { return write_behind_.drain(); }
+
+ private:
+  std::shared_ptr<ParallelFile> file_;
+  Pattern pattern_;
+  std::uint64_t pos_ = 0;
+  WriteBehind write_behind_;
+};
+
+}  // namespace pio

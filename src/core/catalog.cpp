@@ -1,0 +1,158 @@
+#include "core/catalog.hpp"
+
+#include <cstring>
+
+#include "util/bytes.hpp"
+
+namespace pio {
+namespace {
+
+class Writer {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(static_cast<std::byte>(v)); }
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) u8(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) u8(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void str(const std::string& s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    for (char c : s) u8(static_cast<std::uint8_t>(c));
+  }
+  std::vector<std::byte> take() { return std::move(buf_); }
+  const std::vector<std::byte>& bytes() const { return buf_; }
+
+ private:
+  std::vector<std::byte> buf_;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::span<const std::byte> data) : data_(data) {}
+
+  Result<std::uint8_t> u8() {
+    if (pos_ >= data_.size()) return short_read();
+    return static_cast<std::uint8_t>(data_[pos_++]);
+  }
+  Result<std::uint32_t> u32() {
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      PIO_TRY_ASSIGN(auto b, u8());
+      v |= std::uint32_t{b} << (8 * i);
+    }
+    return v;
+  }
+  Result<std::uint64_t> u64() {
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      PIO_TRY_ASSIGN(auto b, u8());
+      v |= std::uint64_t{b} << (8 * i);
+    }
+    return v;
+  }
+  Result<std::string> str() {
+    PIO_TRY_ASSIGN(auto len, u32());
+    if (pos_ + len > data_.size()) return short_read();
+    std::string s(reinterpret_cast<const char*>(data_.data() + pos_), len);
+    pos_ += len;
+    return s;
+  }
+  std::size_t position() const { return pos_; }
+
+ private:
+  Error short_read() const {
+    return make_error(Errc::corrupt, "catalog image truncated");
+  }
+  std::span<const std::byte> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::vector<std::byte> serialize_catalog(const Catalog& catalog) {
+  Writer w;
+  w.u64(kCatalogMagic);
+  w.u32(kCatalogVersion);
+  w.u32(catalog.device_count);
+  w.u64(catalog.generation);
+  w.u64(catalog.entries.size());
+  for (const CatalogEntry& e : catalog.entries) {
+    const FileMeta& m = e.meta;
+    w.str(m.name);
+    w.u8(static_cast<std::uint8_t>(m.organization));
+    w.u8(static_cast<std::uint8_t>(m.category));
+    w.u8(static_cast<std::uint8_t>(m.layout_kind));
+    w.u8(static_cast<std::uint8_t>(m.placement));
+    w.u32(m.record_bytes);
+    w.u32(m.records_per_block);
+    w.u32(m.partitions);
+    w.u64(m.capacity_records);
+    w.u64(m.stripe_unit);
+    w.u64(e.record_count);
+    w.u32(static_cast<std::uint32_t>(e.partition_records.size()));
+    for (std::uint64_t c : e.partition_records) w.u64(c);
+    w.u32(static_cast<std::uint32_t>(e.bases.size()));
+    for (std::uint64_t b : e.bases) w.u64(b);
+  }
+  // Trailing checksum over everything written so far.
+  const std::uint64_t sum = fnv1a(w.bytes());
+  w.u64(sum);
+  return w.take();
+}
+
+Result<Catalog> parse_catalog(std::span<const std::byte> image) {
+  Reader r(image);
+  PIO_TRY_ASSIGN(const std::uint64_t magic, r.u64());
+  if (magic != kCatalogMagic) {
+    return make_error(Errc::corrupt, "bad superblock magic (not a pario file system?)");
+  }
+  PIO_TRY_ASSIGN(const std::uint32_t version, r.u32());
+  if (version != kCatalogVersion) {
+    return make_error(Errc::not_supported,
+                      "catalog version " + std::to_string(version));
+  }
+  Catalog catalog;
+  PIO_TRY_ASSIGN(catalog.device_count, r.u32());
+  PIO_TRY_ASSIGN(catalog.generation, r.u64());
+  PIO_TRY_ASSIGN(const std::uint64_t count, r.u64());
+  for (std::uint64_t i = 0; i < count; ++i) {
+    CatalogEntry e;
+    FileMeta& m = e.meta;
+    PIO_TRY_ASSIGN(m.name, r.str());
+    PIO_TRY_ASSIGN(auto org, r.u8());
+    m.organization = static_cast<Organization>(org);
+    PIO_TRY_ASSIGN(auto cat, r.u8());
+    m.category = static_cast<FileCategory>(cat);
+    PIO_TRY_ASSIGN(auto lk, r.u8());
+    m.layout_kind = static_cast<LayoutKind>(lk);
+    PIO_TRY_ASSIGN(auto pl, r.u8());
+    m.placement = static_cast<PartitionPlacement>(pl);
+    PIO_TRY_ASSIGN(m.record_bytes, r.u32());
+    PIO_TRY_ASSIGN(m.records_per_block, r.u32());
+    PIO_TRY_ASSIGN(m.partitions, r.u32());
+    PIO_TRY_ASSIGN(m.capacity_records, r.u64());
+    PIO_TRY_ASSIGN(m.stripe_unit, r.u64());
+    PIO_TRY_ASSIGN(e.record_count, r.u64());
+    PIO_TRY_ASSIGN(const std::uint32_t nparts, r.u32());
+    e.partition_records.resize(nparts);
+    for (auto& c : e.partition_records) {
+      PIO_TRY_ASSIGN(c, r.u64());
+    }
+    PIO_TRY_ASSIGN(const std::uint32_t nbases, r.u32());
+    e.bases.resize(nbases);
+    for (auto& b : e.bases) {
+      PIO_TRY_ASSIGN(b, r.u64());
+    }
+    catalog.entries.push_back(std::move(e));
+  }
+  const std::size_t payload_end = r.position();
+  PIO_TRY_ASSIGN(const std::uint64_t stored_sum, r.u64());
+  const std::uint64_t computed = fnv1a(image.subspan(0, payload_end));
+  if (stored_sum != computed) {
+    return make_error(Errc::corrupt, "catalog checksum mismatch");
+  }
+  return catalog;
+}
+
+}  // namespace pio

@@ -1,0 +1,46 @@
+// Catalog: the on-disk description of every file in a parallel file
+// system — metadata, per-device allocation bases, and record counts —
+// serialized into a checksummed superblock on device 0.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/file_meta.hpp"
+#include "util/result.hpp"
+
+namespace pio {
+
+struct CatalogEntry {
+  FileMeta meta;
+  std::vector<std::uint64_t> bases;              ///< per-device region starts
+  std::uint64_t record_count = 0;
+  std::vector<std::uint64_t> partition_records;  ///< size meta.partitions
+};
+
+struct Catalog {
+  std::uint32_t device_count = 0;
+  /// Monotonic write generation.  The superblock is kept in two slots
+  /// written alternately; mount picks the valid slot with the highest
+  /// generation, so a crash mid-write (torn superblock) falls back to the
+  /// previous consistent catalog instead of bricking the file system.
+  std::uint64_t generation = 0;
+  std::vector<CatalogEntry> entries;
+};
+
+/// Serialize to the superblock wire format (magic, version, payload,
+/// trailing FNV-1a checksum).
+std::vector<std::byte> serialize_catalog(const Catalog& catalog);
+
+/// Parse and verify a superblock image.
+Result<Catalog> parse_catalog(std::span<const std::byte> image);
+
+/// Superblock framing constants.
+inline constexpr std::uint64_t kCatalogMagic = 0x50494F46'53303031ULL;  // "PIOFS001"
+inline constexpr std::uint32_t kCatalogVersion = 2;
+/// Number of alternating superblock slots on device 0.
+inline constexpr std::size_t kCatalogSlots = 2;
+
+}  // namespace pio

@@ -1,0 +1,60 @@
+// FileMeta: everything the catalog records about a parallel file, plus the
+// terminology of §3: a file is a collection of records grouped into
+// logical blocks; all records are the same size; blocks are equal-sized
+// except possibly short blocks at the end.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/organization.hpp"
+#include "layout/layout.hpp"
+
+namespace pio {
+
+struct FileMeta {
+  std::string name;
+  Organization organization = Organization::sequential;
+  FileCategory category = FileCategory::standard;
+  LayoutKind layout_kind = LayoutKind::striped;
+
+  std::uint32_t record_bytes = 0;       ///< unit of access (§3)
+  std::uint32_t records_per_block = 1;  ///< logical grouping (§3)
+  std::uint32_t partitions = 1;         ///< processes for PS/IS/PDA; 1 otherwise
+
+  /// Maximum logical records the file may hold (reserved at creation).
+  std::uint64_t capacity_records = 0;
+
+  /// Stripe unit bytes (striped/declustered layouts).  0 = default.
+  std::uint64_t stripe_unit = 0;
+
+  PartitionPlacement placement = PartitionPlacement::round_robin;
+
+  std::uint64_t block_bytes() const noexcept {
+    return std::uint64_t{record_bytes} * records_per_block;
+  }
+  std::uint64_t capacity_bytes() const noexcept {
+    return capacity_records * record_bytes;
+  }
+  /// Records per partition (PS/PDA): capacity divided evenly; the last
+  /// partition absorbs the remainder as "short blocks at the end".
+  std::uint64_t partition_capacity_records() const noexcept {
+    return (capacity_records + partitions - 1) / partitions;
+  }
+  std::uint64_t partition_bytes() const noexcept {
+    return partition_capacity_records() * record_bytes;
+  }
+};
+
+/// Construct the Layout a file's metadata calls for, spread over `devices`
+/// devices.  The mapping's offsets are relative to the file's per-device
+/// allocation bases.
+std::unique_ptr<Layout> make_layout(const FileMeta& meta, std::size_t devices);
+
+/// Default stripe unit when none is specified: one 1989 disk track (24 KB)
+/// — "units most appropriate for the I/O devices involved" (§4).
+constexpr std::uint64_t kDefaultStripeUnit = 24 * 1024;
+
+}  // namespace pio

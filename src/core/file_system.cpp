@@ -1,0 +1,305 @@
+#include "core/file_system.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace pio {
+
+LayoutKind FileSystem::default_layout(Organization org) noexcept {
+  switch (org) {
+    case Organization::sequential:
+    case Organization::self_scheduled:
+      return LayoutKind::striped;       // §4: disk striping for S and SS
+    case Organization::partitioned:
+      return LayoutKind::blocked;       // §4: one device per block
+    case Organization::interleaved:
+      return LayoutKind::interleaved;   // §4: blocks interleaved across devices
+    case Organization::global_direct:
+      return LayoutKind::declustered;   // §4: declustering preferred [Livny]
+    case Organization::partitioned_direct:
+      return LayoutKind::blocked;
+  }
+  return LayoutKind::striped;
+}
+
+FileSystem::FileSystem(DeviceArray& devices, FileSystemOptions options)
+    : devices_(devices), options_(options) {
+  std::vector<std::uint64_t> capacities;
+  std::vector<std::uint64_t> reserved;
+  for (std::size_t d = 0; d < devices_.size(); ++d) {
+    capacities.push_back(devices_[d].capacity());
+    reserved.push_back(d == 0 ? options_.reserved_bytes() : 0);
+  }
+  allocator_ = std::make_unique<SpaceAllocator>(std::move(capacities),
+                                                std::move(reserved));
+}
+
+Result<std::unique_ptr<FileSystem>> FileSystem::format(
+    DeviceArray& devices, FileSystemOptions options) {
+  if (devices.size() == 0) {
+    return make_error(Errc::invalid_argument, "empty device array");
+  }
+  if (devices[0].capacity() < options.reserved_bytes()) {
+    return make_error(Errc::invalid_argument,
+                      "device 0 smaller than the superblock reservation");
+  }
+  auto fs = std::unique_ptr<FileSystem>(new FileSystem(devices, options));
+  std::scoped_lock lock(fs->mutex_);
+  // Invalidate any superblocks from a previous life of this array: their
+  // generations must not outrank the fresh catalog.
+  const std::vector<std::byte> zeros(
+      static_cast<std::size_t>(options.reserved_bytes()));
+  PIO_TRY(devices[0].write(0, zeros));
+  PIO_TRY(fs->store_catalog_locked());
+  return fs;
+}
+
+Result<std::unique_ptr<FileSystem>> FileSystem::mount(
+    DeviceArray& devices, FileSystemOptions options) {
+  if (devices.size() == 0) {
+    return make_error(Errc::invalid_argument, "empty device array");
+  }
+  auto fs = std::unique_ptr<FileSystem>(new FileSystem(devices, options));
+  PIO_TRY(fs->load_catalog());
+  return fs;
+}
+
+Status FileSystem::load_catalog() {
+  std::scoped_lock lock(mutex_);
+  // Read both superblock slots; adopt the valid one with the highest
+  // generation (a torn write corrupts at most the slot being written).
+  std::optional<Catalog> best;
+  Error last_error = make_error(Errc::corrupt, "no valid superblock slot");
+  for (std::size_t slot = 0; slot < kCatalogSlots; ++slot) {
+    std::vector<std::byte> image(
+        static_cast<std::size_t>(options_.superblock_bytes));
+    if (Status st = devices_[0].read(slot * options_.superblock_bytes, image);
+        !st.ok()) {
+      last_error = st.error();
+      continue;
+    }
+    auto parsed = parse_catalog(image);
+    if (!parsed.ok()) {
+      last_error = parsed.error();
+      continue;
+    }
+    if (!best || parsed->generation > best->generation) {
+      best = std::move(parsed).take();
+    }
+  }
+  if (!best) return last_error;
+  Catalog catalog = std::move(*best);
+  generation_ = catalog.generation;
+  if (catalog.device_count != devices_.size()) {
+    return make_error(Errc::corrupt,
+                      "catalog written for " + std::to_string(catalog.device_count) +
+                          " devices, array has " + std::to_string(devices_.size()));
+  }
+  for (CatalogEntry& e : catalog.entries) {
+    // Rebuild the allocator's view of used space from the file footprints.
+    const auto layout = make_layout(e.meta, devices_.size());
+    for (std::size_t d = 0; d < devices_.size(); ++d) {
+      const std::uint64_t need =
+          layout->device_bytes_required(d, e.meta.capacity_bytes());
+      if (need == 0) continue;
+      PIO_TRY(allocator_->reserve_exact(d, e.bases[d], need));
+    }
+    entries_.emplace(e.meta.name, std::move(e));
+  }
+  return ok_status();
+}
+
+Status FileSystem::store_catalog_locked() {
+  capture_live_counts_locked();
+  Catalog catalog;
+  catalog.device_count = static_cast<std::uint32_t>(devices_.size());
+  catalog.generation = generation_ + 1;
+  for (const auto& [name, entry] : entries_) catalog.entries.push_back(entry);
+  std::vector<std::byte> image = serialize_catalog(catalog);
+  if (image.size() > options_.superblock_bytes) {
+    return make_error(Errc::out_of_range,
+                      "catalog (" + std::to_string(image.size()) +
+                          " bytes) exceeds the superblock reservation");
+  }
+  image.resize(static_cast<std::size_t>(options_.superblock_bytes),
+               std::byte{0});
+  // Alternate slots by generation parity; the previous catalog survives
+  // any failure during this write.
+  const std::uint64_t slot = catalog.generation % kCatalogSlots;
+  PIO_TRY(devices_[0].write(slot * options_.superblock_bytes, image));
+  generation_ = catalog.generation;
+  return ok_status();
+}
+
+void FileSystem::capture_live_counts_locked() {
+  for (auto& [name, weak] : open_files_) {
+    if (auto live = weak.lock()) {
+      auto it = entries_.find(name);
+      if (it == entries_.end()) continue;
+      it->second.record_count = live->record_count();
+      it->second.partition_records = live->partition_record_snapshot();
+    }
+  }
+}
+
+Result<std::shared_ptr<ParallelFile>> FileSystem::create(
+    const CreateOptions& options) {
+  if (options.name.empty()) {
+    return make_error(Errc::invalid_argument, "file name empty");
+  }
+  if (options.record_bytes == 0 || options.capacity_records == 0 ||
+      options.records_per_block == 0 || options.partitions == 0) {
+    return make_error(Errc::invalid_argument,
+                      "record size, block size, partitions and capacity must be positive");
+  }
+  // Organization-specific shape checks: partitioned organizations need a
+  // process count; S is single-process by definition.
+  const bool partitioned_org =
+      options.organization == Organization::partitioned ||
+      options.organization == Organization::interleaved ||
+      options.organization == Organization::partitioned_direct;
+  if (partitioned_org && options.partitions < 2) {
+    return make_error(Errc::invalid_argument,
+                      "PS/IS/PDA files need partitions >= 2 (use S for a "
+                      "single process)");
+  }
+  if (options.organization == Organization::sequential &&
+      options.partitions != 1) {
+    return make_error(Errc::invalid_argument,
+                      "type S files are accessed by a single process");
+  }
+  if (partitioned_org && options.capacity_records < options.partitions) {
+    return make_error(Errc::invalid_argument,
+                      "capacity smaller than the partition count");
+  }
+  std::scoped_lock lock(mutex_);
+  if (entries_.contains(options.name)) {
+    return make_error(Errc::already_exists, options.name);
+  }
+
+  CatalogEntry entry;
+  FileMeta& meta = entry.meta;
+  meta.name = options.name;
+  meta.organization = options.organization;
+  meta.category = options.category;
+  meta.layout_kind =
+      options.layout.value_or(default_layout(options.organization));
+  meta.record_bytes = options.record_bytes;
+  meta.records_per_block = options.records_per_block;
+  meta.partitions = options.partitions;
+  meta.capacity_records = options.capacity_records;
+  meta.stripe_unit = options.stripe_unit;
+  meta.placement = options.placement;
+  entry.partition_records.assign(meta.partitions, 0);
+
+  // Reserve the full-capacity footprint on every device; roll back on any
+  // failure so a half-created file never leaks space.
+  const auto layout = make_layout(meta, devices_.size());
+  entry.bases.assign(devices_.size(), 0);
+  std::vector<std::pair<std::size_t, std::uint64_t>> reserved;  // (dev, bytes)
+  for (std::size_t d = 0; d < devices_.size(); ++d) {
+    const std::uint64_t need =
+        layout->device_bytes_required(d, meta.capacity_bytes());
+    auto base = allocator_->allocate(d, need);
+    if (!base.ok()) {
+      for (const auto& [rd, rbytes] : reserved) {
+        allocator_->release(rd, entry.bases[rd], rbytes);
+      }
+      return Error(base.error());
+    }
+    entry.bases[d] = base.value();
+    if (need > 0) reserved.emplace_back(d, need);
+  }
+
+  auto [it, inserted] = entries_.emplace(meta.name, std::move(entry));
+  assert(inserted);
+  auto file = instantiate_locked(it->second);
+  if (file.ok()) {
+    if (Status st = store_catalog_locked(); !st.ok()) {
+      file = Error(st.error());
+    }
+  }
+  if (!file.ok()) {
+    // Roll back: no half-created files in memory or on disk.
+    const CatalogEntry& failed = it->second;
+    const auto failed_layout = make_layout(failed.meta, devices_.size());
+    for (std::size_t d = 0; d < devices_.size(); ++d) {
+      allocator_->release(d, failed.bases[d],
+                          failed_layout->device_bytes_required(
+                              d, failed.meta.capacity_bytes()));
+    }
+    open_files_.erase(failed.meta.name);
+    entries_.erase(it);
+  }
+  return file;
+}
+
+Result<std::shared_ptr<ParallelFile>> FileSystem::instantiate_locked(
+    CatalogEntry& entry) {
+  auto file = std::make_shared<ParallelFile>(entry.meta, devices_, entry.bases,
+                                             entry.record_count,
+                                             entry.partition_records);
+  open_files_[entry.meta.name] = file;
+  return file;
+}
+
+Result<std::shared_ptr<ParallelFile>> FileSystem::open(const std::string& name) {
+  std::scoped_lock lock(mutex_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) return make_error(Errc::not_found, name);
+  if (auto existing = open_files_[name].lock()) return existing;
+  return instantiate_locked(it->second);
+}
+
+Status FileSystem::remove(const std::string& name) {
+  std::scoped_lock lock(mutex_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) return make_error(Errc::not_found, name);
+  if (auto live = open_files_[name].lock()) {
+    return make_error(Errc::busy, name + " is open");
+  }
+  open_files_.erase(name);
+  const CatalogEntry& entry = it->second;
+  const auto layout = make_layout(entry.meta, devices_.size());
+  for (std::size_t d = 0; d < devices_.size(); ++d) {
+    const std::uint64_t need =
+        layout->device_bytes_required(d, entry.meta.capacity_bytes());
+    allocator_->release(d, entry.bases[d], need);
+  }
+  entries_.erase(it);
+  return store_catalog_locked();
+}
+
+std::vector<FileMeta> FileSystem::list() const {
+  std::scoped_lock lock(mutex_);
+  std::vector<FileMeta> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) out.push_back(entry.meta);
+  return out;
+}
+
+std::optional<FileMeta> FileSystem::stat(const std::string& name) const {
+  std::scoped_lock lock(mutex_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second.meta;
+}
+
+Status FileSystem::sync() {
+  std::scoped_lock lock(mutex_);
+  return store_catalog_locked();
+}
+
+std::uint64_t FileSystem::free_bytes(std::size_t device) const {
+  std::scoped_lock lock(mutex_);
+  return allocator_->free_bytes(device);
+}
+
+std::size_t FileSystem::device_count() const noexcept { return devices_.size(); }
+
+std::uint64_t FileSystem::catalog_generation() const {
+  std::scoped_lock lock(mutex_);
+  return generation_;
+}
+
+}  // namespace pio

@@ -1,0 +1,100 @@
+// FileSystem: the operating-system role in the paper (§2) — a catalog of
+// parallel files over a shared device array, giving every file a
+// conventional identity (create/open/delete/list) while its internal
+// organization stays parallel.  The catalog persists in a superblock on
+// device 0, so a formatted array can be re-mounted.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "core/allocator.hpp"
+#include "core/catalog.hpp"
+#include "core/parallel_file.hpp"
+
+namespace pio {
+
+struct CreateOptions {
+  std::string name;
+  Organization organization = Organization::sequential;
+  FileCategory category = FileCategory::standard;
+  std::uint32_t record_bytes = 0;
+  std::uint32_t records_per_block = 1;
+  std::uint32_t partitions = 1;          ///< processes, for PS/IS/PDA
+  std::uint64_t capacity_records = 0;    ///< maximum records, reserved now
+  /// Physical strategy; defaults to the organization's natural layout
+  /// (S/SS striped, PS blocked, IS interleaved, GDA declustered, PDA blocked).
+  std::optional<LayoutKind> layout = std::nullopt;
+  std::uint64_t stripe_unit = 0;         ///< 0 = one disk track
+  PartitionPlacement placement = PartitionPlacement::round_robin;
+};
+
+struct FileSystemOptions {
+  /// Size of ONE superblock slot on device 0.  Two slots are reserved and
+  /// written alternately with increasing generation numbers, so a crash
+  /// mid-sync leaves the previous catalog intact (torn-write safety).
+  std::uint64_t superblock_bytes = 64 * 1024;
+
+  std::uint64_t reserved_bytes() const noexcept {
+    return superblock_bytes * 2;
+  }
+};
+
+class FileSystem {
+ public:
+  /// Initialize an empty file system on the array (overwrites any catalog).
+  static Result<std::unique_ptr<FileSystem>> format(
+      DeviceArray& devices, FileSystemOptions options = {});
+
+  /// Load the catalog from a previously formatted array.
+  static Result<std::unique_ptr<FileSystem>> mount(
+      DeviceArray& devices, FileSystemOptions options = {});
+
+  /// Create a file, reserving its full-capacity footprint on each device.
+  Result<std::shared_ptr<ParallelFile>> create(const CreateOptions& options);
+
+  /// Open an existing file.  Concurrent opens share one ParallelFile
+  /// instance (required: SS cursors and record counts are shared state).
+  Result<std::shared_ptr<ParallelFile>> open(const std::string& name);
+
+  /// Delete a file and free its space.  Fails while the file is open.
+  Status remove(const std::string& name);
+
+  /// All catalogued files.
+  std::vector<FileMeta> list() const;
+
+  std::optional<FileMeta> stat(const std::string& name) const;
+
+  /// Persist the catalog (including live record counts) to the superblock.
+  Status sync();
+
+  std::uint64_t free_bytes(std::size_t device) const;
+  std::size_t device_count() const noexcept;
+
+  /// Current catalog write generation (grows by one per sync/format).
+  std::uint64_t catalog_generation() const;
+
+  /// Natural layout for an organization (§4's suggested implementations).
+  static LayoutKind default_layout(Organization org) noexcept;
+
+ private:
+  FileSystem(DeviceArray& devices, FileSystemOptions options);
+
+  Status load_catalog();
+  Status store_catalog_locked();
+  Result<std::shared_ptr<ParallelFile>> instantiate_locked(CatalogEntry& entry);
+  void capture_live_counts_locked();
+
+  DeviceArray& devices_;
+  FileSystemOptions options_;
+  mutable std::mutex mutex_;
+  std::unique_ptr<SpaceAllocator> allocator_;
+  std::map<std::string, CatalogEntry> entries_;
+  std::map<std::string, std::weak_ptr<ParallelFile>> open_files_;
+  std::uint64_t generation_ = 0;  ///< generation of the last catalog written
+};
+
+}  // namespace pio

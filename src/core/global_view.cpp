@@ -1,0 +1,116 @@
+#include "core/global_view.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace pio {
+
+GlobalSequentialView::GlobalSequentialView(std::shared_ptr<ParallelFile> file)
+    : file_(std::move(file)),
+      partitioned_(file_->meta().organization == Organization::partitioned ||
+                   file_->meta().organization ==
+                       Organization::partitioned_direct) {
+  rewind();
+}
+
+void GlobalSequentialView::rewind() {
+  pos_ = 0;
+  if (partitioned_) {
+    counts_ = file_->partition_record_snapshot();
+    prefix_.assign(counts_.size() + 1, 0);
+    for (std::size_t p = 0; p < counts_.size(); ++p) {
+      prefix_[p + 1] = prefix_[p] + counts_[p];
+    }
+    total_ = prefix_.back();
+  } else {
+    total_ = file_->record_count();
+  }
+  // Appends continue after the existing records.  (For PS files this
+  // assumes the partitions are densely filled in order — the shape a
+  // global-view writer produces in the first place.)
+  write_pos_ = total_;
+}
+
+void GlobalSequentialView::locate(std::uint64_t g, std::uint64_t* logical,
+                                  std::uint64_t* contiguous) const noexcept {
+  if (!partitioned_) {
+    *logical = g;
+    *contiguous = total_ - g;
+    return;
+  }
+  // Find the partition holding global ordinal g.
+  const auto it = std::upper_bound(prefix_.begin(), prefix_.end(), g);
+  const auto p = static_cast<std::size_t>(it - prefix_.begin()) - 1;
+  const std::uint64_t local = g - prefix_[p];
+  const std::uint64_t cap = file_->meta().partition_capacity_records();
+  *logical = static_cast<std::uint64_t>(p) * cap + local;
+  *contiguous = counts_[p] - local;  // run ends at the partition's fill mark
+}
+
+Status GlobalSequentialView::read_next(std::span<std::byte> out) {
+  std::uint64_t got = 0;
+  PIO_TRY(read_batch(1, out, &got));
+  if (got == 0) return Errc::end_of_file;
+  return ok_status();
+}
+
+Status GlobalSequentialView::read_batch(std::uint64_t max_records,
+                                        std::span<std::byte> out,
+                                        std::uint64_t* got) {
+  *got = 0;
+  if (pos_ >= total_) return ok_status();
+  std::uint64_t logical = 0;
+  std::uint64_t run = 0;
+  locate(pos_, &logical, &run);
+  const std::uint64_t n = std::min({max_records, run, total_ - pos_});
+  assert(n > 0);
+  const std::uint64_t bytes = n * file_->meta().record_bytes;
+  if (out.size() < bytes) {
+    return make_error(Errc::invalid_argument, "batch buffer too small");
+  }
+  PIO_TRY(file_->read_records(logical, n, out));
+  pos_ += n;
+  *got = n;
+  return ok_status();
+}
+
+Status GlobalSequentialView::write_next(std::span<const std::byte> in) {
+  return write_batch(1, in);
+}
+
+Status GlobalSequentialView::write_batch(std::uint64_t n,
+                                         std::span<const std::byte> in) {
+  // Global append order fills logical record space densely (for PS files
+  // the p-th partition fills before the (p+1)-th starts), so the global
+  // write ordinal IS the logical index.
+  PIO_TRY(file_->write_records(write_pos_, n, in));
+  write_pos_ += n;
+  return ok_status();
+}
+
+Result<std::uint64_t> convert_copy(std::shared_ptr<ParallelFile> src,
+                                   std::shared_ptr<ParallelFile> dst,
+                                   std::uint64_t batch_records) {
+  if (src->meta().record_bytes != dst->meta().record_bytes) {
+    return make_error(Errc::invalid_argument,
+                      "conversion requires matching record sizes");
+  }
+  GlobalSequentialView in(src);
+  GlobalSequentialView out(std::move(dst));
+  std::vector<std::byte> buf(static_cast<std::size_t>(batch_records) *
+                             src->meta().record_bytes);
+  std::uint64_t copied = 0;
+  for (;;) {
+    std::uint64_t got = 0;
+    PIO_TRY(in.read_batch(batch_records, buf, &got));
+    if (got == 0) break;
+    PIO_TRY(out.write_batch(
+        got, std::span<const std::byte>(buf.data(),
+                                        static_cast<std::size_t>(
+                                            got * src->meta().record_bytes))));
+    copied += got;
+  }
+  return copied;
+}
+
+}  // namespace pio

@@ -1,0 +1,67 @@
+// Global views (§2): the file perceived as a conventional unit, for
+// sequential programs (editors, print spoolers, post-processors).  The
+// sequential view enumerates the records that exist in global order —
+// for PS files that is the concatenation of the partitions' contents,
+// skipping unwritten space; for everything else the contiguous logical
+// record space.  A direct view is a conventional direct-access file.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/parallel_file.hpp"
+
+namespace pio {
+
+class GlobalSequentialView {
+ public:
+  explicit GlobalSequentialView(std::shared_ptr<ParallelFile> file);
+
+  /// Records visible through this view (snapshot taken at construction /
+  /// last rewind; concurrent parallel writers are not tracked live).
+  std::uint64_t size() const noexcept { return total_; }
+  std::uint64_t position() const noexcept { return pos_; }
+
+  /// Read the next record; end_of_file after the last one.
+  Status read_next(std::span<std::byte> out);
+
+  /// Read up to `max_records` consecutive records in one device-efficient
+  /// batch; sets *got to the number delivered (0 at end of file).
+  Status read_batch(std::uint64_t max_records, std::span<std::byte> out,
+                    std::uint64_t* got);
+
+  /// Append the next record in global order (writing a parallel file from
+  /// a sequential program).  Appending resumes after the records present
+  /// at construction/rewind.
+  Status write_next(std::span<const std::byte> in);
+
+  /// Append up to n records in one batch.
+  Status write_batch(std::uint64_t n, std::span<const std::byte> in);
+
+  /// Re-snapshot the file's contents and reset the cursor.
+  void rewind();
+
+ private:
+  /// Map a global (view) record ordinal to a logical record index, and
+  /// report how many records follow it contiguously in logical space.
+  void locate(std::uint64_t g, std::uint64_t* logical,
+              std::uint64_t* contiguous) const noexcept;
+
+  std::shared_ptr<ParallelFile> file_;
+  bool partitioned_;                       ///< PS/PDA-style enumeration
+  std::vector<std::uint64_t> prefix_;      ///< per-partition prefix counts
+  std::vector<std::uint64_t> counts_;      ///< per-partition record counts
+  std::uint64_t total_ = 0;
+  std::uint64_t pos_ = 0;
+  std::uint64_t write_pos_ = 0;
+};
+
+/// Conversion utility (§5, third remedy for view mismatch): copy every
+/// record of `src` (global order) into `dst` (global append order).
+/// Returns records copied.  `batch_records` controls transfer size.
+Result<std::uint64_t> convert_copy(std::shared_ptr<ParallelFile> src,
+                                   std::shared_ptr<ParallelFile> dst,
+                                   std::uint64_t batch_records = 256);
+
+}  // namespace pio

@@ -1,0 +1,211 @@
+#include "core/handles.hpp"
+
+namespace pio {
+
+// ------------------------------------------------------------- FileHandle
+
+Status FileHandle::read_next(std::span<std::byte>) {
+  return make_error(Errc::not_supported, "handle has no sequential read");
+}
+Status FileHandle::write_next(std::span<const std::byte>) {
+  return make_error(Errc::not_supported, "handle has no sequential write");
+}
+Status FileHandle::read_at(std::uint64_t, std::span<std::byte>) {
+  return make_error(Errc::not_supported, "handle has no direct read");
+}
+Status FileHandle::write_at(std::uint64_t, std::span<const std::byte>) {
+  return make_error(Errc::not_supported, "handle has no direct write");
+}
+
+// ----------------------------------------------------------- CursorHandle
+
+CursorHandle::CursorHandle(std::shared_ptr<ParallelFile> file, Pattern pattern,
+                           Organization pattern_org, std::uint32_t rank)
+    : FileHandle(std::move(file)),
+      pattern_(pattern),
+      pattern_org_(pattern_org),
+      rank_(rank) {}
+
+std::uint64_t CursorHandle::read_bound() const noexcept {
+  // How many records this cursor may read: for PS, what its partition
+  // holds; otherwise, how much of the contiguous logical space exists.
+  if (pattern_org_ == Organization::partitioned) {
+    return file_->partition_records(rank_);
+  }
+  return pattern_.visits_below(file_->record_count());
+}
+
+Status CursorHandle::read_next(std::span<std::byte> out) {
+  if (pos_ >= read_bound()) return Errc::end_of_file;
+  const std::uint64_t record = pattern_.index(pos_);
+  PIO_TRY(file_->read_record(record, out));
+  ++pos_;
+  last_record_ = record;
+  return ok_status();
+}
+
+Status CursorHandle::write_next(std::span<const std::byte> in) {
+  if (pos_ >= pattern_.visits_below(meta().capacity_records)) {
+    return make_error(Errc::out_of_range, "pattern cursor past file capacity");
+  }
+  const std::uint64_t record = pattern_.index(pos_);
+  PIO_TRY(file_->write_record(record, in));
+  ++pos_;
+  last_record_ = record;
+  return ok_status();
+}
+
+// ---------------------------------------------------- SelfScheduledHandle
+
+Status SelfScheduledHandle::read_next(std::span<std::byte> out) {
+  // Claim first (the cheap serialized step), then transfer: another
+  // process's claim can proceed while this transfer is still in flight.
+  PIO_TRY_ASSIGN(const std::uint64_t record, file_->ss_claim_read());
+  PIO_TRY(file_->read_record(record, out));
+  last_record_ = record;
+  return ok_status();
+}
+
+Status SelfScheduledHandle::write_next(std::span<const std::byte> in) {
+  PIO_TRY_ASSIGN(const std::uint64_t record, file_->ss_claim_write());
+  PIO_TRY(file_->write_record(record, in));
+  last_record_ = record;
+  return ok_status();
+}
+
+// ----------------------------------------------------------- DirectHandle
+
+Status DirectHandle::read_at(std::uint64_t record, std::span<std::byte> out) {
+  PIO_TRY(file_->read_record(record, out));
+  last_record_ = record;
+  return ok_status();
+}
+
+Status DirectHandle::write_at(std::uint64_t record, std::span<const std::byte> in) {
+  PIO_TRY(file_->write_record(record, in));
+  last_record_ = record;
+  return ok_status();
+}
+
+// ------------------------------------------------- PartitionedDirectHandle
+
+PartitionedDirectHandle::PartitionedDirectHandle(
+    std::shared_ptr<ParallelFile> file, std::uint32_t rank,
+    BlockOwnership ownership)
+    : FileHandle(std::move(file)), rank_(rank), ownership_(ownership) {}
+
+std::uint32_t PartitionedDirectHandle::owner_of(
+    std::uint64_t record) const noexcept {
+  const FileMeta& m = meta();
+  const std::uint64_t block = record / m.records_per_block;
+  if (ownership_ == BlockOwnership::interleaved) {
+    return static_cast<std::uint32_t>(block % m.partitions);
+  }
+  const std::uint64_t blocks_per_partition =
+      (m.partition_capacity_records() + m.records_per_block - 1) /
+      m.records_per_block;
+  const std::uint64_t owner = block / blocks_per_partition;
+  return static_cast<std::uint32_t>(
+      owner < m.partitions ? owner : m.partitions - 1);
+}
+
+Status PartitionedDirectHandle::check_owned(std::uint64_t record) const {
+  const std::uint32_t owner = owner_of(record);
+  if (owner != rank_) {
+    return make_error(Errc::not_owner,
+                      "record " + std::to_string(record) + " belongs to process " +
+                          std::to_string(owner) + ", not " + std::to_string(rank_));
+  }
+  return ok_status();
+}
+
+Status PartitionedDirectHandle::read_at(std::uint64_t record,
+                                        std::span<std::byte> out) {
+  PIO_TRY(check_owned(record));
+  PIO_TRY(file_->read_record(record, out));
+  last_record_ = record;
+  return ok_status();
+}
+
+Status PartitionedDirectHandle::write_at(std::uint64_t record,
+                                         std::span<const std::byte> in) {
+  PIO_TRY(check_owned(record));
+  PIO_TRY(file_->write_record(record, in));
+  last_record_ = record;
+  return ok_status();
+}
+
+// -------------------------------------------------------------- factories
+
+namespace {
+
+Result<std::unique_ptr<FileHandle>> make_cursor(
+    std::shared_ptr<ParallelFile> file, Organization as, std::uint32_t rank) {
+  const FileMeta& m = file->meta();
+  switch (as) {
+    case Organization::sequential:
+      if (rank != 0) {
+        return make_error(Errc::invalid_argument,
+                          "type S files are accessed by a single process");
+      }
+      return std::unique_ptr<FileHandle>(std::make_unique<CursorHandle>(
+          std::move(file), Pattern::sequential(), as, 0));
+    case Organization::partitioned:
+      if (rank >= m.partitions) {
+        return make_error(Errc::invalid_argument, "rank beyond partitions");
+      }
+      return std::unique_ptr<FileHandle>(std::make_unique<CursorHandle>(
+          std::move(file),
+          Pattern::partitioned(m.partition_capacity_records(), rank), as, rank));
+    case Organization::interleaved:
+      if (rank >= m.partitions) {
+        return make_error(Errc::invalid_argument, "rank beyond partitions");
+      }
+      return std::unique_ptr<FileHandle>(std::make_unique<CursorHandle>(
+          std::move(file),
+          Pattern::interleaved(m.records_per_block, m.partitions, rank), as,
+          rank));
+    case Organization::self_scheduled:
+      return std::unique_ptr<FileHandle>(
+          std::make_unique<SelfScheduledHandle>(std::move(file)));
+    default:
+      return make_error(Errc::invalid_argument,
+                        "not a sequential organization");
+  }
+}
+
+}  // namespace
+
+Result<std::unique_ptr<FileHandle>> open_process_handle(
+    std::shared_ptr<ParallelFile> file, std::uint32_t rank) {
+  const FileMeta& m = file->meta();
+  switch (m.organization) {
+    case Organization::sequential:
+    case Organization::partitioned:
+    case Organization::interleaved:
+    case Organization::self_scheduled:
+      return make_cursor(std::move(file), m.organization, rank);
+    case Organization::global_direct:
+      return std::unique_ptr<FileHandle>(
+          std::make_unique<DirectHandle>(std::move(file)));
+    case Organization::partitioned_direct: {
+      if (rank >= m.partitions) {
+        return make_error(Errc::invalid_argument, "rank beyond partitions");
+      }
+      const BlockOwnership ownership = m.layout_kind == LayoutKind::interleaved
+                                           ? BlockOwnership::interleaved
+                                           : BlockOwnership::contiguous;
+      return std::unique_ptr<FileHandle>(
+          std::make_unique<PartitionedDirectHandle>(std::move(file), rank,
+                                                    ownership));
+    }
+  }
+  return make_error(Errc::invalid_argument, "unknown organization");
+}
+
+Result<std::unique_ptr<FileHandle>> open_pattern_handle(
+    std::shared_ptr<ParallelFile> file, Organization as, std::uint32_t rank) {
+  return make_cursor(std::move(file), as, rank);
+}
+
+}  // namespace pio

@@ -1,0 +1,138 @@
+// Process handles: what one process of a parallel program holds on an open
+// parallel file.  Each organization is a cursor policy over the shared
+// ParallelFile:
+//
+//   S    CursorHandle(sequential pattern, rank 0)
+//   PS   CursorHandle(partitioned pattern)
+//   IS   CursorHandle(interleaved pattern)
+//   SS   SelfScheduledHandle (shared arrival-order cursor)
+//   GDA  DirectHandle (any record)
+//   PDA  PartitionedDirectHandle (ownership-checked records)
+//
+// Cross-view access (§5's mismatch problem) falls out of the design: a
+// handle with any pattern can be opened on a file of any organization via
+// open_pattern_handle — it works, but the file's physical layout was
+// chosen for its native pattern, which is exactly the degraded case the
+// paper describes.
+#pragma once
+
+#include <memory>
+
+#include "core/access_pattern.hpp"
+#include "core/parallel_file.hpp"
+
+namespace pio {
+
+class FileHandle {
+ public:
+  explicit FileHandle(std::shared_ptr<ParallelFile> file)
+      : file_(std::move(file)) {}
+  virtual ~FileHandle() = default;
+  FileHandle(const FileHandle&) = delete;
+  FileHandle& operator=(const FileHandle&) = delete;
+
+  ParallelFile& file() noexcept { return *file_; }
+  const FileMeta& meta() const noexcept { return file_->meta(); }
+
+  /// Sequential access (S/PS/IS/SS).  Buffers are record-sized.
+  virtual Status read_next(std::span<std::byte> out);
+  virtual Status write_next(std::span<const std::byte> in);
+
+  /// Direct access (GDA/PDA).
+  virtual Status read_at(std::uint64_t record, std::span<std::byte> out);
+  virtual Status write_at(std::uint64_t record, std::span<const std::byte> in);
+
+  /// Reset sequential position (no-op for direct handles).
+  virtual void rewind() noexcept {}
+
+  /// Logical record index touched by the most recent successful operation
+  /// (for access-pattern traces — Figure 1).
+  std::uint64_t last_record() const noexcept { return last_record_; }
+
+ protected:
+  std::shared_ptr<ParallelFile> file_;
+  std::uint64_t last_record_ = 0;
+};
+
+/// S / PS / IS: a private cursor walking a static pattern.
+class CursorHandle final : public FileHandle {
+ public:
+  CursorHandle(std::shared_ptr<ParallelFile> file, Pattern pattern,
+               Organization pattern_org, std::uint32_t rank);
+
+  Status read_next(std::span<std::byte> out) override;
+  Status write_next(std::span<const std::byte> in) override;
+  void rewind() noexcept override { pos_ = 0; }
+
+  /// Skip to this process's k-th pattern position.
+  void seek(std::uint64_t k) noexcept { pos_ = k; }
+  std::uint64_t position() const noexcept { return pos_; }
+
+ private:
+  std::uint64_t read_bound() const noexcept;
+
+  Pattern pattern_;
+  Organization pattern_org_;
+  std::uint32_t rank_;
+  std::uint64_t pos_ = 0;
+};
+
+/// SS: all handles share the file's arrival-order cursor.
+class SelfScheduledHandle final : public FileHandle {
+ public:
+  explicit SelfScheduledHandle(std::shared_ptr<ParallelFile> file)
+      : FileHandle(std::move(file)) {}
+
+  Status read_next(std::span<std::byte> out) override;
+  Status write_next(std::span<const std::byte> in) override;
+  /// rewind() resets the SHARED cursor — callers synchronize pass changes.
+  void rewind() noexcept override { file_->ss_rewind(); }
+};
+
+/// GDA: unrestricted direct access.
+class DirectHandle final : public FileHandle {
+ public:
+  explicit DirectHandle(std::shared_ptr<ParallelFile> file)
+      : FileHandle(std::move(file)) {}
+
+  Status read_at(std::uint64_t record, std::span<std::byte> out) override;
+  Status write_at(std::uint64_t record, std::span<const std::byte> in) override;
+};
+
+/// How PDA blocks are assigned to processes (direct versions of the PS and
+/// IS partitionings, §3.2).
+enum class BlockOwnership : std::uint8_t {
+  contiguous,   ///< block b owned by b / blocks_per_partition (PS-like)
+  interleaved,  ///< block b owned by b mod processes (IS-like)
+};
+
+/// PDA: direct access restricted to owned blocks.
+class PartitionedDirectHandle final : public FileHandle {
+ public:
+  PartitionedDirectHandle(std::shared_ptr<ParallelFile> file,
+                          std::uint32_t rank, BlockOwnership ownership);
+
+  Status read_at(std::uint64_t record, std::span<std::byte> out) override;
+  Status write_at(std::uint64_t record, std::span<const std::byte> in) override;
+
+  /// Owner of the block containing `record`.
+  std::uint32_t owner_of(std::uint64_t record) const noexcept;
+
+ private:
+  Status check_owned(std::uint64_t record) const;
+
+  std::uint32_t rank_;
+  BlockOwnership ownership_;
+};
+
+/// Open the handle matching the file's native organization.
+Result<std::unique_ptr<FileHandle>> open_process_handle(
+    std::shared_ptr<ParallelFile> file, std::uint32_t rank);
+
+/// Open a handle with the access pattern of `as`, regardless of the file's
+/// native organization (the §5 view-mismatch scenario).  `as` must be a
+/// sequential organization (S/PS/IS/SS).
+Result<std::unique_ptr<FileHandle>> open_pattern_handle(
+    std::shared_ptr<ParallelFile> file, Organization as, std::uint32_t rank);
+
+}  // namespace pio

@@ -1,0 +1,152 @@
+#include "core/io_scheduler.hpp"
+
+#include <cassert>
+
+namespace pio {
+
+void IoBatch::expect(std::size_t n) {
+  std::scoped_lock lock(mutex_);
+  pending_ += n;
+}
+
+void IoBatch::complete(Status status) {
+  std::scoped_lock lock(mutex_);
+  assert(pending_ > 0);
+  --pending_;
+  if (!status.ok() && first_error_.code == Errc::ok) {
+    first_error_ = status.error();
+  }
+  if (pending_ == 0) cv_.notify_all();
+}
+
+Status IoBatch::wait() {
+  std::unique_lock lock(mutex_);
+  cv_.wait(lock, [&] { return pending_ == 0; });
+  if (first_error_.code != Errc::ok) {
+    Error err = first_error_;
+    first_error_ = Error{};
+    return err;
+  }
+  return ok_status();
+}
+
+std::size_t IoBatch::pending() const {
+  std::scoped_lock lock(mutex_);
+  return pending_;
+}
+
+IoScheduler::IoScheduler(DeviceArray& devices) : devices_(devices) {
+  workers_.reserve(devices.size());
+  for (std::size_t d = 0; d < devices.size(); ++d) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
+  for (auto& worker : workers_) {
+    worker->thread = std::thread([this, w = worker.get()] { worker_loop(*w); });
+  }
+}
+
+IoScheduler::~IoScheduler() {
+  for (auto& worker : workers_) {
+    std::scoped_lock lock(worker->mutex);
+    shutdown_ = true;
+    worker->cv.notify_all();
+  }
+  for (auto& worker : workers_) worker->thread.join();
+}
+
+void IoScheduler::worker_loop(Worker& worker) {
+  for (;;) {
+    Request request;
+    {
+      std::unique_lock lock(worker.mutex);
+      worker.cv.wait(lock, [&] { return !worker.queue.empty() || shutdown_; });
+      if (worker.queue.empty()) return;  // shutdown with an empty queue
+      request = std::move(worker.queue.front());
+      worker.queue.pop_front();
+      ++worker.executed;
+    }
+    request.batch->complete(request.run());
+  }
+}
+
+void IoScheduler::enqueue(std::size_t device, Request request) {
+  assert(device < workers_.size());
+  request.batch->expect();
+  Worker& worker = *workers_[device];
+  {
+    std::scoped_lock lock(worker.mutex);
+    worker.queue.push_back(std::move(request));
+  }
+  worker.cv.notify_one();
+}
+
+void IoScheduler::read(std::size_t device, std::uint64_t offset,
+                       std::span<std::byte> out, IoBatch& batch) {
+  enqueue(device, Request{[this, device, offset, out] {
+                            return devices_[device].read(offset, out);
+                          },
+                          &batch});
+}
+
+void IoScheduler::write(std::size_t device, std::uint64_t offset,
+                        std::span<const std::byte> in, IoBatch& batch) {
+  enqueue(device, Request{[this, device, offset, in] {
+                            return devices_[device].write(offset, in);
+                          },
+                          &batch});
+}
+
+void IoScheduler::read_records(ParallelFile& file, std::uint64_t first,
+                               std::uint64_t n, std::span<std::byte> out,
+                               IoBatch& batch) {
+  auto plan = file.plan_records(first, n);
+  if (!plan.ok()) {
+    batch.expect();
+    batch.complete(Error(plan.error()));
+    return;
+  }
+  assert(out.size() >= n * file.meta().record_bytes);
+  std::uint64_t filled = 0;
+  for (const Segment& seg : *plan) {
+    read(seg.device, seg.offset,
+         out.subspan(static_cast<std::size_t>(filled),
+                     static_cast<std::size_t>(seg.length)),
+         batch);
+    filled += seg.length;
+  }
+}
+
+void IoScheduler::write_records(ParallelFile& file, std::uint64_t first,
+                                std::uint64_t n, std::span<const std::byte> in,
+                                IoBatch& batch) {
+  auto plan = file.plan_records(first, n);
+  if (!plan.ok()) {
+    batch.expect();
+    batch.complete(Error(plan.error()));
+    return;
+  }
+  assert(in.size() >= n * file.meta().record_bytes);
+  std::uint64_t consumed = 0;
+  for (const Segment& seg : *plan) {
+    write(seg.device, seg.offset,
+          in.subspan(static_cast<std::size_t>(consumed),
+                     static_cast<std::size_t>(seg.length)),
+          batch);
+    consumed += seg.length;
+  }
+  // High-water marks move as soon as the writes are queued; wait() makes
+  // the data itself visible.
+  file.note_written(first, n);
+}
+
+std::vector<std::uint64_t> IoScheduler::ops_per_device() const {
+  std::vector<std::uint64_t> ops;
+  ops.reserve(workers_.size());
+  for (const auto& worker : workers_) {
+    std::scoped_lock lock(worker->mutex);
+    ops.push_back(worker->executed);
+  }
+  return ops;
+}
+
+}  // namespace pio

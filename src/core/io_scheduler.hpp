@@ -1,0 +1,101 @@
+// IoScheduler: §4's "dedicated I/O processors" for the functional path.
+// One worker thread per device drains a per-device request queue, so a
+// compute thread can have transfers to several devices in flight at once
+// and synchronize on an IoBatch when it needs the data.
+//
+//   IoScheduler io(devices);
+//   IoBatch batch;
+//   io.read_records(file, 0, 64, buffer, batch);    // fans out per device
+//   ... compute ...
+//   Status st = batch.wait();                       // first error, if any
+//
+// Buffer lifetime: the caller keeps every span alive until the batch
+// completes (the scheduler never copies).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "core/parallel_file.hpp"
+#include "device/device.hpp"
+#include "util/result.hpp"
+
+namespace pio {
+
+/// Completion join object for a group of asynchronous operations.
+class IoBatch {
+ public:
+  /// Register `n` more expected completions (called by the scheduler).
+  void expect(std::size_t n = 1);
+
+  /// Report one completion (called on scheduler workers).
+  void complete(Status status);
+
+  /// Block until every expected completion arrived; returns ok or the
+  /// FIRST error reported.  The batch is reusable after wait().
+  Status wait();
+
+  /// Completions still outstanding.
+  std::size_t pending() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::size_t pending_ = 0;
+  Error first_error_{};
+};
+
+class IoScheduler {
+ public:
+  /// Spins up one worker per device in `devices`.
+  explicit IoScheduler(DeviceArray& devices);
+  ~IoScheduler();
+
+  IoScheduler(const IoScheduler&) = delete;
+  IoScheduler& operator=(const IoScheduler&) = delete;
+
+  /// Raw device operations.
+  void read(std::size_t device, std::uint64_t offset, std::span<std::byte> out,
+            IoBatch& batch);
+  void write(std::size_t device, std::uint64_t offset,
+             std::span<const std::byte> in, IoBatch& batch);
+
+  /// Record-level operations on a parallel file: the extent is planned via
+  /// the file's layout and one request per segment is queued on its
+  /// device's worker, so a striped extent transfers in parallel.
+  void read_records(ParallelFile& file, std::uint64_t first, std::uint64_t n,
+                    std::span<std::byte> out, IoBatch& batch);
+  void write_records(ParallelFile& file, std::uint64_t first, std::uint64_t n,
+                     std::span<const std::byte> in, IoBatch& batch);
+
+  /// Total operations executed so far, per device.
+  std::vector<std::uint64_t> ops_per_device() const;
+
+ private:
+  struct Request {
+    std::function<Status()> run;
+    IoBatch* batch;
+  };
+  struct Worker {
+    mutable std::mutex mutex;
+    std::condition_variable cv;
+    std::deque<Request> queue;
+    std::uint64_t executed = 0;
+    std::thread thread;
+  };
+
+  void enqueue(std::size_t device, Request request);
+  void worker_loop(Worker& worker);
+
+  DeviceArray& devices_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  bool shutdown_ = false;  // guarded by every worker's mutex at read time
+};
+
+}  // namespace pio

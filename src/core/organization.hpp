@@ -1,0 +1,67 @@
+// The paper's taxonomy: six standard parallel-file organizations (§3) and
+// the standard/specialized category split (§2).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace pio {
+
+/// §3's organizations.  The organization is recorded in file metadata and
+/// decides the default layout, the metadata the file keeps (e.g. per-
+/// partition record counts for PS), and which process handles make sense.
+enum class Organization : std::uint8_t {
+  sequential,         ///< Type S: one process streams the file
+  partitioned,        ///< Type PS: contiguous blocks, one per process
+  interleaved,        ///< Type IS: blocks strided round-robin over processes
+  self_scheduled,     ///< Type SS: shared cursor, arrival order
+  global_direct,      ///< Type GDA: any process, any record
+  partitioned_direct, ///< Type PDA: random access within owned blocks
+};
+
+constexpr std::string_view organization_name(Organization o) noexcept {
+  switch (o) {
+    case Organization::sequential: return "S";
+    case Organization::partitioned: return "PS";
+    case Organization::interleaved: return "IS";
+    case Organization::self_scheduled: return "SS";
+    case Organization::global_direct: return "GDA";
+    case Organization::partitioned_direct: return "PDA";
+  }
+  return "?";
+}
+
+constexpr bool is_direct_access(Organization o) noexcept {
+  return o == Organization::global_direct ||
+         o == Organization::partitioned_direct;
+}
+
+/// §2's lifespan/usage categories.
+enum class FileCategory : std::uint8_t {
+  standard,     ///< outlives the program; must present a conventional global view
+  specialized,  ///< private to one application; internal format free-form
+};
+
+constexpr std::string_view category_name(FileCategory c) noexcept {
+  return c == FileCategory::standard ? "standard" : "specialized";
+}
+
+/// Physical placement strategy recorded in metadata (§4).
+enum class LayoutKind : std::uint8_t {
+  striped,       ///< byte-string striping with a stripe unit (S/SS default)
+  blocked,       ///< contiguous partition per process (PS default)
+  interleaved,   ///< whole blocks dealt round-robin over devices (IS default)
+  declustered,   ///< each block split across all devices (GDA default, Livny)
+};
+
+constexpr std::string_view layout_kind_name(LayoutKind k) noexcept {
+  switch (k) {
+    case LayoutKind::striped: return "striped";
+    case LayoutKind::blocked: return "blocked";
+    case LayoutKind::interleaved: return "interleaved";
+    case LayoutKind::declustered: return "declustered";
+  }
+  return "?";
+}
+
+}  // namespace pio

@@ -1,0 +1,181 @@
+#include "core/parallel_file.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace pio {
+
+std::unique_ptr<Layout> make_layout(const FileMeta& meta, std::size_t devices) {
+  const std::uint64_t block = meta.block_bytes();
+  switch (meta.layout_kind) {
+    case LayoutKind::striped: {
+      std::uint64_t unit = meta.stripe_unit ? meta.stripe_unit : kDefaultStripeUnit;
+      return std::make_unique<StripedLayout>(devices, unit);
+    }
+    case LayoutKind::blocked:
+      return std::make_unique<BlockedLayout>(meta.partitions,
+                                             meta.partition_bytes(), devices,
+                                             meta.placement);
+    case LayoutKind::interleaved:
+      return make_interleaved_layout(devices, block);
+    case LayoutKind::declustered: {
+      // Fall back to fine striping when the block doesn't divide evenly.
+      if (block % devices == 0) return make_declustered_layout(devices, block);
+      return std::make_unique<StripedLayout>(
+          devices, std::max<std::uint64_t>(1, block / devices));
+    }
+  }
+  return std::make_unique<StripedLayout>(devices, kDefaultStripeUnit);
+}
+
+ParallelFile::ParallelFile(FileMeta meta, DeviceArray& devices,
+                           std::vector<std::uint64_t> bases,
+                           std::uint64_t initial_records,
+                           std::vector<std::uint64_t> initial_partition_records)
+    : meta_(std::move(meta)),
+      devices_(devices),
+      bases_(std::move(bases)),
+      layout_(make_layout(meta_, devices.size())),
+      record_count_(initial_records),
+      ss_write_cursor_(initial_records),
+      partition_records_(
+          std::make_unique<std::atomic<std::uint64_t>[]>(meta_.partitions)) {
+  assert(bases_.size() == devices_.size());
+  assert(meta_.record_bytes > 0);
+  assert(meta_.capacity_records > 0);
+  for (std::uint32_t p = 0; p < meta_.partitions; ++p) {
+    const std::uint64_t restored =
+        p < initial_partition_records.size() ? initial_partition_records[p] : 0;
+    partition_records_[p].store(restored, std::memory_order_relaxed);
+  }
+}
+
+std::uint64_t ParallelFile::partition_records(std::uint32_t p) const noexcept {
+  assert(p < meta_.partitions);
+  return partition_records_[p].load(std::memory_order_acquire);
+}
+
+std::uint64_t ParallelFile::total_partition_records() const noexcept {
+  std::uint64_t total = 0;
+  for (std::uint32_t p = 0; p < meta_.partitions; ++p) {
+    total += partition_records(p);
+  }
+  return total;
+}
+
+Status ParallelFile::check_extent(std::uint64_t first, std::uint64_t n) const {
+  if (first + n > meta_.capacity_records || first + n < first) {
+    return make_error(Errc::out_of_range,
+                      meta_.name + ": records [" + std::to_string(first) + ", " +
+                          std::to_string(first + n) + ") exceed capacity " +
+                          std::to_string(meta_.capacity_records));
+  }
+  return ok_status();
+}
+
+Result<std::vector<Segment>> ParallelFile::plan_records(std::uint64_t first,
+                                                        std::uint64_t n) const {
+  PIO_TRY(check_extent(first, n));
+  std::vector<Segment> segments =
+      layout_->map(first * meta_.record_bytes, n * meta_.record_bytes);
+  for (Segment& seg : segments) seg.offset += bases_[seg.device];
+  return segments;
+}
+
+Status ParallelFile::read_records(std::uint64_t first, std::uint64_t n,
+                                  std::span<std::byte> out) {
+  PIO_TRY(check_extent(first, n));
+  const std::uint64_t bytes = n * meta_.record_bytes;
+  if (out.size() < bytes) {
+    return make_error(Errc::invalid_argument, "read buffer too small");
+  }
+  std::uint64_t filled = 0;
+  for (const Segment& seg :
+       layout_->map(first * meta_.record_bytes, bytes)) {
+    PIO_TRY(devices_[seg.device].read(
+        bases_[seg.device] + seg.offset,
+        out.subspan(static_cast<std::size_t>(filled),
+                    static_cast<std::size_t>(seg.length))));
+    filled += seg.length;
+  }
+  return ok_status();
+}
+
+Status ParallelFile::write_records(std::uint64_t first, std::uint64_t n,
+                                   std::span<const std::byte> in) {
+  PIO_TRY(check_extent(first, n));
+  const std::uint64_t bytes = n * meta_.record_bytes;
+  if (in.size() < bytes) {
+    return make_error(Errc::invalid_argument, "write buffer too small");
+  }
+  std::uint64_t consumed = 0;
+  for (const Segment& seg :
+       layout_->map(first * meta_.record_bytes, bytes)) {
+    PIO_TRY(devices_[seg.device].write(
+        bases_[seg.device] + seg.offset,
+        in.subspan(static_cast<std::size_t>(consumed),
+                   static_cast<std::size_t>(seg.length))));
+    consumed += seg.length;
+  }
+  note_written(first, n);
+  return ok_status();
+}
+
+void ParallelFile::note_written(std::uint64_t first, std::uint64_t n) {
+  // High-water record count (atomic max).
+  const std::uint64_t end = first + n;
+  std::uint64_t seen = record_count_.load(std::memory_order_relaxed);
+  while (seen < end && !record_count_.compare_exchange_weak(
+                           seen, end, std::memory_order_acq_rel)) {
+  }
+  // Per-partition high-water marks (meaningful for PS/PDA; harmless
+  // elsewhere since partitions == 1 tracks the whole file).
+  const std::uint64_t cap = meta_.partition_capacity_records();
+  for (std::uint64_t r = first; r < end;) {
+    const std::uint32_t p = static_cast<std::uint32_t>(r / cap);
+    const std::uint64_t local_end = std::min(end, (std::uint64_t{p} + 1) * cap);
+    const std::uint64_t local_count = local_end - std::uint64_t{p} * cap;
+    if (p < meta_.partitions) {
+      std::uint64_t prev = partition_records_[p].load(std::memory_order_relaxed);
+      while (prev < local_count && !partition_records_[p].compare_exchange_weak(
+                                       prev, local_count,
+                                       std::memory_order_acq_rel)) {
+      }
+    }
+    r = local_end;
+  }
+}
+
+Result<std::uint64_t> ParallelFile::ss_claim_read() {
+  // CAS loop bounded by the current record count: claims are totally
+  // ordered by arrival, no record is skipped or double-issued.
+  std::uint64_t cur = ss_read_cursor_.load(std::memory_order_relaxed);
+  for (;;) {
+    if (cur >= record_count()) return Errc::end_of_file;
+    if (ss_read_cursor_.compare_exchange_weak(cur, cur + 1,
+                                              std::memory_order_acq_rel)) {
+      return cur;
+    }
+  }
+}
+
+Result<std::uint64_t> ParallelFile::ss_claim_write() {
+  std::uint64_t cur = ss_write_cursor_.load(std::memory_order_relaxed);
+  for (;;) {
+    if (cur >= meta_.capacity_records) return Errc::out_of_range;
+    if (ss_write_cursor_.compare_exchange_weak(cur, cur + 1,
+                                               std::memory_order_acq_rel)) {
+      return cur;
+    }
+  }
+}
+
+std::vector<std::uint64_t> ParallelFile::partition_record_snapshot() const {
+  std::vector<std::uint64_t> snap(meta_.partitions);
+  for (std::uint32_t p = 0; p < meta_.partitions; ++p) {
+    snap[p] = partition_records(p);
+  }
+  return snap;
+}
+
+}  // namespace pio

@@ -1,0 +1,118 @@
+// ParallelFile: the shared state of one open parallel file — metadata, the
+// layout instance, per-device allocation bases, high-water record counts,
+// and the shared self-scheduling cursors.  All record I/O funnels through
+// here; process handles (handles.hpp) and global views (global_view.hpp)
+// are cursor policies on top.
+//
+// Thread safety: every public method may be called concurrently from
+// multiple process threads.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/file_meta.hpp"
+#include "device/device.hpp"
+#include "util/result.hpp"
+
+namespace pio {
+
+class ParallelFile {
+ public:
+  /// `bases[d]` is the byte offset on device d where this file's
+  /// allocation begins (0 for a dedicated array).  `initial_records` /
+  /// `initial_partition_records` restore state for a catalogued file.
+  ParallelFile(FileMeta meta, DeviceArray& devices,
+               std::vector<std::uint64_t> bases,
+               std::uint64_t initial_records = 0,
+               std::vector<std::uint64_t> initial_partition_records = {});
+
+  const FileMeta& meta() const noexcept { return meta_; }
+  const Layout& layout() const noexcept { return *layout_; }
+  DeviceArray& devices() noexcept { return devices_; }
+
+  /// High-water logical record count (max written index + 1).
+  std::uint64_t record_count() const noexcept {
+    return record_count_.load(std::memory_order_acquire);
+  }
+
+  /// Records present in partition p (PS/PDA bookkeeping; the global view
+  /// of a partitioned file concatenates exactly these).
+  std::uint64_t partition_records(std::uint32_t p) const noexcept;
+
+  /// Total records present across partitions (PS/PDA) — the global-view
+  /// length of a partitioned file.
+  std::uint64_t total_partition_records() const noexcept;
+
+  // ------------------------------------------------------------- record I/O
+
+  /// Read `n` records starting at logical record `first` into `out`
+  /// (n * record_bytes bytes).  Reading never-written space yields zeroes.
+  Status read_records(std::uint64_t first, std::uint64_t n,
+                      std::span<std::byte> out);
+
+  /// Write `n` records starting at logical record `first`.
+  Status write_records(std::uint64_t first, std::uint64_t n,
+                       std::span<const std::byte> in);
+
+  Status read_record(std::uint64_t index, std::span<std::byte> out) {
+    return read_records(index, 1, out);
+  }
+  Status write_record(std::uint64_t index, std::span<const std::byte> in) {
+    return write_records(index, 1, in);
+  }
+
+  /// Plan the device I/O for records [first, first+n): segments in logical
+  /// order with ABSOLUTE device offsets (allocation bases applied).  Used
+  /// by external I/O engines (io_scheduler.hpp) that issue the transfers
+  /// themselves.
+  Result<std::vector<Segment>> plan_records(std::uint64_t first,
+                                            std::uint64_t n) const;
+
+  /// Bookkeeping hook for external I/O engines: record that records
+  /// [first, first+n) now exist (write_records calls this internally).
+  void note_written(std::uint64_t first, std::uint64_t n);
+
+  // -------------------------------------------- self-scheduling (type SS)
+
+  /// Claim the next unread record (§3: "each request accesses a different
+  /// record and no record gets skipped").  The claim is the serialization
+  /// point; the data transfer itself proceeds concurrently — §4's early
+  /// file-pointer adjustment.  Returns end_of_file when drained.
+  Result<std::uint64_t> ss_claim_read();
+
+  /// Claim the next output slot, extending the file.
+  Result<std::uint64_t> ss_claim_write();
+
+  /// Reset the shared read cursor (e.g. for a second pass).
+  void ss_rewind() noexcept {
+    ss_read_cursor_.store(0, std::memory_order_release);
+  }
+
+  // ------------------------------------------------------------ bookkeeping
+
+  /// Bytes this file occupies on device d for its full capacity.
+  std::uint64_t device_footprint(std::size_t d) const {
+    return layout_->device_bytes_required(d, meta_.capacity_bytes());
+  }
+
+  /// Snapshot per-partition record counts (for catalog persistence).
+  std::vector<std::uint64_t> partition_record_snapshot() const;
+
+ private:
+  Status check_extent(std::uint64_t first, std::uint64_t n) const;
+
+  FileMeta meta_;
+  DeviceArray& devices_;
+  std::vector<std::uint64_t> bases_;
+  std::unique_ptr<Layout> layout_;
+
+  std::atomic<std::uint64_t> record_count_;
+  std::atomic<std::uint64_t> ss_read_cursor_{0};
+  std::atomic<std::uint64_t> ss_write_cursor_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> partition_records_;
+};
+
+}  // namespace pio

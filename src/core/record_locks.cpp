@@ -1,0 +1,135 @@
+#include "core/record_locks.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace pio {
+
+RecordLockTable::RecordLockTable(std::size_t shards) {
+  assert(shards > 0);
+  shards_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+RecordLockTable::Shard& RecordLockTable::shard_of(std::uint64_t record) noexcept {
+  // Fibonacci hashing spreads consecutive record ids across shards.
+  const std::uint64_t h = record * 0x9e3779b97f4a7c15ULL;
+  return *shards_[static_cast<std::size_t>(h % shards_.size())];
+}
+
+void RecordLockTable::lock_shared(std::uint64_t record) {
+  Shard& shard = shard_of(record);
+  std::unique_lock lock(shard.mutex);
+  LockState& state = shard.locks[record];
+  if (state.writer) {
+    contended_.fetch_add(1, std::memory_order_relaxed);
+    ++state.waiters;
+    shard.cv.wait(lock, [&] { return !state.writer; });
+    --state.waiters;
+  }
+  ++state.readers;
+}
+
+void RecordLockTable::unlock_shared(std::uint64_t record) {
+  Shard& shard = shard_of(record);
+  std::unique_lock lock(shard.mutex);
+  auto it = shard.locks.find(record);
+  assert(it != shard.locks.end() && it->second.readers > 0);
+  LockState& state = it->second;
+  --state.readers;
+  const bool idle = state.readers == 0 && !state.writer && state.waiters == 0;
+  if (idle) {
+    shard.locks.erase(it);  // keep the table sparse
+  }
+  lock.unlock();
+  shard.cv.notify_all();
+}
+
+void RecordLockTable::lock_exclusive(std::uint64_t record) {
+  Shard& shard = shard_of(record);
+  std::unique_lock lock(shard.mutex);
+  LockState& state = shard.locks[record];
+  if (state.writer || state.readers > 0) {
+    contended_.fetch_add(1, std::memory_order_relaxed);
+  }
+  ++state.waiters;
+  shard.cv.wait(lock, [&] { return !state.writer && state.readers == 0; });
+  --state.waiters;
+  state.writer = true;
+}
+
+bool RecordLockTable::try_lock_exclusive(std::uint64_t record) {
+  Shard& shard = shard_of(record);
+  std::unique_lock lock(shard.mutex);
+  LockState& state = shard.locks[record];
+  if (state.writer || state.readers > 0) return false;
+  state.writer = true;
+  return true;
+}
+
+void RecordLockTable::unlock_exclusive(std::uint64_t record) {
+  Shard& shard = shard_of(record);
+  std::unique_lock lock(shard.mutex);
+  auto it = shard.locks.find(record);
+  assert(it != shard.locks.end() && it->second.writer);
+  LockState& state = it->second;
+  state.writer = false;
+  const bool idle = state.readers == 0 && state.waiters == 0;
+  if (idle) {
+    shard.locks.erase(it);
+  }
+  lock.unlock();
+  shard.cv.notify_all();
+}
+
+Status LockedDirectFile::read(std::uint64_t record, std::span<std::byte> out) {
+  RecordLockTable::SharedGuard guard(locks_, record);
+  return file_->read_record(record, out);
+}
+
+Status LockedDirectFile::write(std::uint64_t record,
+                               std::span<const std::byte> in) {
+  RecordLockTable::ExclusiveGuard guard(locks_, record);
+  return file_->write_record(record, in);
+}
+
+Status LockedDirectFile::update(
+    std::uint64_t record,
+    const std::function<void(std::span<std::byte>)>& mutate) {
+  RecordLockTable::ExclusiveGuard guard(locks_, record);
+  std::vector<std::byte> buf(file_->meta().record_bytes);
+  PIO_TRY(file_->read_record(record, buf));
+  mutate(buf);
+  return file_->write_record(record, buf);
+}
+
+Status LockedDirectFile::transact(
+    std::vector<std::uint64_t> records,
+    const std::function<void(std::span<std::vector<std::byte>>)>& mutate) {
+  // Global lock ordering prevents deadlock between overlapping transactions.
+  std::sort(records.begin(), records.end());
+  records.erase(std::unique(records.begin(), records.end()), records.end());
+  for (std::uint64_t r : records) locks_.lock_exclusive(r);
+  Status result = ok_status();
+  {
+    std::vector<std::vector<std::byte>> image(records.size());
+    for (std::size_t i = 0; i < records.size() && result.ok(); ++i) {
+      image[i].resize(file_->meta().record_bytes);
+      result = file_->read_record(records[i], image[i]);
+    }
+    if (result.ok()) {
+      mutate(image);
+      for (std::size_t i = 0; i < records.size() && result.ok(); ++i) {
+        result = file_->write_record(records[i], image[i]);
+      }
+    }
+  }
+  for (auto it = records.rbegin(); it != records.rend(); ++it) {
+    locks_.unlock_exclusive(*it);
+  }
+  return result;
+}
+
+}  // namespace pio

@@ -1,0 +1,123 @@
+// Record-level locking for concurrently shared direct-access files.
+// §3.2 names databases as a GDA use case; once multiple processes update
+// records in place, read/write atomicity needs record locks.  The table
+// is sharded by record hash so unrelated records never contend on the
+// same mutex.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "core/parallel_file.hpp"
+#include "util/result.hpp"
+
+namespace pio {
+
+class RecordLockTable {
+ public:
+  explicit RecordLockTable(std::size_t shards = 64);
+
+  /// Shared (reader) lock; many holders, excluded by exclusive holders.
+  void lock_shared(std::uint64_t record);
+  void unlock_shared(std::uint64_t record);
+
+  /// Exclusive (writer) lock.
+  void lock_exclusive(std::uint64_t record);
+  void unlock_exclusive(std::uint64_t record);
+
+  /// Non-blocking exclusive attempt.
+  bool try_lock_exclusive(std::uint64_t record);
+
+  /// Times any acquire had to wait (coarse contention signal).
+  std::uint64_t contended_acquires() const noexcept {
+    return contended_.load(std::memory_order_relaxed);
+  }
+
+  /// RAII guards.
+  class SharedGuard {
+   public:
+    SharedGuard(RecordLockTable& table, std::uint64_t record)
+        : table_(table), record_(record) {
+      table_.lock_shared(record_);
+    }
+    ~SharedGuard() { table_.unlock_shared(record_); }
+    SharedGuard(const SharedGuard&) = delete;
+    SharedGuard& operator=(const SharedGuard&) = delete;
+
+   private:
+    RecordLockTable& table_;
+    std::uint64_t record_;
+  };
+
+  class ExclusiveGuard {
+   public:
+    ExclusiveGuard(RecordLockTable& table, std::uint64_t record)
+        : table_(table), record_(record) {
+      table_.lock_exclusive(record_);
+    }
+    ~ExclusiveGuard() { table_.unlock_exclusive(record_); }
+    ExclusiveGuard(const ExclusiveGuard&) = delete;
+    ExclusiveGuard& operator=(const ExclusiveGuard&) = delete;
+
+   private:
+    RecordLockTable& table_;
+    std::uint64_t record_;
+  };
+
+ private:
+  struct LockState {
+    std::uint32_t readers = 0;
+    bool writer = false;
+    std::uint32_t waiters = 0;
+  };
+  struct Shard {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::unordered_map<std::uint64_t, LockState> locks;
+  };
+
+  Shard& shard_of(std::uint64_t record) noexcept;
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<std::uint64_t> contended_{0};
+};
+
+/// A GDA file with record-granularity concurrency control: reads take a
+/// shared lock, writes and read-modify-write updates take exclusive
+/// locks, and multi-record transactions lock in sorted record order
+/// (deadlock-free by global ordering).
+class LockedDirectFile {
+ public:
+  explicit LockedDirectFile(std::shared_ptr<ParallelFile> file,
+                            std::size_t lock_shards = 64)
+      : file_(std::move(file)), locks_(lock_shards) {}
+
+  Status read(std::uint64_t record, std::span<std::byte> out);
+  Status write(std::uint64_t record, std::span<const std::byte> in);
+
+  /// Atomic read-modify-write of one record.
+  Status update(std::uint64_t record,
+                const std::function<void(std::span<std::byte>)>& mutate);
+
+  /// Atomic multi-record transaction: all records are locked exclusively
+  /// (in ascending order), read into a scratch image, mutated together,
+  /// and written back.  `records` may be in any order; duplicates are
+  /// collapsed.
+  Status transact(
+      std::vector<std::uint64_t> records,
+      const std::function<void(std::span<std::vector<std::byte>>)>& mutate);
+
+  ParallelFile& file() noexcept { return *file_; }
+  RecordLockTable& locks() noexcept { return locks_; }
+
+ private:
+  std::shared_ptr<ParallelFile> file_;
+  RecordLockTable locks_;
+};
+
+}  // namespace pio

@@ -1,0 +1,101 @@
+// BlockDevice: the byte-addressed storage abstraction every layout and
+// file organization is built on, plus DeviceArray, the multi-device
+// ensemble the paper's implementation strategies stripe/partition across.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/result.hpp"
+
+namespace pio {
+
+/// Cumulative operation counters; safe to read while devices are in use.
+struct DeviceCounters {
+  std::atomic<std::uint64_t> reads{0};
+  std::atomic<std::uint64_t> writes{0};
+  std::atomic<std::uint64_t> bytes_read{0};
+  std::atomic<std::uint64_t> bytes_written{0};
+
+  void note_read(std::uint64_t n) noexcept {
+    reads.fetch_add(1, std::memory_order_relaxed);
+    bytes_read.fetch_add(n, std::memory_order_relaxed);
+  }
+  void note_write(std::uint64_t n) noexcept {
+    writes.fetch_add(1, std::memory_order_relaxed);
+    bytes_written.fetch_add(n, std::memory_order_relaxed);
+  }
+};
+
+/// Abstract byte-addressed storage device (functional data path).
+///
+/// Thread safety: implementations must allow concurrent read/write calls
+/// from multiple threads (the parallel-file layer issues them).
+class BlockDevice {
+ public:
+  virtual ~BlockDevice() = default;
+
+  /// Read out.size() bytes starting at offset.
+  virtual Status read(std::uint64_t offset, std::span<std::byte> out) = 0;
+
+  /// Write in.size() bytes starting at offset.
+  virtual Status write(std::uint64_t offset, std::span<const std::byte> in) = 0;
+
+  virtual std::uint64_t capacity() const noexcept = 0;
+  virtual const std::string& name() const noexcept = 0;
+  virtual const DeviceCounters& counters() const noexcept = 0;
+
+ protected:
+  /// Bounds check shared by implementations.
+  Status check_range(std::uint64_t offset, std::size_t len) const {
+    if (offset + len > capacity() || offset + len < offset) {
+      return make_error(Errc::out_of_range,
+                        name() + ": request beyond device capacity");
+    }
+    return ok_status();
+  }
+};
+
+/// An ordered ensemble of devices (the parallel I/O subsystem).
+class DeviceArray {
+ public:
+  DeviceArray() = default;
+  explicit DeviceArray(std::vector<std::unique_ptr<BlockDevice>> devices)
+      : devices_(std::move(devices)) {}
+
+  void add(std::unique_ptr<BlockDevice> dev) { devices_.push_back(std::move(dev)); }
+
+  std::size_t size() const noexcept { return devices_.size(); }
+  BlockDevice& operator[](std::size_t i) noexcept { return *devices_[i]; }
+  const BlockDevice& operator[](std::size_t i) const noexcept { return *devices_[i]; }
+
+  /// Smallest capacity across member devices (usable uniform capacity).
+  std::uint64_t uniform_capacity() const noexcept {
+    std::uint64_t cap = devices_.empty() ? 0 : devices_[0]->capacity();
+    for (const auto& d : devices_) cap = cap < d->capacity() ? cap : d->capacity();
+    return cap;
+  }
+
+  /// Replace device i (e.g. after failure + reconstruction), returning the
+  /// old device.
+  std::unique_ptr<BlockDevice> replace(std::size_t i,
+                                       std::unique_ptr<BlockDevice> dev) {
+    devices_[i].swap(dev);
+    return dev;
+  }
+
+  auto begin() { return devices_.begin(); }
+  auto end() { return devices_.end(); }
+  auto begin() const { return devices_.begin(); }
+  auto end() const { return devices_.end(); }
+
+ private:
+  std::vector<std::unique_ptr<BlockDevice>> devices_;
+};
+
+}  // namespace pio

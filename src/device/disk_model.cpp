@@ -1,0 +1,63 @@
+#include "device/disk_model.hpp"
+
+#include <cmath>
+
+namespace pio {
+
+double DiskModel::seek_time(std::uint32_t distance) const noexcept {
+  if (distance == 0) return 0.0;
+  return params_.seek_fixed_s +
+         params_.seek_per_sqrt_cyl_s * std::sqrt(static_cast<double>(distance));
+}
+
+double DiskModel::rotational_latency(std::uint64_t offset,
+                                     double at) const noexcept {
+  const double rev = params_.revolution_s();
+  if (params_.rotation == RotationModel::none) return 0.0;
+  if (params_.rotation == RotationModel::half_rev) return rev / 2.0;
+  const auto track_bytes = static_cast<double>(geom_.track_bytes());
+  // Angular position (fraction of a revolution) of the target sector.
+  const double target =
+      static_cast<double>(offset % geom_.track_bytes()) / track_bytes;
+  // Platter phase at time `at`.
+  const double phase = std::fmod(at, rev) / rev;
+  double frac = target - phase;
+  if (frac < 0) frac += 1.0;
+  return frac * rev;
+}
+
+double DiskModel::transfer_time(std::uint64_t offset,
+                                std::uint64_t len) const noexcept {
+  if (len == 0) return 0.0;
+  const double rev = params_.revolution_s();
+  const auto track_bytes = geom_.track_bytes();
+  // Bytes stream at the media rate; each track boundary crossed costs a
+  // head/track switch.
+  const double stream = static_cast<double>(len) / media_rate();
+  const std::uint64_t first_track = offset / track_bytes;
+  const std::uint64_t last_track = (offset + len - 1) / track_bytes;
+  const double switches =
+      static_cast<double>(last_track - first_track) * params_.track_switch_s;
+  (void)rev;
+  return stream + switches;
+}
+
+ServiceTime DiskModel::service(std::uint64_t offset, std::uint64_t len,
+                               double at) noexcept {
+  ServiceTime st;
+  st.overhead = params_.controller_overhead_s;
+  const std::uint32_t target_cyl = geom_.cylinder_of(offset);
+  const std::uint32_t dist = target_cyl > head_cyl_ ? target_cyl - head_cyl_
+                                                    : head_cyl_ - target_cyl;
+  st.seek = seek_time(dist);
+  st.rotation = rotational_latency(offset, at + st.overhead + st.seek);
+  st.transfer = transfer_time(offset, len);
+  head_cyl_ = geom_.cylinder_of(len == 0 ? offset : offset + len - 1);
+  return st;
+}
+
+double DiskModel::media_rate() const noexcept {
+  return static_cast<double>(geom_.track_bytes()) / params_.revolution_s();
+}
+
+}  // namespace pio

@@ -1,0 +1,110 @@
+// DiskModel: deterministic service-time model for a 1989-class Winchester
+// disk (the device the paper assumes: ~30,000 h MTBF, rotating media).
+//
+// Geometry maps a byte offset to (cylinder, track, sector); service time is
+//     seek(head_cyl -> target_cyl) + rotational latency + transfer,
+// with the classic a + b*sqrt(distance) seek curve and rotational position
+// computed from absolute virtual time (the platter spins continuously), so
+// the whole simulation stays deterministic.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/engine.hpp"
+
+namespace pio {
+
+/// Physical layout of the disk.  Defaults model a ~190 MB 1989 drive.
+struct DiskGeometry {
+  std::uint32_t bytes_per_sector = 512;
+  std::uint32_t sectors_per_track = 48;   // 24 KB/track
+  std::uint32_t tracks_per_cylinder = 8;  // heads
+  std::uint32_t cylinders = 1000;
+
+  std::uint64_t track_bytes() const noexcept {
+    return std::uint64_t{bytes_per_sector} * sectors_per_track;
+  }
+  std::uint64_t cylinder_bytes() const noexcept {
+    return track_bytes() * tracks_per_cylinder;
+  }
+  std::uint64_t capacity() const noexcept { return cylinder_bytes() * cylinders; }
+
+  std::uint32_t cylinder_of(std::uint64_t offset) const noexcept {
+    return static_cast<std::uint32_t>(offset / cylinder_bytes());
+  }
+};
+
+/// How rotational latency is charged.
+enum class RotationModel : std::uint8_t {
+  /// Expected value: half a revolution per positioned request.  The
+  /// standard analytic assumption; avoids artificial phase-locking between
+  /// a workload's issue times and the platter (default).
+  half_rev,
+  /// Exact: track platter phase from absolute time and wait until the
+  /// target sector passes under the head.
+  deterministic_phase,
+  /// None (e.g. a track-buffered controller that always reads on arrival).
+  none,
+};
+
+/// Mechanical timing parameters (seconds).  Defaults: 3600 RPM (16.7 ms
+/// revolution => ~1.44 MB/s media rate with the default geometry), seek
+/// curve tuned for ~18 ms average seek, ~28 ms full stroke.
+struct DiskParams {
+  double rpm = 3600.0;
+  double seek_fixed_s = 0.004;          ///< `a` in a + b*sqrt(d)
+  double seek_per_sqrt_cyl_s = 0.00077; ///< `b` in a + b*sqrt(d)
+  double track_switch_s = 0.001;        ///< head/track switch within transfer
+  double controller_overhead_s = 0.0003;
+  RotationModel rotation = RotationModel::half_rev;
+
+  double revolution_s() const noexcept { return 60.0 / rpm; }
+};
+
+/// Breakdown of one request's service time.
+struct ServiceTime {
+  double seek = 0;
+  double rotation = 0;
+  double transfer = 0;
+  double overhead = 0;
+  double total() const noexcept { return seek + rotation + transfer + overhead; }
+};
+
+/// Stateful model: remembers the head's cylinder between requests.
+class DiskModel {
+ public:
+  DiskModel() = default;
+  DiskModel(DiskGeometry geometry, DiskParams params)
+      : geom_(geometry), params_(params) {}
+
+  const DiskGeometry& geometry() const noexcept { return geom_; }
+  const DiskParams& params() const noexcept { return params_; }
+
+  /// Seconds to seek across `distance` cylinders (0 for distance 0).
+  double seek_time(std::uint32_t distance) const noexcept;
+
+  /// Rotational delay until the sector containing `offset` passes under the
+  /// head, given the platter's phase at absolute time `at` (seconds).
+  double rotational_latency(std::uint64_t offset, double at) const noexcept;
+
+  /// Pure media transfer time for `len` bytes starting at `offset`,
+  /// including track-switch penalties for multi-track transfers.
+  double transfer_time(std::uint64_t offset, std::uint64_t len) const noexcept;
+
+  /// Full service-time computation for a request arriving (at the head of
+  /// the device queue) at absolute time `at`; advances the head position.
+  ServiceTime service(std::uint64_t offset, std::uint64_t len, double at) noexcept;
+
+  std::uint32_t head_cylinder() const noexcept { return head_cyl_; }
+  void set_head_cylinder(std::uint32_t c) noexcept { head_cyl_ = c; }
+
+  /// Sustained sequential media rate in bytes/second (no seeks).
+  double media_rate() const noexcept;
+
+ private:
+  DiskGeometry geom_{};
+  DiskParams params_{};
+  std::uint32_t head_cyl_ = 0;
+};
+
+}  // namespace pio

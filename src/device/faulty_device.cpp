@@ -1,0 +1,64 @@
+#include "device/faulty_device.hpp"
+
+#include <algorithm>
+
+namespace pio {
+
+FaultyDevice::FaultyDevice(std::unique_ptr<BlockDevice> inner)
+    : inner_(std::move(inner)) {}
+
+Status FaultyDevice::gate() {
+  // Countdown-to-failure: decrement on every op once armed.
+  std::int64_t remaining = ops_until_failure_.load(std::memory_order_acquire);
+  if (remaining >= 0) {
+    remaining = ops_until_failure_.fetch_sub(1, std::memory_order_acq_rel) - 1;
+    if (remaining < 0) fail_now();
+  }
+  if (failed()) {
+    return make_error(Errc::device_failed, name() + ": device has failed");
+  }
+  return ok_status();
+}
+
+Status FaultyDevice::read(std::uint64_t offset, std::span<std::byte> out) {
+  PIO_TRY(gate());
+  {
+    std::scoped_lock lock(bad_mutex_);
+    const std::uint64_t end = offset + out.size();
+    for (const auto& [lo, hi] : bad_ranges_) {
+      if (offset < hi && lo < end) {
+        return make_error(Errc::media_error, name() + ": unreadable sector range");
+      }
+    }
+  }
+  return inner_->read(offset, out);
+}
+
+Status FaultyDevice::write(std::uint64_t offset, std::span<const std::byte> in) {
+  PIO_TRY(gate());
+  {
+    // Rewriting a bad range repairs it (sector reassignment); shrink or
+    // drop any overlapped range.
+    std::scoped_lock lock(bad_mutex_);
+    const std::uint64_t end = offset + in.size();
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> kept;
+    for (const auto& [lo, hi] : bad_ranges_) {
+      if (offset <= lo && hi <= end) continue;       // fully repaired
+      if (offset < hi && lo < end) {
+        if (lo < offset) kept.emplace_back(lo, offset);
+        if (end < hi) kept.emplace_back(end, hi);
+      } else {
+        kept.emplace_back(lo, hi);
+      }
+    }
+    bad_ranges_ = std::move(kept);
+  }
+  return inner_->write(offset, in);
+}
+
+void FaultyDevice::corrupt_range(std::uint64_t offset, std::uint64_t len) {
+  std::scoped_lock lock(bad_mutex_);
+  bad_ranges_.emplace_back(offset, offset + len);
+}
+
+}  // namespace pio

@@ -1,0 +1,56 @@
+// FaultyDevice: decorator that injects whole-device failures and localized
+// media errors into any BlockDevice (§5's reliability discussion).
+#pragma once
+
+#include <mutex>
+#include <vector>
+
+#include "device/device.hpp"
+
+namespace pio {
+
+class FaultyDevice final : public BlockDevice {
+ public:
+  explicit FaultyDevice(std::unique_ptr<BlockDevice> inner);
+
+  Status read(std::uint64_t offset, std::span<std::byte> out) override;
+  Status write(std::uint64_t offset, std::span<const std::byte> in) override;
+
+  std::uint64_t capacity() const noexcept override { return inner_->capacity(); }
+  const std::string& name() const noexcept override { return inner_->name(); }
+  const DeviceCounters& counters() const noexcept override {
+    return inner_->counters();
+  }
+
+  /// Whole-device failure: every subsequent operation returns
+  /// Errc::device_failed until repair() is called.
+  void fail_now() noexcept { failed_.store(true, std::memory_order_release); }
+  void repair() noexcept { failed_.store(false, std::memory_order_release); }
+  bool failed() const noexcept { return failed_.load(std::memory_order_acquire); }
+
+  /// Fail automatically once `n` more operations have been issued
+  /// (deterministic mid-workload fault injection for tests).
+  void fail_after_ops(std::uint64_t n) noexcept {
+    ops_until_failure_.store(static_cast<std::int64_t>(n),
+                             std::memory_order_release);
+  }
+
+  /// Mark [offset, offset+len) unreadable: reads intersecting it return
+  /// Errc::media_error until the range is rewritten (a write repairs it,
+  /// as reassignment of spare sectors would).
+  void corrupt_range(std::uint64_t offset, std::uint64_t len);
+
+  /// Access the wrapped device (e.g. to reconstruct its contents).
+  BlockDevice& inner() noexcept { return *inner_; }
+
+ private:
+  Status gate();
+
+  std::unique_ptr<BlockDevice> inner_;
+  std::atomic<bool> failed_{false};
+  std::atomic<std::int64_t> ops_until_failure_{-1};
+  std::mutex bad_mutex_;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> bad_ranges_;  // [off, end)
+};
+
+}  // namespace pio

@@ -1,0 +1,104 @@
+#include "device/file_disk.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace pio {
+namespace {
+
+std::string errno_text() { return std::strerror(errno); }
+
+}  // namespace
+
+FileDisk::FileDisk(std::string path, int fd, std::uint64_t capacity)
+    : path_(std::move(path)), fd_(fd), capacity_(capacity) {
+  const auto slash = path_.find_last_of('/');
+  name_ = slash == std::string::npos ? path_ : path_.substr(slash + 1);
+}
+
+FileDisk::~FileDisk() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<std::unique_ptr<FileDisk>> FileDisk::open(const std::string& path,
+                                                 std::uint64_t capacity_bytes) {
+  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    return make_error(Errc::not_found, path + ": " + errno_text());
+  }
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return make_error(Errc::media_error, path + ": fstat: " + errno_text());
+  }
+  if (static_cast<std::uint64_t>(st.st_size) < capacity_bytes) {
+    if (::ftruncate(fd, static_cast<off_t>(capacity_bytes)) != 0) {
+      ::close(fd);
+      return make_error(Errc::out_of_range,
+                        path + ": ftruncate: " + errno_text());
+    }
+  }
+  return std::unique_ptr<FileDisk>(
+      new FileDisk(path, fd, capacity_bytes));
+}
+
+Status FileDisk::read(std::uint64_t offset, std::span<std::byte> out) {
+  PIO_TRY(check_range(offset, out.size()));
+  std::size_t done = 0;
+  while (done < out.size()) {
+    const ssize_t n = ::pread(fd_, out.data() + done, out.size() - done,
+                              static_cast<off_t>(offset + done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return make_error(Errc::media_error, name_ + ": pread: " + errno_text());
+    }
+    if (n == 0) {
+      return make_error(Errc::media_error, name_ + ": unexpected EOF");
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  counters_.note_read(out.size());
+  return ok_status();
+}
+
+Status FileDisk::write(std::uint64_t offset, std::span<const std::byte> in) {
+  PIO_TRY(check_range(offset, in.size()));
+  std::size_t done = 0;
+  while (done < in.size()) {
+    const ssize_t n = ::pwrite(fd_, in.data() + done, in.size() - done,
+                               static_cast<off_t>(offset + done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return make_error(Errc::media_error, name_ + ": pwrite: " + errno_text());
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  counters_.note_write(in.size());
+  return ok_status();
+}
+
+Status FileDisk::sync() {
+  if (::fsync(fd_) != 0) {
+    return make_error(Errc::media_error, name_ + ": fsync: " + errno_text());
+  }
+  return ok_status();
+}
+
+Result<DeviceArray> open_file_array(const std::string& dir, std::size_t n,
+                                    std::uint64_t capacity_bytes) {
+  DeviceArray arr;
+  for (std::size_t i = 0; i < n; ++i) {
+    PIO_TRY_ASSIGN(
+        auto disk,
+        FileDisk::open(dir + "/disk" + std::to_string(i) + ".img",
+                       capacity_bytes));
+    arr.add(std::move(disk));
+  }
+  return arr;
+}
+
+}  // namespace pio

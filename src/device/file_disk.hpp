@@ -1,0 +1,50 @@
+// FileDisk: a BlockDevice persisted in a host file, so a pario file system
+// survives process restarts on real storage.  Uses positioned I/O
+// (pread/pwrite), which is atomic per call — concurrent accesses to
+// disjoint ranges need no locking.
+#pragma once
+
+#include <string>
+
+#include "device/device.hpp"
+
+namespace pio {
+
+class FileDisk final : public BlockDevice {
+ public:
+  /// Open (or create) `path` as a device of `capacity_bytes`.  An existing
+  /// file is extended with zeros if shorter; existing contents are kept.
+  static Result<std::unique_ptr<FileDisk>> open(const std::string& path,
+                                                std::uint64_t capacity_bytes);
+
+  ~FileDisk() override;
+  FileDisk(const FileDisk&) = delete;
+  FileDisk& operator=(const FileDisk&) = delete;
+
+  Status read(std::uint64_t offset, std::span<std::byte> out) override;
+  Status write(std::uint64_t offset, std::span<const std::byte> in) override;
+
+  std::uint64_t capacity() const noexcept override { return capacity_; }
+  const std::string& name() const noexcept override { return name_; }
+  const DeviceCounters& counters() const noexcept override { return counters_; }
+
+  /// Flush dirty pages to stable storage (fsync).
+  Status sync();
+
+  const std::string& path() const noexcept { return path_; }
+
+ private:
+  FileDisk(std::string path, int fd, std::uint64_t capacity);
+
+  std::string path_;
+  std::string name_;
+  int fd_;
+  std::uint64_t capacity_;
+  DeviceCounters counters_;
+};
+
+/// Open an array of n FileDisks named "<dir>/disk<i>.img".
+Result<DeviceArray> open_file_array(const std::string& dir, std::size_t n,
+                                    std::uint64_t capacity_bytes);
+
+}  // namespace pio

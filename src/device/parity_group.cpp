@@ -1,0 +1,118 @@
+#include "device/parity_group.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace pio {
+namespace {
+
+void xor_bytes(std::span<std::byte> acc, std::span<const std::byte> src) noexcept {
+  assert(acc.size() == src.size());
+  for (std::size_t i = 0; i < acc.size(); ++i) acc[i] ^= src[i];
+}
+
+}  // namespace
+
+ParityGroup::ParityGroup(std::vector<BlockDevice*> data, BlockDevice* parity)
+    : data_(std::move(data)), parity_(parity), capacity_(parity->capacity()) {
+  assert(!data_.empty());
+  for ([[maybe_unused]] BlockDevice* d : data_) {
+    assert(d->capacity() >= capacity_);
+  }
+}
+
+Status ParityGroup::write(std::size_t d, std::uint64_t offset,
+                          std::span<const std::byte> in) {
+  std::scoped_lock lock(mutex_);
+  std::vector<std::byte> old_data(in.size());
+  std::vector<std::byte> parity(in.size());
+  // new_parity = old_parity XOR old_data XOR new_data
+  PIO_TRY(data_[d]->read(offset, old_data));
+  PIO_TRY(parity_->read(offset, parity));
+  xor_bytes(parity, old_data);
+  xor_bytes(parity, in);
+  PIO_TRY(data_[d]->write(offset, in));
+  PIO_TRY(parity_->write(offset, parity));
+  ++rmw_count_;
+  return ok_status();
+}
+
+Status ParityGroup::read(std::size_t d, std::uint64_t offset,
+                         std::span<std::byte> out) {
+  return data_[d]->read(offset, out);
+}
+
+Status ParityGroup::xor_range_into(std::uint64_t offset, std::span<std::byte> acc,
+                                   std::size_t skip_device, bool include_parity) {
+  std::vector<std::byte> tmp(acc.size());
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    if (i == skip_device) continue;
+    PIO_TRY(data_[i]->read(offset, tmp));
+    xor_bytes(acc, tmp);
+  }
+  if (include_parity) {
+    PIO_TRY(parity_->read(offset, tmp));
+    xor_bytes(acc, tmp);
+  }
+  return ok_status();
+}
+
+Status ParityGroup::degraded_read(std::size_t d, std::uint64_t offset,
+                                  std::span<std::byte> out) {
+  std::scoped_lock lock(mutex_);
+  std::fill(out.begin(), out.end(), std::byte{0});
+  return xor_range_into(offset, out, d, /*include_parity=*/true);
+}
+
+Status ParityGroup::rebuild_parity(std::size_t chunk) {
+  std::scoped_lock lock(mutex_);
+  std::vector<std::byte> acc(chunk);
+  for (std::uint64_t off = 0; off < capacity_; off += chunk) {
+    const auto n = static_cast<std::size_t>(
+        std::min<std::uint64_t>(chunk, capacity_ - off));
+    const std::span<std::byte> window{acc.data(), n};
+    std::fill(window.begin(), window.end(), std::byte{0});
+    PIO_TRY(xor_range_into(off, window, data_.size(), /*include_parity=*/false));
+    PIO_TRY(parity_->write(off, window));
+  }
+  return ok_status();
+}
+
+Result<std::uint64_t> ParityGroup::reconstruct_data(std::size_t d,
+                                                    BlockDevice& replacement,
+                                                    std::size_t chunk) {
+  std::scoped_lock lock(mutex_);
+  if (replacement.capacity() < capacity_) {
+    return make_error(Errc::invalid_argument, "replacement device too small");
+  }
+  std::vector<std::byte> acc(chunk);
+  std::uint64_t rebuilt = 0;
+  for (std::uint64_t off = 0; off < capacity_; off += chunk) {
+    const auto n = static_cast<std::size_t>(
+        std::min<std::uint64_t>(chunk, capacity_ - off));
+    const std::span<std::byte> window{acc.data(), n};
+    std::fill(window.begin(), window.end(), std::byte{0});
+    PIO_TRY(xor_range_into(off, window, d, /*include_parity=*/true));
+    PIO_TRY(replacement.write(off, window));
+    rebuilt += n;
+  }
+  return rebuilt;
+}
+
+Result<std::uint64_t> ParityGroup::verify(std::size_t chunk) {
+  std::scoped_lock lock(mutex_);
+  std::vector<std::byte> acc(chunk);
+  for (std::uint64_t off = 0; off < capacity_; off += chunk) {
+    const auto n = static_cast<std::size_t>(
+        std::min<std::uint64_t>(chunk, capacity_ - off));
+    const std::span<std::byte> window{acc.data(), n};
+    std::fill(window.begin(), window.end(), std::byte{0});
+    PIO_TRY(xor_range_into(off, window, data_.size(), /*include_parity=*/true));
+    for (std::size_t i = 0; i < n; ++i) {
+      if (window[i] != std::byte{0}) return off + i;
+    }
+  }
+  return capacity_;
+}
+
+}  // namespace pio

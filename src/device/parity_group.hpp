@@ -1,0 +1,72 @@
+// ParityGroup: byte-wise parity protection across a set of synchronously
+// interleaved devices, after Kim's "Synchronized Disk Interleaving" [3] —
+// the error-correction scheme the paper says works for striped files but
+// not for independently accessed PS/IS organizations (§5).
+//
+// Invariant: for every byte offset i,
+//     parity[i] == XOR over all data devices d of data_d[i].
+// Writes maintain it by read-modify-write of the parity device; a single
+// failed data device (or the parity device) can be reconstructed from the
+// survivors.
+#pragma once
+
+#include <mutex>
+#include <vector>
+
+#include "device/device.hpp"
+
+namespace pio {
+
+class ParityGroup {
+ public:
+  /// `data` are non-owning pointers to the protected devices; `parity` is
+  /// the check-data device.  All must share the parity device's capacity.
+  ParityGroup(std::vector<BlockDevice*> data, BlockDevice* parity);
+
+  std::size_t width() const noexcept { return data_.size(); }
+  BlockDevice& data_device(std::size_t i) noexcept { return *data_[i]; }
+  BlockDevice& parity_device() noexcept { return *parity_; }
+
+  /// Write to data device `d`, updating parity (read-modify-write).
+  /// Serialized internally: concurrent parity RMWs to overlapping ranges
+  /// would corrupt the invariant.
+  Status write(std::size_t d, std::uint64_t offset, std::span<const std::byte> in);
+
+  /// Plain read from data device `d` (no parity involvement).
+  Status read(std::size_t d, std::uint64_t offset, std::span<std::byte> out);
+
+  /// Read from data device `d` even if it has failed, reconstructing the
+  /// requested range from the survivors + parity (degraded-mode read).
+  Status degraded_read(std::size_t d, std::uint64_t offset,
+                       std::span<std::byte> out);
+
+  /// Recompute the parity device from scratch (after bulk loads).
+  Status rebuild_parity(std::size_t chunk = 1 << 16);
+
+  /// Reconstruct the full contents of failed data device `d` onto
+  /// `replacement` (XOR of survivors and parity).  Returns bytes rebuilt.
+  Result<std::uint64_t> reconstruct_data(std::size_t d, BlockDevice& replacement,
+                                         std::size_t chunk = 1 << 16);
+
+  /// Verify the parity invariant over the whole group; returns the first
+  /// violating offset, or capacity() if consistent.
+  Result<std::uint64_t> verify(std::size_t chunk = 1 << 16);
+
+  std::uint64_t protected_capacity() const noexcept { return capacity_; }
+
+  /// Number of parity RMW cycles performed (each costs 1 read + 1 write on
+  /// the parity device — the §5 bottleneck for independent access).
+  std::uint64_t parity_rmw_count() const noexcept { return rmw_count_; }
+
+ private:
+  Status xor_range_into(std::uint64_t offset, std::span<std::byte> acc,
+                        std::size_t skip_device, bool include_parity);
+
+  std::vector<BlockDevice*> data_;
+  BlockDevice* parity_;
+  std::uint64_t capacity_;
+  std::mutex mutex_;
+  std::uint64_t rmw_count_ = 0;
+};
+
+}  // namespace pio

@@ -1,0 +1,46 @@
+#include "device/ram_disk.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <mutex>
+
+namespace pio {
+
+RamDisk::RamDisk(std::string name, std::uint64_t capacity_bytes)
+    : name_(std::move(name)), storage_(capacity_bytes) {}
+
+Status RamDisk::read(std::uint64_t offset, std::span<std::byte> out) {
+  PIO_TRY(check_range(offset, out.size()));
+  {
+    std::shared_lock lock(mutex_);
+    std::memcpy(out.data(), storage_.data() + offset, out.size());
+  }
+  counters_.note_read(out.size());
+  return ok_status();
+}
+
+Status RamDisk::write(std::uint64_t offset, std::span<const std::byte> in) {
+  PIO_TRY(check_range(offset, in.size()));
+  {
+    std::unique_lock lock(mutex_);
+    std::memcpy(storage_.data() + offset, in.data(), in.size());
+  }
+  counters_.note_write(in.size());
+  return ok_status();
+}
+
+std::vector<std::byte> RamDisk::snapshot() const {
+  std::shared_lock lock(mutex_);
+  return storage_;
+}
+
+DeviceArray make_ram_array(std::size_t n, std::uint64_t capacity_bytes,
+                           const std::string& prefix) {
+  DeviceArray arr;
+  for (std::size_t i = 0; i < n; ++i) {
+    arr.add(std::make_unique<RamDisk>(prefix + std::to_string(i), capacity_bytes));
+  }
+  return arr;
+}
+
+}  // namespace pio

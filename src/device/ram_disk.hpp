@@ -1,0 +1,38 @@
+// RamDisk: memory-backed BlockDevice carrying the real data path.  All
+// functional tests and examples run on arrays of these; simulated disks
+// (sim_disk.hpp) carry the timing path.
+#pragma once
+
+#include <shared_mutex>
+#include <vector>
+
+#include "device/device.hpp"
+
+namespace pio {
+
+class RamDisk final : public BlockDevice {
+ public:
+  RamDisk(std::string name, std::uint64_t capacity_bytes);
+
+  Status read(std::uint64_t offset, std::span<std::byte> out) override;
+  Status write(std::uint64_t offset, std::span<const std::byte> in) override;
+
+  std::uint64_t capacity() const noexcept override { return storage_.size(); }
+  const std::string& name() const noexcept override { return name_; }
+  const DeviceCounters& counters() const noexcept override { return counters_; }
+
+  /// Direct snapshot access for tests (copies under the lock).
+  std::vector<std::byte> snapshot() const;
+
+ private:
+  std::string name_;
+  std::vector<std::byte> storage_;
+  mutable std::shared_mutex mutex_;
+  DeviceCounters counters_;
+};
+
+/// Build an array of `n` RamDisks named "<prefix>0".."<prefix>n-1".
+DeviceArray make_ram_array(std::size_t n, std::uint64_t capacity_bytes,
+                           const std::string& prefix = "disk");
+
+}  // namespace pio

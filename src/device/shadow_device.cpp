@@ -1,0 +1,75 @@
+#include "device/shadow_device.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace pio {
+
+ShadowDevice::ShadowDevice(std::unique_ptr<BlockDevice> primary,
+                           std::unique_ptr<BlockDevice> shadow)
+    : name_(primary->name() + "+shadow"),
+      primary_(std::move(primary)),
+      shadow_(std::move(shadow)) {}
+
+std::uint64_t ShadowDevice::capacity() const noexcept {
+  return std::min(primary_->capacity(), shadow_->capacity());
+}
+
+Status ShadowDevice::read(std::uint64_t offset, std::span<std::byte> out) {
+  // Prefer the primary; on device/media failure fall over to the shadow.
+  Status st = primary_->read(offset, out);
+  if (st.ok()) {
+    counters_.note_read(out.size());
+    return st;
+  }
+  if (st.code() != Errc::device_failed && st.code() != Errc::media_error) {
+    return st;  // e.g. out_of_range: not a fault, don't mask it
+  }
+  PIO_TRY(shadow_->read(offset, out));
+  counters_.note_read(out.size());
+  return ok_status();
+}
+
+Status ShadowDevice::write(std::uint64_t offset, std::span<const std::byte> in) {
+  // Identical operation on disk and shadow (the paper's formulation).  A
+  // single-side fault leaves the pair degraded but writable; both sides
+  // failing is fatal.
+  Status p = primary_->write(offset, in);
+  Status s = shadow_->write(offset, in);
+  if (!p.ok() && !s.ok()) return p;
+  counters_.note_write(in.size());
+  return ok_status();
+}
+
+Result<std::uint64_t> ShadowDevice::resilver(
+    std::unique_ptr<BlockDevice>& side, BlockDevice& survivor,
+    std::unique_ptr<BlockDevice> blank, std::size_t chunk) {
+  if (blank->capacity() < survivor.capacity()) {
+    return make_error(Errc::invalid_argument,
+                      "replacement smaller than surviving device");
+  }
+  std::vector<std::byte> buf(chunk);
+  std::uint64_t copied = 0;
+  const std::uint64_t cap = survivor.capacity();
+  while (copied < cap) {
+    const auto n = static_cast<std::size_t>(std::min<std::uint64_t>(chunk, cap - copied));
+    const std::span<std::byte> window{buf.data(), n};
+    PIO_TRY(survivor.read(copied, window));
+    PIO_TRY(blank->write(copied, window));
+    copied += n;
+  }
+  side = std::move(blank);
+  return copied;
+}
+
+Result<std::uint64_t> ShadowDevice::resilver_primary(
+    std::unique_ptr<BlockDevice> blank, std::size_t chunk) {
+  return resilver(primary_, *shadow_, std::move(blank), chunk);
+}
+
+Result<std::uint64_t> ShadowDevice::resilver_shadow(
+    std::unique_ptr<BlockDevice> blank, std::size_t chunk) {
+  return resilver(shadow_, *primary_, std::move(blank), chunk);
+}
+
+}  // namespace pio

@@ -1,0 +1,44 @@
+// ShadowDevice: the paper's "shadow disk" strategy (§5) — every write is
+// applied to a primary and its shadow; when one side fails, reads continue
+// from the survivor, and a replacement can be resilvered from it.
+#pragma once
+
+#include "device/device.hpp"
+
+namespace pio {
+
+class ShadowDevice final : public BlockDevice {
+ public:
+  ShadowDevice(std::unique_ptr<BlockDevice> primary,
+               std::unique_ptr<BlockDevice> shadow);
+
+  Status read(std::uint64_t offset, std::span<std::byte> out) override;
+  Status write(std::uint64_t offset, std::span<const std::byte> in) override;
+
+  std::uint64_t capacity() const noexcept override;
+  const std::string& name() const noexcept override { return name_; }
+  const DeviceCounters& counters() const noexcept override { return counters_; }
+
+  BlockDevice& primary() noexcept { return *primary_; }
+  BlockDevice& shadow() noexcept { return *shadow_; }
+
+  /// Replace the failed side with `blank` and copy the survivor's contents
+  /// onto it, `chunk` bytes at a time.  Returns the number of bytes copied.
+  Result<std::uint64_t> resilver_primary(std::unique_ptr<BlockDevice> blank,
+                                         std::size_t chunk = 1 << 16);
+  Result<std::uint64_t> resilver_shadow(std::unique_ptr<BlockDevice> blank,
+                                        std::size_t chunk = 1 << 16);
+
+ private:
+  Result<std::uint64_t> resilver(std::unique_ptr<BlockDevice>& side,
+                                 BlockDevice& survivor,
+                                 std::unique_ptr<BlockDevice> blank,
+                                 std::size_t chunk);
+
+  std::string name_;
+  std::unique_ptr<BlockDevice> primary_;
+  std::unique_ptr<BlockDevice> shadow_;
+  DeviceCounters counters_;
+};
+
+}  // namespace pio

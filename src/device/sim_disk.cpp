@@ -1,0 +1,99 @@
+#include "device/sim_disk.hpp"
+
+#include <algorithm>
+
+namespace pio {
+
+sim::Task SimDisk::io(std::uint64_t offset, std::uint64_t len) {
+  // The request lives in this coroutine's frame; the queue holds a pointer
+  // to it, which stays valid until `done` opens (the frame is suspended on
+  // the gate for exactly that interval).
+  Pending req(eng_, offset, len, model_.geometry().cylinder_of(offset),
+              eng_.now());
+  queue_.push_back(&req);
+  if (!busy_) {
+    busy_ = true;
+    busy_since_ = eng_.now();
+    eng_.spawn(dispatch());
+  }
+  co_await req.done.wait();
+}
+
+SimDisk::Pending* SimDisk::pick_next() {
+  if (queue_.empty()) return nullptr;
+  std::deque<Pending*>::iterator chosen;
+  if (discipline_ == QueueDiscipline::fifo) {
+    chosen = queue_.begin();
+  } else {
+    // SCAN: nearest request at or beyond the head in the sweep direction;
+    // reverse when the direction is exhausted.
+    const std::uint32_t head = model_.head_cylinder();
+    auto best_in_direction = [&](bool upward) {
+      auto best = queue_.end();
+      std::uint32_t best_dist = 0;
+      for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+        const std::uint32_t cyl = (*it)->cylinder;
+        if (upward ? cyl < head : cyl > head) continue;
+        const std::uint32_t dist = upward ? cyl - head : head - cyl;
+        if (best == queue_.end() || dist < best_dist) {
+          best = it;
+          best_dist = dist;
+        }
+      }
+      return best;
+    };
+    chosen = best_in_direction(scan_upward_);
+    if (chosen == queue_.end()) {
+      scan_upward_ = !scan_upward_;
+      chosen = best_in_direction(scan_upward_);
+    }
+  }
+  Pending* req = *chosen;
+  queue_.erase(chosen);
+  return req;
+}
+
+sim::Task SimDisk::dispatch() {
+  while (Pending* req = pick_next()) {
+    wait_stats_.add(eng_.now() - req->enqueued);
+    const ServiceTime st = model_.service(req->offset, req->length, eng_.now());
+    co_await eng_.delay(st.total());
+    ++requests_;
+    bytes_ += req->length;
+    seek_stats_.add(st.seek);
+    rotation_stats_.add(st.rotation);
+    service_stats_.add(st.total());
+    req->done.open();
+  }
+  busy_accum_ += eng_.now() - busy_since_;
+  busy_ = false;
+}
+
+double SimDisk::utilization() const noexcept {
+  const sim::Time now = eng_.now();
+  if (now <= 0) return 0.0;
+  sim::Time busy = busy_accum_;
+  if (busy_) busy += now - busy_since_;
+  return busy / now;
+}
+
+namespace {
+
+sim::Task segment_io(SimDiskArray& disks, DiskSegment seg, sim::WaitGroup& wg) {
+  co_await disks[seg.device].io(seg.offset, seg.length);
+  wg.done();
+}
+
+}  // namespace
+
+sim::Task parallel_io(sim::Engine& eng, SimDiskArray& disks,
+                      std::vector<DiskSegment> segments) {
+  sim::WaitGroup wg(eng);
+  wg.add(segments.size());
+  for (const DiskSegment& seg : segments) {
+    eng.spawn(segment_io(disks, seg, wg));
+  }
+  co_await wg.wait();
+}
+
+}  // namespace pio

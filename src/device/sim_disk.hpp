@@ -1,0 +1,139 @@
+// SimDisk: a disk in virtual time.  One queue per device (requests from
+// different processes interfere here, which is exactly the seek/queue
+// interference the paper discusses in §4), service times from DiskModel.
+//
+// The queue discipline is pluggable: FIFO (arrival order) or SCAN — the
+// elevator algorithm, sweeping the head across cylinders — the classic
+// answer to §4's open question about minimizing seek interference when
+// several processes share a device.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "device/disk_model.hpp"
+#include "sim/engine.hpp"
+#include "sim/resource.hpp"
+#include "util/stats.hpp"
+
+namespace pio {
+
+enum class QueueDiscipline : std::uint8_t {
+  fifo,  ///< service in arrival order
+  scan,  ///< elevator: sweep up, then down, by target cylinder
+};
+
+class SimDisk {
+ public:
+  SimDisk(sim::Engine& eng, std::string name, DiskGeometry geom = {},
+          DiskParams params = {},
+          QueueDiscipline discipline = QueueDiscipline::fifo)
+      : eng_(eng),
+        name_(std::move(name)),
+        model_(geom, params),
+        discipline_(discipline) {}
+
+  SimDisk(const SimDisk&) = delete;
+  SimDisk& operator=(const SimDisk&) = delete;
+
+  /// Awaitable I/O: queues at the device, seeks, rotates, transfers.
+  ///   co_await disk.io(offset, len);
+  sim::Task io(std::uint64_t offset, std::uint64_t len);
+
+  sim::Engine& engine() noexcept { return eng_; }
+  const std::string& name() const noexcept { return name_; }
+  const DiskModel& model() const noexcept { return model_; }
+  QueueDiscipline discipline() const noexcept { return discipline_; }
+  std::uint64_t capacity() const noexcept { return model_.geometry().capacity(); }
+
+  std::uint64_t requests() const noexcept { return requests_; }
+  std::uint64_t bytes_transferred() const noexcept { return bytes_; }
+  std::size_t queue_length() const noexcept { return queue_.size(); }
+
+  /// Fraction of virtual time [0, now] the device was servicing requests.
+  double utilization() const noexcept;
+
+  const OnlineStats& seek_stats() const noexcept { return seek_stats_; }
+  const OnlineStats& rotation_stats() const noexcept { return rotation_stats_; }
+  const OnlineStats& service_stats() const noexcept { return service_stats_; }
+  const OnlineStats& queue_wait_stats() const noexcept { return wait_stats_; }
+
+ private:
+  struct Pending {
+    std::uint64_t offset;
+    std::uint64_t length;
+    std::uint32_t cylinder;
+    sim::Time enqueued;
+    sim::Gate done;
+    Pending(sim::Engine& eng, std::uint64_t off, std::uint64_t len,
+            std::uint32_t cyl, sim::Time t)
+        : offset(off), length(len), cylinder(cyl), enqueued(t), done(eng) {}
+  };
+
+  /// Pop the next request per the discipline.  Caller owns dispatch state.
+  Pending* pick_next();
+
+  /// Drains the queue; exactly one dispatcher runs while requests exist.
+  sim::Task dispatch();
+
+  sim::Engine& eng_;
+  std::string name_;
+  DiskModel model_;
+  QueueDiscipline discipline_;
+
+  std::deque<Pending*> queue_;  // waiters own their Pending (coroutine frame)
+  bool busy_ = false;
+  bool scan_upward_ = true;
+
+  sim::Time busy_since_ = 0;
+  sim::Time busy_accum_ = 0;
+  std::uint64_t requests_ = 0;
+  std::uint64_t bytes_ = 0;
+  OnlineStats seek_stats_;
+  OnlineStats rotation_stats_;
+  OnlineStats service_stats_;
+  OnlineStats wait_stats_;
+};
+
+/// A farm of simulated disks sharing one engine.
+class SimDiskArray {
+ public:
+  SimDiskArray(sim::Engine& eng, std::size_t n, DiskGeometry geom = {},
+               DiskParams params = {},
+               QueueDiscipline discipline = QueueDiscipline::fifo) {
+    disks_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      disks_.push_back(std::make_unique<SimDisk>(
+          eng, "simdisk" + std::to_string(i), geom, params, discipline));
+    }
+  }
+
+  std::size_t size() const noexcept { return disks_.size(); }
+  SimDisk& operator[](std::size_t i) noexcept { return *disks_[i]; }
+  const SimDisk& operator[](std::size_t i) const noexcept { return *disks_[i]; }
+
+  std::uint64_t total_bytes() const noexcept {
+    std::uint64_t n = 0;
+    for (const auto& d : disks_) n += d->bytes_transferred();
+    return n;
+  }
+
+ private:
+  std::vector<std::unique_ptr<SimDisk>> disks_;
+};
+
+/// One logical I/O that fans out over several per-device segments and
+/// completes when the slowest segment does (how a striped transfer behaves).
+struct DiskSegment {
+  std::size_t device;
+  std::uint64_t offset;
+  std::uint64_t length;
+};
+
+sim::Task parallel_io(sim::Engine& eng, SimDiskArray& disks,
+                      std::vector<DiskSegment> segments);
+
+}  // namespace pio

@@ -1,0 +1,188 @@
+#include "layout/layout.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace pio {
+namespace {
+
+/// Append a piece to `out`, merging with the previous segment when it
+/// continues the same device contiguously.
+void push_merged(std::vector<Segment>& out, Segment seg) {
+  if (!out.empty()) {
+    Segment& back = out.back();
+    if (back.device == seg.device && back.offset + back.length == seg.offset) {
+      back.length += seg.length;
+      return;
+    }
+  }
+  out.push_back(seg);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- Striped
+
+StripedLayout::StripedLayout(std::size_t devices, std::uint64_t unit_bytes)
+    : devices_(devices), unit_(unit_bytes) {
+  assert(devices_ >= 1);
+  assert(unit_ >= 1);
+}
+
+std::vector<Segment> StripedLayout::map(std::uint64_t offset,
+                                        std::uint64_t length) const {
+  std::vector<Segment> out;
+  std::uint64_t pos = offset;
+  std::uint64_t remaining = length;
+  while (remaining > 0) {
+    const std::uint64_t unit_idx = pos / unit_;
+    const std::uint64_t within = pos % unit_;
+    const std::uint64_t take = std::min(remaining, unit_ - within);
+    const auto device = static_cast<std::size_t>(unit_idx % devices_);
+    const std::uint64_t dev_off = (unit_idx / devices_) * unit_ + within;
+    push_merged(out, Segment{device, dev_off, take});
+    pos += take;
+    remaining -= take;
+  }
+  return out;
+}
+
+std::optional<std::uint64_t> StripedLayout::logical_of(
+    std::size_t device, std::uint64_t dev_offset) const {
+  if (device >= devices_) return std::nullopt;
+  const std::uint64_t local_unit = dev_offset / unit_;
+  const std::uint64_t within = dev_offset % unit_;
+  return (local_unit * devices_ + device) * unit_ + within;
+}
+
+std::uint64_t StripedLayout::device_bytes_required(
+    std::size_t device, std::uint64_t file_size) const {
+  const std::uint64_t full_units = file_size / unit_;
+  const std::uint64_t tail = file_size % unit_;
+  std::uint64_t units_here = full_units / devices_;
+  if (device < full_units % devices_) ++units_here;
+  std::uint64_t bytes = units_here * unit_;
+  if (tail > 0 && device == full_units % devices_) bytes += tail;
+  return bytes;
+}
+
+std::string StripedLayout::describe() const {
+  return "striped(devices=" + std::to_string(devices_) +
+         ", unit=" + std::to_string(unit_) + ")";
+}
+
+// ---------------------------------------------------------------- Blocked
+
+BlockedLayout::BlockedLayout(std::size_t partitions,
+                             std::uint64_t partition_bytes,
+                             std::size_t devices,
+                             PartitionPlacement placement)
+    : partitions_(partitions),
+      partition_bytes_(partition_bytes),
+      devices_(devices),
+      placement_(placement) {
+  assert(partitions_ >= 1);
+  assert(partition_bytes_ >= 1);
+  assert(devices_ >= 1);
+}
+
+std::size_t BlockedLayout::device_of_partition(std::size_t p) const noexcept {
+  assert(p < partitions_);
+  if (placement_ == PartitionPlacement::round_robin) return p % devices_;
+  // grouped: first (P mod D) devices take ceil(P/D) partitions each.
+  const std::size_t base = partitions_ / devices_;
+  const std::size_t extra = partitions_ % devices_;
+  const std::size_t big_span = (base + 1) * extra;
+  if (p < big_span) return p / (base + 1);
+  return extra + (p - big_span) / base;
+}
+
+std::uint64_t BlockedLayout::device_base_of_partition(std::size_t p) const noexcept {
+  std::size_t earlier;
+  if (placement_ == PartitionPlacement::round_robin) {
+    earlier = p / devices_;
+  } else {
+    const std::size_t base = partitions_ / devices_;
+    const std::size_t extra = partitions_ % devices_;
+    const std::size_t big_span = (base + 1) * extra;
+    earlier = p < big_span ? p % (base + 1) : (p - big_span) % base;
+  }
+  return static_cast<std::uint64_t>(earlier) * partition_bytes_;
+}
+
+std::vector<Segment> BlockedLayout::map(std::uint64_t offset,
+                                        std::uint64_t length) const {
+  assert(offset + length <= partitions_ * partition_bytes_);
+  std::vector<Segment> out;
+  std::uint64_t pos = offset;
+  std::uint64_t remaining = length;
+  while (remaining > 0) {
+    const auto p = static_cast<std::size_t>(pos / partition_bytes_);
+    const std::uint64_t within = pos % partition_bytes_;
+    const std::uint64_t take = std::min(remaining, partition_bytes_ - within);
+    push_merged(out, Segment{device_of_partition(p),
+                             device_base_of_partition(p) + within, take});
+    pos += take;
+    remaining -= take;
+  }
+  return out;
+}
+
+std::optional<std::uint64_t> BlockedLayout::logical_of(
+    std::size_t device, std::uint64_t dev_offset) const {
+  if (device >= devices_) return std::nullopt;
+  const std::uint64_t slot = dev_offset / partition_bytes_;
+  const std::uint64_t within = dev_offset % partition_bytes_;
+  std::size_t p;
+  if (placement_ == PartitionPlacement::round_robin) {
+    p = static_cast<std::size_t>(slot) * devices_ + device;
+  } else {
+    const std::size_t base = partitions_ / devices_;
+    const std::size_t extra = partitions_ % devices_;
+    const std::size_t group_size = device < extra ? base + 1 : base;
+    if (slot >= group_size) return std::nullopt;
+    const std::size_t group_start = device < extra
+        ? device * (base + 1)
+        : extra * (base + 1) + (device - extra) * base;
+    p = group_start + static_cast<std::size_t>(slot);
+  }
+  if (p >= partitions_) return std::nullopt;
+  return static_cast<std::uint64_t>(p) * partition_bytes_ + within;
+}
+
+std::uint64_t BlockedLayout::device_bytes_required(
+    std::size_t device, std::uint64_t file_size) const {
+  std::uint64_t bytes = 0;
+  for (std::size_t p = 0; p < partitions_; ++p) {
+    if (device_of_partition(p) != device) continue;
+    const std::uint64_t start = static_cast<std::uint64_t>(p) * partition_bytes_;
+    if (file_size <= start) continue;
+    bytes += std::min(partition_bytes_, file_size - start);
+  }
+  return bytes;
+}
+
+std::string BlockedLayout::describe() const {
+  return "blocked(partitions=" + std::to_string(partitions_) +
+         ", partition_bytes=" + std::to_string(partition_bytes_) +
+         ", devices=" + std::to_string(devices_) + ", placement=" +
+         (placement_ == PartitionPlacement::round_robin ? "round_robin"
+                                                        : "grouped") +
+         ")";
+}
+
+// --------------------------------------------------------------- Factories
+
+std::unique_ptr<Layout> make_interleaved_layout(std::size_t devices,
+                                                std::uint64_t block_bytes) {
+  return std::make_unique<StripedLayout>(devices, block_bytes);
+}
+
+std::unique_ptr<Layout> make_declustered_layout(std::size_t devices,
+                                                std::uint64_t block_bytes) {
+  assert(block_bytes % devices == 0 &&
+         "declustering requires block size divisible by device count");
+  return std::make_unique<StripedLayout>(devices, block_bytes / devices);
+}
+
+}  // namespace pio

@@ -1,0 +1,124 @@
+// Layouts: pure, invertible mappings from a file's logical byte space onto
+// a device array.  They encode §4's implementation strategies:
+//
+//   StripedLayout    - the file as a byte string broken into stripe units
+//                      dealt round-robin across devices (types S, SS; also
+//                      IS when unit = block size, and declustering when
+//                      unit = block size / D).
+//   BlockedLayout    - contiguous partitions, one per process (type PS),
+//                      with a partition->device allocation strategy for the
+//                      processes > devices case.
+//
+// A layout never touches devices; mapping results feed both the functional
+// data path (RamDisk arrays) and the simulator (SimDisk arrays).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace pio {
+
+/// One physically contiguous piece of a logical range on one device.
+struct Segment {
+  std::size_t device = 0;
+  std::uint64_t offset = 0;  ///< byte offset on that device
+  std::uint64_t length = 0;
+
+  friend bool operator==(const Segment&, const Segment&) = default;
+};
+
+class Layout {
+ public:
+  virtual ~Layout() = default;
+
+  /// Split logical range [offset, offset+length) into device segments, in
+  /// logical order; concatenating the segments reproduces the range.
+  /// Adjacent same-device pieces are merged.
+  virtual std::vector<Segment> map(std::uint64_t offset,
+                                   std::uint64_t length) const = 0;
+
+  /// Inverse of map for a single byte: which logical offset does byte
+  /// `dev_offset` of `device` hold?  nullopt if that physical byte is not
+  /// used by the layout (e.g. padding past a partition's end).
+  virtual std::optional<std::uint64_t> logical_of(
+      std::size_t device, std::uint64_t dev_offset) const = 0;
+
+  /// Number of devices the layout spreads over.
+  virtual std::size_t device_count() const noexcept = 0;
+
+  /// Bytes needed on `device` to store a file of `file_size` bytes.
+  virtual std::uint64_t device_bytes_required(
+      std::size_t device, std::uint64_t file_size) const = 0;
+
+  virtual std::string describe() const = 0;
+};
+
+/// Round-robin striping of the byte string with a fixed stripe unit.
+class StripedLayout final : public Layout {
+ public:
+  StripedLayout(std::size_t devices, std::uint64_t unit_bytes);
+
+  std::vector<Segment> map(std::uint64_t offset,
+                           std::uint64_t length) const override;
+  std::optional<std::uint64_t> logical_of(
+      std::size_t device, std::uint64_t dev_offset) const override;
+  std::size_t device_count() const noexcept override { return devices_; }
+  std::uint64_t device_bytes_required(std::size_t device,
+                                      std::uint64_t file_size) const override;
+  std::string describe() const override;
+
+  std::uint64_t unit_bytes() const noexcept { return unit_; }
+
+ private:
+  std::size_t devices_;
+  std::uint64_t unit_;
+};
+
+/// How BlockedLayout assigns partitions to devices when P > D.
+enum class PartitionPlacement {
+  round_robin,  ///< partition p -> device p mod D (neighbours spread out)
+  grouped,      ///< partitions divided into D contiguous groups
+};
+
+/// Contiguous per-process partitions (type PS).
+class BlockedLayout final : public Layout {
+ public:
+  BlockedLayout(std::size_t partitions, std::uint64_t partition_bytes,
+                std::size_t devices,
+                PartitionPlacement placement = PartitionPlacement::round_robin);
+
+  std::vector<Segment> map(std::uint64_t offset,
+                           std::uint64_t length) const override;
+  std::optional<std::uint64_t> logical_of(
+      std::size_t device, std::uint64_t dev_offset) const override;
+  std::size_t device_count() const noexcept override { return devices_; }
+  std::uint64_t device_bytes_required(std::size_t device,
+                                      std::uint64_t file_size) const override;
+  std::string describe() const override;
+
+  std::size_t partitions() const noexcept { return partitions_; }
+  std::uint64_t partition_bytes() const noexcept { return partition_bytes_; }
+  std::size_t device_of_partition(std::size_t p) const noexcept;
+  /// Byte offset of partition p's start on its device.
+  std::uint64_t device_base_of_partition(std::size_t p) const noexcept;
+
+ private:
+  std::size_t partitions_;
+  std::uint64_t partition_bytes_;
+  std::size_t devices_;
+  PartitionPlacement placement_;
+};
+
+/// IS-format layout: blocks dealt round-robin == striping with unit = block.
+std::unique_ptr<Layout> make_interleaved_layout(std::size_t devices,
+                                                std::uint64_t block_bytes);
+
+/// Declustered layout (Livny et al.): every block split evenly over all
+/// devices == striping with unit = block_bytes / devices (must divide).
+std::unique_ptr<Layout> make_declustered_layout(std::size_t devices,
+                                                std::uint64_t block_bytes);
+
+}  // namespace pio

@@ -1,0 +1,78 @@
+#include "reliability/mtbf.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+namespace pio {
+
+double series_mtbf_hours(double device_mtbf, std::uint64_t n) noexcept {
+  assert(n > 0);
+  return device_mtbf / static_cast<double>(n);
+}
+
+double failures_per_year(double device_mtbf, std::uint64_t n) noexcept {
+  return kHoursPerYear / series_mtbf_hours(device_mtbf, n);
+}
+
+double protected_mttdl_hours(double device_mtbf, std::uint64_t n,
+                             double repair_hours) noexcept {
+  assert(n >= 2);
+  return device_mtbf * device_mtbf /
+         (static_cast<double>(n) * static_cast<double>(n - 1) * repair_hours);
+}
+
+OnlineStats simulate_first_failure(Rng& rng, std::uint64_t n,
+                                   double device_mtbf, std::uint64_t trials) {
+  OnlineStats stats;
+  for (std::uint64_t t = 0; t < trials; ++t) {
+    double first = rng.exponential(device_mtbf);
+    for (std::uint64_t d = 1; d < n; ++d) {
+      first = std::min(first, rng.exponential(device_mtbf));
+    }
+    stats.add(first);
+  }
+  return stats;
+}
+
+double simulate_protected_loss_probability(Rng& rng, std::uint64_t n,
+                                           double device_mtbf,
+                                           double repair_hours,
+                                           double mission_hours,
+                                           std::uint64_t trials) {
+  assert(n >= 2);
+  std::uint64_t losses = 0;
+  std::vector<double> next_failure(static_cast<std::size_t>(n));
+  for (std::uint64_t t = 0; t < trials; ++t) {
+    for (auto& nf : next_failure) nf = rng.exponential(device_mtbf);
+    bool lost = false;
+    for (;;) {
+      // Earliest failure in the mission window.
+      std::size_t first = 0;
+      for (std::size_t d = 1; d < next_failure.size(); ++d) {
+        if (next_failure[d] < next_failure[first]) first = d;
+      }
+      const double t_fail = next_failure[first];
+      if (t_fail > mission_hours) break;
+      // Second failure during the reconstruction window loses data.
+      bool second = false;
+      for (std::size_t d = 0; d < next_failure.size(); ++d) {
+        if (d == first) continue;
+        if (next_failure[d] <= t_fail + repair_hours) {
+          second = true;
+          break;
+        }
+      }
+      if (second) {
+        lost = true;
+        break;
+      }
+      // Repaired: the replaced device gets a fresh lifetime from repair end.
+      next_failure[first] = t_fail + repair_hours + rng.exponential(device_mtbf);
+    }
+    if (lost) ++losses;
+  }
+  return static_cast<double>(losses) / static_cast<double>(trials);
+}
+
+}  // namespace pio

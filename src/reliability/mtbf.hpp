@@ -1,0 +1,51 @@
+// Reliability models for multi-device file systems (§5): a series system
+// of N devices fails N times as often; parity groups and shadow pairs
+// survive single failures at different costs.  Analytic formulas plus
+// Monte-Carlo estimators (exponential lifetimes) for cross-checking.
+#pragma once
+
+#include <cstdint>
+
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace pio {
+
+/// Hours in a year, for failures-per-year conversions.
+inline constexpr double kHoursPerYear = 8760.0;
+
+/// The paper's example device: a 30,000-hour-MTBF Winchester disk.
+inline constexpr double kPaperDeviceMtbfHours = 30000.0;
+
+/// MTBF of a series system of `n` devices, each with `device_mtbf` hours
+/// (any single failure is a system failure — the unprotected case).
+double series_mtbf_hours(double device_mtbf, std::uint64_t n) noexcept;
+
+/// Expected system failures per year for the unprotected array.
+double failures_per_year(double device_mtbf, std::uint64_t n) noexcept;
+
+/// Mean time to data loss of an array protected against any single
+/// failure (parity group or full shadowing of the group), with repair
+/// (reconstruction) time `repair_hours`: data is lost only when a second
+/// device fails during a repair window.  Standard Markov approximation:
+///   MTTDL = mtbf^2 / (n * (n-1) * repair_hours).
+double protected_mttdl_hours(double device_mtbf, std::uint64_t n,
+                             double repair_hours) noexcept;
+
+/// Monte-Carlo: sample the time to first failure of an n-device array
+/// over `trials` trials (exponential lifetimes).  Returns the sample
+/// statistics; mean should approach series_mtbf_hours.
+OnlineStats simulate_first_failure(Rng& rng, std::uint64_t n,
+                                   double device_mtbf, std::uint64_t trials);
+
+/// Monte-Carlo: probability that an array protected against one failure
+/// loses data within `mission_hours` (a second failure lands inside a
+/// `repair_hours` reconstruction window).  Failed devices are replaced
+/// and resume with fresh lifetimes.
+double simulate_protected_loss_probability(Rng& rng, std::uint64_t n,
+                                           double device_mtbf,
+                                           double repair_hours,
+                                           double mission_hours,
+                                           std::uint64_t trials);
+
+}  // namespace pio

@@ -1,0 +1,87 @@
+#include "reliability/recovery.hpp"
+
+#include <algorithm>
+
+#include "device/ram_disk.hpp"
+
+namespace pio {
+
+std::vector<std::size_t> find_failed_devices(DeviceArray& devices) {
+  std::vector<std::size_t> failed;
+  std::byte probe[1];
+  for (std::size_t d = 0; d < devices.size(); ++d) {
+    Status st = devices[d].read(0, probe);
+    if (!st.ok() && st.code() == Errc::device_failed) failed.push_back(d);
+  }
+  return failed;
+}
+
+Result<std::size_t> BackupSet::capture() {
+  std::vector<std::vector<std::byte>> snapshot;
+  snapshot.reserve(devices_.size());
+  constexpr std::size_t kChunk = 1 << 16;
+  for (std::size_t d = 0; d < devices_.size(); ++d) {
+    std::vector<std::byte> image(devices_[d].capacity());
+    for (std::uint64_t off = 0; off < image.size(); off += kChunk) {
+      const auto n = std::min<std::uint64_t>(kChunk, image.size() - off);
+      PIO_TRY(devices_[d].read(
+          off, std::span<std::byte>(image.data() + off,
+                                    static_cast<std::size_t>(n))));
+    }
+    snapshot.push_back(std::move(image));
+  }
+  snapshots_.push_back(std::move(snapshot));
+  return snapshots_.size() - 1;
+}
+
+Status BackupSet::restore_device(std::size_t d, std::size_t epoch) {
+  if (epoch >= snapshots_.size() || d >= devices_.size()) {
+    return make_error(Errc::invalid_argument, "bad epoch or device");
+  }
+  const std::vector<std::byte>& image = snapshots_[epoch][d];
+  constexpr std::size_t kChunk = 1 << 16;
+  for (std::uint64_t off = 0; off < image.size(); off += kChunk) {
+    const auto n = std::min<std::uint64_t>(kChunk, image.size() - off);
+    PIO_TRY(devices_[d].write(
+        off, std::span<const std::byte>(image.data() + off,
+                                        static_cast<std::size_t>(n))));
+  }
+  return ok_status();
+}
+
+Status BackupSet::restore_all(std::size_t epoch) {
+  for (std::size_t d = 0; d < devices_.size(); ++d) {
+    PIO_TRY(restore_device(d, epoch));
+  }
+  return ok_status();
+}
+
+std::uint64_t BackupSet::bytes_retained() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& snapshot : snapshots_) {
+    for (const auto& image : snapshot) total += image.size();
+  }
+  return total;
+}
+
+Status repair_from_parity(FaultyDevice& failed, ParityGroup& group,
+                          std::size_t group_index, std::size_t chunk) {
+  // Rebuild into a scratch device, then replay onto the repaired device.
+  // (Reconstruction must not read the failed member, and ParityGroup's
+  // degraded path already skips it.)
+  RamDisk scratch("parity-rebuild-scratch", failed.capacity());
+  failed.repair();  // allow writes; contents are stale until rewritten
+  PIO_TRY_ASSIGN(const std::uint64_t rebuilt,
+                 group.reconstruct_data(group_index, scratch, chunk));
+  std::vector<std::byte> buf(chunk);
+  for (std::uint64_t off = 0; off < rebuilt; off += chunk) {
+    const auto n = static_cast<std::size_t>(
+        std::min<std::uint64_t>(chunk, rebuilt - off));
+    const std::span<std::byte> window{buf.data(), n};
+    PIO_TRY(scratch.read(off, window));
+    PIO_TRY(failed.write(off, window));
+  }
+  return ok_status();
+}
+
+}  // namespace pio

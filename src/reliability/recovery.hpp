@@ -1,0 +1,56 @@
+// Failure handling and the §5 rollback-consistency problem.
+//
+// "If a single drive in a parallel file system fails, it is not sufficient
+// to restore just that disk from backups.  Since each drive contains a
+// slice of every file, all of the disks will have to be rolled back to the
+// same point in time in order to maintain consistency."
+//
+// BackupSet captures whole-array snapshots (epochs); restore_device vs
+// restore_all lets tests and benches demonstrate exactly that: a
+// single-device restore mixes epochs within stripes and corrupts records,
+// an all-device rollback is consistent (but loses recent data).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "device/device.hpp"
+#include "device/faulty_device.hpp"
+#include "device/parity_group.hpp"
+
+namespace pio {
+
+/// Probe every device with a 1-byte read; returns indices that report
+/// device_failed.
+std::vector<std::size_t> find_failed_devices(DeviceArray& devices);
+
+/// Whole-array snapshots, indexed by epoch (0 = oldest).
+class BackupSet {
+ public:
+  explicit BackupSet(DeviceArray& devices) : devices_(devices) {}
+
+  /// Capture a snapshot of every device; returns the epoch id.
+  Result<std::size_t> capture();
+
+  /// Restore only device `d` from `epoch` (the paper's *insufficient*
+  /// remedy — deliberately provided so its inconsistency can be shown).
+  Status restore_device(std::size_t d, std::size_t epoch);
+
+  /// Roll every device back to `epoch` (the consistent remedy).
+  Status restore_all(std::size_t epoch);
+
+  std::size_t epochs() const noexcept { return snapshots_.size(); }
+  std::uint64_t bytes_retained() const noexcept;
+
+ private:
+  DeviceArray& devices_;
+  std::vector<std::vector<std::vector<std::byte>>> snapshots_;  // [epoch][dev]
+};
+
+/// Repair a failed FaultyDevice in place by reconstructing its contents
+/// from a parity group.  `group_index` is the device's index within the
+/// group's data set.  Clears the failure flag after rewriting.
+Status repair_from_parity(FaultyDevice& failed, ParityGroup& group,
+                          std::size_t group_index, std::size_t chunk = 1 << 16);
+
+}  // namespace pio

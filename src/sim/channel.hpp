@@ -1,0 +1,143 @@
+// sim::Channel<T>: a bounded FIFO queue in virtual time — the
+// producer/consumer primitive for pipeline models (buffer pools between
+// I/O and compute stages, §4's multiple buffering).
+//
+//   sim::Channel<Item> ch(eng, /*capacity=*/2);
+//   co_await ch.send(item);             // blocks while full
+//   std::optional<Item> v = co_await ch.receive();  // nullopt when closed
+//   ch.close();
+//
+// Items are handed directly to waiting receivers (never parked in the
+// buffer while a receiver waits), so a woken receiver's item can never be
+// stolen by a later arrival.  Invariant: receivers wait only while the
+// buffer is empty.
+#pragma once
+
+#include <cassert>
+#include <coroutine>
+#include <deque>
+#include <optional>
+
+#include "sim/engine.hpp"
+
+namespace pio::sim {
+
+template <typename T>
+class Channel {
+ public:
+  Channel(Engine& eng, std::size_t capacity) : eng_(eng), capacity_(capacity) {
+    assert(capacity_ > 0);
+  }
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+  ~Channel() { assert(senders_.empty() && "senders blocked at destruction"); }
+
+  /// Awaitable send; suspends while the channel is full.  Sending on a
+  /// closed channel is a programming error.
+  auto send(T value) noexcept {
+    struct [[nodiscard]] Awaiter {
+      Channel& ch;
+      T value;
+      bool await_ready() {
+        assert(!ch.closed_ && "send on closed channel");
+        if (ch.try_deliver(value)) return true;
+        return false;
+      }
+      void await_suspend(std::coroutine_handle<> h) {
+        ch.senders_.push_back(WaitingSender{h, std::move(value)});
+      }
+      void await_resume() noexcept {}
+    };
+    return Awaiter{*this, std::move(value)};
+  }
+
+  /// Awaitable receive; suspends while empty.  Yields nullopt once the
+  /// channel is closed and drained.
+  auto receive() noexcept {
+    struct [[nodiscard]] Awaiter {
+      Channel& ch;
+      std::optional<T> slot;  ///< direct handoff from a sender
+
+      bool await_ready() const noexcept {
+        return !ch.items_.empty() || ch.closed_;
+      }
+      void await_suspend(std::coroutine_handle<> h) {
+        ch.receivers_.push_back(WaitingReceiver{h, &slot});
+      }
+      std::optional<T> await_resume() {
+        if (slot.has_value()) {
+          // A sender handed us this item while we waited.
+          return std::move(slot);
+        }
+        if (!ch.items_.empty()) {
+          T value = std::move(ch.items_.front());
+          ch.items_.pop_front();
+          ch.admit_waiting_sender();
+          return value;
+        }
+        return std::nullopt;  // closed and drained
+      }
+    };
+    return Awaiter{*this, std::nullopt};
+  }
+
+  /// No more sends; pending and future receivers drain then get nullopt.
+  void close() {
+    assert(senders_.empty() && "close with blocked senders");
+    closed_ = true;
+    while (!receivers_.empty()) {
+      eng_.schedule_now(receivers_.front().handle);
+      receivers_.pop_front();
+    }
+  }
+
+  std::size_t size() const noexcept { return items_.size(); }
+  bool closed() const noexcept { return closed_; }
+
+ private:
+  struct WaitingSender {
+    std::coroutine_handle<> handle;
+    T value;
+  };
+  struct WaitingReceiver {
+    std::coroutine_handle<> handle;
+    std::optional<T>* slot;
+  };
+
+  /// Deliver an item (direct handoff or buffer); false when full.
+  bool try_deliver(T& value) {
+    if (!receivers_.empty()) {
+      assert(items_.empty());  // the invariant
+      WaitingReceiver receiver = receivers_.front();
+      receivers_.pop_front();
+      *receiver.slot = std::move(value);
+      eng_.schedule_now(receiver.handle);
+      return true;
+    }
+    if (items_.size() < capacity_) {
+      items_.push_back(std::move(value));
+      return true;
+    }
+    return false;
+  }
+
+  /// A buffer position opened: admit the eldest blocked sender.
+  void admit_waiting_sender() {
+    if (senders_.empty()) return;
+    WaitingSender sender = std::move(senders_.front());
+    senders_.pop_front();
+    const bool delivered = try_deliver(sender.value);
+    assert(delivered);  // a slot just freed
+    (void)delivered;
+    eng_.schedule_now(sender.handle);
+  }
+
+  Engine& eng_;
+  std::size_t capacity_;
+  bool closed_ = false;
+  std::deque<T> items_;
+  std::deque<WaitingSender> senders_;
+  std::deque<WaitingReceiver> receivers_;
+};
+
+}  // namespace pio::sim

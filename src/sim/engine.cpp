@@ -1,0 +1,53 @@
+#include "sim/engine.hpp"
+
+namespace pio::sim {
+
+void Engine::schedule(Time t, std::coroutine_handle<> h) {
+  assert(t >= now_);
+  heap_.push(Event{t, seq_++, h, {}});
+}
+
+void Engine::schedule_callback(Time t, std::function<void()> fn) {
+  assert(t >= now_);
+  heap_.push(Event{t, seq_++, {}, std::move(fn)});
+}
+
+void Engine::spawn(Task&& task) {
+  auto h = task.release();
+  assert(h);
+  h.promise().detached = true;
+  // Start the coroutine as a same-time event so spawn() itself never
+  // reenters user code (keeps spawning loops iterative, not recursive).
+  schedule(now_, h);
+}
+
+void Engine::dispatch(Event& ev) {
+  now_ = ev.t;
+  ++executed_;
+  if (ev.h) {
+    ev.h.resume();
+  } else {
+    ev.fn();
+  }
+}
+
+Time Engine::run() {
+  while (!heap_.empty()) {
+    Event ev = heap_.top();
+    heap_.pop();
+    dispatch(ev);
+  }
+  return now_;
+}
+
+Time Engine::run_until(Time t_stop) {
+  while (!heap_.empty() && heap_.top().t <= t_stop) {
+    Event ev = heap_.top();
+    heap_.pop();
+    dispatch(ev);
+  }
+  if (now_ < t_stop) now_ = t_stop;
+  return now_;
+}
+
+}  // namespace pio::sim

@@ -1,0 +1,182 @@
+// Discrete-event simulation engine.
+//
+// The paper's performance claims concern a multi-device I/O subsystem
+// shared by MIMD processes.  We reproduce them in virtual time: simulated
+// processes are C++20 coroutines that co_await delays (compute) and device
+// service (I/O); the engine interleaves them deterministically.  Events at
+// equal timestamps retire in schedule (FIFO) order, so every run of an
+// experiment produces bit-identical results.
+//
+// Usage sketch:
+//   sim::Engine eng;
+//   eng.spawn(worker(eng, ...));      // sim::Task coroutine
+//   eng.run();                        // until no events remain
+//   double elapsed = eng.now();       // virtual seconds
+#pragma once
+
+#include <cassert>
+#include <coroutine>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace pio::sim {
+
+/// Virtual time, in seconds.
+using Time = double;
+
+class Engine;
+
+/// A detachable coroutine task running in virtual time.
+///
+/// Tasks start suspended; Engine::spawn launches one detached (the
+/// coroutine frame self-destroys at completion), or a parent task can
+/// `co_await` a child for structured nesting (symmetric transfer).
+class [[nodiscard]] Task {
+ public:
+  struct promise_type {
+    std::coroutine_handle<> continuation{};
+    bool detached = false;
+
+    Task get_return_object() {
+      return Task{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+
+    struct FinalAwaiter {
+      bool await_ready() noexcept { return false; }
+      std::coroutine_handle<> await_suspend(
+          std::coroutine_handle<promise_type> h) noexcept {
+        auto& p = h.promise();
+        if (p.continuation) return p.continuation;
+        if (p.detached) h.destroy();
+        return std::noop_coroutine();
+      }
+      void await_resume() noexcept {}
+    };
+    FinalAwaiter final_suspend() noexcept { return {}; }
+
+    void return_void() noexcept {}
+    void unhandled_exception() { std::terminate(); }
+  };
+
+  Task(Task&& other) noexcept : handle_(other.handle_) { other.handle_ = {}; }
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = other.handle_;
+      other.handle_ = {};
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { destroy(); }
+
+  /// Awaiting a Task runs it to completion before the parent resumes.
+  auto operator co_await() && noexcept {
+    struct Awaiter {
+      std::coroutine_handle<promise_type> child;
+      bool await_ready() const noexcept { return !child || child.done(); }
+      std::coroutine_handle<> await_suspend(std::coroutine_handle<> parent) noexcept {
+        child.promise().continuation = parent;
+        return child;  // symmetric transfer into the child
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{handle_};
+  }
+
+ private:
+  friend class Engine;
+  explicit Task(std::coroutine_handle<promise_type> h) : handle_(h) {}
+
+  void destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = {};
+    }
+  }
+
+  /// Relinquish ownership (used by Engine::spawn after marking detached).
+  std::coroutine_handle<promise_type> release() noexcept {
+    auto h = handle_;
+    handle_ = {};
+    return h;
+  }
+
+  std::coroutine_handle<promise_type> handle_{};
+};
+
+/// The event loop: a min-heap of (time, fifo-sequence) -> resumption.
+class Engine {
+ public:
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  Time now() const noexcept { return now_; }
+  std::uint64_t events_executed() const noexcept { return executed_; }
+
+  /// Resume `h` at absolute virtual time `t` (>= now).
+  void schedule(Time t, std::coroutine_handle<> h);
+
+  /// Run `fn` at absolute virtual time `t` (>= now).
+  void schedule_callback(Time t, std::function<void()> fn);
+
+  /// Resume `h` at the current time, after already-queued same-time events.
+  void schedule_now(std::coroutine_handle<> h) { schedule(now_, h); }
+
+  /// Awaitable: suspend the current task for `dt` virtual seconds.
+  /// dt == 0 yields (requeues after same-time events already pending).
+  auto delay(Time dt) noexcept {
+    struct Awaiter {
+      Engine& eng;
+      Time dt;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) {
+        eng.schedule(eng.now_ + dt, h);
+      }
+      void await_resume() const noexcept {}
+    };
+    assert(dt >= 0);
+    return Awaiter{*this, dt};
+  }
+
+  /// Launch a task detached; its frame frees itself on completion.
+  void spawn(Task&& task);
+
+  /// Run until the event queue drains.  Returns the final virtual time.
+  Time run();
+
+  /// Run while events exist and now() would stay <= t_stop.
+  Time run_until(Time t_stop);
+
+  /// True if no events are pending.
+  bool idle() const noexcept { return heap_.empty(); }
+
+ private:
+  struct Event {
+    Time t;
+    std::uint64_t seq;
+    std::coroutine_handle<> h;       // exactly one of h / fn is set
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.t != b.t) return a.t > b.t;
+      return a.seq > b.seq;
+    }
+  };
+
+  void dispatch(Event& ev);
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  Time now_ = 0;
+  std::uint64_t seq_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace pio::sim

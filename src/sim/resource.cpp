@@ -1,0 +1,45 @@
+#include "sim/resource.hpp"
+
+namespace pio::sim {
+
+void Resource::grant(std::uint64_t n) {
+  if (available_ == total_) busy_since_ = eng_.now();  // idle -> busy edge
+  available_ -= n;
+}
+
+void Resource::ungrant(std::uint64_t n) {
+  available_ += n;
+  assert(available_ <= total_);
+  if (available_ == total_) busy_accum_ += eng_.now() - busy_since_;
+}
+
+void Resource::release(std::uint64_t n) {
+  ungrant(n);
+  // Wake FIFO-eligible waiters.  Resumption is deferred through the event
+  // queue so release() never reenters user coroutines directly.
+  while (!waiters_.empty() && waiters_.front().n <= available_) {
+    Waiter w = waiters_.front();
+    waiters_.pop_front();
+    grant(w.n);
+    wait_stats_.add(eng_.now() - w.enqueued);
+    eng_.schedule_now(w.h);
+  }
+}
+
+double Resource::utilization() const noexcept {
+  const Time now = eng_.now();
+  if (now <= 0) return 0.0;
+  Time busy = busy_accum_;
+  if (available_ < total_) busy += now - busy_since_;
+  return busy / now;
+}
+
+void Gate::open() {
+  open_ = true;
+  while (!waiters_.empty()) {
+    eng_.schedule_now(waiters_.front());
+    waiters_.pop_front();
+  }
+}
+
+}  // namespace pio::sim

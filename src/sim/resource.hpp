@@ -1,0 +1,138 @@
+// Virtual-time synchronization primitives: counted FIFO resources (device
+// queues, buffer pools), one-shot gates, and wait groups for joining a set
+// of spawned tasks.
+#pragma once
+
+#include <cassert>
+#include <coroutine>
+#include <cstdint>
+#include <deque>
+
+#include "sim/engine.hpp"
+#include "util/stats.hpp"
+
+namespace pio::sim {
+
+/// A counted resource with FIFO admission, e.g. a device that services one
+/// request at a time (units = 1) or a pool of k buffers (units = k).
+/// Tracks utilization and queueing statistics in virtual time.
+class Resource {
+ public:
+  Resource(Engine& eng, std::uint64_t units) : eng_(eng), available_(units), total_(units) {
+    assert(units > 0);
+  }
+  Resource(const Resource&) = delete;
+  Resource& operator=(const Resource&) = delete;
+
+  /// Awaitable acquire of `n` units (FIFO).  n must be <= total units.
+  auto acquire(std::uint64_t n = 1) noexcept {
+    struct Awaiter {
+      Resource& res;
+      std::uint64_t n;
+      Time enqueue_time;
+      bool await_ready() noexcept {
+        // FIFO fairness: even if units are free, queued waiters go first.
+        if (res.waiters_.empty() && res.available_ >= n) {
+          res.grant(n);
+          res.wait_stats_.add(0.0);
+          return true;
+        }
+        return false;
+      }
+      void await_suspend(std::coroutine_handle<> h) {
+        enqueue_time = res.eng_.now();
+        res.waiters_.push_back(Waiter{n, h, enqueue_time});
+      }
+      void await_resume() noexcept {}
+    };
+    assert(n >= 1 && n <= total_);
+    return Awaiter{*this, n, 0};
+  }
+
+  /// Return `n` units; wakes queued waiters in FIFO order.
+  void release(std::uint64_t n = 1);
+
+  std::uint64_t available() const noexcept { return available_; }
+  std::uint64_t total() const noexcept { return total_; }
+  std::size_t queue_length() const noexcept { return waiters_.size(); }
+
+  /// Fraction of virtual time [0, now] during which >= 1 unit was held.
+  double utilization() const noexcept;
+
+  /// Per-acquire queueing delay statistics (virtual seconds).
+  const OnlineStats& wait_stats() const noexcept { return wait_stats_; }
+
+ private:
+  struct Waiter {
+    std::uint64_t n;
+    std::coroutine_handle<> h;
+    Time enqueued;
+  };
+
+  void grant(std::uint64_t n);
+  void ungrant(std::uint64_t n);
+
+  Engine& eng_;
+  std::uint64_t available_;
+  std::uint64_t total_;
+  std::deque<Waiter> waiters_;
+  OnlineStats wait_stats_;
+  // Utilization accounting: integrate time with any unit held.
+  Time busy_since_ = 0;
+  Time busy_accum_ = 0;
+};
+
+/// A one-shot gate: tasks wait until someone opens it.  Reusable after
+/// reset(); openings wake all current waiters at the current time.
+class Gate {
+ public:
+  explicit Gate(Engine& eng) : eng_(eng) {}
+  Gate(const Gate&) = delete;
+  Gate& operator=(const Gate&) = delete;
+
+  bool is_open() const noexcept { return open_; }
+
+  void open();
+  void reset() noexcept { open_ = false; }
+
+  auto wait() noexcept {
+    struct Awaiter {
+      Gate& gate;
+      bool await_ready() const noexcept { return gate.open_; }
+      void await_suspend(std::coroutine_handle<> h) {
+        gate.waiters_.push_back(h);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this};
+  }
+
+ private:
+  Engine& eng_;
+  bool open_ = false;
+  std::deque<std::coroutine_handle<>> waiters_;
+};
+
+/// Join-counter for detached tasks: add() before spawning, done() at task
+/// end, wait() in the parent.  Opens when the count returns to zero.
+class WaitGroup {
+ public:
+  explicit WaitGroup(Engine& eng) : gate_(eng) {}
+
+  void add(std::uint64_t n = 1) noexcept {
+    count_ += n;
+    if (count_ > 0) gate_.reset();
+  }
+  void done() {
+    assert(count_ > 0);
+    if (--count_ == 0) gate_.open();
+  }
+  auto wait() noexcept { return gate_.wait(); }
+  std::uint64_t pending() const noexcept { return count_; }
+
+ private:
+  Gate gate_;
+  std::uint64_t count_ = 0;
+};
+
+}  // namespace pio::sim

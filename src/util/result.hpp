@@ -1,0 +1,162 @@
+// Result<T>: lightweight expected-style error handling for I/O paths.
+//
+// The library reports recoverable conditions (device failures, media
+// errors, out-of-range requests, end-of-file) through Result<T> rather than
+// exceptions, so that callers on hot paths can branch without unwinding
+// machinery.  Programming errors (precondition violations) still assert.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace pio {
+
+/// Status codes for recoverable I/O conditions.
+enum class Errc : std::uint8_t {
+  ok = 0,
+  invalid_argument,   ///< malformed request (bad size, bad alignment, ...)
+  out_of_range,       ///< offset/record beyond device or file bounds
+  end_of_file,        ///< sequential cursor exhausted the file
+  not_owner,          ///< process touched a block outside its partition
+  device_failed,      ///< whole-device failure (MTBF fault injection)
+  media_error,        ///< localized unrecoverable sector error
+  not_found,          ///< catalog lookup miss
+  already_exists,     ///< catalog create collision
+  corrupt,            ///< metadata / parity verification mismatch
+  busy,               ///< resource temporarily unavailable
+  not_supported,      ///< operation undefined for this organization/view
+};
+
+/// Human-readable name for an error code.
+constexpr std::string_view errc_name(Errc e) noexcept {
+  switch (e) {
+    case Errc::ok: return "ok";
+    case Errc::invalid_argument: return "invalid_argument";
+    case Errc::out_of_range: return "out_of_range";
+    case Errc::end_of_file: return "end_of_file";
+    case Errc::not_owner: return "not_owner";
+    case Errc::device_failed: return "device_failed";
+    case Errc::media_error: return "media_error";
+    case Errc::not_found: return "not_found";
+    case Errc::already_exists: return "already_exists";
+    case Errc::corrupt: return "corrupt";
+    case Errc::busy: return "busy";
+    case Errc::not_supported: return "not_supported";
+  }
+  return "unknown";
+}
+
+/// An error: a code plus optional free-form context.
+struct Error {
+  Errc code = Errc::ok;
+  std::string context;
+
+  std::string to_string() const {
+    std::string s{errc_name(code)};
+    if (!context.empty()) {
+      s += ": ";
+      s += context;
+    }
+    return s;
+  }
+};
+
+inline Error make_error(Errc code, std::string context = {}) {
+  return Error{code, std::move(context)};
+}
+
+/// Minimal expected<T, Error>.  gcc 12 lacks std::expected (C++23), so we
+/// carry our own with the subset of the interface the library needs.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : payload_(std::in_place_index<0>, std::move(value)) {}
+  Result(Error error) : payload_(std::in_place_index<1>, std::move(error)) {}
+  Result(Errc code) : payload_(std::in_place_index<1>, Error{code, {}}) {}
+
+  bool ok() const noexcept { return payload_.index() == 0; }
+  explicit operator bool() const noexcept { return ok(); }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<0>(payload_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<0>(payload_);
+  }
+  T&& take() && {
+    assert(ok());
+    return std::get<0>(std::move(payload_));
+  }
+  T value_or(T fallback) const& { return ok() ? value() : std::move(fallback); }
+
+  const Error& error() const& {
+    assert(!ok());
+    return std::get<1>(payload_);
+  }
+  Errc code() const noexcept { return ok() ? Errc::ok : error().code; }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Error> payload_;
+};
+
+/// Result<void>: status-only flavour.
+template <>
+class [[nodiscard]] Result<void> {
+ public:
+  Result() = default;
+  Result(Error error) : error_(std::move(error)) {}
+  Result(Errc code) : error_(Error{code, {}}) {}
+
+  bool ok() const noexcept { return error_.code == Errc::ok; }
+  explicit operator bool() const noexcept { return ok(); }
+
+  const Error& error() const& {
+    assert(!ok());
+    return error_;
+  }
+  Errc code() const noexcept { return error_.code; }
+
+ private:
+  Error error_{};
+};
+
+using Status = Result<void>;
+
+inline Status ok_status() { return Status{}; }
+
+/// PIO_TRY(expr): propagate the error of a Result-returning expression.
+#define PIO_TRY(expr)                              \
+  do {                                             \
+    auto pio_try_status_ = (expr);                 \
+    if (!pio_try_status_.ok()) {                   \
+      return ::pio::Error(pio_try_status_.error());\
+    }                                              \
+  } while (0)
+
+#define PIO_CONCAT_INNER_(a, b) a##b
+#define PIO_CONCAT_(a, b) PIO_CONCAT_INNER_(a, b)
+
+#define PIO_TRY_ASSIGN_IMPL_(lhs, expr, var)       \
+  auto var = (expr);                               \
+  if (!var.ok()) {                                 \
+    return ::pio::Error(var.error());              \
+  }                                                \
+  lhs = std::move(var).take()
+
+/// PIO_TRY_ASSIGN(lhs, expr): assign the value or propagate the error.
+/// `lhs` may be a declaration (`auto x`) or an existing lvalue.
+#define PIO_TRY_ASSIGN(lhs, expr) \
+  PIO_TRY_ASSIGN_IMPL_(lhs, expr, PIO_CONCAT_(pio_try_result_, __COUNTER__))
+
+}  // namespace pio

@@ -1,0 +1,107 @@
+#include "util/rng.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace pio {
+namespace {
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+// splitmix64: seeds the xoshiro state from a single 64-bit value.
+std::uint64_t splitmix64(std::uint64_t& x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  std::uint64_t x = seed;
+  for (auto& word : s_) word = splitmix64(x);
+}
+
+std::uint64_t Rng::next() noexcept {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform() noexcept {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) noexcept {
+  return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t Rng::uniform_u64(std::uint64_t n) noexcept {
+  assert(n > 0);
+  // Lemire's multiply-shift with rejection for exact uniformity.
+  std::uint64_t x = next();
+  __uint128_t m = static_cast<__uint128_t>(x) * n;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < n) {
+    const std::uint64_t threshold = (0 - n) % n;
+    while (lo < threshold) {
+      x = next();
+      m = static_cast<__uint128_t>(x) * n;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+double Rng::exponential(double mean) noexcept {
+  assert(mean > 0);
+  double u = uniform();
+  if (u >= 1.0) u = 0.9999999999999999;
+  return -mean * std::log1p(-u);
+}
+
+double Rng::normal(double mean, double stddev) noexcept {
+  double acc = 0;
+  for (int i = 0; i < 12; ++i) acc += uniform();
+  return mean + stddev * (acc - 6.0);
+}
+
+Rng Rng::split() noexcept { return Rng{next() ^ 0xa5a5a5a55a5a5a5aULL}; }
+
+void Rng::shuffle(std::vector<std::uint64_t>& v) noexcept {
+  for (std::size_t i = v.size(); i > 1; --i) {
+    std::swap(v[i - 1], v[uniform_u64(i)]);
+  }
+}
+
+ZipfSampler::ZipfSampler(std::uint64_t n, double skew) : n_(n), skew_(skew) {
+  assert(n > 0);
+  cdf_.resize(static_cast<std::size_t>(n));
+  double acc = 0;
+  for (std::uint64_t k = 0; k < n; ++k) {
+    acc += 1.0 / std::pow(static_cast<double>(k + 1), skew);
+    cdf_[static_cast<std::size_t>(k)] = acc;
+  }
+  for (auto& c : cdf_) c /= acc;
+}
+
+std::uint64_t ZipfSampler::operator()(Rng& rng) const noexcept {
+  const double u = rng.uniform();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) --it;
+  return static_cast<std::uint64_t>(it - cdf_.begin());
+}
+
+}  // namespace pio

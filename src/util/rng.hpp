@@ -1,0 +1,68 @@
+// Deterministic random number generation and the distributions used by the
+// workload generators and the fault injector.
+//
+// All experiments must be exactly reproducible across runs and platforms,
+// so we carry our own generator (xoshiro256**) and inverse-CDF samplers
+// instead of relying on <random>'s unspecified distribution algorithms.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace pio {
+
+/// xoshiro256** by Blackman & Vigna: fast, 256-bit state, passes BigCrush.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+  /// Next raw 64-bit draw.
+  std::uint64_t next() noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept;
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept;
+
+  /// Unbiased uniform integer in [0, n) via Lemire rejection. n must be > 0.
+  std::uint64_t uniform_u64(std::uint64_t n) noexcept;
+
+  /// Exponential with the given mean (inverse-CDF).  mean must be > 0.
+  double exponential(double mean) noexcept;
+
+  /// Approximately normal via sum of 12 uniforms (Irwin-Hall), adequate for
+  /// workload jitter; deterministic and branch-free.
+  double normal(double mean, double stddev) noexcept;
+
+  /// Split off an independent stream (seeded from this one) so concurrent
+  /// entities don't share sequence state.
+  Rng split() noexcept;
+
+  /// Fisher-Yates shuffle of an index vector.
+  void shuffle(std::vector<std::uint64_t>& v) noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> s_;
+};
+
+/// Zipf(s, n) sampler over {0, .., n-1} using precomputed CDF + binary
+/// search.  Used for hot-spot (non-uniform) direct-access workloads
+/// (EXP5); s = 0 degenerates to uniform.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::uint64_t n, double skew);
+
+  std::uint64_t operator()(Rng& rng) const noexcept;
+
+  std::uint64_t n() const noexcept { return n_; }
+  double skew() const noexcept { return skew_; }
+
+ private:
+  std::uint64_t n_;
+  double skew_;
+  std::vector<double> cdf_;
+};
+
+}  // namespace pio

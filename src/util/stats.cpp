@@ -1,0 +1,130 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+namespace pio {
+
+void OnlineStats::add(double x) noexcept {
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void OnlineStats::merge(const OnlineStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const auto na = static_cast<double>(n_);
+  const auto nb = static_cast<double>(other.n_);
+  const double nt = na + nb;
+  m2_ += other.m2_ + delta * delta * na * nb / nt;
+  mean_ = (na * mean_ + nb * other.mean_) / nt;
+  n_ += other.n_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double OnlineStats::variance() const noexcept {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double OnlineStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo),
+      hi_(hi),
+      bucket_width_((hi - lo) / static_cast<double>(buckets)),
+      buckets_(buckets, 0) {
+  assert(hi > lo && buckets > 0);
+}
+
+void Histogram::add(double x) noexcept {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+  } else if (x >= hi_) {
+    ++overflow_;
+  } else {
+    ++buckets_[static_cast<std::size_t>((x - lo_) / bucket_width_)];
+  }
+}
+
+double Histogram::quantile(double q) const noexcept {
+  if (total_ == 0) return lo_;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(total_);
+  double acc = static_cast<double>(underflow_);
+  if (target <= acc) return lo_;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    const double in_bucket = static_cast<double>(buckets_[i]);
+    if (acc + in_bucket >= target && in_bucket > 0) {
+      const double frac = (target - acc) / in_bucket;
+      return lo_ + (static_cast<double>(i) + frac) * bucket_width_;
+    }
+    acc += in_bucket;
+  }
+  return hi_;
+}
+
+std::string Histogram::render(std::size_t width) const {
+  std::size_t peak = 1;
+  for (auto c : buckets_) peak = std::max(peak, c);
+  std::string out;
+  char line[160];
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    const double lo = lo_ + static_cast<double>(i) * bucket_width_;
+    const auto bar = static_cast<std::size_t>(
+        static_cast<double>(buckets_[i]) / static_cast<double>(peak) *
+        static_cast<double>(width));
+    std::snprintf(line, sizeof line, "%12.3f | %-6zu ", lo, buckets_[i]);
+    out += line;
+    out.append(bar, '#');
+    out += '\n';
+  }
+  return out;
+}
+
+std::string format_table(const std::string& x_label,
+                         const std::vector<Series>& series) {
+  std::string out;
+  char buf[64];
+  out += x_label;
+  for (const auto& s : series) {
+    out += '\t';
+    out += s.name;
+  }
+  out += '\n';
+  std::size_t rows = 0;
+  for (const auto& s : series) rows = std::max(rows, s.x.size());
+  for (std::size_t r = 0; r < rows; ++r) {
+    bool have_x = false;
+    for (const auto& s : series) {
+      if (r < s.x.size()) {
+        if (!have_x) {
+          std::snprintf(buf, sizeof buf, "%g", s.x[r]);
+          out += buf;
+          have_x = true;
+        }
+        std::snprintf(buf, sizeof buf, "\t%g", s.y[r]);
+        out += buf;
+      } else {
+        out += "\t-";
+      }
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace pio

@@ -1,0 +1,76 @@
+// Online statistics and histograms used to summarize experiment output.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace pio {
+
+/// Welford online mean/variance accumulator with min/max tracking.
+class OnlineStats {
+ public:
+  void add(double x) noexcept;
+  void merge(const OnlineStats& other) noexcept;
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  double variance() const noexcept;  ///< sample variance (n-1 denominator)
+  double stddev() const noexcept;
+  double min() const noexcept { return n_ ? min_ : 0.0; }
+  double max() const noexcept { return n_ ? max_ : 0.0; }
+  double sum() const noexcept { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Fixed-bucket linear histogram over [lo, hi) with overflow buckets;
+/// supports approximate quantiles by bucket interpolation.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double x) noexcept;
+  std::size_t count() const noexcept { return total_; }
+
+  /// Approximate quantile q in [0, 1] by linear interpolation inside the
+  /// containing bucket.  Returns lo/hi bounds for under/overflow mass.
+  double quantile(double q) const noexcept;
+
+  /// Render a compact textual bar chart, `width` characters wide.
+  std::string render(std::size_t width = 50) const;
+
+ private:
+  double lo_, hi_, bucket_width_;
+  std::vector<std::size_t> buckets_;
+  std::size_t underflow_ = 0;
+  std::size_t overflow_ = 0;
+  std::size_t total_ = 0;
+};
+
+/// A labelled (x, y) series; experiments accumulate one per curve and the
+/// bench harness prints them as the paper-style table rows.
+struct Series {
+  std::string name;
+  std::vector<double> x;
+  std::vector<double> y;
+
+  void add(double xv, double yv) {
+    x.push_back(xv);
+    y.push_back(yv);
+  }
+};
+
+/// Render aligned table rows from a set of series sharing the x axis.
+std::string format_table(const std::string& x_label,
+                         const std::vector<Series>& series);
+
+}  // namespace pio

@@ -1,0 +1,67 @@
+#include "workload/generators.hpp"
+
+namespace pio {
+
+std::vector<double> make_task_costs(Rng& rng, std::uint64_t tasks,
+                                    double mean_cost_s) {
+  std::vector<double> costs;
+  costs.reserve(static_cast<std::size_t>(tasks));
+  for (std::uint64_t i = 0; i < tasks; ++i) {
+    costs.push_back(rng.exponential(mean_cost_s));
+  }
+  return costs;
+}
+
+std::vector<double> make_bimodal_task_costs(Rng& rng, std::uint64_t tasks,
+                                            double base_cost_s,
+                                            double heavy_fraction,
+                                            double heavy_factor) {
+  std::vector<double> costs;
+  costs.reserve(static_cast<std::size_t>(tasks));
+  for (std::uint64_t i = 0; i < tasks; ++i) {
+    const bool heavy = rng.uniform() < heavy_fraction;
+    costs.push_back(heavy ? base_cost_s * heavy_factor : base_cost_s);
+  }
+  return costs;
+}
+
+std::vector<std::uint64_t> make_reference_string(Rng& rng, std::uint64_t blocks,
+                                                 std::uint64_t references,
+                                                 double skew) {
+  std::vector<std::uint64_t> refs;
+  refs.reserve(static_cast<std::size_t>(references));
+  if (skew <= 0.0) {
+    for (std::uint64_t i = 0; i < references; ++i) {
+      refs.push_back(rng.uniform_u64(blocks));
+    }
+    return refs;
+  }
+  // Zipf over a shuffled identity so the hot blocks are scattered across
+  // the address space (hot spots, not a hot prefix).
+  ZipfSampler zipf(blocks, skew);
+  std::vector<std::uint64_t> perm(static_cast<std::size_t>(blocks));
+  for (std::uint64_t i = 0; i < blocks; ++i) perm[static_cast<std::size_t>(i)] = i;
+  rng.shuffle(perm);
+  for (std::uint64_t i = 0; i < references; ++i) {
+    refs.push_back(perm[static_cast<std::size_t>(zipf(rng))]);
+  }
+  return refs;
+}
+
+std::vector<std::uint64_t> make_paging_string(std::uint64_t blocks,
+                                              std::uint64_t window,
+                                              std::uint64_t passes) {
+  std::vector<std::uint64_t> refs;
+  refs.reserve(static_cast<std::size_t>(blocks * passes));
+  for (std::uint64_t pass = 0; pass < passes; ++pass) {
+    for (std::uint64_t start = 0; start < blocks; start += window) {
+      const std::uint64_t end = std::min(start + window, blocks);
+      // Touch the window twice per pass: locality a cache can exploit.
+      for (std::uint64_t b = start; b < end; ++b) refs.push_back(b);
+      for (std::uint64_t b = start; b < end; ++b) refs.push_back(b);
+    }
+  }
+  return refs;
+}
+
+}  // namespace pio

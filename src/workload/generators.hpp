@@ -1,0 +1,38 @@
+// Workload generators: synthetic stand-ins for the applications the paper
+// motivates (see DESIGN.md substitutions) — matrix sweeps, work queues
+// with variable task cost, and skewed direct-access reference streams.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace pio {
+
+/// Variable-cost task queue (type SS motivation: "a queue with multiple
+/// servers").  Costs drawn i.i.d. exponential with the given mean —
+/// heavy enough variance that static partitioning load-imbalances.
+std::vector<double> make_task_costs(Rng& rng, std::uint64_t tasks,
+                                    double mean_cost_s);
+
+/// Skewed task costs: a fraction of "heavy" tasks `heavy_factor` times the
+/// base cost (worst case for static assignment).
+std::vector<double> make_bimodal_task_costs(Rng& rng, std::uint64_t tasks,
+                                            double base_cost_s,
+                                            double heavy_fraction,
+                                            double heavy_factor);
+
+/// Direct-access reference string over `blocks` blocks: uniform when
+/// skew == 0, Zipf(skew) hot spots otherwise (the Livny/Kim workload).
+std::vector<std::uint64_t> make_reference_string(Rng& rng, std::uint64_t blocks,
+                                                 std::uint64_t references,
+                                                 double skew);
+
+/// Pages of an out-of-core multi-pass workload with locality: sweeps a
+/// working set window across the blocks, `passes` times.
+std::vector<std::uint64_t> make_paging_string(std::uint64_t blocks,
+                                              std::uint64_t window,
+                                              std::uint64_t passes);
+
+}  // namespace pio

@@ -1,0 +1,59 @@
+#include "workload/sim_process.hpp"
+
+namespace pio {
+
+sim::Task run_process(sim::Engine& eng, SimDiskArray& disks,
+                      const Layout& layout, std::vector<SimOp> ops,
+                      sim::WaitGroup& wg) {
+  for (const SimOp& op : ops) {
+    if (op.compute_s > 0) co_await eng.delay(op.compute_s);
+    if (op.bytes == 0) continue;
+    std::vector<DiskSegment> segments;
+    for (const Segment& seg : layout.map(op.offset, op.bytes)) {
+      segments.push_back(DiskSegment{seg.device, seg.offset, seg.length});
+    }
+    if (segments.size() == 1) {
+      co_await disks[segments[0].device].io(segments[0].offset,
+                                            segments[0].length);
+    } else {
+      co_await parallel_io(eng, disks, std::move(segments));
+    }
+  }
+  wg.done();
+}
+
+std::vector<SimOp> pattern_ops(const Pattern& pattern, std::uint64_t visits,
+                               std::uint32_t record_bytes,
+                               std::uint32_t records_per_transfer,
+                               double compute_per_record_s) {
+  std::vector<SimOp> ops;
+  std::uint64_t k = 0;
+  while (k < visits) {
+    // Coalesce a run of consecutive logical records into one transfer.
+    const std::uint64_t first = pattern.index(k);
+    std::uint64_t run = 1;
+    while (run < records_per_transfer && k + run < visits &&
+           pattern.index(k + run) == first + run) {
+      ++run;
+    }
+    ops.push_back(SimOp{first * record_bytes, run * record_bytes,
+                        compute_per_record_s * static_cast<double>(run)});
+    k += run;
+  }
+  return ops;
+}
+
+double run_processes(sim::Engine& eng, SimDiskArray& disks,
+                     const Layout& layout,
+                     std::vector<std::vector<SimOp>> per_process_ops) {
+  const double t0 = eng.now();
+  sim::WaitGroup wg(eng);
+  wg.add(per_process_ops.size());
+  for (auto& ops : per_process_ops) {
+    eng.spawn(run_process(eng, disks, layout, std::move(ops), wg));
+  }
+  eng.run();
+  return eng.now() - t0;
+}
+
+}  // namespace pio

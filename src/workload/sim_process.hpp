@@ -1,0 +1,47 @@
+// Sim-side process runner: replays a list of (compute, logical transfer)
+// operations against a Layout + SimDiskArray in virtual time.  Benches
+// build op lists from the same Pattern index math the functional handles
+// use, so the simulator times exactly the organization semantics.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/access_pattern.hpp"
+#include "device/sim_disk.hpp"
+#include "layout/layout.hpp"
+#include "sim/resource.hpp"
+
+namespace pio {
+
+/// One process step: think for `compute_s`, then transfer `bytes` logical
+/// bytes starting at `offset` (fanned out per the layout).
+struct SimOp {
+  std::uint64_t offset = 0;
+  std::uint64_t bytes = 0;
+  double compute_s = 0.0;
+};
+
+/// Run `ops` in order; signals `wg` at completion.  A transfer that spans
+/// several devices proceeds on all of them concurrently and completes with
+/// the slowest segment (striped transfer semantics).
+sim::Task run_process(sim::Engine& eng, SimDiskArray& disks,
+                      const Layout& layout, std::vector<SimOp> ops,
+                      sim::WaitGroup& wg);
+
+/// Build the op list for a process reading/writing `visits` records of
+/// `record_bytes` along `pattern`, coalescing consecutive pattern indices
+/// into one transfer of up to `records_per_transfer` records, with
+/// `compute_per_record_s` of work per record.
+std::vector<SimOp> pattern_ops(const Pattern& pattern, std::uint64_t visits,
+                               std::uint32_t record_bytes,
+                               std::uint32_t records_per_transfer,
+                               double compute_per_record_s);
+
+/// Elapsed virtual time for a set of per-process op lists all started at
+/// t=0 (the engine is run to completion).  Returns the makespan.
+double run_processes(sim::Engine& eng, SimDiskArray& disks,
+                     const Layout& layout,
+                     std::vector<std::vector<SimOp>> per_process_ops);
+
+}  // namespace pio

@@ -1,0 +1,206 @@
+// Tests for SpaceAllocator and the catalog wire format.
+#include <gtest/gtest.h>
+
+#include "core/allocator.hpp"
+#include "core/catalog.hpp"
+#include "test_helpers.hpp"
+
+namespace pio {
+namespace {
+
+// ---------------------------------------------------------- SpaceAllocator
+
+SpaceAllocator two_devices(std::uint64_t cap = 1000, std::uint64_t reserve0 = 100) {
+  return SpaceAllocator({cap, cap}, {reserve0, 0});
+}
+
+TEST(SpaceAllocator, RespectsReservedPrefix) {
+  auto a = two_devices();
+  auto r = a.allocate(0, 50);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 100u);  // past the superblock
+  auto r1 = a.allocate(1, 50);
+  ASSERT_TRUE(r1.ok());
+  EXPECT_EQ(*r1, 0u);
+}
+
+TEST(SpaceAllocator, SequentialAllocationsAdjacent) {
+  auto a = two_devices();
+  EXPECT_EQ(*a.allocate(1, 100), 0u);
+  EXPECT_EQ(*a.allocate(1, 100), 100u);
+  EXPECT_EQ(*a.allocate(1, 100), 200u);
+}
+
+TEST(SpaceAllocator, FailsWhenFull) {
+  auto a = two_devices();
+  PIO_ASSERT_OK(Status{});  // silence unused warnings
+  EXPECT_TRUE(a.allocate(1, 1000).ok());
+  EXPECT_EQ(a.allocate(1, 1).code(), Errc::out_of_range);
+}
+
+TEST(SpaceAllocator, FreeBytesAccounting) {
+  auto a = two_devices();
+  EXPECT_EQ(a.free_bytes(0), 900u);
+  EXPECT_EQ(a.free_bytes(1), 1000u);
+  (void)a.allocate(0, 300);
+  EXPECT_EQ(a.free_bytes(0), 600u);
+  a.release(0, 100, 300);
+  EXPECT_EQ(a.free_bytes(0), 900u);
+}
+
+TEST(SpaceAllocator, ReleaseMergesWithNeighbours) {
+  auto a = two_devices();
+  const auto r1 = *a.allocate(1, 100);
+  const auto r2 = *a.allocate(1, 100);
+  const auto r3 = *a.allocate(1, 100);
+  a.release(1, r1, 100);
+  a.release(1, r3, 100);
+  a.release(1, r2, 100);  // middle: must merge into one extent
+  // If merged, a 1000-byte allocation fits again.
+  EXPECT_TRUE(a.allocate(1, 1000).ok());
+}
+
+TEST(SpaceAllocator, FirstFitReusesFreedHole) {
+  auto a = two_devices();
+  const auto r1 = *a.allocate(1, 100);
+  (void)*a.allocate(1, 100);
+  a.release(1, r1, 100);
+  EXPECT_EQ(*a.allocate(1, 60), r1);  // hole reused
+}
+
+TEST(SpaceAllocator, ZeroByteAllocationSucceeds) {
+  auto a = two_devices();
+  EXPECT_TRUE(a.allocate(0, 0).ok());
+  EXPECT_EQ(a.free_bytes(0), 900u);
+}
+
+TEST(SpaceAllocator, ReserveExactCarvesRange) {
+  auto a = two_devices();
+  PIO_ASSERT_OK(a.reserve_exact(1, 200, 100));
+  EXPECT_EQ(a.free_bytes(1), 900u);
+  // The carved range is not handed out again.
+  const auto r = *a.allocate(1, 200);
+  EXPECT_EQ(r, 0u);
+  const auto r2 = *a.allocate(1, 300);
+  EXPECT_EQ(r2, 300u);  // skips [200, 300)
+}
+
+TEST(SpaceAllocator, ReserveExactRejectsOverlap) {
+  auto a = two_devices();
+  PIO_ASSERT_OK(a.reserve_exact(1, 200, 100));
+  EXPECT_EQ(a.reserve_exact(1, 250, 100).code(), Errc::corrupt);
+}
+
+TEST(SpaceAllocator, FragmentationForcesFailure) {
+  auto a = two_devices();
+  const auto r1 = *a.allocate(1, 500);
+  (void)*a.allocate(1, 500);
+  a.release(1, r1, 500);
+  // 500 free but fragmented?  No: it's one extent, so 500 fits...
+  EXPECT_TRUE(a.allocate(1, 500).ok());
+  // ...but now nothing does.
+  EXPECT_FALSE(a.allocate(1, 1).ok());
+}
+
+// ----------------------------------------------------------------- Catalog
+
+Catalog sample_catalog() {
+  Catalog c;
+  c.device_count = 3;
+  CatalogEntry e;
+  e.meta.name = "results.dat";
+  e.meta.organization = Organization::interleaved;
+  e.meta.category = FileCategory::standard;
+  e.meta.layout_kind = LayoutKind::interleaved;
+  e.meta.record_bytes = 512;
+  e.meta.records_per_block = 4;
+  e.meta.partitions = 8;
+  e.meta.capacity_records = 4096;
+  e.meta.stripe_unit = 2048;
+  e.meta.placement = PartitionPlacement::grouped;
+  e.record_count = 1000;
+  e.partition_records = {125, 125, 125, 125, 125, 125, 125, 125};
+  e.bases = {64 * 1024, 0, 0};
+  c.entries.push_back(e);
+  CatalogEntry e2;
+  e2.meta.name = "scratch";
+  e2.meta.organization = Organization::self_scheduled;
+  e2.meta.category = FileCategory::specialized;
+  e2.meta.record_bytes = 64;
+  e2.meta.capacity_records = 100;
+  e2.partition_records = {0};
+  e2.bases = {0, 0, 0};
+  c.entries.push_back(e2);
+  return c;
+}
+
+TEST(Catalog, RoundTrip) {
+  const Catalog original = sample_catalog();
+  const auto image = serialize_catalog(original);
+  auto parsed = parse_catalog(image);
+  ASSERT_TRUE(parsed.ok()) << parsed.error().to_string();
+  EXPECT_EQ(parsed->device_count, 3u);
+  ASSERT_EQ(parsed->entries.size(), 2u);
+  const CatalogEntry& e = parsed->entries[0];
+  EXPECT_EQ(e.meta.name, "results.dat");
+  EXPECT_EQ(e.meta.organization, Organization::interleaved);
+  EXPECT_EQ(e.meta.category, FileCategory::standard);
+  EXPECT_EQ(e.meta.record_bytes, 512u);
+  EXPECT_EQ(e.meta.records_per_block, 4u);
+  EXPECT_EQ(e.meta.partitions, 8u);
+  EXPECT_EQ(e.meta.capacity_records, 4096u);
+  EXPECT_EQ(e.meta.stripe_unit, 2048u);
+  EXPECT_EQ(e.meta.placement, PartitionPlacement::grouped);
+  EXPECT_EQ(e.record_count, 1000u);
+  EXPECT_EQ(e.partition_records.size(), 8u);
+  EXPECT_EQ(e.bases[0], 64u * 1024u);
+  EXPECT_EQ(parsed->entries[1].meta.category, FileCategory::specialized);
+}
+
+TEST(Catalog, EmptyCatalogRoundTrips) {
+  Catalog c;
+  c.device_count = 1;
+  auto parsed = parse_catalog(serialize_catalog(c));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->entries.empty());
+}
+
+TEST(Catalog, DetectsBitFlipAnywhere) {
+  const auto image = serialize_catalog(sample_catalog());
+  for (std::size_t i = 8; i < image.size(); i += 23) {
+    auto copy = image;
+    copy[i] ^= std::byte{0x40};
+    auto parsed = parse_catalog(copy);
+    EXPECT_FALSE(parsed.ok()) << "flip at byte " << i << " undetected";
+  }
+}
+
+TEST(Catalog, DetectsTruncation) {
+  auto image = serialize_catalog(sample_catalog());
+  image.resize(image.size() / 2);
+  auto parsed = parse_catalog(image);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.code(), Errc::corrupt);
+}
+
+TEST(Catalog, RejectsBadMagic) {
+  auto image = serialize_catalog(sample_catalog());
+  image[0] = std::byte{0x00};
+  EXPECT_EQ(parse_catalog(image).code(), Errc::corrupt);
+}
+
+TEST(Catalog, RejectsUnknownVersion) {
+  auto image = serialize_catalog(sample_catalog());
+  image[8] = std::byte{99};  // version field follows the 8-byte magic
+  EXPECT_EQ(parse_catalog(image).code(), Errc::not_supported);
+}
+
+TEST(Catalog, ZeroPaddingAfterImageIsIgnored) {
+  auto image = serialize_catalog(sample_catalog());
+  image.resize(image.size() + 1000, std::byte{0});
+  auto parsed = parse_catalog(image);
+  EXPECT_TRUE(parsed.ok());  // parser stops at the checksum
+}
+
+}  // namespace
+}  // namespace pio

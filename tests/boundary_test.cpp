@@ -1,0 +1,151 @@
+// Tests for the §5 boundary-overlap remedies: halo replication math and
+// the in-memory halo cache.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/boundary.hpp"
+#include "test_helpers.hpp"
+
+namespace pio {
+namespace {
+
+TEST(HaloPartitioning, NoHaloDegeneratesToPlainPartitioning) {
+  HaloPartitioning h(100, 4, 0);
+  EXPECT_EQ(h.total_stored(), 100u);
+  EXPECT_DOUBLE_EQ(h.overhead(), 1.0);
+  for (std::uint32_t p = 0; p < 4; ++p) {
+    EXPECT_EQ(h.stored_count(p), 25u);
+    EXPECT_FALSE(h.slot_is_halo(p, 0));
+  }
+}
+
+TEST(HaloPartitioning, CountsWithHalo) {
+  HaloPartitioning h(100, 4, 2);
+  // Interior partitions carry halo on both sides; end partitions one side.
+  EXPECT_EQ(h.stored_count(0), 27u);  // 25 + right 2
+  EXPECT_EQ(h.stored_count(1), 29u);  // 2 + 25 + 2
+  EXPECT_EQ(h.stored_count(2), 29u);
+  EXPECT_EQ(h.stored_count(3), 27u);  // left 2 + 25
+  EXPECT_EQ(h.total_stored(), 100u + 2u * 2u * 3u);
+  EXPECT_DOUBLE_EQ(h.overhead(), 112.0 / 100.0);
+}
+
+TEST(HaloPartitioning, StoredStartsArePrefixSums) {
+  HaloPartitioning h(100, 4, 2);
+  EXPECT_EQ(h.stored_start(0), 0u);
+  EXPECT_EQ(h.stored_start(1), 27u);
+  EXPECT_EQ(h.stored_start(2), 56u);
+  EXPECT_EQ(h.stored_start(3), 85u);
+}
+
+TEST(HaloPartitioning, SlotMappingCoversNeighbourData) {
+  HaloPartitioning h(100, 4, 2);
+  // Partition 1 owns [25, 50); slots run over [23, 52).
+  EXPECT_EQ(h.interior_of_slot(1, 0), 23u);   // left halo
+  EXPECT_EQ(h.interior_of_slot(1, 2), 25u);   // first owned
+  EXPECT_EQ(h.interior_of_slot(1, 26), 49u);  // last owned
+  EXPECT_EQ(h.interior_of_slot(1, 27), 50u);  // right halo
+  EXPECT_TRUE(h.slot_is_halo(1, 0));
+  EXPECT_TRUE(h.slot_is_halo(1, 1));
+  EXPECT_FALSE(h.slot_is_halo(1, 2));
+  EXPECT_FALSE(h.slot_is_halo(1, 26));
+  EXPECT_TRUE(h.slot_is_halo(1, 27));
+}
+
+TEST(HaloPartitioning, EndPartitionsHaveOneSidedHalo) {
+  HaloPartitioning h(100, 4, 2);
+  EXPECT_FALSE(h.slot_is_halo(0, 0));          // no left halo on partition 0
+  EXPECT_TRUE(h.slot_is_halo(0, 25));          // right halo
+  EXPECT_TRUE(h.slot_is_halo(3, 0));           // left halo on the last
+  EXPECT_FALSE(h.slot_is_halo(3, 26));         // its last owned record
+}
+
+TEST(HaloPartitioning, DeduplicatedEnumerationRecoversInterior) {
+  // Walking all stored slots and skipping halos must visit every interior
+  // record exactly once — the global-view requirement in §5.
+  HaloPartitioning h(103, 5, 3);  // uneven tail partition
+  std::set<std::uint64_t> seen;
+  for (std::uint32_t p = 0; p < 5; ++p) {
+    for (std::uint64_t s = 0; s < h.stored_count(p); ++s) {
+      const std::uint64_t interior = h.interior_of_slot(p, s);
+      EXPECT_LT(interior, 103u);
+      if (!h.slot_is_halo(p, s)) {
+        EXPECT_TRUE(seen.insert(interior).second) << interior;
+      }
+    }
+  }
+  EXPECT_EQ(seen.size(), 103u);
+}
+
+TEST(HaloPartitioning, HaloSlotsDuplicateNeighbourInterior) {
+  HaloPartitioning h(60, 3, 2);
+  // Partition 1's left halo replicates partition 0's last two records.
+  EXPECT_EQ(h.interior_of_slot(1, 0), 18u);
+  EXPECT_EQ(h.interior_of_slot(1, 1), 19u);
+  // Partition 0's right halo replicates partition 1's first two.
+  const std::uint64_t p0_own = h.interior_count(0);
+  EXPECT_EQ(h.interior_of_slot(0, p0_own), 20u);
+  EXPECT_EQ(h.interior_of_slot(0, p0_own + 1), 21u);
+}
+
+TEST(HaloPartitioning, UnevenTailAbsorbsRemainder) {
+  HaloPartitioning h(103, 5, 3);
+  EXPECT_EQ(h.interior_count(0), 20u);
+  EXPECT_EQ(h.interior_count(4), 23u);
+  std::uint64_t total = 0;
+  for (std::uint32_t p = 0; p < 5; ++p) total += h.interior_count(p);
+  EXPECT_EQ(total, 103u);
+}
+
+// ----------------------------------------------------------------- HaloCache
+
+TEST(HaloCache, FetchThroughOncePerRecord) {
+  int fetches = 0;
+  HaloCache cache(16, [&](std::uint64_t idx, std::span<std::byte> into) {
+    ++fetches;
+    fill_record_payload(into, 1, idx);
+    return ok_status();
+  });
+  std::vector<std::byte> buf(16);
+  for (int pass = 0; pass < 3; ++pass) {
+    for (std::uint64_t i = 0; i < 4; ++i) {
+      PIO_ASSERT_OK(cache.get(i, buf));
+      EXPECT_TRUE(verify_record_payload(buf, 1, i));
+    }
+  }
+  EXPECT_EQ(fetches, 4);  // only the first pass misses
+  EXPECT_EQ(cache.misses(), 4u);
+  EXPECT_EQ(cache.hits(), 8u);
+  EXPECT_EQ(cache.resident_records(), 4u);
+  EXPECT_EQ(cache.resident_bytes(), 64u);
+}
+
+TEST(HaloCache, InvalidateForcesRefetch) {
+  int fetches = 0;
+  HaloCache cache(8, [&](std::uint64_t idx, std::span<std::byte> into) {
+    ++fetches;
+    fill_record_payload(into, 2, idx);
+    return ok_status();
+  });
+  std::vector<std::byte> buf(8);
+  PIO_ASSERT_OK(cache.get(0, buf));
+  cache.invalidate();
+  PIO_ASSERT_OK(cache.get(0, buf));
+  EXPECT_EQ(fetches, 2);
+}
+
+TEST(HaloCache, FetchErrorPropagatesAndIsNotCached) {
+  bool fail = true;
+  HaloCache cache(8, [&](std::uint64_t, std::span<std::byte>) -> Status {
+    if (fail) return make_error(Errc::device_failed, "down");
+    return ok_status();
+  });
+  std::vector<std::byte> buf(8);
+  EXPECT_EQ(cache.get(0, buf).code(), Errc::device_failed);
+  fail = false;
+  PIO_ASSERT_OK(cache.get(0, buf));  // retry succeeds after repair
+}
+
+}  // namespace
+}  // namespace pio

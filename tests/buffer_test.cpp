@@ -1,0 +1,365 @@
+// Tests for the buffering machinery: pools, LRU cache, read-ahead,
+// write-behind, and the buffered pattern I/O built on them.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "buffer/buffer_pool.hpp"
+#include "buffer/lru_cache.hpp"
+#include "buffer/read_ahead.hpp"
+#include "buffer/write_behind.hpp"
+#include "core/buffered_io.hpp"
+#include "device/ram_disk.hpp"
+#include "test_helpers.hpp"
+#include "util/bytes.hpp"
+
+namespace pio {
+namespace {
+
+// -------------------------------------------------------------- BufferPool
+
+TEST(BufferPool, AcquireReleaseCycle) {
+  BufferPool pool(2, 128);
+  EXPECT_EQ(pool.available(), 2u);
+  auto* a = pool.acquire();
+  auto* b = pool.acquire();
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a->size(), 128u);
+  EXPECT_EQ(pool.available(), 0u);
+  EXPECT_EQ(pool.try_acquire(), nullptr);
+  pool.release(a);
+  EXPECT_EQ(pool.try_acquire(), a);
+  pool.release(a);
+  pool.release(b);
+}
+
+TEST(BufferPool, AcquireBlocksUntilRelease) {
+  BufferPool pool(1, 64);
+  auto* held = pool.acquire();
+  std::atomic<bool> got{false};
+  std::thread waiter([&] {
+    auto* buf = pool.acquire();
+    got.store(true);
+    pool.release(buf);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(got.load());
+  pool.release(held);
+  waiter.join();
+  EXPECT_TRUE(got.load());
+}
+
+TEST(BufferPool, LeaseReleasesOnScopeExit) {
+  BufferPool pool(1, 64);
+  {
+    BufferLease lease(pool);
+    (*lease)[0] = std::byte{42};
+    EXPECT_EQ(pool.available(), 0u);
+  }
+  EXPECT_EQ(pool.available(), 1u);
+}
+
+// ----------------------------------------------------------- LruBufferCache
+
+struct CacheFixture : ::testing::Test {
+  static constexpr std::size_t kBlock = 64;
+  CacheFixture() : backing("b", 64 * kBlock) {}
+
+  LruBufferCache make_cache(std::size_t frames) {
+    return LruBufferCache(
+        frames, kBlock,
+        [this](std::uint64_t block, std::span<std::byte> into) {
+          ++fetches;
+          return backing.read(block * kBlock, into);
+        },
+        [this](std::uint64_t block, std::span<const std::byte> from) {
+          ++flushes;
+          return backing.write(block * kBlock, from);
+        });
+  }
+
+  void seed(std::uint64_t blocks) {
+    std::vector<std::byte> buf(kBlock);
+    for (std::uint64_t b = 0; b < blocks; ++b) {
+      fill_record_payload(buf, 1, b);
+      ASSERT_TRUE(backing.write(b * kBlock, buf).ok());
+    }
+  }
+
+  RamDisk backing;
+  int fetches = 0;
+  int flushes = 0;
+};
+
+TEST_F(CacheFixture, ReadThroughAndHit) {
+  seed(4);
+  auto cache = make_cache(2);
+  std::vector<std::byte> buf(kBlock);
+  PIO_ASSERT_OK(cache.read(1, buf));
+  EXPECT_TRUE(verify_record_payload(buf, 1, 1));
+  EXPECT_EQ(fetches, 1);
+  PIO_ASSERT_OK(cache.read(1, buf));
+  EXPECT_EQ(fetches, 1);  // hit
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_DOUBLE_EQ(cache.stats().hit_rate(), 0.5);
+}
+
+TEST_F(CacheFixture, LruEviction) {
+  seed(4);
+  auto cache = make_cache(2);
+  std::vector<std::byte> buf(kBlock);
+  PIO_ASSERT_OK(cache.read(0, buf));
+  PIO_ASSERT_OK(cache.read(1, buf));
+  PIO_ASSERT_OK(cache.read(0, buf));  // promote 0
+  PIO_ASSERT_OK(cache.read(2, buf));  // evicts 1 (LRU), not 0
+  PIO_ASSERT_OK(cache.read(0, buf));  // still cached
+  EXPECT_EQ(fetches, 3);
+  PIO_ASSERT_OK(cache.read(1, buf));  // must re-fetch
+  EXPECT_EQ(fetches, 4);
+  EXPECT_EQ(cache.stats().evictions, 2u);
+}
+
+TEST_F(CacheFixture, DirtyWritebackOnEviction) {
+  seed(4);
+  auto cache = make_cache(1);
+  std::vector<std::byte> buf(kBlock);
+  fill_record_payload(buf, 2, 0);
+  PIO_ASSERT_OK(cache.write(0, buf));
+  EXPECT_EQ(flushes, 0);  // still cached
+  PIO_ASSERT_OK(cache.read(1, buf));  // evicts dirty block 0
+  EXPECT_EQ(flushes, 1);
+  std::vector<std::byte> back(kBlock);
+  PIO_ASSERT_OK(backing.read(0, back));
+  EXPECT_TRUE(verify_record_payload(back, 2, 0));
+}
+
+TEST_F(CacheFixture, WholeBlockWriteSkipsFetch) {
+  seed(4);
+  auto cache = make_cache(2);
+  std::vector<std::byte> buf(kBlock);
+  PIO_ASSERT_OK(cache.write(3, buf));
+  EXPECT_EQ(fetches, 0);  // write-allocate without read
+}
+
+TEST_F(CacheFixture, UpdateReadModifyWrite) {
+  seed(4);
+  auto cache = make_cache(2);
+  PIO_ASSERT_OK(cache.update(2, [](std::span<std::byte> block) {
+    block[0] = std::byte{0x5a};
+  }));
+  EXPECT_EQ(fetches, 1);  // RMW fetched the original
+  PIO_ASSERT_OK(cache.flush_all());
+  std::vector<std::byte> back(kBlock);
+  PIO_ASSERT_OK(backing.read(2 * kBlock, back));
+  EXPECT_EQ(back[0], std::byte{0x5a});
+  // Rest of the block preserved.
+  std::vector<std::byte> expect(kBlock);
+  fill_record_payload(expect, 1, 2);
+  for (std::size_t i = 1; i < kBlock; ++i) EXPECT_EQ(back[i], expect[i]);
+}
+
+TEST_F(CacheFixture, FlushAllKeepsContentsCached) {
+  seed(4);
+  auto cache = make_cache(2);
+  std::vector<std::byte> buf(kBlock);
+  PIO_ASSERT_OK(cache.write(0, buf));
+  PIO_ASSERT_OK(cache.flush_all());
+  EXPECT_EQ(flushes, 1);
+  PIO_ASSERT_OK(cache.flush_all());  // nothing dirty now
+  EXPECT_EQ(flushes, 1);
+  PIO_ASSERT_OK(cache.read(0, buf));
+  EXPECT_EQ(fetches, 0);  // still resident
+}
+
+TEST_F(CacheFixture, InvalidateDropsEverything) {
+  seed(4);
+  auto cache = make_cache(2);
+  std::vector<std::byte> buf(kBlock);
+  PIO_ASSERT_OK(cache.read(0, buf));
+  PIO_ASSERT_OK(cache.invalidate_all());
+  PIO_ASSERT_OK(cache.read(0, buf));
+  EXPECT_EQ(fetches, 2);
+}
+
+TEST_F(CacheFixture, PagingWorkloadHitRate) {
+  seed(8);
+  auto cache = make_cache(4);
+  std::vector<std::byte> buf(kBlock);
+  // Touch a 4-block window twice: second sweep all hits.
+  for (int pass = 0; pass < 2; ++pass) {
+    for (std::uint64_t b = 0; b < 4; ++b) PIO_ASSERT_OK(cache.read(b, buf));
+  }
+  EXPECT_EQ(cache.stats().hits, 4u);
+  EXPECT_EQ(cache.stats().misses, 4u);
+}
+
+// ---------------------------------------------------------------- ReadAhead
+
+TEST(ReadAhead, DeliversInOrder) {
+  std::atomic<int> fetched{0};
+  ReadAhead ra(
+      [&](std::uint64_t i, std::span<std::byte> into) {
+        ++fetched;
+        fill_record_payload(into, 3, i);
+        return ok_status();
+      },
+      10, 64, 3);
+  std::vector<std::byte> buf(64);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    PIO_ASSERT_OK(ra.next(buf));
+    EXPECT_TRUE(verify_record_payload(buf, 3, i));
+  }
+  EXPECT_EQ(ra.next(buf).code(), Errc::end_of_file);
+  EXPECT_EQ(ra.chunks_delivered(), 10u);
+  EXPECT_EQ(fetched.load(), 10);
+}
+
+TEST(ReadAhead, DepthBoundsPrefetch) {
+  std::atomic<int> fetched{0};
+  ReadAhead ra(
+      [&](std::uint64_t, std::span<std::byte>) {
+        ++fetched;
+        return ok_status();
+      },
+      100, 16, 2);
+  // Give the worker time: it may fetch at most depth + 1 in flight.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_LE(fetched.load(), 3);
+}
+
+TEST(ReadAhead, PropagatesFetchError) {
+  ReadAhead ra(
+      [&](std::uint64_t i, std::span<std::byte>) -> Status {
+        if (i == 3) return make_error(Errc::media_error, "bad sector");
+        return ok_status();
+      },
+      10, 16, 2);
+  std::vector<std::byte> buf(16);
+  for (int i = 0; i < 3; ++i) PIO_ASSERT_OK(ra.next(buf));
+  EXPECT_EQ(ra.next(buf).code(), Errc::media_error);
+}
+
+TEST(ReadAhead, DestructorUnblocksWorker) {
+  // Destroy while the worker is blocked on a full queue: must not hang.
+  auto ra = std::make_unique<ReadAhead>(
+      [](std::uint64_t, std::span<std::byte>) { return ok_status(); }, 1000,
+      16, 1);
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  ra.reset();  // joins
+  SUCCEED();
+}
+
+TEST(ReadAhead, ZeroChunksImmediatelyEof) {
+  ReadAhead ra([](std::uint64_t, std::span<std::byte>) { return ok_status(); },
+               0, 16, 2);
+  std::vector<std::byte> buf(16);
+  EXPECT_EQ(ra.next(buf).code(), Errc::end_of_file);
+}
+
+// -------------------------------------------------------------- WriteBehind
+
+TEST(WriteBehind, StoresEverythingInOrder) {
+  std::vector<std::uint64_t> stored;
+  std::mutex m;
+  WriteBehind wb(
+      [&](std::uint64_t i, std::span<const std::byte>) {
+        std::scoped_lock lock(m);
+        stored.push_back(i);
+        return ok_status();
+      },
+      4);
+  std::vector<std::byte> buf(32);
+  for (std::uint64_t i = 0; i < 20; ++i) PIO_ASSERT_OK(wb.submit(i, buf));
+  PIO_ASSERT_OK(wb.drain());
+  ASSERT_EQ(stored.size(), 20u);
+  for (std::uint64_t i = 0; i < 20; ++i) EXPECT_EQ(stored[i], i);
+}
+
+TEST(WriteBehind, DrainWaitsForInFlight) {
+  std::atomic<int> stored{0};
+  WriteBehind wb(
+      [&](std::uint64_t, std::span<const std::byte>) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        ++stored;
+        return ok_status();
+      },
+      8);
+  std::vector<std::byte> buf(8);
+  for (int i = 0; i < 5; ++i) PIO_ASSERT_OK(wb.submit(i, buf));
+  PIO_ASSERT_OK(wb.drain());
+  EXPECT_EQ(stored.load(), 5);
+}
+
+TEST(WriteBehind, ErrorSurfacesOnDrainAndSubmit) {
+  WriteBehind wb(
+      [&](std::uint64_t i, std::span<const std::byte>) -> Status {
+        if (i == 2) return make_error(Errc::device_failed, "gone");
+        return ok_status();
+      },
+      2);
+  std::vector<std::byte> buf(8);
+  for (int i = 0; i < 5; ++i) {
+    auto st = wb.submit(i, buf);
+    if (!st.ok()) break;  // may surface early
+  }
+  EXPECT_EQ(wb.drain().code(), Errc::device_failed);
+}
+
+TEST(WriteBehind, DataIsCopiedAtSubmit) {
+  std::vector<std::byte> captured;
+  std::mutex m;
+  WriteBehind wb(
+      [&](std::uint64_t, std::span<const std::byte> from) {
+        std::scoped_lock lock(m);
+        captured.assign(from.begin(), from.end());
+        return ok_status();
+      },
+      2);
+  std::vector<std::byte> buf(8, std::byte{7});
+  PIO_ASSERT_OK(wb.submit(0, buf));
+  buf.assign(8, std::byte{9});  // mutate after submit
+  PIO_ASSERT_OK(wb.drain());
+  EXPECT_EQ(captured[0], std::byte{7});
+}
+
+// --------------------------------------------------------- buffered pattern
+
+TEST(BufferedPatternIo, WriterThenReaderRoundTrip) {
+  DeviceArray devices = make_ram_array(4, 1 << 20);
+  FileMeta meta;
+  meta.name = "buf";
+  meta.organization = Organization::interleaved;
+  meta.layout_kind = LayoutKind::interleaved;
+  meta.record_bytes = 64;
+  meta.records_per_block = 2;
+  meta.partitions = 2;
+  meta.capacity_records = 40;
+  auto file = std::make_shared<ParallelFile>(
+      meta, devices, std::vector<std::uint64_t>(4, 0));
+
+  for (std::uint32_t rank = 0; rank < 2; ++rank) {
+    Pattern pat = Pattern::interleaved(2, 2, rank);
+    BufferedPatternWriter writer(file, pat, 4);
+    std::vector<std::byte> rec(64);
+    for (std::uint64_t k = 0; k < 20; ++k) {
+      fill_record_payload(rec, 6, pat.index(k));
+      PIO_ASSERT_OK(writer.write_next(rec));
+    }
+    PIO_ASSERT_OK(writer.drain());
+  }
+  for (std::uint32_t rank = 0; rank < 2; ++rank) {
+    Pattern pat = Pattern::interleaved(2, 2, rank);
+    BufferedPatternReader reader(file, pat, pat.visits_below(40), 4);
+    std::vector<std::byte> rec(64);
+    for (std::uint64_t k = 0; k < 20; ++k) {
+      PIO_ASSERT_OK(reader.next(rec));
+      EXPECT_TRUE(verify_record_payload(rec, 6, pat.index(k)));
+    }
+    EXPECT_EQ(reader.next(rec).code(), Errc::end_of_file);
+  }
+}
+
+}  // namespace
+}  // namespace pio

@@ -1,0 +1,142 @@
+// Cross-substrate validation: the functional data path (RamDisk arrays +
+// handles) and the virtual-time simulator (SimDisk arrays + pattern_ops)
+// must perform the SAME device I/O — byte-for-byte per device — when
+// driven by the same organization, layout, and access pattern.  This is
+// the license for reading the benchmarks' simulated results as statements
+// about the real implementation.
+#include <gtest/gtest.h>
+
+#include "core/handles.hpp"
+#include "device/ram_disk.hpp"
+#include "device/sim_disk.hpp"
+#include "test_helpers.hpp"
+#include "workload/sim_process.hpp"
+
+namespace pio {
+namespace {
+
+struct CrossCase {
+  std::string name;
+  Organization org;
+  LayoutKind layout;
+  std::uint32_t partitions;
+  std::uint32_t records_per_block;
+  std::size_t devices;
+  std::uint64_t capacity;
+};
+
+std::vector<CrossCase> cross_cases() {
+  return {
+      {"S_striped", Organization::sequential, LayoutKind::striped, 1, 1, 4, 192},
+      {"PS_blocked", Organization::partitioned, LayoutKind::blocked, 4, 1, 4, 192},
+      {"PS_blocked_shared", Organization::partitioned, LayoutKind::blocked, 6, 1, 3, 192},
+      {"IS_interleaved", Organization::interleaved, LayoutKind::interleaved, 4, 4, 4, 192},
+      {"IS_decl", Organization::interleaved, LayoutKind::declustered, 4, 4, 4, 192},
+      {"S_1dev", Organization::sequential, LayoutKind::striped, 1, 1, 1, 64},
+  };
+}
+
+class CrossSubstrate : public ::testing::TestWithParam<CrossCase> {};
+
+INSTANTIATE_TEST_SUITE_P(AllConfigs, CrossSubstrate,
+                         ::testing::ValuesIn(cross_cases()),
+                         [](const ::testing::TestParamInfo<CrossCase>& info) {
+                           return info.param.name;
+                         });
+
+TEST_P(CrossSubstrate, PerDeviceBytesAgree) {
+  const CrossCase& c = GetParam();
+  constexpr std::uint32_t kRecordBytes = 512;
+
+  // Functional run: every process drains its handle; count device reads.
+  DeviceArray devices = make_ram_array(c.devices, 4 << 20);
+  FileMeta meta;
+  meta.name = c.name;
+  meta.organization = c.org;
+  meta.layout_kind = c.layout;
+  meta.record_bytes = kRecordBytes;
+  meta.records_per_block = c.records_per_block;
+  meta.partitions = c.partitions;
+  meta.capacity_records = c.capacity;
+  meta.stripe_unit = 1024;
+  auto file = std::make_shared<ParallelFile>(
+      meta, devices, std::vector<std::uint64_t>(c.devices, 0));
+  pio::testing::fill_stamped(*file, c.capacity, 1);
+
+  std::vector<std::uint64_t> functional_bytes(c.devices, 0);
+  {
+    std::vector<std::uint64_t> before(c.devices);
+    for (std::size_t d = 0; d < c.devices; ++d) {
+      before[d] = devices[d].counters().bytes_read.load();
+    }
+    const std::uint32_t nproc = c.partitions;
+    std::vector<std::byte> rec(kRecordBytes);
+    for (std::uint32_t p = 0; p < nproc; ++p) {
+      auto h = open_process_handle(file, p);
+      ASSERT_TRUE(h.ok());
+      while ((*h)->read_next(rec).ok()) {
+      }
+    }
+    for (std::size_t d = 0; d < c.devices; ++d) {
+      functional_bytes[d] = devices[d].counters().bytes_read.load() - before[d];
+    }
+  }
+
+  // Simulated run: the same patterns replayed through pattern_ops on the
+  // same layout math against SimDisks.
+  sim::Engine eng;
+  SimDiskArray disks(eng, c.devices);
+  const auto layout = make_layout(meta, c.devices);
+  std::vector<std::vector<SimOp>> ops;
+  for (std::uint32_t p = 0; p < c.partitions; ++p) {
+    Pattern pattern = [&] {
+      switch (c.org) {
+        case Organization::partitioned:
+          return Pattern::partitioned(meta.partition_capacity_records(), p);
+        case Organization::interleaved:
+          return Pattern::interleaved(meta.records_per_block, c.partitions, p);
+        default:
+          return Pattern::sequential();
+      }
+    }();
+    ops.push_back(pattern_ops(pattern, pattern.visits_below(c.capacity),
+                              kRecordBytes, /*records_per_transfer=*/1, 0.0));
+  }
+  run_processes(eng, disks, *layout, std::move(ops));
+
+  for (std::size_t d = 0; d < c.devices; ++d) {
+    EXPECT_EQ(disks[d].bytes_transferred(), functional_bytes[d])
+        << "device " << d << ": simulator and functional path disagree";
+  }
+}
+
+TEST_P(CrossSubstrate, TotalBytesEqualFileContent) {
+  const CrossCase& c = GetParam();
+  constexpr std::uint32_t kRecordBytes = 512;
+  sim::Engine eng;
+  SimDiskArray disks(eng, c.devices);
+  FileMeta meta;
+  meta.organization = c.org;
+  meta.layout_kind = c.layout;
+  meta.record_bytes = kRecordBytes;
+  meta.records_per_block = c.records_per_block;
+  meta.partitions = c.partitions;
+  meta.capacity_records = c.capacity;
+  meta.stripe_unit = 1024;
+  const auto layout = make_layout(meta, c.devices);
+  std::vector<std::vector<SimOp>> ops;
+  for (std::uint32_t p = 0; p < c.partitions; ++p) {
+    Pattern pattern = c.org == Organization::partitioned
+        ? Pattern::partitioned(meta.partition_capacity_records(), p)
+        : (c.org == Organization::interleaved
+               ? Pattern::interleaved(meta.records_per_block, c.partitions, p)
+               : Pattern::sequential());
+    ops.push_back(pattern_ops(pattern, pattern.visits_below(c.capacity),
+                              kRecordBytes, 8, 0.0));
+  }
+  run_processes(eng, disks, *layout, std::move(ops));
+  EXPECT_EQ(disks.total_bytes(), c.capacity * kRecordBytes);
+}
+
+}  // namespace
+}  // namespace pio

@@ -1,0 +1,242 @@
+// Tests for the functional device layer: RamDisk, FaultyDevice,
+// ShadowDevice, ParityGroup, DeviceArray.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "device/faulty_device.hpp"
+#include "device/parity_group.hpp"
+#include "device/ram_disk.hpp"
+#include "device/shadow_device.hpp"
+#include "test_helpers.hpp"
+#include "util/bytes.hpp"
+
+namespace pio {
+namespace {
+
+std::vector<std::byte> pattern_bytes(std::size_t n, std::uint64_t tag) {
+  std::vector<std::byte> v(n);
+  fill_record_payload(v, tag, 0);
+  return v;
+}
+
+// ----------------------------------------------------------------- RamDisk
+
+TEST(RamDisk, RoundTrip) {
+  RamDisk disk("d", 4096);
+  auto data = pattern_bytes(512, 1);
+  PIO_ASSERT_OK(disk.write(100, data));
+  std::vector<std::byte> back(512);
+  PIO_ASSERT_OK(disk.read(100, back));
+  EXPECT_EQ(back, data);
+}
+
+TEST(RamDisk, FreshDeviceReadsZero) {
+  RamDisk disk("d", 256);
+  std::vector<std::byte> back(256, std::byte{0xff});
+  PIO_ASSERT_OK(disk.read(0, back));
+  for (std::byte b : back) EXPECT_EQ(b, std::byte{0});
+}
+
+TEST(RamDisk, RejectsOutOfRange) {
+  RamDisk disk("d", 128);
+  std::vector<std::byte> buf(64);
+  EXPECT_EQ(disk.read(100, buf).code(), Errc::out_of_range);
+  EXPECT_EQ(disk.write(65, buf).code(), Errc::out_of_range);
+  // Exactly at the boundary is fine.
+  PIO_EXPECT_OK(disk.write(64, buf));
+}
+
+TEST(RamDisk, CountersTrackOps) {
+  RamDisk disk("d", 1024);
+  std::vector<std::byte> buf(100);
+  PIO_ASSERT_OK(disk.write(0, buf));
+  PIO_ASSERT_OK(disk.write(100, buf));
+  PIO_ASSERT_OK(disk.read(0, buf));
+  EXPECT_EQ(disk.counters().writes.load(), 2u);
+  EXPECT_EQ(disk.counters().reads.load(), 1u);
+  EXPECT_EQ(disk.counters().bytes_written.load(), 200u);
+  EXPECT_EQ(disk.counters().bytes_read.load(), 100u);
+}
+
+TEST(RamDisk, ConcurrentDisjointWriters) {
+  RamDisk disk("d", 64 * 1024);
+  constexpr int kThreads = 8;
+  constexpr std::size_t kSlice = 8 * 1024;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      std::vector<std::byte> buf(kSlice);
+      fill_record_payload(buf, 42, static_cast<std::uint64_t>(t));
+      auto st = disk.write(static_cast<std::uint64_t>(t) * kSlice, buf);
+      EXPECT_TRUE(st.ok());
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (int t = 0; t < kThreads; ++t) {
+    std::vector<std::byte> back(kSlice);
+    PIO_ASSERT_OK(disk.read(static_cast<std::uint64_t>(t) * kSlice, back));
+    EXPECT_TRUE(verify_record_payload(back, 42, static_cast<std::uint64_t>(t)));
+  }
+}
+
+TEST(RamDisk, ZeroLengthOpsSucceed) {
+  RamDisk disk("d", 16);
+  std::vector<std::byte> empty;
+  PIO_EXPECT_OK(disk.read(16, empty));
+  PIO_EXPECT_OK(disk.write(0, empty));
+}
+
+TEST(DeviceArray, UniformCapacityIsMin) {
+  DeviceArray arr;
+  arr.add(std::make_unique<RamDisk>("a", 100));
+  arr.add(std::make_unique<RamDisk>("b", 50));
+  arr.add(std::make_unique<RamDisk>("c", 80));
+  EXPECT_EQ(arr.uniform_capacity(), 50u);
+  EXPECT_EQ(arr.size(), 3u);
+}
+
+TEST(DeviceArray, ReplaceSwapsDevice) {
+  DeviceArray arr = make_ram_array(2, 128);
+  auto old = arr.replace(1, std::make_unique<RamDisk>("new", 256));
+  EXPECT_EQ(old->name(), "disk1");
+  EXPECT_EQ(arr[1].capacity(), 256u);
+}
+
+// ------------------------------------------------------------ FaultyDevice
+
+TEST(FaultyDevice, PassesThroughWhenHealthy) {
+  FaultyDevice dev(std::make_unique<RamDisk>("d", 1024));
+  auto data = pattern_bytes(64, 2);
+  PIO_ASSERT_OK(dev.write(0, data));
+  std::vector<std::byte> back(64);
+  PIO_ASSERT_OK(dev.read(0, back));
+  EXPECT_EQ(back, data);
+  EXPECT_FALSE(dev.failed());
+}
+
+TEST(FaultyDevice, FailNowBlocksEverything) {
+  FaultyDevice dev(std::make_unique<RamDisk>("d", 1024));
+  dev.fail_now();
+  std::vector<std::byte> buf(8);
+  EXPECT_EQ(dev.read(0, buf).code(), Errc::device_failed);
+  EXPECT_EQ(dev.write(0, buf).code(), Errc::device_failed);
+  dev.repair();
+  PIO_EXPECT_OK(dev.read(0, buf));
+}
+
+TEST(FaultyDevice, FailAfterOpsCountdown) {
+  FaultyDevice dev(std::make_unique<RamDisk>("d", 1024));
+  dev.fail_after_ops(3);
+  std::vector<std::byte> buf(8);
+  PIO_EXPECT_OK(dev.read(0, buf));
+  PIO_EXPECT_OK(dev.read(0, buf));
+  PIO_EXPECT_OK(dev.read(0, buf));
+  EXPECT_EQ(dev.read(0, buf).code(), Errc::device_failed);
+  EXPECT_TRUE(dev.failed());
+}
+
+TEST(FaultyDevice, MediaErrorOnCorruptRange) {
+  FaultyDevice dev(std::make_unique<RamDisk>("d", 1024));
+  dev.corrupt_range(100, 50);
+  std::vector<std::byte> buf(10);
+  EXPECT_EQ(dev.read(120, buf).code(), Errc::media_error);   // inside
+  EXPECT_EQ(dev.read(95, buf).code(), Errc::media_error);    // straddles start
+  EXPECT_EQ(dev.read(145, buf).code(), Errc::media_error);   // straddles end
+  PIO_EXPECT_OK(dev.read(80, buf));                          // before
+  PIO_EXPECT_OK(dev.read(150, buf));                         // after
+}
+
+TEST(FaultyDevice, RewriteRepairsBadRange) {
+  FaultyDevice dev(std::make_unique<RamDisk>("d", 1024));
+  dev.corrupt_range(100, 50);
+  std::vector<std::byte> buf(50);
+  PIO_ASSERT_OK(dev.write(100, buf));  // full overwrite repairs
+  PIO_EXPECT_OK(dev.read(100, buf));
+}
+
+TEST(FaultyDevice, PartialRewriteShrinksBadRange) {
+  FaultyDevice dev(std::make_unique<RamDisk>("d", 1024));
+  dev.corrupt_range(100, 50);
+  std::vector<std::byte> buf(20);
+  PIO_ASSERT_OK(dev.write(100, buf));  // repairs [100,120)
+  PIO_EXPECT_OK(dev.read(100, buf));
+  EXPECT_EQ(dev.read(120, buf).code(), Errc::media_error);
+}
+
+// ------------------------------------------------------------ ShadowDevice
+
+ShadowDevice make_shadow(std::uint64_t cap = 1024) {
+  return ShadowDevice(
+      std::make_unique<FaultyDevice>(std::make_unique<RamDisk>("p", cap)),
+      std::make_unique<FaultyDevice>(std::make_unique<RamDisk>("s", cap)));
+}
+
+TEST(ShadowDevice, WritesGoToBothSides) {
+  auto dev = make_shadow();
+  auto data = pattern_bytes(64, 3);
+  PIO_ASSERT_OK(dev.write(10, data));
+  std::vector<std::byte> back(64);
+  PIO_ASSERT_OK(dev.primary().read(10, back));
+  EXPECT_EQ(back, data);
+  PIO_ASSERT_OK(dev.shadow().read(10, back));
+  EXPECT_EQ(back, data);
+}
+
+TEST(ShadowDevice, ReadFailsOverToShadow) {
+  auto dev = make_shadow();
+  auto data = pattern_bytes(64, 4);
+  PIO_ASSERT_OK(dev.write(0, data));
+  static_cast<FaultyDevice&>(dev.primary()).fail_now();
+  std::vector<std::byte> back(64);
+  PIO_ASSERT_OK(dev.read(0, back));
+  EXPECT_EQ(back, data);
+}
+
+TEST(ShadowDevice, SurvivesOneSideForWrites) {
+  auto dev = make_shadow();
+  static_cast<FaultyDevice&>(dev.primary()).fail_now();
+  auto data = pattern_bytes(32, 5);
+  PIO_ASSERT_OK(dev.write(0, data));  // degraded but writable
+  std::vector<std::byte> back(32);
+  PIO_ASSERT_OK(dev.read(0, back));
+  EXPECT_EQ(back, data);
+}
+
+TEST(ShadowDevice, BothSidesFailedIsFatal) {
+  auto dev = make_shadow();
+  static_cast<FaultyDevice&>(dev.primary()).fail_now();
+  static_cast<FaultyDevice&>(dev.shadow()).fail_now();
+  std::vector<std::byte> buf(8);
+  EXPECT_EQ(dev.write(0, buf).code(), Errc::device_failed);
+  EXPECT_EQ(dev.read(0, buf).code(), Errc::device_failed);
+}
+
+TEST(ShadowDevice, OutOfRangeIsNotMasked) {
+  auto dev = make_shadow();
+  std::vector<std::byte> buf(8);
+  EXPECT_EQ(dev.read(2000, buf).code(), Errc::out_of_range);
+}
+
+TEST(ShadowDevice, ResilverRestoresRedundancy) {
+  auto dev = make_shadow();
+  auto data = pattern_bytes(256, 6);
+  PIO_ASSERT_OK(dev.write(0, data));
+  static_cast<FaultyDevice&>(dev.primary()).fail_now();
+  auto copied = dev.resilver_primary(std::make_unique<RamDisk>("p2", 1024), 64);
+  ASSERT_TRUE(copied.ok()) << copied.error().to_string();
+  EXPECT_EQ(*copied, 1024u);
+  // New primary serves reads with the survivor's data.
+  std::vector<std::byte> back(256);
+  PIO_ASSERT_OK(dev.primary().read(0, back));
+  EXPECT_EQ(back, data);
+}
+
+TEST(ShadowDevice, ResilverRejectsSmallReplacement) {
+  auto dev = make_shadow();
+  auto r = dev.resilver_shadow(std::make_unique<RamDisk>("tiny", 16));
+  EXPECT_EQ(r.code(), Errc::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pio

@@ -1,0 +1,225 @@
+// Tests for DiskModel (service-time math) and SimDisk (queued device in
+// virtual time).
+#include <gtest/gtest.h>
+
+#include "device/disk_model.hpp"
+#include "device/sim_disk.hpp"
+
+namespace pio {
+namespace {
+
+TEST(DiskGeometry, DefaultsModel1989Drive) {
+  DiskGeometry g;
+  EXPECT_EQ(g.track_bytes(), 48u * 512u);          // 24 KB/track
+  EXPECT_EQ(g.cylinder_bytes(), 8u * 48u * 512u);  // 192 KB/cylinder
+  EXPECT_EQ(g.capacity(), 1000u * 8u * 48u * 512u);
+  EXPECT_GT(g.capacity(), 180ull << 20);  // ~190 MB-class drive
+}
+
+TEST(DiskGeometry, CylinderOfOffsets) {
+  DiskGeometry g;
+  EXPECT_EQ(g.cylinder_of(0), 0u);
+  EXPECT_EQ(g.cylinder_of(g.cylinder_bytes() - 1), 0u);
+  EXPECT_EQ(g.cylinder_of(g.cylinder_bytes()), 1u);
+  EXPECT_EQ(g.cylinder_of(g.capacity() - 1), 999u);
+}
+
+TEST(DiskModel, SeekZeroDistanceIsFree) {
+  DiskModel m;
+  EXPECT_EQ(m.seek_time(0), 0.0);
+}
+
+TEST(DiskModel, SeekMonotoneInDistance) {
+  DiskModel m;
+  double prev = 0;
+  for (std::uint32_t d = 1; d < 1000; d *= 2) {
+    const double t = m.seek_time(d);
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+}
+
+TEST(DiskModel, SeekCurveMatchesPaperEra) {
+  DiskModel m;
+  // Average seek (1/3 stroke) ~18 ms; full stroke < 35 ms.
+  EXPECT_NEAR(m.seek_time(333), 0.018, 0.004);
+  EXPECT_LT(m.seek_time(999), 0.035);
+  EXPECT_GT(m.seek_time(1), 0.004);  // settle-dominated minimum
+}
+
+TEST(DiskModel, MediaRateMatchesGeometry) {
+  DiskModel m;
+  // 24 KB per 16.67 ms revolution ~ 1.44 MB/s.
+  EXPECT_NEAR(m.media_rate() / 1.0e6, 1.47, 0.05);
+}
+
+DiskParams phase_params() {
+  DiskParams p;
+  p.rotation = RotationModel::deterministic_phase;
+  return p;
+}
+
+TEST(DiskModel, DefaultRotationIsHalfRevolution) {
+  DiskModel m;
+  const double rev = m.params().revolution_s();
+  EXPECT_DOUBLE_EQ(m.rotational_latency(0, 0.0), rev / 2);
+  EXPECT_DOUBLE_EQ(m.rotational_latency(12345, 7.7), rev / 2);
+}
+
+TEST(DiskModel, NoneRotationIsFree) {
+  DiskParams p;
+  p.rotation = RotationModel::none;
+  DiskModel m(DiskGeometry{}, p);
+  EXPECT_DOUBLE_EQ(m.rotational_latency(999, 1.0), 0.0);
+}
+
+TEST(DiskModel, PhaseLatencyWithinOneRevolution) {
+  DiskModel m(DiskGeometry{}, phase_params());
+  const double rev = m.params().revolution_s();
+  for (std::uint64_t off : {0ull, 512ull, 12000ull, 24575ull}) {
+    for (double at : {0.0, 0.004, 0.017, 1.2345}) {
+      const double lat = m.rotational_latency(off, at);
+      EXPECT_GE(lat, 0.0);
+      EXPECT_LT(lat, rev);
+    }
+  }
+}
+
+TEST(DiskModel, PhaseLatencyDeterministic) {
+  DiskModel a(DiskGeometry{}, phase_params());
+  DiskModel b(DiskGeometry{}, phase_params());
+  EXPECT_EQ(a.rotational_latency(1234, 0.5), b.rotational_latency(1234, 0.5));
+}
+
+TEST(DiskModel, PhaseRotationWaitsForTargetSector) {
+  DiskModel m(DiskGeometry{}, phase_params());
+  const double rev = m.params().revolution_s();
+  // Sector halfway around the track, head at phase 0: wait half a rev.
+  const std::uint64_t half_track = m.geometry().track_bytes() / 2;
+  EXPECT_NEAR(m.rotational_latency(half_track, 0.0), rev / 2, 1e-9);
+  // Head already at the sector: no wait.
+  EXPECT_NEAR(m.rotational_latency(0, 0.0), 0.0, 1e-9);
+}
+
+TEST(DiskModel, TransferTimeScalesWithLength) {
+  DiskModel m;
+  const double t1 = m.transfer_time(0, 4096);
+  const double t2 = m.transfer_time(0, 8192);
+  EXPECT_NEAR(t2, 2 * t1, 1e-9);
+}
+
+TEST(DiskModel, TransferAddsTrackSwitches) {
+  DiskModel m;
+  const auto track = m.geometry().track_bytes();
+  const double within = m.transfer_time(0, track);          // one track
+  const double crossing = m.transfer_time(0, track + 512);  // crosses once
+  EXPECT_NEAR(crossing - within,
+              m.params().track_switch_s + m.transfer_time(0, 512), 1e-9);
+}
+
+TEST(DiskModel, ServiceMovesHead) {
+  DiskModel m;
+  EXPECT_EQ(m.head_cylinder(), 0u);
+  const std::uint64_t far_offset = 500ull * m.geometry().cylinder_bytes();
+  m.service(far_offset, 4096, 0.0);
+  EXPECT_EQ(m.head_cylinder(), 500u);
+}
+
+TEST(DiskModel, SecondSequentialRequestHasNoSeek) {
+  DiskModel m;
+  auto first = m.service(0, 4096, 0.0);
+  auto second = m.service(4096, 4096, first.total());
+  EXPECT_EQ(second.seek, 0.0);  // same cylinder
+  EXPECT_GT(first.total(), 0.0);
+}
+
+TEST(DiskModel, ServiceBreakdownSums) {
+  DiskModel m;
+  auto st = m.service(123456, 8192, 1.0);
+  EXPECT_NEAR(st.total(), st.seek + st.rotation + st.transfer + st.overhead,
+              1e-12);
+}
+
+// ----------------------------------------------------------------- SimDisk
+
+sim::Task one_io(SimDisk& disk, std::uint64_t off, std::uint64_t len,
+                 double* done) {
+  co_await disk.io(off, len);
+  *done = disk.engine().now();
+}
+
+TEST(SimDisk, SingleRequestTakesServiceTime) {
+  sim::Engine eng;
+  SimDisk disk(eng, "d");
+  double done = 0;
+  eng.spawn(one_io(disk, 0, 24 * 1024, &done));
+  eng.run();
+  // One track at media rate: >= one revolution (16.7 ms), plus overheads,
+  // well under 100 ms.
+  EXPECT_GT(done, 0.016);
+  EXPECT_LT(done, 0.1);
+  EXPECT_EQ(disk.requests(), 1u);
+  EXPECT_EQ(disk.bytes_transferred(), 24u * 1024u);
+}
+
+TEST(SimDisk, RequestsFromTwoProcessesSerialize) {
+  sim::Engine eng;
+  SimDisk disk(eng, "d");
+  double d1 = 0, d2 = 0;
+  eng.spawn(one_io(disk, 0, 24 * 1024, &d1));
+  eng.spawn(one_io(disk, 0, 24 * 1024, &d2));
+  eng.run();
+  EXPECT_GT(d2, d1);  // FIFO: the second waits for the first
+  EXPECT_EQ(disk.queue_wait_stats().count(), 2u);
+  EXPECT_GT(disk.queue_wait_stats().max(), 0.0);
+}
+
+TEST(SimDisk, UtilizationReflectsBusyFraction) {
+  sim::Engine eng;
+  SimDisk disk(eng, "d");
+  double done = 0;
+  eng.spawn(one_io(disk, 0, 48 * 1024, &done));
+  eng.run();
+  EXPECT_NEAR(disk.utilization(), 1.0, 1e-9);  // busy the whole horizon
+}
+
+TEST(SimDisk, StatsAccumulateBreakdowns) {
+  sim::Engine eng;
+  SimDisk disk(eng, "d", DiskGeometry{}, DiskParams{});
+  double done = 0;
+  const std::uint64_t far_off = 900ull * DiskGeometry{}.cylinder_bytes();
+  eng.spawn(one_io(disk, far_off, 4096, &done));
+  eng.run();
+  EXPECT_EQ(disk.seek_stats().count(), 1u);
+  EXPECT_GT(disk.seek_stats().mean(), 0.02);  // long seek
+}
+
+TEST(SimDiskArray, ParallelIoCompletesWithSlowest) {
+  sim::Engine eng;
+  SimDiskArray disks(eng, 4);
+  // Equal-sized segments on four devices, all starting at offset 0: the
+  // fan-out completes once (not 4x) the single-device service time.
+  double solo_done = 0;
+  {
+    sim::Engine solo_eng;
+    SimDiskArray solo(solo_eng, 1);
+    solo_eng.spawn(one_io(solo[0], 0, 24 * 1024, &solo_done));
+    solo_eng.run();
+  }
+  std::vector<DiskSegment> segs;
+  for (std::size_t d = 0; d < 4; ++d) segs.push_back({d, 0, 24 * 1024});
+  eng.spawn(parallel_io(eng, disks, segs));
+  eng.run();
+  EXPECT_NEAR(eng.now(), solo_done, 1e-9);
+  EXPECT_EQ(disks.total_bytes(), 4u * 24u * 1024u);
+}
+
+TEST(SimDiskArray, SizeAndNames) {
+  sim::Engine eng;
+  SimDiskArray disks(eng, 3);
+  EXPECT_EQ(disks.size(), 3u);
+  EXPECT_EQ(disks[2].name(), "simdisk2");
+}
+
+}  // namespace
+}  // namespace pio

@@ -1,0 +1,246 @@
+// Edge-case and hardening tests across modules: concurrency on shared
+// structures, boundary conditions, and less-travelled API paths.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "core/global_view.hpp"
+#include "core/handles.hpp"
+#include "device/file_disk.hpp"
+#include "device/parity_group.hpp"
+#include "device/ram_disk.hpp"
+#include "sim/engine.hpp"
+#include "test_helpers.hpp"
+#include "util/bytes.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace pio {
+namespace {
+
+// ------------------------------------------------ ParityGroup concurrency
+
+TEST(EdgeCases, ParityGroupSurvivesConcurrentWriters) {
+  constexpr std::uint64_t kCap = 64 * 1024;
+  std::vector<std::unique_ptr<RamDisk>> disks;
+  std::vector<BlockDevice*> data;
+  for (int i = 0; i < 4; ++i) {
+    disks.push_back(std::make_unique<RamDisk>("d" + std::to_string(i), kCap));
+    data.push_back(disks.back().get());
+  }
+  RamDisk parity("p", kCap);
+  ParityGroup group(data, &parity);
+  constexpr int kThreads = 6;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng{static_cast<std::uint64_t>(t) + 7};
+      std::vector<std::byte> buf(256);
+      for (int i = 0; i < 150; ++i) {
+        fill_record_payload(buf, static_cast<std::uint64_t>(t), static_cast<std::uint64_t>(i));
+        const std::size_t dev = static_cast<std::size_t>(rng.uniform_u64(4));
+        const std::uint64_t off = rng.uniform_u64(kCap / 256) * 256;
+        ASSERT_TRUE(group.write(dev, off, buf).ok());
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  // Whatever interleaving happened, the parity invariant must hold.
+  auto v = group.verify();
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, kCap);
+}
+
+// ----------------------------------------------------- FileDisk concurrency
+
+TEST(EdgeCases, FileDiskConcurrentDisjointWriters) {
+  const std::string path = ::testing::TempDir() + "pio_edge_filedisk.img";
+  auto disk = FileDisk::open(path, 64 * 1024);
+  ASSERT_TRUE(disk.ok());
+  constexpr int kThreads = 6;
+  constexpr std::size_t kSlice = 8 * 1024;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      std::vector<std::byte> buf(kSlice);
+      fill_record_payload(buf, 99, static_cast<std::uint64_t>(t));
+      ASSERT_TRUE(
+          (*disk)->write(static_cast<std::uint64_t>(t) * kSlice, buf).ok());
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (int t = 0; t < kThreads; ++t) {
+    std::vector<std::byte> back(kSlice);
+    ASSERT_TRUE(
+        (*disk)->read(static_cast<std::uint64_t>(t) * kSlice, back).ok());
+    EXPECT_TRUE(verify_record_payload(back, 99, static_cast<std::uint64_t>(t)));
+  }
+  std::remove(path.c_str());
+}
+
+// ----------------------------------------------------------- engine corners
+
+sim::Task ticker(sim::Engine& eng, std::vector<double>& ticks, int n) {
+  for (int i = 0; i < n; ++i) {
+    co_await eng.delay(1.0);
+    ticks.push_back(eng.now());
+  }
+}
+
+TEST(EdgeCases, RunUntilSuspendsAndResumesCoroutines) {
+  sim::Engine eng;
+  std::vector<double> ticks;
+  eng.spawn(ticker(eng, ticks, 10));
+  eng.run_until(3.5);
+  EXPECT_EQ(ticks.size(), 3u);
+  EXPECT_DOUBLE_EQ(eng.now(), 3.5);
+  eng.run_until(7.0);
+  EXPECT_EQ(ticks.size(), 7u);
+  eng.run();
+  EXPECT_EQ(ticks.size(), 10u);
+}
+
+TEST(EdgeCases, EventCountTracksExecutions) {
+  sim::Engine eng;
+  std::vector<double> ticks;
+  eng.spawn(ticker(eng, ticks, 5));
+  eng.run();
+  // 1 spawn event + 5 delays.
+  EXPECT_EQ(eng.events_executed(), 6u);
+}
+
+// -------------------------------------------------- global view write paths
+
+TEST(EdgeCases, GlobalViewWriteBatchThenReadBack) {
+  DeviceArray devices = make_ram_array(3, 1 << 20);
+  FileMeta meta;
+  meta.name = "wb";
+  meta.organization = Organization::interleaved;
+  meta.layout_kind = LayoutKind::interleaved;
+  meta.record_bytes = 64;
+  meta.records_per_block = 2;
+  meta.partitions = 3;
+  meta.capacity_records = 60;
+  auto file = std::make_shared<ParallelFile>(
+      meta, devices, std::vector<std::uint64_t>(3, 0));
+  GlobalSequentialView view(file);
+  std::vector<std::byte> bulk(20 * 64);
+  for (std::uint64_t batch = 0; batch < 3; ++batch) {
+    for (std::uint64_t i = 0; i < 20; ++i) {
+      fill_record_payload(std::span<std::byte>(bulk.data() + i * 64, 64), 4,
+                          batch * 20 + i);
+    }
+    PIO_ASSERT_OK(view.write_batch(20, bulk));
+  }
+  for (std::uint64_t i = 0; i < 60; ++i) {
+    EXPECT_TRUE(pio::testing::record_matches(*file, i, 4));
+  }
+}
+
+TEST(EdgeCases, GlobalViewWritePastCapacityFails) {
+  DeviceArray devices = make_ram_array(2, 1 << 20);
+  FileMeta meta;
+  meta.name = "cap";
+  meta.organization = Organization::sequential;
+  meta.record_bytes = 64;
+  meta.capacity_records = 3;
+  auto file = std::make_shared<ParallelFile>(
+      meta, devices, std::vector<std::uint64_t>(2, 0));
+  GlobalSequentialView view(file);
+  std::vector<std::byte> rec(64);
+  for (int i = 0; i < 3; ++i) PIO_ASSERT_OK(view.write_next(rec));
+  EXPECT_EQ(view.write_next(rec).code(), Errc::out_of_range);
+}
+
+// ----------------------------------------------------------- handle corners
+
+TEST(EdgeCases, SsPatternHandleOnPsFile) {
+  // The §5 mismatch in the other direction: consume a PS file
+  // self-scheduled (dynamic load balance over a statically partitioned
+  // file).  SS ignores partition bookkeeping and walks the contiguous
+  // logical space up to record_count.
+  DeviceArray devices = make_ram_array(2, 1 << 20);
+  FileMeta meta;
+  meta.name = "ps";
+  meta.organization = Organization::partitioned;
+  meta.layout_kind = LayoutKind::blocked;
+  meta.record_bytes = 64;
+  meta.partitions = 2;
+  meta.capacity_records = 40;
+  auto file = std::make_shared<ParallelFile>(
+      meta, devices, std::vector<std::uint64_t>(2, 0));
+  pio::testing::fill_stamped(*file, 40, 13);
+  std::set<std::uint64_t> seen;
+  std::vector<std::byte> rec(64);
+  for (std::uint32_t rank = 0; rank < 3; ++rank) {
+    auto h = open_pattern_handle(file, Organization::self_scheduled, rank);
+    ASSERT_TRUE(h.ok());
+    while ((*h)->read_next(rec).ok()) {
+      EXPECT_TRUE(seen.insert((*h)->last_record()).second);
+    }
+  }
+  EXPECT_EQ(seen.size(), 40u);
+}
+
+TEST(EdgeCases, InterleavedReadBoundWithPartialTailBlock) {
+  DeviceArray devices = make_ram_array(2, 1 << 20);
+  FileMeta meta;
+  meta.name = "is";
+  meta.organization = Organization::interleaved;
+  meta.layout_kind = LayoutKind::interleaved;
+  meta.record_bytes = 64;
+  meta.records_per_block = 4;
+  meta.partitions = 2;
+  meta.capacity_records = 100;
+  auto file = std::make_shared<ParallelFile>(
+      meta, devices, std::vector<std::uint64_t>(2, 0));
+  // 10 records = 2 full blocks + half of block 2 (rank 0's).
+  pio::testing::fill_stamped(*file, 10, 14);
+  int counts[2] = {0, 0};
+  std::vector<std::byte> rec(64);
+  for (std::uint32_t rank = 0; rank < 2; ++rank) {
+    auto h = open_process_handle(file, rank);
+    ASSERT_TRUE(h.ok());
+    while ((*h)->read_next(rec).ok()) ++counts[rank];
+  }
+  EXPECT_EQ(counts[0], 6);  // block 0 (4) + partial block 2 (2)
+  EXPECT_EQ(counts[1], 4);  // block 1
+}
+
+TEST(EdgeCases, RewoundSsFileSupportsSecondPass) {
+  DeviceArray devices = make_ram_array(2, 1 << 20);
+  FileMeta meta;
+  meta.name = "ss";
+  meta.organization = Organization::self_scheduled;
+  meta.record_bytes = 64;
+  meta.capacity_records = 20;
+  auto file = std::make_shared<ParallelFile>(
+      meta, devices, std::vector<std::uint64_t>(2, 0));
+  pio::testing::fill_stamped(*file, 20, 15);
+  auto h = open_process_handle(file, 0);
+  ASSERT_TRUE(h.ok());
+  std::vector<std::byte> rec(64);
+  int pass1 = 0, pass2 = 0;
+  while ((*h)->read_next(rec).ok()) ++pass1;
+  (*h)->rewind();
+  while ((*h)->read_next(rec).ok()) ++pass2;
+  EXPECT_EQ(pass1, 20);
+  EXPECT_EQ(pass2, 20);
+}
+
+// -------------------------------------------------------------- stats edge
+
+TEST(EdgeCases, HistogramQuantileEmptyAndSingle) {
+  Histogram h(0, 10, 5);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);  // empty -> lo
+  h.add(7.0);
+  EXPECT_NEAR(h.quantile(0.5), 7.0, 1.1);  // within the containing bucket
+}
+
+TEST(EdgeCases, PayloadZeroLengthAlwaysVerifies) {
+  std::span<std::byte> empty;
+  EXPECT_TRUE(verify_record_payload(empty, 1, 2));
+}
+
+}  // namespace
+}  // namespace pio

@@ -1,0 +1,132 @@
+// Tests for FileDisk: host-file-backed persistent devices, including a
+// full file-system persistence round trip across "reboots".
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "core/file_system.hpp"
+#include "device/file_disk.hpp"
+#include "test_helpers.hpp"
+#include "util/bytes.hpp"
+
+namespace pio {
+namespace {
+
+namespace stdfs = std::filesystem;
+
+struct TempDir {
+  stdfs::path path;
+  TempDir() {
+    path = stdfs::temp_directory_path() /
+           ("pio_test_" + std::to_string(::getpid()) + "_" +
+            std::to_string(counter()++));
+    stdfs::create_directories(path);
+  }
+  ~TempDir() { stdfs::remove_all(path); }
+  static int& counter() {
+    static int c = 0;
+    return c;
+  }
+  std::string str() const { return path.string(); }
+};
+
+TEST(FileDisk, CreateWriteReadRoundTrip) {
+  TempDir dir;
+  auto disk = FileDisk::open(dir.str() + "/d.img", 64 * 1024);
+  ASSERT_TRUE(disk.ok()) << disk.error().to_string();
+  std::vector<std::byte> data(4096);
+  fill_record_payload(data, 1, 1);
+  PIO_ASSERT_OK((*disk)->write(8192, data));
+  std::vector<std::byte> back(4096);
+  PIO_ASSERT_OK((*disk)->read(8192, back));
+  EXPECT_EQ(back, data);
+  EXPECT_EQ((*disk)->capacity(), 64u * 1024u);
+  EXPECT_EQ((*disk)->name(), "d.img");
+}
+
+TEST(FileDisk, ContentsPersistAcrossReopen) {
+  TempDir dir;
+  const std::string path = dir.str() + "/persist.img";
+  std::vector<std::byte> data(1024);
+  fill_record_payload(data, 2, 7);
+  {
+    auto disk = FileDisk::open(path, 16 * 1024);
+    ASSERT_TRUE(disk.ok());
+    PIO_ASSERT_OK((*disk)->write(0, data));
+    PIO_ASSERT_OK((*disk)->sync());
+  }
+  auto disk = FileDisk::open(path, 16 * 1024);
+  ASSERT_TRUE(disk.ok());
+  std::vector<std::byte> back(1024);
+  PIO_ASSERT_OK((*disk)->read(0, back));
+  EXPECT_EQ(back, data);
+}
+
+TEST(FileDisk, FreshSpaceReadsZero) {
+  TempDir dir;
+  auto disk = FileDisk::open(dir.str() + "/zero.img", 8192);
+  ASSERT_TRUE(disk.ok());
+  std::vector<std::byte> back(8192, std::byte{0xff});
+  PIO_ASSERT_OK((*disk)->read(0, back));
+  for (auto b : back) EXPECT_EQ(b, std::byte{0});
+}
+
+TEST(FileDisk, BoundsEnforced) {
+  TempDir dir;
+  auto disk = FileDisk::open(dir.str() + "/b.img", 1024);
+  ASSERT_TRUE(disk.ok());
+  std::vector<std::byte> buf(64);
+  EXPECT_EQ((*disk)->read(1000, buf).code(), Errc::out_of_range);
+  EXPECT_EQ((*disk)->write(1024, buf).code(), Errc::out_of_range);
+}
+
+TEST(FileDisk, OpenFailsOnBadPath) {
+  auto disk = FileDisk::open("/nonexistent_dir_zzz/d.img", 1024);
+  EXPECT_FALSE(disk.ok());
+}
+
+TEST(FileDisk, ArrayHelperCreatesNamedImages) {
+  TempDir dir;
+  auto arr = open_file_array(dir.str(), 3, 32 * 1024);
+  ASSERT_TRUE(arr.ok()) << arr.error().to_string();
+  EXPECT_EQ(arr->size(), 3u);
+  EXPECT_TRUE(stdfs::exists(dir.path / "disk0.img"));
+  EXPECT_TRUE(stdfs::exists(dir.path / "disk2.img"));
+  EXPECT_EQ((*arr)[1].capacity(), 32u * 1024u);
+}
+
+TEST(FileDisk, FileSystemSurvivesReboot) {
+  TempDir dir;
+  constexpr std::uint64_t kDevBytes = 512 * 1024;
+  {
+    auto arr = open_file_array(dir.str(), 4, kDevBytes);
+    ASSERT_TRUE(arr.ok());
+    auto fs = FileSystem::format(*arr);
+    ASSERT_TRUE(fs.ok());
+    CreateOptions opts;
+    opts.name = "durable";
+    opts.organization = Organization::interleaved;
+    opts.record_bytes = 256;
+    opts.records_per_block = 2;
+    opts.partitions = 4;
+    opts.capacity_records = 200;
+    auto file = (*fs)->create(opts);
+    ASSERT_TRUE(file.ok());
+    pio::testing::fill_stamped(**file, 200, 33);
+    PIO_ASSERT_OK((*fs)->sync());
+  }  // process "exits": everything dropped except the image files
+  auto arr = open_file_array(dir.str(), 4, kDevBytes);
+  ASSERT_TRUE(arr.ok());
+  auto fs = FileSystem::mount(*arr);
+  ASSERT_TRUE(fs.ok()) << fs.error().to_string();
+  auto file = (*fs)->open("durable");
+  ASSERT_TRUE(file.ok());
+  EXPECT_EQ((*file)->record_count(), 200u);
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    EXPECT_TRUE(pio::testing::record_matches(**file, i, 33));
+  }
+}
+
+}  // namespace
+}  // namespace pio

@@ -1,0 +1,344 @@
+// Tests for FileSystem: catalog lifecycle, allocation, persistence, the
+// standard/specialized category semantics.
+#include <gtest/gtest.h>
+
+#include "core/file_system.hpp"
+#include "core/global_view.hpp"
+#include "core/handles.hpp"
+#include "device/ram_disk.hpp"
+#include "test_helpers.hpp"
+#include "util/bytes.hpp"
+
+namespace pio {
+namespace {
+
+using pio::testing::FsFixture;
+
+CreateOptions standard_file(const std::string& name,
+                            Organization org = Organization::sequential) {
+  CreateOptions opts;
+  opts.name = name;
+  opts.organization = org;
+  opts.record_bytes = 128;
+  opts.capacity_records = 100;
+  return opts;
+}
+
+TEST(FileSystem, FormatOnEmptyArray) {
+  DeviceArray devices;
+  EXPECT_EQ(FileSystem::format(devices).code(), Errc::invalid_argument);
+}
+
+TEST(FileSystem, FormatRejectsTinyDevice0) {
+  DeviceArray devices = make_ram_array(2, 1024);  // < 64 KB superblock
+  EXPECT_EQ(FileSystem::format(devices).code(), Errc::invalid_argument);
+}
+
+TEST(FileSystem, CreateOpenList) {
+  FsFixture fx;
+  auto f = fx.fs->create(standard_file("input.dat"));
+  ASSERT_TRUE(f.ok()) << f.error().to_string();
+  EXPECT_EQ((*f)->meta().name, "input.dat");
+  auto listed = fx.fs->list();
+  ASSERT_EQ(listed.size(), 1u);
+  EXPECT_EQ(listed[0].name, "input.dat");
+  auto st = fx.fs->stat("input.dat");
+  ASSERT_TRUE(st.has_value());
+  EXPECT_EQ(st->capacity_records, 100u);
+  EXPECT_FALSE(fx.fs->stat("nope").has_value());
+}
+
+TEST(FileSystem, CreateDuplicateFails) {
+  FsFixture fx;
+  ASSERT_TRUE(fx.fs->create(standard_file("a")).ok());
+  EXPECT_EQ(fx.fs->create(standard_file("a")).code(), Errc::already_exists);
+}
+
+TEST(FileSystem, CreateValidatesOptions) {
+  FsFixture fx;
+  CreateOptions bad = standard_file("x");
+  bad.record_bytes = 0;
+  EXPECT_EQ(fx.fs->create(bad).code(), Errc::invalid_argument);
+  bad = standard_file("");
+  EXPECT_EQ(fx.fs->create(bad).code(), Errc::invalid_argument);
+  bad = standard_file("y");
+  bad.capacity_records = 0;
+  EXPECT_EQ(fx.fs->create(bad).code(), Errc::invalid_argument);
+}
+
+TEST(FileSystem, CreateValidatesOrganizationShape) {
+  FsFixture fx;
+  // Partitioned organizations need at least two partitions...
+  for (Organization org : {Organization::partitioned, Organization::interleaved,
+                           Organization::partitioned_direct}) {
+    CreateOptions opts = standard_file("bad", org);
+    opts.partitions = 1;
+    EXPECT_EQ(fx.fs->create(opts).code(), Errc::invalid_argument)
+        << organization_name(org);
+  }
+  // ...S must have exactly one...
+  CreateOptions seq = standard_file("bad2", Organization::sequential);
+  seq.partitions = 3;
+  EXPECT_EQ(fx.fs->create(seq).code(), Errc::invalid_argument);
+  // ...and a partition can't own less than one record.
+  CreateOptions tiny = standard_file("bad3", Organization::partitioned);
+  tiny.partitions = 8;
+  tiny.capacity_records = 4;
+  EXPECT_EQ(fx.fs->create(tiny).code(), Errc::invalid_argument);
+  // SS allows any process count (the cursor is shared anyway).
+  CreateOptions ss = standard_file("ok", Organization::self_scheduled);
+  ss.partitions = 7;
+  EXPECT_TRUE(fx.fs->create(ss).ok());
+}
+
+TEST(FileSystem, OpenMissingFails) {
+  FsFixture fx;
+  EXPECT_EQ(fx.fs->open("ghost").code(), Errc::not_found);
+}
+
+TEST(FileSystem, ConcurrentOpensShareInstance) {
+  FsFixture fx;
+  auto created = fx.fs->create(standard_file("shared",
+                                             Organization::self_scheduled));
+  ASSERT_TRUE(created.ok());
+  auto again = fx.fs->open("shared");
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(created->get(), again->get());  // same ParallelFile: shared SS cursor
+}
+
+TEST(FileSystem, ReopenAfterCloseGetsFreshInstanceWithState) {
+  FsFixture fx;
+  {
+    auto f = fx.fs->create(standard_file("data"));
+    ASSERT_TRUE(f.ok());
+    pio::testing::fill_stamped(**f, 30, 1);
+    PIO_ASSERT_OK(fx.fs->sync());
+  }  // drop the only reference
+  auto f = fx.fs->open("data");
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ((*f)->record_count(), 30u);
+  EXPECT_TRUE(pio::testing::record_matches(**f, 29, 1));
+}
+
+TEST(FileSystem, RemoveFreesSpaceForReuse) {
+  FsFixture fx(4, 1 << 20);
+  CreateOptions big = standard_file("big");
+  big.record_bytes = 1024;
+  big.capacity_records = 3000;  // ~3 MB over 4 devices
+  {
+    auto f = fx.fs->create(big);
+    ASSERT_TRUE(f.ok());
+  }
+  // A second identical file doesn't fit alongside the first...
+  big.name = "big2";
+  EXPECT_EQ(fx.fs->create(big).code(), Errc::out_of_range);
+  // ...until the first is removed.
+  PIO_ASSERT_OK(fx.fs->remove("big"));
+  EXPECT_TRUE(fx.fs->create(big).ok());
+}
+
+TEST(FileSystem, RemoveOpenFileIsBusy) {
+  FsFixture fx;
+  auto f = fx.fs->create(standard_file("pinned"));
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ(fx.fs->remove("pinned").code(), Errc::busy);
+  f = Result<std::shared_ptr<ParallelFile>>(std::shared_ptr<ParallelFile>{});
+  PIO_EXPECT_OK(fx.fs->remove("pinned"));
+}
+
+TEST(FileSystem, RemoveMissingFails) {
+  FsFixture fx;
+  EXPECT_EQ(fx.fs->remove("ghost").code(), Errc::not_found);
+}
+
+TEST(FileSystem, AllocationRollsBackOnFailure) {
+  FsFixture fx(2, 1 << 20);
+  CreateOptions big = standard_file("toobig");
+  big.record_bytes = 1024;
+  big.capacity_records = 5000;  // 5 MB > 2 MB array
+  const auto free0 = fx.fs->free_bytes(0);
+  const auto free1 = fx.fs->free_bytes(1);
+  EXPECT_FALSE(fx.fs->create(big).ok());
+  EXPECT_EQ(fx.fs->free_bytes(0), free0);
+  EXPECT_EQ(fx.fs->free_bytes(1), free1);
+}
+
+TEST(FileSystem, CreateRollsBackWhenCatalogOverflows) {
+  DeviceArray devices = make_ram_array(2, 1 << 20);
+  FileSystemOptions fs_opts;
+  fs_opts.superblock_bytes = 256;  // tiny slots: easy to overflow
+  auto fs = FileSystem::format(devices, fs_opts);
+  ASSERT_TRUE(fs.ok());
+  const auto free0 = (*fs)->free_bytes(0);
+  CreateOptions opts = standard_file(std::string(500, 'n'));
+  EXPECT_EQ((*fs)->create(opts).code(), Errc::out_of_range);
+  // Fully rolled back: no catalog entry, no space leak, no open handle.
+  EXPECT_TRUE((*fs)->list().empty());
+  EXPECT_EQ((*fs)->free_bytes(0), free0);
+  EXPECT_EQ((*fs)->open(std::string(500, 'n')).code(), Errc::not_found);
+  // The file system remains usable.
+  EXPECT_TRUE((*fs)->create(standard_file("ok")).ok());
+}
+
+TEST(FileSystem, GlobalViewAppendsAfterExistingRecords) {
+  FsFixture fx;
+  auto f = fx.fs->create(standard_file("append"));
+  ASSERT_TRUE(f.ok());
+  pio::testing::fill_stamped(**f, 10, 60);
+  GlobalSequentialView view(*f);
+  std::vector<std::byte> rec(128);
+  fill_record_payload(rec, 60, 10);
+  PIO_ASSERT_OK(view.write_next(rec));  // lands at record 10, not 0
+  for (std::uint64_t i = 0; i <= 10; ++i) {
+    EXPECT_TRUE(pio::testing::record_matches(**f, i, 60));
+  }
+}
+
+TEST(FileSystem, MountRestoresCatalogAndData) {
+  DeviceArray devices = make_ram_array(4, 1 << 20);
+  {
+    auto fs = FileSystem::format(devices);
+    ASSERT_TRUE(fs.ok());
+    CreateOptions opts = standard_file("persist", Organization::partitioned);
+    opts.partitions = 4;
+    auto f = (*fs)->create(opts);
+    ASSERT_TRUE(f.ok());
+    pio::testing::fill_stamped(**f, 40, 2);
+    PIO_ASSERT_OK((*fs)->sync());
+  }
+  auto fs = FileSystem::mount(devices);
+  ASSERT_TRUE(fs.ok()) << fs.error().to_string();
+  auto f = (*fs)->open("persist");
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ((*f)->meta().organization, Organization::partitioned);
+  EXPECT_EQ((*f)->record_count(), 40u);
+  for (std::uint64_t i = 0; i < 40; ++i) {
+    EXPECT_TRUE(pio::testing::record_matches(**f, i, 2));
+  }
+}
+
+TEST(FileSystem, MountPreservesPartitionCounts) {
+  DeviceArray devices = make_ram_array(2, 1 << 20);
+  {
+    auto fs = FileSystem::format(devices);
+    ASSERT_TRUE(fs.ok());
+    CreateOptions opts = standard_file("ps", Organization::partitioned);
+    opts.partitions = 4;
+    opts.capacity_records = 40;
+    auto f = (*fs)->create(opts);
+    ASSERT_TRUE(f.ok());
+    std::vector<std::byte> rec(128);
+    PIO_ASSERT_OK((*f)->write_record(10, rec));  // partition 1 only
+    PIO_ASSERT_OK((*fs)->sync());
+  }
+  auto fs = FileSystem::mount(devices);
+  ASSERT_TRUE(fs.ok());
+  auto f = (*fs)->open("ps");
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ((*f)->partition_records(0), 0u);
+  EXPECT_EQ((*f)->partition_records(1), 1u);
+}
+
+TEST(FileSystem, MountUnformattedArrayFails) {
+  DeviceArray devices = make_ram_array(2, 1 << 20);
+  EXPECT_EQ(FileSystem::mount(devices).code(), Errc::corrupt);
+}
+
+TEST(FileSystem, MountWrongDeviceCountFails) {
+  DeviceArray devices = make_ram_array(3, 1 << 20);
+  {
+    auto fs = FileSystem::format(devices);
+    ASSERT_TRUE(fs.ok());
+  }
+  // Present only two of the three devices.
+  DeviceArray partial;
+  partial.add(std::make_unique<RamDisk>("d0", 1 << 20));
+  partial.add(std::make_unique<RamDisk>("d1", 1 << 20));
+  // Copy device 0's contents (the superblock) into the new array.
+  std::vector<std::byte> super(64 * 1024);
+  ASSERT_TRUE(devices[0].read(0, super).ok());
+  ASSERT_TRUE(partial[0].write(0, super).ok());
+  EXPECT_EQ(FileSystem::mount(partial).code(), Errc::corrupt);
+}
+
+TEST(FileSystem, DefaultLayoutsFollowSection4) {
+  EXPECT_EQ(FileSystem::default_layout(Organization::sequential),
+            LayoutKind::striped);
+  EXPECT_EQ(FileSystem::default_layout(Organization::self_scheduled),
+            LayoutKind::striped);
+  EXPECT_EQ(FileSystem::default_layout(Organization::partitioned),
+            LayoutKind::blocked);
+  EXPECT_EQ(FileSystem::default_layout(Organization::interleaved),
+            LayoutKind::interleaved);
+  EXPECT_EQ(FileSystem::default_layout(Organization::global_direct),
+            LayoutKind::declustered);
+  EXPECT_EQ(FileSystem::default_layout(Organization::partitioned_direct),
+            LayoutKind::blocked);
+}
+
+TEST(FileSystem, ExplicitLayoutOverridesDefault) {
+  FsFixture fx;
+  CreateOptions opts = standard_file("override", Organization::partitioned);
+  opts.partitions = 2;
+  opts.layout = LayoutKind::striped;
+  auto f = fx.fs->create(opts);
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ((*f)->meta().layout_kind, LayoutKind::striped);
+}
+
+TEST(FileSystem, SpecializedCategoryRecorded) {
+  FsFixture fx;
+  CreateOptions opts = standard_file("scratch", Organization::self_scheduled);
+  opts.category = FileCategory::specialized;
+  auto f = fx.fs->create(opts);
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ(fx.fs->stat("scratch")->category, FileCategory::specialized);
+}
+
+TEST(FileSystem, ManyFilesCoexistAndRoundTrip) {
+  FsFixture fx(4, 4 << 20);
+  const Organization orgs[] = {
+      Organization::sequential, Organization::partitioned,
+      Organization::interleaved, Organization::self_scheduled,
+      Organization::global_direct, Organization::partitioned_direct};
+  for (int i = 0; i < 6; ++i) {
+    CreateOptions opts = standard_file("file" + std::to_string(i), orgs[i]);
+    opts.partitions = (orgs[i] == Organization::partitioned ||
+                       orgs[i] == Organization::interleaved ||
+                       orgs[i] == Organization::partitioned_direct)
+                          ? 4
+                          : 1;
+    auto f = fx.fs->create(opts);
+    ASSERT_TRUE(f.ok()) << f.error().to_string();
+    pio::testing::fill_stamped(**f, 50, static_cast<std::uint64_t>(100 + i));
+  }
+  // Interleaved contents stay intact per-file (no cross-file trampling).
+  for (int i = 0; i < 6; ++i) {
+    auto f = fx.fs->open("file" + std::to_string(i));
+    ASSERT_TRUE(f.ok());
+    for (std::uint64_t r = 0; r < 50; ++r) {
+      EXPECT_TRUE(pio::testing::record_matches(
+          **f, r, static_cast<std::uint64_t>(100 + i)));
+    }
+  }
+  EXPECT_EQ(fx.fs->list().size(), 6u);
+}
+
+TEST(FileSystem, GlobalViewOverFsFile) {
+  FsFixture fx;
+  CreateOptions opts = standard_file("viewme", Organization::interleaved);
+  opts.partitions = 2;
+  opts.records_per_block = 2;
+  auto f = fx.fs->create(opts);
+  ASSERT_TRUE(f.ok());
+  pio::testing::fill_stamped(**f, 20, 55);
+  GlobalSequentialView view(*f);
+  std::vector<std::byte> rec(128);
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    PIO_ASSERT_OK(view.read_next(rec));
+    EXPECT_TRUE(verify_record_payload(rec, 55, i));
+  }
+}
+
+}  // namespace
+}  // namespace pio

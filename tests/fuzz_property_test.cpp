@@ -1,0 +1,299 @@
+// Randomized property tests: hundreds of generated configurations for the
+// layout bijection, catalog round-trips, and file-system operation
+// sequences.  Seeds are fixed, so failures reproduce exactly.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/catalog.hpp"
+#include "core/file_system.hpp"
+#include "device/ram_disk.hpp"
+#include "layout/layout.hpp"
+#include "test_helpers.hpp"
+#include "util/rng.hpp"
+
+namespace pio {
+namespace {
+
+// ------------------------------------------------------------ layout fuzz
+
+TEST(LayoutFuzz, RandomStripedConfigsRoundTrip) {
+  Rng rng{0xF001};
+  for (int trial = 0; trial < 60; ++trial) {
+    const auto devices = static_cast<std::size_t>(1 + rng.uniform_u64(12));
+    const std::uint64_t unit = 1 + rng.uniform_u64(200);
+    const std::uint64_t size = 1 + rng.uniform_u64(3000);
+    StripedLayout layout(devices, unit);
+    // Concatenation property on a random sub-range.
+    const std::uint64_t start = rng.uniform_u64(size);
+    const std::uint64_t len = 1 + rng.uniform_u64(size - start);
+    std::uint64_t covered = 0;
+    for (const Segment& seg : layout.map(start, len)) covered += seg.length;
+    ASSERT_EQ(covered, len) << "striped(" << devices << "," << unit << ")";
+    // Spot-check inversion on random bytes.
+    for (int probe = 0; probe < 20; ++probe) {
+      const std::uint64_t off = rng.uniform_u64(size);
+      const auto segs = layout.map(off, 1);
+      const auto inv = layout.logical_of(segs[0].device, segs[0].offset);
+      ASSERT_TRUE(inv.has_value());
+      ASSERT_EQ(*inv, off);
+    }
+  }
+}
+
+TEST(LayoutFuzz, RandomBlockedConfigsRoundTrip) {
+  Rng rng{0xF002};
+  for (int trial = 0; trial < 60; ++trial) {
+    const auto partitions = static_cast<std::size_t>(1 + rng.uniform_u64(20));
+    const std::uint64_t part_bytes = 1 + rng.uniform_u64(300);
+    const auto devices = static_cast<std::size_t>(1 + rng.uniform_u64(8));
+    const auto placement = rng.uniform_u64(2) == 0
+                               ? PartitionPlacement::round_robin
+                               : PartitionPlacement::grouped;
+    BlockedLayout layout(partitions, part_bytes, devices, placement);
+    const std::uint64_t size = partitions * part_bytes;
+    // Full-range physical-byte uniqueness.
+    std::map<std::pair<std::size_t, std::uint64_t>, bool> seen;
+    std::uint64_t covered = 0;
+    for (const Segment& seg : layout.map(0, size)) {
+      covered += seg.length;
+      for (std::uint64_t i = 0; i < seg.length; ++i) {
+        ASSERT_TRUE(seen.emplace(std::make_pair(seg.device, seg.offset + i), true)
+                        .second)
+            << layout.describe();
+      }
+    }
+    ASSERT_EQ(covered, size);
+    // Footprints sum to the file size.
+    std::uint64_t foot = 0;
+    for (std::size_t d = 0; d < devices; ++d) {
+      foot += layout.device_bytes_required(d, size);
+    }
+    ASSERT_EQ(foot, size) << layout.describe();
+  }
+}
+
+TEST(LayoutFuzz, LogicalOfAgreesWithMapEverywhere) {
+  Rng rng{0xF003};
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto devices = static_cast<std::size_t>(1 + rng.uniform_u64(6));
+    const auto partitions = static_cast<std::size_t>(1 + rng.uniform_u64(9));
+    const std::uint64_t part_bytes = 1 + rng.uniform_u64(64);
+    BlockedLayout layout(partitions, part_bytes, devices,
+                         PartitionPlacement::grouped);
+    for (std::uint64_t off = 0; off < partitions * part_bytes; ++off) {
+      const auto segs = layout.map(off, 1);
+      const auto inv = layout.logical_of(segs[0].device, segs[0].offset);
+      ASSERT_TRUE(inv.has_value());
+      ASSERT_EQ(*inv, off);
+    }
+  }
+}
+
+// ------------------------------------------------------------ catalog fuzz
+
+FileMeta random_meta(Rng& rng, int tag) {
+  FileMeta meta;
+  meta.name = "file_" + std::to_string(tag) + "_" +
+              std::string(1 + rng.uniform_u64(30), 'x');
+  meta.organization = static_cast<Organization>(rng.uniform_u64(6));
+  meta.category = static_cast<FileCategory>(rng.uniform_u64(2));
+  meta.layout_kind = static_cast<LayoutKind>(rng.uniform_u64(4));
+  meta.record_bytes = static_cast<std::uint32_t>(1 + rng.uniform_u64(1 << 16));
+  meta.records_per_block = static_cast<std::uint32_t>(1 + rng.uniform_u64(64));
+  meta.partitions = static_cast<std::uint32_t>(1 + rng.uniform_u64(128));
+  meta.capacity_records = 1 + rng.uniform_u64(1ull << 40);
+  meta.stripe_unit = rng.uniform_u64(1 << 20);
+  meta.placement = static_cast<PartitionPlacement>(rng.uniform_u64(2));
+  return meta;
+}
+
+TEST(CatalogFuzz, RandomCatalogsRoundTripExactly) {
+  Rng rng{0xF004};
+  for (int trial = 0; trial < 40; ++trial) {
+    Catalog catalog;
+    catalog.device_count = static_cast<std::uint32_t>(1 + rng.uniform_u64(64));
+    const auto files = rng.uniform_u64(12);
+    for (std::uint64_t f = 0; f < files; ++f) {
+      CatalogEntry entry;
+      entry.meta = random_meta(rng, static_cast<int>(f));
+      entry.record_count = rng.uniform_u64(entry.meta.capacity_records + 1);
+      for (std::uint32_t p = 0; p < entry.meta.partitions; ++p) {
+        entry.partition_records.push_back(rng.uniform_u64(1 << 20));
+      }
+      for (std::uint32_t d = 0; d < catalog.device_count; ++d) {
+        entry.bases.push_back(rng.uniform_u64(1ull << 33));
+      }
+      catalog.entries.push_back(std::move(entry));
+    }
+    const auto image = serialize_catalog(catalog);
+    auto parsed = parse_catalog(image);
+    ASSERT_TRUE(parsed.ok()) << parsed.error().to_string();
+    ASSERT_EQ(parsed->entries.size(), catalog.entries.size());
+    for (std::size_t i = 0; i < catalog.entries.size(); ++i) {
+      const CatalogEntry& a = catalog.entries[i];
+      const CatalogEntry& b = parsed->entries[i];
+      EXPECT_EQ(a.meta.name, b.meta.name);
+      EXPECT_EQ(a.meta.organization, b.meta.organization);
+      EXPECT_EQ(a.meta.capacity_records, b.meta.capacity_records);
+      EXPECT_EQ(a.record_count, b.record_count);
+      EXPECT_EQ(a.partition_records, b.partition_records);
+      EXPECT_EQ(a.bases, b.bases);
+    }
+  }
+}
+
+TEST(CatalogFuzz, RandomGarbageNeverParses) {
+  Rng rng{0xF005};
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<std::byte> garbage(rng.uniform_u64(4096));
+    for (auto& b : garbage) b = static_cast<std::byte>(rng.uniform_u64(256));
+    auto parsed = parse_catalog(garbage);
+    // Random bytes can't satisfy the magic + checksum (2^-128-ish).
+    EXPECT_FALSE(parsed.ok());
+  }
+}
+
+// --------------------------------------------------------- file-system fuzz
+
+TEST(FileSystemFuzz, RandomOperationSequencesStayConsistent) {
+  Rng rng{0xF006};
+  DeviceArray devices = make_ram_array(3, 2 << 20);
+  auto fs_result = FileSystem::format(devices);
+  ASSERT_TRUE(fs_result.ok());
+  FileSystem& fs = **fs_result;
+
+  // Model state: what we believe exists, with its stamp tag.
+  std::map<std::string, std::uint64_t> model;
+  std::map<std::string, std::shared_ptr<ParallelFile>> open_files;
+  std::uint64_t next_tag = 1;
+
+  for (int op = 0; op < 400; ++op) {
+    const std::uint64_t action = rng.uniform_u64(6);
+    const std::string name = "f" + std::to_string(rng.uniform_u64(8));
+    switch (action) {
+      case 0: {  // create
+        CreateOptions opts;
+        opts.name = name;
+        opts.organization = static_cast<Organization>(rng.uniform_u64(6));
+        opts.record_bytes = 64;
+        opts.partitions = static_cast<std::uint32_t>(1 + rng.uniform_u64(4));
+        opts.records_per_block = static_cast<std::uint32_t>(1 + rng.uniform_u64(4));
+        opts.capacity_records = 16 + rng.uniform_u64(64);
+        auto created = fs.create(opts);
+        if (model.contains(name)) {
+          // Shape validation precedes the name check, so either error is
+          // legitimate here.
+          EXPECT_TRUE(created.code() == Errc::already_exists ||
+                      created.code() == Errc::invalid_argument);
+        } else if (created.ok()) {
+          model[name] = 0;
+          open_files[name] = *created;
+        }
+        break;
+      }
+      case 1: {  // write a few stamped records
+        auto it = open_files.find(name);
+        if (it == open_files.end() || !it->second) break;
+        const std::uint64_t tag = next_tag++;
+        auto& file = *it->second;
+        std::vector<std::byte> rec(64);
+        const std::uint64_t n =
+            std::min<std::uint64_t>(file.meta().capacity_records, 8);
+        for (std::uint64_t i = 0; i < n; ++i) {
+          fill_record_payload(rec, tag, i);
+          ASSERT_TRUE(file.write_record(i, rec).ok());
+        }
+        model[name] = tag;
+        break;
+      }
+      case 2: {  // verify
+        auto mit = model.find(name);
+        auto fit = open_files.find(name);
+        if (mit == model.end() || mit->second == 0 ||
+            fit == open_files.end() || !fit->second) {
+          break;
+        }
+        auto& file = *fit->second;
+        const std::uint64_t n =
+            std::min<std::uint64_t>(file.meta().capacity_records, 8);
+        for (std::uint64_t i = 0; i < n; ++i) {
+          ASSERT_TRUE(pio::testing::record_matches(file, i, mit->second))
+              << name << " op " << op;
+        }
+        break;
+      }
+      case 3: {  // close (drop the shared_ptr)
+        open_files[name] = nullptr;
+        break;
+      }
+      case 4: {  // remove (only valid when closed)
+        auto st = fs.remove(name);
+        if (st.ok()) {
+          model.erase(name);
+          open_files.erase(name);
+        } else {
+          EXPECT_TRUE(st.code() == Errc::not_found || st.code() == Errc::busy);
+        }
+        break;
+      }
+      case 5: {  // reopen
+        auto opened = fs.open(name);
+        if (model.contains(name)) {
+          ASSERT_TRUE(opened.ok());
+          open_files[name] = *opened;
+        } else {
+          EXPECT_EQ(opened.code(), Errc::not_found);
+        }
+        break;
+      }
+    }
+  }
+  // Final invariant: catalog listing matches the model exactly.
+  std::map<std::string, bool> listed;
+  for (const FileMeta& meta : fs.list()) listed[meta.name] = true;
+  EXPECT_EQ(listed.size(), model.size());
+  for (const auto& [name, tag] : model) EXPECT_TRUE(listed.contains(name));
+}
+
+TEST(FileSystemFuzz, SyncAndRemountAtRandomPoints) {
+  Rng rng{0xF007};
+  DeviceArray devices = make_ram_array(3, 2 << 20);
+  {
+    auto fs = FileSystem::format(devices);
+    ASSERT_TRUE(fs.ok());
+  }
+  std::map<std::string, std::uint64_t> model;  // name -> records written
+  for (int round = 0; round < 10; ++round) {
+    auto fs = FileSystem::mount(devices);
+    ASSERT_TRUE(fs.ok()) << "round " << round;
+    // Verify everything the model says should exist.
+    for (const auto& [name, records] : model) {
+      auto file = (*fs)->open(name);
+      ASSERT_TRUE(file.ok()) << name;
+      for (std::uint64_t i = 0; i < records; ++i) {
+        ASSERT_TRUE(pio::testing::record_matches(**file, i, 99));
+      }
+    }
+    // Mutate: create one file, write a random number of records.
+    const std::string name = "round" + std::to_string(round);
+    CreateOptions opts;
+    opts.name = name;
+    opts.organization = Organization::sequential;
+    opts.record_bytes = 64;
+    opts.capacity_records = 32;
+    auto file = (*fs)->create(opts);
+    ASSERT_TRUE(file.ok());
+    const std::uint64_t n = 1 + rng.uniform_u64(32);
+    std::vector<std::byte> rec(64);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      fill_record_payload(rec, 99, i);
+      ASSERT_TRUE((*file)->write_record(i, rec).ok());
+    }
+    model[name] = n;
+    ASSERT_TRUE((*fs)->sync().ok());
+  }
+}
+
+}  // namespace
+}  // namespace pio

@@ -1,0 +1,250 @@
+// Tests for global views (§2's "global view") and the conversion utility.
+#include <gtest/gtest.h>
+
+#include "core/global_view.hpp"
+#include "core/handles.hpp"
+#include "device/ram_disk.hpp"
+#include "test_helpers.hpp"
+#include "util/bytes.hpp"
+
+namespace pio {
+namespace {
+
+using pio::testing::fill_stamped;
+
+std::shared_ptr<ParallelFile> make_file(DeviceArray& devices, Organization org,
+                                        std::uint32_t partitions,
+                                        std::uint64_t capacity,
+                                        LayoutKind layout,
+                                        std::uint32_t rpb = 1) {
+  FileMeta meta;
+  meta.name = "f";
+  meta.organization = org;
+  meta.layout_kind = layout;
+  meta.record_bytes = 64;
+  meta.records_per_block = rpb;
+  meta.partitions = partitions;
+  meta.capacity_records = capacity;
+  return std::make_shared<ParallelFile>(
+      meta, devices, std::vector<std::uint64_t>(devices.size(), 0));
+}
+
+TEST(GlobalView, SequentialOverStripedFile) {
+  DeviceArray devices = make_ram_array(4, 1 << 20);
+  auto file = make_file(devices, Organization::sequential, 1, 50,
+                        LayoutKind::striped);
+  fill_stamped(*file, 50, 1);
+  GlobalSequentialView view(file);
+  EXPECT_EQ(view.size(), 50u);
+  std::vector<std::byte> rec(64);
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    PIO_ASSERT_OK(view.read_next(rec));
+    EXPECT_TRUE(verify_record_payload(rec, 1, i));
+  }
+  EXPECT_EQ(view.read_next(rec).code(), Errc::end_of_file);
+}
+
+TEST(GlobalView, SequentialOverInterleavedFileIsLogicalOrder) {
+  DeviceArray devices = make_ram_array(3, 1 << 20);
+  auto file = make_file(devices, Organization::interleaved, 3, 30,
+                        LayoutKind::interleaved, 2);
+  // Write via the three IS process handles (parallel program writes it).
+  std::vector<std::byte> rec(64);
+  for (std::uint32_t p = 0; p < 3; ++p) {
+    auto h = open_process_handle(file, p);
+    ASSERT_TRUE(h.ok());
+    for (int k = 0; k < 10; ++k) {
+      // Pattern order differs from logical order; stamp by actual index.
+      Pattern pat = Pattern::interleaved(2, 3, p);
+      fill_record_payload(rec, 2, pat.index(static_cast<std::uint64_t>(k)));
+      PIO_ASSERT_OK((*h)->write_next(rec));
+    }
+  }
+  // Sequential program sees logical order 0..29.
+  GlobalSequentialView view(file);
+  EXPECT_EQ(view.size(), 30u);
+  for (std::uint64_t i = 0; i < 30; ++i) {
+    PIO_ASSERT_OK(view.read_next(rec));
+    EXPECT_TRUE(verify_record_payload(rec, 2, i)) << i;
+  }
+}
+
+TEST(GlobalView, PartitionedSkipsUnfilledTails) {
+  DeviceArray devices = make_ram_array(2, 1 << 20);
+  auto file = make_file(devices, Organization::partitioned, 4, 40,
+                        LayoutKind::blocked);
+  // Partitions own 10 records each; fill unevenly: 3, 0, 10, 5.
+  std::vector<std::byte> rec(64);
+  auto put = [&](std::uint64_t idx) {
+    fill_record_payload(rec, 3, idx);
+    PIO_ASSERT_OK(file->write_record(idx, rec));
+  };
+  for (std::uint64_t i = 0; i < 3; ++i) put(0 * 10 + i);
+  for (std::uint64_t i = 0; i < 10; ++i) put(2 * 10 + i);
+  for (std::uint64_t i = 0; i < 5; ++i) put(3 * 10 + i);
+
+  GlobalSequentialView view(file);
+  EXPECT_EQ(view.size(), 18u);  // 3 + 0 + 10 + 5
+  std::vector<std::uint64_t> expected;
+  for (std::uint64_t i = 0; i < 3; ++i) expected.push_back(i);
+  for (std::uint64_t i = 0; i < 10; ++i) expected.push_back(20 + i);
+  for (std::uint64_t i = 0; i < 5; ++i) expected.push_back(30 + i);
+  for (std::uint64_t logical : expected) {
+    PIO_ASSERT_OK(view.read_next(rec));
+    EXPECT_TRUE(verify_record_payload(rec, 3, logical)) << logical;
+  }
+  EXPECT_EQ(view.read_next(rec).code(), Errc::end_of_file);
+}
+
+TEST(GlobalView, BatchReadCrossesPartitionBoundaries) {
+  DeviceArray devices = make_ram_array(2, 1 << 20);
+  auto file = make_file(devices, Organization::partitioned, 2, 20,
+                        LayoutKind::blocked);
+  fill_stamped(*file, 20, 4);
+  GlobalSequentialView view(file);
+  std::vector<std::byte> buf(20 * 64);
+  std::uint64_t got = 0;
+  // Ask for everything; the first batch stops at the partition boundary.
+  PIO_ASSERT_OK(view.read_batch(20, buf, &got));
+  EXPECT_EQ(got, 10u);
+  PIO_ASSERT_OK(view.read_batch(20, buf, &got));
+  EXPECT_EQ(got, 10u);
+  PIO_ASSERT_OK(view.read_batch(20, buf, &got));
+  EXPECT_EQ(got, 0u);
+}
+
+TEST(GlobalView, BatchReadOnContiguousFileTakesAll) {
+  DeviceArray devices = make_ram_array(4, 1 << 20);
+  auto file = make_file(devices, Organization::sequential, 1, 32,
+                        LayoutKind::striped);
+  fill_stamped(*file, 32, 5);
+  GlobalSequentialView view(file);
+  std::vector<std::byte> buf(32 * 64);
+  std::uint64_t got = 0;
+  PIO_ASSERT_OK(view.read_batch(32, buf, &got));
+  EXPECT_EQ(got, 32u);
+  for (std::uint64_t i = 0; i < 32; ++i) {
+    EXPECT_TRUE(verify_record_payload(
+        std::span<const std::byte>(buf.data() + i * 64, 64), 5, i));
+  }
+}
+
+TEST(GlobalView, BatchBufferTooSmallRejected) {
+  DeviceArray devices = make_ram_array(2, 1 << 20);
+  auto file = make_file(devices, Organization::sequential, 1, 8,
+                        LayoutKind::striped);
+  fill_stamped(*file, 8, 6);
+  GlobalSequentialView view(file);
+  std::vector<std::byte> tiny(64);
+  std::uint64_t got = 0;
+  EXPECT_EQ(view.read_batch(4, tiny, &got).code(), Errc::invalid_argument);
+}
+
+TEST(GlobalView, WriteThroughViewThenParallelRead) {
+  // A sequential program creates the file; a parallel program reads it PS.
+  DeviceArray devices = make_ram_array(2, 1 << 20);
+  auto file = make_file(devices, Organization::partitioned, 2, 20,
+                        LayoutKind::blocked);
+  {
+    GlobalSequentialView writer(file);
+    std::vector<std::byte> rec(64);
+    for (std::uint64_t i = 0; i < 20; ++i) {
+      fill_record_payload(rec, 7, i);
+      PIO_ASSERT_OK(writer.write_next(rec));
+    }
+  }
+  for (std::uint32_t p = 0; p < 2; ++p) {
+    auto h = open_process_handle(file, p);
+    ASSERT_TRUE(h.ok());
+    std::vector<std::byte> rec(64);
+    int n = 0;
+    while ((*h)->read_next(rec).ok()) {
+      EXPECT_TRUE(verify_record_payload(rec, 7, (*h)->last_record()));
+      ++n;
+    }
+    EXPECT_EQ(n, 10);
+  }
+}
+
+TEST(GlobalView, RewindResnapshots) {
+  DeviceArray devices = make_ram_array(2, 1 << 20);
+  auto file = make_file(devices, Organization::sequential, 1, 20,
+                        LayoutKind::striped);
+  fill_stamped(*file, 5, 8);
+  GlobalSequentialView view(file);
+  EXPECT_EQ(view.size(), 5u);
+  fill_stamped(*file, 12, 8);
+  view.rewind();
+  EXPECT_EQ(view.size(), 12u);
+}
+
+// ------------------------------------------------------------- convert_copy
+
+TEST(ConvertCopy, PsToIsPreservesLogicalOrder) {
+  DeviceArray devices = make_ram_array(3, 1 << 20);
+  auto src = make_file(devices, Organization::partitioned, 3, 30,
+                       LayoutKind::blocked);
+  fill_stamped(*src, 30, 9);
+  auto dst = make_file(devices, Organization::interleaved, 3, 30,
+                       LayoutKind::interleaved);
+  // Distinct device bases: give dst its own array to avoid overlap.
+  DeviceArray dst_devices = make_ram_array(3, 1 << 20);
+  dst = make_file(dst_devices, Organization::interleaved, 3, 30,
+                  LayoutKind::interleaved);
+  auto copied = convert_copy(src, dst, 7);  // odd batch exercises splits
+  ASSERT_TRUE(copied.ok()) << copied.error().to_string();
+  EXPECT_EQ(*copied, 30u);
+  for (std::uint64_t i = 0; i < 30; ++i) {
+    EXPECT_TRUE(pio::testing::record_matches(*dst, i, 9));
+  }
+}
+
+TEST(ConvertCopy, PartialPartitionsCompact) {
+  // PS file with holes converts to a dense sequential file.
+  DeviceArray devices = make_ram_array(2, 1 << 20);
+  auto src = make_file(devices, Organization::partitioned, 2, 20,
+                       LayoutKind::blocked);
+  std::vector<std::byte> rec(64);
+  fill_record_payload(rec, 10, 0);
+  PIO_ASSERT_OK(src->write_record(0, rec));   // partition 0: 1 record
+  fill_record_payload(rec, 10, 10);
+  PIO_ASSERT_OK(src->write_record(10, rec));  // partition 1: 1 record
+  DeviceArray dst_devices = make_ram_array(2, 1 << 20);
+  auto dst = make_file(dst_devices, Organization::sequential, 1, 20,
+                       LayoutKind::striped);
+  auto copied = convert_copy(src, dst);
+  ASSERT_TRUE(copied.ok());
+  EXPECT_EQ(*copied, 2u);
+  // Dense: dst records 0 and 1 hold src logical 0 and 10.
+  PIO_ASSERT_OK(dst->read_record(0, rec));
+  EXPECT_TRUE(verify_record_payload(rec, 10, 0));
+  PIO_ASSERT_OK(dst->read_record(1, rec));
+  EXPECT_TRUE(verify_record_payload(rec, 10, 10));
+}
+
+TEST(ConvertCopy, MismatchedRecordSizesRejected) {
+  DeviceArray d1 = make_ram_array(2, 1 << 20);
+  DeviceArray d2 = make_ram_array(2, 1 << 20);
+  auto src = make_file(d1, Organization::sequential, 1, 10, LayoutKind::striped);
+  FileMeta meta;
+  meta.name = "g";
+  meta.organization = Organization::sequential;
+  meta.record_bytes = 32;  // different
+  meta.capacity_records = 10;
+  auto dst = std::make_shared<ParallelFile>(meta, d2,
+                                            std::vector<std::uint64_t>(2, 0));
+  EXPECT_EQ(convert_copy(src, dst).code(), Errc::invalid_argument);
+}
+
+TEST(ConvertCopy, EmptySourceCopiesNothing) {
+  DeviceArray d1 = make_ram_array(2, 1 << 20);
+  DeviceArray d2 = make_ram_array(2, 1 << 20);
+  auto src = make_file(d1, Organization::sequential, 1, 10, LayoutKind::striped);
+  auto dst = make_file(d2, Organization::sequential, 1, 10, LayoutKind::striped);
+  auto copied = convert_copy(src, dst);
+  ASSERT_TRUE(copied.ok());
+  EXPECT_EQ(*copied, 0u);
+}
+
+}  // namespace
+}  // namespace pio

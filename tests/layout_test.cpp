@@ -1,0 +1,262 @@
+// Layout property tests: every layout must be a bijection between the
+// logical byte space and the union of per-device extents, with segments
+// that concatenate back to the requested range.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "layout/layout.hpp"
+
+namespace pio {
+namespace {
+
+// A layout under test plus the logical size to sweep.
+struct LayoutCase {
+  std::string name;
+  std::shared_ptr<const Layout> layout;
+  std::uint64_t file_size;
+};
+
+std::vector<LayoutCase> layout_cases() {
+  std::vector<LayoutCase> cases;
+  auto add = [&](std::string name, std::unique_ptr<Layout> l,
+                 std::uint64_t size) {
+    cases.push_back(LayoutCase{std::move(name),
+                               std::shared_ptr<const Layout>(std::move(l)),
+                               size});
+  };
+  add("striped_1dev", std::make_unique<StripedLayout>(1, 16), 300);
+  add("striped_4dev_u16", std::make_unique<StripedLayout>(4, 16), 1024);
+  add("striped_4dev_u16_ragged", std::make_unique<StripedLayout>(4, 16), 1000);
+  add("striped_3dev_u7", std::make_unique<StripedLayout>(3, 7), 500);
+  add("striped_8dev_u1", std::make_unique<StripedLayout>(8, 1), 257);
+  add("blocked_rr_4x100_2dev",
+      std::make_unique<BlockedLayout>(4, 100, 2, PartitionPlacement::round_robin),
+      400);
+  add("blocked_grp_4x100_2dev",
+      std::make_unique<BlockedLayout>(4, 100, 2, PartitionPlacement::grouped),
+      400);
+  add("blocked_rr_5x64_3dev",
+      std::make_unique<BlockedLayout>(5, 64, 3, PartitionPlacement::round_robin),
+      320);
+  add("blocked_grp_5x64_3dev",
+      std::make_unique<BlockedLayout>(5, 64, 3, PartitionPlacement::grouped),
+      320);
+  add("blocked_1per_dev", std::make_unique<BlockedLayout>(4, 50, 4), 200);
+  add("blocked_short_tail",
+      std::make_unique<BlockedLayout>(4, 100, 2, PartitionPlacement::grouped),
+      350);  // last partition half-filled
+  add("interleaved_4dev_b64", make_interleaved_layout(4, 64), 1024);
+  add("declustered_4dev_b64", make_declustered_layout(4, 64), 1024);
+  return cases;
+}
+
+class LayoutProperty : public ::testing::TestWithParam<LayoutCase> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    AllLayouts, LayoutProperty, ::testing::ValuesIn(layout_cases()),
+    [](const ::testing::TestParamInfo<LayoutCase>& info) {
+      return info.param.name;
+    });
+
+TEST_P(LayoutProperty, SegmentsConcatenateToRange) {
+  const auto& [name, layout, size] = GetParam();
+  for (std::uint64_t start : {std::uint64_t{0}, size / 3, size / 2}) {
+    for (std::uint64_t len : {std::uint64_t{1}, std::uint64_t{13}, size - start}) {
+      if (start + len > size) continue;
+      std::uint64_t total = 0;
+      for (const Segment& seg : layout->map(start, len)) {
+        EXPECT_LT(seg.device, layout->device_count());
+        EXPECT_GT(seg.length, 0u);
+        total += seg.length;
+      }
+      EXPECT_EQ(total, len) << "range [" << start << ", " << start + len << ")";
+    }
+  }
+}
+
+TEST_P(LayoutProperty, BytewiseMapInvertsViaLogicalOf) {
+  const auto& [name, layout, size] = GetParam();
+  for (std::uint64_t off = 0; off < size; ++off) {
+    const auto segs = layout->map(off, 1);
+    ASSERT_EQ(segs.size(), 1u);
+    const auto logical = layout->logical_of(segs[0].device, segs[0].offset);
+    ASSERT_TRUE(logical.has_value()) << "offset " << off;
+    EXPECT_EQ(*logical, off);
+  }
+}
+
+TEST_P(LayoutProperty, NoTwoLogicalBytesShareAPhysicalByte) {
+  const auto& [name, layout, size] = GetParam();
+  std::map<std::pair<std::size_t, std::uint64_t>, std::uint64_t> seen;
+  for (std::uint64_t off = 0; off < size; ++off) {
+    const auto segs = layout->map(off, 1);
+    const auto key = std::make_pair(segs[0].device, segs[0].offset);
+    auto [it, inserted] = seen.emplace(key, off);
+    EXPECT_TRUE(inserted) << "physical byte (" << key.first << ", "
+                          << key.second << ") claimed by logical " << it->second
+                          << " and " << off;
+  }
+}
+
+TEST_P(LayoutProperty, RangeMapMatchesBytewiseMap) {
+  const auto& [name, layout, size] = GetParam();
+  const auto segs = layout->map(0, size);
+  std::uint64_t logical = 0;
+  for (const Segment& seg : segs) {
+    for (std::uint64_t i = 0; i < seg.length; ++i, ++logical) {
+      const auto one = layout->map(logical, 1);
+      ASSERT_EQ(one.size(), 1u);
+      EXPECT_EQ(one[0].device, seg.device);
+      EXPECT_EQ(one[0].offset, seg.offset + i);
+    }
+  }
+  EXPECT_EQ(logical, size);
+}
+
+TEST_P(LayoutProperty, FootprintsCoverFileSize) {
+  const auto& [name, layout, size] = GetParam();
+  std::uint64_t total = 0;
+  for (std::size_t d = 0; d < layout->device_count(); ++d) {
+    total += layout->device_bytes_required(d, size);
+  }
+  EXPECT_EQ(total, size);
+}
+
+TEST_P(LayoutProperty, FootprintBoundsMaxMappedOffset) {
+  const auto& [name, layout, size] = GetParam();
+  std::vector<std::uint64_t> max_end(layout->device_count(), 0);
+  for (const Segment& seg : layout->map(0, size)) {
+    max_end[seg.device] = std::max(max_end[seg.device], seg.offset + seg.length);
+  }
+  for (std::size_t d = 0; d < layout->device_count(); ++d) {
+    EXPECT_EQ(max_end[d], layout->device_bytes_required(d, size))
+        << "device " << d;
+  }
+}
+
+TEST_P(LayoutProperty, DescribeIsNonEmpty) {
+  EXPECT_FALSE(GetParam().layout->describe().empty());
+}
+
+// ------------------------------------------------------- targeted behaviour
+
+TEST(StripedLayout, RoundRobinAssignment) {
+  StripedLayout l(3, 10);
+  // Units 0,1,2 -> devices 0,1,2; unit 3 -> device 0 at offset 10.
+  auto segs = l.map(0, 60);
+  ASSERT_EQ(segs.size(), 6u);
+  EXPECT_EQ(segs[0], (Segment{0, 0, 10}));
+  EXPECT_EQ(segs[1], (Segment{1, 0, 10}));
+  EXPECT_EQ(segs[2], (Segment{2, 0, 10}));
+  EXPECT_EQ(segs[3], (Segment{0, 10, 10}));
+}
+
+TEST(StripedLayout, SingleDeviceMergesToOneSegment) {
+  StripedLayout l(1, 16);
+  auto segs = l.map(5, 100);
+  ASSERT_EQ(segs.size(), 1u);
+  EXPECT_EQ(segs[0], (Segment{0, 5, 100}));
+}
+
+TEST(StripedLayout, SubUnitRequestStaysOnOneDevice) {
+  StripedLayout l(4, 1024);
+  auto segs = l.map(2048 + 100, 50);
+  ASSERT_EQ(segs.size(), 1u);
+  EXPECT_EQ(segs[0].device, 2u);
+  EXPECT_EQ(segs[0].offset, 100u);
+}
+
+TEST(StripedLayout, UnalignedStartSplitsCorrectly) {
+  StripedLayout l(2, 10);
+  auto segs = l.map(7, 10);
+  ASSERT_EQ(segs.size(), 2u);
+  EXPECT_EQ(segs[0], (Segment{0, 7, 3}));
+  EXPECT_EQ(segs[1], (Segment{1, 0, 7}));
+}
+
+TEST(BlockedLayout, OneDevicePerPartitionWhenEqual) {
+  BlockedLayout l(3, 100, 3);
+  for (std::size_t p = 0; p < 3; ++p) {
+    EXPECT_EQ(l.device_of_partition(p), p);
+    EXPECT_EQ(l.device_base_of_partition(p), 0u);
+  }
+  auto segs = l.map(150, 100);  // partition 1 tail + partition 2 head
+  ASSERT_EQ(segs.size(), 2u);
+  EXPECT_EQ(segs[0], (Segment{1, 50, 50}));
+  EXPECT_EQ(segs[1], (Segment{2, 0, 50}));
+}
+
+TEST(BlockedLayout, RoundRobinPlacementSpreadsNeighbours) {
+  BlockedLayout l(4, 100, 2, PartitionPlacement::round_robin);
+  EXPECT_EQ(l.device_of_partition(0), 0u);
+  EXPECT_EQ(l.device_of_partition(1), 1u);
+  EXPECT_EQ(l.device_of_partition(2), 0u);
+  EXPECT_EQ(l.device_of_partition(3), 1u);
+  EXPECT_EQ(l.device_base_of_partition(2), 100u);
+}
+
+TEST(BlockedLayout, GroupedPlacementKeepsNeighboursTogether) {
+  BlockedLayout l(4, 100, 2, PartitionPlacement::grouped);
+  EXPECT_EQ(l.device_of_partition(0), 0u);
+  EXPECT_EQ(l.device_of_partition(1), 0u);
+  EXPECT_EQ(l.device_of_partition(2), 1u);
+  EXPECT_EQ(l.device_of_partition(3), 1u);
+  EXPECT_EQ(l.device_base_of_partition(1), 100u);
+  EXPECT_EQ(l.device_base_of_partition(3), 100u);
+}
+
+TEST(BlockedLayout, GroupedUnevenSplit) {
+  // 5 partitions over 3 devices: groups of 2, 2, 1.
+  BlockedLayout l(5, 10, 3, PartitionPlacement::grouped);
+  EXPECT_EQ(l.device_of_partition(0), 0u);
+  EXPECT_EQ(l.device_of_partition(1), 0u);
+  EXPECT_EQ(l.device_of_partition(2), 1u);
+  EXPECT_EQ(l.device_of_partition(3), 1u);
+  EXPECT_EQ(l.device_of_partition(4), 2u);
+}
+
+TEST(BlockedLayout, LogicalOfRejectsPaddingSpace) {
+  BlockedLayout l(5, 64, 3, PartitionPlacement::grouped);
+  // Device 2 holds only one partition (64 bytes); beyond that is unused.
+  EXPECT_FALSE(l.logical_of(2, 64).has_value());
+  EXPECT_TRUE(l.logical_of(2, 63).has_value());
+  EXPECT_FALSE(l.logical_of(7, 0).has_value());  // no such device
+}
+
+TEST(BlockedLayout, ShortFileFootprints) {
+  BlockedLayout l(4, 100, 2, PartitionPlacement::grouped);
+  // File of 250 bytes: partitions 0,1 full, partition 2 half, partition 3
+  // empty.  Device 0 holds partitions 0,1; device 1 holds 2,3.
+  EXPECT_EQ(l.device_bytes_required(0, 250), 200u);
+  EXPECT_EQ(l.device_bytes_required(1, 250), 50u);
+}
+
+TEST(InterleavedFactory, BlockGranularStriping) {
+  auto l = make_interleaved_layout(3, 64);
+  auto segs = l->map(0, 192);
+  ASSERT_EQ(segs.size(), 3u);
+  EXPECT_EQ(segs[0].device, 0u);
+  EXPECT_EQ(segs[1].device, 1u);
+  EXPECT_EQ(segs[2].device, 2u);
+  EXPECT_EQ(segs[0].length, 64u);
+}
+
+TEST(DeclusteredFactory, SplitsEachBlockOverAllDevices) {
+  auto l = make_declustered_layout(4, 64);
+  // One 64-byte block fans out over all 4 devices, 16 bytes each.
+  auto segs = l->map(0, 64);
+  ASSERT_EQ(segs.size(), 4u);
+  for (std::size_t d = 0; d < 4; ++d) {
+    EXPECT_EQ(segs[d].device, d);
+    EXPECT_EQ(segs[d].length, 16u);
+  }
+  // The NEXT block starts again on device 0: every block touches all disks.
+  auto next = l->map(64, 64);
+  EXPECT_EQ(next[0].device, 0u);
+  EXPECT_EQ(next[0].offset, 16u);
+}
+
+}  // namespace
+}  // namespace pio

@@ -1,0 +1,303 @@
+// Tests for ParallelFile record I/O, bookkeeping, and SS cursors — across
+// every organization/layout combination.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "core/parallel_file.hpp"
+#include "device/ram_disk.hpp"
+#include "test_helpers.hpp"
+#include "util/bytes.hpp"
+
+namespace pio {
+namespace {
+
+using pio::testing::fill_stamped;
+using pio::testing::record_matches;
+
+struct FileCase {
+  std::string name;
+  Organization org;
+  LayoutKind layout;
+  std::uint32_t partitions;
+  std::size_t devices;
+};
+
+std::vector<FileCase> file_cases() {
+  return {
+      {"S_striped_4dev", Organization::sequential, LayoutKind::striped, 1, 4},
+      {"S_striped_1dev", Organization::sequential, LayoutKind::striped, 1, 1},
+      {"PS_blocked_4x4", Organization::partitioned, LayoutKind::blocked, 4, 4},
+      {"PS_blocked_6p_3dev", Organization::partitioned, LayoutKind::blocked, 6, 3},
+      {"IS_interleaved_4x4", Organization::interleaved, LayoutKind::interleaved, 4, 4},
+      {"IS_interleaved_3p_5dev", Organization::interleaved, LayoutKind::interleaved, 3, 5},
+      {"SS_striped_4dev", Organization::self_scheduled, LayoutKind::striped, 1, 4},
+      {"GDA_declustered_4dev", Organization::global_direct, LayoutKind::declustered, 1, 4},
+      {"PDA_blocked_4x4", Organization::partitioned_direct, LayoutKind::blocked, 4, 4},
+      {"PS_on_striped_layout", Organization::partitioned, LayoutKind::striped, 4, 4},
+      {"IS_on_declustered", Organization::interleaved, LayoutKind::declustered, 4, 4},
+  };
+}
+
+class ParallelFileProperty : public ::testing::TestWithParam<FileCase> {
+ protected:
+  static constexpr std::uint32_t kRecordBytes = 128;
+  static constexpr std::uint64_t kCapacity = 240;
+
+  ParallelFileProperty() {
+    const auto& c = GetParam();
+    devices_ = make_ram_array(c.devices, 1 << 20);
+    FileMeta meta;
+    meta.name = c.name;
+    meta.organization = c.org;
+    meta.layout_kind = c.layout;
+    meta.record_bytes = kRecordBytes;
+    meta.records_per_block = 4;
+    meta.partitions = c.partitions;
+    meta.capacity_records = kCapacity;
+    meta.stripe_unit = 256;  // exercise sub-record striping
+    file_ = std::make_shared<ParallelFile>(meta, devices_,
+                                           std::vector<std::uint64_t>(c.devices, 0));
+  }
+
+  DeviceArray devices_;
+  std::shared_ptr<ParallelFile> file_;
+};
+
+INSTANTIATE_TEST_SUITE_P(AllConfigs, ParallelFileProperty,
+                         ::testing::ValuesIn(file_cases()),
+                         [](const ::testing::TestParamInfo<FileCase>& info) {
+                           return info.param.name;
+                         });
+
+TEST_P(ParallelFileProperty, StampedRoundTripAllRecords) {
+  fill_stamped(*file_, kCapacity, /*tag=*/7);
+  for (std::uint64_t i = 0; i < kCapacity; ++i) {
+    EXPECT_TRUE(record_matches(*file_, i, 7));
+  }
+}
+
+TEST_P(ParallelFileProperty, BatchedWriteMatchesRecordWise) {
+  // Write all records in one batch, then verify record-by-record.
+  std::vector<std::byte> bulk(kCapacity * kRecordBytes);
+  for (std::uint64_t i = 0; i < kCapacity; ++i) {
+    fill_record_payload(
+        std::span<std::byte>(bulk.data() + i * kRecordBytes, kRecordBytes), 9, i);
+  }
+  PIO_ASSERT_OK(file_->write_records(0, kCapacity, bulk));
+  for (std::uint64_t i = 0; i < kCapacity; ++i) {
+    EXPECT_TRUE(record_matches(*file_, i, 9));
+  }
+}
+
+TEST_P(ParallelFileProperty, BatchedReadMatchesRecordWise) {
+  fill_stamped(*file_, kCapacity, 11);
+  std::vector<std::byte> bulk(kCapacity * kRecordBytes);
+  PIO_ASSERT_OK(file_->read_records(0, kCapacity, bulk));
+  for (std::uint64_t i = 0; i < kCapacity; ++i) {
+    EXPECT_TRUE(verify_record_payload(
+        std::span<const std::byte>(bulk.data() + i * kRecordBytes, kRecordBytes),
+        11, i));
+  }
+}
+
+TEST_P(ParallelFileProperty, UnwrittenRecordsReadZero) {
+  std::vector<std::byte> rec(kRecordBytes, std::byte{0xaa});
+  PIO_ASSERT_OK(file_->read_record(kCapacity - 1, rec));
+  for (auto b : rec) EXPECT_EQ(b, std::byte{0});
+}
+
+TEST_P(ParallelFileProperty, RecordCountHighWater) {
+  EXPECT_EQ(file_->record_count(), 0u);
+  std::vector<std::byte> rec(kRecordBytes);
+  PIO_ASSERT_OK(file_->write_record(10, rec));
+  EXPECT_EQ(file_->record_count(), 11u);
+  PIO_ASSERT_OK(file_->write_record(3, rec));
+  EXPECT_EQ(file_->record_count(), 11u);  // high-water, not last
+}
+
+TEST_P(ParallelFileProperty, CapacityEnforced) {
+  std::vector<std::byte> rec(kRecordBytes);
+  EXPECT_EQ(file_->write_record(kCapacity, rec).code(), Errc::out_of_range);
+  EXPECT_EQ(file_->read_record(kCapacity, rec).code(), Errc::out_of_range);
+  EXPECT_EQ(file_->read_records(kCapacity - 1, 2, rec).code(),
+            Errc::out_of_range);
+}
+
+TEST_P(ParallelFileProperty, ShortBufferRejected) {
+  std::vector<std::byte> small(kRecordBytes - 1);
+  EXPECT_EQ(file_->write_record(0, small).code(), Errc::invalid_argument);
+  EXPECT_EQ(file_->read_record(0, small).code(), Errc::invalid_argument);
+}
+
+TEST_P(ParallelFileProperty, ConcurrentWritersDisjointRecords) {
+  constexpr int kThreads = 4;
+  const std::uint64_t per = kCapacity / kThreads;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      std::vector<std::byte> rec(kRecordBytes);
+      for (std::uint64_t i = 0; i < per; ++i) {
+        const std::uint64_t idx = static_cast<std::uint64_t>(t) * per + i;
+        fill_record_payload(rec, 21, idx);
+        auto st = file_->write_record(idx, rec);
+        EXPECT_TRUE(st.ok());
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (std::uint64_t i = 0; i < per * kThreads; ++i) {
+    EXPECT_TRUE(record_matches(*file_, i, 21));
+  }
+  EXPECT_EQ(file_->record_count(), per * kThreads);
+}
+
+// --------------------------------------------------- partition bookkeeping
+
+TEST(ParallelFilePartitions, CountsTrackPerPartitionHighWater) {
+  DeviceArray devices = make_ram_array(4, 1 << 20);
+  FileMeta meta;
+  meta.name = "ps";
+  meta.organization = Organization::partitioned;
+  meta.layout_kind = LayoutKind::blocked;
+  meta.record_bytes = 64;
+  meta.partitions = 4;
+  meta.capacity_records = 100;  // 25/partition
+  ParallelFile file(meta, devices, {0, 0, 0, 0});
+  std::vector<std::byte> rec(64);
+  // Partition 1 gets 3 records, partition 3 gets 1.
+  PIO_ASSERT_OK(file.write_record(25, rec));
+  PIO_ASSERT_OK(file.write_record(26, rec));
+  PIO_ASSERT_OK(file.write_record(27, rec));
+  PIO_ASSERT_OK(file.write_record(75, rec));
+  EXPECT_EQ(file.partition_records(0), 0u);
+  EXPECT_EQ(file.partition_records(1), 3u);
+  EXPECT_EQ(file.partition_records(2), 0u);
+  EXPECT_EQ(file.partition_records(3), 1u);
+  EXPECT_EQ(file.total_partition_records(), 4u);
+}
+
+TEST(ParallelFilePartitions, BatchSpanningPartitionsUpdatesBoth) {
+  DeviceArray devices = make_ram_array(2, 1 << 20);
+  FileMeta meta;
+  meta.name = "ps";
+  meta.organization = Organization::partitioned;
+  meta.layout_kind = LayoutKind::blocked;
+  meta.record_bytes = 32;
+  meta.partitions = 2;
+  meta.capacity_records = 20;  // 10/partition
+  ParallelFile file(meta, devices, {0, 0});
+  std::vector<std::byte> bulk(6 * 32);
+  PIO_ASSERT_OK(file.write_records(8, 6, bulk));  // records 8..13
+  EXPECT_EQ(file.partition_records(0), 10u);
+  EXPECT_EQ(file.partition_records(1), 4u);
+}
+
+TEST(ParallelFilePartitions, RestoredStateFromCatalogValues) {
+  DeviceArray devices = make_ram_array(2, 1 << 20);
+  FileMeta meta;
+  meta.name = "ps";
+  meta.organization = Organization::partitioned;
+  meta.layout_kind = LayoutKind::blocked;
+  meta.record_bytes = 32;
+  meta.partitions = 2;
+  meta.capacity_records = 20;
+  ParallelFile file(meta, devices, {0, 0}, /*initial_records=*/14, {10, 4});
+  EXPECT_EQ(file.record_count(), 14u);
+  EXPECT_EQ(file.partition_records(1), 4u);
+  auto snap = file.partition_record_snapshot();
+  EXPECT_EQ(snap, (std::vector<std::uint64_t>{10, 4}));
+}
+
+// ------------------------------------------------------------- SS cursors
+
+struct SsFixture : ::testing::Test {
+  SsFixture() : devices(make_ram_array(4, 1 << 20)) {
+    FileMeta meta;
+    meta.name = "ss";
+    meta.organization = Organization::self_scheduled;
+    meta.layout_kind = LayoutKind::striped;
+    meta.record_bytes = 64;
+    meta.capacity_records = 1000;
+    file = std::make_shared<ParallelFile>(meta, devices,
+                                          std::vector<std::uint64_t>(4, 0));
+  }
+  DeviceArray devices;
+  std::shared_ptr<ParallelFile> file;
+};
+
+TEST_F(SsFixture, ClaimsAreSequentialFromSingleThread) {
+  fill_stamped(*file, 10, 1);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    auto t = file->ss_claim_read();
+    ASSERT_TRUE(t.ok());
+    EXPECT_EQ(*t, i);
+  }
+  EXPECT_EQ(file->ss_claim_read().code(), Errc::end_of_file);
+}
+
+TEST_F(SsFixture, RewindRestartsClaims) {
+  fill_stamped(*file, 5, 1);
+  while (file->ss_claim_read().ok()) {
+  }
+  file->ss_rewind();
+  auto t = file->ss_claim_read();
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(*t, 0u);
+}
+
+TEST_F(SsFixture, WriteClaimsExtendTowardCapacity) {
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    auto t = file->ss_claim_write();
+    ASSERT_TRUE(t.ok());
+    EXPECT_EQ(*t, i);
+  }
+  EXPECT_EQ(file->ss_claim_write().code(), Errc::out_of_range);
+}
+
+TEST_F(SsFixture, ConcurrentClaimsExactlyOnceNoSkips) {
+  fill_stamped(*file, 800, 1);
+  constexpr int kThreads = 8;
+  std::vector<std::vector<std::uint64_t>> claimed(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (;;) {
+        auto ticket = file->ss_claim_read();
+        if (!ticket.ok()) break;
+        claimed[static_cast<std::size_t>(t)].push_back(*ticket);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  std::vector<std::uint64_t> all;
+  for (const auto& v : claimed) all.insert(all.end(), v.begin(), v.end());
+  std::sort(all.begin(), all.end());
+  ASSERT_EQ(all.size(), 800u);
+  for (std::uint64_t i = 0; i < 800; ++i) EXPECT_EQ(all[i], i);
+}
+
+TEST_F(SsFixture, ConcurrentWriteClaimsUnique) {
+  constexpr int kThreads = 6;
+  constexpr int kPer = 100;
+  std::vector<std::vector<std::uint64_t>> claimed(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPer; ++i) {
+        auto ticket = file->ss_claim_write();
+        ASSERT_TRUE(ticket.ok());
+        claimed[static_cast<std::size_t>(t)].push_back(*ticket);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  std::vector<std::uint64_t> all;
+  for (const auto& v : claimed) all.insert(all.end(), v.begin(), v.end());
+  std::sort(all.begin(), all.end());
+  ASSERT_EQ(all.size(), static_cast<std::size_t>(kThreads * kPer));
+  for (std::size_t i = 0; i < all.size(); ++i) EXPECT_EQ(all[i], i);
+}
+
+}  // namespace
+}  // namespace pio

@@ -1,0 +1,139 @@
+// Pattern property tests: across all ranks, each sequential organization's
+// pattern must visit every record exactly once (a partition of the record
+// space), in the order Figure 1 prescribes.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "core/access_pattern.hpp"
+
+namespace pio {
+namespace {
+
+TEST(SequentialPattern, IdentityOrder) {
+  Pattern p = Pattern::sequential();
+  for (std::uint64_t k = 0; k < 100; ++k) EXPECT_EQ(p.index(k), k);
+  EXPECT_EQ(p.visits_below(57), 57u);
+}
+
+TEST(PartitionedPattern, ContiguousRanges) {
+  Pattern p = Pattern::partitioned(10, 2);
+  EXPECT_EQ(p.index(0), 20u);
+  EXPECT_EQ(p.index(9), 29u);
+}
+
+TEST(PartitionedPattern, VisitsBelowClamps) {
+  Pattern p = Pattern::partitioned(10, 2);  // owns [20, 30)
+  EXPECT_EQ(p.visits_below(15), 0u);   // limit before partition
+  EXPECT_EQ(p.visits_below(20), 0u);
+  EXPECT_EQ(p.visits_below(25), 5u);   // partial
+  EXPECT_EQ(p.visits_below(30), 10u);  // full
+  EXPECT_EQ(p.visits_below(100), 10u); // never more than capacity
+}
+
+TEST(InterleavedPattern, StridedBlocks) {
+  // 3 processes, 2 records per block.  Rank 1 gets blocks 1, 4, 7, ...
+  Pattern p = Pattern::interleaved(2, 3, 1);
+  EXPECT_EQ(p.index(0), 2u);   // block 1, record 0
+  EXPECT_EQ(p.index(1), 3u);   // block 1, record 1
+  EXPECT_EQ(p.index(2), 8u);   // block 4, record 0
+  EXPECT_EQ(p.index(3), 9u);
+  EXPECT_EQ(p.index(4), 14u);  // block 7
+}
+
+TEST(InterleavedPattern, VisitsBelowCountsPartialTailBlock) {
+  Pattern p0 = Pattern::interleaved(4, 2, 0);
+  Pattern p1 = Pattern::interleaved(4, 2, 1);
+  // 10 records = blocks 0,1 full + block 2 partial (2 records, rank 0's).
+  EXPECT_EQ(p0.visits_below(10), 6u);
+  EXPECT_EQ(p1.visits_below(10), 4u);
+}
+
+TEST(Pattern, DescribeNames) {
+  EXPECT_EQ(Pattern::sequential().describe(), "sequential");
+  EXPECT_NE(Pattern::partitioned(4, 1).describe().find("partitioned"),
+            std::string::npos);
+  EXPECT_NE(Pattern::interleaved(2, 3, 0).describe().find("interleaved"),
+            std::string::npos);
+}
+
+// ------------------------------------------------------ partition-of-unity
+
+struct SweepParam {
+  std::uint32_t processes;
+  std::uint32_t records_per_block;
+  std::uint64_t total_records;
+};
+
+class PatternSweep : public ::testing::TestWithParam<SweepParam> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PatternSweep,
+    ::testing::Values(SweepParam{1, 1, 64}, SweepParam{3, 1, 30},
+                      SweepParam{3, 4, 120}, SweepParam{4, 4, 100},
+                      SweepParam{7, 3, 200}, SweepParam{16, 2, 256},
+                      SweepParam{5, 8, 37}),
+    [](const ::testing::TestParamInfo<SweepParam>& info) {
+      const auto& p = info.param;
+      return "P" + std::to_string(p.processes) + "_rpb" +
+             std::to_string(p.records_per_block) + "_N" +
+             std::to_string(p.total_records);
+    });
+
+TEST_P(PatternSweep, InterleavedPatternsPartitionRecordSpace) {
+  const auto& [P, rpb, N] = GetParam();
+  std::set<std::uint64_t> visited;
+  for (std::uint32_t rank = 0; rank < P; ++rank) {
+    Pattern p = Pattern::interleaved(rpb, P, rank);
+    const std::uint64_t visits = p.visits_below(N);
+    for (std::uint64_t k = 0; k < visits; ++k) {
+      const std::uint64_t idx = p.index(k);
+      EXPECT_LT(idx, N);
+      EXPECT_TRUE(visited.insert(idx).second) << "record " << idx << " twice";
+    }
+  }
+  EXPECT_EQ(visited.size(), N) << "records missed";
+}
+
+TEST_P(PatternSweep, PartitionedPatternsPartitionRecordSpace) {
+  const auto& [P, rpb, N] = GetParam();
+  const std::uint64_t cap = (N + P - 1) / P;
+  std::set<std::uint64_t> visited;
+  for (std::uint32_t rank = 0; rank < P; ++rank) {
+    Pattern p = Pattern::partitioned(cap, rank);
+    const std::uint64_t visits = p.visits_below(N);
+    for (std::uint64_t k = 0; k < visits; ++k) {
+      const std::uint64_t idx = p.index(k);
+      EXPECT_LT(idx, N);
+      EXPECT_TRUE(visited.insert(idx).second);
+    }
+  }
+  EXPECT_EQ(visited.size(), N);
+}
+
+TEST_P(PatternSweep, InterleavedIndicesStrictlyIncrease) {
+  const auto& [P, rpb, N] = GetParam();
+  for (std::uint32_t rank = 0; rank < P; ++rank) {
+    Pattern p = Pattern::interleaved(rpb, P, rank);
+    const std::uint64_t visits = p.visits_below(N);
+    for (std::uint64_t k = 1; k < visits; ++k) {
+      EXPECT_LT(p.index(k - 1), p.index(k));
+    }
+  }
+}
+
+TEST_P(PatternSweep, VisitsBelowMatchesBruteForce) {
+  const auto& [P, rpb, N] = GetParam();
+  for (std::uint32_t rank = 0; rank < P; ++rank) {
+    Pattern p = Pattern::interleaved(rpb, P, rank);
+    // Brute force: count k while index(k) < N (bounded sweep).
+    std::uint64_t brute = 0;
+    while (p.index(brute) < N) ++brute;
+    EXPECT_EQ(p.visits_below(N), brute) << "rank " << rank;
+  }
+}
+
+}  // namespace
+}  // namespace pio

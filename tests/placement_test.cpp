@@ -1,0 +1,178 @@
+// Placement properties of §4, asserted functionally through device
+// counters: which physical devices an organization's processes actually
+// touch.  These are the paper's implementation-strategy invariants — the
+// simulator assumes them, and here the functional path proves them.
+#include <gtest/gtest.h>
+
+#include "core/file_system.hpp"
+#include "core/global_view.hpp"
+#include "core/handles.hpp"
+#include "device/ram_disk.hpp"
+#include "test_helpers.hpp"
+
+namespace pio {
+namespace {
+
+std::shared_ptr<ParallelFile> make_file(DeviceArray& devices, Organization org,
+                                        LayoutKind layout,
+                                        std::uint32_t partitions,
+                                        std::uint64_t capacity,
+                                        std::uint32_t rpb = 1) {
+  FileMeta meta;
+  meta.name = "placement";
+  meta.organization = org;
+  meta.layout_kind = layout;
+  meta.record_bytes = 256;
+  meta.records_per_block = rpb;
+  meta.partitions = partitions;
+  meta.capacity_records = capacity;
+  return std::make_shared<ParallelFile>(
+      meta, devices, std::vector<std::uint64_t>(devices.size(), 0));
+}
+
+std::vector<std::uint64_t> read_op_counts(const DeviceArray& devices) {
+  std::vector<std::uint64_t> counts;
+  for (std::size_t d = 0; d < devices.size(); ++d) {
+    counts.push_back(devices[d].counters().reads.load());
+  }
+  return counts;
+}
+
+/// Devices whose read counter moved while running `body`.
+template <typename Fn>
+std::vector<std::size_t> devices_touched(DeviceArray& devices, Fn&& body) {
+  const auto before = read_op_counts(devices);
+  body();
+  const auto after = read_op_counts(devices);
+  std::vector<std::size_t> touched;
+  for (std::size_t d = 0; d < devices.size(); ++d) {
+    if (after[d] > before[d]) touched.push_back(d);
+  }
+  return touched;
+}
+
+// §4: "In the first case [PS], one device is allocated to each block" —
+// with one device per process, process p's I/O touches ONLY device p.
+TEST(Placement, PsDevicePerProcessIsolation) {
+  DeviceArray devices = make_ram_array(4, 1 << 20);
+  auto file = make_file(devices, Organization::partitioned,
+                        LayoutKind::blocked, 4, 160);
+  pio::testing::fill_stamped(*file, 160, 1);
+  for (std::uint32_t p = 0; p < 4; ++p) {
+    auto touched = devices_touched(devices, [&] {
+      auto h = open_process_handle(file, p);
+      ASSERT_TRUE(h.ok());
+      std::vector<std::byte> rec(256);
+      while ((*h)->read_next(rec).ok()) {
+      }
+    });
+    EXPECT_EQ(touched, (std::vector<std::size_t>{p})) << "process " << p;
+  }
+}
+
+// §4: "in the second case [IS], blocks are interleaved across the
+// devices" — with P == D, process p's stride lands always on device p.
+TEST(Placement, IsDevicePerProcessWhenCountsMatch) {
+  DeviceArray devices = make_ram_array(4, 1 << 20);
+  auto file = make_file(devices, Organization::interleaved,
+                        LayoutKind::interleaved, 4, 160, 2);
+  pio::testing::fill_stamped(*file, 160, 2);
+  for (std::uint32_t p = 0; p < 4; ++p) {
+    auto touched = devices_touched(devices, [&] {
+      auto h = open_process_handle(file, p);
+      ASSERT_TRUE(h.ok());
+      std::vector<std::byte> rec(256);
+      while ((*h)->read_next(rec).ok()) {
+      }
+    });
+    EXPECT_EQ(touched, (std::vector<std::size_t>{p})) << "process " << p;
+  }
+}
+
+// With FEWER devices than processes, PS processes share devices in the
+// placement-policy pattern (round-robin: p mod D).
+TEST(Placement, PsSharingFollowsPlacementPolicy) {
+  DeviceArray devices = make_ram_array(2, 1 << 20);
+  auto file = make_file(devices, Organization::partitioned,
+                        LayoutKind::blocked, 4, 160);
+  pio::testing::fill_stamped(*file, 160, 3);
+  for (std::uint32_t p = 0; p < 4; ++p) {
+    auto touched = devices_touched(devices, [&] {
+      auto h = open_process_handle(file, p);
+      ASSERT_TRUE(h.ok());
+      std::vector<std::byte> rec(256);
+      while ((*h)->read_next(rec).ok()) {
+      }
+    });
+    EXPECT_EQ(touched, (std::vector<std::size_t>{p % 2})) << "process " << p;
+  }
+}
+
+// §4: striped S files spread every large transfer over ALL devices.
+TEST(Placement, StripedTransfersTouchAllDevices) {
+  DeviceArray devices = make_ram_array(4, 1 << 20);
+  auto file = make_file(devices, Organization::sequential,
+                        LayoutKind::striped, 1, 512);
+  pio::testing::fill_stamped(*file, 512, 4);
+  auto touched = devices_touched(devices, [&] {
+    std::vector<std::byte> bulk(512 * 256);
+    ASSERT_TRUE(file->read_records(0, 512, bulk).ok());
+  });
+  EXPECT_EQ(touched, (std::vector<std::size_t>{0, 1, 2, 3}));
+}
+
+// §4 (Livny): declustered GDA — every BLOCK read touches all devices.
+TEST(Placement, DeclusteredBlockSpansAllDevices) {
+  DeviceArray devices = make_ram_array(4, 1 << 20);
+  auto file = make_file(devices, Organization::global_direct,
+                        LayoutKind::declustered, 1, 64, /*rpb=*/4);
+  pio::testing::fill_stamped(*file, 64, 5);
+  // One block = 4 records = 1 KB; declustered into 256 B per device.
+  auto touched = devices_touched(devices, [&] {
+    std::vector<std::byte> block(4 * 256);
+    ASSERT_TRUE(file->read_records(0, 4, block).ok());
+  });
+  EXPECT_EQ(touched, (std::vector<std::size_t>{0, 1, 2, 3}));
+}
+
+// Counter-property: with whole-block interleaving, one block stays on one
+// device (the contrast that makes EXP5 meaningful).
+TEST(Placement, InterleavedBlockStaysOnOneDevice) {
+  DeviceArray devices = make_ram_array(4, 1 << 20);
+  auto file = make_file(devices, Organization::global_direct,
+                        LayoutKind::interleaved, 1, 64, /*rpb=*/4);
+  pio::testing::fill_stamped(*file, 64, 6);
+  for (std::uint64_t block = 0; block < 4; ++block) {
+    auto touched = devices_touched(devices, [&] {
+      std::vector<std::byte> buf(4 * 256);
+      ASSERT_TRUE(file->read_records(block * 4, 4, buf).ok());
+    });
+    EXPECT_EQ(touched.size(), 1u) << "block " << block;
+    EXPECT_EQ(touched[0], static_cast<std::size_t>(block % 4));
+  }
+}
+
+// The global view of a PS file drains device after device — the §4
+// "no potential for parallelism" structure, visible in the counters.
+TEST(Placement, PsGlobalViewVisitsDevicesInSequence) {
+  DeviceArray devices = make_ram_array(4, 1 << 20);
+  auto file = make_file(devices, Organization::partitioned,
+                        LayoutKind::blocked, 4, 160);
+  pio::testing::fill_stamped(*file, 160, 7);
+  GlobalSequentialView view(file);
+  std::vector<std::byte> rec(256);
+  std::vector<std::size_t> device_sequence;
+  for (std::uint64_t i = 0; i < 160; ++i) {
+    auto touched = devices_touched(devices, [&] {
+      ASSERT_TRUE(view.read_next(rec).ok());
+    });
+    ASSERT_EQ(touched.size(), 1u);
+    if (device_sequence.empty() || device_sequence.back() != touched[0]) {
+      device_sequence.push_back(touched[0]);
+    }
+  }
+  EXPECT_EQ(device_sequence, (std::vector<std::size_t>{0, 1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace pio

@@ -1,0 +1,131 @@
+// Tests for the SimDisk queue disciplines (FIFO vs SCAN/elevator).
+#include <gtest/gtest.h>
+
+#include "device/sim_disk.hpp"
+#include "util/rng.hpp"
+
+namespace pio {
+namespace {
+
+sim::Task issue(SimDisk& disk, std::uint64_t offset, int id,
+                std::vector<int>& completion_order) {
+  co_await disk.io(offset, 4096);
+  completion_order.push_back(id);
+}
+
+std::uint64_t cyl_offset(std::uint32_t cylinder) {
+  return std::uint64_t{cylinder} * DiskGeometry{}.cylinder_bytes();
+}
+
+TEST(Scheduler, FifoServicesArrivalOrder) {
+  sim::Engine eng;
+  SimDisk disk(eng, "d", {}, {}, QueueDiscipline::fifo);
+  std::vector<int> order;
+  // Far, near, middle — FIFO ignores position.
+  eng.spawn(issue(disk, cyl_offset(900), 0, order));
+  eng.spawn(issue(disk, cyl_offset(10), 1, order));
+  eng.spawn(issue(disk, cyl_offset(500), 2, order));
+  eng.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(Scheduler, ScanSweepsUpwardFromHead) {
+  sim::Engine eng;
+  SimDisk disk(eng, "d", {}, {}, QueueDiscipline::scan);
+  std::vector<int> order;
+  // All four requests enqueue (same timestamp) before the dispatcher's
+  // first pick; the head starts at cylinder 0 and sweeps up:
+  // 10 (id 1), 400 (id 0), 500 (id 2), 900 (id 3).
+  eng.spawn(issue(disk, cyl_offset(400), 0, order));
+  eng.spawn(issue(disk, cyl_offset(10), 1, order));
+  eng.spawn(issue(disk, cyl_offset(500), 2, order));
+  eng.spawn(issue(disk, cyl_offset(900), 3, order));
+  eng.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 0, 2, 3}));
+}
+
+TEST(Scheduler, ScanReversesDirectionWhenExhausted) {
+  sim::Engine eng;
+  SimDisk disk(eng, "d", {}, {}, QueueDiscipline::scan);
+  std::vector<int> order;
+  // Batch arrives with head at 0: upward sweep 100 (2), 200 (3), 300 (1),
+  // 500 (0).  Then a second batch entirely BELOW the head: the sweep must
+  // flip downward and take them in descending order.
+  eng.spawn(issue(disk, cyl_offset(500), 0, order));
+  eng.spawn(issue(disk, cyl_offset(300), 1, order));
+  eng.spawn(issue(disk, cyl_offset(100), 2, order));
+  eng.spawn(issue(disk, cyl_offset(200), 3, order));
+  eng.run();
+  EXPECT_EQ(order, (std::vector<int>{2, 3, 1, 0}));
+  order.clear();
+  eng.spawn(issue(disk, cyl_offset(50), 4, order));
+  eng.spawn(issue(disk, cyl_offset(450), 5, order));
+  eng.spawn(issue(disk, cyl_offset(250), 6, order));
+  eng.run();
+  // Head at 500 after the first batch; nothing above -> downward sweep.
+  EXPECT_EQ(order, (std::vector<int>{5, 6, 4}));
+}
+
+TEST(Scheduler, ScanReducesTotalSeekOnRandomLoad) {
+  auto total_seek = [](QueueDiscipline discipline) {
+    sim::Engine eng;
+    SimDisk disk(eng, "d", {}, {}, discipline);
+    std::vector<int> order;
+    Rng rng{7};
+    for (int i = 0; i < 64; ++i) {
+      eng.spawn(issue(disk, cyl_offset(static_cast<std::uint32_t>(
+                                rng.uniform_u64(1000))),
+                      i, order));
+    }
+    eng.run();
+    return disk.seek_stats().sum();
+  };
+  const double fifo = total_seek(QueueDiscipline::fifo);
+  const double scan = total_seek(QueueDiscipline::scan);
+  EXPECT_LT(scan, fifo * 0.5);  // elevator cuts seek time dramatically
+}
+
+TEST(Scheduler, ScanCompletesEveryRequest) {
+  sim::Engine eng;
+  SimDisk disk(eng, "d", {}, {}, QueueDiscipline::scan);
+  std::vector<int> order;
+  Rng rng{11};
+  for (int i = 0; i < 100; ++i) {
+    eng.spawn(issue(disk, cyl_offset(static_cast<std::uint32_t>(
+                              rng.uniform_u64(1000))),
+                    i, order));
+  }
+  eng.run();
+  EXPECT_EQ(order.size(), 100u);
+  EXPECT_EQ(disk.requests(), 100u);
+  std::sort(order.begin(), order.end());
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Scheduler, IdleDiskRestartsDispatcher) {
+  sim::Engine eng;
+  SimDisk disk(eng, "d", {}, {}, QueueDiscipline::scan);
+  std::vector<int> order;
+  eng.spawn(issue(disk, cyl_offset(100), 0, order));
+  eng.run();
+  EXPECT_EQ(disk.requests(), 1u);
+  // A second burst after the device went idle.
+  eng.schedule_callback(eng.now() + 1.0, [] {});
+  eng.spawn(issue(disk, cyl_offset(200), 1, order));
+  eng.run();
+  EXPECT_EQ(disk.requests(), 2u);
+  EXPECT_EQ(order, (std::vector<int>{0, 1}));
+}
+
+TEST(Scheduler, UtilizationStillAccounted) {
+  sim::Engine eng;
+  SimDisk disk(eng, "d", {}, {}, QueueDiscipline::scan);
+  std::vector<int> order;
+  eng.spawn(issue(disk, cyl_offset(0), 0, order));
+  eng.run();
+  EXPECT_NEAR(disk.utilization(), 1.0, 1e-9);
+  EXPECT_EQ(disk.queue_wait_stats().count(), 1u);
+}
+
+}  // namespace
+}  // namespace pio

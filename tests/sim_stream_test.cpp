@@ -1,0 +1,206 @@
+// Tests for the virtual-time buffered stream models (§4 buffering claims)
+// and the workload sim-process runner.
+#include <gtest/gtest.h>
+
+#include "buffer/sim_stream.hpp"
+#include "device/sim_disk.hpp"
+#include "workload/sim_process.hpp"
+
+namespace pio {
+namespace {
+
+constexpr std::uint64_t kChunk = 24 * 1024;  // one track
+
+double run_read_stream(std::uint64_t chunks, std::size_t buffers,
+                       double compute, bool overlap) {
+  sim::Engine eng;
+  SimDiskArray disks(eng, 1);
+  double elapsed = 0;
+  BufferedStreamConfig cfg;
+  cfg.chunks = chunks;
+  cfg.buffers = buffers;
+  cfg.compute_per_chunk_s = compute;
+  cfg.overlap = overlap;
+  eng.spawn(buffered_read_stream(
+      eng,
+      [&](std::uint64_t i) { return disks[0].io(i * kChunk, kChunk); }, cfg,
+      &elapsed));
+  eng.run();
+  return elapsed;
+}
+
+TEST(BufferedReadStream, SynchronousIsSumOfPhases) {
+  // No overlap: elapsed ~ sum(io) + sum(compute).
+  const double no_compute = run_read_stream(20, 1, 0.0, false);
+  const double with_compute = run_read_stream(20, 1, 0.010, false);
+  EXPECT_NEAR(with_compute - no_compute, 20 * 0.010, 1e-6);
+}
+
+TEST(BufferedReadStream, DoubleBufferingOverlapsComputeWithIo) {
+  const double compute = 0.015;  // comparable to one chunk's service time
+  const double sync = run_read_stream(30, 1, compute, false);
+  const double dbl = run_read_stream(30, 2, compute, true);
+  // Overlap must help substantially: the paper's multiple-buffering claim.
+  EXPECT_LT(dbl, sync * 0.75);
+}
+
+TEST(BufferedReadStream, ElapsedBoundedBelowByBothPhases) {
+  const double compute = 0.015;
+  const double io_only = run_read_stream(30, 1, 0.0, false);
+  const double overlapped = run_read_stream(30, 4, compute, true);
+  EXPECT_GE(overlapped, io_only * 0.95);       // can't beat the device
+  EXPECT_GE(overlapped, 30 * compute * 0.95);  // can't beat the CPU
+}
+
+TEST(BufferedReadStream, DeeperBuffersNeverSlower) {
+  const double compute = 0.01;
+  const double b1 = run_read_stream(30, 1, compute, true);
+  const double b2 = run_read_stream(30, 2, compute, true);
+  const double b4 = run_read_stream(30, 4, compute, true);
+  EXPECT_LE(b2, b1 + 1e-9);
+  EXPECT_LE(b4, b2 + 1e-9);
+}
+
+TEST(BufferedReadStream, OverlapWithOneBufferStillSerializes) {
+  // One buffer: the producer can only be one chunk ahead, but the consumer
+  // releases before the next fetch starts, so behaviour ~ synchronous.
+  const double one = run_read_stream(20, 1, 0.01, true);
+  const double sync = run_read_stream(20, 1, 0.01, false);
+  EXPECT_NEAR(one, sync, sync * 0.1);
+}
+
+TEST(BufferedReadStream, ZeroChunksCompletesInstantly) {
+  EXPECT_EQ(run_read_stream(0, 2, 0.01, true), 0.0);
+}
+
+double run_write_stream(std::uint64_t chunks, std::size_t buffers,
+                        double compute, bool overlap) {
+  sim::Engine eng;
+  SimDiskArray disks(eng, 1);
+  double elapsed = 0;
+  BufferedStreamConfig cfg;
+  cfg.chunks = chunks;
+  cfg.buffers = buffers;
+  cfg.compute_per_chunk_s = compute;
+  cfg.overlap = overlap;
+  eng.spawn(buffered_write_stream(
+      eng,
+      [&](std::uint64_t i) { return disks[0].io(i * kChunk, kChunk); }, cfg,
+      &elapsed));
+  eng.run();
+  return elapsed;
+}
+
+TEST(BufferedWriteStream, DeferredWritingOverlaps) {
+  const double compute = 0.015;
+  const double sync = run_write_stream(30, 1, compute, false);
+  const double deferred = run_write_stream(30, 4, compute, true);
+  EXPECT_LT(deferred, sync * 0.75);
+}
+
+TEST(BufferedWriteStream, DrainsEverything) {
+  sim::Engine eng;
+  SimDiskArray disks(eng, 1);
+  double elapsed = 0;
+  BufferedStreamConfig cfg;
+  cfg.chunks = 10;
+  cfg.buffers = 3;
+  cfg.overlap = true;
+  eng.spawn(buffered_write_stream(
+      eng, [&](std::uint64_t i) { return disks[0].io(i * kChunk, kChunk); },
+      cfg, &elapsed));
+  eng.run();
+  EXPECT_EQ(disks[0].requests(), 10u);
+  EXPECT_EQ(disks.total_bytes(), 10 * kChunk);
+  EXPECT_GT(elapsed, 0.0);
+}
+
+// ----------------------------------------------------------- sim processes
+
+TEST(SimProcess, PatternOpsCoalesceConsecutiveRecords) {
+  // Sequential pattern: all records coalesce up to the transfer cap.
+  auto ops = pattern_ops(Pattern::sequential(), 10, 100, 4, 0.001);
+  ASSERT_EQ(ops.size(), 3u);  // 4 + 4 + 2
+  EXPECT_EQ(ops[0].offset, 0u);
+  EXPECT_EQ(ops[0].bytes, 400u);
+  EXPECT_NEAR(ops[0].compute_s, 0.004, 1e-12);
+  EXPECT_EQ(ops[2].bytes, 200u);
+}
+
+TEST(SimProcess, InterleavedOpsBreakAtBlockBoundaries) {
+  // IS: rank 0, 2 records/block, 3 processes: records {0,1, 6,7, 12,13}.
+  auto ops = pattern_ops(Pattern::interleaved(2, 3, 0), 6, 100, 8, 0.0);
+  ASSERT_EQ(ops.size(), 3u);  // one op per (non-adjacent) block
+  EXPECT_EQ(ops[0].offset, 0u);
+  EXPECT_EQ(ops[1].offset, 600u);
+  EXPECT_EQ(ops[2].offset, 1200u);
+  EXPECT_EQ(ops[1].bytes, 200u);
+}
+
+TEST(SimProcess, PartitionedProcessesScaleWithDedicatedDevices) {
+  // P processes on P devices (PS, device per process): the makespan should
+  // stay roughly flat as P grows (aggregate bandwidth scales) — §4.
+  auto makespan = [](std::size_t P) {
+    sim::Engine eng;
+    SimDiskArray disks(eng, P);
+    BlockedLayout layout(P, 10 * kChunk, P);
+    std::vector<std::vector<SimOp>> ops;
+    for (std::size_t p = 0; p < P; ++p) {
+      Pattern pat = Pattern::partitioned(10, static_cast<std::uint32_t>(p));
+      ops.push_back(pattern_ops(pat, 10, kChunk, 1, 0.0));
+    }
+    return run_processes(eng, disks, layout, std::move(ops));
+  };
+  const double t1 = makespan(1);
+  const double t4 = makespan(4);
+  const double t8 = makespan(8);
+  EXPECT_NEAR(t4, t1, t1 * 0.05);
+  EXPECT_NEAR(t8, t1, t1 * 0.05);
+}
+
+TEST(SimProcess, SharedDeviceSerializesProcesses) {
+  // Same PS workload but all partitions on ONE device: makespan ~ P * t1.
+  auto makespan = [](std::size_t P) {
+    sim::Engine eng;
+    SimDiskArray disks(eng, 1);
+    BlockedLayout layout(P, 10 * kChunk, 1);
+    std::vector<std::vector<SimOp>> ops;
+    for (std::size_t p = 0; p < P; ++p) {
+      Pattern pat = Pattern::partitioned(10, static_cast<std::uint32_t>(p));
+      ops.push_back(pattern_ops(pat, 10, kChunk, 1, 0.0));
+    }
+    return run_processes(eng, disks, layout, std::move(ops));
+  };
+  const double t1 = makespan(1);
+  const double t4 = makespan(4);
+  EXPECT_GT(t4, 3.5 * t1);
+}
+
+TEST(SimProcess, StripedTransferUsesAllDevices) {
+  sim::Engine eng;
+  SimDiskArray disks(eng, 4);
+  StripedLayout layout(4, kChunk);
+  std::vector<std::vector<SimOp>> ops;
+  ops.push_back({SimOp{0, 4 * kChunk, 0.0}});  // one full-stripe transfer
+  run_processes(eng, disks, layout, std::move(ops));
+  for (std::size_t d = 0; d < 4; ++d) {
+    EXPECT_EQ(disks[d].requests(), 1u) << "device " << d;
+  }
+}
+
+TEST(SimProcess, DeterministicMakespan) {
+  auto once = [] {
+    sim::Engine eng;
+    SimDiskArray disks(eng, 2);
+    StripedLayout layout(2, kChunk);
+    std::vector<std::vector<SimOp>> ops;
+    for (int p = 0; p < 3; ++p) {
+      ops.push_back(pattern_ops(Pattern::sequential(), 5, kChunk, 1, 0.002));
+    }
+    return run_processes(eng, disks, layout, std::move(ops));
+  };
+  EXPECT_DOUBLE_EQ(once(), once());
+}
+
+}  // namespace
+}  // namespace pio

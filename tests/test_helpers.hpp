@@ -1,0 +1,70 @@
+// Shared helpers for the pario test suite.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/file_system.hpp"
+#include "core/handles.hpp"
+#include "device/ram_disk.hpp"
+#include "util/bytes.hpp"
+
+namespace pio::testing {
+
+/// ASSERT that a Status is ok, printing the error when not.
+#define PIO_ASSERT_OK(expr)                                        \
+  do {                                                             \
+    auto pio_assert_st_ = (expr);                                  \
+    ASSERT_TRUE(pio_assert_st_.ok()) << pio_assert_st_.error().to_string(); \
+  } while (0)
+
+#define PIO_EXPECT_OK(expr)                                        \
+  do {                                                             \
+    auto pio_expect_st_ = (expr);                                  \
+    EXPECT_TRUE(pio_expect_st_.ok()) << pio_expect_st_.error().to_string(); \
+  } while (0)
+
+/// A device array + file system fixture over RAM disks.
+struct FsFixture {
+  DeviceArray devices;
+  std::unique_ptr<FileSystem> fs;
+
+  explicit FsFixture(std::size_t num_devices = 4,
+                     std::uint64_t device_bytes = 1 << 20) {
+    devices = make_ram_array(num_devices, device_bytes);
+    auto result = FileSystem::format(devices);
+    EXPECT_TRUE(result.ok());
+    fs = std::move(result).take();
+  }
+};
+
+/// Write `n` stamped records into the file at logical indices [0, n).
+inline void fill_stamped(ParallelFile& file, std::uint64_t n,
+                         std::uint64_t tag) {
+  std::vector<std::byte> rec(file.meta().record_bytes);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    fill_record_payload(rec, tag, i);
+    auto st = file.write_record(i, rec);
+    ASSERT_TRUE(st.ok()) << st.error().to_string();
+  }
+}
+
+/// Verify record `i` of the file carries the (tag, i) stamp.
+inline ::testing::AssertionResult record_matches(ParallelFile& file,
+                                                 std::uint64_t i,
+                                                 std::uint64_t tag) {
+  std::vector<std::byte> rec(file.meta().record_bytes);
+  auto st = file.read_record(i, rec);
+  if (!st.ok()) {
+    return ::testing::AssertionFailure()
+           << "read_record(" << i << "): " << st.error().to_string();
+  }
+  if (!verify_record_payload(rec, tag, i)) {
+    return ::testing::AssertionFailure() << "payload mismatch at record " << i;
+  }
+  return ::testing::AssertionSuccess();
+}
+
+}  // namespace pio::testing

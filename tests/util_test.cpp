@@ -1,0 +1,324 @@
+// Tests for src/util: Result, RNG/distributions, stats, byte payloads.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "util/bytes.hpp"
+#include "util/result.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace pio {
+namespace {
+
+// ------------------------------------------------------------------ Result
+
+TEST(Result, HoldsValue) {
+  Result<int> r{42};
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.code(), Errc::ok);
+  EXPECT_EQ(r.value_or(7), 42);
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r{make_error(Errc::not_found, "missing")};
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.code(), Errc::not_found);
+  EXPECT_EQ(r.error().context, "missing");
+  EXPECT_EQ(r.value_or(7), 7);
+  EXPECT_EQ(r.error().to_string(), "not_found: missing");
+}
+
+TEST(Result, ImplicitFromErrc) {
+  Result<int> r{Errc::busy};
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.code(), Errc::busy);
+}
+
+TEST(Result, VoidFlavour) {
+  Status ok = ok_status();
+  EXPECT_TRUE(ok.ok());
+  Status bad{Errc::corrupt};
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.code(), Errc::corrupt);
+}
+
+TEST(Result, TakeMovesValue) {
+  Result<std::string> r{std::string("payload")};
+  std::string s = std::move(r).take();
+  EXPECT_EQ(s, "payload");
+}
+
+Status fails() { return make_error(Errc::media_error, "boom"); }
+Status propagates() {
+  PIO_TRY(fails());
+  ADD_FAILURE() << "PIO_TRY must return early";
+  return ok_status();
+}
+
+TEST(Result, TryPropagates) {
+  Status st = propagates();
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), Errc::media_error);
+}
+
+Result<int> gives(int v) { return v; }
+Result<int> chains() {
+  PIO_TRY_ASSIGN(auto a, gives(20));
+  PIO_TRY_ASSIGN(auto b, gives(22));
+  return a + b;
+}
+
+TEST(Result, TryAssignChainsInOneScope) {
+  auto r = chains();
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(Result, ErrcNamesCoverAllCodes) {
+  for (int i = 0; i <= static_cast<int>(Errc::not_supported); ++i) {
+    EXPECT_NE(errc_name(static_cast<Errc>(i)), "unknown");
+  }
+}
+
+// --------------------------------------------------------------------- Rng
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a{123}, b{123};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a{1}, b{2};
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next() == b.next();
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng{7};
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng rng{11};
+  OnlineStats s;
+  for (int i = 0; i < 100000; ++i) s.add(rng.uniform());
+  EXPECT_NEAR(s.mean(), 0.5, 0.01);
+  EXPECT_NEAR(s.stddev(), std::sqrt(1.0 / 12.0), 0.01);
+}
+
+TEST(Rng, UniformU64Bounds) {
+  Rng rng{13};
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.uniform_u64(17), 17u);
+  }
+}
+
+TEST(Rng, UniformU64CoversRange) {
+  Rng rng{17};
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.uniform_u64(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng{19};
+  OnlineStats s;
+  for (int i = 0; i < 200000; ++i) s.add(rng.exponential(5.0));
+  EXPECT_NEAR(s.mean(), 5.0, 0.1);
+  EXPECT_GE(s.min(), 0.0);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng{23};
+  OnlineStats s;
+  for (int i = 0; i < 100000; ++i) s.add(rng.normal(10.0, 2.0));
+  EXPECT_NEAR(s.mean(), 10.0, 0.05);
+  EXPECT_NEAR(s.stddev(), 2.0, 0.05);
+}
+
+TEST(Rng, SplitStreamsIndependent) {
+  Rng a{29};
+  Rng b = a.split();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next() == b.next();
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ShufflePermutes) {
+  Rng rng{31};
+  std::vector<std::uint64_t> v{0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  auto sorted = v;
+  rng.shuffle(v);
+  EXPECT_NE(v, sorted);  // 1/10! chance of false failure
+  auto resorted = v;
+  std::sort(resorted.begin(), resorted.end());
+  EXPECT_EQ(resorted, sorted);
+}
+
+TEST(Zipf, SkewZeroIsUniform) {
+  Rng rng{37};
+  ZipfSampler zipf(10, 0.0);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 100000; ++i) ++counts[static_cast<std::size_t>(zipf(rng))];
+  for (int c : counts) EXPECT_NEAR(c, 10000, 600);
+}
+
+TEST(Zipf, HighSkewConcentrates) {
+  Rng rng{41};
+  ZipfSampler zipf(100, 1.5);
+  std::uint64_t first = 0, total = 100000;
+  for (std::uint64_t i = 0; i < total; ++i) first += zipf(rng) == 0;
+  // For s=1.5, n=100, P(0) ~ 1/zeta ~ 0.38.
+  EXPECT_GT(first, total / 3);
+}
+
+TEST(Zipf, SamplesInRange) {
+  Rng rng{43};
+  ZipfSampler zipf(5, 1.0);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(zipf(rng), 5u);
+}
+
+// ------------------------------------------------------------------- Stats
+
+TEST(OnlineStats, BasicMoments) {
+  OnlineStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+}
+
+TEST(OnlineStats, EmptyIsZero) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(OnlineStats, MergeMatchesSinglePass) {
+  Rng rng{47};
+  OnlineStats whole, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(3.0, 1.5);
+    whole.add(x);
+    (i % 2 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), whole.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), whole.min());
+  EXPECT_DOUBLE_EQ(a.max(), whole.max());
+}
+
+TEST(OnlineStats, MergeWithEmpty) {
+  OnlineStats a, b;
+  a.add(1.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 1u);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.0);
+}
+
+TEST(Histogram, CountsAndQuantiles) {
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 100; ++i) h.add(static_cast<double>(i % 10) + 0.5);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_NEAR(h.quantile(0.5), 5.0, 1.0);
+  EXPECT_NEAR(h.quantile(0.0), 0.0, 1.0);
+  EXPECT_NEAR(h.quantile(1.0), 10.0, 1.0);
+}
+
+TEST(Histogram, OverflowUnderflow) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(-5.0);
+  h.add(5.0);
+  h.add(0.5);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);   // underflow clamps to lo
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 1.0);   // overflow clamps to hi
+}
+
+TEST(Histogram, RenderProducesBars) {
+  Histogram h(0.0, 2.0, 2);
+  h.add(0.5);
+  h.add(0.5);
+  h.add(1.5);
+  const std::string out = h.render(10);
+  EXPECT_NE(out.find('#'), std::string::npos);
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 2);
+}
+
+TEST(Series, FormatTable) {
+  Series a{"alpha", {}, {}};
+  a.add(1, 10);
+  a.add(2, 20);
+  Series b{"beta", {}, {}};
+  b.add(1, 11);
+  b.add(2, 21);
+  const std::string t = format_table("x", {a, b});
+  EXPECT_NE(t.find("alpha"), std::string::npos);
+  EXPECT_NE(t.find("21"), std::string::npos);
+}
+
+// ------------------------------------------------------------------- Bytes
+
+TEST(Bytes, PayloadRoundTrip) {
+  std::vector<std::byte> buf(64);
+  fill_record_payload(buf, 99, 5);
+  EXPECT_TRUE(verify_record_payload(buf, 99, 5));
+}
+
+TEST(Bytes, PayloadDetectsWrongIndex) {
+  std::vector<std::byte> buf(64);
+  fill_record_payload(buf, 99, 5);
+  EXPECT_FALSE(verify_record_payload(buf, 99, 6));
+  EXPECT_FALSE(verify_record_payload(buf, 98, 5));
+}
+
+TEST(Bytes, PayloadDetectsSingleByteFlip) {
+  std::vector<std::byte> buf(128);
+  fill_record_payload(buf, 1, 1);
+  for (std::size_t i = 0; i < buf.size(); i += 17) {
+    auto copy = buf;
+    copy[i] ^= std::byte{0x01};
+    EXPECT_FALSE(verify_record_payload(copy, 1, 1)) << "flip at " << i;
+  }
+}
+
+TEST(Bytes, OddSizedPayload) {
+  std::vector<std::byte> buf(13);
+  fill_record_payload(buf, 7, 3);
+  EXPECT_TRUE(verify_record_payload(buf, 7, 3));
+}
+
+TEST(Bytes, StampedIndexRoundTrip) {
+  std::vector<std::byte> buf(32);
+  fill_record_payload(buf, 1, 0);
+  stamp_record_index(buf, 0xdeadbeefcafeULL);
+  EXPECT_EQ(read_record_index(buf), 0xdeadbeefcafeULL);
+}
+
+TEST(Bytes, Fnv1aStable) {
+  const std::array<std::byte, 3> data{std::byte{'a'}, std::byte{'b'},
+                                      std::byte{'c'}};
+  EXPECT_EQ(fnv1a(data), fnv1a(data));
+  const std::array<std::byte, 3> other{std::byte{'a'}, std::byte{'b'},
+                                       std::byte{'d'}};
+  EXPECT_NE(fnv1a(data), fnv1a(other));
+}
+
+}  // namespace
+}  // namespace pio

@@ -1,0 +1,103 @@
+// Tests for the workload generators.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "util/stats.hpp"
+#include "workload/generators.hpp"
+
+namespace pio {
+namespace {
+
+TEST(TaskCosts, ExponentialMeanAndPositivity) {
+  Rng rng{1};
+  auto costs = make_task_costs(rng, 50000, 0.02);
+  OnlineStats s;
+  for (double c : costs) {
+    EXPECT_GT(c, 0.0);
+    s.add(c);
+  }
+  EXPECT_NEAR(s.mean(), 0.02, 0.001);
+}
+
+TEST(TaskCosts, Deterministic) {
+  Rng a{2}, b{2};
+  EXPECT_EQ(make_task_costs(a, 100, 1.0), make_task_costs(b, 100, 1.0));
+}
+
+TEST(BimodalCosts, HeavyFractionRespected) {
+  Rng rng{3};
+  auto costs = make_bimodal_task_costs(rng, 10000, 1.0, 0.1, 10.0);
+  const auto heavy = std::count_if(costs.begin(), costs.end(),
+                                   [](double c) { return c > 5.0; });
+  EXPECT_NEAR(static_cast<double>(heavy) / 10000.0, 0.1, 0.02);
+  for (double c : costs) {
+    EXPECT_TRUE(c == 1.0 || c == 10.0);
+  }
+}
+
+TEST(ReferenceString, UniformWhenNoSkew) {
+  Rng rng{4};
+  auto refs = make_reference_string(rng, 16, 64000, 0.0);
+  std::map<std::uint64_t, int> counts;
+  for (auto r : refs) {
+    EXPECT_LT(r, 16u);
+    ++counts[r];
+  }
+  for (const auto& [block, n] : counts) EXPECT_NEAR(n, 4000, 400);
+}
+
+TEST(ReferenceString, SkewConcentratesOnFewBlocks) {
+  Rng rng{5};
+  auto refs = make_reference_string(rng, 100, 50000, 1.2);
+  std::map<std::uint64_t, int> counts;
+  for (auto r : refs) ++counts[r];
+  std::vector<int> sorted;
+  for (const auto& [b, n] : counts) sorted.push_back(n);
+  std::sort(sorted.rbegin(), sorted.rend());
+  // Top 10 blocks should carry well over a third of the traffic.
+  int top10 = 0;
+  for (int i = 0; i < 10 && i < static_cast<int>(sorted.size()); ++i) {
+    top10 += sorted[static_cast<std::size_t>(i)];
+  }
+  EXPECT_GT(top10, 50000 / 3);
+}
+
+TEST(ReferenceString, HotBlocksAreScatteredNotPrefix) {
+  Rng rng{6};
+  auto refs = make_reference_string(rng, 1000, 20000, 1.5);
+  // With shuffling, the single hottest block is rarely block 0.
+  std::map<std::uint64_t, int> counts;
+  for (auto r : refs) ++counts[r];
+  auto hottest = std::max_element(
+      counts.begin(), counts.end(),
+      [](const auto& a, const auto& b) { return a.second < b.second; });
+  // Not a hard guarantee, but with 1000 blocks P(block 0) ~ 1/1000.
+  EXPECT_NE(hottest->first, 0u);
+}
+
+TEST(PagingString, WindowSweepTouchesTwicePerPass) {
+  auto refs = make_paging_string(8, 4, 2);
+  // 2 passes * 2 windows * 2 sweeps * 4 blocks = 32 references.
+  EXPECT_EQ(refs.size(), 32u);
+  std::map<std::uint64_t, int> counts;
+  for (auto r : refs) ++counts[r];
+  for (std::uint64_t b = 0; b < 8; ++b) EXPECT_EQ(counts[b], 4);
+  // First 8 references: window [0,4) twice.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(refs[static_cast<std::size_t>(i)], static_cast<std::uint64_t>(i));
+    EXPECT_EQ(refs[static_cast<std::size_t>(i + 4)],
+              static_cast<std::uint64_t>(i));
+  }
+}
+
+TEST(PagingString, RaggedWindowCoversTail) {
+  auto refs = make_paging_string(10, 4, 1);
+  std::map<std::uint64_t, int> counts;
+  for (auto r : refs) ++counts[r];
+  for (std::uint64_t b = 0; b < 10; ++b) EXPECT_EQ(counts[b], 2) << b;
+}
+
+}  // namespace
+}  // namespace pio

@@ -1,0 +1,299 @@
+// pario: command-line utility for parallel file systems on FileDisk
+// arrays — the "utility software and operating system commands" of §2,
+// which are sequential programs using the global view.
+//
+//   pario <dir> format --devices N --device-mb M
+//   pario <dir> ls
+//   pario <dir> stat <name>
+//   pario <dir> df
+//   pario <dir> create <name> --org S|PS|IS|SS|GDA|PDA --record-bytes B
+//                      --capacity N [--partitions P] [--records-per-block R]
+//   pario <dir> import <name> <host-file>     (record-padded)
+//   pario <dir> export <name> <host-file>
+//   pario <dir> convert <src> <dst>           (copy via global views)
+//   pario <dir> rm <name>
+//
+// The device directory holds disk0.img..diskN-1.img plus pario.meta
+// (device count/size), so later invocations re-open the same array.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/file_system.hpp"
+#include "core/global_view.hpp"
+#include "device/file_disk.hpp"
+
+using namespace pio;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr, "%s",
+               "usage: pario <dir> <command> [args]\n"
+               "  format --devices N --device-mb M\n"
+               "  ls | df | stat <name> | rm <name>\n"
+               "  create <name> --org S|PS|IS|SS|GDA|PDA --record-bytes B\n"
+               "         --capacity N [--partitions P] [--records-per-block R]\n"
+               "  import <name> <host-file> | export <name> <host-file>\n"
+               "  convert <src> <dst>\n");
+  return 2;
+}
+
+int fail(const std::string& what, const Error& error) {
+  std::fprintf(stderr, "pario: %s: %s\n", what.c_str(),
+               error.to_string().c_str());
+  return 1;
+}
+
+std::optional<Organization> parse_org(const std::string& s) {
+  if (s == "S") return Organization::sequential;
+  if (s == "PS") return Organization::partitioned;
+  if (s == "IS") return Organization::interleaved;
+  if (s == "SS") return Organization::self_scheduled;
+  if (s == "GDA") return Organization::global_direct;
+  if (s == "PDA") return Organization::partitioned_direct;
+  return std::nullopt;
+}
+
+/// Minimal flag scanner: --key value pairs after positional args.
+class Flags {
+ public:
+  Flags(int argc, char** argv, int first) {
+    for (int i = first; i + 1 < argc; i += 2) {
+      if (std::strncmp(argv[i], "--", 2) == 0) {
+        values_.emplace_back(argv[i] + 2, argv[i + 1]);
+      }
+    }
+  }
+  std::optional<std::string> get(const std::string& key) const {
+    for (const auto& [k, v] : values_) {
+      if (k == key) return v;
+    }
+    return std::nullopt;
+  }
+  std::uint64_t get_u64(const std::string& key, std::uint64_t fallback) const {
+    auto v = get(key);
+    return v ? std::strtoull(v->c_str(), nullptr, 10) : fallback;
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> values_;
+};
+
+struct ArrayMeta {
+  std::uint64_t devices = 0;
+  std::uint64_t device_bytes = 0;
+};
+
+std::string meta_path(const std::string& dir) { return dir + "/pario.meta"; }
+
+bool write_array_meta(const std::string& dir, const ArrayMeta& meta) {
+  std::ofstream out(meta_path(dir), std::ios::trunc);
+  out << meta.devices << ' ' << meta.device_bytes << '\n';
+  return static_cast<bool>(out);
+}
+
+std::optional<ArrayMeta> read_array_meta(const std::string& dir) {
+  std::ifstream in(meta_path(dir));
+  ArrayMeta meta;
+  if (in >> meta.devices >> meta.device_bytes) return meta;
+  return std::nullopt;
+}
+
+Result<DeviceArray> open_array(const std::string& dir) {
+  auto meta = read_array_meta(dir);
+  if (!meta) {
+    return make_error(Errc::not_found,
+                      dir + " is not a pario device directory (run format)");
+  }
+  return open_file_array(dir, static_cast<std::size_t>(meta->devices),
+                         meta->device_bytes);
+}
+
+int cmd_format(const std::string& dir, const Flags& flags) {
+  ArrayMeta meta;
+  meta.devices = flags.get_u64("devices", 4);
+  meta.device_bytes = flags.get_u64("device-mb", 16) << 20;
+  auto arr = open_file_array(dir, static_cast<std::size_t>(meta.devices),
+                             meta.device_bytes);
+  if (!arr.ok()) return fail("format", arr.error());
+  auto fs = FileSystem::format(*arr);
+  if (!fs.ok()) return fail("format", fs.error());
+  if (!write_array_meta(dir, meta)) {
+    std::fprintf(stderr, "pario: cannot write %s\n", meta_path(dir).c_str());
+    return 1;
+  }
+  std::printf("formatted %llu devices x %llu MB in %s\n",
+              static_cast<unsigned long long>(meta.devices),
+              static_cast<unsigned long long>(meta.device_bytes >> 20),
+              dir.c_str());
+  return 0;
+}
+
+int cmd_ls(FileSystem& fs) {
+  std::printf("%-20s %-4s %-11s %-12s %10s %10s %6s\n", "name", "org",
+              "category", "layout", "records", "capacity", "procs");
+  for (const FileMeta& meta : fs.list()) {
+    // record_count lives in the catalog; reopen cheaply for the number.
+    std::uint64_t records = 0;
+    if (auto file = fs.open(meta.name); file.ok()) {
+      records = (*file)->meta().organization == Organization::partitioned
+                    ? (*file)->total_partition_records()
+                    : (*file)->record_count();
+    }
+    std::printf("%-20s %-4s %-11s %-12s %10llu %10llu %6u\n",
+                meta.name.c_str(),
+                std::string(organization_name(meta.organization)).c_str(),
+                std::string(category_name(meta.category)).c_str(),
+                std::string(layout_kind_name(meta.layout_kind)).c_str(),
+                static_cast<unsigned long long>(records),
+                static_cast<unsigned long long>(meta.capacity_records),
+                meta.partitions);
+  }
+  return 0;
+}
+
+int cmd_df(FileSystem& fs) {
+  std::printf("%-8s %12s\n", "device", "free-bytes");
+  for (std::size_t d = 0; d < fs.device_count(); ++d) {
+    std::printf("disk%-4zu %12llu\n", d,
+                static_cast<unsigned long long>(fs.free_bytes(d)));
+  }
+  return 0;
+}
+
+int cmd_stat(FileSystem& fs, const std::string& name) {
+  auto meta = fs.stat(name);
+  if (!meta) return fail(name, make_error(Errc::not_found, name));
+  std::printf("name:              %s\n", meta->name.c_str());
+  std::printf("organization:      %s\n",
+              std::string(organization_name(meta->organization)).c_str());
+  std::printf("category:          %s\n",
+              std::string(category_name(meta->category)).c_str());
+  std::printf("layout:            %s\n",
+              std::string(layout_kind_name(meta->layout_kind)).c_str());
+  std::printf("record bytes:      %u\n", meta->record_bytes);
+  std::printf("records per block: %u\n", meta->records_per_block);
+  std::printf("partitions:        %u\n", meta->partitions);
+  std::printf("capacity records:  %llu\n",
+              static_cast<unsigned long long>(meta->capacity_records));
+  return 0;
+}
+
+int cmd_create(FileSystem& fs, const std::string& name, const Flags& flags) {
+  CreateOptions opts;
+  opts.name = name;
+  const auto org = parse_org(flags.get("org").value_or("S"));
+  if (!org) return usage();
+  opts.organization = *org;
+  opts.record_bytes = static_cast<std::uint32_t>(flags.get_u64("record-bytes", 4096));
+  opts.capacity_records = flags.get_u64("capacity", 0);
+  opts.partitions = static_cast<std::uint32_t>(flags.get_u64("partitions", 1));
+  opts.records_per_block =
+      static_cast<std::uint32_t>(flags.get_u64("records-per-block", 1));
+  auto file = fs.create(opts);
+  if (!file.ok()) return fail("create " + name, file.error());
+  if (auto st = fs.sync(); !st.ok()) return fail("sync", st.error());
+  std::printf("created %s\n", name.c_str());
+  return 0;
+}
+
+int cmd_import(FileSystem& fs, const std::string& name,
+               const std::string& host_path) {
+  auto file = fs.open(name);
+  if (!file.ok()) return fail(name, file.error());
+  std::ifstream in(host_path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "pario: cannot read %s\n", host_path.c_str());
+    return 1;
+  }
+  GlobalSequentialView view(*file);
+  const std::size_t rb = (*file)->meta().record_bytes;
+  std::vector<char> buf(rb);
+  std::uint64_t records = 0;
+  while (in.read(buf.data(), static_cast<std::streamsize>(rb)) ||
+         in.gcount() > 0) {
+    std::fill(buf.begin() + in.gcount(), buf.end(), '\0');  // pad short tail
+    auto st = view.write_next(std::as_bytes(std::span<const char>(buf)));
+    if (!st.ok()) return fail("import", st.error());
+    ++records;
+    if (in.eof()) break;
+  }
+  if (auto st = fs.sync(); !st.ok()) return fail("sync", st.error());
+  std::printf("imported %llu records into %s\n",
+              static_cast<unsigned long long>(records), name.c_str());
+  return 0;
+}
+
+int cmd_export(FileSystem& fs, const std::string& name,
+               const std::string& host_path) {
+  auto file = fs.open(name);
+  if (!file.ok()) return fail(name, file.error());
+  std::ofstream out(host_path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "pario: cannot write %s\n", host_path.c_str());
+    return 1;
+  }
+  GlobalSequentialView view(*file);
+  const std::size_t rb = (*file)->meta().record_bytes;
+  std::vector<std::byte> buf(rb);
+  std::uint64_t records = 0;
+  while (view.read_next(buf).ok()) {
+    out.write(reinterpret_cast<const char*>(buf.data()),
+              static_cast<std::streamsize>(rb));
+    ++records;
+  }
+  std::printf("exported %llu records from %s\n",
+              static_cast<unsigned long long>(records), name.c_str());
+  return 0;
+}
+
+int cmd_convert(FileSystem& fs, const std::string& src_name,
+                const std::string& dst_name) {
+  auto src = fs.open(src_name);
+  if (!src.ok()) return fail(src_name, src.error());
+  auto dst = fs.open(dst_name);
+  if (!dst.ok()) return fail(dst_name, dst.error());
+  auto copied = convert_copy(*src, *dst);
+  if (!copied.ok()) return fail("convert", copied.error());
+  if (auto st = fs.sync(); !st.ok()) return fail("sync", st.error());
+  std::printf("converted %llu records %s -> %s\n",
+              static_cast<unsigned long long>(*copied), src_name.c_str(),
+              dst_name.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string dir = argv[1];
+  const std::string cmd = argv[2];
+  Flags flags(argc, argv, 3);
+
+  if (cmd == "format") return cmd_format(dir, flags);
+
+  auto arr = open_array(dir);
+  if (!arr.ok()) return fail(dir, arr.error());
+  auto fs = FileSystem::mount(*arr);
+  if (!fs.ok()) return fail("mount " + dir, fs.error());
+
+  if (cmd == "ls") return cmd_ls(**fs);
+  if (cmd == "df") return cmd_df(**fs);
+  if (cmd == "stat" && argc >= 4) return cmd_stat(**fs, argv[3]);
+  if (cmd == "rm" && argc >= 4) {
+    if (auto st = (*fs)->remove(argv[3]); !st.ok()) return fail("rm", st.error());
+    std::printf("removed %s\n", argv[3]);
+    return 0;
+  }
+  if (cmd == "create" && argc >= 4) {
+    return cmd_create(**fs, argv[3], Flags(argc, argv, 4));
+  }
+  if (cmd == "import" && argc >= 5) return cmd_import(**fs, argv[3], argv[4]);
+  if (cmd == "export" && argc >= 5) return cmd_export(**fs, argv[3], argv[4]);
+  if (cmd == "convert" && argc >= 5) return cmd_convert(**fs, argv[3], argv[4]);
+  return usage();
+}

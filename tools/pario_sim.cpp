@@ -1,0 +1,287 @@
+// pario_sim: command-line front end to the virtual-time I/O simulator —
+// run the paper's experiments with your own parameters, no C++ required.
+//
+//   pario_sim striping  [--devices N] [--unit-kb U] [--file-mb M] [--request-kb R]
+//   pario_sim selfsched [--processes P] [--devices D] [--records N]
+//   pario_sim sharing   [--processes P] [--devices D] [--interleaved 0|1] [--scan 0|1]
+//   pario_sim load      [--devices D] [--rate-from A] [--rate-to B] [--arrivals N]
+//   pario_sim mtbf      [--devices N] [--mtbf-hours H] [--repair-hours R]
+//
+// All results are deterministic virtual-time outputs of the calibrated
+// 1989 disk model (see src/device/disk_model.hpp).
+#include <cstdio>
+#include <cstring>
+#include <optional>
+#include <string>
+
+#include "layout/layout.hpp"
+#include "reliability/mtbf.hpp"
+#include "sim/resource.hpp"
+#include "util/rng.hpp"
+#include "workload/sim_process.hpp"
+
+using namespace pio;
+
+namespace {
+
+constexpr std::uint64_t kTrack = 24 * 1024;
+
+class Flags {
+ public:
+  Flags(int argc, char** argv, int first) {
+    for (int i = first; i + 1 < argc; i += 2) {
+      if (std::strncmp(argv[i], "--", 2) == 0) {
+        values_.emplace_back(argv[i] + 2, argv[i + 1]);
+      }
+    }
+  }
+  std::uint64_t u64(const std::string& key, std::uint64_t fallback) const {
+    for (const auto& [k, v] : values_) {
+      if (k == key) return std::strtoull(v.c_str(), nullptr, 10);
+    }
+    return fallback;
+  }
+  double f64(const std::string& key, double fallback) const {
+    for (const auto& [k, v] : values_) {
+      if (k == key) return std::strtod(v.c_str(), nullptr);
+    }
+    return fallback;
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> values_;
+};
+
+int usage() {
+  std::fprintf(stderr, "%s",
+               "usage: pario_sim <experiment> [--key value ...]\n"
+               "  striping  --devices N --unit-kb U --file-mb M --request-kb R\n"
+               "  selfsched --processes P --devices D --records N\n"
+               "  sharing   --processes P --devices D --interleaved 0|1 --scan 0|1\n"
+               "  load      --devices D --rate-from A --rate-to B --arrivals N\n"
+               "  mtbf      --devices N --mtbf-hours H --repair-hours R\n");
+  return 2;
+}
+
+// ------------------------------------------------------------- striping
+
+int cmd_striping(const Flags& flags) {
+  const auto max_devices = flags.u64("devices", 16);
+  const std::uint64_t unit = flags.u64("unit-kb", 24) * 1024;
+  const std::uint64_t file_bytes = flags.u64("file-mb", 12) << 20;
+  const std::uint64_t request = flags.u64("request-kb", 192) * 1024;
+  std::printf("Striped sequential read: %llu MB file, %llu KB requests, "
+              "%llu KB stripe unit\n",
+              static_cast<unsigned long long>(file_bytes >> 20),
+              static_cast<unsigned long long>(request >> 10),
+              static_cast<unsigned long long>(unit >> 10));
+  std::printf("%8s %12s %10s\n", "devices", "sim_seconds", "MB/s");
+  for (std::uint64_t d = 1; d <= max_devices; d *= 2) {
+    sim::Engine eng;
+    SimDiskArray disks(eng, static_cast<std::size_t>(d));
+    StripedLayout layout(static_cast<std::size_t>(d), unit);
+    std::vector<SimOp> ops;
+    for (std::uint64_t off = 0; off < file_bytes; off += request) {
+      ops.push_back(SimOp{off, std::min(request, file_bytes - off), 0.0});
+    }
+    const double elapsed = run_processes(eng, disks, layout, {std::move(ops)});
+    std::printf("%8llu %12.3f %10.2f\n", static_cast<unsigned long long>(d),
+                elapsed, static_cast<double>(file_bytes) / elapsed / 1e6);
+  }
+  return 0;
+}
+
+// ------------------------------------------------------------- selfsched
+
+struct SsShared {
+  sim::Resource lock;
+  std::uint64_t next = 0;
+  explicit SsShared(sim::Engine& eng) : lock(eng, 1) {}
+};
+
+sim::Task ss_worker(sim::Engine& eng, SimDiskArray& disks,
+                    const StripedLayout& layout, SsShared& shared,
+                    std::uint64_t records, std::uint64_t record_bytes,
+                    bool overlapped, sim::WaitGroup& wg) {
+  for (;;) {
+    co_await shared.lock.acquire();
+    if (shared.next >= records) {
+      shared.lock.release();
+      break;
+    }
+    const std::uint64_t record = shared.next++;
+    co_await eng.delay(50e-6);
+    std::vector<DiskSegment> segs;
+    for (const Segment& s :
+         layout.map(record * record_bytes, record_bytes)) {
+      segs.push_back(DiskSegment{s.device, s.offset, s.length});
+    }
+    if (overlapped) {
+      shared.lock.release();
+      co_await parallel_io(eng, disks, std::move(segs));
+    } else {
+      co_await parallel_io(eng, disks, std::move(segs));
+      shared.lock.release();
+    }
+  }
+  wg.done();
+}
+
+int cmd_selfsched(const Flags& flags) {
+  const auto max_processes = flags.u64("processes", 16);
+  const auto devices = static_cast<std::size_t>(flags.u64("devices", 8));
+  const std::uint64_t records = flags.u64("records", 400);
+  const std::uint64_t record_bytes = 2 * kTrack;
+  std::printf("Self-scheduled read of %llu x %llu KB records on %zu disks\n",
+              static_cast<unsigned long long>(records),
+              static_cast<unsigned long long>(record_bytes >> 10), devices);
+  std::printf("%10s %16s %16s\n", "processes", "serialized rec/s",
+              "overlapped rec/s");
+  for (std::uint64_t p = 1; p <= max_processes; p *= 2) {
+    double rate[2];
+    for (int variant = 0; variant < 2; ++variant) {
+      sim::Engine eng;
+      SimDiskArray disks(eng, devices);
+      StripedLayout layout(devices, kTrack);
+      SsShared shared(eng);
+      sim::WaitGroup wg(eng);
+      wg.add(p);
+      for (std::uint64_t i = 0; i < p; ++i) {
+        eng.spawn(ss_worker(eng, disks, layout, shared, records, record_bytes,
+                            variant == 1, wg));
+      }
+      rate[variant] = static_cast<double>(records) / eng.run();
+    }
+    std::printf("%10llu %16.1f %16.1f\n", static_cast<unsigned long long>(p),
+                rate[0], rate[1]);
+  }
+  return 0;
+}
+
+// --------------------------------------------------------------- sharing
+
+int cmd_sharing(const Flags& flags) {
+  const auto processes = static_cast<std::size_t>(flags.u64("processes", 16));
+  const auto devices = static_cast<std::size_t>(flags.u64("devices", 4));
+  const bool interleaved = flags.u64("interleaved", 0) != 0;
+  const bool scan = flags.u64("scan", 0) != 0;
+  const std::uint64_t blocks = flags.u64("blocks-per-process", 24);
+  const std::uint64_t block_bytes = 2 * kTrack;
+
+  sim::Engine eng;
+  SimDiskArray disks(eng, devices, {}, {},
+                     scan ? QueueDiscipline::scan : QueueDiscipline::fifo);
+  std::unique_ptr<Layout> layout;
+  if (interleaved) {
+    layout = make_interleaved_layout(devices, block_bytes);
+  } else {
+    layout = std::make_unique<BlockedLayout>(processes, blocks * block_bytes,
+                                             devices);
+  }
+  std::vector<std::vector<SimOp>> ops;
+  for (std::size_t p = 0; p < processes; ++p) {
+    std::vector<SimOp> mine;
+    for (std::uint64_t b = 0; b < blocks; ++b) {
+      const std::uint64_t block =
+          interleaved ? p + b * processes : p * blocks + b;
+      mine.push_back(SimOp{block * block_bytes, block_bytes, 0.002});
+    }
+    ops.push_back(std::move(mine));
+  }
+  const double elapsed = run_processes(eng, disks, *layout, std::move(ops));
+  OnlineStats seeks;
+  for (std::size_t d = 0; d < devices; ++d) seeks.merge(disks[d].seek_stats());
+  const std::uint64_t bytes = processes * blocks * block_bytes;
+  std::printf("%zu processes on %zu devices (%s layout, %s queue):\n",
+              processes, devices, interleaved ? "interleaved" : "blocked",
+              scan ? "SCAN" : "FIFO");
+  std::printf("  makespan %.3f s, aggregate %.2f MB/s, mean seek %.2f ms\n",
+              elapsed, static_cast<double>(bytes) / elapsed / 1e6,
+              seeks.mean() * 1e3);
+  return 0;
+}
+
+// ------------------------------------------------------------------ load
+
+struct LoadShared {
+  OnlineStats response;
+  sim::WaitGroup wg;
+  explicit LoadShared(sim::Engine& eng) : wg(eng) {}
+};
+
+sim::Task load_txn(sim::Engine& eng, SimDiskArray& disks, const Layout& layout,
+                   std::uint64_t block, std::uint64_t block_bytes,
+                   LoadShared& shared) {
+  const double t0 = eng.now();
+  std::vector<DiskSegment> segs;
+  for (const Segment& s : layout.map(block * block_bytes, block_bytes)) {
+    segs.push_back(DiskSegment{s.device, s.offset, s.length});
+  }
+  co_await parallel_io(eng, disks, std::move(segs));
+  shared.response.add(eng.now() - t0);
+  shared.wg.done();
+}
+
+int cmd_load(const Flags& flags) {
+  const auto devices = static_cast<std::size_t>(flags.u64("devices", 4));
+  const double rate_from = flags.f64("rate-from", 5);
+  const double rate_to = flags.f64("rate-to", 80);
+  const std::uint64_t arrivals = flags.u64("arrivals", 3000);
+  const std::uint64_t block_bytes = 2 * kTrack;
+  std::printf("Open load on %zu devices, 48 KB transactions\n", devices);
+  std::printf("%12s %14s %14s\n", "offered/s", "mean resp ms", "max resp ms");
+  for (double rate = rate_from; rate <= rate_to + 1e-9; rate *= 2) {
+    sim::Engine eng;
+    SimDiskArray disks(eng, devices);
+    auto layout = make_interleaved_layout(devices, block_bytes);
+    LoadShared shared(eng);
+    shared.wg.add(arrivals);
+    Rng rng{0x10AD};
+    double t = 0;
+    for (std::uint64_t i = 0; i < arrivals; ++i) {
+      t += rng.exponential(1.0 / rate);
+      const std::uint64_t block = rng.uniform_u64(256);
+      eng.schedule_callback(t, [&eng, &disks, &layout, block, &shared] {
+        eng.spawn(load_txn(eng, disks, *layout, block, 2 * kTrack, shared));
+      });
+    }
+    eng.run();
+    std::printf("%12.1f %14.2f %14.2f\n", rate, shared.response.mean() * 1e3,
+                shared.response.max() * 1e3);
+  }
+  return 0;
+}
+
+// ------------------------------------------------------------------ mtbf
+
+int cmd_mtbf(const Flags& flags) {
+  const std::uint64_t max_devices = flags.u64("devices", 200);
+  const double mtbf = flags.f64("mtbf-hours", kPaperDeviceMtbfHours);
+  const double repair = flags.f64("repair-hours", 24);
+  Rng rng{2024};
+  std::printf("Device MTBF %.0f h, repair window %.0f h\n", mtbf, repair);
+  std::printf("%8s %12s %12s %14s %16s\n", "devices", "MTBF h", "MC MTBF h",
+              "failures/yr", "MTTDL(parity) h");
+  for (std::uint64_t n = 1; n <= max_devices; n *= 2) {
+    const auto mc = simulate_first_failure(rng, n, mtbf, 2000);
+    std::printf("%8llu %12.0f %12.0f %14.2f %16.0f\n",
+                static_cast<unsigned long long>(n), series_mtbf_hours(mtbf, n),
+                mc.mean(), failures_per_year(mtbf, n),
+                n >= 2 ? protected_mttdl_hours(mtbf, n, repair) : 0.0);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  Flags flags(argc, argv, 2);
+  if (cmd == "striping") return cmd_striping(flags);
+  if (cmd == "selfsched") return cmd_selfsched(flags);
+  if (cmd == "sharing") return cmd_sharing(flags);
+  if (cmd == "load") return cmd_load(flags);
+  if (cmd == "mtbf") return cmd_mtbf(flags);
+  return usage();
+}
