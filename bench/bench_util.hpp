@@ -9,6 +9,7 @@
 #include <cstdio>
 
 #include "device/sim_disk.hpp"
+#include "obs/metrics.hpp"
 #include "sim/engine.hpp"
 
 namespace pio::bench {
@@ -18,7 +19,17 @@ inline void banner(const char* experiment, const char* claim) {
   std::printf("\n=== %s ===\n%s\n\n", experiment, claim);
 }
 
-/// Report simulated elapsed time and bandwidth through benchmark counters.
+/// Attach the global metrics-registry snapshot (non-zero samples only) as
+/// benchmark counters, so per-layer observability rides along with every
+/// experiment's output.  Values are cumulative over the process.
+inline void report_registry(benchmark::State& state) {
+  for (const obs::MetricSample& s : obs::MetricsRegistry::global().snapshot()) {
+    if (s.value != 0.0) state.counters[s.name] = s.value;
+  }
+}
+
+/// Report simulated elapsed time and bandwidth through benchmark counters,
+/// plus the observability registry snapshot.
 inline void report_sim(benchmark::State& state, double sim_seconds,
                        std::uint64_t bytes) {
   state.counters["sim_s"] = sim_seconds;
@@ -26,6 +37,7 @@ inline void report_sim(benchmark::State& state, double sim_seconds,
     state.counters["MB_per_s"] =
         static_cast<double>(bytes) / sim_seconds / 1.0e6;
   }
+  report_registry(state);
 }
 
 /// 1989 track size: the natural transfer unit for these disks.

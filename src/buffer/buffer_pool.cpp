@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "obs/metrics.hpp"
+
 namespace pio {
 
 BufferPool::BufferPool(std::size_t count, std::size_t buffer_bytes)
@@ -12,13 +14,20 @@ BufferPool::BufferPool(std::size_t count, std::size_t buffer_bytes)
     buf.resize(buffer_bytes);
     free_.push_back(&buf);
   }
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+  acquires_counter_ = &registry.counter("buffer_pool.acquires");
+  blocked_counter_ = &registry.counter("buffer_pool.blocked");
+  in_use_gauge_ = &registry.gauge("buffer_pool.in_use");
 }
 
 std::vector<std::byte>* BufferPool::acquire() {
   std::unique_lock lock(mutex_);
+  if (free_.empty()) blocked_counter_->inc();  // k-buffering contention
   cv_.wait(lock, [&] { return !free_.empty(); });
   auto* buf = free_.back();
   free_.pop_back();
+  acquires_counter_->inc();
+  in_use_gauge_->add(1);
   return buf;
 }
 
@@ -27,6 +36,8 @@ std::vector<std::byte>* BufferPool::try_acquire() {
   if (free_.empty()) return nullptr;
   auto* buf = free_.back();
   free_.pop_back();
+  acquires_counter_->inc();
+  in_use_gauge_->add(1);
   return buf;
 }
 
@@ -36,6 +47,7 @@ void BufferPool::release(std::vector<std::byte>* buf) {
     std::scoped_lock lock(mutex_);
     free_.push_back(buf);
   }
+  in_use_gauge_->add(-1);
   cv_.notify_one();
 }
 

@@ -8,6 +8,11 @@
 #include <mutex>
 #include <vector>
 
+namespace pio::obs {
+class Counter;
+class Gauge;
+}  // namespace pio::obs
+
 namespace pio {
 
 class BufferPool {
@@ -34,6 +39,9 @@ class BufferPool {
   std::vector<std::vector<std::byte>*> free_;
   mutable std::mutex mutex_;
   std::condition_variable cv_;
+  obs::Counter* acquires_counter_;  // global `buffer_pool.acquires`
+  obs::Counter* blocked_counter_;   // global `buffer_pool.blocked`
+  obs::Gauge* in_use_gauge_;        // global `buffer_pool.in_use`
 };
 
 /// RAII lease on a pool buffer.

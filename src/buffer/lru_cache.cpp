@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cstring>
 
+#include "obs/metrics.hpp"
+
 namespace pio {
 
 LruBufferCache::LruBufferCache(std::size_t frames, std::size_t block_bytes,
@@ -13,6 +15,11 @@ LruBufferCache::LruBufferCache(std::size_t frames, std::size_t block_bytes,
       flush_(std::move(flush)) {
   assert(frames_ > 0);
   assert(block_bytes_ > 0);
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+  hits_counter_ = &registry.counter("cache.hits");
+  misses_counter_ = &registry.counter("cache.misses");
+  evictions_counter_ = &registry.counter("cache.evictions");
+  writebacks_counter_ = &registry.counter("cache.writebacks");
 }
 
 LruBufferCache::~LruBufferCache() {
@@ -25,10 +32,12 @@ Result<LruBufferCache::LruList::iterator> LruBufferCache::pin(
     std::uint64_t block, bool will_overwrite) {
   if (auto it = index_.find(block); it != index_.end()) {
     ++stats_.hits;
+    hits_counter_->inc();
     lru_.splice(lru_.begin(), lru_, it->second);  // promote to MRU
     return lru_.begin();
   }
   ++stats_.misses;
+  misses_counter_->inc();
   Frame frame;
   if (lru_.size() >= frames_) {
     // Evict LRU (write back if dirty), recycling its storage.
@@ -36,8 +45,10 @@ Result<LruBufferCache::LruList::iterator> LruBufferCache::pin(
     if (victim->dirty) {
       PIO_TRY(flush_(victim->block, victim->data));
       ++stats_.writebacks;
+      writebacks_counter_->inc();
     }
     ++stats_.evictions;
+    evictions_counter_->inc();
     index_.erase(victim->block);
     frame.data = std::move(victim->data);
     lru_.erase(victim);
@@ -87,6 +98,7 @@ Status LruBufferCache::flush_all() {
     PIO_TRY(flush_(f.block, f.data));
     f.dirty = false;
     ++stats_.writebacks;
+    writebacks_counter_->inc();
   }
   return ok_status();
 }
@@ -97,6 +109,7 @@ Status LruBufferCache::invalidate_all() {
     if (!f.dirty) continue;
     PIO_TRY(flush_(f.block, f.data));
     ++stats_.writebacks;
+    writebacks_counter_->inc();
   }
   lru_.clear();
   index_.clear();

@@ -14,6 +14,10 @@
 
 #include "util/result.hpp"
 
+namespace pio::obs {
+class Counter;
+}  // namespace pio::obs
+
 namespace pio {
 
 class LruBufferCache {
@@ -79,6 +83,12 @@ class LruBufferCache {
   LruList lru_;  // front = most recently used
   std::unordered_map<std::uint64_t, LruList::iterator> index_;
   Stats stats_;
+
+  // Global registry mirrors of stats_ (aggregated across caches).
+  obs::Counter* hits_counter_;
+  obs::Counter* misses_counter_;
+  obs::Counter* evictions_counter_;
+  obs::Counter* writebacks_counter_;
 };
 
 }  // namespace pio

@@ -3,15 +3,29 @@
 #include <cassert>
 #include <cstring>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace pio {
+
+namespace {
+// Trace track for prefetch threads (wall domain); distinct from the
+// IoScheduler's device-indexed tids.
+constexpr std::uint32_t kReadAheadTid = 900;
+}  // namespace
 
 ReadAhead::ReadAhead(FetchFn fetch, std::uint64_t total_chunks,
                      std::size_t chunk_bytes, std::size_t depth)
     : fetch_(std::move(fetch)),
       total_chunks_(total_chunks),
       chunk_bytes_(chunk_bytes),
-      depth_(depth ? depth : 1),
-      thread_([this] { worker(); }) {}
+      depth_(depth ? depth : 1) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+  fetched_counter_ = &registry.counter("read_ahead.chunks_fetched");
+  delivered_counter_ = &registry.counter("read_ahead.chunks_delivered");
+  // Started last: the worker reads the counter pointers immediately.
+  thread_ = std::thread([this] { worker(); });
+}
 
 ReadAhead::~ReadAhead() {
   {
@@ -25,7 +39,13 @@ ReadAhead::~ReadAhead() {
 void ReadAhead::worker() {
   for (std::uint64_t i = 0; i < total_chunks_; ++i) {
     std::vector<std::byte> buf(chunk_bytes_);
-    Status st = fetch_(i, buf);
+    Status st;
+    {
+      obs::WallSpan span(obs::Tracer::global(), "prefetch", "read_ahead",
+                         kReadAheadTid);
+      st = fetch_(i, buf);
+    }
+    if (st.ok()) fetched_counter_->inc();
     std::unique_lock lock(mutex_);
     if (!st.ok()) {
       worker_error_ = st.error();
@@ -52,6 +72,7 @@ Status ReadAhead::next(std::span<std::byte> out) {
   std::vector<std::byte> buf = std::move(ready_.front());
   ready_.pop_front();
   ++delivered_;
+  delivered_counter_->inc();
   lock.unlock();
   cv_space_.notify_one();
   std::memcpy(out.data(), buf.data(), chunk_bytes_);

@@ -15,6 +15,10 @@
 
 #include "util/result.hpp"
 
+namespace pio::obs {
+class Counter;
+}  // namespace pio::obs
+
 namespace pio {
 
 class ReadAhead {
@@ -53,6 +57,8 @@ class ReadAhead {
   bool worker_done_ = false;
   bool shutdown_ = false;
   std::uint64_t delivered_ = 0;
+  obs::Counter* fetched_counter_;    // global `read_ahead.chunks_fetched`
+  obs::Counter* delivered_counter_;  // global `read_ahead.chunks_delivered`
 
   std::thread thread_;
 };

@@ -1,6 +1,10 @@
 #include "core/io_scheduler.hpp"
 
 #include <cassert>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace pio {
 
@@ -36,9 +40,19 @@ std::size_t IoBatch::pending() const {
 }
 
 IoScheduler::IoScheduler(DeviceArray& devices) : devices_(devices) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+  enqueued_counter_ = &registry.counter("iosched.enqueued");
+  completed_counter_ = &registry.counter("iosched.completed");
+  depth_gauge_ = &registry.gauge("iosched.queue_depth");
+  wait_hist_ = &registry.histogram("iosched.wait_us", 0.0, 1e5, 200);
+  service_hist_ = &registry.histogram("iosched.service_us", 0.0, 1e5, 200);
   workers_.reserve(devices.size());
   for (std::size_t d = 0; d < devices.size(); ++d) {
-    workers_.push_back(std::make_unique<Worker>());
+    auto worker = std::make_unique<Worker>();
+    worker->tid = static_cast<std::uint32_t>(d);
+    worker->qd_track = obs::Tracer::global().intern(
+        "iosched.dev" + std::to_string(d) + ".queue_depth");
+    workers_.push_back(std::move(worker));
   }
   for (auto& worker : workers_) {
     worker->thread = std::thread([this, w = worker.get()] { worker_loop(*w); });
@@ -46,26 +60,52 @@ IoScheduler::IoScheduler(DeviceArray& devices) : devices_(devices) {
 }
 
 IoScheduler::~IoScheduler() {
+  shutdown_.store(true, std::memory_order_relaxed);
   for (auto& worker : workers_) {
+    // Take the lock so the store cannot slip between a worker's predicate
+    // check and its wait; the flag itself is atomic because worker N reads
+    // it under worker N's mutex while we notify under worker M's.
     std::scoped_lock lock(worker->mutex);
-    shutdown_ = true;
     worker->cv.notify_all();
   }
   for (auto& worker : workers_) worker->thread.join();
 }
 
 void IoScheduler::worker_loop(Worker& worker) {
+  obs::Tracer& tracer = obs::Tracer::global();
   for (;;) {
     Request request;
+    std::size_t depth_after = 0;
     {
       std::unique_lock lock(worker.mutex);
-      worker.cv.wait(lock, [&] { return !worker.queue.empty() || shutdown_; });
+      worker.cv.wait(lock, [&] {
+        return !worker.queue.empty() ||
+               shutdown_.load(std::memory_order_relaxed);
+      });
       if (worker.queue.empty()) return;  // shutdown with an empty queue
       request = std::move(worker.queue.front());
       worker.queue.pop_front();
+      depth_after = worker.queue.size();
       ++worker.executed;
     }
-    request.batch->complete(request.run());
+    depth_gauge_->add(-1);
+    const double deq_us = tracer.wall_now_us();
+    wait_hist_->record(deq_us - request.enq_us);
+    if (tracer.enabled()) {
+      tracer.complete("queue_wait", "iosched", worker.tid, request.enq_us,
+                      deq_us - request.enq_us, obs::TimeDomain::wall);
+      tracer.counter(worker.qd_track, worker.tid, deq_us,
+                     static_cast<double>(depth_after), obs::TimeDomain::wall);
+    }
+    const Status status = request.run();
+    const double done_us = tracer.wall_now_us();
+    service_hist_->record(done_us - deq_us);
+    completed_counter_->inc();
+    if (tracer.enabled()) {
+      tracer.complete(request.op, "iosched", worker.tid, deq_us,
+                      done_us - deq_us, obs::TimeDomain::wall);
+    }
+    request.batch->complete(status);
   }
 }
 
@@ -73,9 +113,20 @@ void IoScheduler::enqueue(std::size_t device, Request request) {
   assert(device < workers_.size());
   request.batch->expect();
   Worker& worker = *workers_[device];
+  obs::Tracer& tracer = obs::Tracer::global();
+  const double enq_us = tracer.wall_now_us();
+  request.enq_us = enq_us;
+  enqueued_counter_->inc();
+  depth_gauge_->add(1);
+  std::size_t depth_after = 0;
   {
     std::scoped_lock lock(worker.mutex);
     worker.queue.push_back(std::move(request));
+    depth_after = worker.queue.size();
+  }
+  if (tracer.enabled()) {
+    tracer.counter(worker.qd_track, worker.tid, enq_us,
+                   static_cast<double>(depth_after), obs::TimeDomain::wall);
   }
   worker.cv.notify_one();
 }
@@ -85,7 +136,7 @@ void IoScheduler::read(std::size_t device, std::uint64_t offset,
   enqueue(device, Request{[this, device, offset, out] {
                             return devices_[device].read(offset, out);
                           },
-                          &batch});
+                          &batch, "device_read", 0.0});
 }
 
 void IoScheduler::write(std::size_t device, std::uint64_t offset,
@@ -93,7 +144,7 @@ void IoScheduler::write(std::size_t device, std::uint64_t offset,
   enqueue(device, Request{[this, device, offset, in] {
                             return devices_[device].write(offset, in);
                           },
-                          &batch});
+                          &batch, "device_write", 0.0});
 }
 
 void IoScheduler::read_records(ParallelFile& file, std::uint64_t first,

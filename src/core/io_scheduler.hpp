@@ -13,6 +13,7 @@
 // completes (the scheduler never copies).
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -25,6 +26,12 @@
 #include "core/parallel_file.hpp"
 #include "device/device.hpp"
 #include "util/result.hpp"
+
+namespace pio::obs {
+class Counter;
+class Gauge;
+class LatencyHistogram;
+}  // namespace pio::obs
 
 namespace pio {
 
@@ -81,12 +88,16 @@ class IoScheduler {
   struct Request {
     std::function<Status()> run;
     IoBatch* batch;
+    const char* op = "io";  // static name for the trace span
+    double enq_us = 0.0;    // wall enqueue timestamp (queue-wait span)
   };
   struct Worker {
     mutable std::mutex mutex;
     std::condition_variable cv;
     std::deque<Request> queue;
     std::uint64_t executed = 0;
+    std::uint32_t tid = 0;           // trace track: device index
+    const char* qd_track = nullptr;  // interned "iosched.devN.queue_depth"
     std::thread thread;
   };
 
@@ -95,7 +106,17 @@ class IoScheduler {
 
   DeviceArray& devices_;
   std::vector<std::unique_ptr<Worker>> workers_;
-  bool shutdown_ = false;  // guarded by every worker's mutex at read time
+  // Written once by the destructor, read by every worker: must be atomic
+  // (the destructor's store and a worker's predicate evaluation are not
+  // ordered by a common mutex).
+  std::atomic<bool> shutdown_{false};
+
+  // Cached global metrics (registry owns them; pointers stay valid).
+  obs::Counter* enqueued_counter_;
+  obs::Counter* completed_counter_;
+  obs::Gauge* depth_gauge_;
+  obs::LatencyHistogram* wait_hist_;
+  obs::LatencyHistogram* service_hist_;
 };
 
 }  // namespace pio

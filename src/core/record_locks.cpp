@@ -2,8 +2,24 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace pio {
+
+namespace {
+
+/// Wall microseconds, for contended-wait measurement only (the
+/// uncontended fast path never reads a clock).
+double lock_wait_us_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
 
 RecordLockTable::RecordLockTable(std::size_t shards) {
   assert(shards > 0);
@@ -11,6 +27,8 @@ RecordLockTable::RecordLockTable(std::size_t shards) {
   for (std::size_t i = 0; i < shards; ++i) {
     shards_.push_back(std::make_unique<Shard>());
   }
+  wait_hist_ =
+      &obs::MetricsRegistry::global().histogram("locks.wait_us", 0.0, 1e5, 200);
 }
 
 RecordLockTable::Shard& RecordLockTable::shard_of(std::uint64_t record) noexcept {
@@ -25,9 +43,11 @@ void RecordLockTable::lock_shared(std::uint64_t record) {
   LockState& state = shard.locks[record];
   if (state.writer) {
     contended_.fetch_add(1, std::memory_order_relaxed);
+    const auto t0 = std::chrono::steady_clock::now();
     ++state.waiters;
     shard.cv.wait(lock, [&] { return !state.writer; });
     --state.waiters;
+    wait_hist_->record(lock_wait_us_since(t0));
   }
   ++state.readers;
 }
@@ -51,12 +71,19 @@ void RecordLockTable::lock_exclusive(std::uint64_t record) {
   Shard& shard = shard_of(record);
   std::unique_lock lock(shard.mutex);
   LockState& state = shard.locks[record];
-  if (state.writer || state.readers > 0) {
+  const bool contended = state.writer || state.readers > 0;
+  if (contended) {
     contended_.fetch_add(1, std::memory_order_relaxed);
+    const auto t0 = std::chrono::steady_clock::now();
+    ++state.waiters;
+    shard.cv.wait(lock, [&] { return !state.writer && state.readers == 0; });
+    --state.waiters;
+    wait_hist_->record(lock_wait_us_since(t0));
+  } else {
+    ++state.waiters;
+    shard.cv.wait(lock, [&] { return !state.writer && state.readers == 0; });
+    --state.waiters;
   }
-  ++state.waiters;
-  shard.cv.wait(lock, [&] { return !state.writer && state.readers == 0; });
-  --state.waiters;
   state.writer = true;
 }
 

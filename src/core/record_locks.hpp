@@ -16,6 +16,10 @@
 #include "core/parallel_file.hpp"
 #include "util/result.hpp"
 
+namespace pio::obs {
+class LatencyHistogram;
+}  // namespace pio::obs
+
 namespace pio {
 
 class RecordLockTable {
@@ -85,6 +89,7 @@ class RecordLockTable {
 
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<std::uint64_t> contended_{0};
+  obs::LatencyHistogram* wait_hist_;  // global `locks.wait_us`, contended only
 };
 
 /// A GDA file with record-granularity concurrency control: reads take a

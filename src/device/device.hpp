@@ -15,7 +15,9 @@
 
 namespace pio {
 
-/// Cumulative operation counters; safe to read while devices are in use.
+/// Cumulative operation counters; every field is atomic so increments
+/// from IoScheduler workers and reads from monitoring threads are safe
+/// while devices are in use (relaxed ordering: counts, not ordering).
 struct DeviceCounters {
   std::atomic<std::uint64_t> reads{0};
   std::atomic<std::uint64_t> writes{0};
@@ -29,6 +31,20 @@ struct DeviceCounters {
   void note_write(std::uint64_t n) noexcept {
     writes.fetch_add(1, std::memory_order_relaxed);
     bytes_written.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  /// Plain-value copy for snapshots/bridging (atomics are not copyable).
+  struct Snapshot {
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t bytes_read = 0;
+    std::uint64_t bytes_written = 0;
+  };
+  Snapshot snapshot() const noexcept {
+    return Snapshot{reads.load(std::memory_order_relaxed),
+                    writes.load(std::memory_order_relaxed),
+                    bytes_read.load(std::memory_order_relaxed),
+                    bytes_written.load(std::memory_order_relaxed)};
   }
 };
 

@@ -1,8 +1,33 @@
 #include "device/sim_disk.hpp"
 
 #include <algorithm>
+#include <atomic>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace pio {
+
+namespace {
+// Distinct trace tids per SimDisk, so each device renders as its own
+// track inside the virtual-time process group.
+std::atomic<std::uint32_t> next_sim_disk_tid{0};
+}  // namespace
+
+SimDisk::SimDisk(sim::Engine& eng, std::string name, DiskGeometry geom,
+                 DiskParams params, QueueDiscipline discipline)
+    : eng_(eng),
+      name_(std::move(name)),
+      model_(geom, params),
+      discipline_(discipline),
+      trace_tid_(next_sim_disk_tid.fetch_add(1, std::memory_order_relaxed)),
+      qd_track_(obs::Tracer::global().intern(name_ + ".queue_depth")),
+      req_counter_(&obs::MetricsRegistry::global().counter("simdisk.requests")),
+      byte_counter_(&obs::MetricsRegistry::global().counter("simdisk.bytes")),
+      wait_hist_(&obs::MetricsRegistry::global().histogram("simdisk.wait_us",
+                                                           0.0, 1e6, 200)),
+      service_hist_(&obs::MetricsRegistry::global().histogram(
+          "simdisk.service_us", 0.0, 2e5, 200)) {}
 
 sim::Task SimDisk::io(std::uint64_t offset, std::uint64_t len) {
   // The request lives in this coroutine's frame; the queue holds a pointer
@@ -11,6 +36,13 @@ sim::Task SimDisk::io(std::uint64_t offset, std::uint64_t len) {
   Pending req(eng_, offset, len, model_.geometry().cylinder_of(offset),
               eng_.now());
   queue_.push_back(&req);
+  {
+    obs::Tracer& tracer = obs::Tracer::global();
+    if (tracer.enabled()) {
+      tracer.counter(qd_track_, trace_tid_, eng_.now() * 1e6,
+                     static_cast<double>(queue_.size() + (busy_ ? 1 : 0)));
+    }
+  }
   if (!busy_) {
     busy_ = true;
     busy_since_ = eng_.now();
@@ -55,14 +87,31 @@ SimDisk::Pending* SimDisk::pick_next() {
 
 sim::Task SimDisk::dispatch() {
   while (Pending* req = pick_next()) {
-    wait_stats_.add(eng_.now() - req->enqueued);
+    const sim::Time service_start = eng_.now();
+    const double wait_s = service_start - req->enqueued;
+    wait_stats_.add(wait_s);
+    wait_hist_->record(wait_s * 1e6);
     const ServiceTime st = model_.service(req->offset, req->length, eng_.now());
     co_await eng_.delay(st.total());
     ++requests_;
     bytes_ += req->length;
+    req_counter_->inc();
+    byte_counter_->inc(req->length);
     seek_stats_.add(st.seek);
     rotation_stats_.add(st.rotation);
     service_stats_.add(st.total());
+    service_hist_->record(st.total() * 1e6);
+    obs::Tracer& tracer = obs::Tracer::global();
+    if (tracer.enabled()) {
+      if (wait_s > 0) {
+        tracer.complete("queue_wait", "simdisk", trace_tid_,
+                        req->enqueued * 1e6, wait_s * 1e6);
+      }
+      tracer.complete("device_io", "simdisk", trace_tid_, service_start * 1e6,
+                      st.total() * 1e6);
+      tracer.counter(qd_track_, trace_tid_, eng_.now() * 1e6,
+                     static_cast<double>(queue_.size()));
+    }
     req->done.open();
   }
   busy_accum_ += eng_.now() - busy_since_;

@@ -19,6 +19,11 @@
 #include "sim/resource.hpp"
 #include "util/stats.hpp"
 
+namespace pio::obs {
+class Counter;
+class LatencyHistogram;
+}  // namespace pio::obs
+
 namespace pio {
 
 enum class QueueDiscipline : std::uint8_t {
@@ -30,11 +35,7 @@ class SimDisk {
  public:
   SimDisk(sim::Engine& eng, std::string name, DiskGeometry geom = {},
           DiskParams params = {},
-          QueueDiscipline discipline = QueueDiscipline::fifo)
-      : eng_(eng),
-        name_(std::move(name)),
-        model_(geom, params),
-        discipline_(discipline) {}
+          QueueDiscipline discipline = QueueDiscipline::fifo);
 
   SimDisk(const SimDisk&) = delete;
   SimDisk& operator=(const SimDisk&) = delete;
@@ -96,6 +97,15 @@ class SimDisk {
   OnlineStats rotation_stats_;
   OnlineStats service_stats_;
   OnlineStats wait_stats_;
+
+  // Observability (virtual time domain): spans per serviced request and a
+  // per-device queue-depth counter track; aggregate registry metrics.
+  std::uint32_t trace_tid_;
+  const char* qd_track_;
+  obs::Counter* req_counter_;
+  obs::Counter* byte_counter_;
+  obs::LatencyHistogram* wait_hist_;
+  obs::LatencyHistogram* service_hist_;
 };
 
 /// A farm of simulated disks sharing one engine.

@@ -1,0 +1,62 @@
+// Bridges from externally-owned counters into the MetricsRegistry, so
+// functional devices (ram/file/faulty/shadow/parity) and virtual-time
+// SimDisks all report through one uniform snapshot.
+//
+// Header-only on purpose: pio_obs depends only on pio_util; callers that
+// include this header already link the device library.  The registered
+// callbacks read the underlying atomics lazily at snapshot time, so
+// bridging adds zero cost to the data path.  The bridged objects must
+// outlive the registry's next snapshot (or call registry.reset()).
+#pragma once
+
+#include <string>
+
+#include "device/device.hpp"
+#include "device/sim_disk.hpp"
+#include "obs/metrics.hpp"
+
+namespace pio::obs {
+
+/// Expose one BlockDevice's DeviceCounters as `device.<name>.*` gauges.
+inline void register_device(MetricsRegistry& registry, const BlockDevice& dev) {
+  const std::string prefix = "device." + dev.name() + ".";
+  const DeviceCounters* c = &dev.counters();
+  registry.gauge_callback(prefix + "reads", [c] {
+    return static_cast<double>(c->reads.load(std::memory_order_relaxed));
+  });
+  registry.gauge_callback(prefix + "writes", [c] {
+    return static_cast<double>(c->writes.load(std::memory_order_relaxed));
+  });
+  registry.gauge_callback(prefix + "bytes_read", [c] {
+    return static_cast<double>(c->bytes_read.load(std::memory_order_relaxed));
+  });
+  registry.gauge_callback(prefix + "bytes_written", [c] {
+    return static_cast<double>(c->bytes_written.load(std::memory_order_relaxed));
+  });
+}
+
+/// Bridge every device in a functional DeviceArray.
+inline void register_devices(MetricsRegistry& registry,
+                             const DeviceArray& devices) {
+  for (const auto& dev : devices) register_device(registry, *dev);
+}
+
+/// Expose each SimDisk's cumulative activity as `simdisk.<name>.*` gauges
+/// (virtual-time path; single-threaded, so plain reads are safe).
+inline void register_sim_disks(MetricsRegistry& registry,
+                               const SimDiskArray& disks) {
+  for (std::size_t i = 0; i < disks.size(); ++i) {
+    const SimDisk* d = &disks[i];
+    const std::string prefix = "simdisk." + d->name() + ".";
+    registry.gauge_callback(prefix + "requests", [d] {
+      return static_cast<double>(d->requests());
+    });
+    registry.gauge_callback(prefix + "bytes", [d] {
+      return static_cast<double>(d->bytes_transferred());
+    });
+    registry.gauge_callback(prefix + "utilization",
+                            [d] { return d->utilization(); });
+  }
+}
+
+}  // namespace pio::obs

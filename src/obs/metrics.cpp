@@ -1,0 +1,153 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace pio::obs {
+
+LatencyHistogram::LatencyHistogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), buckets_n_(buckets), hist_(lo, hi, buckets) {}
+
+void LatencyHistogram::record(double x) noexcept {
+  std::scoped_lock lock(mutex_);
+  hist_.add(x);
+  stats_.add(x);
+}
+
+std::size_t LatencyHistogram::count() const {
+  std::scoped_lock lock(mutex_);
+  return hist_.count();
+}
+
+double LatencyHistogram::mean() const {
+  std::scoped_lock lock(mutex_);
+  return stats_.mean();
+}
+
+double LatencyHistogram::max() const {
+  std::scoped_lock lock(mutex_);
+  return stats_.max();
+}
+
+double LatencyHistogram::quantile(double q) const {
+  std::scoped_lock lock(mutex_);
+  return hist_.quantile(q);
+}
+
+OnlineStats LatencyHistogram::stats() const {
+  std::scoped_lock lock(mutex_);
+  return stats_;
+}
+
+void LatencyHistogram::reset() {
+  std::scoped_lock lock(mutex_);
+  hist_ = Histogram(lo_, hi_, buckets_n_);
+  stats_ = OnlineStats{};
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::scoped_lock lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::scoped_lock lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+LatencyHistogram& MetricsRegistry::histogram(const std::string& name, double lo,
+                                             double hi, std::size_t buckets) {
+  std::scoped_lock lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<LatencyHistogram>(lo, hi, buckets);
+  return *slot;
+}
+
+void MetricsRegistry::gauge_callback(const std::string& name,
+                                     std::function<double()> fn) {
+  std::scoped_lock lock(mutex_);
+  callbacks_[name] = std::move(fn);
+}
+
+std::vector<MetricSample> MetricsRegistry::snapshot() const {
+  // Copy the callback list so user callbacks never run under our lock.
+  std::vector<std::pair<std::string, std::function<double()>>> callbacks;
+  std::vector<MetricSample> out;
+  {
+    std::scoped_lock lock(mutex_);
+    for (const auto& [name, c] : counters_) {
+      out.push_back({name, static_cast<double>(c->value())});
+    }
+    for (const auto& [name, g] : gauges_) {
+      out.push_back({name, static_cast<double>(g->value())});
+    }
+    for (const auto& [name, h] : histograms_) {
+      out.push_back({name + ".count", static_cast<double>(h->count())});
+      out.push_back({name + ".mean", h->mean()});
+      out.push_back({name + ".p50", h->quantile(0.50)});
+      out.push_back({name + ".p95", h->quantile(0.95)});
+      out.push_back({name + ".p99", h->quantile(0.99)});
+      out.push_back({name + ".max", h->max()});
+    }
+    callbacks.assign(callbacks_.begin(), callbacks_.end());
+  }
+  for (const auto& [name, fn] : callbacks) out.push_back({name, fn()});
+  std::sort(out.begin(), out.end(),
+            [](const MetricSample& a, const MetricSample& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+std::string MetricsRegistry::to_text() const {
+  std::string out;
+  char buf[64];
+  std::size_t width = 0;
+  const auto samples = snapshot();
+  for (const auto& s : samples) width = std::max(width, s.name.size());
+  for (const auto& s : samples) {
+    out += s.name;
+    out.append(width - s.name.size() + 2, ' ');
+    std::snprintf(buf, sizeof buf, "%.6g\n", s.value);
+    out += buf;
+  }
+  return out;
+}
+
+std::string MetricsRegistry::to_json() const {
+  std::string out = "{";
+  char buf[64];
+  bool first = true;
+  for (const auto& s : snapshot()) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n  \"";
+    for (char c : s.name) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    std::snprintf(buf, sizeof buf, "\": %.6g", s.value);
+    out += buf;
+  }
+  out += "\n}\n";
+  return out;
+}
+
+void MetricsRegistry::reset() {
+  std::scoped_lock lock(mutex_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+  callbacks_.clear();
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+}  // namespace pio::obs

@@ -1,0 +1,121 @@
+// MetricsRegistry: named counters, gauges, and latency histograms with
+// cheap thread-safe updates and a text/JSON snapshot.
+//
+// Layers cache the pointer returned by counter()/gauge()/histogram() at
+// construction time and update through it on the hot path — an update is
+// one relaxed atomic RMW (counters/gauges) or one uncontended mutex lock
+// (histograms).  Registered metrics are never deallocated while the
+// registry lives; reset() zeroes values but keeps every cached pointer
+// valid.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace pio::obs {
+
+/// Monotonic event count.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) noexcept {
+    v_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Instantaneous signed level (queue depth, buffers in use).
+class Gauge {
+ public:
+  void set(std::int64_t v) noexcept { v_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t d) noexcept {
+    v_.fetch_add(d, std::memory_order_relaxed);
+  }
+  std::int64_t value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { set(0); }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// Latency/size distribution: pio::Histogram buckets for quantiles plus
+/// pio::OnlineStats moments, updated together under one mutex.
+class LatencyHistogram {
+ public:
+  LatencyHistogram(double lo, double hi, std::size_t buckets);
+
+  void record(double x) noexcept;
+
+  std::size_t count() const;
+  double mean() const;
+  double max() const;
+  double quantile(double q) const;
+  OnlineStats stats() const;
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  double lo_, hi_;
+  std::size_t buckets_n_;
+  Histogram hist_;
+  OnlineStats stats_;
+};
+
+/// One flattened (name, value) pair from a registry snapshot.
+struct MetricSample {
+  std::string name;
+  double value = 0.0;
+};
+
+class MetricsRegistry {
+ public:
+  /// Find-or-create by name; the returned reference is stable for the
+  /// registry's lifetime.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  LatencyHistogram& histogram(const std::string& name, double lo, double hi,
+                              std::size_t buckets);
+
+  /// Register (or replace) a gauge evaluated lazily at snapshot time —
+  /// used to bridge externally-owned counters (DeviceCounters, SimDisk).
+  /// The callback must outlive the registry or be removed via reset().
+  void gauge_callback(const std::string& name, std::function<double()> fn);
+
+  /// Flattened, name-sorted view.  Histograms expand to
+  /// `<name>.count/.mean/.p50/.p95/.p99/.max`.
+  std::vector<MetricSample> snapshot() const;
+
+  std::string to_text() const;  ///< aligned `name value` lines
+  std::string to_json() const;  ///< flat `{"name": value, ...}` object
+
+  /// Zero every counter/gauge/histogram and drop callback gauges.
+  /// Cached Counter*/Gauge*/LatencyHistogram* stay valid.
+  void reset();
+
+  /// Process-wide registry the instrumented layers report into.
+  static MetricsRegistry& global();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_;
+  std::map<std::string, std::function<double()>> callbacks_;
+};
+
+}  // namespace pio::obs

@@ -1,0 +1,165 @@
+#include "obs/trace.hpp"
+
+#include <cassert>
+#include <cstdio>
+#include <fstream>
+
+namespace pio::obs {
+
+Tracer::Tracer(std::size_t capacity)
+    : cap_(capacity ? capacity : 1), epoch_(std::chrono::steady_clock::now()) {
+  ring_.resize(cap_);
+}
+
+void Tracer::record(const TraceEvent& ev) {
+  std::scoped_lock lock(mutex_);
+  ring_[static_cast<std::size_t>(next_ % cap_)] = ev;
+  ++next_;
+}
+
+void Tracer::begin(const char* name, const char* cat, std::uint32_t tid,
+                   double ts_us, TimeDomain domain) {
+  if (!enabled()) return;
+  record(TraceEvent{name, cat, ts_us, 0.0, 0.0, tid,
+                    static_cast<std::uint8_t>(domain), 'B'});
+}
+
+void Tracer::end(const char* name, const char* cat, std::uint32_t tid,
+                 double ts_us, TimeDomain domain) {
+  if (!enabled()) return;
+  record(TraceEvent{name, cat, ts_us, 0.0, 0.0, tid,
+                    static_cast<std::uint8_t>(domain), 'E'});
+}
+
+void Tracer::complete(const char* name, const char* cat, std::uint32_t tid,
+                      double ts_us, double dur_us, TimeDomain domain) {
+  if (!enabled()) return;
+  record(TraceEvent{name, cat, ts_us, dur_us, 0.0, tid,
+                    static_cast<std::uint8_t>(domain), 'X'});
+}
+
+void Tracer::instant(const char* name, const char* cat, std::uint32_t tid,
+                     double ts_us, TimeDomain domain) {
+  if (!enabled()) return;
+  record(TraceEvent{name, cat, ts_us, 0.0, 0.0, tid,
+                    static_cast<std::uint8_t>(domain), 'i'});
+}
+
+void Tracer::counter(const char* name, std::uint32_t tid, double ts_us,
+                     double value, TimeDomain domain) {
+  if (!enabled()) return;
+  record(TraceEvent{name, "counter", ts_us, 0.0, value, tid,
+                    static_cast<std::uint8_t>(domain), 'C'});
+}
+
+double Tracer::wall_now_us() const noexcept {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+const char* Tracer::intern(const std::string& name) {
+  std::scoped_lock lock(mutex_);
+  for (const std::string& existing : names_) {
+    if (existing == name) return existing.c_str();
+  }
+  names_.push_back(name);  // deque: stable addresses across growth
+  return names_.back().c_str();
+}
+
+std::size_t Tracer::size() const {
+  std::scoped_lock lock(mutex_);
+  return static_cast<std::size_t>(next_ < cap_ ? next_ : cap_);
+}
+
+std::uint64_t Tracer::recorded() const {
+  std::scoped_lock lock(mutex_);
+  return next_;
+}
+
+std::uint64_t Tracer::dropped() const {
+  std::scoped_lock lock(mutex_);
+  return next_ < cap_ ? 0 : next_ - cap_;
+}
+
+std::vector<TraceEvent> Tracer::snapshot() const {
+  std::scoped_lock lock(mutex_);
+  std::vector<TraceEvent> out;
+  const std::uint64_t kept = next_ < cap_ ? next_ : cap_;
+  out.reserve(static_cast<std::size_t>(kept));
+  for (std::uint64_t i = next_ - kept; i < next_; ++i) {
+    out.push_back(ring_[static_cast<std::size_t>(i % cap_)]);
+  }
+  return out;
+}
+
+void Tracer::clear() {
+  std::scoped_lock lock(mutex_);
+  next_ = 0;  // interned names are kept: cached pointers stay valid
+}
+
+namespace {
+
+void write_json_string(std::ostream& out, const char* s) {
+  out << '"';
+  for (; *s; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') {
+      out << '\\' << c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out << ' ';
+    } else {
+      out << c;
+    }
+  }
+  out << '"';
+}
+
+}  // namespace
+
+void Tracer::write_chrome_json(std::ostream& out) const {
+  const std::vector<TraceEvent> events = snapshot();
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  out << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+         "\"args\":{\"name\":\"wall-clock\"}},\n";
+  out << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":2,\"tid\":0,"
+         "\"args\":{\"name\":\"virtual-time\"}}";
+  char buf[64];
+  for (const TraceEvent& ev : events) {
+    out << ",\n{\"name\":";
+    write_json_string(out, ev.name);
+    out << ",\"cat\":";
+    write_json_string(out, ev.cat);
+    out << ",\"ph\":\"" << ev.phase << "\"";
+    std::snprintf(buf, sizeof buf, ",\"ts\":%.3f", ev.ts_us);
+    out << buf;
+    if (ev.phase == 'X') {
+      std::snprintf(buf, sizeof buf, ",\"dur\":%.3f", ev.dur_us);
+      out << buf;
+    }
+    out << ",\"pid\":" << static_cast<unsigned>(ev.pid)
+        << ",\"tid\":" << ev.tid;
+    if (ev.phase == 'C') {
+      std::snprintf(buf, sizeof buf, "%.6g", ev.value);
+      out << ",\"args\":{\"value\":" << buf << "}";
+    } else if (ev.phase == 'i') {
+      out << ",\"s\":\"t\"";  // instant scope: thread
+    }
+    out << "}";
+  }
+  out << "\n]}\n";
+}
+
+bool Tracer::write_chrome_json_file(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  write_chrome_json(out);
+  return static_cast<bool>(out);
+}
+
+Tracer& Tracer::global() {
+  static Tracer tracer(1 << 18);
+  return tracer;
+}
+
+}  // namespace pio::obs

@@ -1,0 +1,138 @@
+// Tracer: a bounded in-memory ring of timestamped spans, instants, and
+// counter samples, exported as Chrome/Perfetto `trace_event` JSON
+// (load the file at https://ui.perfetto.dev or chrome://tracing).
+//
+// Two time domains coexist in one trace: virtual time from
+// sim::Engine::now() (pid 2) and wall-clock time from the threaded I/O
+// path (pid 1), so a simulated striping run and a real IoScheduler run
+// render as separate process groups with their own tracks.
+//
+// Hot-path contract: when disabled() every record call is a single
+// relaxed atomic load — no lock, no allocation.  Event names must be
+// static-lifetime strings; dynamic names (per-device tracks) are
+// interned once at construction time via intern().
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace pio::obs {
+
+/// Which clock a timestamp came from; rendered as separate trace pids.
+enum class TimeDomain : std::uint8_t {
+  wall = 1,          ///< std::chrono::steady_clock (threaded I/O path)
+  virtual_time = 2,  ///< sim::Engine::now() (discrete-event experiments)
+};
+
+/// One ring slot.  Fixed-size, trivially copyable; name/cat point at
+/// static or interned storage so recording never allocates.
+struct TraceEvent {
+  const char* name = "";
+  const char* cat = "";
+  double ts_us = 0.0;   ///< event start, microseconds
+  double dur_us = 0.0;  ///< span duration ('X' events only)
+  double value = 0.0;   ///< counter sample ('C' events only)
+  std::uint32_t tid = 0;
+  std::uint8_t pid = 1;  ///< TimeDomain
+  char phase = 'i';      ///< trace_event ph: B/E/X/i/C
+};
+
+class Tracer {
+ public:
+  explicit Tracer(std::size_t capacity = 1 << 16);
+
+  bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+  void set_enabled(bool on) noexcept {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+
+  /// Span begin / end ('B' / 'E'); nest per (pid, tid) track.
+  void begin(const char* name, const char* cat, std::uint32_t tid,
+             double ts_us, TimeDomain domain = TimeDomain::virtual_time);
+  void end(const char* name, const char* cat, std::uint32_t tid, double ts_us,
+           TimeDomain domain = TimeDomain::virtual_time);
+
+  /// Complete span ('X'): one event carrying start + duration.
+  void complete(const char* name, const char* cat, std::uint32_t tid,
+                double ts_us, double dur_us,
+                TimeDomain domain = TimeDomain::virtual_time);
+
+  /// Instant event ('i').
+  void instant(const char* name, const char* cat, std::uint32_t tid,
+               double ts_us, TimeDomain domain = TimeDomain::virtual_time);
+
+  /// Counter sample ('C'): Perfetto draws one track per name.
+  void counter(const char* name, std::uint32_t tid, double ts_us, double value,
+               TimeDomain domain = TimeDomain::virtual_time);
+
+  /// Microseconds since this tracer was constructed (wall domain).
+  double wall_now_us() const noexcept;
+
+  /// Copy a dynamic name into tracer-owned storage that outlives clear();
+  /// call once per track at construction time, never on the I/O path.
+  const char* intern(const std::string& name);
+
+  std::size_t capacity() const noexcept { return cap_; }
+  std::size_t size() const;              ///< events currently in the ring
+  std::uint64_t recorded() const;        ///< total record calls accepted
+  std::uint64_t dropped() const;         ///< recorded() minus retained
+  std::vector<TraceEvent> snapshot() const;  ///< oldest -> newest
+  void clear();
+
+  /// `{"traceEvents": [...]}` with process_name metadata per time domain.
+  void write_chrome_json(std::ostream& out) const;
+  bool write_chrome_json_file(const std::string& path) const;
+
+  /// Process-wide tracer used by the instrumented layers.  Disabled by
+  /// default; tools enable it behind `--trace`.
+  static Tracer& global();
+
+ private:
+  void record(const TraceEvent& ev);
+
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> ring_;  // preallocated; slot = next_ % cap_
+  std::size_t cap_;
+  std::uint64_t next_ = 0;  // total events accepted
+  std::deque<std::string> names_;  // interned track names (stable addresses)
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+/// RAII wall-clock span: records one complete ('X') event on destruction.
+/// Construction when the tracer is disabled is a no-op (no clock read).
+class WallSpan {
+ public:
+  WallSpan(Tracer& tracer, const char* name, const char* cat,
+           std::uint32_t tid) noexcept
+      : tracer_(tracer.enabled() ? &tracer : nullptr),
+        name_(name),
+        cat_(cat),
+        tid_(tid),
+        t0_us_(tracer_ ? tracer.wall_now_us() : 0.0) {}
+  ~WallSpan() {
+    if (tracer_) {
+      tracer_->complete(name_, cat_, tid_, t0_us_,
+                        tracer_->wall_now_us() - t0_us_, TimeDomain::wall);
+    }
+  }
+  WallSpan(const WallSpan&) = delete;
+  WallSpan& operator=(const WallSpan&) = delete;
+
+ private:
+  Tracer* tracer_;
+  const char* name_;
+  const char* cat_;
+  std::uint32_t tid_;
+  double t0_us_;
+};
+
+}  // namespace pio::obs

@@ -1,6 +1,12 @@
 #include "sim/engine.hpp"
 
+#include "obs/metrics.hpp"
+
 namespace pio::sim {
+
+Engine::Engine()
+    : events_counter_(
+          &obs::MetricsRegistry::global().counter("sim.events_dispatched")) {}
 
 void Engine::schedule(Time t, std::coroutine_handle<> h) {
   assert(t >= now_);
@@ -24,6 +30,8 @@ void Engine::spawn(Task&& task) {
 void Engine::dispatch(Event& ev) {
   now_ = ev.t;
   ++executed_;
+  events_counter_->inc();
+  if (hook_) hook_(now_, executed_);
   if (ev.h) {
     ev.h.resume();
   } else {

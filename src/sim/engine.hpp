@@ -22,6 +22,10 @@
 #include <queue>
 #include <vector>
 
+namespace pio::obs {
+class Counter;
+}  // namespace pio::obs
+
 namespace pio::sim {
 
 /// Virtual time, in seconds.
@@ -113,7 +117,12 @@ class [[nodiscard]] Task {
 /// The event loop: a min-heap of (time, fifo-sequence) -> resumption.
 class Engine {
  public:
-  Engine() = default;
+  /// Called after each dispatched event with (virtual now, events so far);
+  /// the observability layer hangs tracing off this without the engine
+  /// knowing about tracers.
+  using DispatchHook = std::function<void(Time, std::uint64_t)>;
+
+  Engine();
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
@@ -157,6 +166,9 @@ class Engine {
   /// True if no events are pending.
   bool idle() const noexcept { return heap_.empty(); }
 
+  /// Install (or clear, with nullptr) the per-dispatch hook.
+  void set_dispatch_hook(DispatchHook hook) { hook_ = std::move(hook); }
+
  private:
   struct Event {
     Time t;
@@ -177,6 +189,8 @@ class Engine {
   Time now_ = 0;
   std::uint64_t seq_ = 0;
   std::uint64_t executed_ = 0;
+  obs::Counter* events_counter_;  // global `sim.events_dispatched`
+  DispatchHook hook_;
 };
 
 }  // namespace pio::sim

@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
 # End-to-end smoke test of the pario CLI: format, create, import a host
 # file, convert between organizations, export, and verify byte equality.
+# When a second argument (the pario_sim binary) is given, also exercises
+# the observability surface: `stats` and `--trace`/`--metrics` export.
 set -euo pipefail
 
 PARIO="$1"
+PARIO_SIM="${2:-}"
 WORK="$(mktemp -d)"
 trap 'rm -rf "$WORK"' EXIT
 
@@ -39,6 +42,34 @@ fi
 if "$PARIO" "$DIR" frobnicate > /dev/null 2>&1; then
   echo "FAIL: bogus command succeeded" >&2
   exit 1
+fi
+
+# Observability: `stats` dumps the metrics registry with bridged per-device
+# counters, in both text and JSON forms.
+"$PARIO" "$DIR" stats | grep -q "device\.disk0.*\.reads"
+"$PARIO" "$DIR" stats --json | grep -q '"device\.disk0.*\.bytes_read"'
+
+validate_json() {
+  if command -v python3 > /dev/null 2>&1; then
+    python3 -m json.tool "$1" > /dev/null
+  else
+    grep -q '"traceEvents"' "$1"
+  fi
+}
+
+if [ -n "$PARIO_SIM" ]; then
+  # --trace writes Chrome trace_event JSON; --metrics appends a registry dump.
+  "$PARIO_SIM" striping --devices 4 --trace "$WORK/trace.json" --metrics \
+      > "$WORK/sim.out" 2> /dev/null
+  validate_json "$WORK/trace.json"
+  grep -q '"ph":"X"' "$WORK/trace.json"          # at least one device span
+  grep -q 'queue_depth' "$WORK/trace.json"       # counter track present
+  grep -q "simdisk.requests" "$WORK/sim.out"     # --metrics reached stdout
+  # --trace without a path is an error, not a silent no-op.
+  if "$PARIO_SIM" striping --trace > /dev/null 2>&1; then
+    echo "FAIL: --trace without a path succeeded" >&2
+    exit 1
+  fi
 fi
 
 echo "cli smoke test passed"

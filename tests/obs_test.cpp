@@ -1,0 +1,378 @@
+// Tests for src/obs: metrics registry, tracer ring, Chrome JSON export,
+// both time domains, instrumentation bridges, and the zero-allocation
+// guarantee for disabled tracing.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <sstream>
+#include <vector>
+
+#include "buffer/lru_cache.hpp"
+#include "device/ram_disk.hpp"
+#include "device/sim_disk.hpp"
+#include "obs/bridge.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "sim/engine.hpp"
+
+// Count every global allocation so we can prove the disabled-tracer hot
+// path allocates nothing.  Counting only; layout and fallback behaviour
+// match the default new/delete.
+namespace {
+std::atomic<std::uint64_t> g_allocations{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace pio {
+namespace {
+
+using obs::MetricsRegistry;
+using obs::TimeDomain;
+using obs::TraceEvent;
+using obs::Tracer;
+
+// ---------------------------------------------------------------- metrics
+
+TEST(Metrics, CounterGaugeBasics) {
+  MetricsRegistry registry;
+  obs::Counter& c = registry.counter("test.counter");
+  c.inc();
+  c.inc(4);
+  EXPECT_EQ(c.value(), 5u);
+  // Same name returns the same object.
+  EXPECT_EQ(&registry.counter("test.counter"), &c);
+
+  obs::Gauge& g = registry.gauge("test.gauge");
+  g.add(3);
+  g.add(-1);
+  EXPECT_EQ(g.value(), 2);
+  g.set(-7);
+  EXPECT_EQ(g.value(), -7);
+}
+
+TEST(Metrics, HistogramFlattensIntoSnapshot) {
+  MetricsRegistry registry;
+  obs::LatencyHistogram& h = registry.histogram("lat", 0.0, 100.0, 100);
+  for (int i = 0; i < 100; ++i) h.record(static_cast<double>(i));
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_NEAR(h.mean(), 49.5, 1e-9);
+  EXPECT_NEAR(h.quantile(0.5), 50.0, 1.0);
+
+  const auto samples = registry.snapshot();
+  auto find = [&](const std::string& name) -> double {
+    for (const auto& s : samples) {
+      if (s.name == name) return s.value;
+    }
+    ADD_FAILURE() << "missing sample " << name;
+    return -1;
+  };
+  EXPECT_EQ(find("lat.count"), 100.0);
+  EXPECT_NEAR(find("lat.mean"), 49.5, 1e-9);
+  EXPECT_NEAR(find("lat.p95"), 95.0, 1.5);
+  EXPECT_EQ(find("lat.max"), 99.0);
+}
+
+TEST(Metrics, CallbackGaugeEvaluatedAtSnapshot) {
+  MetricsRegistry registry;
+  double source = 1.0;
+  registry.gauge_callback("cb", [&source] { return source; });
+  source = 42.0;
+  const auto samples = registry.snapshot();
+  ASSERT_EQ(samples.size(), 1u);
+  EXPECT_EQ(samples[0].name, "cb");
+  EXPECT_EQ(samples[0].value, 42.0);
+}
+
+TEST(Metrics, ResetZeroesButKeepsPointersValid) {
+  MetricsRegistry registry;
+  obs::Counter& c = registry.counter("c");
+  c.inc(9);
+  registry.reset();
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();  // cached pointer still usable after reset
+  EXPECT_EQ(registry.counter("c").value(), 1u);
+}
+
+TEST(Metrics, JsonSnapshotIsWellFormed) {
+  MetricsRegistry registry;
+  registry.counter("a.b").inc(3);
+  registry.gauge("c").set(-1);
+  const std::string json = registry.to_json();
+  EXPECT_NE(json.find("\"a.b\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"c\": -1"), std::string::npos);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json[json.size() - 2], '}');  // trailing newline after brace
+}
+
+// ----------------------------------------------------------------- tracer
+
+TEST(Tracer, DisabledRecordsNothing) {
+  Tracer tracer(16);
+  EXPECT_FALSE(tracer.enabled());
+  tracer.instant("x", "t", 0, 1.0);
+  tracer.begin("x", "t", 0, 1.0);
+  tracer.end("x", "t", 0, 2.0);
+  tracer.counter("q", 0, 1.0, 3.0);
+  EXPECT_EQ(tracer.size(), 0u);
+  EXPECT_EQ(tracer.recorded(), 0u);
+}
+
+TEST(Tracer, RingCapacityBounds) {
+  Tracer tracer(8);
+  tracer.set_enabled(true);
+  for (int i = 0; i < 20; ++i) {
+    tracer.instant("ev", "t", 0, static_cast<double>(i));
+  }
+  EXPECT_EQ(tracer.capacity(), 8u);
+  EXPECT_EQ(tracer.size(), 8u);
+  EXPECT_EQ(tracer.recorded(), 20u);
+  EXPECT_EQ(tracer.dropped(), 12u);
+  // Oldest events were overwritten; the ring keeps the newest 8 in order.
+  const auto events = tracer.snapshot();
+  ASSERT_EQ(events.size(), 8u);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].ts_us, static_cast<double>(12 + i));
+  }
+}
+
+TEST(Tracer, SpanNestingIsBalancedPerTrack) {
+  Tracer tracer(64);
+  tracer.set_enabled(true);
+  tracer.begin("outer", "t", 7, 10.0);
+  tracer.begin("inner", "t", 7, 20.0);
+  tracer.end("inner", "t", 7, 30.0);
+  tracer.end("outer", "t", 7, 40.0);
+
+  const auto events = tracer.snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  std::vector<const char*> stack;
+  for (const TraceEvent& ev : events) {
+    if (ev.phase == 'B') {
+      stack.push_back(ev.name);
+    } else if (ev.phase == 'E') {
+      ASSERT_FALSE(stack.empty()) << "E without matching B";
+      EXPECT_STREQ(stack.back(), ev.name);
+      stack.pop_back();
+    }
+  }
+  EXPECT_TRUE(stack.empty()) << "unclosed span";
+  // Timestamps are monotone within the track.
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_GE(events[i].ts_us, events[i - 1].ts_us);
+  }
+}
+
+TEST(Tracer, BothTimeDomainsCoexist) {
+  Tracer tracer(64);
+  tracer.set_enabled(true);
+  // Virtual-time event stamped from a sim engine's clock.
+  sim::Engine eng;
+  eng.schedule_callback(1.5, [] {});
+  eng.run();
+  tracer.instant("sim_done", "test", 0, eng.now() * 1e6,
+                 TimeDomain::virtual_time);
+  // Wall-clock span from the threaded path.
+  { obs::WallSpan span(tracer, "wall_work", "test", 1); }
+
+  const auto events = tracer.snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].pid, static_cast<std::uint8_t>(TimeDomain::virtual_time));
+  EXPECT_EQ(events[0].ts_us, 1.5e6);
+  EXPECT_EQ(events[1].pid, static_cast<std::uint8_t>(TimeDomain::wall));
+  EXPECT_EQ(events[1].phase, 'X');
+  EXPECT_GE(events[1].dur_us, 0.0);
+
+  std::ostringstream out;
+  tracer.write_chrome_json(out);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"wall-clock\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"virtual-time\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"pid\":2"), std::string::npos);
+}
+
+TEST(Tracer, InternedNamesSurviveClear) {
+  Tracer tracer(8);
+  const char* a = tracer.intern("track.a");
+  const char* again = tracer.intern("track.a");
+  EXPECT_EQ(a, again);  // deduplicated
+  tracer.set_enabled(true);
+  tracer.counter(a, 0, 1.0, 2.0);
+  tracer.clear();
+  EXPECT_EQ(tracer.size(), 0u);
+  tracer.counter(a, 0, 2.0, 3.0);  // pointer still valid post-clear
+  EXPECT_EQ(tracer.snapshot().at(0).name, a);
+}
+
+// ------------------------------------------------- instrumented layers
+
+TEST(Instrumentation, SimDiskEmitsSpansAndQueueDepth) {
+  Tracer& tracer = Tracer::global();
+  tracer.clear();
+  tracer.set_enabled(true);
+  sim::Engine eng;
+  SimDiskArray disks(eng, 2);
+  std::vector<DiskSegment> segs{{0, 0, 24 * 1024}, {1, 0, 24 * 1024}};
+  eng.spawn(parallel_io(eng, disks, std::move(segs)));
+  eng.run();
+  tracer.set_enabled(false);
+
+  std::size_t io_spans = 0;
+  std::size_t depth_samples = 0;
+  for (const TraceEvent& ev : tracer.snapshot()) {
+    EXPECT_EQ(ev.pid, static_cast<std::uint8_t>(TimeDomain::virtual_time));
+    if (ev.phase == 'X' && std::string(ev.name) == "device_io") ++io_spans;
+    if (ev.phase == 'C') ++depth_samples;
+  }
+  EXPECT_EQ(io_spans, 2u);  // one span per device request
+  EXPECT_GE(depth_samples, 2u);
+  tracer.clear();
+}
+
+TEST(Instrumentation, EngineCountsDispatchedEvents) {
+  obs::Counter& counter =
+      MetricsRegistry::global().counter("sim.events_dispatched");
+  const std::uint64_t before = counter.value();
+  sim::Engine eng;
+  for (int i = 0; i < 5; ++i) {
+    eng.schedule_callback(static_cast<double>(i), [] {});
+  }
+  eng.run();
+  EXPECT_EQ(eng.events_executed(), 5u);
+  EXPECT_GE(counter.value() - before, 5u);
+}
+
+TEST(Instrumentation, EngineDispatchHookFires) {
+  sim::Engine eng;
+  std::vector<double> times;
+  eng.set_dispatch_hook(
+      [&](sim::Time t, std::uint64_t) { times.push_back(t); });
+  eng.schedule_callback(0.5, [] {});
+  eng.schedule_callback(1.0, [] {});
+  eng.run();
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_EQ(times[0], 0.5);
+  EXPECT_EQ(times[1], 1.0);
+}
+
+TEST(Instrumentation, CacheHitMissCountersTrackRegistry) {
+  MetricsRegistry& registry = MetricsRegistry::global();
+  const std::uint64_t hits0 = registry.counter("cache.hits").value();
+  const std::uint64_t misses0 = registry.counter("cache.misses").value();
+  const std::uint64_t evict0 = registry.counter("cache.evictions").value();
+
+  std::vector<std::byte> backing(4 * 64, std::byte{0});
+  LruBufferCache cache(
+      /*frames=*/2, /*block_bytes=*/64,
+      [&](std::uint64_t block, std::span<std::byte> into) {
+        std::copy_n(backing.begin() + static_cast<long>(block) * 64,
+                    into.size(), into.begin());
+        return ok_status();
+      },
+      [&](std::uint64_t block, std::span<const std::byte> from) {
+        std::copy(from.begin(), from.end(),
+                  backing.begin() + static_cast<long>(block) * 64);
+        return ok_status();
+      });
+
+  std::vector<std::byte> buf(64);
+  ASSERT_TRUE(cache.read(0, buf).ok());  // miss
+  ASSERT_TRUE(cache.read(0, buf).ok());  // hit
+  ASSERT_TRUE(cache.read(1, buf).ok());  // miss
+  ASSERT_TRUE(cache.read(2, buf).ok());  // miss -> evicts block 0
+  ASSERT_TRUE(cache.read(1, buf).ok());  // hit
+
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.hits, 2u);
+  EXPECT_EQ(stats.misses, 3u);
+  EXPECT_EQ(stats.evictions, 1u);
+  // Registry mirrors the per-cache stats exactly (deltas, since other
+  // tests in this binary share the global registry).
+  EXPECT_EQ(registry.counter("cache.hits").value() - hits0, 2u);
+  EXPECT_EQ(registry.counter("cache.misses").value() - misses0, 3u);
+  EXPECT_EQ(registry.counter("cache.evictions").value() - evict0, 1u);
+}
+
+TEST(Instrumentation, DeviceCountersBridgeUniformly) {
+  MetricsRegistry registry;
+  DeviceArray devices;
+  devices.add(std::make_unique<RamDisk>("ram0", 1 << 16));
+  std::vector<std::byte> buf(512);
+  ASSERT_TRUE(devices[0].write(0, buf).ok());
+  ASSERT_TRUE(devices[0].read(0, buf).ok());
+  ASSERT_TRUE(devices[0].read(512, buf).ok());
+
+  const DeviceCounters::Snapshot snap = devices[0].counters().snapshot();
+  EXPECT_EQ(snap.reads, 2u);
+  EXPECT_EQ(snap.writes, 1u);
+  EXPECT_EQ(snap.bytes_read, 1024u);
+  EXPECT_EQ(snap.bytes_written, 512u);
+
+  obs::register_devices(registry, devices);
+  const auto samples = registry.snapshot();
+  auto find = [&](const std::string& name) -> double {
+    for (const auto& s : samples) {
+      if (s.name == name) return s.value;
+    }
+    ADD_FAILURE() << "missing sample " << name;
+    return -1;
+  };
+  EXPECT_EQ(find("device.ram0.reads"), 2.0);
+  EXPECT_EQ(find("device.ram0.writes"), 1.0);
+  EXPECT_EQ(find("device.ram0.bytes_read"), 1024.0);
+  EXPECT_EQ(find("device.ram0.bytes_written"), 512.0);
+}
+
+// ------------------------------------------------------ hot-path cost
+
+TEST(Tracer, DisabledTracingAllocatesNothing) {
+  Tracer tracer(1024);
+  ASSERT_FALSE(tracer.enabled());
+  const std::uint64_t before = g_allocations.load(std::memory_order_relaxed);
+  for (int i = 0; i < 1000; ++i) {
+    tracer.begin("span", "hot", 0, static_cast<double>(i));
+    tracer.instant("tick", "hot", 0, static_cast<double>(i));
+    tracer.counter("depth", 0, static_cast<double>(i), 1.0);
+    tracer.complete("span", "hot", 0, static_cast<double>(i), 1.0);
+    tracer.end("span", "hot", 0, static_cast<double>(i));
+    obs::WallSpan span(tracer, "raii", "hot", 0);
+  }
+  const std::uint64_t after = g_allocations.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0u) << "disabled tracing must not allocate";
+}
+
+TEST(Metrics, CounterAndGaugeUpdatesAllocateNothing) {
+  MetricsRegistry registry;
+  obs::Counter& c = registry.counter("hot.counter");
+  obs::Gauge& g = registry.gauge("hot.gauge");
+  const std::uint64_t before = g_allocations.load(std::memory_order_relaxed);
+  for (int i = 0; i < 1000; ++i) {
+    c.inc();
+    g.add(1);
+    g.add(-1);
+  }
+  const std::uint64_t after = g_allocations.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0u);
+}
+
+}  // namespace
+}  // namespace pio

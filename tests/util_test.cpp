@@ -232,6 +232,38 @@ TEST(OnlineStats, MergeWithEmpty) {
   EXPECT_DOUBLE_EQ(b.mean(), 1.0);
 }
 
+TEST(OnlineStats, MergeEmptySidePreservesMoments) {
+  OnlineStats populated;
+  populated.add(2.0);
+  populated.add(4.0);
+  populated.add(6.0);
+  const OnlineStats copy = populated;
+
+  // populated.merge(empty) must change nothing.
+  OnlineStats empty;
+  populated.merge(empty);
+  EXPECT_EQ(populated.count(), copy.count());
+  EXPECT_DOUBLE_EQ(populated.mean(), copy.mean());
+  EXPECT_DOUBLE_EQ(populated.variance(), copy.variance());
+  EXPECT_DOUBLE_EQ(populated.min(), copy.min());
+  EXPECT_DOUBLE_EQ(populated.max(), copy.max());
+
+  // empty.merge(populated) must become an exact copy.
+  OnlineStats fresh;
+  fresh.merge(copy);
+  EXPECT_EQ(fresh.count(), 3u);
+  EXPECT_DOUBLE_EQ(fresh.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(fresh.variance(), copy.variance());
+  EXPECT_DOUBLE_EQ(fresh.min(), 2.0);
+  EXPECT_DOUBLE_EQ(fresh.max(), 6.0);
+
+  // empty.merge(empty) stays empty.
+  OnlineStats e1, e2;
+  e1.merge(e2);
+  EXPECT_EQ(e1.count(), 0u);
+  EXPECT_EQ(e1.mean(), 0.0);
+}
+
 TEST(Histogram, CountsAndQuantiles) {
   Histogram h(0.0, 10.0, 10);
   for (int i = 0; i < 100; ++i) h.add(static_cast<double>(i % 10) + 0.5);
@@ -249,6 +281,47 @@ TEST(Histogram, OverflowUnderflow) {
   EXPECT_EQ(h.count(), 3u);
   EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);   // underflow clamps to lo
   EXPECT_DOUBLE_EQ(h.quantile(1.0), 1.0);   // overflow clamps to hi
+}
+
+TEST(Histogram, EmptyQuantileReturnsLowerBound) {
+  Histogram h(2.5, 10.0, 4);
+  EXPECT_EQ(h.count(), 0u);
+  // With no samples every quantile collapses to the range's lower bound.
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 2.5);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 2.5);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 2.5);
+}
+
+TEST(Histogram, AllMassInUnderflow) {
+  Histogram h(0.0, 1.0, 4);
+  for (int i = 0; i < 10; ++i) h.add(-3.0);
+  EXPECT_EQ(h.count(), 10u);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 0.0);
+}
+
+TEST(Histogram, AllMassInOverflow) {
+  Histogram h(0.0, 1.0, 4);
+  for (int i = 0; i < 10; ++i) h.add(7.0);
+  EXPECT_EQ(h.count(), 10u);
+  // No bucket can satisfy the target, so every positive quantile falls
+  // through to the range's upper bound.
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 1.0);
+  // q=0 targets rank 0, which the (empty) underflow already covers.
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);
+}
+
+TEST(Histogram, QuantileExtremesWithInRangeMass) {
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 10; ++i) h.add(static_cast<double>(i) + 0.5);
+  // q=0 clamps to lo; q=1 interpolates to the top of the last occupied
+  // bucket, never past hi.  Out-of-range q is clamped, not rejected.
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 10.0);
+  EXPECT_DOUBLE_EQ(h.quantile(-0.5), h.quantile(0.0));
+  EXPECT_DOUBLE_EQ(h.quantile(2.0), h.quantile(1.0));
 }
 
 TEST(Histogram, RenderProducesBars) {

@@ -25,6 +25,8 @@
 #include "core/file_system.hpp"
 #include "core/global_view.hpp"
 #include "device/file_disk.hpp"
+#include "obs/bridge.hpp"
+#include "obs/metrics.hpp"
 
 using namespace pio;
 
@@ -35,6 +37,7 @@ int usage() {
                "usage: pario <dir> <command> [args]\n"
                "  format --devices N --device-mb M\n"
                "  ls | df | stat <name> | rm <name>\n"
+               "  stats [--json]   (per-device I/O counters + cache/metric snapshot)\n"
                "  create <name> --org S|PS|IS|SS|GDA|PDA --record-bytes B\n"
                "         --capacity N [--partitions P] [--records-per-block R]\n"
                "  import <name> <host-file> | export <name> <host-file>\n"
@@ -251,6 +254,22 @@ int cmd_export(FileSystem& fs, const std::string& name,
   return 0;
 }
 
+int cmd_stats(FileSystem& fs, DeviceArray& devices, bool json) {
+  // Touch the catalog through every file so the snapshot reflects real
+  // data-path activity, then bridge the per-device counters in.
+  for (const FileMeta& meta : fs.list()) {
+    (void)fs.open(meta.name);
+  }
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+  obs::register_devices(registry, devices);
+  if (json) {
+    std::printf("%s", registry.to_json().c_str());
+  } else {
+    std::printf("%s", registry.to_text().c_str());
+  }
+  return 0;
+}
+
 int cmd_convert(FileSystem& fs, const std::string& src_name,
                 const std::string& dst_name) {
   auto src = fs.open(src_name);
@@ -283,6 +302,13 @@ int main(int argc, char** argv) {
 
   if (cmd == "ls") return cmd_ls(**fs);
   if (cmd == "df") return cmd_df(**fs);
+  if (cmd == "stats") {
+    bool json = false;
+    for (int i = 3; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--json") == 0) json = true;
+    }
+    return cmd_stats(**fs, *arr, json);
+  }
   if (cmd == "stat" && argc >= 4) return cmd_stat(**fs, argv[3]);
   if (cmd == "rm" && argc >= 4) {
     if (auto st = (*fs)->remove(argv[3]); !st.ok()) return fail("rm", st.error());

@@ -7,6 +7,12 @@
 //   pario_sim load      [--devices D] [--rate-from A] [--rate-to B] [--arrivals N]
 //   pario_sim mtbf      [--devices N] [--mtbf-hours H] [--repair-hours R]
 //
+// Observability flags (any experiment):
+//   --trace FILE   write a Chrome/Perfetto trace_event JSON of the run
+//                  (virtual-time spans per device request + queue-depth
+//                  tracks; open at https://ui.perfetto.dev)
+//   --metrics      print the metrics-registry snapshot after the run
+//
 // All results are deterministic virtual-time outputs of the calibrated
 // 1989 disk model (see src/device/disk_model.hpp).
 #include <cstdio>
@@ -15,6 +21,8 @@
 #include <string>
 
 #include "layout/layout.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "reliability/mtbf.hpp"
 #include "sim/resource.hpp"
 #include "util/rng.hpp"
@@ -29,9 +37,13 @@ constexpr std::uint64_t kTrack = 24 * 1024;
 class Flags {
  public:
   Flags(int argc, char** argv, int first) {
-    for (int i = first; i + 1 < argc; i += 2) {
-      if (std::strncmp(argv[i], "--", 2) == 0) {
+    for (int i = first; i < argc; ++i) {
+      if (std::strncmp(argv[i], "--", 2) != 0) continue;
+      if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
         values_.emplace_back(argv[i] + 2, argv[i + 1]);
+        ++i;
+      } else {
+        values_.emplace_back(argv[i] + 2, "");  // valueless boolean flag
       }
     }
   }
@@ -47,6 +59,13 @@ class Flags {
     }
     return fallback;
   }
+  std::optional<std::string> str(const std::string& key) const {
+    for (const auto& [k, v] : values_) {
+      if (k == key) return v;
+    }
+    return std::nullopt;
+  }
+  bool has(const std::string& key) const { return str(key).has_value(); }
 
  private:
   std::vector<std::pair<std::string, std::string>> values_;
@@ -59,7 +78,10 @@ int usage() {
                "  selfsched --processes P --devices D --records N\n"
                "  sharing   --processes P --devices D --interleaved 0|1 --scan 0|1\n"
                "  load      --devices D --rate-from A --rate-to B --arrivals N\n"
-               "  mtbf      --devices N --mtbf-hours H --repair-hours R\n");
+               "  mtbf      --devices N --mtbf-hours H --repair-hours R\n"
+               "observability (any experiment):\n"
+               "  --trace FILE   export Chrome/Perfetto trace_event JSON\n"
+               "  --metrics      print the metrics registry after the run\n");
   return 2;
 }
 
@@ -278,10 +300,43 @@ int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
   Flags flags(argc, argv, 2);
-  if (cmd == "striping") return cmd_striping(flags);
-  if (cmd == "selfsched") return cmd_selfsched(flags);
-  if (cmd == "sharing") return cmd_sharing(flags);
-  if (cmd == "load") return cmd_load(flags);
-  if (cmd == "mtbf") return cmd_mtbf(flags);
-  return usage();
+
+  const std::optional<std::string> trace_path = flags.str("trace");
+  if (trace_path && trace_path->empty()) return usage();
+  if (trace_path) obs::Tracer::global().set_enabled(true);
+
+  int rc;
+  if (cmd == "striping") {
+    rc = cmd_striping(flags);
+  } else if (cmd == "selfsched") {
+    rc = cmd_selfsched(flags);
+  } else if (cmd == "sharing") {
+    rc = cmd_sharing(flags);
+  } else if (cmd == "load") {
+    rc = cmd_load(flags);
+  } else if (cmd == "mtbf") {
+    rc = cmd_mtbf(flags);
+  } else {
+    return usage();
+  }
+
+  if (trace_path) {
+    obs::Tracer& tracer = obs::Tracer::global();
+    if (!tracer.write_chrome_json_file(*trace_path)) {
+      std::fprintf(stderr, "pario_sim: cannot write trace to %s\n",
+                   trace_path->c_str());
+      return 1;
+    }
+    std::fprintf(stderr,
+                 "trace: %zu events (%llu dropped) -> %s "
+                 "(open at https://ui.perfetto.dev)\n",
+                 tracer.size(),
+                 static_cast<unsigned long long>(tracer.dropped()),
+                 trace_path->c_str());
+  }
+  if (flags.has("metrics")) {
+    std::printf("\n== metrics ==\n%s",
+                pio::obs::MetricsRegistry::global().to_text().c_str());
+  }
+  return rc;
 }
