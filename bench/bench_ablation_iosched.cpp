@@ -1,0 +1,227 @@
+// ABLATION: IoScheduler queue policy + request coalescing.  §3's record
+// orientation makes small strided requests the common case, and §4 names
+// seek interference as the cost of sharing a device.  This bench measures
+// the two remedies the scheduler now implements, on both paths:
+//
+//  Part A (functional): interleaved 64 B record streams against devices
+//  charging a fixed positioning cost per OPERATION.  FIFO with merging
+//  off (the historical dispatcher — must stay one device op per record)
+//  vs SCAN with coalescing, which folds abutting records into vectored
+//  ops and pays the positioning cost once per run.
+//
+//  Part B (virtual time): wave-synchronous fine-interleaved 4 KB records
+//  on the calibrated 1989 disks.  The unmerged variant issues one
+//  disk.io() per record segment; the merged variant coalesces each
+//  wave's abutting per-device segments into disk.iov() calls — one seek
+//  + rotation per stripe unit instead of six.
+//
+// BM_Func_Configured honors --sched=fifo|scan|sstf / --max-merge=BYTES.
+#include <array>
+#include <memory>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/io_scheduler.hpp"
+#include "core/parallel_file.hpp"
+#include "device/ram_disk.hpp"
+#include "device/throttle_device.hpp"
+#include "layout/layout.hpp"
+
+namespace {
+
+using namespace pio;
+using pio::bench::kTrack;
+
+// ------------------------------------------------- Part A: functional path
+
+constexpr std::size_t kFuncDevices = 4;
+constexpr std::uint64_t kFuncRecords = 2048;
+constexpr std::uint64_t kFuncStreams = 8;
+constexpr std::uint32_t kFuncRecordBytes = 64;
+constexpr std::uint64_t kFuncStripeUnit = 256;
+constexpr double kOpCostUs = 5.0;
+
+void run_functional(benchmark::State& state, IoSchedulerOptions options) {
+  std::uint64_t device_ops = 0;
+  std::uint64_t coalesced = 0;
+  obs::Counter& coalesced_ctr =
+      obs::MetricsRegistry::global().counter("iosched.coalesced");
+  for (auto _ : state) {
+    DeviceArray devices;
+    for (std::size_t d = 0; d < kFuncDevices; ++d) {
+      devices.add(std::make_unique<ThrottledDevice>(
+          std::make_unique<RamDisk>("ram" + std::to_string(d), 8ull << 20),
+          kOpCostUs));
+    }
+    FileMeta meta;
+    meta.name = "bench";
+    meta.organization = Organization::sequential;
+    meta.layout_kind = LayoutKind::striped;
+    meta.record_bytes = kFuncRecordBytes;
+    meta.stripe_unit = kFuncStripeUnit;
+    meta.capacity_records = kFuncRecords;
+    ParallelFile file(meta, devices,
+                      std::vector<std::uint64_t>(kFuncDevices, 0));
+    std::vector<std::byte> out(kFuncRecords * kFuncRecordBytes);
+    const std::uint64_t coalesced0 = coalesced_ctr.value();
+    {
+      IoScheduler io(devices, options);
+      IoBatch batch;
+      constexpr std::uint64_t per_stream = kFuncRecords / kFuncStreams;
+      for (std::uint64_t wave = 0; wave < per_stream; ++wave) {
+        for (std::uint64_t s = 0; s < kFuncStreams; ++s) {
+          const std::uint64_t r = s * per_stream + wave;
+          io.read_records(
+              file, r, 1,
+              std::span(out.data() + r * kFuncRecordBytes, kFuncRecordBytes),
+              batch);
+        }
+      }
+      benchmark::DoNotOptimize(batch.wait());
+    }
+    device_ops = 0;
+    for (std::size_t d = 0; d < kFuncDevices; ++d) {
+      device_ops += devices[d].counters().reads.load();
+    }
+    coalesced = coalesced_ctr.value() - coalesced0;
+  }
+  state.counters["device_ops"] = static_cast<double>(device_ops);
+  state.counters["ops_per_record"] =
+      static_cast<double>(device_ops) / static_cast<double>(kFuncRecords);
+  state.counters["coalesced"] = static_cast<double>(coalesced);
+  state.counters["coalesce_rate"] =
+      static_cast<double>(coalesced) / static_cast<double>(kFuncRecords);
+}
+
+// The historical dispatcher: one device op per record, nothing merged.
+void BM_Func_FifoNoMerge(benchmark::State& state) {
+  run_functional(state, IoSchedulerOptions{});
+}
+
+void BM_Func_ScanMerge(benchmark::State& state) {
+  run_functional(state, IoSchedulerOptions{QueuePolicy::scan, kFuncStripeUnit});
+}
+
+// Reads the harness --sched / --max-merge flags.
+void BM_Func_Configured(benchmark::State& state) {
+  IoSchedulerOptions options;
+  options.policy =
+      parse_queue_policy(pio::bench::sched_flag).value_or(QueuePolicy::scan);
+  options.max_merge_bytes = pio::bench::max_merge_flag;
+  state.SetLabel(std::string(queue_policy_name(options.policy)) + "+merge=" +
+                 std::to_string(options.max_merge_bytes));
+  run_functional(state, options);
+}
+
+// ----------------------------------------------- Part B: virtual-time path
+
+constexpr std::size_t kSimDevices = 4;
+constexpr std::size_t kSimProcesses = 24;
+constexpr std::uint64_t kSimRecordBytes = 4 * 1024;  // sub-stripe-unit
+constexpr std::uint64_t kSimWaves = 96;
+constexpr std::uint64_t kWaveBytes = kSimProcesses * kSimRecordBytes;
+
+sim::Task iov_io(SimDisk& disk, std::vector<SimIoVec> frags,
+                 sim::WaitGroup& wg) {
+  co_await disk.iov(std::move(frags));
+  wg.done();
+}
+
+// Every wave, each of P processes reads its next fine-interleaved 4 KB
+// record; the wave barrier models the loosely synchronous compute loop.
+sim::Task sim_driver(sim::Engine& eng, SimDiskArray& disks,
+                     const StripedLayout& layout, std::uint64_t merge_cap,
+                     sim::WaitGroup& done) {
+  for (std::uint64_t w = 0; w < kSimWaves; ++w) {
+    if (merge_cap == 0) {
+      // One device request per process record — the layout never sees
+      // more than a record at a time, so nothing coalesces.
+      std::vector<DiskSegment> ops;
+      for (std::size_t p = 0; p < kSimProcesses; ++p) {
+        const std::uint64_t off = (w * kSimProcesses + p) * kSimRecordBytes;
+        for (const Segment& s : layout.map(off, kSimRecordBytes)) {
+          ops.push_back(DiskSegment{s.device, s.offset, s.length});
+        }
+      }
+      co_await parallel_io(eng, disks, std::move(ops));
+    } else {
+      // Same per-record segment stream; the coalescer merges abutting
+      // on-device neighbors into vectored requests of <= merge_cap bytes.
+      std::vector<Segment> segs;
+      for (std::size_t p = 0; p < kSimProcesses; ++p) {
+        const std::uint64_t off = (w * kSimProcesses + p) * kSimRecordBytes;
+        for (const Segment& s : layout.map(off, kSimRecordBytes)) {
+          segs.push_back(s);
+        }
+      }
+      std::array<std::vector<std::vector<SimIoVec>>, kSimDevices> groups;
+      std::array<std::uint64_t, kSimDevices> group_bytes{};
+      for (const Segment& s : segs) {
+        auto& dev_groups = groups[s.device];
+        if (dev_groups.empty() ||
+            group_bytes[s.device] + s.length > merge_cap ||
+            dev_groups.back().back().offset +
+                    dev_groups.back().back().length != s.offset) {
+          dev_groups.emplace_back();
+          group_bytes[s.device] = 0;
+        }
+        dev_groups.back().push_back(SimIoVec{s.offset, s.length});
+        group_bytes[s.device] += s.length;
+      }
+      sim::WaitGroup wg(eng);
+      std::size_t n = 0;
+      for (const auto& dev_groups : groups) n += dev_groups.size();
+      wg.add(n);
+      for (std::size_t d = 0; d < kSimDevices; ++d) {
+        for (auto& frags : groups[d]) {
+          eng.spawn(iov_io(disks[d], std::move(frags), wg));
+        }
+      }
+      co_await wg.wait();
+    }
+  }
+  done.done();
+}
+
+void run_sim(benchmark::State& state, QueueDiscipline discipline,
+             std::uint64_t merge_cap) {
+  double elapsed = 0;
+  std::uint64_t requests = 0;
+  for (auto _ : state) {
+    sim::Engine eng;
+    SimDiskArray disks(eng, kSimDevices, {}, {}, discipline);
+    StripedLayout layout(kSimDevices, kTrack);
+    sim::WaitGroup done(eng);
+    done.add(1);
+    eng.spawn(sim_driver(eng, disks, layout, merge_cap, done));
+    elapsed = eng.run();
+    requests = 0;
+    for (std::size_t d = 0; d < kSimDevices; ++d) {
+      requests += disks[d].requests();
+    }
+  }
+  pio::bench::report_sim(state, elapsed, kSimWaves * kWaveBytes);
+  state.counters["device_requests"] = static_cast<double>(requests);
+}
+
+void BM_Sim_FifoUnmerged(benchmark::State& state) {
+  run_sim(state, QueueDiscipline::fifo, 0);
+}
+
+void BM_Sim_ScanMerged(benchmark::State& state) {
+  run_sim(state, QueueDiscipline::scan, kTrack);
+}
+
+}  // namespace
+
+BENCHMARK(BM_Func_FifoNoMerge);
+BENCHMARK(BM_Func_ScanMerge);
+BENCHMARK(BM_Func_Configured);
+BENCHMARK(BM_Sim_FifoUnmerged);
+BENCHMARK(BM_Sim_ScanMerged);
+
+PIO_BENCH_MAIN(
+    "ABLATION: IoScheduler policies + request coalescing",
+    "Sub-stripe-unit strided reads, functional and virtual-time paths.\n"
+    "SCAN + coalescing issues one vectored device op per contiguous run\n"
+    "(one positioning charge) where FIFO without merging pays per record.")

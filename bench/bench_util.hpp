@@ -7,12 +7,39 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <string_view>
 
 #include "device/sim_disk.hpp"
 #include "obs/metrics.hpp"
 #include "sim/engine.hpp"
 
 namespace pio::bench {
+
+/// Harness-level knobs for scheduler-sensitive benches, set by
+/// `--sched=fifo|scan|sstf` and `--max-merge=BYTES` on any bench binary
+/// (stripped from argv before google-benchmark sees it).  Benches that
+/// expose a "configured" variant read these.
+inline std::string sched_flag = "scan";
+inline std::uint64_t max_merge_flag = 256;
+
+/// Consume the scheduler flags from argv (google-benchmark rejects
+/// arguments it does not recognize).
+inline void strip_sched_flags(int& argc, char** argv) {
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.rfind("--sched=", 0) == 0) {
+      sched_flag = std::string(arg.substr(8));
+    } else if (arg.rfind("--max-merge=", 0) == 0) {
+      max_merge_flag = std::strtoull(argv[i] + 12, nullptr, 10);
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+}
 
 /// Print the experiment banner (what the paper claims, what we measure).
 inline void banner(const char* experiment, const char* claim) {
@@ -49,6 +76,7 @@ inline constexpr std::uint64_t kTrack = 24 * 1024;
 #define PIO_BENCH_MAIN(experiment, claim)                        \
   int main(int argc, char** argv) {                              \
     pio::bench::banner(experiment, claim);                       \
+    pio::bench::strip_sched_flags(argc, argv);                   \
     ::benchmark::Initialize(&argc, argv);                        \
     if (::benchmark::ReportUnrecognizedArguments(argc, argv)) {  \
       return 1;                                                  \

@@ -15,7 +15,17 @@ void IoBatch::expect(std::size_t n) {
 
 void IoBatch::complete(Status status) {
   std::scoped_lock lock(mutex_);
-  assert(pending_ > 0);
+  if (pending_ == 0) {
+    // Completion without a matching expect(): clamp instead of wrapping
+    // the counter around (which would deadlock every later wait()), and
+    // surface the bookkeeping bug to the next waiter.
+    if (first_error_.code == Errc::ok) {
+      first_error_ = make_error(Errc::internal,
+                                "IoBatch::complete without matching expect");
+    }
+    cv_.notify_all();
+    return;
+  }
   --pending_;
   if (!status.ok() && first_error_.code == Errc::ok) {
     first_error_ = status.error();
@@ -39,13 +49,50 @@ std::size_t IoBatch::pending() const {
   return pending_;
 }
 
-IoScheduler::IoScheduler(DeviceArray& devices) : devices_(devices) {
+std::optional<QueuePolicy> parse_queue_policy(std::string_view name) noexcept {
+  if (name == "fifo") return QueuePolicy::fifo;
+  if (name == "scan") return QueuePolicy::scan;
+  if (name == "sstf") return QueuePolicy::sstf;
+  return std::nullopt;
+}
+
+namespace {
+
+/// Static trace-span names: [kind][policy][merged].
+const char* span_name(bool is_write, QueuePolicy policy, bool merged) {
+  static const char* const kNames[2][3][2] = {
+      {{"read.fifo", "readv.fifo"},
+       {"read.scan", "readv.scan"},
+       {"read.sstf", "readv.sstf"}},
+      {{"write.fifo", "writev.fifo"},
+       {"write.scan", "writev.scan"},
+       {"write.sstf", "writev.sstf"}}};
+  return kNames[is_write ? 1 : 0][static_cast<int>(policy)][merged ? 1 : 0];
+}
+
+}  // namespace
+
+IoScheduler::IoScheduler(DeviceArray& devices, IoSchedulerOptions options)
+    : devices_(devices), options_(options) {
   obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
   enqueued_counter_ = &registry.counter("iosched.enqueued");
   completed_counter_ = &registry.counter("iosched.completed");
+  coalesced_counter_ = &registry.counter("iosched.coalesced");
+  merged_bytes_counter_ = &registry.counter("iosched.merged_bytes");
   depth_gauge_ = &registry.gauge("iosched.queue_depth");
   wait_hist_ = &registry.histogram("iosched.wait_us", 0.0, 1e5, 200);
   service_hist_ = &registry.histogram("iosched.service_us", 0.0, 1e5, 200);
+  // Fraction of completed requests that rode a merged (vectored) device
+  // op instead of costing their own positioning operation.
+  registry.gauge_callback("iosched.coalesce_rate",
+                          [c = coalesced_counter_, t = completed_counter_] {
+                            const double total =
+                                static_cast<double>(t->value());
+                            return total == 0.0
+                                       ? 0.0
+                                       : static_cast<double>(c->value()) /
+                                             total;
+                          });
   workers_.reserve(devices.size());
   for (std::size_t d = 0; d < devices.size(); ++d) {
     auto worker = std::make_unique<Worker>();
@@ -71,10 +118,123 @@ IoScheduler::~IoScheduler() {
   for (auto& worker : workers_) worker->thread.join();
 }
 
+void IoScheduler::pick_group_locked(Worker& worker,
+                                    std::vector<Request>& group) {
+  std::deque<Request>& queue = worker.queue;
+  // Seed: the policy's choice of next request.
+  std::size_t seed = 0;
+  if (options_.policy == QueuePolicy::sstf && queue.size() > 1) {
+    const std::uint64_t head = worker.last_offset;
+    std::uint64_t best = queue[0].offset > head ? queue[0].offset - head
+                                                : head - queue[0].offset;
+    for (std::size_t i = 1; i < queue.size(); ++i) {
+      const std::uint64_t dist = queue[i].offset > head
+                                     ? queue[i].offset - head
+                                     : head - queue[i].offset;
+      if (dist < best) {
+        best = dist;
+        seed = i;
+      }
+    }
+  } else if (options_.policy == QueuePolicy::scan && queue.size() > 1) {
+    const std::uint64_t head = worker.last_offset;
+    auto best_in_direction = [&](bool upward) {
+      std::size_t best_i = queue.size();
+      std::uint64_t best_dist = 0;
+      for (std::size_t i = 0; i < queue.size(); ++i) {
+        const std::uint64_t off = queue[i].offset;
+        if (upward ? off < head : off > head) continue;
+        const std::uint64_t dist = upward ? off - head : head - off;
+        if (best_i == queue.size() || dist < best_dist) {
+          best_i = i;
+          best_dist = dist;
+        }
+      }
+      return best_i;
+    };
+    seed = best_in_direction(worker.scan_upward);
+    if (seed == queue.size()) {
+      worker.scan_upward = !worker.scan_upward;
+      seed = best_in_direction(worker.scan_upward);
+    }
+  }
+  group.push_back(queue[seed]);
+  queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(seed));
+
+  // Coalesce: grow the group with same-kind requests abutting either end,
+  // keeping `group` sorted by offset, until nothing abuts or the merged
+  // operation would exceed max_merge_bytes.
+  if (options_.max_merge_bytes > 0) {
+    const OpKind kind = group.front().kind;
+    std::uint64_t start = group.front().offset;
+    std::uint64_t end = start + group.front().length;
+    bool grew = true;
+    while (grew) {
+      grew = false;
+      for (auto it = queue.begin(); it != queue.end(); ++it) {
+        if (it->kind != kind) continue;
+        if (it->offset == end &&
+            end - start + it->length <= options_.max_merge_bytes) {
+          end += it->length;
+          group.push_back(*it);
+          queue.erase(it);
+          grew = true;
+          break;
+        }
+        if (it->offset + it->length == start &&
+            end - it->offset <= options_.max_merge_bytes) {
+          start = it->offset;
+          group.insert(group.begin(), *it);
+          queue.erase(it);
+          grew = true;
+          break;
+        }
+      }
+    }
+  }
+  const Request& tail = group.back();
+  worker.last_offset = tail.offset + tail.length;
+}
+
+Status IoScheduler::execute_group(Worker& worker,
+                                  const std::vector<Request>& group,
+                                  std::vector<IoVec>& riov,
+                                  std::vector<ConstIoVec>& wiov) {
+  BlockDevice& device = devices_[worker.tid];
+  if (group.size() == 1) {
+    const Request& r = group.front();
+    return r.kind == OpKind::read
+               ? device.read(r.offset, {r.read_buf, r.length})
+               : device.write(r.offset, {r.write_buf, r.length});
+  }
+  std::uint64_t bytes = 0;
+  if (group.front().kind == OpKind::read) {
+    riov.clear();
+    for (const Request& r : group) {
+      riov.push_back(IoVec{r.offset, {r.read_buf, r.length}});
+      bytes += r.length;
+    }
+    coalesced_counter_->inc(group.size() - 1);
+    merged_bytes_counter_->inc(bytes);
+    return device.readv(riov);
+  }
+  wiov.clear();
+  for (const Request& r : group) {
+    wiov.push_back(ConstIoVec{r.offset, {r.write_buf, r.length}});
+    bytes += r.length;
+  }
+  coalesced_counter_->inc(group.size() - 1);
+  merged_bytes_counter_->inc(bytes);
+  return device.writev(wiov);
+}
+
 void IoScheduler::worker_loop(Worker& worker) {
   obs::Tracer& tracer = obs::Tracer::global();
+  std::vector<Request> group;
+  std::vector<IoVec> riov;
+  std::vector<ConstIoVec> wiov;
   for (;;) {
-    Request request;
+    group.clear();
     std::size_t depth_after = 0;
     {
       std::unique_lock lock(worker.mutex);
@@ -83,29 +243,39 @@ void IoScheduler::worker_loop(Worker& worker) {
                shutdown_.load(std::memory_order_relaxed);
       });
       if (worker.queue.empty()) return;  // shutdown with an empty queue
-      request = std::move(worker.queue.front());
-      worker.queue.pop_front();
+      pick_group_locked(worker, group);
       depth_after = worker.queue.size();
-      ++worker.executed;
+      worker.executed += group.size();
     }
-    depth_gauge_->add(-1);
-    const double deq_us = tracer.wall_now_us();
-    wait_hist_->record(deq_us - request.enq_us);
-    if (tracer.enabled()) {
-      tracer.complete("queue_wait", "iosched", worker.tid, request.enq_us,
-                      deq_us - request.enq_us, obs::TimeDomain::wall);
+    depth_gauge_->add(-static_cast<std::int64_t>(group.size()));
+    // Timestamps (and the latency histograms fed from them) only when
+    // tracing: the disabled hot path performs no clock reads.
+    const bool tracing = tracer.enabled();
+    double deq_us = 0.0;
+    if (tracing) {
+      deq_us = tracer.wall_now_us();
+      for (const Request& r : group) {
+        wait_hist_->record(deq_us - r.enq_us);
+        tracer.complete("queue_wait", "iosched", worker.tid, r.enq_us,
+                        deq_us - r.enq_us, obs::TimeDomain::wall);
+      }
       tracer.counter(worker.qd_track, worker.tid, deq_us,
                      static_cast<double>(depth_after), obs::TimeDomain::wall);
     }
-    const Status status = request.run();
-    const double done_us = tracer.wall_now_us();
-    service_hist_->record(done_us - deq_us);
-    completed_counter_->inc();
-    if (tracer.enabled()) {
-      tracer.complete(request.op, "iosched", worker.tid, deq_us,
-                      done_us - deq_us, obs::TimeDomain::wall);
+    const Status status = execute_group(worker, group, riov, wiov);
+    completed_counter_->inc(group.size());
+    if (tracing) {
+      const double done_us = tracer.wall_now_us();
+      service_hist_->record(done_us - deq_us);
+      tracer.complete(
+          span_name(group.front().kind == OpKind::write, options_.policy,
+                    group.size() > 1),
+          "iosched", worker.tid, deq_us, done_us - deq_us,
+          obs::TimeDomain::wall);
     }
-    request.batch->complete(status);
+    // Every member batch observes the group's status; on failure that is
+    // the FIRST error the device reported for the merged operation.
+    for (const Request& r : group) r.batch->complete(status);
   }
 }
 
@@ -114,18 +284,18 @@ void IoScheduler::enqueue(std::size_t device, Request request) {
   request.batch->expect();
   Worker& worker = *workers_[device];
   obs::Tracer& tracer = obs::Tracer::global();
-  const double enq_us = tracer.wall_now_us();
-  request.enq_us = enq_us;
+  const bool tracing = tracer.enabled();
+  if (tracing) request.enq_us = tracer.wall_now_us();
   enqueued_counter_->inc();
   depth_gauge_->add(1);
   std::size_t depth_after = 0;
   {
     std::scoped_lock lock(worker.mutex);
-    worker.queue.push_back(std::move(request));
+    worker.queue.push_back(request);
     depth_after = worker.queue.size();
   }
-  if (tracer.enabled()) {
-    tracer.counter(worker.qd_track, worker.tid, enq_us,
+  if (tracing) {
+    tracer.counter(worker.qd_track, worker.tid, request.enq_us,
                    static_cast<double>(depth_after), obs::TimeDomain::wall);
   }
   worker.cv.notify_one();
@@ -133,18 +303,24 @@ void IoScheduler::enqueue(std::size_t device, Request request) {
 
 void IoScheduler::read(std::size_t device, std::uint64_t offset,
                        std::span<std::byte> out, IoBatch& batch) {
-  enqueue(device, Request{[this, device, offset, out] {
-                            return devices_[device].read(offset, out);
-                          },
-                          &batch, "device_read", 0.0});
+  Request request;
+  request.offset = offset;
+  request.length = out.size();
+  request.read_buf = out.data();
+  request.batch = &batch;
+  request.kind = OpKind::read;
+  enqueue(device, request);
 }
 
 void IoScheduler::write(std::size_t device, std::uint64_t offset,
                         std::span<const std::byte> in, IoBatch& batch) {
-  enqueue(device, Request{[this, device, offset, in] {
-                            return devices_[device].write(offset, in);
-                          },
-                          &batch, "device_write", 0.0});
+  Request request;
+  request.offset = offset;
+  request.length = in.size();
+  request.write_buf = in.data();
+  request.batch = &batch;
+  request.kind = OpKind::write;
+  enqueue(device, request);
 }
 
 void IoScheduler::read_records(ParallelFile& file, std::uint64_t first,

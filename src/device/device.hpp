@@ -48,6 +48,29 @@ struct DeviceCounters {
   }
 };
 
+/// One fragment of a vectored (scatter/gather) transfer: a device offset
+/// plus the caller's buffer for that fragment.  Fragments in one call may
+/// be discontiguous; implementations exploit contiguous runs.
+struct IoVec {
+  std::uint64_t offset = 0;
+  std::span<std::byte> data;
+};
+struct ConstIoVec {
+  std::uint64_t offset = 0;
+  std::span<const std::byte> data;
+};
+
+inline std::size_t iov_bytes(std::span<const IoVec> iov) noexcept {
+  std::size_t n = 0;
+  for (const IoVec& v : iov) n += v.data.size();
+  return n;
+}
+inline std::size_t iov_bytes(std::span<const ConstIoVec> iov) noexcept {
+  std::size_t n = 0;
+  for (const ConstIoVec& v : iov) n += v.data.size();
+  return n;
+}
+
 /// Abstract byte-addressed storage device (functional data path).
 ///
 /// Thread safety: implementations must allow concurrent read/write calls
@@ -61,6 +84,23 @@ class BlockDevice {
 
   /// Write in.size() bytes starting at offset.
   virtual Status write(std::uint64_t offset, std::span<const std::byte> in) = 0;
+
+  /// Vectored transfers.  The default implementations loop over the plain
+  /// read/write calls and stop at the FIRST error.  Overrides may execute
+  /// the whole vector as one device operation; on failure they return the
+  /// FIRST error in fragment order, and how many fragments transferred
+  /// before the error is unspecified (as with preadv/pwritev).  A vectored
+  /// call counts once in DeviceCounters (`reads`/`writes` measure device
+  /// positioning operations, not fragments) when overridden; the looped
+  /// default counts per fragment.
+  virtual Status readv(std::span<const IoVec> iov) {
+    for (const IoVec& v : iov) PIO_TRY(read(v.offset, v.data));
+    return ok_status();
+  }
+  virtual Status writev(std::span<const ConstIoVec> iov) {
+    for (const ConstIoVec& v : iov) PIO_TRY(write(v.offset, v.data));
+    return ok_status();
+  }
 
   virtual std::uint64_t capacity() const noexcept = 0;
   virtual const std::string& name() const noexcept = 0;

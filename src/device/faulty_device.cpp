@@ -56,6 +56,45 @@ Status FaultyDevice::write(std::uint64_t offset, std::span<const std::byte> in) 
   return inner_->write(offset, in);
 }
 
+Status FaultyDevice::readv(std::span<const IoVec> iov) {
+  PIO_TRY(gate());
+  {
+    std::scoped_lock lock(bad_mutex_);
+    for (const IoVec& v : iov) {
+      const std::uint64_t end = v.offset + v.data.size();
+      for (const auto& [lo, hi] : bad_ranges_) {
+        if (v.offset < hi && lo < end) {
+          return make_error(Errc::media_error,
+                            name() + ": unreadable sector range");
+        }
+      }
+    }
+  }
+  return inner_->readv(iov);
+}
+
+Status FaultyDevice::writev(std::span<const ConstIoVec> iov) {
+  PIO_TRY(gate());
+  {
+    std::scoped_lock lock(bad_mutex_);
+    for (const ConstIoVec& v : iov) {
+      const std::uint64_t end = v.offset + v.data.size();
+      std::vector<std::pair<std::uint64_t, std::uint64_t>> kept;
+      for (const auto& [lo, hi] : bad_ranges_) {
+        if (v.offset <= lo && hi <= end) continue;  // fully repaired
+        if (v.offset < hi && lo < end) {
+          if (lo < v.offset) kept.emplace_back(lo, v.offset);
+          if (end < hi) kept.emplace_back(end, hi);
+        } else {
+          kept.emplace_back(lo, hi);
+        }
+      }
+      bad_ranges_ = std::move(kept);
+    }
+  }
+  return inner_->writev(iov);
+}
+
 void FaultyDevice::corrupt_range(std::uint64_t offset, std::uint64_t len) {
   std::scoped_lock lock(bad_mutex_);
   bad_ranges_.emplace_back(offset, offset + len);

@@ -16,6 +16,12 @@ class FaultyDevice final : public BlockDevice {
   Status read(std::uint64_t offset, std::span<std::byte> out) override;
   Status write(std::uint64_t offset, std::span<const std::byte> in) override;
 
+  /// Vectored pass-through.  The whole vector is ONE operation for the
+  /// fail_after_ops countdown (it is one positioning operation at the
+  /// device); bad-range checks/repairs still apply per fragment.
+  Status readv(std::span<const IoVec> iov) override;
+  Status writev(std::span<const ConstIoVec> iov) override;
+
   std::uint64_t capacity() const noexcept override { return inner_->capacity(); }
   const std::string& name() const noexcept override { return inner_->name(); }
   const DeviceCounters& counters() const noexcept override {

@@ -2,15 +2,20 @@
 
 #include <fcntl.h>
 #include <sys/stat.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <cerrno>
 #include <cstring>
+#include <vector>
 
 namespace pio {
 namespace {
 
 std::string errno_text() { return std::strerror(errno); }
+
+// Fragments per preadv/pwritev call (stay below any IOV_MAX).
+constexpr std::size_t kMaxKernelIov = 64;
 
 }  // namespace
 
@@ -78,6 +83,104 @@ Status FileDisk::write(std::uint64_t offset, std::span<const std::byte> in) {
     done += static_cast<std::size_t>(n);
   }
   counters_.note_write(in.size());
+  return ok_status();
+}
+
+Status FileDisk::readv(std::span<const IoVec> iov) {
+  for (const IoVec& v : iov) PIO_TRY(check_range(v.offset, v.data.size()));
+  std::size_t i = 0;
+  while (i < iov.size()) {
+    // Collect the offset-contiguous run starting at fragment i.
+    struct iovec vecs[kMaxKernelIov];
+    const std::uint64_t run_off = iov[i].offset;
+    std::uint64_t end = run_off;
+    std::size_t total = 0;
+    std::size_t j = i;
+    while (j < iov.size() && j - i < kMaxKernelIov && iov[j].offset == end) {
+      vecs[j - i] = {iov[j].data.data(), iov[j].data.size()};
+      end += iov[j].data.size();
+      total += iov[j].data.size();
+      ++j;
+    }
+    ssize_t n = ::preadv(fd_, vecs, static_cast<int>(j - i),
+                         static_cast<off_t>(run_off));
+    if (n < 0 && errno != EINTR) {
+      return make_error(Errc::media_error, name_ + ": preadv: " + errno_text());
+    }
+    if (n < 0) n = 0;  // EINTR before any transfer: redo via fallback
+    // Short transfer (signal, regular-file boundary): finish the run's
+    // remaining fragment tails with plain positioned reads.
+    std::uint64_t done_to = run_off + static_cast<std::uint64_t>(n);
+    for (std::size_t k = i; k < j && done_to < end; ++k) {
+      const std::uint64_t frag_end = iov[k].offset + iov[k].data.size();
+      if (frag_end <= done_to) continue;
+      std::size_t skip = static_cast<std::size_t>(done_to - iov[k].offset);
+      while (skip < iov[k].data.size()) {
+        const ssize_t m =
+            ::pread(fd_, iov[k].data.data() + skip, iov[k].data.size() - skip,
+                    static_cast<off_t>(iov[k].offset + skip));
+        if (m < 0) {
+          if (errno == EINTR) continue;
+          return make_error(Errc::media_error,
+                            name_ + ": pread: " + errno_text());
+        }
+        if (m == 0) {
+          return make_error(Errc::media_error, name_ + ": unexpected EOF");
+        }
+        skip += static_cast<std::size_t>(m);
+      }
+      done_to = frag_end;
+    }
+    counters_.note_read(total);
+    i = j;
+  }
+  return ok_status();
+}
+
+Status FileDisk::writev(std::span<const ConstIoVec> iov) {
+  for (const ConstIoVec& v : iov) PIO_TRY(check_range(v.offset, v.data.size()));
+  std::size_t i = 0;
+  while (i < iov.size()) {
+    struct iovec vecs[kMaxKernelIov];
+    const std::uint64_t run_off = iov[i].offset;
+    std::uint64_t end = run_off;
+    std::size_t total = 0;
+    std::size_t j = i;
+    while (j < iov.size() && j - i < kMaxKernelIov && iov[j].offset == end) {
+      vecs[j - i] = {const_cast<std::byte*>(iov[j].data.data()),
+                     iov[j].data.size()};
+      end += iov[j].data.size();
+      total += iov[j].data.size();
+      ++j;
+    }
+    ssize_t n = ::pwritev(fd_, vecs, static_cast<int>(j - i),
+                          static_cast<off_t>(run_off));
+    if (n < 0 && errno != EINTR) {
+      return make_error(Errc::media_error,
+                        name_ + ": pwritev: " + errno_text());
+    }
+    if (n < 0) n = 0;
+    std::uint64_t done_to = run_off + static_cast<std::uint64_t>(n);
+    for (std::size_t k = i; k < j && done_to < end; ++k) {
+      const std::uint64_t frag_end = iov[k].offset + iov[k].data.size();
+      if (frag_end <= done_to) continue;
+      std::size_t skip = static_cast<std::size_t>(done_to - iov[k].offset);
+      while (skip < iov[k].data.size()) {
+        const ssize_t m =
+            ::pwrite(fd_, iov[k].data.data() + skip, iov[k].data.size() - skip,
+                     static_cast<off_t>(iov[k].offset + skip));
+        if (m < 0) {
+          if (errno == EINTR) continue;
+          return make_error(Errc::media_error,
+                            name_ + ": pwrite: " + errno_text());
+        }
+        skip += static_cast<std::size_t>(m);
+      }
+      done_to = frag_end;
+    }
+    counters_.note_write(total);
+    i = j;
+  }
   return ok_status();
 }
 

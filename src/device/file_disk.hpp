@@ -24,6 +24,12 @@ class FileDisk final : public BlockDevice {
   Status read(std::uint64_t offset, std::span<std::byte> out) override;
   Status write(std::uint64_t offset, std::span<const std::byte> in) override;
 
+  /// Vectored ops submit each offset-contiguous run of fragments as one
+  /// kernel preadv/pwritev; a fully contiguous vector is one syscall and
+  /// one device operation in the counters.
+  Status readv(std::span<const IoVec> iov) override;
+  Status writev(std::span<const ConstIoVec> iov) override;
+
   std::uint64_t capacity() const noexcept override { return capacity_; }
   const std::string& name() const noexcept override { return name_; }
   const DeviceCounters& counters() const noexcept override { return counters_; }

@@ -42,6 +42,43 @@ Status ParityGroup::read(std::size_t d, std::uint64_t offset,
   return data_[d]->read(offset, out);
 }
 
+Status ParityGroup::readv(std::size_t d, std::span<const IoVec> iov) {
+  return data_[d]->readv(iov);
+}
+
+Status ParityGroup::writev(std::size_t d, std::span<const ConstIoVec> iov) {
+  std::scoped_lock lock(mutex_);
+  const std::size_t total = iov_bytes(iov);
+  std::vector<std::byte> old_data(total);
+  std::vector<std::byte> parity(total);
+  std::vector<IoVec> old_vec, par_vec;
+  old_vec.reserve(iov.size());
+  par_vec.reserve(iov.size());
+  std::size_t filled = 0;
+  for (const ConstIoVec& v : iov) {
+    old_vec.push_back(
+        IoVec{v.offset, {old_data.data() + filled, v.data.size()}});
+    par_vec.push_back(IoVec{v.offset, {parity.data() + filled, v.data.size()}});
+    filled += v.data.size();
+  }
+  // new_parity = old_parity XOR old_data XOR new_data, per fragment.
+  PIO_TRY(data_[d]->readv(old_vec));
+  PIO_TRY(parity_->readv(par_vec));
+  xor_bytes(parity, old_data);
+  filled = 0;
+  for (const ConstIoVec& v : iov) {
+    xor_bytes({parity.data() + filled, v.data.size()}, v.data);
+    filled += v.data.size();
+  }
+  PIO_TRY(data_[d]->writev(iov));
+  std::vector<ConstIoVec> par_out;
+  par_out.reserve(par_vec.size());
+  for (const IoVec& v : par_vec) par_out.push_back(ConstIoVec{v.offset, v.data});
+  PIO_TRY(parity_->writev(par_out));
+  ++rmw_count_;
+  return ok_status();
+}
+
 Status ParityGroup::xor_range_into(std::uint64_t offset, std::span<std::byte> acc,
                                    std::size_t skip_device, bool include_parity) {
   std::vector<std::byte> tmp(acc.size());

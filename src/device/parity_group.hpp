@@ -35,6 +35,15 @@ class ParityGroup {
   /// Plain read from data device `d` (no parity involvement).
   Status read(std::size_t d, std::uint64_t offset, std::span<std::byte> out);
 
+  /// Vectored read from data device `d` (plain pass-through).
+  Status readv(std::size_t d, std::span<const IoVec> iov);
+
+  /// Vectored write to data device `d`: ONE parity read-modify-write cycle
+  /// covers the whole vector (old data + parity fetched vectored, XORed per
+  /// fragment, new data + parity written vectored) — the vector counts once
+  /// in parity_rmw_count() regardless of fragment count.
+  Status writev(std::size_t d, std::span<const ConstIoVec> iov);
+
   /// Read from data device `d` even if it has failed, reconstructing the
   /// requested range from the survivors + parity (degraded-mode read).
   Status degraded_read(std::size_t d, std::uint64_t offset,

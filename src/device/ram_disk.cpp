@@ -11,7 +11,7 @@ RamDisk::RamDisk(std::string name, std::uint64_t capacity_bytes)
 
 Status RamDisk::read(std::uint64_t offset, std::span<std::byte> out) {
   PIO_TRY(check_range(offset, out.size()));
-  {
+  if (!out.empty()) {  // empty spans carry a null data(), UB for memcpy
     std::shared_lock lock(mutex_);
     std::memcpy(out.data(), storage_.data() + offset, out.size());
   }
@@ -21,11 +21,37 @@ Status RamDisk::read(std::uint64_t offset, std::span<std::byte> out) {
 
 Status RamDisk::write(std::uint64_t offset, std::span<const std::byte> in) {
   PIO_TRY(check_range(offset, in.size()));
-  {
+  if (!in.empty()) {
     std::unique_lock lock(mutex_);
     std::memcpy(storage_.data() + offset, in.data(), in.size());
   }
   counters_.note_write(in.size());
+  return ok_status();
+}
+
+Status RamDisk::readv(std::span<const IoVec> iov) {
+  for (const IoVec& v : iov) PIO_TRY(check_range(v.offset, v.data.size()));
+  {
+    std::shared_lock lock(mutex_);
+    for (const IoVec& v : iov) {
+      if (v.data.empty()) continue;
+      std::memcpy(v.data.data(), storage_.data() + v.offset, v.data.size());
+    }
+  }
+  counters_.note_read(iov_bytes(iov));
+  return ok_status();
+}
+
+Status RamDisk::writev(std::span<const ConstIoVec> iov) {
+  for (const ConstIoVec& v : iov) PIO_TRY(check_range(v.offset, v.data.size()));
+  {
+    std::unique_lock lock(mutex_);
+    for (const ConstIoVec& v : iov) {
+      if (v.data.empty()) continue;
+      std::memcpy(storage_.data() + v.offset, v.data.data(), v.data.size());
+    }
+  }
+  counters_.note_write(iov_bytes(iov));
   return ok_status();
 }
 

@@ -17,6 +17,10 @@ class RamDisk final : public BlockDevice {
   Status read(std::uint64_t offset, std::span<std::byte> out) override;
   Status write(std::uint64_t offset, std::span<const std::byte> in) override;
 
+  /// Vectored ops take the lock once and count as one device operation.
+  Status readv(std::span<const IoVec> iov) override;
+  Status writev(std::span<const ConstIoVec> iov) override;
+
   std::uint64_t capacity() const noexcept override { return storage_.size(); }
   const std::string& name() const noexcept override { return name_; }
   const DeviceCounters& counters() const noexcept override { return counters_; }

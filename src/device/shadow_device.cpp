@@ -41,6 +41,28 @@ Status ShadowDevice::write(std::uint64_t offset, std::span<const std::byte> in) 
   return ok_status();
 }
 
+Status ShadowDevice::readv(std::span<const IoVec> iov) {
+  Status st = primary_->readv(iov);
+  if (st.ok()) {
+    counters_.note_read(iov_bytes(iov));
+    return st;
+  }
+  if (st.code() != Errc::device_failed && st.code() != Errc::media_error) {
+    return st;  // e.g. out_of_range: not a fault, don't mask it
+  }
+  PIO_TRY(shadow_->readv(iov));
+  counters_.note_read(iov_bytes(iov));
+  return ok_status();
+}
+
+Status ShadowDevice::writev(std::span<const ConstIoVec> iov) {
+  Status p = primary_->writev(iov);
+  Status s = shadow_->writev(iov);
+  if (!p.ok() && !s.ok()) return p;
+  counters_.note_write(iov_bytes(iov));
+  return ok_status();
+}
+
 Result<std::uint64_t> ShadowDevice::resilver(
     std::unique_ptr<BlockDevice>& side, BlockDevice& survivor,
     std::unique_ptr<BlockDevice> blank, std::size_t chunk) {

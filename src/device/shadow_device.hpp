@@ -15,6 +15,11 @@ class ShadowDevice final : public BlockDevice {
   Status read(std::uint64_t offset, std::span<std::byte> out) override;
   Status write(std::uint64_t offset, std::span<const std::byte> in) override;
 
+  /// Vectored fan-out: reads prefer the primary and fail over whole-vector
+  /// to the shadow on a fault; writes go to both sides vectored.
+  Status readv(std::span<const IoVec> iov) override;
+  Status writev(std::span<const ConstIoVec> iov) override;
+
   std::uint64_t capacity() const noexcept override;
   const std::string& name() const noexcept override { return name_; }
   const DeviceCounters& counters() const noexcept override { return counters_; }

@@ -29,12 +29,7 @@ SimDisk::SimDisk(sim::Engine& eng, std::string name, DiskGeometry geom,
       service_hist_(&obs::MetricsRegistry::global().histogram(
           "simdisk.service_us", 0.0, 2e5, 200)) {}
 
-sim::Task SimDisk::io(std::uint64_t offset, std::uint64_t len) {
-  // The request lives in this coroutine's frame; the queue holds a pointer
-  // to it, which stays valid until `done` opens (the frame is suspended on
-  // the gate for exactly that interval).
-  Pending req(eng_, offset, len, model_.geometry().cylinder_of(offset),
-              eng_.now());
+void SimDisk::submit(Pending& req) {
   queue_.push_back(&req);
   {
     obs::Tracer& tracer = obs::Tracer::global();
@@ -48,6 +43,24 @@ sim::Task SimDisk::io(std::uint64_t offset, std::uint64_t len) {
     busy_since_ = eng_.now();
     eng_.spawn(dispatch());
   }
+}
+
+sim::Task SimDisk::io(std::uint64_t offset, std::uint64_t len) {
+  // The request lives in this coroutine's frame; the queue holds a pointer
+  // to it, which stays valid until `done` opens (the frame is suspended on
+  // the gate for exactly that interval).
+  Pending req(eng_, offset, len, model_.geometry().cylinder_of(offset),
+              eng_.now());
+  submit(req);
+  co_await req.done.wait();
+}
+
+sim::Task SimDisk::iov(std::vector<SimIoVec> fragments) {
+  if (fragments.empty()) co_return;
+  Pending req(eng_, fragments[0].offset, fragments[0].length,
+              model_.geometry().cylinder_of(fragments[0].offset), eng_.now());
+  req.rest.assign(fragments.begin() + 1, fragments.end());
+  submit(req);
   co_await req.done.wait();
 }
 
@@ -56,6 +69,21 @@ SimDisk::Pending* SimDisk::pick_next() {
   std::deque<Pending*>::iterator chosen;
   if (discipline_ == QueueDiscipline::fifo) {
     chosen = queue_.begin();
+  } else if (discipline_ == QueueDiscipline::sstf) {
+    // Shortest seek first: nearest target cylinder, either direction.
+    const std::uint32_t head = model_.head_cylinder();
+    chosen = queue_.begin();
+    std::uint32_t best_dist =
+        (*chosen)->cylinder > head ? (*chosen)->cylinder - head
+                                   : head - (*chosen)->cylinder;
+    for (auto it = std::next(queue_.begin()); it != queue_.end(); ++it) {
+      const std::uint32_t cyl = (*it)->cylinder;
+      const std::uint32_t dist = cyl > head ? cyl - head : head - cyl;
+      if (dist < best_dist) {
+        chosen = it;
+        best_dist = dist;
+      }
+    }
   } else {
     // SCAN: nearest request at or beyond the head in the sweep direction;
     // reverse when the direction is exhausted.
@@ -91,12 +119,24 @@ sim::Task SimDisk::dispatch() {
     const double wait_s = service_start - req->enqueued;
     wait_stats_.add(wait_s);
     wait_hist_->record(wait_s * 1e6);
-    const ServiceTime st = model_.service(req->offset, req->length, eng_.now());
+    // One positioning charge (seek + rotation to the first fragment); a
+    // vectored request then streams every further fragment's transfer.
+    ServiceTime st = model_.service(req->offset, req->length, eng_.now());
+    std::uint64_t total = req->length;
+    for (const SimIoVec& f : req->rest) {
+      st.transfer += model_.transfer_time(f.offset, f.length);
+      total += f.length;
+    }
+    if (!req->rest.empty()) {
+      const SimIoVec& last = req->rest.back();
+      model_.set_head_cylinder(model_.geometry().cylinder_of(
+          last.length == 0 ? last.offset : last.offset + last.length - 1));
+    }
     co_await eng_.delay(st.total());
     ++requests_;
-    bytes_ += req->length;
+    bytes_ += total;
     req_counter_->inc();
-    byte_counter_->inc(req->length);
+    byte_counter_->inc(total);
     seek_stats_.add(st.seek);
     rotation_stats_.add(st.rotation);
     service_stats_.add(st.total());

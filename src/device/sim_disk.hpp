@@ -29,6 +29,14 @@ namespace pio {
 enum class QueueDiscipline : std::uint8_t {
   fifo,  ///< service in arrival order
   scan,  ///< elevator: sweep up, then down, by target cylinder
+  sstf,  ///< shortest seek time first: nearest cylinder, either direction
+};
+
+/// One fragment of a vectored simulated transfer (timing path only — the
+/// functional analogue is pio::IoVec in device/device.hpp).
+struct SimIoVec {
+  std::uint64_t offset = 0;
+  std::uint64_t length = 0;
 };
 
 class SimDisk {
@@ -43,6 +51,11 @@ class SimDisk {
   /// Awaitable I/O: queues at the device, seeks, rotates, transfers.
   ///   co_await disk.io(offset, len);
   sim::Task io(std::uint64_t offset, std::uint64_t len);
+
+  /// Awaitable vectored I/O: ONE queued request, ONE positioning charge
+  /// (seek + rotation to the first fragment) plus the summed transfer time
+  /// of every fragment — the timing model of a coalesced readv/writev.
+  sim::Task iov(std::vector<SimIoVec> fragments);
 
   sim::Engine& engine() noexcept { return eng_; }
   const std::string& name() const noexcept { return name_; }
@@ -65,14 +78,18 @@ class SimDisk {
  private:
   struct Pending {
     std::uint64_t offset;
-    std::uint64_t length;
+    std::uint64_t length;                      // total bytes, all fragments
     std::uint32_t cylinder;
     sim::Time enqueued;
     sim::Gate done;
+    std::vector<SimIoVec> rest;  // fragments after the first (vectored only)
     Pending(sim::Engine& eng, std::uint64_t off, std::uint64_t len,
             std::uint32_t cyl, sim::Time t)
         : offset(off), length(len), cylinder(cyl), enqueued(t), done(eng) {}
   };
+
+  /// Queue a request and kick the dispatcher if the device is idle.
+  void submit(Pending& req);
 
   /// Pop the next request per the discipline.  Caller owns dispatch state.
   Pending* pick_next();

@@ -1,0 +1,62 @@
+// ThrottledDevice: decorator charging a fixed positioning cost (busy-wait,
+// wall clock) per device OPERATION — not per byte — on any BlockDevice.
+// It makes the §4 seek-dominance regime reproducible on the functional
+// path: a workload of many small requests pays the charge per request,
+// while a coalesced vectored operation pays it once, exactly like a real
+// disk arm.  Used by the iosched ablation bench and `pario_sim iosched`.
+#pragma once
+
+#include <chrono>
+
+#include "device/device.hpp"
+
+namespace pio {
+
+class ThrottledDevice final : public BlockDevice {
+ public:
+  ThrottledDevice(std::unique_ptr<BlockDevice> inner, double op_cost_us)
+      : inner_(std::move(inner)), op_cost_us_(op_cost_us) {}
+
+  Status read(std::uint64_t offset, std::span<std::byte> out) override {
+    charge();
+    return inner_->read(offset, out);
+  }
+  Status write(std::uint64_t offset, std::span<const std::byte> in) override {
+    charge();
+    return inner_->write(offset, in);
+  }
+  Status readv(std::span<const IoVec> iov) override {
+    charge();  // one positioning charge for the whole vector
+    return inner_->readv(iov);
+  }
+  Status writev(std::span<const ConstIoVec> iov) override {
+    charge();
+    return inner_->writev(iov);
+  }
+
+  std::uint64_t capacity() const noexcept override {
+    return inner_->capacity();
+  }
+  const std::string& name() const noexcept override { return inner_->name(); }
+  const DeviceCounters& counters() const noexcept override {
+    return inner_->counters();
+  }
+
+  BlockDevice& inner() noexcept { return *inner_; }
+
+ private:
+  void charge() const {
+    // Busy-wait: sleep granularity (~50 us + wakeup jitter) would swamp
+    // per-op costs in the single-digit-microsecond range.
+    const auto until = std::chrono::steady_clock::now() +
+                       std::chrono::nanoseconds(
+                           static_cast<std::int64_t>(op_cost_us_ * 1e3));
+    while (std::chrono::steady_clock::now() < until) {
+    }
+  }
+
+  std::unique_ptr<BlockDevice> inner_;
+  double op_cost_us_;
+};
+
+}  // namespace pio

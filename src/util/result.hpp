@@ -29,6 +29,7 @@ enum class Errc : std::uint8_t {
   corrupt,            ///< metadata / parity verification mismatch
   busy,               ///< resource temporarily unavailable
   not_supported,      ///< operation undefined for this organization/view
+  internal,           ///< library invariant violated (bookkeeping bug)
 };
 
 /// Human-readable name for an error code.
@@ -46,6 +47,7 @@ constexpr std::string_view errc_name(Errc e) noexcept {
     case Errc::corrupt: return "corrupt";
     case Errc::busy: return "busy";
     case Errc::not_supported: return "not_supported";
+    case Errc::internal: return "internal";
   }
   return "unknown";
 }

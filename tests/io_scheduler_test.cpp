@@ -2,10 +2,13 @@
 // collective access methods built on it.
 #include <gtest/gtest.h>
 
+#include <thread>
+
 #include "core/access_methods.hpp"
 #include "core/io_scheduler.hpp"
 #include "device/faulty_device.hpp"
 #include "device/ram_disk.hpp"
+#include "device/throttle_device.hpp"
 #include "test_helpers.hpp"
 #include "util/bytes.hpp"
 
@@ -44,6 +47,27 @@ TEST(IoBatch, CollectsFirstError) {
   EXPECT_EQ(st.code(), Errc::media_error);
   // Reusable after wait().
   PIO_EXPECT_OK(batch.wait());
+}
+
+TEST(IoBatch, CompleteWithoutExpectSurfacesInternalError) {
+  IoBatch batch;
+  batch.complete(ok_status());  // bookkeeping bug: no matching expect()
+  EXPECT_EQ(batch.pending(), 0u);
+  auto st = batch.wait();  // must not hang or underflow
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), Errc::internal);
+  // The clamp keeps the batch usable afterwards.
+  batch.expect();
+  batch.complete(ok_status());
+  PIO_EXPECT_OK(batch.wait());
+}
+
+TEST(IoBatch, UnderflowDoesNotMaskARealError) {
+  IoBatch batch;
+  batch.expect();
+  batch.complete(make_error(Errc::media_error, "real"));
+  batch.complete(ok_status());  // stray completion after the count drained
+  EXPECT_EQ(batch.wait().code(), Errc::media_error);
 }
 
 // -------------------------------------------------------------- IoScheduler
@@ -127,6 +151,162 @@ TEST(IoScheduler, OutOfRangePlanFailsCleanly) {
   IoBatch batch;
   io.read_records(*file, 100, 1, buf, batch);
   EXPECT_EQ(batch.wait().code(), Errc::out_of_range);
+}
+
+TEST(IoScheduler, ParsesQueuePolicyNames) {
+  EXPECT_EQ(parse_queue_policy("fifo"), QueuePolicy::fifo);
+  EXPECT_EQ(parse_queue_policy("scan"), QueuePolicy::scan);
+  EXPECT_EQ(parse_queue_policy("sstf"), QueuePolicy::sstf);
+  EXPECT_EQ(parse_queue_policy("elevator"), std::nullopt);
+  EXPECT_EQ(queue_policy_name(QueuePolicy::scan), "scan");
+}
+
+// Golden differential: every policy, with and without coalescing, must
+// produce byte-identical files and read-backs — reordering and merging
+// change WHEN device ops happen, never what data moves.
+TEST(IoScheduler, AllPoliciesMatchFifoGoldenBytes) {
+  constexpr std::uint64_t kRecords = 256;
+  std::vector<std::byte> bulk(kRecords * 64);
+  for (std::uint64_t i = 0; i < kRecords; ++i) {
+    fill_record_payload(std::span<std::byte>(bulk.data() + i * 64, 64), 21, i);
+  }
+  const IoSchedulerOptions cases[] = {
+      {QueuePolicy::fifo, 0},    {QueuePolicy::fifo, 4096},
+      {QueuePolicy::scan, 0},    {QueuePolicy::scan, 4096},
+      {QueuePolicy::sstf, 0},    {QueuePolicy::sstf, 4096},
+  };
+  for (const IoSchedulerOptions& options : cases) {
+    SCOPED_TRACE(std::string(queue_policy_name(options.policy)) + "/merge=" +
+                 std::to_string(options.max_merge_bytes));
+    DeviceArray devices = make_ram_array(4, 1 << 20);
+    auto file = make_striped(devices, kRecords);
+    {
+      IoScheduler io(devices, options);
+      // Several batches in flight, disjoint extents, reversed submit
+      // order so SCAN/SSTF actually reorder something.
+      IoBatch batches[4];
+      for (int b = 3; b >= 0; --b) {
+        const std::uint64_t first = static_cast<std::uint64_t>(b) * 64;
+        io.write_records(*file, first, 64,
+                         std::span<const std::byte>(bulk).subspan(
+                             static_cast<std::size_t>(first) * 64, 64 * 64),
+                         batches[b]);
+      }
+      for (IoBatch& b : batches) {
+        PIO_ASSERT_OK(b.wait());
+        EXPECT_EQ(b.pending(), 0u);  // per-batch completion count preserved
+      }
+      std::vector<std::byte> back(kRecords * 64);
+      IoBatch rbatches[4];
+      for (int b = 3; b >= 0; --b) {
+        const std::uint64_t first = static_cast<std::uint64_t>(b) * 64;
+        io.read_records(*file, first, 64,
+                        std::span<std::byte>(back).subspan(
+                            static_cast<std::size_t>(first) * 64, 64 * 64),
+                        rbatches[b]);
+      }
+      for (IoBatch& b : rbatches) {
+        PIO_ASSERT_OK(b.wait());
+        EXPECT_EQ(b.pending(), 0u);
+      }
+      EXPECT_EQ(back, bulk);
+    }
+    // The golden check from outside the scheduler too.
+    for (std::uint64_t i = 0; i < kRecords; ++i) {
+      ASSERT_TRUE(pio::testing::record_matches(*file, i, 21));
+    }
+  }
+}
+
+// Coalescing actually merges: a slow first op pins the worker while
+// abutting requests pile up; the pile must drain as ONE vectored device
+// operation whose (first) error every member batch observes.
+TEST(IoScheduler, CoalescedGroupSharesFirstError) {
+  auto faulty = std::make_unique<FaultyDevice>(
+      std::make_unique<RamDisk>("d0", 1 << 20));
+  FaultyDevice* faulty_raw = faulty.get();
+  faulty_raw->corrupt_range(64, 64);  // middle fragment of the group
+  DeviceArray devices;
+  devices.add(std::make_unique<ThrottledDevice>(std::move(faulty),
+                                                /*op_cost_us=*/10'000.0));
+  IoScheduler io(devices, {QueuePolicy::fifo, /*max_merge_bytes=*/1 << 20});
+
+  std::vector<std::byte> blocker(64), a(64), b(64), c(64);
+  IoBatch blocker_batch, batch_a, batch_b, batch_c;
+  // Far-away blocker occupies the worker (10 ms positioning charge)...
+  io.read(0, 4096, blocker, blocker_batch);
+  // ...while three abutting reads queue up behind it.
+  io.read(0, 0, a, batch_a);
+  io.read(0, 64, b, batch_b);    // intersects the corrupt range
+  io.read(0, 128, c, batch_c);
+  PIO_ASSERT_OK(blocker_batch.wait());
+  // The merged readv fails on the corrupt fragment; every member batch
+  // sees that same first error.
+  EXPECT_EQ(batch_a.wait().code(), Errc::media_error);
+  EXPECT_EQ(batch_b.wait().code(), Errc::media_error);
+  EXPECT_EQ(batch_c.wait().code(), Errc::media_error);
+  // Only the blocker reached the RAM disk: the merged readv was rejected
+  // whole at the fault layer.  (Unmerged, fragments a and c would have
+  // succeeded individually and counted — reads would be 3.)
+  EXPECT_EQ(devices[0].counters().reads.load(), 1u);
+}
+
+TEST(IoScheduler, MergeRespectsByteCeiling) {
+  DeviceArray devices;
+  devices.add(std::make_unique<ThrottledDevice>(
+      std::make_unique<RamDisk>("d0", 1 << 20), /*op_cost_us=*/10'000.0));
+  // Ceiling of 128 bytes: the three abutting 64-byte reads must split
+  // into a 128-byte merged op plus a singleton.
+  IoScheduler io(devices, {QueuePolicy::fifo, /*max_merge_bytes=*/128});
+  std::vector<std::byte> blocker(64), bufs(3 * 64);
+  IoBatch batch;
+  io.read(0, 4096, blocker, batch);
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    io.read(0, i * 64, std::span(bufs.data() + i * 64, 64), batch);
+  }
+  PIO_ASSERT_OK(batch.wait());
+  EXPECT_EQ(devices[0].counters().reads.load(), 3u);  // blocker + 2 groups
+}
+
+// Concurrent submitters from many threads against a merging, reordering
+// scheduler: exercised under TSan in CI (thread-sanitizer job).
+TEST(IoScheduler, ConcurrentMultiBatchStress) {
+  constexpr std::uint64_t kRecords = 512;
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 4;
+  DeviceArray devices = make_ram_array(4, 1 << 20);
+  auto file = make_striped(devices, kRecords);
+  IoScheduler io(devices, {QueuePolicy::scan, 4096});
+  constexpr std::uint64_t kPer = kRecords / kThreads;
+  std::vector<std::vector<std::byte>> wbufs(kThreads), rbufs(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    wbufs[t].resize(kPer * 64);
+    rbufs[t].resize(kPer * 64);
+    for (std::uint64_t i = 0; i < kPer; ++i) {
+      fill_record_payload(std::span<std::byte>(wbufs[t].data() + i * 64, 64),
+                          30 + static_cast<std::uint64_t>(t),
+                          static_cast<std::uint64_t>(t) * kPer + i);
+    }
+  }
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      // Each thread owns a disjoint extent; batch.wait() separates its
+      // own write and read phases, so no overlapping extents are ever
+      // concurrently in flight without a wait (the merge contract).
+      const std::uint64_t first = static_cast<std::uint64_t>(t) * kPer;
+      for (int round = 0; round < kRounds; ++round) {
+        IoBatch batch;
+        io.write_records(*file, first, kPer, wbufs[t], batch);
+        ASSERT_TRUE(batch.wait().ok());
+        IoBatch rbatch;
+        io.read_records(*file, first, kPer, rbufs[t], rbatch);
+        ASSERT_TRUE(rbatch.wait().ok());
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  for (int t = 0; t < kThreads; ++t) EXPECT_EQ(rbufs[t], wbufs[t]);
 }
 
 TEST(IoScheduler, PlanRecordsAppliesAllocationBases) {

@@ -3,9 +3,13 @@
 //
 //   pario_sim striping  [--devices N] [--unit-kb U] [--file-mb M] [--request-kb R]
 //   pario_sim selfsched [--processes P] [--devices D] [--records N]
-//   pario_sim sharing   [--processes P] [--devices D] [--interleaved 0|1] [--scan 0|1]
+//   pario_sim sharing   [--processes P] [--devices D] [--interleaved 0|1]
+//                       [--sched fifo|scan|sstf]
 //   pario_sim load      [--devices D] [--rate-from A] [--rate-to B] [--arrivals N]
 //   pario_sim mtbf      [--devices N] [--mtbf-hours H] [--repair-hours R]
+//   pario_sim iosched   [--devices D] [--records N] [--streams S]
+//                       [--sched fifo|scan|sstf] [--max-merge BYTES]
+//                       [--op-cost-us C]
 //
 // Observability flags (any experiment):
 //   --trace FILE   write a Chrome/Perfetto trace_event JSON of the run
@@ -15,11 +19,16 @@
 //
 // All results are deterministic virtual-time outputs of the calibrated
 // 1989 disk model (see src/device/disk_model.hpp).
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <optional>
 #include <string>
 
+#include "core/io_scheduler.hpp"
+#include "core/parallel_file.hpp"
+#include "device/ram_disk.hpp"
+#include "device/throttle_device.hpp"
 #include "layout/layout.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -76,9 +85,13 @@ int usage() {
                "usage: pario_sim <experiment> [--key value ...]\n"
                "  striping  --devices N --unit-kb U --file-mb M --request-kb R\n"
                "  selfsched --processes P --devices D --records N\n"
-               "  sharing   --processes P --devices D --interleaved 0|1 --scan 0|1\n"
+               "  sharing   --processes P --devices D --interleaved 0|1\n"
+               "            --sched fifo|scan|sstf (or legacy --scan 0|1)\n"
                "  load      --devices D --rate-from A --rate-to B --arrivals N\n"
                "  mtbf      --devices N --mtbf-hours H --repair-hours R\n"
+               "  iosched   --devices D --records N --streams S\n"
+               "            --sched fifo|scan|sstf --max-merge BYTES"
+               " --op-cost-us C\n"
                "observability (any experiment):\n"
                "  --trace FILE   export Chrome/Perfetto trace_event JSON\n"
                "  --metrics      print the metrics registry after the run\n");
@@ -182,17 +195,42 @@ int cmd_selfsched(const Flags& flags) {
 
 // --------------------------------------------------------------- sharing
 
+// Map the CLI --sched value onto either scheduler's policy enum.
+std::optional<QueueDiscipline> sim_discipline(const Flags& flags,
+                                              bool legacy_scan) {
+  QueueDiscipline disc =
+      legacy_scan ? QueueDiscipline::scan : QueueDiscipline::fifo;
+  if (const auto name = flags.str("sched")) {
+    const auto policy = parse_queue_policy(*name);
+    if (!policy) return std::nullopt;
+    switch (*policy) {
+      case QueuePolicy::fifo: disc = QueueDiscipline::fifo; break;
+      case QueuePolicy::scan: disc = QueueDiscipline::scan; break;
+      case QueuePolicy::sstf: disc = QueueDiscipline::sstf; break;
+    }
+  }
+  return disc;
+}
+
+const char* discipline_name(QueueDiscipline d) {
+  switch (d) {
+    case QueueDiscipline::scan: return "SCAN";
+    case QueueDiscipline::sstf: return "SSTF";
+    default: return "FIFO";
+  }
+}
+
 int cmd_sharing(const Flags& flags) {
   const auto processes = static_cast<std::size_t>(flags.u64("processes", 16));
   const auto devices = static_cast<std::size_t>(flags.u64("devices", 4));
   const bool interleaved = flags.u64("interleaved", 0) != 0;
-  const bool scan = flags.u64("scan", 0) != 0;
   const std::uint64_t blocks = flags.u64("blocks-per-process", 24);
   const std::uint64_t block_bytes = 2 * kTrack;
+  const auto discipline = sim_discipline(flags, flags.u64("scan", 0) != 0);
+  if (!discipline) return usage();
 
   sim::Engine eng;
-  SimDiskArray disks(eng, devices, {}, {},
-                     scan ? QueueDiscipline::scan : QueueDiscipline::fifo);
+  SimDiskArray disks(eng, devices, {}, {}, *discipline);
   std::unique_ptr<Layout> layout;
   if (interleaved) {
     layout = make_interleaved_layout(devices, block_bytes);
@@ -216,7 +254,7 @@ int cmd_sharing(const Flags& flags) {
   const std::uint64_t bytes = processes * blocks * block_bytes;
   std::printf("%zu processes on %zu devices (%s layout, %s queue):\n",
               processes, devices, interleaved ? "interleaved" : "blocked",
-              scan ? "SCAN" : "FIFO");
+              discipline_name(*discipline));
   std::printf("  makespan %.3f s, aggregate %.2f MB/s, mean seek %.2f ms\n",
               elapsed, static_cast<double>(bytes) / elapsed / 1e6,
               seeks.mean() * 1e3);
@@ -274,6 +312,116 @@ int cmd_load(const Flags& flags) {
   return 0;
 }
 
+// --------------------------------------------------------------- iosched
+
+// Functional-path demo of the IoScheduler's disk-queue policies and
+// request coalescing.  S streams each read a contiguous region of a
+// striped file one 64-byte record at a time, enqueued round-robin across
+// streams (the classic fine-interleaved access pattern of §3), against
+// devices that charge a fixed positioning cost per OPERATION.  FIFO with
+// coalescing off services one record per device op; SCAN/SSTF with
+// merging folds abutting records into vectored ops and pays the
+// positioning cost once per run.
+struct IoschedResult {
+  double wall_ms = 0.0;
+  std::uint64_t device_ops = 0;
+  std::uint64_t coalesced = 0;
+  std::uint64_t merged_bytes = 0;
+};
+
+IoschedResult run_iosched(std::size_t devices, std::uint64_t records,
+                          std::uint64_t streams, double op_cost_us,
+                          IoSchedulerOptions options) {
+  constexpr std::uint32_t kRecord = 64;
+  DeviceArray array;
+  for (std::size_t d = 0; d < devices; ++d) {
+    array.add(std::make_unique<ThrottledDevice>(
+        std::make_unique<RamDisk>("ram" + std::to_string(d), 64ull << 20),
+        op_cost_us));
+  }
+  FileMeta meta;
+  meta.name = "iosched-demo";
+  meta.organization = Organization::sequential;
+  meta.layout_kind = LayoutKind::striped;
+  meta.record_bytes = kRecord;
+  meta.stripe_unit = 256;
+  meta.capacity_records = records;
+  ParallelFile file(meta, array, std::vector<std::uint64_t>(devices, 0));
+
+  obs::Counter& coalesced =
+      obs::MetricsRegistry::global().counter("iosched.coalesced");
+  obs::Counter& merged =
+      obs::MetricsRegistry::global().counter("iosched.merged_bytes");
+  const std::uint64_t coalesced0 = coalesced.value();
+  const std::uint64_t merged0 = merged.value();
+
+  std::vector<std::byte> out(records * kRecord);
+  const std::uint64_t per_stream = records / streams;
+  const auto t0 = std::chrono::steady_clock::now();
+  {
+    IoScheduler io(array, options);
+    IoBatch batch;
+    for (std::uint64_t wave = 0; wave < per_stream; ++wave) {
+      for (std::uint64_t s = 0; s < streams; ++s) {
+        const std::uint64_t r = s * per_stream + wave;
+        io.read_records(file, r, 1,
+                        std::span(out.data() + r * kRecord, kRecord), batch);
+      }
+    }
+    if (batch.wait().code() != Errc::ok) {
+      std::fprintf(stderr, "iosched: batch failed\n");
+    }
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+
+  IoschedResult res;
+  res.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  for (std::size_t d = 0; d < devices; ++d) {
+    res.device_ops += array[d].counters().reads.load();
+  }
+  res.coalesced = coalesced.value() - coalesced0;
+  res.merged_bytes = merged.value() - merged0;
+  return res;
+}
+
+int cmd_iosched(const Flags& flags) {
+  const auto devices = static_cast<std::size_t>(flags.u64("devices", 4));
+  const std::uint64_t streams = flags.u64("streams", 8);
+  std::uint64_t records = flags.u64("records", 4096);
+  records -= records % (streams ? streams : 1);
+  const double op_cost_us = flags.f64("op-cost-us", 20.0);
+
+  IoSchedulerOptions configured;
+  configured.max_merge_bytes = flags.u64("max-merge", 256);
+  if (const auto name = flags.str("sched")) {
+    const auto policy = parse_queue_policy(*name);
+    if (!policy) return usage();
+    configured.policy = *policy;
+  } else {
+    configured.policy = QueuePolicy::scan;
+  }
+
+  std::printf("iosched: %llu x 64 B records, %llu interleaved streams, "
+              "%zu devices, %.1f us/op positioning cost\n",
+              static_cast<unsigned long long>(records),
+              static_cast<unsigned long long>(streams), devices, op_cost_us);
+  std::printf("%6s %10s %12s %12s %10s %10s\n", "policy", "merge_B",
+              "device_ops", "ops/record", "wall_ms", "coalesced");
+  const IoSchedulerOptions baseline{};  // fifo, merging off: historic path
+  for (const IoSchedulerOptions& opt : {baseline, configured}) {
+    const IoschedResult r =
+        run_iosched(devices, records, streams, op_cost_us, opt);
+    std::printf("%6s %10llu %12llu %12.3f %10.2f %10llu\n",
+                std::string(queue_policy_name(opt.policy)).c_str(),
+                static_cast<unsigned long long>(opt.max_merge_bytes),
+                static_cast<unsigned long long>(r.device_ops),
+                static_cast<double>(r.device_ops) /
+                    static_cast<double>(records ? records : 1),
+                r.wall_ms, static_cast<unsigned long long>(r.coalesced));
+  }
+  return 0;
+}
+
 // ------------------------------------------------------------------ mtbf
 
 int cmd_mtbf(const Flags& flags) {
@@ -314,6 +462,8 @@ int main(int argc, char** argv) {
     rc = cmd_sharing(flags);
   } else if (cmd == "load") {
     rc = cmd_load(flags);
+  } else if (cmd == "iosched") {
+    rc = cmd_iosched(flags);
   } else if (cmd == "mtbf") {
     rc = cmd_mtbf(flags);
   } else {
