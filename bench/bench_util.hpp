@@ -10,6 +10,8 @@
 #include <cstdlib>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 #include "device/sim_disk.hpp"
 #include "obs/metrics.hpp"
@@ -24,7 +26,21 @@ namespace pio::bench {
 inline std::string sched_flag = "scan";
 inline std::uint64_t max_merge_flag = 256;
 
-/// Consume the scheduler flags from argv (google-benchmark rejects
+/// Sieving/collective knobs (`--sieve-buf=BYTES`, `--aggregators=N`) for
+/// the access-method benches.
+inline std::uint64_t sieve_buf_flag = 256 * 1024;
+inline std::uint32_t aggregators_flag = 4;
+
+/// `--quick` trims problem sizes for CI smoke runs.  BENCHMARK()
+/// registration happens before main parses flags, so benches must read
+/// this at run time inside the benchmark body, not at registration.
+inline bool quick_flag = false;
+
+/// `--json=PATH` writes machine-readable results after the run ("" = off;
+/// benches may default it via PIO_BENCH_MAIN_JSON).
+inline std::string json_flag;
+
+/// Consume the harness flags from argv (google-benchmark rejects
 /// arguments it does not recognize).
 inline void strip_sched_flags(int& argc, char** argv) {
   int out = 1;
@@ -34,6 +50,15 @@ inline void strip_sched_flags(int& argc, char** argv) {
       sched_flag = std::string(arg.substr(8));
     } else if (arg.rfind("--max-merge=", 0) == 0) {
       max_merge_flag = std::strtoull(argv[i] + 12, nullptr, 10);
+    } else if (arg.rfind("--sieve-buf=", 0) == 0) {
+      sieve_buf_flag = std::strtoull(argv[i] + 12, nullptr, 10);
+    } else if (arg.rfind("--aggregators=", 0) == 0) {
+      aggregators_flag = static_cast<std::uint32_t>(
+          std::strtoul(argv[i] + 14, nullptr, 10));
+    } else if (arg == "--quick") {
+      quick_flag = true;
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json_flag = std::string(arg.substr(7));
     } else {
       argv[out++] = argv[i];
     }
@@ -70,18 +95,118 @@ inline void report_sim(benchmark::State& state, double sim_seconds,
 /// 1989 track size: the natural transfer unit for these disks.
 inline constexpr std::uint64_t kTrack = 24 * 1024;
 
+/// Console reporter that also collects every run (name, real time,
+/// counters) so bench_main can emit a machine-readable JSON file.
+class JsonCollectingReporter : public benchmark::ConsoleReporter {
+ public:
+  struct Row {
+    std::string name;
+    double real_time_ns = 0.0;
+    std::vector<std::pair<std::string, double>> counters;
+  };
+
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const Run& run : reports) {
+      if (run.error_occurred) continue;
+      Row row;
+      row.name = run.benchmark_name();
+      row.real_time_ns = run.GetAdjustedRealTime();
+      for (const auto& [name, counter] : run.counters) {
+        row.counters.emplace_back(name, counter.value);
+      }
+      rows_.push_back(std::move(row));
+    }
+    benchmark::ConsoleReporter::ReportRuns(reports);
+  }
+
+  const std::vector<Row>& rows() const noexcept { return rows_; }
+
+ private:
+  std::vector<Row> rows_;
+};
+
+/// Minimal JSON string escaping (names are benchmark identifiers, but
+/// quotes/backslashes must not break the file).
+inline std::string json_escape(std::string_view in) {
+  std::string out;
+  out.reserve(in.size());
+  for (char c : in) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+/// Write the collected runs as a flat JSON document:
+/// {"bench": ..., "flags": {...}, "results": [{"name", "real_time_ns",
+/// "counters": {...}}]}.
+inline void write_json(const char* experiment,
+                       const JsonCollectingReporter& reporter,
+                       const std::string& path) {
+  if (path.empty()) return;
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f,
+               "{\n  \"bench\": \"%s\",\n  \"flags\": {\"sched\": \"%s\", "
+               "\"max_merge\": %llu, \"sieve_buf\": %llu, \"aggregators\": "
+               "%u, \"quick\": %s},\n  \"results\": [",
+               json_escape(experiment).c_str(), json_escape(sched_flag).c_str(),
+               static_cast<unsigned long long>(max_merge_flag),
+               static_cast<unsigned long long>(sieve_buf_flag),
+               aggregators_flag, quick_flag ? "true" : "false");
+  bool first_row = true;
+  for (const JsonCollectingReporter::Row& row : reporter.rows()) {
+    std::fprintf(f, "%s\n    {\"name\": \"%s\", \"real_time_ns\": %.3f",
+                 first_row ? "" : ",", json_escape(row.name).c_str(),
+                 row.real_time_ns);
+    first_row = false;
+    std::fprintf(f, ", \"counters\": {");
+    bool first_counter = true;
+    for (const auto& [name, value] : row.counters) {
+      std::fprintf(f, "%s\"%s\": %.6g", first_counter ? "" : ", ",
+                   json_escape(name).c_str(), value);
+      first_counter = false;
+    }
+    std::fprintf(f, "}}");
+  }
+  std::fprintf(f, "\n  ]\n}\n");
+  std::fclose(f);
+  std::printf("JSON results written to %s\n", path.c_str());
+}
+
+/// Shared main body: banner, flag stripping, run, optional JSON dump.
+/// `default_json` seeds json_flag when the user did not pass --json=
+/// (nullptr/"" keeps JSON off unless requested).
+inline int bench_main(int argc, char** argv, const char* experiment,
+                      const char* claim, const char* default_json) {
+  banner(experiment, claim);
+  strip_sched_flags(argc, argv);
+  if (json_flag.empty() && default_json != nullptr) json_flag = default_json;
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  JsonCollectingReporter reporter;
+  ::benchmark::RunSpecifiedBenchmarks(&reporter);
+  write_json(experiment, reporter, json_flag);
+  ::benchmark::Shutdown();
+  return 0;
+}
+
 }  // namespace pio::bench
 
-/// Each bench provides PIO_BENCH_BANNER and uses this main.
-#define PIO_BENCH_MAIN(experiment, claim)                        \
-  int main(int argc, char** argv) {                              \
-    pio::bench::banner(experiment, claim);                       \
-    pio::bench::strip_sched_flags(argc, argv);                   \
-    ::benchmark::Initialize(&argc, argv);                        \
-    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) {  \
-      return 1;                                                  \
-    }                                                            \
-    ::benchmark::RunSpecifiedBenchmarks();                       \
-    ::benchmark::Shutdown();                                     \
-    return 0;                                                    \
+/// Each bench provides PIO_BENCH_BANNER and uses one of these mains.
+/// Both accept --json=PATH; the _JSON variant also writes `default_json`
+/// when no --json= flag is given.
+#define PIO_BENCH_MAIN(experiment, claim)                              \
+  int main(int argc, char** argv) {                                    \
+    return pio::bench::bench_main(argc, argv, experiment, claim,       \
+                                  nullptr);                            \
+  }
+
+#define PIO_BENCH_MAIN_JSON(experiment, claim, default_json)           \
+  int main(int argc, char** argv) {                                    \
+    return pio::bench::bench_main(argc, argv, experiment, claim,       \
+                                  default_json);                       \
   }

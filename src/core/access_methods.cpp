@@ -1,11 +1,85 @@
 #include "core/access_methods.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <cstring>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace pio {
 namespace {
+
+/// Trace track for access-method spans (wall domain; device workers own
+/// tids 0..D-1, so the access methods get their own track).
+constexpr std::uint32_t kAccessTraceTid = 100;
+
+struct AccessMetrics {
+  obs::Counter* sieve_reads;
+  obs::Counter* sieve_useful_bytes;
+  obs::Counter* sieve_wasted_bytes;
+  obs::Counter* collective_chunks;
+  obs::Gauge* staging_bytes;
+  obs::Gauge* staging_peak;
+};
+
+AccessMetrics& metrics() {
+  static AccessMetrics m = [] {
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+    AccessMetrics out;
+    out.sieve_reads = &registry.counter("access.sieve_reads");
+    out.sieve_useful_bytes = &registry.counter("access.sieve_useful_bytes");
+    out.sieve_wasted_bytes = &registry.counter("access.sieve_wasted_bytes");
+    out.collective_chunks = &registry.counter("access.collective_chunks");
+    out.staging_bytes = &registry.gauge("access.staging_bytes");
+    out.staging_peak = &registry.gauge("access.staging_peak_bytes");
+    // Cumulative observed fill ratio: useful bytes scattered/gathered over
+    // total bytes staged by the sieve and collective paths.
+    registry.gauge_callback(
+        "access.fill_ratio",
+        [useful = out.sieve_useful_bytes, wasted = out.sieve_wasted_bytes] {
+          const double u = static_cast<double>(useful->value());
+          const double w = static_cast<double>(wasted->value());
+          return u + w == 0.0 ? 0.0 : u / (u + w);
+        });
+    return out;
+  }();
+  return m;
+}
+
+std::atomic<std::uint64_t> g_staging_bytes{0};
+std::atomic<std::uint64_t> g_staging_peak{0};
+
+/// RAII accounting for one staging buffer: the live total and its peak
+/// are what the "bounded memory" claim is measured by.
+class StagingReservation {
+ public:
+  explicit StagingReservation(std::uint64_t bytes) : bytes_(bytes) {
+    const std::uint64_t now =
+        g_staging_bytes.fetch_add(bytes_, std::memory_order_relaxed) + bytes_;
+    std::uint64_t peak = g_staging_peak.load(std::memory_order_relaxed);
+    while (now > peak && !g_staging_peak.compare_exchange_weak(
+                             peak, now, std::memory_order_relaxed)) {
+    }
+    metrics().staging_bytes->set(static_cast<std::int64_t>(now));
+    metrics().staging_peak->set(static_cast<std::int64_t>(
+        g_staging_peak.load(std::memory_order_relaxed)));
+  }
+  ~StagingReservation() {
+    const std::uint64_t now =
+        g_staging_bytes.fetch_sub(bytes_, std::memory_order_relaxed) - bytes_;
+    metrics().staging_bytes->set(static_cast<std::int64_t>(now));
+  }
+  StagingReservation(const StagingReservation&) = delete;
+  StagingReservation& operator=(const StagingReservation&) = delete;
+
+ private:
+  std::uint64_t bytes_;
+};
 
 Status check_spec(const ParallelFile& file, const StridedSpec& spec,
                   std::size_t buffer_bytes) {
@@ -21,11 +95,42 @@ Status check_spec(const ParallelFile& file, const StridedSpec& spec,
   return ok_status();
 }
 
-}  // namespace
+/// First group index whose records extend past `record` (groups never
+/// overlap: valid() requires stride >= block).
+std::uint64_t first_group_reaching(const StridedSpec& spec,
+                                   std::uint64_t record) {
+  if (record < spec.start_record + spec.block_records) return 0;
+  return (record - spec.start_record - spec.block_records) /
+             spec.stride_records +
+         1;
+}
 
-Status read_strided(ParallelFile& file, const StridedSpec& spec,
-                    std::span<std::byte> out) {
-  PIO_TRY(check_spec(file, spec, out.size()));
+/// Invoke `fn(rec_lo, rec_hi, view_index)` for every maximal run of the
+/// spec's records inside [chunk_lo, chunk_hi): file records
+/// [rec_lo, rec_hi) correspond to view indices starting at `view_index`.
+template <typename Fn>
+void for_each_overlap(const StridedSpec& spec, std::uint64_t chunk_lo,
+                      std::uint64_t chunk_hi, Fn&& fn) {
+  for (std::uint64_t k = first_group_reaching(spec, chunk_lo); k < spec.count;
+       ++k) {
+    const std::uint64_t g_lo = spec.start_record + k * spec.stride_records;
+    if (g_lo >= chunk_hi) break;
+    const std::uint64_t g_hi = g_lo + spec.block_records;
+    const std::uint64_t lo = std::max(g_lo, chunk_lo);
+    const std::uint64_t hi = std::min(g_hi, chunk_hi);
+    if (hi > lo) fn(lo, hi, k * spec.block_records + (lo - g_lo));
+  }
+}
+
+std::uint64_t chunk_records_for(std::uint32_t record_bytes,
+                                const SieveOptions& options) {
+  return std::max<std::uint64_t>(1, options.buffer_bytes / record_bytes);
+}
+
+// ------------------------------------------------------------ direct paths
+
+Status read_strided_direct(ParallelFile& file, const StridedSpec& spec,
+                           std::span<std::byte> out) {
   const std::uint64_t group_bytes =
       spec.block_records * file.meta().record_bytes;
   for (std::uint64_t k = 0; k < spec.count; ++k) {
@@ -37,9 +142,8 @@ Status read_strided(ParallelFile& file, const StridedSpec& spec,
   return ok_status();
 }
 
-Status write_strided(ParallelFile& file, const StridedSpec& spec,
-                     std::span<const std::byte> in) {
-  PIO_TRY(check_spec(file, spec, in.size()));
+Status write_strided_direct(ParallelFile& file, const StridedSpec& spec,
+                            std::span<const std::byte> in) {
   const std::uint64_t group_bytes =
       spec.block_records * file.meta().record_bytes;
   for (std::uint64_t k = 0; k < spec.count; ++k) {
@@ -49,6 +153,220 @@ Status write_strided(ParallelFile& file, const StridedSpec& spec,
                    static_cast<std::size_t>(group_bytes))));
   }
   return ok_status();
+}
+
+// ------------------------------------------------------------ sieved paths
+
+Status read_strided_sieved(ParallelFile& file, const StridedSpec& spec,
+                           std::span<std::byte> out,
+                           const SieveOptions& options) {
+  const std::uint32_t rb = file.meta().record_bytes;
+  const std::uint64_t chunk_records = chunk_records_for(rb, options);
+  const std::uint64_t hi = spec.end_record();
+  std::vector<std::byte> sieve(
+      static_cast<std::size_t>(chunk_records * rb));
+  StagingReservation staging(sieve.size());
+  obs::Tracer& tracer = obs::Tracer::global();
+  for (std::uint64_t c_lo = spec.start_record; c_lo < hi;
+       c_lo += chunk_records) {
+    const std::uint64_t c_hi = std::min(hi, c_lo + chunk_records);
+    const std::uint64_t n = c_hi - c_lo;
+    {
+      obs::WallSpan span(tracer, "sieve.read", "access", kAccessTraceTid);
+      PIO_TRY(file.read_records(
+          c_lo, n, std::span(sieve.data(), static_cast<std::size_t>(n * rb))));
+    }
+    metrics().sieve_reads->inc();
+    std::uint64_t useful = 0;
+    for_each_overlap(spec, c_lo, c_hi,
+                     [&](std::uint64_t lo, std::uint64_t run_hi,
+                         std::uint64_t view) {
+                       std::memcpy(out.data() + view * rb,
+                                   sieve.data() + (lo - c_lo) * rb,
+                                   static_cast<std::size_t>((run_hi - lo) * rb));
+                       useful += run_hi - lo;
+                     });
+    metrics().sieve_useful_bytes->inc(useful * rb);
+    metrics().sieve_wasted_bytes->inc((n - useful) * rb);
+  }
+  return ok_status();
+}
+
+/// Write one staged chunk image back through the device array using the
+/// file's segment plan (absolute offsets), WITHOUT advancing the file's
+/// high-water marks — the caller notes exactly the spec's records, so
+/// sieved bookkeeping matches the direct path even though hole bytes ride
+/// along in the transfer.
+Status write_chunk_planned(ParallelFile& file, std::uint64_t first,
+                           std::uint64_t n, std::span<const std::byte> image) {
+  auto plan = file.plan_records(first, n);
+  if (!plan.ok()) return plan.error();
+  std::uint64_t consumed = 0;
+  for (const Segment& seg : *plan) {
+    PIO_TRY(file.devices()[seg.device].write(
+        seg.offset, image.subspan(static_cast<std::size_t>(consumed),
+                                  static_cast<std::size_t>(seg.length))));
+    consumed += seg.length;
+  }
+  return ok_status();
+}
+
+Status write_strided_sieved(ParallelFile& file, const StridedSpec& spec,
+                            std::span<const std::byte> in,
+                            const SieveOptions& options) {
+  const std::uint32_t rb = file.meta().record_bytes;
+  const std::uint64_t chunk_records = chunk_records_for(rb, options);
+  const std::uint64_t hi = spec.end_record();
+  std::vector<std::byte> sieve(
+      static_cast<std::size_t>(chunk_records * rb));
+  StagingReservation staging(sieve.size());
+  obs::Tracer& tracer = obs::Tracer::global();
+  for (std::uint64_t c_lo = spec.start_record; c_lo < hi;
+       c_lo += chunk_records) {
+    const std::uint64_t c_hi = std::min(hi, c_lo + chunk_records);
+    const std::uint64_t n = c_hi - c_lo;
+    std::uint64_t covered = 0;
+    for_each_overlap(spec, c_lo, c_hi,
+                     [&](std::uint64_t lo, std::uint64_t run_hi,
+                         std::uint64_t) { covered += run_hi - lo; });
+    // Exclude concurrent hole updates from the RMW window when a lock
+    // table was supplied; a fully covered chunk carries no hole bytes,
+    // but still locks so in-flight records are not torn by onlookers.
+    std::optional<RecordLockTable::RangeExclusiveGuard> guard;
+    if (options.locks) guard.emplace(*options.locks, c_lo, n);
+    const std::span<std::byte> image(sieve.data(),
+                                     static_cast<std::size_t>(n * rb));
+    if (covered < n) {
+      // RMW: holes keep whatever the pre-read saw.
+      obs::WallSpan span(tracer, "sieve.read", "access", kAccessTraceTid);
+      PIO_TRY(file.read_records(c_lo, n, image));
+      metrics().sieve_reads->inc();
+    }
+    for_each_overlap(spec, c_lo, c_hi,
+                     [&](std::uint64_t lo, std::uint64_t run_hi,
+                         std::uint64_t view) {
+                       std::memcpy(sieve.data() + (lo - c_lo) * rb,
+                                   in.data() + view * rb,
+                                   static_cast<std::size_t>((run_hi - lo) * rb));
+                     });
+    PIO_TRY(write_chunk_planned(file, c_lo, n, image));
+    // Bookkeeping mirrors the direct path: only the spec's records are
+    // noted as written, never the hole bytes that rode along.
+    for_each_overlap(spec, c_lo, c_hi,
+                     [&](std::uint64_t lo, std::uint64_t run_hi,
+                         std::uint64_t) { file.note_written(lo, run_hi - lo); });
+    metrics().sieve_useful_bytes->inc(covered * rb);
+    metrics().sieve_wasted_bytes->inc((n - covered) * rb);
+  }
+  return ok_status();
+}
+
+// ----------------------------------------------------- two-phase collective
+
+struct CollectiveDomain {
+  std::uint64_t lo = 0;  ///< first record of the covering extent
+  std::uint64_t hi = 0;  ///< one past the last record
+  std::uint32_t aggregators = 1;
+};
+
+/// Validate specs/buffers and compute the covering extent + aggregator
+/// count (clamped so every aggregator owns at least one record).
+template <typename BufferSpan>
+Result<CollectiveDomain> collective_domain(ParallelFile& file,
+                                           std::span<const StridedSpec> specs,
+                                           std::span<const BufferSpan> buffers,
+                                           const SieveOptions& options) {
+  if (specs.size() != buffers.size()) {
+    return make_error(Errc::invalid_argument,
+                      "one buffer per rank required");
+  }
+  CollectiveDomain domain;
+  domain.lo = UINT64_MAX;
+  domain.hi = 0;
+  for (std::size_t r = 0; r < specs.size(); ++r) {
+    PIO_TRY(check_spec(file, specs[r], buffers[r].size()));
+    if (specs[r].count == 0) continue;
+    domain.lo = std::min(domain.lo, specs[r].start_record);
+    domain.hi = std::max(domain.hi, specs[r].end_record());
+  }
+  domain.aggregators = static_cast<std::uint32_t>(std::min<std::uint64_t>(
+      std::max<std::uint32_t>(1, options.aggregators),
+      domain.hi > domain.lo ? domain.hi - domain.lo : 1));
+  return domain;
+}
+
+/// Run `work(aggregator_index, domain_lo, domain_hi)` for a near-equal
+/// contiguous partition of [lo, hi) — concurrently when there is more
+/// than one aggregator — and return the first error.
+template <typename Work>
+Status run_aggregators(const CollectiveDomain& domain, Work&& work) {
+  const std::uint64_t extent = domain.hi - domain.lo;
+  const std::uint64_t per =
+      (extent + domain.aggregators - 1) / domain.aggregators;
+  std::vector<Status> status(domain.aggregators, ok_status());
+  auto run_one = [&](std::uint32_t a) {
+    const std::uint64_t a_lo = domain.lo + a * per;
+    const std::uint64_t a_hi = std::min(domain.hi, a_lo + per);
+    if (a_lo < a_hi) status[a] = work(a, a_lo, a_hi);
+  };
+  if (domain.aggregators == 1) {
+    run_one(0);
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(domain.aggregators);
+    for (std::uint32_t a = 0; a < domain.aggregators; ++a) {
+      threads.emplace_back(run_one, a);
+    }
+    for (std::thread& t : threads) t.join();
+  }
+  for (const Status& st : status) {
+    if (!st.ok()) return st;
+  }
+  return ok_status();
+}
+
+}  // namespace
+
+bool sieve_chosen(const StridedSpec& spec, std::uint32_t record_bytes,
+                  const SieveOptions& options) noexcept {
+  if (spec.count == 0 || record_bytes == 0) return false;
+  if (spec.fill_ratio() < options.min_fill_ratio) return false;
+  const std::uint64_t useful_bytes = spec.total_records() * record_bytes;
+  const std::uint64_t extent_bytes =
+      (spec.end_record() - spec.start_record) * record_bytes;
+  const std::uint64_t chunk_bytes =
+      chunk_records_for(record_bytes, options) * record_bytes;
+  const std::uint64_t chunks = (extent_bytes + chunk_bytes - 1) / chunk_bytes;
+  // Cost in transfer-byte equivalents: positioning ops charged at
+  // kPositioningCostBytes apiece, plus the bytes actually moved.
+  const std::uint64_t direct_cost =
+      spec.count * kPositioningCostBytes + useful_bytes;
+  const std::uint64_t sieve_cost =
+      chunks * kPositioningCostBytes + extent_bytes;
+  return sieve_cost < direct_cost;
+}
+
+Status read_strided(ParallelFile& file, const StridedSpec& spec,
+                    std::span<std::byte> out, const SieveOptions& options) {
+  PIO_TRY(check_spec(file, spec, out.size()));
+  const bool sieve =
+      options.path == SievePath::sieve ||
+      (options.path == SievePath::auto_select &&
+       sieve_chosen(spec, file.meta().record_bytes, options));
+  return sieve ? read_strided_sieved(file, spec, out, options)
+               : read_strided_direct(file, spec, out);
+}
+
+Status write_strided(ParallelFile& file, const StridedSpec& spec,
+                     std::span<const std::byte> in,
+                     const SieveOptions& options) {
+  PIO_TRY(check_spec(file, spec, in.size()));
+  const bool sieve =
+      options.path == SievePath::sieve ||
+      (options.path == SievePath::auto_select &&
+       sieve_chosen(spec, file.meta().record_bytes, options));
+  return sieve ? write_strided_sieved(file, spec, in, options)
+               : write_strided_direct(file, spec, in);
 }
 
 Status read_strided_async(IoScheduler& io, ParallelFile& file,
@@ -69,44 +387,178 @@ Status read_strided_async(IoScheduler& io, ParallelFile& file,
 
 Result<std::uint64_t> collective_read_two_phase(
     IoScheduler& io, ParallelFile& file, std::span<const StridedSpec> specs,
-    std::span<const std::span<std::byte>> outs) {
-  if (specs.size() != outs.size()) {
-    return make_error(Errc::invalid_argument,
-                      "one output buffer per rank required");
-  }
+    std::span<const std::span<std::byte>> outs, const SieveOptions& options) {
+  auto domain = collective_domain(file, specs, outs, options);
+  if (!domain.ok()) return domain.error();
+  if (domain->hi <= domain->lo) return std::uint64_t{0};
+
   const std::uint32_t rb = file.meta().record_bytes;
-  std::uint64_t lo = UINT64_MAX;
-  std::uint64_t hi = 0;
-  for (std::size_t r = 0; r < specs.size(); ++r) {
-    PIO_TRY(check_spec(file, specs[r], outs[r].size()));
-    if (specs[r].count == 0) continue;
-    lo = std::min(lo, specs[r].start_record);
-    hi = std::max(hi, specs[r].end_record());
-  }
-  if (hi <= lo) return std::uint64_t{0};
+  const std::uint64_t chunk_records = chunk_records_for(rb, options);
+  obs::Tracer& tracer = obs::Tracer::global();
+  std::atomic<std::uint64_t> delivered{0};
 
-  // Phase 1: one contiguous read of the covering extent, split into
-  // per-device parallel transfers by the scheduler.
-  const std::uint64_t extent_records = hi - lo;
-  std::vector<std::byte> staging(
-      static_cast<std::size_t>(extent_records * rb));
-  IoBatch batch;
-  io.read_records(file, lo, extent_records, staging, batch);
-  PIO_TRY(batch.wait());
-
-  // Phase 2: in-memory scatter to each rank's view order.
-  std::uint64_t delivered = 0;
-  for (std::size_t r = 0; r < specs.size(); ++r) {
-    const StridedSpec& spec = specs[r];
-    for (std::uint64_t i = 0; i < spec.total_records(); ++i) {
-      const std::uint64_t record = spec.record_at(i);
-      assert(record >= lo && record < hi);
-      std::memcpy(outs[r].data() + i * rb,
-                  staging.data() + (record - lo) * rb, rb);
-      ++delivered;
+  Status st = run_aggregators(*domain, [&](std::uint32_t, std::uint64_t a_lo,
+                                           std::uint64_t a_hi) -> Status {
+    // One bounded staging buffer per aggregator; the scheduler fans each
+    // chunk's segments out across the per-device workers.
+    std::vector<std::byte> staging(
+        static_cast<std::size_t>(chunk_records * rb));
+    StagingReservation reservation(staging.size());
+    for (std::uint64_t c_lo = a_lo; c_lo < a_hi; c_lo += chunk_records) {
+      const std::uint64_t c_hi = std::min(a_hi, c_lo + chunk_records);
+      const std::uint64_t n = c_hi - c_lo;
+      {
+        obs::WallSpan span(tracer, "twophase.phase1", "access",
+                           kAccessTraceTid);
+        IoBatch batch;
+        io.read_records(file, c_lo, n,
+                        std::span(staging.data(),
+                                  static_cast<std::size_t>(n * rb)),
+                        batch);
+        PIO_TRY(batch.wait());
+      }
+      {
+        obs::WallSpan span(tracer, "twophase.exchange", "access",
+                           kAccessTraceTid);
+        std::uint64_t useful = 0;
+        for (std::size_t r = 0; r < specs.size(); ++r) {
+          for_each_overlap(
+              specs[r], c_lo, c_hi,
+              [&](std::uint64_t lo, std::uint64_t run_hi, std::uint64_t view) {
+                std::memcpy(outs[r].data() + view * rb,
+                            staging.data() + (lo - c_lo) * rb,
+                            static_cast<std::size_t>((run_hi - lo) * rb));
+                useful += run_hi - lo;
+              });
+        }
+        delivered.fetch_add(useful, std::memory_order_relaxed);
+        metrics().sieve_useful_bytes->inc(useful * rb);
+        // Amplification accounting treats overlapping rank views as one
+        // useful pass over the chunk.
+        metrics().sieve_wasted_bytes->inc(
+            useful >= n ? 0 : (n - useful) * rb);
+      }
+      metrics().collective_chunks->inc();
     }
-  }
-  return delivered;
+    return ok_status();
+  });
+  if (!st.ok()) return st.error();
+  return delivered.load(std::memory_order_relaxed);
+}
+
+Result<std::uint64_t> collective_write_two_phase(
+    IoScheduler& io, ParallelFile& file, std::span<const StridedSpec> specs,
+    std::span<const std::span<const std::byte>> ins,
+    const SieveOptions& options) {
+  auto domain = collective_domain(file, specs, ins, options);
+  if (!domain.ok()) return domain.error();
+  if (domain->hi <= domain->lo) return std::uint64_t{0};
+
+  const std::uint32_t rb = file.meta().record_bytes;
+  const std::uint64_t chunk_records = chunk_records_for(rb, options);
+  obs::Tracer& tracer = obs::Tracer::global();
+  std::atomic<std::uint64_t> transferred{0};
+
+  Status st = run_aggregators(*domain, [&](std::uint32_t, std::uint64_t a_lo,
+                                           std::uint64_t a_hi) -> Status {
+    std::vector<std::byte> staging(
+        static_cast<std::size_t>(chunk_records * rb));
+    std::vector<std::uint8_t> cover(static_cast<std::size_t>(chunk_records));
+    StagingReservation reservation(staging.size());
+    for (std::uint64_t c_lo = a_lo; c_lo < a_hi; c_lo += chunk_records) {
+      const std::uint64_t c_hi = std::min(a_hi, c_lo + chunk_records);
+      const std::uint64_t n = c_hi - c_lo;
+      const std::span<std::byte> image(staging.data(),
+                                       static_cast<std::size_t>(n * rb));
+      // Coverage map: RMW is needed only when some record of the chunk
+      // belongs to no rank (interior hole or ragged chunk edge).
+      std::fill(cover.begin(), cover.begin() + static_cast<std::ptrdiff_t>(n),
+                std::uint8_t{0});
+      std::uint64_t gathered = 0;
+      for (const StridedSpec& spec : specs) {
+        for_each_overlap(spec, c_lo, c_hi,
+                         [&](std::uint64_t lo, std::uint64_t run_hi,
+                             std::uint64_t) {
+                           for (std::uint64_t r = lo; r < run_hi; ++r) {
+                             cover[static_cast<std::size_t>(r - c_lo)] = 1;
+                           }
+                           gathered += run_hi - lo;
+                         });
+      }
+      std::uint64_t covered = 0;
+      for (std::uint64_t i = 0; i < n; ++i) covered += cover[i];
+      std::optional<RecordLockTable::RangeExclusiveGuard> guard;
+      if (options.locks) guard.emplace(*options.locks, c_lo, n);
+      if (covered < n) {
+        obs::WallSpan span(tracer, "twophase.phase1", "access",
+                           kAccessTraceTid);
+        IoBatch batch;
+        io.read_records(file, c_lo, n, image, batch);
+        PIO_TRY(batch.wait());
+        metrics().sieve_reads->inc();
+      }
+      {
+        obs::WallSpan span(tracer, "twophase.exchange", "access",
+                           kAccessTraceTid);
+        // Ranks gather in index order: overlapping views resolve exactly
+        // like sequential per-rank write_strided calls.
+        for (std::size_t r = 0; r < specs.size(); ++r) {
+          for_each_overlap(
+              specs[r], c_lo, c_hi,
+              [&](std::uint64_t lo, std::uint64_t run_hi, std::uint64_t view) {
+                std::memcpy(staging.data() + (lo - c_lo) * rb,
+                            ins[r].data() + view * rb,
+                            static_cast<std::size_t>((run_hi - lo) * rb));
+              });
+        }
+      }
+      {
+        obs::WallSpan span(tracer, "twophase.phase1", "access",
+                           kAccessTraceTid);
+        auto plan = file.plan_records(c_lo, n);
+        if (!plan.ok()) return plan.error();
+        IoBatch batch;
+        std::uint64_t consumed = 0;
+        for (const Segment& seg : *plan) {
+          io.write(seg.device, seg.offset,
+                   image.subspan(static_cast<std::size_t>(consumed),
+                                 static_cast<std::size_t>(seg.length)),
+                   batch);
+          consumed += seg.length;
+        }
+        PIO_TRY(batch.wait());
+      }
+      // Note exactly the covered runs, mirroring direct bookkeeping.
+      for (std::uint64_t i = 0; i < n;) {
+        if (!cover[i]) {
+          ++i;
+          continue;
+        }
+        std::uint64_t j = i;
+        while (j < n && cover[j]) ++j;
+        file.note_written(c_lo + i, j - i);
+        i = j;
+      }
+      transferred.fetch_add(gathered, std::memory_order_relaxed);
+      metrics().sieve_useful_bytes->inc(covered * rb);
+      metrics().sieve_wasted_bytes->inc((n - covered) * rb);
+      metrics().collective_chunks->inc();
+    }
+    return ok_status();
+  });
+  if (!st.ok()) return st.error();
+  return transferred.load(std::memory_order_relaxed);
+}
+
+std::uint64_t access_staging_peak_bytes() noexcept {
+  return g_staging_peak.load(std::memory_order_relaxed);
+}
+
+void access_staging_reset_peak() noexcept {
+  g_staging_peak.store(g_staging_bytes.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+  metrics().staging_peak->set(static_cast<std::int64_t>(
+      g_staging_peak.load(std::memory_order_relaxed)));
 }
 
 }  // namespace pio

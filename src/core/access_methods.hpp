@@ -4,10 +4,21 @@
 //
 // A StridedSpec describes a regular sub-view of the record space (start,
 // block length, stride, count) — the shape MPI-IO later standardized as a
-// vector filetype.  Any organization can be read/written through it; the
-// two-phase collective read turns many interleaved strided requests into
-// one contiguous sweep plus an in-memory scatter, the classic remedy for
-// stride-hostile layouts.
+// vector filetype.  Any organization can be read/written through it.  Two
+// classic optimizations for stride-hostile layouts live here:
+//
+//  - **Data sieving** (Thakur/Gropp/Lusk): instead of one device transfer
+//    per group, read the covering extent in bounded sieve-buffer-sized
+//    chunks and scatter the wanted records in memory.  Writes become
+//    chunked read-modify-write sieving that preserves the holes between
+//    groups byte-for-byte (optionally excluding concurrent hole updates
+//    via RecordLockTable ranges while a chunk is in flight).
+//  - **Two-phase collective I/O**: the union of all ranks' strided views
+//    is partitioned into `aggregators` contiguous file domains, each
+//    transferred through the IoScheduler in bounded staging chunks
+//    (phase 1) and exchanged with the ranks' buffers by memcpy
+//    scatter/gather (phase 2).  Peak staging memory is bounded by
+//    buffer_bytes * aggregators regardless of the covering extent.
 #pragma once
 
 #include <cstdint>
@@ -16,6 +27,7 @@
 
 #include "core/io_scheduler.hpp"
 #include "core/parallel_file.hpp"
+#include "core/record_locks.hpp"
 #include "util/result.hpp"
 
 namespace pio {
@@ -41,37 +53,111 @@ struct StridedSpec {
     return start_record + (i / block_records) * stride_records +
            i % block_records;
   }
+  /// Useful fraction of the covering extent [start_record, end_record):
+  /// 1.0 for a degenerate-contiguous spec, ~block/stride for a long
+  /// interleave, 0.0 for an empty one.
+  double fill_ratio() const noexcept {
+    if (count == 0) return 0.0;
+    return static_cast<double>(total_records()) /
+           static_cast<double>(end_record() - start_record);
+  }
   bool valid() const noexcept {
     return block_records >= 1 && stride_records >= block_records;
   }
 };
 
-/// Read the spec's records, in view order, into `out`
-/// (total_records * record_bytes bytes).  Each group is one batched
-/// transfer.
-Status read_strided(ParallelFile& file, const StridedSpec& spec,
-                    std::span<std::byte> out);
+/// Which transfer strategy a strided read/write uses.
+enum class SievePath : std::uint8_t {
+  auto_select,  ///< fill-ratio gate + positioning-cost heuristic (default)
+  direct,       ///< one device transfer per group (the historical path)
+  sieve,        ///< chunked covering-extent transfers + in-memory scatter
+};
 
-/// Write `in` into the spec's records, in view order.
+/// Knobs for the sieving and collective two-phase paths.
+struct SieveOptions {
+  /// Sieve staging ceiling: the covering extent is transferred in chunks
+  /// of at most this many bytes (per aggregator for the collectives).
+  std::uint64_t buffer_bytes = 256 * 1024;
+  /// auto_select never sieves a spec whose fill ratio is below this.
+  double min_fill_ratio = 0.25;
+  /// Concurrent file-domain partitions for the two-phase collectives.
+  std::uint32_t aggregators = 4;
+  SievePath path = SievePath::auto_select;
+  /// When set, write sieving takes exclusive record-range locks for each
+  /// chunk in flight, so concurrent updates to hole records are excluded
+  /// from the read-modify-write window instead of being lost.
+  RecordLockTable* locks = nullptr;
+};
+
+/// One positioning operation costs about this many bytes of transfer on
+/// the calibrated 1989 disks (~20 ms at ~1.44 MB/s) — the exchange rate
+/// the auto_select heuristic uses to trade per-group positioning against
+/// sieve read amplification.
+inline constexpr std::uint64_t kPositioningCostBytes = 30 * 1024;
+
+/// True when auto_select picks the sieved path for `spec`: the fill
+/// ratio clears `min_fill_ratio` AND the modeled cost of chunked
+/// covering-extent transfers (one positioning charge per chunk + the
+/// amplified bytes) undercuts direct per-group I/O (one positioning
+/// charge per group + the useful bytes).
+bool sieve_chosen(const StridedSpec& spec, std::uint32_t record_bytes,
+                  const SieveOptions& options) noexcept;
+
+/// Read the spec's records, in view order, into `out`
+/// (total_records * record_bytes bytes).  The path is picked per
+/// `options.path`; results are byte-identical either way.
+Status read_strided(ParallelFile& file, const StridedSpec& spec,
+                    std::span<std::byte> out,
+                    const SieveOptions& options = {});
+
+/// Write `in` into the spec's records, in view order.  The sieved path
+/// is read-modify-write per chunk and preserves hole records between
+/// groups byte-for-byte; pass `options.locks` to exclude concurrent hole
+/// updates from the RMW window.
 Status write_strided(ParallelFile& file, const StridedSpec& spec,
-                     std::span<const std::byte> in);
+                     std::span<const std::byte> in,
+                     const SieveOptions& options = {});
 
 /// Asynchronous variant: every group's segments are queued on the
 /// scheduler's per-device workers; completion via `batch.wait()`.
+/// Always direct (the caller owns overlap of compute with the batch).
 Status read_strided_async(IoScheduler& io, ParallelFile& file,
                           const StridedSpec& spec, std::span<std::byte> out,
                           IoBatch& batch);
 
-/// Two-phase collective read: the union of all ranks' strided views is
-/// read as ONE contiguous extent (phase 1, parallel across devices via
-/// the scheduler), then scattered to each rank's buffer in memory
-/// (phase 2).  Returns the number of records transferred to ranks.
-///
-/// Worthwhile exactly when the views interleave finely: the contiguous
-/// sweep replaces count*ranks small strided transfers (see
-/// bench_ext_twophase for the crossover).
+/// Two-phase collective read: the covering extent of all ranks' strided
+/// views is partitioned into `options.aggregators` contiguous file
+/// domains processed concurrently.  Each aggregator reads its domain in
+/// staging chunks of at most `options.buffer_bytes` through the
+/// scheduler's per-device workers (phase 1) and scatters the chunk to
+/// every rank's buffer by memcpy (phase 2), so peak staging memory never
+/// exceeds buffer_bytes * aggregators no matter how large (or sparse)
+/// the covering extent is.  Returns the number of records delivered.
 Result<std::uint64_t> collective_read_two_phase(
     IoScheduler& io, ParallelFile& file, std::span<const StridedSpec> specs,
-    std::span<const std::span<std::byte>> outs);
+    std::span<const std::span<std::byte>> outs,
+    const SieveOptions& options = {});
+
+/// Two-phase collective write: the mirror of the collective read.  Each
+/// aggregator gathers the ranks' contributions for its staging chunk
+/// (ranks applied in index order, so overlaps resolve exactly like
+/// sequential per-rank write_strided calls), pre-reading the chunk only
+/// when the ranks do not cover it completely (read-modify-write at
+/// ragged chunk edges and interior holes), then writes it back through
+/// the scheduler.  Hole records are preserved byte-for-byte; pass
+/// `options.locks` to exclude concurrent hole updates from the RMW
+/// window.  Returns the number of records transferred from ranks.
+Result<std::uint64_t> collective_write_two_phase(
+    IoScheduler& io, ParallelFile& file, std::span<const StridedSpec> specs,
+    std::span<const std::span<const std::byte>> ins,
+    const SieveOptions& options = {});
+
+/// Peak bytes of sieve/collective staging ever reserved concurrently
+/// (process-wide high-water mark; also exported as the
+/// `access.staging_peak_bytes` gauge).
+std::uint64_t access_staging_peak_bytes() noexcept;
+
+/// Reset the staging high-water mark (bench/test support).
+void access_staging_reset_peak() noexcept;
 
 }  // namespace pio

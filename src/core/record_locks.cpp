@@ -111,6 +111,16 @@ void RecordLockTable::unlock_exclusive(std::uint64_t record) {
   shard.cv.notify_all();
 }
 
+void RecordLockTable::lock_range_exclusive(std::uint64_t first,
+                                           std::uint64_t n) {
+  for (std::uint64_t r = first; r < first + n; ++r) lock_exclusive(r);
+}
+
+void RecordLockTable::unlock_range_exclusive(std::uint64_t first,
+                                             std::uint64_t n) {
+  for (std::uint64_t r = first + n; r > first;) unlock_exclusive(--r);
+}
+
 Status LockedDirectFile::read(std::uint64_t record, std::span<std::byte> out) {
   RecordLockTable::SharedGuard guard(locks_, record);
   return file_->read_record(record, out);

@@ -37,6 +37,15 @@ class RecordLockTable {
   /// Non-blocking exclusive attempt.
   bool try_lock_exclusive(std::uint64_t record);
 
+  /// Exclusive lock over every record in [first, first + n), acquired in
+  /// ascending order (deadlock-free against any other ascending range or
+  /// sorted multi-record acquisition) and released in reverse.  Used by
+  /// the sieving write path, whose read-modify-write chunks must exclude
+  /// concurrent updates to hole records while the chunk image is in
+  /// flight.
+  void lock_range_exclusive(std::uint64_t first, std::uint64_t n);
+  void unlock_range_exclusive(std::uint64_t first, std::uint64_t n);
+
   /// Times any acquire had to wait (coarse contention signal).
   std::uint64_t contended_acquires() const noexcept {
     return contended_.load(std::memory_order_relaxed);
@@ -71,6 +80,23 @@ class RecordLockTable {
    private:
     RecordLockTable& table_;
     std::uint64_t record_;
+  };
+
+  class RangeExclusiveGuard {
+   public:
+    RangeExclusiveGuard(RecordLockTable& table, std::uint64_t first,
+                        std::uint64_t n)
+        : table_(table), first_(first), n_(n) {
+      table_.lock_range_exclusive(first_, n_);
+    }
+    ~RangeExclusiveGuard() { table_.unlock_range_exclusive(first_, n_); }
+    RangeExclusiveGuard(const RangeExclusiveGuard&) = delete;
+    RangeExclusiveGuard& operator=(const RangeExclusiveGuard&) = delete;
+
+   private:
+    RecordLockTable& table_;
+    std::uint64_t first_;
+    std::uint64_t n_;
   };
 
  private:

@@ -1,0 +1,444 @@
+// Tests for the data-sieving strided paths and the bounded
+// multi-aggregator two-phase collectives: path-choice heuristic,
+// byte-identical differentials against the direct path (reads AND
+// writes, including hole preservation), strided edge cases, the
+// bounded-staging regression, and lock-protected concurrent RMW.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "core/access_methods.hpp"
+#include "core/io_scheduler.hpp"
+#include "core/record_locks.hpp"
+#include "device/ram_disk.hpp"
+#include "obs/metrics.hpp"
+#include "test_helpers.hpp"
+#include "util/bytes.hpp"
+
+namespace pio {
+namespace {
+
+constexpr std::uint32_t kRecordBytes = 64;
+
+std::shared_ptr<ParallelFile> make_striped(DeviceArray& devices,
+                                           std::uint64_t records,
+                                           std::uint32_t record_bytes = kRecordBytes) {
+  FileMeta meta;
+  meta.name = "f";
+  meta.organization = Organization::sequential;
+  meta.layout_kind = LayoutKind::striped;
+  meta.record_bytes = record_bytes;
+  meta.stripe_unit = 256;
+  meta.capacity_records = records;
+  return std::make_shared<ParallelFile>(
+      meta, devices, std::vector<std::uint64_t>(devices.size(), 0));
+}
+
+/// Buffer stamped so view index i carries spec.record_at(i)'s payload —
+/// what a correct read must produce and what writes lay down.
+std::vector<std::byte> stamped_view(const StridedSpec& spec, std::uint64_t tag) {
+  std::vector<std::byte> buf(spec.total_records() * kRecordBytes);
+  for (std::uint64_t i = 0; i < spec.total_records(); ++i) {
+    fill_record_payload(
+        std::span(buf.data() + i * kRecordBytes, kRecordBytes), tag,
+        spec.record_at(i));
+  }
+  return buf;
+}
+
+/// Raw image of the whole file, for byte-for-byte differentials that
+/// include hole records.
+std::vector<std::byte> file_image(ParallelFile& file) {
+  std::vector<std::byte> image(file.meta().capacity_records *
+                               file.meta().record_bytes);
+  EXPECT_TRUE(file.read_records(0, file.meta().capacity_records, image).ok());
+  return image;
+}
+
+// ----------------------------------------------------------- sieve_chosen
+
+TEST(SieveChosen, EmptySpecNeverSieves) {
+  EXPECT_FALSE(sieve_chosen(StridedSpec{0, 1, 1, 0}, kRecordBytes, {}));
+}
+
+TEST(SieveChosen, FillRatioGateRejectsSparseSpecs) {
+  // 1 useful record per 16: fill 1/16 < default 0.25.
+  StridedSpec sparse{0, 1, 16, 64};
+  EXPECT_LT(sparse.fill_ratio(), 0.25);
+  EXPECT_FALSE(sieve_chosen(sparse, kRecordBytes, {}));
+  // But an explicitly permissive threshold lets the cost model decide.
+  SieveOptions lax;
+  lax.min_fill_ratio = 0.01;
+  EXPECT_TRUE(sieve_chosen(sparse, kRecordBytes, lax));
+}
+
+TEST(SieveChosen, FineInterleavePrefersSieve) {
+  // 1000 tiny groups, 50% fill: 1000 positioning ops direct vs one
+  // sieve chunk — sieving wins by orders of magnitude.
+  StridedSpec fine{0, 1, 2, 1000};
+  EXPECT_TRUE(sieve_chosen(fine, kRecordBytes, {}));
+}
+
+TEST(SieveChosen, SingleGroupPrefersDirect) {
+  // One contiguous group: sieve cannot beat one direct transfer.
+  StridedSpec one{7, 100, 100, 1};
+  EXPECT_DOUBLE_EQ(one.fill_ratio(), 1.0);
+  EXPECT_FALSE(sieve_chosen(one, kRecordBytes, {}));
+}
+
+TEST(SieveChosen, TinyBufferMakesChunkingCostlierThanDirect) {
+  // Full fill, but a 4 KiB sieve buffer turns 4 big direct transfers
+  // into 16 chunked ones — the positioning charges flip the choice.
+  StridedSpec blocks{0, 256, 256, 4};
+  SieveOptions tiny;
+  tiny.buffer_bytes = 4096;
+  EXPECT_FALSE(sieve_chosen(blocks, kRecordBytes, tiny));
+  // With the default 256 KiB buffer one chunk covers everything.
+  EXPECT_TRUE(sieve_chosen(blocks, kRecordBytes, {}));
+}
+
+// ----------------------------------------------------- read differentials
+
+TEST(SievedRead, ByteIdenticalToDirect) {
+  DeviceArray devices = make_ram_array(4, 1 << 20);
+  auto file = make_striped(devices, 512);
+  pio::testing::fill_stamped(*file, 512, 7);
+  // Group/chunk boundaries deliberately misaligned: 2-record groups on a
+  // stride of 5, sieved through 4-record chunks.
+  StridedSpec spec{3, 2, 5, 40};
+  SieveOptions sieved;
+  sieved.path = SievePath::sieve;
+  sieved.buffer_bytes = 4 * kRecordBytes;
+  SieveOptions direct;
+  direct.path = SievePath::direct;
+  std::vector<std::byte> a(spec.total_records() * kRecordBytes);
+  std::vector<std::byte> b(a.size());
+  PIO_ASSERT_OK(read_strided(*file, spec, a, direct));
+  PIO_ASSERT_OK(read_strided(*file, spec, b, sieved));
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(b, stamped_view(spec, 7));
+}
+
+TEST(SievedRead, CountsSieveReadsAndAmplification) {
+  DeviceArray devices = make_ram_array(2, 1 << 20);
+  auto file = make_striped(devices, 256);
+  pio::testing::fill_stamped(*file, 256, 3);
+  auto& registry = obs::MetricsRegistry::global();
+  const std::uint64_t reads0 = registry.counter("access.sieve_reads").value();
+  const std::uint64_t waste0 =
+      registry.counter("access.sieve_wasted_bytes").value();
+  StridedSpec spec{0, 1, 2, 64};  // half-full extent of 127 records
+  SieveOptions sieved;
+  sieved.path = SievePath::sieve;
+  std::vector<std::byte> out(spec.total_records() * kRecordBytes);
+  PIO_ASSERT_OK(read_strided(*file, spec, out, sieved));
+  EXPECT_GT(registry.counter("access.sieve_reads").value(), reads0);
+  // 63 hole records rode along in the covering extent.
+  EXPECT_EQ(registry.counter("access.sieve_wasted_bytes").value() - waste0,
+            63u * kRecordBytes);
+}
+
+// ---------------------------------------------------- write differentials
+
+TEST(SievedWrite, ByteIdenticalToDirectIncludingHoles) {
+  DeviceArray direct_devices = make_ram_array(4, 1 << 20);
+  DeviceArray sieved_devices = make_ram_array(4, 1 << 20);
+  auto direct_file = make_striped(direct_devices, 512);
+  auto sieved_file = make_striped(sieved_devices, 512);
+  // Sentinel-stamp every record so clobbered holes are detected.
+  pio::testing::fill_stamped(*direct_file, 512, 9);
+  pio::testing::fill_stamped(*sieved_file, 512, 9);
+
+  StridedSpec spec{2, 3, 7, 20};
+  const std::vector<std::byte> payload = stamped_view(spec, 5);
+  SieveOptions direct;
+  direct.path = SievePath::direct;
+  SieveOptions sieved;
+  sieved.path = SievePath::sieve;
+  sieved.buffer_bytes = 4 * kRecordBytes;  // chunks cut groups mid-block
+  PIO_ASSERT_OK(write_strided(*direct_file, spec, payload, direct));
+  PIO_ASSERT_OK(write_strided(*sieved_file, spec, payload, sieved));
+
+  EXPECT_EQ(file_image(*direct_file), file_image(*sieved_file));
+  // Spot-check: written records carry tag 5, holes still carry tag 9.
+  EXPECT_TRUE(pio::testing::record_matches(*sieved_file, spec.record_at(0), 5));
+  EXPECT_TRUE(pio::testing::record_matches(*sieved_file, 0, 9));
+  EXPECT_TRUE(pio::testing::record_matches(*sieved_file, 5, 9));
+  // High-water bookkeeping matches too (holes are NOT noted as written).
+  EXPECT_EQ(direct_file->record_count(), sieved_file->record_count());
+  EXPECT_EQ(direct_file->total_partition_records(),
+            sieved_file->total_partition_records());
+}
+
+TEST(SievedWrite, FreshFileHolePreReadDoesNotFail) {
+  // RMW pre-reads of never-written hole records must succeed (they are
+  // zero, not errors).
+  DeviceArray devices = make_ram_array(2, 1 << 20);
+  auto file = make_striped(devices, 128);
+  StridedSpec spec{0, 1, 2, 32};
+  SieveOptions sieved;
+  sieved.path = SievePath::sieve;
+  PIO_ASSERT_OK(write_strided(*file, spec, stamped_view(spec, 4), sieved));
+  for (std::uint64_t i = 0; i < spec.total_records(); ++i) {
+    EXPECT_TRUE(pio::testing::record_matches(*file, spec.record_at(i), 4));
+  }
+}
+
+// ------------------------------------------------------------- edge cases
+
+TEST(StridedEdge, CountZeroIsANoOp) {
+  DeviceArray devices = make_ram_array(2, 1 << 20);
+  auto file = make_striped(devices, 64);
+  pio::testing::fill_stamped(*file, 64, 2);
+  StridedSpec empty{10, 1, 1, 0};
+  EXPECT_EQ(empty.end_record(), 10u);
+  EXPECT_EQ(empty.fill_ratio(), 0.0);
+  std::vector<std::byte> none;
+  for (SievePath path : {SievePath::direct, SievePath::sieve}) {
+    SieveOptions options;
+    options.path = path;
+    PIO_EXPECT_OK(read_strided(*file, empty, none, options));
+    PIO_EXPECT_OK(write_strided(*file, empty, none, options));
+  }
+  EXPECT_TRUE(pio::testing::record_matches(*file, 10, 2));  // untouched
+}
+
+TEST(StridedEdge, BlockEqualsStrideIsDegenerateContiguous) {
+  DeviceArray devices = make_ram_array(4, 1 << 20);
+  auto file = make_striped(devices, 256);
+  StridedSpec contiguous{16, 8, 8, 12};  // records [16, 112), no holes
+  EXPECT_DOUBLE_EQ(contiguous.fill_ratio(), 1.0);
+  SieveOptions sieved;
+  sieved.path = SievePath::sieve;
+  sieved.buffer_bytes = 5 * kRecordBytes;  // chunks misaligned with groups
+  PIO_ASSERT_OK(
+      write_strided(*file, contiguous, stamped_view(contiguous, 6), sieved));
+  std::vector<std::byte> back(contiguous.total_records() * kRecordBytes);
+  SieveOptions direct;
+  direct.path = SievePath::direct;
+  PIO_ASSERT_OK(read_strided(*file, contiguous, back, direct));
+  EXPECT_EQ(back, stamped_view(contiguous, 6));
+}
+
+TEST(StridedEdge, SpecEndingExactlyAtCapacityIsAccepted) {
+  DeviceArray devices = make_ram_array(2, 1 << 20);
+  auto file = make_striped(devices, 100);
+  StridedSpec exact{60, 4, 12, 4};  // end_record = 60 + 36 + 4 = 100
+  ASSERT_EQ(exact.end_record(), 100u);
+  SieveOptions sieved;
+  sieved.path = SievePath::sieve;
+  PIO_ASSERT_OK(write_strided(*file, exact, stamped_view(exact, 8), sieved));
+  std::vector<std::byte> out(exact.total_records() * kRecordBytes);
+  PIO_ASSERT_OK(read_strided(*file, exact, out, sieved));
+  EXPECT_EQ(out, stamped_view(exact, 8));
+
+  StridedSpec past{60, 4, 12, 5};  // one more group: end 112 > 100
+  std::vector<std::byte> big(past.total_records() * kRecordBytes);
+  EXPECT_EQ(read_strided(*file, past, big).code(), Errc::out_of_range);
+  EXPECT_EQ(write_strided(*file, past, big).code(), Errc::out_of_range);
+}
+
+// ------------------------------------------------- collective differentials
+
+TEST(CollectiveRead, ByteIdenticalToPerRankStridedReads) {
+  DeviceArray devices = make_ram_array(4, 1 << 20);
+  IoScheduler io(devices);
+  auto file = make_striped(devices, 360);
+  pio::testing::fill_stamped(*file, 360, 11);
+  // Heterogeneous views: fine interleave, blocky stride, disjoint tail.
+  std::vector<StridedSpec> specs{
+      StridedSpec{0, 1, 3, 80},
+      StridedSpec{1, 2, 6, 40},
+      StridedSpec{300, 5, 10, 6},
+  };
+  std::vector<std::vector<std::byte>> collective(specs.size());
+  std::vector<std::vector<std::byte>> individual(specs.size());
+  std::vector<std::span<std::byte>> outs;
+  for (std::size_t r = 0; r < specs.size(); ++r) {
+    collective[r].resize(specs[r].total_records() * kRecordBytes);
+    individual[r].resize(collective[r].size());
+    outs.emplace_back(collective[r]);
+  }
+  SieveOptions options;
+  options.aggregators = 3;
+  options.buffer_bytes = 8 * kRecordBytes;  // force many chunks per domain
+  auto delivered = collective_read_two_phase(io, *file, specs, outs, options);
+  ASSERT_TRUE(delivered.ok()) << delivered.error().to_string();
+  std::uint64_t expected = 0;
+  for (std::size_t r = 0; r < specs.size(); ++r) {
+    PIO_ASSERT_OK(read_strided(*file, specs[r], individual[r],
+                               SieveOptions{.path = SievePath::direct}));
+    EXPECT_EQ(collective[r], individual[r]) << "rank " << r;
+    expected += specs[r].total_records();
+  }
+  EXPECT_EQ(*delivered, expected);
+}
+
+TEST(CollectiveWrite, ByteIdenticalToSequentialStridedWrites) {
+  DeviceArray collective_devices = make_ram_array(4, 1 << 20);
+  DeviceArray direct_devices = make_ram_array(4, 1 << 20);
+  IoScheduler io(collective_devices);
+  auto collective_file = make_striped(collective_devices, 360);
+  auto direct_file = make_striped(direct_devices, 360);
+  pio::testing::fill_stamped(*collective_file, 360, 9);  // hole sentinels
+  pio::testing::fill_stamped(*direct_file, 360, 9);
+
+  // Overlapping views on purpose: ranks applied in index order must
+  // resolve exactly like sequential per-rank writes.
+  std::vector<StridedSpec> specs{
+      StridedSpec{0, 2, 5, 40},
+      StridedSpec{1, 2, 5, 40},   // overlaps rank 0's second record
+      StridedSpec{250, 3, 9, 10},
+  };
+  std::vector<std::vector<std::byte>> payload(specs.size());
+  std::vector<std::span<const std::byte>> ins;
+  for (std::size_t r = 0; r < specs.size(); ++r) {
+    payload[r] = stamped_view(specs[r], 20 + r);
+    ins.emplace_back(payload[r]);
+  }
+  SieveOptions options;
+  options.aggregators = 4;
+  options.buffer_bytes = 8 * kRecordBytes;
+  auto transferred =
+      collective_write_two_phase(io, *collective_file, specs, ins, options);
+  ASSERT_TRUE(transferred.ok()) << transferred.error().to_string();
+  std::uint64_t expected = 0;
+  for (std::size_t r = 0; r < specs.size(); ++r) {
+    PIO_ASSERT_OK(write_strided(*direct_file, specs[r], payload[r],
+                                SieveOptions{.path = SievePath::direct}));
+    expected += specs[r].total_records();
+  }
+  EXPECT_EQ(*transferred, expected);
+  EXPECT_EQ(file_image(*collective_file), file_image(*direct_file));
+  EXPECT_EQ(collective_file->record_count(), direct_file->record_count());
+}
+
+TEST(CollectiveWrite, EmptySpecsTransferNothing) {
+  DeviceArray devices = make_ram_array(2, 1 << 20);
+  IoScheduler io(devices);
+  auto file = make_striped(devices, 10);
+  std::vector<StridedSpec> specs{StridedSpec{0, 1, 1, 0}};
+  std::vector<std::byte> empty;
+  std::vector<std::span<const std::byte>> ins{
+      std::span<const std::byte>(empty)};
+  auto transferred = collective_write_two_phase(io, *file, specs, ins);
+  ASSERT_TRUE(transferred.ok());
+  EXPECT_EQ(*transferred, 0u);
+  EXPECT_EQ(file->record_count(), 0u);
+}
+
+// ------------------------------------------------- bounded-staging regression
+
+TEST(CollectiveRead, StagingStaysBoundedOnSparseGiantExtent) {
+  // Two sparse ranks covering a ~19 MB extent.  The pre-rework collective
+  // staged the WHOLE covering extent (extent_records * record_bytes) in
+  // one allocation; the bounded rework must never hold more than
+  // buffer_bytes * aggregators of staging at once.
+  DeviceArray devices = make_ram_array(4, 8 << 20);
+  IoScheduler io(devices);
+  auto file = make_striped(devices, 300'000);
+  std::vector<StridedSpec> specs{
+      StridedSpec{0, 1, 1000, 300},
+      StridedSpec{500, 1, 1000, 300},
+  };
+  std::vector<std::vector<std::byte>> buffers(specs.size());
+  std::vector<std::span<std::byte>> outs;
+  for (std::size_t r = 0; r < specs.size(); ++r) {
+    buffers[r].resize(specs[r].total_records() * kRecordBytes);
+    outs.emplace_back(buffers[r]);
+  }
+  SieveOptions options;
+  options.buffer_bytes = 64 * 1024;
+  options.aggregators = 4;
+  access_staging_reset_peak();
+  auto delivered = collective_read_two_phase(io, *file, specs, outs, options);
+  ASSERT_TRUE(delivered.ok()) << delivered.error().to_string();
+  EXPECT_EQ(*delivered, 600u);
+  EXPECT_GT(access_staging_peak_bytes(), 0u);
+  EXPECT_LE(access_staging_peak_bytes(),
+            options.buffer_bytes * options.aggregators);
+}
+
+TEST(CollectiveWrite, StagingStaysBoundedOnSparseGiantExtent) {
+  DeviceArray devices = make_ram_array(4, 8 << 20);
+  IoScheduler io(devices);
+  auto file = make_striped(devices, 300'000);
+  std::vector<StridedSpec> specs{
+      StridedSpec{0, 1, 1000, 300},
+      StridedSpec{500, 1, 1000, 300},
+  };
+  std::vector<std::vector<std::byte>> payload(specs.size());
+  std::vector<std::span<const std::byte>> ins;
+  for (std::size_t r = 0; r < specs.size(); ++r) {
+    payload[r] = stamped_view(specs[r], 30 + r);
+    ins.emplace_back(payload[r]);
+  }
+  SieveOptions options;
+  options.buffer_bytes = 64 * 1024;
+  options.aggregators = 4;
+  access_staging_reset_peak();
+  auto transferred =
+      collective_write_two_phase(io, *file, specs, ins, options);
+  ASSERT_TRUE(transferred.ok()) << transferred.error().to_string();
+  EXPECT_EQ(*transferred, 600u);
+  EXPECT_LE(access_staging_peak_bytes(),
+            options.buffer_bytes * options.aggregators);
+  EXPECT_TRUE(pio::testing::record_matches(*file, 500, 31));
+}
+
+// ------------------------------------------------- concurrent RMW with locks
+
+TEST(SievedWriteLocks, ConcurrentHoleUpdatesAreNeverLost) {
+  // Main thread sieve-writes the even records while a rival updates the
+  // odd (hole) records through the same lock table.  With range locks the
+  // rival's update is excluded from the RMW window, so whichever order
+  // the lock grants, the hole's final bytes are the rival's — an
+  // unlocked sieve could overwrite them with stale pre-read data.
+  DeviceArray devices = make_ram_array(4, 1 << 20);
+  auto file = make_striped(devices, 2048);
+  pio::testing::fill_stamped(*file, 2048, 1);
+  RecordLockTable locks(16);
+
+  StridedSpec evens{0, 1, 2, 1024};
+  SieveOptions options;
+  options.path = SievePath::sieve;
+  options.buffer_bytes = 16 * kRecordBytes;
+  options.locks = &locks;
+  const std::vector<std::byte> payload = stamped_view(evens, 5);
+
+  std::thread rival([&] {
+    std::vector<std::byte> rec(kRecordBytes);
+    for (std::uint64_t r = 1; r < 2048; r += 2) {
+      fill_record_payload(rec, 3, r);
+      RecordLockTable::ExclusiveGuard guard(locks, r);
+      auto st = file->write_records(r, 1, rec);
+      ASSERT_TRUE(st.ok()) << st.error().to_string();
+    }
+  });
+  PIO_ASSERT_OK(write_strided(*file, evens, payload, options));
+  rival.join();
+
+  for (std::uint64_t r = 0; r < 2048; ++r) {
+    EXPECT_TRUE(pio::testing::record_matches(*file, r, r % 2 ? 3 : 5))
+        << "record " << r;
+  }
+}
+
+TEST(RecordLockRange, AscendingRangeGuardsDoNotDeadlock) {
+  RecordLockTable locks(8);
+  std::atomic<int> holds{0};
+  auto worker = [&](std::uint64_t first) {
+    for (int iter = 0; iter < 50; ++iter) {
+      RecordLockTable::RangeExclusiveGuard guard(locks, first, 32);
+      holds.fetch_add(1, std::memory_order_relaxed);
+    }
+  };
+  std::thread a(worker, 0), b(worker, 16), c(worker, 24);
+  a.join();
+  b.join();
+  c.join();
+  EXPECT_EQ(holds.load(), 150);
+}
+
+}  // namespace
+}  // namespace pio

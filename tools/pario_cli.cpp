@@ -22,11 +22,13 @@
 #include <string>
 #include <vector>
 
+#include "core/access_methods.hpp"
 #include "core/file_system.hpp"
 #include "core/global_view.hpp"
 #include "device/file_disk.hpp"
 #include "obs/bridge.hpp"
 #include "obs/metrics.hpp"
+#include "util/bytes.hpp"
 
 using namespace pio;
 
@@ -41,7 +43,11 @@ int usage() {
                "  create <name> --org S|PS|IS|SS|GDA|PDA --record-bytes B\n"
                "         --capacity N [--partitions P] [--records-per-block R]\n"
                "  import <name> <host-file> | export <name> <host-file>\n"
-               "  convert <src> <dst>\n");
+               "  convert <src> <dst>\n"
+               "  strided read <name> [host-file] --start S --block B\n"
+               "          --stride T --count C [--sieve-buf BYTES]\n"
+               "          [--min-fill F] [--force direct|sieve]\n"
+               "  strided write <name> <host-file> (same spec/sieve flags)\n");
   return 2;
 }
 
@@ -270,6 +276,95 @@ int cmd_stats(FileSystem& fs, DeviceArray& devices, bool json) {
   return 0;
 }
 
+// Strided view of a file through the access-method layer: read prints
+// (and optionally saves) the view with its FNV-1a checksum; write fills
+// the view from a host file (zero-padded tail).  --force pins the
+// transfer path; the default is the auto_select heuristic.
+int cmd_strided(FileSystem& fs, const std::string& op, const std::string& name,
+                const std::optional<std::string>& host_path,
+                const Flags& flags) {
+  auto file = fs.open(name);
+  if (!file.ok()) return fail(name, file.error());
+  ParallelFile& pf = **file;
+
+  StridedSpec spec;
+  spec.start_record = flags.get_u64("start", 0);
+  spec.block_records = flags.get_u64("block", 1);
+  spec.stride_records = flags.get_u64("stride", spec.block_records);
+  spec.count = flags.get_u64("count", 0);
+
+  SieveOptions options;
+  options.buffer_bytes = flags.get_u64("sieve-buf", options.buffer_bytes);
+  if (const auto f = flags.get("min-fill")) {
+    options.min_fill_ratio = std::strtod(f->c_str(), nullptr);
+  }
+  if (const auto forced = flags.get("force")) {
+    if (*forced == "direct") {
+      options.path = SievePath::direct;
+    } else if (*forced == "sieve") {
+      options.path = SievePath::sieve;
+    } else {
+      return usage();
+    }
+  }
+  const bool sieved =
+      options.path == SievePath::sieve ||
+      (options.path == SievePath::auto_select &&
+       sieve_chosen(spec, pf.meta().record_bytes, options));
+
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+  const std::uint64_t reads0 = registry.counter("access.sieve_reads").value();
+  const std::uint64_t waste0 =
+      registry.counter("access.sieve_wasted_bytes").value();
+
+  const std::size_t rb = pf.meta().record_bytes;
+  std::vector<std::byte> buf(spec.total_records() * rb);
+  if (op == "read") {
+    if (auto st = read_strided(pf, spec, buf, options); !st.ok()) {
+      return fail("strided read " + name, st.error());
+    }
+    if (host_path) {
+      std::ofstream out(*host_path, std::ios::binary | std::ios::trunc);
+      out.write(reinterpret_cast<const char*>(buf.data()),
+                static_cast<std::streamsize>(buf.size()));
+      if (!out) {
+        std::fprintf(stderr, "pario: cannot write %s\n", host_path->c_str());
+        return 1;
+      }
+    }
+  } else {
+    if (!host_path) return usage();
+    std::ifstream in(*host_path, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "pario: cannot read %s\n", host_path->c_str());
+      return 1;
+    }
+    in.read(reinterpret_cast<char*>(buf.data()),
+            static_cast<std::streamsize>(buf.size()));  // short tail stays 0
+    if (auto st = write_strided(pf, spec, buf, options); !st.ok()) {
+      return fail("strided write " + name, st.error());
+    }
+    if (auto st = fs.sync(); !st.ok()) return fail("sync", st.error());
+  }
+
+  std::printf("%s %llu records (%llu bytes) via %s path, fill %.3f\n",
+              op == "read" ? "read" : "wrote",
+              static_cast<unsigned long long>(spec.total_records()),
+              static_cast<unsigned long long>(buf.size()),
+              sieved ? "sieved" : "direct", spec.fill_ratio());
+  std::printf("checksum: %016llx\n",
+              static_cast<unsigned long long>(fnv1a(buf)));
+  if (sieved) {
+    std::printf(
+        "sieve: %llu chunk reads, %llu wasted bytes\n",
+        static_cast<unsigned long long>(
+            registry.counter("access.sieve_reads").value() - reads0),
+        static_cast<unsigned long long>(
+            registry.counter("access.sieve_wasted_bytes").value() - waste0));
+  }
+  return 0;
+}
+
 int cmd_convert(FileSystem& fs, const std::string& src_name,
                 const std::string& dst_name) {
   auto src = fs.open(src_name);
@@ -317,6 +412,16 @@ int main(int argc, char** argv) {
   }
   if (cmd == "create" && argc >= 4) {
     return cmd_create(**fs, argv[3], Flags(argc, argv, 4));
+  }
+  if (cmd == "strided" && argc >= 5) {
+    const std::string op = argv[3];
+    if (op != "read" && op != "write") return usage();
+    std::optional<std::string> host_path;
+    if (argc >= 6 && std::strncmp(argv[5], "--", 2) != 0) {
+      host_path = argv[5];
+    }
+    return cmd_strided(**fs, op, argv[4], host_path,
+                       Flags(argc, argv, host_path ? 6 : 5));
   }
   if (cmd == "import" && argc >= 5) return cmd_import(**fs, argv[3], argv[4]);
   if (cmd == "export" && argc >= 5) return cmd_export(**fs, argv[3], argv[4]);
