@@ -1,0 +1,250 @@
+// ABLATION: dedicated I/O server vs direct library calls (§4's "dedicated
+// I/O processor").  A compute process that does its own synchronous I/O
+// serializes computation against positioning + transfer; handing requests
+// to the IoServer lets computation overlap service, and multiple clients
+// share the server's dispatchers and per-device scheduler workers.
+//
+//  direct_sync      — one caller: compute, then a synchronous read/write,
+//                     strictly alternating (the baseline).
+//  server_async/K   — K client threads, each with the same per-op compute,
+//                     submitting through Client futures with a bounded
+//                     window; Errc::overloaded retires the oldest future
+//                     and retries (the canonical backpressure reaction).
+//
+// Devices charge a fixed positioning+transfer latency per operation by
+// SLEEPING (LatencyDevice below), not busy-waiting like ThrottledDevice:
+// device time is off-CPU, as with a real disk arm + DMA, so service can
+// overlap compute even on single-core CI hosts.  Each op moves one track
+// (a single stripe-unit segment), and consecutive ops rotate devices, so
+// the server's per-device workers service different clients' requests
+// concurrently.  Expected: aggregate server-mediated throughput with
+// K >= 4 clients exceeds the direct synchronous single caller.
+//
+// Honors --quick (fewer ops per client) and --json=PATH (default
+// BENCH_server.json).
+#include <atomic>
+#include <chrono>
+#include <deque>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "device/ram_disk.hpp"
+#include "server/client.hpp"
+#include "server/io_server.hpp"
+
+namespace {
+
+using namespace pio;
+using pio::bench::kTrack;
+
+constexpr std::size_t kDevices = 4;
+constexpr double kDeviceOpUs = 400.0;  // positioning + one-track transfer
+constexpr double kComputeUs = 50.0;
+constexpr std::uint32_t kRecordBytes = 4096;
+constexpr std::uint64_t kRecordsPerOp = 6;  // 24 KiB: exactly one track
+/// 171 tracks per client region keeps every region track-aligned and far
+/// larger than the in-flight window (no overlapping extents in flight).
+constexpr std::uint64_t kRegionRecords = 171 * kRecordsPerOp;
+constexpr std::size_t kMaxClients = 8;
+constexpr std::size_t kWindow = 8;
+
+std::uint64_t ops_per_client() { return pio::bench::quick_flag ? 64 : 256; }
+
+/// Decorator charging a fixed per-operation latency as a SLEEP — device
+/// time off the CPU, so it overlaps host compute (contrast
+/// ThrottledDevice, whose busy-wait charge is itself CPU time).
+class LatencyDevice final : public BlockDevice {
+ public:
+  LatencyDevice(std::unique_ptr<BlockDevice> inner, double op_us)
+      : inner_(std::move(inner)), op_us_(op_us) {}
+
+  Status read(std::uint64_t offset, std::span<std::byte> out) override {
+    charge();
+    return inner_->read(offset, out);
+  }
+  Status write(std::uint64_t offset, std::span<const std::byte> in) override {
+    charge();
+    return inner_->write(offset, in);
+  }
+  Status readv(std::span<const IoVec> iov) override {
+    charge();
+    return inner_->readv(iov);
+  }
+  Status writev(std::span<const ConstIoVec> iov) override {
+    charge();
+    return inner_->writev(iov);
+  }
+  std::uint64_t capacity() const noexcept override {
+    return inner_->capacity();
+  }
+  const std::string& name() const noexcept override { return inner_->name(); }
+  const DeviceCounters& counters() const noexcept override {
+    return inner_->counters();
+  }
+
+ private:
+  void charge() const {
+    std::this_thread::sleep_for(std::chrono::nanoseconds(
+        static_cast<std::int64_t>(op_us_ * 1e3)));
+  }
+
+  std::unique_ptr<BlockDevice> inner_;
+  double op_us_;
+};
+
+/// Busy-wait compute phase — unlike device time this IS host CPU work.
+void compute() {
+  const auto until =
+      std::chrono::steady_clock::now() +
+      std::chrono::nanoseconds(static_cast<std::int64_t>(kComputeUs * 1e3));
+  while (std::chrono::steady_clock::now() < until) {
+  }
+}
+
+struct Rig {
+  DeviceArray devices;
+  std::unique_ptr<FileSystem> fs;
+  std::shared_ptr<ParallelFile> file;
+
+  Rig() {
+    for (std::size_t d = 0; d < kDevices; ++d) {
+      devices.add(std::make_unique<LatencyDevice>(
+          std::make_unique<RamDisk>("ram" + std::to_string(d), 16ull << 20),
+          kDeviceOpUs));
+    }
+    fs = FileSystem::format(devices).take();
+    CreateOptions opts;
+    opts.name = "bench";
+    opts.organization = Organization::sequential;
+    opts.record_bytes = kRecordBytes;
+    opts.capacity_records = kMaxClients * kRegionRecords;
+    opts.stripe_unit = kTrack;
+    file = fs->create(opts).take();
+    // Pre-populate so reads move real data.
+    std::vector<std::byte> fill(kRegionRecords * kRecordBytes, std::byte{0x42});
+    for (std::size_t c = 0; c < kMaxClients; ++c) {
+      (void)file->write_records(c * kRegionRecords, kRegionRecords, fill);
+    }
+  }
+};
+
+/// Op i for the client owning `region`: alternating write/read over
+/// track-sized slots; consecutive slots rotate devices, and the region
+/// holds 171 slots, so every in-flight extent is distinct.
+struct OpPlan {
+  std::uint64_t first;
+  bool is_write;
+};
+OpPlan plan_op(std::size_t region, std::uint64_t i) {
+  const std::uint64_t slot = i % (kRegionRecords / kRecordsPerOp);
+  return OpPlan{region * kRegionRecords + slot * kRecordsPerOp, i % 2 == 0};
+}
+
+void BM_DirectSync(benchmark::State& state) {
+  Rig rig;
+  std::vector<std::byte> buf(kRecordsPerOp * kRecordBytes, std::byte{7});
+  std::uint64_t bytes = 0;
+  for (auto _ : state) {
+    for (std::uint64_t i = 0; i < ops_per_client(); ++i) {
+      compute();
+      const OpPlan op = plan_op(0, i);
+      const Status st =
+          op.is_write
+              ? rig.file->write_records(op.first, kRecordsPerOp, buf)
+              : rig.file->read_records(op.first, kRecordsPerOp, buf);
+      if (!st.ok()) state.SkipWithError(st.error().to_string().c_str());
+      bytes += kRecordsPerOp * kRecordBytes;
+    }
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(bytes));
+  state.counters["clients"] = 1;
+  pio::bench::report_registry(state);
+}
+
+void BM_ServerAsync(benchmark::State& state) {
+  const auto clients = static_cast<std::size_t>(state.range(0));
+  Rig rig;
+  server::IoServerOptions options;
+  options.dispatchers = kDevices;
+  options.queue_capacity = 128;
+  options.max_inflight_per_session = kWindow;
+  server::IoServer io_server(*rig.fs, rig.devices, options);
+
+  std::uint64_t bytes = 0;
+  std::atomic<int> errors{0};
+  for (auto _ : state) {
+    std::vector<std::thread> threads;
+    for (std::size_t c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c] {
+        auto client = server::Client::connect(io_server);
+        if (!client.ok()) {
+          ++errors;
+          return;
+        }
+        auto token = client->open("bench");
+        if (!token.ok()) {
+          ++errors;
+          return;
+        }
+        std::vector<std::byte> buf(kRecordsPerOp * kRecordBytes,
+                                   std::byte{9});
+        std::deque<server::Future> window;
+        for (std::uint64_t i = 0; i < ops_per_client(); ++i) {
+          compute();
+          const OpPlan op = plan_op(c, i);
+          for (;;) {
+            auto future =
+                op.is_write
+                    ? client->write_async(*token, op.first, kRecordsPerOp, buf)
+                    : client->read_async(*token, op.first, kRecordsPerOp, buf);
+            if (future.ok()) {
+              window.push_back(*future);
+              break;
+            }
+            if (future.code() != Errc::overloaded || window.empty()) {
+              ++errors;
+              return;
+            }
+            if (!window.front().wait().ok()) ++errors;
+            window.pop_front();
+          }
+          while (window.size() >= kWindow) {
+            if (!window.front().wait().ok()) ++errors;
+            window.pop_front();
+          }
+        }
+        for (server::Future& f : window) {
+          if (!f.wait().ok()) ++errors;
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    bytes += clients * ops_per_client() * kRecordsPerOp * kRecordBytes;
+  }
+  if (errors.load() != 0) state.SkipWithError("client errors");
+  state.SetBytesProcessed(static_cast<std::int64_t>(bytes));
+  state.counters["clients"] = static_cast<double>(clients);
+  pio::bench::report_registry(state);
+}
+
+}  // namespace
+
+// Real time everywhere: device latency is off-CPU sleep, so CPU-time
+// throughput would flatter the synchronous baseline absurdly.
+BENCHMARK(BM_DirectSync)->UseRealTime();
+BENCHMARK(BM_ServerAsync)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->ArgNames({"clients"})
+    ->UseRealTime();
+
+PIO_BENCH_MAIN_JSON(
+    "ABLATION: dedicated I/O server vs direct calls (paper §4)",
+    "Alternating one-track (24 KiB) reads/writes with 50 us compute per op\n"
+    "on devices charging 400 us off-CPU latency per operation.  direct_sync\n"
+    "serializes compute against I/O in one caller; server_async/K overlaps\n"
+    "K clients' compute with the server's dispatchers + per-device\n"
+    "scheduler workers.  Expected: aggregate throughput at K >= 4 beats\n"
+    "the direct caller.",
+    "BENCH_server.json")

@@ -24,9 +24,14 @@ using namespace pio;
 using pio::bench::kTrack;
 
 constexpr std::size_t kProcesses = 16;
-constexpr std::uint64_t kBlocksPerProcess = 24;
 constexpr std::uint64_t kBlockBytes = 2 * kTrack;
 constexpr double kCompute = 0.002;
+
+/// Read at run time (not registration) so --quick can trim the scan; the
+/// seek-interference shape survives the smaller per-process extent.
+std::uint64_t blocks_per_process() {
+  return pio::bench::quick_flag ? 6 : 24;
+}
 
 enum class Alloc { blocked_grouped, blocked_round_robin, interleaved };
 
@@ -34,11 +39,11 @@ std::unique_ptr<Layout> make_alloc(Alloc alloc, std::size_t devices) {
   switch (alloc) {
     case Alloc::blocked_grouped:
       return std::make_unique<BlockedLayout>(kProcesses,
-                                             kBlocksPerProcess * kBlockBytes,
+                                             blocks_per_process() * kBlockBytes,
                                              devices, PartitionPlacement::grouped);
     case Alloc::blocked_round_robin:
       return std::make_unique<BlockedLayout>(
-          kProcesses, kBlocksPerProcess * kBlockBytes, devices,
+          kProcesses, blocks_per_process() * kBlockBytes, devices,
           PartitionPlacement::round_robin);
     case Alloc::interleaved:
       return make_interleaved_layout(devices, kBlockBytes);
@@ -48,7 +53,7 @@ std::unique_ptr<Layout> make_alloc(Alloc alloc, std::size_t devices) {
 
 void run_case(benchmark::State& state, Alloc alloc) {
   const auto devices = static_cast<std::size_t>(state.range(0));
-  const std::uint64_t bytes = kProcesses * kBlocksPerProcess * kBlockBytes;
+  const std::uint64_t bytes = kProcesses * blocks_per_process() * kBlockBytes;
   double elapsed = 0;
   double mean_seek = 0;
   for (auto _ : state) {
@@ -58,11 +63,11 @@ void run_case(benchmark::State& state, Alloc alloc) {
     std::vector<std::vector<SimOp>> ops;
     for (std::size_t p = 0; p < kProcesses; ++p) {
       std::vector<SimOp> mine;
-      for (std::uint64_t b = 0; b < kBlocksPerProcess; ++b) {
+      for (std::uint64_t b = 0; b < blocks_per_process(); ++b) {
         // Process p's logical blocks: contiguous for PS, strided for IS.
         const std::uint64_t block = alloc == Alloc::interleaved
                                         ? p + b * kProcesses
-                                        : p * kBlocksPerProcess + b;
+                                        : p * blocks_per_process() + b;
         mine.push_back(SimOp{block * kBlockBytes, kBlockBytes, kCompute});
       }
       ops.push_back(std::move(mine));

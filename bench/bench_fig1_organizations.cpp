@@ -121,7 +121,7 @@ void BM_HandleReadThroughput(benchmark::State& state) {
   meta.record_bytes = 512;
   meta.records_per_block = 4;
   meta.partitions = is_partitioned ? 4 : 1;
-  meta.capacity_records = 8192;
+  meta.capacity_records = pio::bench::quick_flag ? 1024 : 8192;
   auto file = std::make_shared<ParallelFile>(
       meta, devices, std::vector<std::uint64_t>(4, 0));
   std::vector<std::byte> rec(512);
@@ -151,15 +151,22 @@ BENCHMARK(BM_HandleReadThroughput)
     ->Arg(static_cast<int>(pio::Organization::self_scheduled))
     ->ArgName("org");
 
+// bench_main() with print_figure1() spliced between the banner and the
+// runs, so --quick / --json= work here like in every other bench.
 int main(int argc, char** argv) {
+  constexpr const char* kExperiment =
+      "FIG1: parallel file organizations (Figure 1)";
   pio::bench::banner(
-      "FIG1: parallel file organizations (Figure 1)",
+      kExperiment,
       "Reprints Figure 1's access patterns from the implemented handles and\n"
       "measures the functional record path per organization (RAM devices).");
   print_figure1();
+  pio::bench::strip_sched_flags(argc, argv);
   ::benchmark::Initialize(&argc, argv);
   if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  ::benchmark::RunSpecifiedBenchmarks();
+  pio::bench::JsonCollectingReporter reporter;
+  ::benchmark::RunSpecifiedBenchmarks(&reporter);
+  pio::bench::write_json(kExperiment, reporter, pio::bench::json_flag);
   ::benchmark::Shutdown();
   return 0;
 }

@@ -27,6 +27,13 @@ ReadAhead::ReadAhead(FetchFn fetch, std::uint64_t total_chunks,
   thread_ = std::thread([this] { worker(); });
 }
 
+// Shutdown ordering: flag first, wake the worker, then join.  Chunks not
+// yet fetched are ABANDONED — the worker re-checks shutdown_ after each
+// ring wait and exits instead of continuing the schedule, so destruction
+// cost is bounded by the one fetch possibly in flight, never by the
+// remaining chunk count.  (Contrast WriteBehind, whose destructor drains.)
+// Pinned by ReadAhead.DestructorAbandonsUnfetchedChunks /
+// DestructorWaitsForInFlightFetch in buffer_test.cpp.
 ReadAhead::~ReadAhead() {
   {
     std::scoped_lock lock(mutex_);

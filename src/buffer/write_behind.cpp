@@ -7,6 +7,13 @@ WriteBehind::WriteBehind(StoreFn store, std::size_t depth)
       depth_(depth ? depth : 1),
       thread_([this] { worker(); }) {}
 
+// Shutdown ordering: flag first, wake the worker, then join.  The worker's
+// wait predicate keeps it popping until the queue is EMPTY even once
+// shutdown_ is set, so every chunk staged by submit() is stored before the
+// join completes — deferred writes are never dropped by destruction.
+// (Contrast ReadAhead, whose destructor abandons unfetched chunks.)  All
+// submitters must have returned before destruction begins, as usual.
+// Pinned by WriteBehind.DestructorDrainsStagedItems in buffer_test.cpp.
 WriteBehind::~WriteBehind() {
   {
     std::scoped_lock lock(mutex_);

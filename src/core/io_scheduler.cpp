@@ -44,6 +44,19 @@ Status IoBatch::wait() {
   return ok_status();
 }
 
+std::optional<Status> IoBatch::wait_for(std::chrono::milliseconds timeout) {
+  std::unique_lock lock(mutex_);
+  if (!cv_.wait_for(lock, timeout, [&] { return pending_ == 0; })) {
+    return std::nullopt;
+  }
+  if (first_error_.code != Errc::ok) {
+    Error err = first_error_;
+    first_error_ = Error{};
+    return Status{err};
+  }
+  return ok_status();
+}
+
 std::size_t IoBatch::pending() const {
   std::scoped_lock lock(mutex_);
   return pending_;

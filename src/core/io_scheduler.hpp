@@ -36,6 +36,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -72,6 +73,13 @@ class IoBatch {
   /// Block until every expected completion arrived; returns ok or the
   /// FIRST error reported.  The batch is reusable after wait().
   Status wait();
+
+  /// Bounded wait(): nullopt when `timeout` elapses with completions still
+  /// outstanding (the batch is untouched and a later wait()/wait_for() can
+  /// still succeed), otherwise exactly wait()'s result.  Lets drain paths
+  /// and tests bound the damage of a lost completion instead of blocking
+  /// forever.
+  std::optional<Status> wait_for(std::chrono::milliseconds timeout);
 
   /// Completions still outstanding.
   std::size_t pending() const;

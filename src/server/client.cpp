@@ -1,0 +1,109 @@
+#include "server/client.hpp"
+
+#include <utility>
+
+namespace pio::server {
+
+Result<Client> Client::connect(IoServer& server) {
+  auto session = server.connect();
+  if (!session.ok()) return Error(session.error());
+  return Client(server, *session);
+}
+
+Client::~Client() {
+  if (server_ != nullptr && session_ != 0) {
+    (void)server_->disconnect(session_);
+  }
+}
+
+Client::Client(Client&& other) noexcept
+    : server_(other.server_), session_(other.session_) {
+  other.server_ = nullptr;
+  other.session_ = 0;
+}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    if (server_ != nullptr && session_ != 0) {
+      (void)server_->disconnect(session_);
+    }
+    server_ = other.server_;
+    session_ = other.session_;
+    other.server_ = nullptr;
+    other.session_ = 0;
+  }
+  return *this;
+}
+
+Result<Future> Client::submit(RequestOp op) {
+  return server_->submit(session_, std::move(op));
+}
+
+Result<Future> Client::read_async(FileToken file, std::uint64_t first,
+                                  std::uint64_t count,
+                                  std::span<std::byte> out) {
+  return submit(ReadRecordsOp{file, first, count, out});
+}
+
+Result<Future> Client::write_async(FileToken file, std::uint64_t first,
+                                   std::uint64_t count,
+                                   std::span<const std::byte> in) {
+  return submit(WriteRecordsOp{file, first, count, in});
+}
+
+Result<Future> Client::read_strided_async(FileToken file,
+                                          const StridedSpec& spec,
+                                          std::span<std::byte> out) {
+  return submit(ReadStridedOp{file, spec, out});
+}
+
+Result<Future> Client::write_strided_async(FileToken file,
+                                           const StridedSpec& spec,
+                                           std::span<const std::byte> in) {
+  return submit(WriteStridedOp{file, spec, in});
+}
+
+Result<FileToken> Client::open(const std::string& name) {
+  auto future = submit(OpenOp{name});
+  if (!future.ok()) return Error(future.error());
+  const Response& resp = future->get();
+  if (!resp.status.ok()) return Error(resp.status.error());
+  return resp.file;
+}
+
+Status Client::close(FileToken file) {
+  auto future = submit(CloseOp{file});
+  if (!future.ok()) return Error(future.error());
+  return future->wait();
+}
+
+Result<FileMeta> Client::stat(const std::string& name) {
+  auto future = submit(StatOp{name});
+  if (!future.ok()) return Error(future.error());
+  const Response& resp = future->get();
+  if (!resp.status.ok()) return Error(resp.status.error());
+  return *resp.meta;
+}
+
+Status Client::flush() {
+  auto future = submit(FlushOp{});
+  if (!future.ok()) return Error(future.error());
+  return future->wait();
+}
+
+Status Client::read_records(FileToken file, std::uint64_t first,
+                            std::uint64_t count, std::span<std::byte> out) {
+  auto future = read_async(file, first, count, out);
+  if (!future.ok()) return Error(future.error());
+  return future->wait();
+}
+
+Status Client::write_records(FileToken file, std::uint64_t first,
+                             std::uint64_t count,
+                             std::span<const std::byte> in) {
+  auto future = write_async(file, first, count, in);
+  if (!future.ok()) return Error(future.error());
+  return future->wait();
+}
+
+}  // namespace pio::server

@@ -1,0 +1,68 @@
+// Client: one session against an IoServer — the compute-process side of
+// §4's split.  submit() hands a typed request to the server and returns a
+// Future immediately, so the caller overlaps computation with the
+// server's buffering, scheduling, and device work; *_async convenience
+// wrappers build the common requests, and small sync helpers cover the
+// control-plane ops (open/close/stat/flush) where blocking is the point.
+//
+// Buffer lifetime: like IoScheduler, transfers carry caller-owned spans;
+// keep each span alive until its Future resolves.
+//
+// Backpressure: a submit may fail with Errc::overloaded (session or
+// server at its in-flight bound) — the canonical reaction is to wait on
+// an outstanding Future and retry — or Errc::shutting_down once the
+// server drains.
+#pragma once
+
+#include "server/io_server.hpp"
+
+namespace pio::server {
+
+class Client {
+ public:
+  /// Open a session on `server` (fails once the server is draining).
+  static Result<Client> connect(IoServer& server);
+  ~Client();
+
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  SessionId session() const noexcept { return session_; }
+
+  /// The generic entry point: any protocol request.
+  Result<Future> submit(RequestOp op);
+
+  // ------------------------------------------------- async data plane
+
+  Result<Future> read_async(FileToken file, std::uint64_t first,
+                            std::uint64_t count, std::span<std::byte> out);
+  Result<Future> write_async(FileToken file, std::uint64_t first,
+                             std::uint64_t count,
+                             std::span<const std::byte> in);
+  Result<Future> read_strided_async(FileToken file, const StridedSpec& spec,
+                                    std::span<std::byte> out);
+  Result<Future> write_strided_async(FileToken file, const StridedSpec& spec,
+                                     std::span<const std::byte> in);
+
+  // ------------------------------------------------- sync conveniences
+
+  Result<FileToken> open(const std::string& name);
+  Status close(FileToken file);
+  Result<FileMeta> stat(const std::string& name);
+  Status flush();
+  Status read_records(FileToken file, std::uint64_t first, std::uint64_t count,
+                      std::span<std::byte> out);
+  Status write_records(FileToken file, std::uint64_t first,
+                       std::uint64_t count, std::span<const std::byte> in);
+
+ private:
+  Client(IoServer& server, SessionId session)
+      : server_(&server), session_(session) {}
+
+  IoServer* server_ = nullptr;
+  SessionId session_ = 0;
+};
+
+}  // namespace pio::server

@@ -1,0 +1,368 @@
+#include "server/io_server.hpp"
+
+#include <cassert>
+#include <string>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace pio::server {
+
+namespace {
+
+// Trace tids for server dispatchers sit above the scheduler's
+// device-indexed tids and the buffer layer's 900 block.
+constexpr std::uint32_t kServerTidBase = 800;
+
+/// Static-lifetime span names, one per op (the tracer never copies names).
+const char* op_span_name(OpType op) noexcept {
+  switch (op) {
+    case OpType::open: return "server.open";
+    case OpType::close: return "server.close";
+    case OpType::read_records: return "server.read_records";
+    case OpType::write_records: return "server.write_records";
+    case OpType::read_strided: return "server.read_strided";
+    case OpType::write_strided: return "server.write_strided";
+    case OpType::stat: return "server.stat";
+    case OpType::flush: return "server.flush";
+  }
+  return "server.unknown";
+}
+
+/// A dispatcher blocking forever on a lost scheduler completion would wedge
+/// drain; bound the wait and surface the bookkeeping bug instead.
+constexpr std::chrono::milliseconds kBatchDeadline{60'000};
+
+}  // namespace
+
+IoServer::IoServer(FileSystem& fs, DeviceArray& devices,
+                   IoServerOptions options)
+    : fs_(fs), devices_(devices), options_(options) {
+  if (options_.dispatchers == 0) options_.dispatchers = 1;
+  if (options_.queue_capacity == 0) options_.queue_capacity = 1;
+  if (options_.max_inflight_per_session == 0) {
+    options_.max_inflight_per_session = 1;
+  }
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+  accepted_counter_ = &registry.counter("server.accepted");
+  rejected_counter_ = &registry.counter("server.rejected");
+  completed_counter_ = &registry.counter("server.completed");
+  drained_counter_ = &registry.counter("server.drained");
+  depth_gauge_ = &registry.gauge("server.queue_depth");
+  inflight_gauge_ = &registry.gauge("server.inflight");
+  inflight_bytes_gauge_ = &registry.gauge("server.inflight_bytes");
+  sessions_gauge_ = &registry.gauge("server.sessions");
+  for (std::size_t i = 0; i < kOpTypes; ++i) {
+    op_hist_[i] = &registry.histogram(
+        "server." + std::string(op_name(static_cast<OpType>(i))) + ".op_us",
+        0.0, 1e6, 200);
+  }
+  io_ = std::make_unique<IoScheduler>(devices_, options_.scheduler);
+  dispatchers_.reserve(options_.dispatchers);
+  for (std::size_t i = 0; i < options_.dispatchers; ++i) {
+    dispatchers_.emplace_back(
+        [this, tid = kServerTidBase + static_cast<std::uint32_t>(i)] {
+          dispatcher_loop(tid);
+        });
+  }
+}
+
+IoServer::~IoServer() { (void)shutdown(); }
+
+Result<SessionId> IoServer::connect() {
+  std::scoped_lock lock(mutex_);
+  if (state_ != State::accepting) {
+    return make_error(Errc::shutting_down, "server not accepting sessions");
+  }
+  const SessionId id = next_session_++;
+  sessions_.emplace(id, Session{});
+  sessions_gauge_->set(static_cast<std::int64_t>(sessions_.size()));
+  return id;
+}
+
+Status IoServer::disconnect(SessionId session) {
+  std::scoped_lock lock(mutex_);
+  auto it = sessions_.find(session);
+  if (it == sessions_.end()) {
+    return make_error(Errc::not_found, "unknown session");
+  }
+  // In-flight items each hold a shared_ptr to their file, so dropping the
+  // session's token table here cannot yank a transfer's file out from
+  // under it; accounting for those items is skipped at completion (the
+  // session lookup misses), which is exactly right — the session is gone.
+  sessions_.erase(it);
+  sessions_gauge_->set(static_cast<std::int64_t>(sessions_.size()));
+  return ok_status();
+}
+
+Result<Future> IoServer::submit(SessionId session, RequestOp op) {
+  const std::uint64_t bytes = op_payload_bytes(op);
+  Item item;
+  item.session = session;
+  item.op = std::move(op);
+  item.bytes = bytes;
+  item.future = std::make_shared<Future::State>();
+  obs::Tracer& tracer = obs::Tracer::global();
+  if (tracer.enabled()) item.enq_us = tracer.wall_now_us();
+  {
+    std::scoped_lock lock(mutex_);
+    if (state_ != State::accepting) {
+      rejected_counter_->inc();
+      return make_error(Errc::shutting_down, "server draining");
+    }
+    auto it = sessions_.find(session);
+    if (it == sessions_.end()) {
+      return make_error(Errc::not_found, "unknown session");
+    }
+    Session& s = it->second;
+    if (s.inflight >= options_.max_inflight_per_session) {
+      rejected_counter_->inc();
+      return make_error(Errc::overloaded, "session request limit");
+    }
+    if (s.inflight_bytes + bytes > options_.max_inflight_bytes_per_session) {
+      rejected_counter_->inc();
+      return make_error(Errc::overloaded, "session byte limit");
+    }
+    if (queue_.size() >= options_.queue_capacity) {
+      rejected_counter_->inc();
+      return make_error(Errc::overloaded, "server queue full");
+    }
+    ++s.inflight;
+    s.inflight_bytes += bytes;
+    item.id = next_request_++;
+    accepted_counter_->inc();
+    depth_gauge_->add(1);
+    inflight_gauge_->add(1);
+    inflight_bytes_gauge_->add(static_cast<std::int64_t>(bytes));
+    Future future;
+    future.state_ = item.future;
+    queue_.push_back(std::move(item));
+    cv_work_.notify_one();
+    return future;
+  }
+}
+
+Status IoServer::shutdown() {
+  {
+    std::unique_lock lock(mutex_);
+    if (state_ == State::stopped) return ok_status();
+    state_ = State::draining;
+    cv_drain_.wait(lock, [&] { return queue_.empty() && executing_ == 0; });
+    state_ = State::stopped;
+    stop_workers_ = true;
+  }
+  cv_work_.notify_all();
+  for (std::thread& t : dispatchers_) {
+    if (t.joinable()) t.join();
+  }
+  dispatchers_.clear();
+  io_.reset();  // joins the per-device scheduler workers
+  return ok_status();
+}
+
+IoServer::State IoServer::state() const {
+  std::scoped_lock lock(mutex_);
+  return state_;
+}
+
+std::size_t IoServer::inflight() const {
+  std::scoped_lock lock(mutex_);
+  return queue_.size() + executing_;
+}
+
+std::size_t IoServer::session_count() const {
+  std::scoped_lock lock(mutex_);
+  return sessions_.size();
+}
+
+Result<std::shared_ptr<ParallelFile>> IoServer::lookup(SessionId session,
+                                                       FileToken token) {
+  std::scoped_lock lock(mutex_);
+  auto it = sessions_.find(session);
+  if (it == sessions_.end()) {
+    return make_error(Errc::not_found, "unknown session");
+  }
+  auto ft = it->second.files.find(token);
+  if (ft == it->second.files.end()) {
+    return make_error(Errc::not_found,
+                      "unknown file token " + std::to_string(token));
+  }
+  return ft->second;
+}
+
+void IoServer::dispatcher_loop(std::uint32_t tid) {
+  obs::Tracer& tracer = obs::Tracer::global();
+  for (;;) {
+    Item item;
+    {
+      std::unique_lock lock(mutex_);
+      cv_work_.wait(lock, [&] { return !queue_.empty() || stop_workers_; });
+      if (queue_.empty()) return;  // stopped with a drained queue
+      item = std::move(queue_.front());
+      queue_.pop_front();
+      ++executing_;
+    }
+    depth_gauge_->add(-1);
+
+    const bool tracing = tracer.enabled();
+    Response response = execute(item, tid);
+    response.id = item.id;
+    if (tracing) {
+      const double done_us = tracer.wall_now_us();
+      tracer.complete(op_span_name(response.op), "server", tid, item.enq_us,
+                      done_us - item.enq_us, obs::TimeDomain::wall);
+      op_hist_[static_cast<std::size_t>(response.op)]->record(done_us -
+                                                              item.enq_us);
+    }
+
+    // Release accounting BEFORE resolving the future: a client that
+    // observes completion may immediately submit without a spurious
+    // overloaded rejection.
+    {
+      std::scoped_lock lock(mutex_);
+      --executing_;
+      auto it = sessions_.find(item.session);
+      if (it != sessions_.end()) {
+        assert(it->second.inflight > 0);
+        --it->second.inflight;
+        it->second.inflight_bytes -= item.bytes;
+      }
+      completed_counter_->inc();
+      if (state_ == State::draining) drained_counter_->inc();
+      inflight_gauge_->add(-1);
+      inflight_bytes_gauge_->add(-static_cast<std::int64_t>(item.bytes));
+      if (queue_.empty() && executing_ == 0) cv_drain_.notify_all();
+    }
+    {
+      std::scoped_lock flock(item.future->mutex);
+      item.future->response = std::move(response);
+      item.future->done = true;
+    }
+    item.future->cv.notify_all();
+  }
+}
+
+Response IoServer::execute(Item& item, std::uint32_t tid) {
+  (void)tid;
+  Response resp;
+  resp.op = op_type(item.op);
+
+  switch (resp.op) {
+    case OpType::open: {
+      auto& op = std::get<OpenOp>(item.op);
+      auto file = fs_.open(op.name);
+      if (!file.ok()) {
+        resp.status = Error(file.error());
+        break;
+      }
+      std::scoped_lock lock(mutex_);
+      auto it = sessions_.find(item.session);
+      if (it == sessions_.end()) {
+        resp.status = make_error(Errc::not_found, "session disconnected");
+        break;
+      }
+      const FileToken token = it->second.next_token++;
+      it->second.files.emplace(token, std::move(file).take());
+      resp.file = token;
+      break;
+    }
+    case OpType::close: {
+      auto& op = std::get<CloseOp>(item.op);
+      std::scoped_lock lock(mutex_);
+      auto it = sessions_.find(item.session);
+      if (it == sessions_.end()) {
+        resp.status = make_error(Errc::not_found, "session disconnected");
+        break;
+      }
+      if (it->second.files.erase(op.file) == 0) {
+        resp.status = make_error(Errc::not_found, "unknown file token");
+      }
+      break;
+    }
+    case OpType::read_records: {
+      auto& op = std::get<ReadRecordsOp>(item.op);
+      auto file = lookup(item.session, op.file);
+      if (!file.ok()) {
+        resp.status = Error(file.error());
+        break;
+      }
+      const std::uint64_t bytes =
+          op.count * (*file)->meta().record_bytes;
+      if (op.out.size() < bytes) {
+        resp.status = make_error(Errc::invalid_argument, "read span too small");
+        break;
+      }
+      IoBatch batch;
+      io_->read_records(**file, op.first, op.count, op.out, batch);
+      auto st = batch.wait_for(kBatchDeadline);
+      resp.status = st ? std::move(*st)
+                       : Status{make_error(Errc::internal,
+                                           "lost scheduler completion")};
+      if (resp.status.ok()) resp.transferred = op.count;
+      break;
+    }
+    case OpType::write_records: {
+      auto& op = std::get<WriteRecordsOp>(item.op);
+      auto file = lookup(item.session, op.file);
+      if (!file.ok()) {
+        resp.status = Error(file.error());
+        break;
+      }
+      const std::uint64_t bytes =
+          op.count * (*file)->meta().record_bytes;
+      if (op.in.size() < bytes) {
+        resp.status =
+            make_error(Errc::invalid_argument, "write span too small");
+        break;
+      }
+      IoBatch batch;
+      io_->write_records(**file, op.first, op.count, op.in, batch);
+      auto st = batch.wait_for(kBatchDeadline);
+      resp.status = st ? std::move(*st)
+                       : Status{make_error(Errc::internal,
+                                           "lost scheduler completion")};
+      if (resp.status.ok()) resp.transferred = op.count;
+      break;
+    }
+    case OpType::read_strided: {
+      auto& op = std::get<ReadStridedOp>(item.op);
+      auto file = lookup(item.session, op.file);
+      if (!file.ok()) {
+        resp.status = Error(file.error());
+        break;
+      }
+      resp.status = read_strided(**file, op.spec, op.out, options_.sieve);
+      if (resp.status.ok()) resp.transferred = op.spec.total_records();
+      break;
+    }
+    case OpType::write_strided: {
+      auto& op = std::get<WriteStridedOp>(item.op);
+      auto file = lookup(item.session, op.file);
+      if (!file.ok()) {
+        resp.status = Error(file.error());
+        break;
+      }
+      resp.status = write_strided(**file, op.spec, op.in, options_.sieve);
+      if (resp.status.ok()) resp.transferred = op.spec.total_records();
+      break;
+    }
+    case OpType::stat: {
+      auto& op = std::get<StatOp>(item.op);
+      auto meta = fs_.stat(op.name);
+      if (meta) {
+        resp.meta = std::move(*meta);
+      } else {
+        resp.status = make_error(Errc::not_found, op.name);
+      }
+      break;
+    }
+    case OpType::flush: {
+      resp.status = fs_.sync();
+      break;
+    }
+  }
+  return resp;
+}
+
+}  // namespace pio::server

@@ -1,0 +1,163 @@
+// IoServer: a dedicated I/O server daemon (§4).  It owns a FileSystem and
+// its device array, services the typed request protocol (protocol.hpp)
+// from multiple concurrent client sessions, and dispatches data transfers
+// onto the existing optimized paths — IoScheduler for record extents (disk
+// queue policies + coalescing apply), read_strided/write_strided for
+// strided views (sieving auto-select applies) — so compute processes shed
+// buffering, scheduling, and device management.
+//
+// Concurrency model
+//   - submit() is the MPSC producer side: any number of client threads
+//     append to ONE bounded queue under the server mutex.
+//   - `dispatchers` service threads drain the queue; each request executes
+//     to completion on a dispatcher (striped extents still fan out across
+//     the scheduler's per-device workers underneath).
+//
+// Admission control & backpressure (per session AND global, checked at
+// submit time, never blocking the caller):
+//   - at most `max_inflight_per_session` requests in flight per session;
+//   - at most `max_inflight_bytes_per_session` payload bytes in flight;
+//   - at most `queue_capacity` requests queued server-wide.
+//   A violating submit returns Errc::overloaded and changes NOTHING — the
+//   session stays valid and a later submit succeeds once load drains.
+//
+// Drain state machine:  accepting -> draining -> stopped.
+//   shutdown() stops admission (submits now fail with Errc::shutting_down),
+//   waits until every ACCEPTED request has completed, then joins the
+//   dispatchers.  Every accepted Future resolves; none is dropped.  The
+//   destructor runs shutdown() if the owner has not.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/file_system.hpp"
+#include "core/io_scheduler.hpp"
+#include "server/protocol.hpp"
+
+namespace pio::obs {
+class Counter;
+class Gauge;
+class LatencyHistogram;
+}  // namespace pio::obs
+
+namespace pio::server {
+
+struct IoServerOptions {
+  /// Service threads draining the request queue.
+  std::size_t dispatchers = 2;
+  /// Bounded server-wide submission queue (requests accepted but not yet
+  /// picked up by a dispatcher).
+  std::size_t queue_capacity = 64;
+  /// Per-session in-flight request ceiling (queued + executing).
+  std::size_t max_inflight_per_session = 16;
+  /// Per-session in-flight payload-byte ceiling.  A single request larger
+  /// than this is always rejected — the bound is absolute.
+  std::uint64_t max_inflight_bytes_per_session = 8ull << 20;
+  /// Disk-queue policy / coalescing for the server's IoScheduler.
+  IoSchedulerOptions scheduler{};
+  /// Sieving knobs for the strided paths (locks may be pointed at a
+  /// caller-owned RecordLockTable to exclude concurrent hole updates).
+  SieveOptions sieve{};
+};
+
+class IoServer {
+ public:
+  enum class State : std::uint8_t { accepting, draining, stopped };
+
+  /// The server owns request service on `fs`; `devices` must be the array
+  /// `fs` lives on (the scheduler spins one worker per device).  Both must
+  /// outlive the server.
+  IoServer(FileSystem& fs, DeviceArray& devices, IoServerOptions options = {});
+  ~IoServer();
+
+  IoServer(const IoServer&) = delete;
+  IoServer& operator=(const IoServer&) = delete;
+
+  const IoServerOptions& options() const noexcept { return options_; }
+
+  /// Register a new client session.  Fails with shutting_down once drain
+  /// has begun.
+  Result<SessionId> connect();
+
+  /// Tear down a session: its open tokens are released (in-flight requests
+  /// keep their files alive and still complete).  Idempotent-ish: a second
+  /// disconnect reports not_found.
+  Status disconnect(SessionId session);
+
+  /// Submit one request.  On acceptance the returned Future resolves
+  /// exactly once; on rejection (overloaded / shutting_down / unknown
+  /// session) nothing was queued and no Future exists.
+  Result<Future> submit(SessionId session, RequestOp op);
+
+  /// Stop admission, wait for every accepted request to complete, join the
+  /// dispatchers.  Safe to call more than once.
+  Status shutdown();
+
+  State state() const;
+
+  /// Requests accepted but not yet completed (queued + executing).
+  std::size_t inflight() const;
+
+  std::size_t session_count() const;
+
+ private:
+  struct Item {
+    SessionId session = 0;
+    RequestId id = 0;
+    RequestOp op;
+    std::shared_ptr<Future::State> future;
+    std::uint64_t bytes = 0;
+    double enq_us = 0.0;  // wall timestamp (tracing only)
+  };
+
+  struct Session {
+    std::map<FileToken, std::shared_ptr<ParallelFile>> files;
+    FileToken next_token = 1;
+    std::size_t inflight = 0;
+    std::uint64_t inflight_bytes = 0;
+  };
+
+  void dispatcher_loop(std::uint32_t tid);
+  Response execute(Item& item, std::uint32_t tid);
+  /// Resolve a token to its file under the server mutex.
+  Result<std::shared_ptr<ParallelFile>> lookup(SessionId session,
+                                               FileToken token);
+
+  FileSystem& fs_;
+  DeviceArray& devices_;
+  IoServerOptions options_;
+  std::unique_ptr<IoScheduler> io_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_work_;   ///< dispatchers wait for queue items
+  std::condition_variable cv_drain_;  ///< shutdown waits for inflight == 0
+  std::deque<Item> queue_;
+  std::map<SessionId, Session> sessions_;
+  SessionId next_session_ = 1;
+  RequestId next_request_ = 1;
+  std::size_t executing_ = 0;  ///< popped from queue_, not yet completed
+  State state_ = State::accepting;
+  bool stop_workers_ = false;
+
+  std::vector<std::thread> dispatchers_;
+
+  // Cached global metrics (registry owns them; pointers stay valid).
+  obs::Counter* accepted_counter_;
+  obs::Counter* rejected_counter_;
+  obs::Counter* completed_counter_;
+  obs::Counter* drained_counter_;
+  obs::Gauge* depth_gauge_;
+  obs::Gauge* inflight_gauge_;
+  obs::Gauge* inflight_bytes_gauge_;
+  obs::Gauge* sessions_gauge_;
+  obs::LatencyHistogram* op_hist_[kOpTypes];
+};
+
+}  // namespace pio::server

@@ -1,0 +1,198 @@
+// The typed request/response protocol between I/O clients and the
+// dedicated I/O server (§4's "dedicated I/O processors", promoted from an
+// in-process library call to a client/server split à la OrangeFS/CAPFS).
+//
+// A request is one operation on the server's FileSystem: open/close by
+// name/token, record and strided transfers on an open token, stat, and
+// flush.  Transfers carry caller-owned spans — like IoScheduler, the
+// protocol never copies payload bytes, so the client must keep the span
+// alive until the request's Future resolves.  Completion is delivered
+// through Future, a one-shot completion token the client can block on,
+// poll, or bound with a timeout.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <variant>
+
+#include "core/access_methods.hpp"
+#include "core/file_meta.hpp"
+#include "util/result.hpp"
+
+namespace pio::server {
+
+/// One connected client.  0 is never a valid session.
+using SessionId = std::uint64_t;
+
+/// Server-assigned, monotonically increasing per server instance.
+using RequestId = std::uint64_t;
+
+/// Per-session handle to an open file.  0 is never a valid token.
+using FileToken = std::uint32_t;
+
+enum class OpType : std::uint8_t {
+  open = 0,
+  close,
+  read_records,
+  write_records,
+  read_strided,
+  write_strided,
+  stat,
+  flush,
+};
+
+inline constexpr std::size_t kOpTypes = 8;
+
+constexpr std::string_view op_name(OpType op) noexcept {
+  switch (op) {
+    case OpType::open: return "open";
+    case OpType::close: return "close";
+    case OpType::read_records: return "read_records";
+    case OpType::write_records: return "write_records";
+    case OpType::read_strided: return "read_strided";
+    case OpType::write_strided: return "write_strided";
+    case OpType::stat: return "stat";
+    case OpType::flush: return "flush";
+  }
+  return "unknown";
+}
+
+// ------------------------------------------------------------ operations
+
+struct OpenOp {
+  std::string name;
+};
+
+struct CloseOp {
+  FileToken file = 0;
+};
+
+struct ReadRecordsOp {
+  FileToken file = 0;
+  std::uint64_t first = 0;
+  std::uint64_t count = 0;
+  std::span<std::byte> out;  ///< >= count * record_bytes, caller-owned
+};
+
+struct WriteRecordsOp {
+  FileToken file = 0;
+  std::uint64_t first = 0;
+  std::uint64_t count = 0;
+  std::span<const std::byte> in;  ///< >= count * record_bytes, caller-owned
+};
+
+struct ReadStridedOp {
+  FileToken file = 0;
+  StridedSpec spec;
+  std::span<std::byte> out;  ///< >= total_records * record_bytes
+};
+
+struct WriteStridedOp {
+  FileToken file = 0;
+  StridedSpec spec;
+  std::span<const std::byte> in;  ///< >= total_records * record_bytes
+};
+
+struct StatOp {
+  std::string name;
+};
+
+struct FlushOp {};
+
+using RequestOp = std::variant<OpenOp, CloseOp, ReadRecordsOp, WriteRecordsOp,
+                               ReadStridedOp, WriteStridedOp, StatOp, FlushOp>;
+
+constexpr OpType op_type(const RequestOp& op) noexcept {
+  return static_cast<OpType>(op.index());
+}
+
+/// Payload bytes a request holds in flight — what the per-session byte
+/// bound (IoServerOptions::max_inflight_bytes_per_session) accounts.
+inline std::uint64_t op_payload_bytes(const RequestOp& op) noexcept {
+  switch (op_type(op)) {
+    case OpType::read_records:
+      return std::get<ReadRecordsOp>(op).out.size();
+    case OpType::write_records:
+      return std::get<WriteRecordsOp>(op).in.size();
+    case OpType::read_strided:
+      return std::get<ReadStridedOp>(op).out.size();
+    case OpType::write_strided:
+      return std::get<WriteStridedOp>(op).in.size();
+    default:
+      return 0;
+  }
+}
+
+// -------------------------------------------------------------- response
+
+struct Response {
+  RequestId id = 0;
+  OpType op = OpType::flush;
+  Status status = ok_status();
+  FileToken file = 0;            ///< open: the new token
+  std::uint64_t transferred = 0; ///< read/write: records moved
+  std::optional<FileMeta> meta;  ///< stat: catalog entry
+};
+
+// ---------------------------------------------------------------- future
+
+/// One-shot completion token for a submitted request.  Cheap to copy
+/// (shared state); any copy may wait.  The server resolves it exactly once
+/// — after per-session in-flight accounting has been released, so a client
+/// observing completion may immediately submit again without tripping
+/// admission control.
+class Future {
+ public:
+  Future() = default;
+
+  bool valid() const noexcept { return state_ != nullptr; }
+
+  bool ready() const {
+    std::scoped_lock lock(state_->mutex);
+    return state_->done;
+  }
+
+  /// Block until resolved; returns the full response.
+  const Response& get() const {
+    std::unique_lock lock(state_->mutex);
+    state_->cv.wait(lock, [&] { return state_->done; });
+    return state_->response;
+  }
+
+  /// Block until resolved; returns just the status.
+  Status wait() const { return copy_status(get()); }
+
+  /// Bounded wait: nullopt when `timeout` elapses unresolved.
+  std::optional<Status> wait_for(std::chrono::milliseconds timeout) const {
+    std::unique_lock lock(state_->mutex);
+    if (!state_->cv.wait_for(lock, timeout, [&] { return state_->done; })) {
+      return std::nullopt;
+    }
+    return copy_status(state_->response);
+  }
+
+ private:
+  friend class IoServer;
+
+  struct State {
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool done = false;
+    Response response;
+  };
+
+  static Status copy_status(const Response& r) {
+    return r.status.ok() ? ok_status() : Status{r.status.error()};
+  }
+
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace pio::server

@@ -30,6 +30,8 @@ enum class Errc : std::uint8_t {
   busy,               ///< resource temporarily unavailable
   not_supported,      ///< operation undefined for this organization/view
   internal,           ///< library invariant violated (bookkeeping bug)
+  overloaded,         ///< admission control rejected the request (backpressure)
+  shutting_down,      ///< server draining/stopped; no new work accepted
 };
 
 /// Human-readable name for an error code.
@@ -48,6 +50,8 @@ constexpr std::string_view errc_name(Errc e) noexcept {
     case Errc::busy: return "busy";
     case Errc::not_supported: return "not_supported";
     case Errc::internal: return "internal";
+    case Errc::overloaded: return "overloaded";
+    case Errc::shutting_down: return "shutting_down";
   }
   return "unknown";
 }

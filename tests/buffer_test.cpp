@@ -3,6 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
 #include <thread>
 
 #include "buffer/buffer_pool.hpp"
@@ -322,6 +325,112 @@ TEST(WriteBehind, DataIsCopiedAtSubmit) {
   buf.assign(8, std::byte{9});  // mutate after submit
   PIO_ASSERT_OK(wb.drain());
   EXPECT_EQ(captured[0], std::byte{7});
+}
+
+// ------------------------------------------------- shutdown ordering pins
+//
+// Regression tests for destruction with requests still pending.  The
+// contracts these pin (see the destructors in read_ahead.cpp /
+// write_behind.cpp):
+//   - ReadAhead's destructor ABANDONS chunks not yet fetched — it returns
+//     as soon as any in-flight fetch finishes, without running the
+//     remaining prefetch schedule.
+//   - WriteBehind's destructor DRAINS — every chunk staged by submit() is
+//     stored before the worker exits; deferred writes are never lost.
+
+TEST(ReadAhead, DestructorAbandonsUnfetchedChunks) {
+  std::atomic<int> fetched{0};
+  auto ra = std::make_unique<ReadAhead>(
+      [&](std::uint64_t, std::span<std::byte>) {
+        ++fetched;
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        return ok_status();
+      },
+      /*total_chunks=*/100000, /*chunk_bytes=*/16, /*depth=*/2);
+  std::vector<std::byte> buf(16);
+  PIO_ASSERT_OK(ra->next(buf));  // worker is definitely running
+
+  const auto t0 = std::chrono::steady_clock::now();
+  ra.reset();
+  const auto dtor_ms = std::chrono::duration<double, std::milli>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+  // 100000 pending chunks at 2 ms each would take minutes; abandoning
+  // them must bring destruction in well under a second.
+  EXPECT_LT(dtor_ms, 1000.0);
+  // At most: 1 delivered + depth buffered + 1 in flight, plus slack for
+  // the ring refilling between next() and reset().
+  EXPECT_LE(fetched.load(), 8);
+}
+
+TEST(ReadAhead, DestructorWaitsForInFlightFetch) {
+  std::mutex m;
+  std::condition_variable cv;
+  bool release = false;
+  std::atomic<bool> in_fetch{false};
+  std::atomic<bool> fetch_done{false};
+
+  auto ra = std::make_unique<ReadAhead>(
+      [&](std::uint64_t, std::span<std::byte>) {
+        in_fetch = true;
+        std::unique_lock lock(m);
+        cv.wait(lock, [&] { return release; });
+        fetch_done = true;
+        return ok_status();
+      },
+      /*total_chunks=*/10, /*chunk_bytes=*/16, /*depth=*/2);
+  while (!in_fetch.load()) std::this_thread::yield();
+
+  std::atomic<bool> destroyed{false};
+  std::thread destroyer([&] {
+    ra.reset();
+    destroyed = true;
+  });
+  // The destructor must not return while a fetch is still executing.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(destroyed.load());
+
+  {
+    std::scoped_lock lock(m);
+    release = true;
+  }
+  cv.notify_all();
+  destroyer.join();
+  EXPECT_TRUE(destroyed.load());
+  EXPECT_TRUE(fetch_done.load());  // join happened after the fetch returned
+}
+
+TEST(WriteBehind, DestructorDrainsStagedItems) {
+  std::vector<std::uint64_t> stored;
+  std::mutex m;
+  {
+    WriteBehind wb(
+        [&](std::uint64_t i, std::span<const std::byte>) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(2));
+          std::scoped_lock lock(m);
+          stored.push_back(i);
+          return ok_status();
+        },
+        /*depth=*/16);
+    std::vector<std::byte> buf(8);
+    for (std::uint64_t i = 0; i < 10; ++i) PIO_ASSERT_OK(wb.submit(i, buf));
+    // No drain(): destruction alone must flush everything staged.
+  }
+  ASSERT_EQ(stored.size(), 10u);
+  for (std::uint64_t i = 0; i < 10; ++i) EXPECT_EQ(stored[i], i);
+}
+
+TEST(WriteBehind, DestructorWithNothingStagedExitsPromptly) {
+  const auto t0 = std::chrono::steady_clock::now();
+  {
+    WriteBehind wb(
+        [](std::uint64_t, std::span<const std::byte>) { return ok_status(); },
+        4);
+  }
+  const auto dtor_ms = std::chrono::duration<double, std::milli>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+  EXPECT_LT(dtor_ms, 1000.0);
 }
 
 // --------------------------------------------------------- buffered pattern

@@ -58,6 +58,15 @@ CK_SIEVED=$("$PARIO" "$DIR" strided read data.str \
     --start 2 --block 2 --stride 4 --count 32 > /dev/null
 cmp "$WORK/view.bin" "$WORK/view.out"
 
+# I/O-server smoke: client threads push async traffic through an
+# in-process IoServer, the drain completes, and the scratch file is gone
+# afterwards.
+"$PARIO" "$DIR" serve --clients 4 --ops 16 | grep -q "served 64 requests"
+if "$PARIO" "$DIR" ls | grep -q "serve.scratch"; then
+  echo "FAIL: serve left its scratch file behind" >&2
+  exit 1
+fi
+
 # Unknown commands fail with usage.
 if "$PARIO" "$DIR" frobnicate > /dev/null 2>&1; then
   echo "FAIL: bogus command succeeded" >&2

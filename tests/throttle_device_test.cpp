@@ -1,0 +1,165 @@
+// Tests for ThrottledDevice: the positioning charge is per OPERATION (a
+// vectored call pays once, a loop of small calls pays per call),
+// zero-length transfers behave like the inner device, and the decorator
+// forwards data, counters, and errors unmodified.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <vector>
+
+#include "device/ram_disk.hpp"
+#include "device/throttle_device.hpp"
+#include "test_helpers.hpp"
+
+namespace pio {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double elapsed_us(Clock::time_point start) {
+  return std::chrono::duration<double, std::micro>(Clock::now() - start)
+      .count();
+}
+
+ThrottledDevice make_throttled(double op_cost_us,
+                               std::uint64_t capacity = 1 << 20) {
+  return ThrottledDevice(std::make_unique<RamDisk>("ram", capacity),
+                         op_cost_us);
+}
+
+TEST(ThrottleDevice, ForwardsDataAndMetadata) {
+  ThrottledDevice dev = make_throttled(0.0, 4096);
+  EXPECT_EQ(dev.capacity(), 4096u);
+  EXPECT_EQ(dev.name(), "ram");
+
+  std::vector<std::byte> in(256);
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    in[i] = static_cast<std::byte>(i & 0xff);
+  }
+  PIO_ASSERT_OK(dev.write(128, in));
+  std::vector<std::byte> out(256);
+  PIO_ASSERT_OK(dev.read(128, out));
+  EXPECT_EQ(out, in);
+}
+
+TEST(ThrottleDevice, ZeroLengthOpsSucceedAndCount) {
+  ThrottledDevice dev = make_throttled(5.0, 4096);
+  const auto before = dev.counters().snapshot();
+
+  // Zero-byte transfers are valid no-op positioning operations: they pay
+  // the charge, succeed, and count as operations moving zero bytes.
+  PIO_ASSERT_OK(dev.read(0, std::span<std::byte>{}));
+  PIO_ASSERT_OK(dev.write(0, std::span<const std::byte>{}));
+  // ... even at the very end of the device.
+  PIO_ASSERT_OK(dev.read(dev.capacity(), std::span<std::byte>{}));
+
+  const auto after = dev.counters().snapshot();
+  EXPECT_EQ(after.reads - before.reads, 2u);
+  EXPECT_EQ(after.writes - before.writes, 1u);
+  EXPECT_EQ(after.bytes_read, before.bytes_read);
+  EXPECT_EQ(after.bytes_written, before.bytes_written);
+}
+
+TEST(ThrottleDevice, EmptyVectorStillOneOperation) {
+  ThrottledDevice dev = make_throttled(0.0, 4096);
+  PIO_ASSERT_OK(dev.readv({}));
+  PIO_ASSERT_OK(dev.writev({}));
+}
+
+TEST(ThrottleDevice, ChargesPerOperationNotPerByte) {
+  constexpr double kCostUs = 200.0;
+  ThrottledDevice dev = make_throttled(kCostUs);
+  std::vector<std::byte> big(64 * 1024);
+  std::vector<std::byte> small(16);
+
+  const auto t0 = Clock::now();
+  PIO_ASSERT_OK(dev.write(0, big));
+  const double big_us = elapsed_us(t0);
+
+  const auto t1 = Clock::now();
+  PIO_ASSERT_OK(dev.write(0, small));
+  const double small_us = elapsed_us(t1);
+
+  // Both pay at least the positioning charge; neither pays per byte (the
+  // 4096x larger transfer costs nowhere near 4096x — allow a generous 20x
+  // for RAM copy time and timer noise).
+  EXPECT_GE(big_us, kCostUs);
+  EXPECT_GE(small_us, kCostUs);
+  EXPECT_LT(big_us, 20.0 * small_us);
+}
+
+TEST(ThrottleDevice, VectoredCallPaysChargeOnce) {
+  constexpr double kCostUs = 150.0;
+  constexpr std::size_t kFragments = 8;
+  ThrottledDevice dev = make_throttled(kCostUs);
+
+  std::vector<std::vector<std::byte>> buffers(kFragments,
+                                              std::vector<std::byte>(64));
+  std::vector<ConstIoVec> iov;
+  for (std::size_t i = 0; i < kFragments; ++i) {
+    iov.push_back(ConstIoVec{i * 4096, buffers[i]});
+  }
+
+  const auto t0 = Clock::now();
+  PIO_ASSERT_OK(dev.writev(iov));
+  const double vectored_us = elapsed_us(t0);
+
+  const auto t1 = Clock::now();
+  for (std::size_t i = 0; i < kFragments; ++i) {
+    PIO_ASSERT_OK(dev.write(i * 4096, buffers[i]));
+  }
+  const double looped_us = elapsed_us(t1);
+
+  // One charge vs kFragments charges.  Use half the theoretical gap as the
+  // assertion bound so scheduler jitter cannot flake the test.
+  EXPECT_GE(vectored_us, kCostUs);
+  EXPECT_GE(looped_us, kFragments * kCostUs);
+  EXPECT_LT(vectored_us, looped_us / 2.0);
+}
+
+TEST(ThrottleDevice, CostAccountingUnderVectoredRead) {
+  ThrottledDevice dev = make_throttled(0.0);
+  std::vector<std::byte> stamp(128, std::byte{0x5a});
+  PIO_ASSERT_OK(dev.write(0, stamp));
+  PIO_ASSERT_OK(dev.write(8192, stamp));
+
+  const auto before = dev.counters().snapshot();
+  std::vector<std::byte> a(128), b(128);
+  std::vector<IoVec> iov{IoVec{0, a}, IoVec{8192, b}};
+  PIO_ASSERT_OK(dev.readv(iov));
+  const auto after = dev.counters().snapshot();
+
+  EXPECT_EQ(a, stamp);
+  EXPECT_EQ(b, stamp);
+  // RamDisk implements native readv: one positioning operation, all bytes.
+  EXPECT_EQ(after.reads - before.reads, 1u);
+  EXPECT_EQ(after.bytes_read - before.bytes_read, 256u);
+}
+
+TEST(ThrottleDevice, ErrorsPassThroughUnchanged) {
+  ThrottledDevice dev = make_throttled(1.0, 4096);
+  std::vector<std::byte> buf(128);
+  EXPECT_EQ(dev.read(4096 - 64, buf).code(), Errc::out_of_range);
+  EXPECT_EQ(dev.write(1ull << 40, buf).code(), Errc::out_of_range);
+
+  // A failing fragment inside a vector surfaces the inner device's error.
+  std::vector<IoVec> iov{IoVec{0, buf}, IoVec{4096, buf}};
+  EXPECT_EQ(dev.readv(iov).code(), Errc::out_of_range);
+}
+
+TEST(ThrottleDevice, InnerExposesTheUndecoratedDevice) {
+  ThrottledDevice dev = make_throttled(500.0, 4096);
+  std::vector<std::byte> buf(64, std::byte{0x11});
+  // Writing through inner() skips the charge but hits the same storage.
+  const auto t0 = Clock::now();
+  PIO_ASSERT_OK(dev.inner().write(0, buf));
+  EXPECT_LT(elapsed_us(t0), 500.0);
+
+  std::vector<std::byte> out(64);
+  PIO_ASSERT_OK(dev.read(0, out));
+  EXPECT_EQ(out, buf);
+}
+
+}  // namespace
+}  // namespace pio

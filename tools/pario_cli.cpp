@@ -12,14 +12,22 @@
 //   pario <dir> export <name> <host-file>
 //   pario <dir> convert <src> <dst>           (copy via global views)
 //   pario <dir> rm <name>
+//   pario <dir> serve [--clients C] [--ops N] [--dispatchers K]
+//                     [--queue Q] [--record-bytes B] [--records-per-op R]
+//                     (in-process I/O-server smoke: C client threads push
+//                     async requests through an IoServer on this array)
 //
 // The device directory holds disk0.img..diskN-1.img plus pario.meta
 // (device count/size), so later invocations re-open the same array.
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <deque>
 #include <fstream>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/access_methods.hpp"
@@ -28,6 +36,8 @@
 #include "device/file_disk.hpp"
 #include "obs/bridge.hpp"
 #include "obs/metrics.hpp"
+#include "server/client.hpp"
+#include "server/io_server.hpp"
 #include "util/bytes.hpp"
 
 using namespace pio;
@@ -47,7 +57,10 @@ int usage() {
                "  strided read <name> [host-file] --start S --block B\n"
                "          --stride T --count C [--sieve-buf BYTES]\n"
                "          [--min-fill F] [--force direct|sieve]\n"
-               "  strided write <name> <host-file> (same spec/sieve flags)\n");
+               "  strided write <name> <host-file> (same spec/sieve flags)\n"
+               "  serve [--clients C] [--ops N] [--dispatchers K] [--queue Q]\n"
+               "        [--record-bytes B] [--records-per-op R]\n"
+               "        (I/O-server smoke: async client traffic + drain)\n");
   return 2;
 }
 
@@ -365,6 +378,125 @@ int cmd_strided(FileSystem& fs, const std::string& op, const std::string& name,
   return 0;
 }
 
+// In-process smoke of the dedicated I/O server (§4): start an IoServer on
+// this array, run --clients threads that each push --ops alternating
+// async writes/reads over a scratch file with the canonical
+// overloaded->wait-oldest->retry reaction, then drain gracefully and
+// report the server's own counters.  Exit status is non-zero if any
+// request failed or the drain left requests behind.
+int cmd_serve(FileSystem& fs, DeviceArray& devices, const Flags& flags) {
+  const auto clients =
+      static_cast<std::size_t>(flags.get_u64("clients", 4));
+  const std::uint64_t ops = flags.get_u64("ops", 32);
+  const auto record_bytes =
+      static_cast<std::uint32_t>(flags.get_u64("record-bytes", 4096));
+  const std::uint64_t records_per_op = flags.get_u64("records-per-op", 8);
+
+  server::IoServerOptions options;
+  options.dispatchers = static_cast<std::size_t>(flags.get_u64(
+      "dispatchers", std::max<std::uint64_t>(2, devices.size())));
+  options.queue_capacity =
+      static_cast<std::size_t>(flags.get_u64("queue", 64));
+
+  // Scratch file: one region of rotating slots per client, so concurrent
+  // extents never overlap.  Removed again before exit.
+  const std::uint64_t slots = std::min<std::uint64_t>(ops, 64);
+  const std::uint64_t region = slots * records_per_op;
+  const std::string scratch = "serve.scratch";
+  (void)fs.remove(scratch);  // leftover from an interrupted run
+  CreateOptions opts;
+  opts.name = scratch;
+  opts.organization = Organization::sequential;
+  opts.record_bytes = record_bytes;
+  opts.capacity_records = clients * region;
+  auto file = fs.create(opts);
+  if (!file.ok()) return fail("serve: create scratch", file.error());
+  file->reset();  // hold no token ourselves; clients open by name
+
+  server::IoServer io_server(fs, devices, options);
+  std::atomic<std::uint64_t> failed{0};
+  const auto t0 = std::chrono::steady_clock::now();
+  {
+    std::vector<std::thread> threads;
+    for (std::size_t c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c] {
+        auto client = server::Client::connect(io_server);
+        if (!client.ok()) {
+          failed += ops;
+          return;
+        }
+        auto token = client->open(scratch);
+        if (!token.ok()) {
+          failed += ops;
+          return;
+        }
+        std::vector<std::byte> buf(records_per_op * record_bytes,
+                                   std::byte{static_cast<unsigned char>(c)});
+        std::deque<server::Future> window;
+        for (std::uint64_t i = 0; i < ops; ++i) {
+          const std::uint64_t first =
+              c * region + (i % slots) * records_per_op;
+          for (;;) {
+            auto future =
+                i % 2 == 0
+                    ? client->write_async(*token, first, records_per_op, buf)
+                    : client->read_async(*token, first, records_per_op, buf);
+            if (future.ok()) {
+              window.push_back(*future);
+              break;
+            }
+            if (future.code() != Errc::overloaded || window.empty()) {
+              ++failed;
+              break;
+            }
+            if (!window.front().wait().ok()) ++failed;
+            window.pop_front();
+          }
+        }
+        for (server::Future& f : window) {
+          if (!f.wait().ok()) ++failed;
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+  }
+  if (auto st = io_server.shutdown(); !st.ok()) return fail("serve", st.error());
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+  const std::uint64_t total = clients * ops;
+  const std::uint64_t bytes = total * records_per_op * record_bytes;
+  std::printf("served %llu requests from %zu clients in %.3f s (%.1f MB/s)\n",
+              static_cast<unsigned long long>(total), clients, elapsed,
+              static_cast<double>(bytes) / elapsed / 1e6);
+  std::printf("server: accepted %llu  completed %llu  rejected %llu  "
+              "drained %llu\n",
+              static_cast<unsigned long long>(
+                  registry.counter("server.accepted").value()),
+              static_cast<unsigned long long>(
+                  registry.counter("server.completed").value()),
+              static_cast<unsigned long long>(
+                  registry.counter("server.rejected").value()),
+              static_cast<unsigned long long>(
+                  registry.counter("server.drained").value()));
+  if (auto st = fs.remove(scratch); !st.ok()) {
+    return fail("serve: remove scratch", st.error());
+  }
+  if (auto st = fs.sync(); !st.ok()) return fail("sync", st.error());
+  if (failed.load() != 0) {
+    std::fprintf(stderr, "pario: serve: %llu requests failed\n",
+                 static_cast<unsigned long long>(failed.load()));
+    return 1;
+  }
+  if (io_server.inflight() != 0) {
+    std::fprintf(stderr, "pario: serve: drain left requests in flight\n");
+    return 1;
+  }
+  return 0;
+}
+
 int cmd_convert(FileSystem& fs, const std::string& src_name,
                 const std::string& dst_name) {
   auto src = fs.open(src_name);
@@ -423,6 +555,7 @@ int main(int argc, char** argv) {
     return cmd_strided(**fs, op, argv[4], host_path,
                        Flags(argc, argv, host_path ? 6 : 5));
   }
+  if (cmd == "serve") return cmd_serve(**fs, *arr, flags);
   if (cmd == "import" && argc >= 5) return cmd_import(**fs, argv[3], argv[4]);
   if (cmd == "export" && argc >= 5) return cmd_export(**fs, argv[3], argv[4]);
   if (cmd == "convert" && argc >= 5) return cmd_convert(**fs, argv[3], argv[4]);

@@ -12,6 +12,8 @@
 //                       [--op-cost-us C]
 //   pario_sim twophase  [--ranks R] [--devices D] [--file-mb M]
 //                       [--stride S] [--sieve-buf BYTES] [--aggregators A]
+//   pario_sim server    [--clients C] [--devices D] [--dispatchers K]
+//                       [--queue Q] [--ops M] [--block-kb B] [--compute-ms T]
 //
 // Observability flags (any experiment):
 //   --trace FILE   write a Chrome/Perfetto trace_event JSON of the run
@@ -35,6 +37,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "reliability/mtbf.hpp"
+#include "sim/channel.hpp"
 #include "sim/resource.hpp"
 #include "util/rng.hpp"
 #include "workload/sim_process.hpp"
@@ -96,6 +99,8 @@ int usage() {
                " --op-cost-us C\n"
                "  twophase  --ranks R --devices D --file-mb M --stride S\n"
                "            --sieve-buf BYTES --aggregators A\n"
+               "  server    --clients C --devices D --dispatchers K --queue Q\n"
+               "            --ops M --block-kb B --compute-ms T\n"
                "observability (any experiment):\n"
                "  --trace FILE   export Chrome/Perfetto trace_event JSON\n"
                "  --metrics      print the metrics registry after the run\n");
@@ -520,6 +525,123 @@ int cmd_twophase(const Flags& flags) {
   return 0;
 }
 
+// ---------------------------------------------------------------- server
+
+// Virtual-time model of the dedicated I/O server (§4, src/server/): C
+// compute clients hand requests to K dispatcher processes over a BOUNDED
+// queue (sim::Channel — a full queue blocks the sender, the submit-side
+// backpressure), and dispatchers fan each request's segments across the
+// devices.  The direct baseline is the same clients doing their own
+// synchronous I/O (compute and transfer strictly serialized per client).
+struct ServerSimReq {
+  std::uint64_t offset = 0;
+  std::uint64_t bytes = 0;
+};
+
+struct ServerSimShared {
+  std::size_t active_clients = 0;
+};
+
+sim::Task server_sim_dispatcher(sim::Engine& eng, SimDiskArray& disks,
+                                const StripedLayout& layout,
+                                sim::Channel<ServerSimReq>& ch) {
+  for (;;) {
+    std::optional<ServerSimReq> req = co_await ch.receive();
+    if (!req) break;  // closed and drained
+    std::vector<DiskSegment> segs;
+    for (const Segment& s : layout.map(req->offset, req->bytes)) {
+      segs.push_back(DiskSegment{s.device, s.offset, s.length});
+    }
+    co_await parallel_io(eng, disks, std::move(segs));
+  }
+}
+
+sim::Task server_sim_client(sim::Engine& eng, sim::Channel<ServerSimReq>& ch,
+                            std::vector<ServerSimReq> ops, double compute_s,
+                            ServerSimShared& shared) {
+  for (const ServerSimReq& op : ops) {
+    co_await eng.delay(compute_s);
+    co_await ch.send(op);  // asynchronous submit; blocks only when full
+  }
+  // Last client out closes the channel so dispatchers drain and exit.
+  if (--shared.active_clients == 0) ch.close();
+}
+
+int cmd_server(const Flags& flags) {
+  const auto max_clients = flags.u64("clients", 8);
+  const auto devices = static_cast<std::size_t>(flags.u64("devices", 4));
+  // Enough dispatchers to keep every device busy even though each one
+  // barriers on its request's slowest segment (striped-transfer semantics);
+  // fewer dispatchers than concurrent clients leaves devices idling.
+  const auto dispatchers = static_cast<std::size_t>(flags.u64("dispatchers", 8));
+  const auto queue = static_cast<std::size_t>(flags.u64("queue", 16));
+  const std::uint64_t ops_per_client = flags.u64("ops", 64);
+  const std::uint64_t block_bytes = flags.u64("block-kb", 48) * 1024;
+  const double compute_s = flags.f64("compute-ms", 2.0) * 1e-3;
+  if (max_clients == 0 || dispatchers == 0 || queue == 0 ||
+      ops_per_client == 0 || block_bytes == 0) {
+    return usage();
+  }
+
+  std::printf("I/O server: %zu devices, %zu dispatchers, queue %zu; "
+              "%llu x %llu KB ops per client, %.1f ms compute per op\n",
+              devices, dispatchers, queue,
+              static_cast<unsigned long long>(ops_per_client),
+              static_cast<unsigned long long>(block_bytes >> 10),
+              compute_s * 1e3);
+  std::printf("%8s %10s %12s %10s %12s %9s\n", "clients", "direct_s",
+              "direct MB/s", "server_s", "server MB/s", "speedup");
+
+  for (std::uint64_t c = 1; c <= max_clients; c *= 2) {
+    const std::uint64_t bytes = c * ops_per_client * block_bytes;
+    // Direct: each client computes then transfers, serially.
+    double direct;
+    {
+      sim::Engine eng;
+      SimDiskArray disks(eng, devices);
+      StripedLayout layout(devices, kTrack);
+      std::vector<std::vector<SimOp>> ops;
+      for (std::uint64_t p = 0; p < c; ++p) {
+        std::vector<SimOp> mine;
+        for (std::uint64_t i = 0; i < ops_per_client; ++i) {
+          mine.push_back(SimOp{(p * ops_per_client + i) * block_bytes,
+                               block_bytes, compute_s});
+        }
+        ops.push_back(std::move(mine));
+      }
+      direct = run_processes(eng, disks, layout, std::move(ops));
+    }
+    // Server-mediated: submits overlap the clients' next compute phase.
+    double server;
+    {
+      sim::Engine eng;
+      SimDiskArray disks(eng, devices);
+      StripedLayout layout(devices, kTrack);
+      sim::Channel<ServerSimReq> ch(eng, queue);
+      ServerSimShared shared;
+      shared.active_clients = c;
+      for (std::size_t k = 0; k < dispatchers; ++k) {
+        eng.spawn(server_sim_dispatcher(eng, disks, layout, ch));
+      }
+      for (std::uint64_t p = 0; p < c; ++p) {
+        std::vector<ServerSimReq> mine;
+        for (std::uint64_t i = 0; i < ops_per_client; ++i) {
+          mine.push_back(ServerSimReq{
+              (p * ops_per_client + i) * block_bytes, block_bytes});
+        }
+        eng.spawn(server_sim_client(eng, ch, std::move(mine), compute_s,
+                                    shared));
+      }
+      server = eng.run();
+    }
+    std::printf("%8llu %10.3f %12.2f %10.3f %12.2f %8.2fx\n",
+                static_cast<unsigned long long>(c), direct,
+                static_cast<double>(bytes) / direct / 1e6, server,
+                static_cast<double>(bytes) / server / 1e6, direct / server);
+  }
+  return 0;
+}
+
 // ------------------------------------------------------------------ mtbf
 
 int cmd_mtbf(const Flags& flags) {
@@ -564,6 +686,8 @@ int main(int argc, char** argv) {
     rc = cmd_iosched(flags);
   } else if (cmd == "twophase") {
     rc = cmd_twophase(flags);
+  } else if (cmd == "server") {
+    rc = cmd_server(flags);
   } else if (cmd == "mtbf") {
     rc = cmd_mtbf(flags);
   } else {
