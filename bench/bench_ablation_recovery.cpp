@@ -1,0 +1,207 @@
+// ABLATION: online fault tolerance — what degraded service and live
+// rebuild cost.  §5 motivates parity protection by MTBF arithmetic; this
+// bench measures the runtime side of that bargain on throttled devices
+// (fixed positioning charge per op, so the op-count arithmetic shows up
+// in wall time):
+//
+//   * healthy vs degraded READ — reconstruction touches every survivor
+//     plus parity instead of one device (expect ~Nx the device ops);
+//   * healthy vs degraded WRITE — parity-only RMW vs the normal
+//     read-modify-write pair;
+//   * rebuild alone vs rebuild under foreground traffic — both
+//     interference directions: how much the foreground slows the rebuild,
+//     and (against BM_Read_Healthy) how much the rebuild steals from the
+//     foreground.
+//
+// Counters: bytes_per_second (per-variant throughput), foreground_ops
+// and foreground_MBps for the traffic mix, plus the reliability.* registry
+// snapshot.  Honors --quick and --json=PATH (default BENCH_recovery.json).
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "device/faulty_device.hpp"
+#include "device/parity_group.hpp"
+#include "device/ram_disk.hpp"
+#include "device/throttle_device.hpp"
+#include "reliability/resilient_array.hpp"
+
+namespace {
+
+using namespace pio;
+
+constexpr std::size_t kDataDevices = 3;
+constexpr double kOpCostUs = 2.0;
+constexpr std::size_t kIoBytes = 4096;
+
+std::uint64_t device_capacity() {
+  return pio::bench::quick_flag ? (256ull << 10) : (1ull << 20);
+}
+
+/// 3 data FaultyDevice(Throttled(RamDisk)) + throttled parity, parity
+/// group, ResilientArray.  The throttle charges every op a fixed
+/// positioning cost so reconstruction fan-out is visible in wall time.
+struct Rig {
+  DeviceArray array;
+  std::unique_ptr<ThrottledDevice> parity;
+  std::unique_ptr<ParityGroup> group;
+  std::unique_ptr<ResilientArray> resilient;
+  std::vector<FaultyDevice*> faulty;
+
+  Rig() {
+    const std::uint64_t cap = device_capacity();
+    for (std::size_t d = 0; d < kDataDevices; ++d) {
+      auto dev = std::make_unique<FaultyDevice>(std::make_unique<ThrottledDevice>(
+          std::make_unique<RamDisk>("data" + std::to_string(d), cap),
+          kOpCostUs));
+      faulty.push_back(dev.get());
+      array.add(std::move(dev));
+    }
+    parity = std::make_unique<ThrottledDevice>(
+        std::make_unique<RamDisk>("parity", cap), kOpCostUs);
+    group = std::make_unique<ParityGroup>(
+        std::vector<BlockDevice*>{&array[0], &array[1], &array[2]},
+        parity.get());
+    ResilientOptions opts;
+    opts.retry.base_backoff_us = 10;
+    opts.retry.max_backoff_us = 200;
+    resilient = std::make_unique<ResilientArray>(array, opts);
+    auto st = resilient->protect_with_parity(*group, {0, 1, 2});
+    if (!st.ok()) std::abort();
+  }
+
+  /// Seed every data device with a deterministic pattern (through the
+  /// group so parity is consistent).
+  void fill() {
+    std::vector<std::byte> buf(kIoBytes);
+    const std::uint64_t cap = device_capacity();
+    for (std::size_t d = 0; d < kDataDevices; ++d) {
+      for (std::uint64_t off = 0; off + kIoBytes <= cap; off += kIoBytes) {
+        for (std::size_t i = 0; i < kIoBytes; ++i) {
+          buf[i] = static_cast<std::byte>((d * 131 + off + i * 7) & 0xff);
+        }
+        auto st = group->write(d, off, buf);
+        if (!st.ok()) std::abort();
+      }
+    }
+  }
+};
+
+// ------------------------------------------------- degraded-service costs
+
+void run_reads(benchmark::State& state, bool degraded) {
+  Rig rig;
+  rig.fill();
+  if (degraded) rig.faulty[0]->fail_now();
+  std::vector<std::byte> out(kIoBytes);
+  const std::uint64_t cap = device_capacity();
+  std::uint64_t off = 0;
+  for (auto _ : state) {
+    auto st = rig.resilient->read(0, off, out);
+    if (!st.ok()) state.SkipWithError(st.error().to_string().c_str());
+    off = (off + kIoBytes) % cap;
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kIoBytes));
+  pio::bench::report_registry(state);
+}
+
+void BM_Read_Healthy(benchmark::State& state) { run_reads(state, false); }
+void BM_Read_Degraded(benchmark::State& state) { run_reads(state, true); }
+
+void run_writes(benchmark::State& state, bool degraded) {
+  Rig rig;
+  rig.fill();
+  if (degraded) rig.faulty[0]->fail_now();
+  std::vector<std::byte> in(kIoBytes, std::byte{0x5a});
+  const std::uint64_t cap = device_capacity();
+  std::uint64_t off = 0;
+  for (auto _ : state) {
+    auto st = rig.resilient->write(0, off, in);
+    if (!st.ok()) state.SkipWithError(st.error().to_string().c_str());
+    off = (off + kIoBytes) % cap;
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kIoBytes));
+  pio::bench::report_registry(state);
+}
+
+void BM_Write_Healthy(benchmark::State& state) { run_writes(state, false); }
+void BM_Write_Degraded(benchmark::State& state) { run_writes(state, true); }
+
+// ------------------------------------------------------ rebuild vs traffic
+
+/// One timed rebuild of device 0.  With `foreground` set, a thread keeps
+/// reading the SURVIVING devices (and the failed one — degraded) for the
+/// whole rebuild, so the two contend for the same throttled spindles.
+void run_rebuild(benchmark::State& state, bool foreground) {
+  const std::uint64_t cap = device_capacity();
+  for (auto _ : state) {
+    state.PauseTiming();
+    Rig rig;
+    rig.fill();
+    rig.faulty[0]->fail_now();
+    std::atomic<bool> stop{false};
+    std::atomic<std::uint64_t> fg_ops{0};
+    std::thread traffic;
+    if (foreground) {
+      traffic = std::thread([&rig, &stop, &fg_ops] {
+        std::vector<std::byte> out(kIoBytes);
+        const std::uint64_t fg_cap = device_capacity();
+        std::uint64_t off = 0;
+        std::size_t d = 0;
+        while (!stop.load(std::memory_order_acquire)) {
+          if (rig.resilient->read(d, off, out).ok()) {
+            fg_ops.fetch_add(1, std::memory_order_relaxed);
+          }
+          d = (d + 1) % kDataDevices;
+          off = (off + kIoBytes) % fg_cap;
+        }
+      });
+    }
+    state.ResumeTiming();
+
+    RebuildOptions options;
+    options.chunk_bytes = 64 * 1024;
+    FaultyDevice* failed = rig.faulty[0];
+    options.on_complete = [failed] { failed->repair(); };
+    auto st = rig.resilient->start_rebuild(0, failed->inner(), options);
+    if (st.ok()) st = rig.resilient->wait_rebuild();
+    if (!st.ok()) state.SkipWithError(st.error().to_string().c_str());
+
+    state.PauseTiming();
+    stop.store(true, std::memory_order_release);
+    if (traffic.joinable()) traffic.join();
+    state.counters["foreground_ops"] += static_cast<double>(fg_ops.load());
+    state.ResumeTiming();
+  }
+  // bytes_per_second = rebuild bandwidth (the timed region is the rebuild).
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(cap));
+  pio::bench::report_registry(state);
+}
+
+void BM_Rebuild_Alone(benchmark::State& state) { run_rebuild(state, false); }
+void BM_Rebuild_UnderTraffic(benchmark::State& state) {
+  run_rebuild(state, true);
+}
+
+BENCHMARK(BM_Read_Healthy)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_Read_Degraded)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_Write_Healthy)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_Write_Degraded)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_Rebuild_Alone)->Unit(benchmark::kMillisecond)->Iterations(3);
+BENCHMARK(BM_Rebuild_UnderTraffic)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(3);
+
+}  // namespace
+
+PIO_BENCH_MAIN_JSON(
+    "ABLATION: recovery — degraded service and online rebuild",
+    "Degraded reads cost ~Nx a healthy read (reconstruction touches every "
+    "survivor + parity); rebuild and foreground traffic steal throughput "
+    "from each other but both make progress.",
+    "BENCH_recovery.json")

@@ -92,6 +92,7 @@ IoScheduler::IoScheduler(DeviceArray& devices, IoSchedulerOptions options)
   completed_counter_ = &registry.counter("iosched.completed");
   coalesced_counter_ = &registry.counter("iosched.coalesced");
   merged_bytes_counter_ = &registry.counter("iosched.merged_bytes");
+  timeout_counter_ = &registry.counter("iosched.timeouts");
   depth_gauge_ = &registry.gauge("iosched.queue_depth");
   wait_hist_ = &registry.histogram("iosched.wait_us", 0.0, 1e5, 200);
   service_hist_ = &registry.histogram("iosched.service_us", 0.0, 1e5, 200);
@@ -261,6 +262,28 @@ void IoScheduler::worker_loop(Worker& worker) {
       worker.executed += group.size();
     }
     depth_gauge_->add(-static_cast<std::int64_t>(group.size()));
+    if (options_.request_deadline_us > 0) {
+      // Requests that overstayed their deadline in the queue complete with
+      // timed_out instead of being issued.  Dropping members of a merged
+      // group is safe: the vectored op carries per-fragment offsets, so
+      // the survivors need not be contiguous.
+      const double now_us = tracer.wall_now_us();
+      const double limit = static_cast<double>(options_.request_deadline_us);
+      std::size_t kept = 0;
+      for (Request& r : group) {
+        if (now_us - r.enq_us >= limit) {
+          timeout_counter_->inc();
+          completed_counter_->inc();
+          r.batch->complete(make_error(
+              Errc::timed_out, "request exceeded queue deadline on device " +
+                                   devices_[worker.tid].name()));
+        } else {
+          group[kept++] = r;
+        }
+      }
+      group.resize(kept);
+      if (group.empty()) continue;
+    }
     // Timestamps (and the latency histograms fed from them) only when
     // tracing: the disabled hot path performs no clock reads.
     const bool tracing = tracer.enabled();
@@ -298,7 +321,9 @@ void IoScheduler::enqueue(std::size_t device, Request request) {
   Worker& worker = *workers_[device];
   obs::Tracer& tracer = obs::Tracer::global();
   const bool tracing = tracer.enabled();
-  if (tracing) request.enq_us = tracer.wall_now_us();
+  if (tracing || options_.request_deadline_us > 0) {
+    request.enq_us = tracer.wall_now_us();
+  }
   enqueued_counter_->inc();
   depth_gauge_->add(1);
   std::size_t depth_after = 0;

@@ -115,6 +115,11 @@ struct IoSchedulerOptions {
   /// Byte ceiling for one coalesced (vectored) device operation; 0
   /// disables coalescing entirely.
   std::uint64_t max_merge_bytes = 0;
+  /// Per-request deadline: a request still queued this many microseconds
+  /// after enqueue completes with Errc::timed_out instead of being issued
+  /// (bounding queue-delay tail latency when a device stalls or a breaker
+  /// quarantines it).  0 = no deadline.
+  std::uint64_t request_deadline_us = 0;
 };
 
 class IoScheduler {
@@ -158,7 +163,7 @@ class IoScheduler {
     const std::byte* write_buf = nullptr;  // kind == write
     IoBatch* batch = nullptr;
     OpKind kind = OpKind::read;
-    double enq_us = 0.0;  // wall enqueue timestamp (tracing only)
+    double enq_us = 0.0;  // wall enqueue timestamp (tracing or deadlines)
   };
   struct Worker {
     mutable std::mutex mutex;
@@ -195,6 +200,7 @@ class IoScheduler {
   obs::Counter* completed_counter_;
   obs::Counter* coalesced_counter_;
   obs::Counter* merged_bytes_counter_;
+  obs::Counter* timeout_counter_;
   obs::Gauge* depth_gauge_;
   obs::LatencyHistogram* wait_hist_;
   obs::LatencyHistogram* service_hist_;

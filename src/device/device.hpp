@@ -102,6 +102,18 @@ class BlockDevice {
     return ok_status();
   }
 
+  /// Health probe: report whether the device can currently service I/O,
+  /// WITHOUT counting as a data operation.  The default issues a 1-byte
+  /// read (adequate for plain devices, whose reads have no side effects);
+  /// fault-injecting decorators override it so probes never perturb their
+  /// op-count bookkeeping (FaultyDevice::fail_after_ops countdowns,
+  /// FaultPlan windows) — health monitors may probe as often as they like.
+  virtual Status probe() {
+    if (capacity() == 0) return ok_status();
+    std::byte b[1];
+    return read(0, b);
+  }
+
   virtual std::uint64_t capacity() const noexcept = 0;
   virtual const std::string& name() const noexcept = 0;
   virtual const DeviceCounters& counters() const noexcept = 0;

@@ -8,16 +8,62 @@ FaultyDevice::FaultyDevice(std::unique_ptr<BlockDevice> inner)
     : inner_(std::move(inner)) {}
 
 Status FaultyDevice::gate() {
+  ops_issued_.fetch_add(1, std::memory_order_relaxed);
   // Countdown-to-failure: decrement on every op once armed.
   std::int64_t remaining = ops_until_failure_.load(std::memory_order_acquire);
   if (remaining >= 0) {
     remaining = ops_until_failure_.fetch_sub(1, std::memory_order_acq_rel) - 1;
     if (remaining < 0) fail_now();
   }
+  if (plan_active_.load(std::memory_order_acquire)) {
+    std::scoped_lock lock(plan_mutex_);
+    const std::uint64_t op = plan_ops_++;
+    // Fires exactly once (ops are serialized under plan_mutex_), so a
+    // later repair() — e.g. an online rebuild's completion hook — sticks.
+    if (plan_.fail_at_op >= 0 &&
+        op == static_cast<std::uint64_t>(plan_.fail_at_op)) {
+      fail_now();
+    }
+    if (!failed()) {
+      for (const FaultPlan::Window& w : plan_.transient_windows) {
+        if (op >= w.begin && op < w.end) {
+          return make_error(Errc::busy, name() + ": transient error (window)");
+        }
+      }
+      if (plan_.transient_probability > 0.0 &&
+          plan_rng_.uniform() < plan_.transient_probability) {
+        return make_error(Errc::busy, name() + ": transient error");
+      }
+    }
+  }
   if (failed()) {
     return make_error(Errc::device_failed, name() + ": device has failed");
   }
   return ok_status();
+}
+
+Status FaultyDevice::probe() {
+  if (failed()) {
+    return make_error(Errc::device_failed, name() + ": device has failed");
+  }
+  return inner_->probe();
+}
+
+void FaultyDevice::set_plan(FaultPlan plan) {
+  {
+    std::scoped_lock lock(plan_mutex_);
+    plan_ = std::move(plan);
+    plan_ops_ = 0;
+    plan_rng_ = Rng{plan_.seed};
+  }
+  plan_active_.store(true, std::memory_order_release);
+}
+
+void FaultyDevice::set_transient(double probability, std::uint64_t seed) {
+  FaultPlan plan;
+  plan.transient_probability = probability;
+  plan.seed = seed;
+  set_plan(std::move(plan));
 }
 
 Status FaultyDevice::read(std::uint64_t offset, std::span<std::byte> out) {

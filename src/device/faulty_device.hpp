@@ -1,13 +1,43 @@
-// FaultyDevice: decorator that injects whole-device failures and localized
-// media errors into any BlockDevice (§5's reliability discussion).
+// FaultyDevice: decorator that injects whole-device failures, localized
+// media errors, and transient (retryable) errors into any BlockDevice
+// (§5's reliability discussion).  Faults can be triggered manually, by an
+// op countdown, or by a scriptable FaultPlan so end-to-end chaos tests
+// are deterministic.
 #pragma once
 
 #include <mutex>
 #include <vector>
 
 #include "device/device.hpp"
+#include "util/rng.hpp"
 
 namespace pio {
+
+/// A deterministic fault script, evaluated against the device's data-op
+/// counter (reads, writes, and vectored ops each count ONE op; health
+/// probes count zero).  Ops are numbered from the moment the plan is
+/// installed.
+struct FaultPlan {
+  /// Op index at which the device fails hard (Errc::device_failed until
+  /// repair()).  Fires exactly once: after a repair() the plan does not
+  /// re-kill the device.  -1 = never.
+  std::int64_t fail_at_op = -1;
+
+  /// Half-open op-index ranges [begin, end) during which every op returns
+  /// Errc::busy (a transient error: the same op succeeds once the window
+  /// has passed).
+  struct Window {
+    std::uint64_t begin = 0;
+    std::uint64_t end = 0;
+  };
+  std::vector<Window> transient_windows;
+
+  /// Independent per-op probability of a transient Errc::busy outside the
+  /// scripted windows (0 = off).  Draws come from a private xoshiro stream
+  /// seeded with `seed`, so a given plan misbehaves identically every run.
+  double transient_probability = 0.0;
+  std::uint64_t seed = 1;
+};
 
 class FaultyDevice final : public BlockDevice {
  public:
@@ -21,6 +51,12 @@ class FaultyDevice final : public BlockDevice {
   /// device); bad-range checks/repairs still apply per fragment.
   Status readv(std::span<const IoVec> iov) override;
   Status writev(std::span<const ConstIoVec> iov) override;
+
+  /// Health probe: reports device_failed while failed, otherwise forwards
+  /// to the inner device.  Never consumes a fail_after_ops countdown tick
+  /// or a FaultPlan op, and never draws a transient coin — monitors may
+  /// probe at any rate without perturbing scripted fault timelines.
+  Status probe() override;
 
   std::uint64_t capacity() const noexcept override { return inner_->capacity(); }
   const std::string& name() const noexcept override { return inner_->name(); }
@@ -41,6 +77,18 @@ class FaultyDevice final : public BlockDevice {
                              std::memory_order_release);
   }
 
+  /// Install a fault script (replacing any previous one); the plan's op
+  /// counter restarts at zero.  Thread-safe against concurrent I/O.
+  void set_plan(FaultPlan plan);
+
+  /// Shorthand: independent transient-error coin on every op.
+  void set_transient(double probability, std::uint64_t seed = 1);
+
+  /// Data operations issued since construction (probes excluded).
+  std::uint64_t ops_issued() const noexcept {
+    return ops_issued_.load(std::memory_order_relaxed);
+  }
+
   /// Mark [offset, offset+len) unreadable: reads intersecting it return
   /// Errc::media_error until the range is rewritten (a write repairs it,
   /// as reassignment of spare sectors would).
@@ -55,6 +103,16 @@ class FaultyDevice final : public BlockDevice {
   std::unique_ptr<BlockDevice> inner_;
   std::atomic<bool> failed_{false};
   std::atomic<std::int64_t> ops_until_failure_{-1};
+  std::atomic<std::uint64_t> ops_issued_{0};
+
+  // Plan state: checked on the gate only while a plan is installed
+  // (plan_active_ keeps the no-plan hot path to two relaxed loads).
+  std::atomic<bool> plan_active_{false};
+  std::mutex plan_mutex_;
+  FaultPlan plan_;
+  std::uint64_t plan_ops_ = 0;  // ops since set_plan
+  Rng plan_rng_{1};
+
   std::mutex bad_mutex_;
   std::vector<std::pair<std::uint64_t, std::uint64_t>> bad_ranges_;  // [off, end)
 };

@@ -101,6 +101,18 @@ Status ParityGroup::degraded_read(std::size_t d, std::uint64_t offset,
   return xor_range_into(offset, out, d, /*include_parity=*/true);
 }
 
+Status ParityGroup::degraded_write(std::size_t d, std::uint64_t offset,
+                                   std::span<const std::byte> in) {
+  std::scoped_lock lock(mutex_);
+  // parity = XOR over survivors XOR new_data: one pass, no old parity read.
+  std::vector<std::byte> parity(in.size());
+  std::copy(in.begin(), in.end(), parity.begin());
+  PIO_TRY(xor_range_into(offset, parity, d, /*include_parity=*/false));
+  PIO_TRY(parity_->write(offset, parity));
+  ++rmw_count_;
+  return ok_status();
+}
+
 Status ParityGroup::rebuild_parity(std::size_t chunk) {
   std::scoped_lock lock(mutex_);
   std::vector<std::byte> acc(chunk);

@@ -49,6 +49,15 @@ class ParityGroup {
   Status degraded_read(std::size_t d, std::uint64_t offset,
                        std::span<std::byte> out);
 
+  /// Write to data device `d` while it is FAILED: only the parity device
+  /// is updated, to `XOR(survivors) XOR in` — so a later degraded_read (or
+  /// reconstruct_data) of this range yields `in`, the device's intended
+  /// logical content.  The failed device itself is NOT written; an online
+  /// rebuilder (or the caller) materializes the bytes onto the
+  /// replacement.  Counts one parity RMW.
+  Status degraded_write(std::size_t d, std::uint64_t offset,
+                        std::span<const std::byte> in);
+
   /// Recompute the parity device from scratch (after bulk loads).
   Status rebuild_parity(std::size_t chunk = 1 << 16);
 

@@ -32,11 +32,14 @@ Status ShadowDevice::read(std::uint64_t offset, std::span<std::byte> out) {
 
 Status ShadowDevice::write(std::uint64_t offset, std::span<const std::byte> in) {
   // Identical operation on disk and shadow (the paper's formulation).  A
-  // single-side fault leaves the pair degraded but writable; both sides
-  // failing is fatal.
+  // single-side fault leaves the pair degraded but writable — and the
+  // failed side STALE, which degraded()/resync() surface instead of
+  // letting the mirrors diverge silently.  Both sides failing is fatal.
   Status p = primary_->write(offset, in);
   Status s = shadow_->write(offset, in);
   if (!p.ok() && !s.ok()) return p;
+  if (!p.ok()) primary_stale_.store(true, std::memory_order_release);
+  if (!s.ok()) shadow_stale_.store(true, std::memory_order_release);
   counters_.note_write(in.size());
   return ok_status();
 }
@@ -59,8 +62,43 @@ Status ShadowDevice::writev(std::span<const ConstIoVec> iov) {
   Status p = primary_->writev(iov);
   Status s = shadow_->writev(iov);
   if (!p.ok() && !s.ok()) return p;
+  if (!p.ok()) primary_stale_.store(true, std::memory_order_release);
+  if (!s.ok()) shadow_stale_.store(true, std::memory_order_release);
   counters_.note_write(iov_bytes(iov));
   return ok_status();
+}
+
+Result<std::uint64_t> ShadowDevice::copy_over(BlockDevice& from,
+                                              BlockDevice& to,
+                                              std::size_t chunk) {
+  std::vector<std::byte> buf(chunk);
+  std::uint64_t copied = 0;
+  const std::uint64_t cap = capacity();
+  while (copied < cap) {
+    const auto n =
+        static_cast<std::size_t>(std::min<std::uint64_t>(chunk, cap - copied));
+    const std::span<std::byte> window{buf.data(), n};
+    PIO_TRY(from.read(copied, window));
+    PIO_TRY(to.write(copied, window));
+    copied += n;
+  }
+  return copied;
+}
+
+Result<std::uint64_t> ShadowDevice::resync(std::size_t chunk) {
+  const bool p_stale = primary_stale_.load(std::memory_order_acquire);
+  const bool s_stale = shadow_stale_.load(std::memory_order_acquire);
+  if (p_stale && s_stale) {
+    return make_error(Errc::corrupt,
+                      name_ + ": both replicas stale, no clean source");
+  }
+  if (!p_stale && !s_stale) return std::uint64_t{0};
+  BlockDevice& from = p_stale ? *shadow_ : *primary_;
+  BlockDevice& to = p_stale ? *primary_ : *shadow_;
+  PIO_TRY_ASSIGN(const std::uint64_t copied, copy_over(from, to, chunk));
+  (p_stale ? primary_stale_ : shadow_stale_)
+      .store(false, std::memory_order_release);
+  return copied;
 }
 
 Result<std::uint64_t> ShadowDevice::resilver(
@@ -86,12 +124,16 @@ Result<std::uint64_t> ShadowDevice::resilver(
 
 Result<std::uint64_t> ShadowDevice::resilver_primary(
     std::unique_ptr<BlockDevice> blank, std::size_t chunk) {
-  return resilver(primary_, *shadow_, std::move(blank), chunk);
+  auto copied = resilver(primary_, *shadow_, std::move(blank), chunk);
+  if (copied.ok()) primary_stale_.store(false, std::memory_order_release);
+  return copied;
 }
 
 Result<std::uint64_t> ShadowDevice::resilver_shadow(
     std::unique_ptr<BlockDevice> blank, std::size_t chunk) {
-  return resilver(shadow_, *primary_, std::move(blank), chunk);
+  auto copied = resilver(shadow_, *primary_, std::move(blank), chunk);
+  if (copied.ok()) shadow_stale_.store(false, std::memory_order_release);
+  return copied;
 }
 
 }  // namespace pio

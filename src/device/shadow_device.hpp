@@ -1,7 +1,15 @@
 // ShadowDevice: the paper's "shadow disk" strategy (§5) — every write is
 // applied to a primary and its shadow; when one side fails, reads continue
 // from the survivor, and a replacement can be resilvered from it.
+//
+// Divergence tracking: a write that succeeds on one side but fails on the
+// other leaves the mirrors DIVERGENT (the failed side is stale).  The pair
+// stays readable and writable, but degraded() reports the condition and
+// resync() re-copies the survivor onto the stale side (once its fault has
+// been repaired) instead of letting the divergence linger silently.
 #pragma once
+
+#include <atomic>
 
 #include "device/device.hpp"
 
@@ -27,6 +35,29 @@ class ShadowDevice final : public BlockDevice {
   BlockDevice& primary() noexcept { return *primary_; }
   BlockDevice& shadow() noexcept { return *shadow_; }
 
+  /// True when a one-sided write failure has left the mirrors divergent:
+  /// the pair still serves reads/writes from the healthy side, but it is
+  /// running without redundancy until resync() (or a resilver) succeeds.
+  bool degraded() const noexcept {
+    return primary_stale_.load(std::memory_order_acquire) ||
+           shadow_stale_.load(std::memory_order_acquire);
+  }
+  bool primary_stale() const noexcept {
+    return primary_stale_.load(std::memory_order_acquire);
+  }
+  bool shadow_stale() const noexcept {
+    return shadow_stale_.load(std::memory_order_acquire);
+  }
+
+  /// Re-copy the up-to-date side onto the stale side in place, `chunk`
+  /// bytes at a time, and clear the divergence flag.  The stale side's
+  /// fault must have been repaired first (e.g. FaultyDevice::repair());
+  /// if it still errors, the pair stays degraded and the error surfaces.
+  /// Both sides stale (writes diverged in both directions over time) is
+  /// unrecoverable in place and reports Errc::corrupt.  Returns bytes
+  /// copied (0 when the pair was not degraded).
+  Result<std::uint64_t> resync(std::size_t chunk = 1 << 16);
+
   /// Replace the failed side with `blank` and copy the survivor's contents
   /// onto it, `chunk` bytes at a time.  Returns the number of bytes copied.
   Result<std::uint64_t> resilver_primary(std::unique_ptr<BlockDevice> blank,
@@ -39,10 +70,14 @@ class ShadowDevice final : public BlockDevice {
                                  BlockDevice& survivor,
                                  std::unique_ptr<BlockDevice> blank,
                                  std::size_t chunk);
+  Result<std::uint64_t> copy_over(BlockDevice& from, BlockDevice& to,
+                                  std::size_t chunk);
 
   std::string name_;
   std::unique_ptr<BlockDevice> primary_;
   std::unique_ptr<BlockDevice> shadow_;
+  std::atomic<bool> primary_stale_{false};
+  std::atomic<bool> shadow_stale_{false};
   DeviceCounters counters_;
 };
 

@@ -6,6 +6,7 @@
 // disk arm.  Used by the iosched ablation bench and `pario_sim iosched`.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 
 #include "device/device.hpp"
@@ -15,7 +16,19 @@ namespace pio {
 class ThrottledDevice final : public BlockDevice {
  public:
   ThrottledDevice(std::unique_ptr<BlockDevice> inner, double op_cost_us)
-      : inner_(std::move(inner)), op_cost_us_(op_cost_us) {}
+      : inner_(std::move(inner)),
+        op_cost_ns_(static_cast<std::int64_t>(op_cost_us * 1e3)) {}
+
+  /// Change the per-op cost at runtime (thread-safe): fault plans script
+  /// latency spikes by raising it for a window and lowering it back.
+  void set_op_cost_us(double op_cost_us) noexcept {
+    op_cost_ns_.store(static_cast<std::int64_t>(op_cost_us * 1e3),
+                      std::memory_order_relaxed);
+  }
+  double op_cost_us() const noexcept {
+    return static_cast<double>(op_cost_ns_.load(std::memory_order_relaxed)) /
+           1e3;
+  }
 
   Status read(std::uint64_t offset, std::span<std::byte> out) override {
     charge();
@@ -48,15 +61,15 @@ class ThrottledDevice final : public BlockDevice {
   void charge() const {
     // Busy-wait: sleep granularity (~50 us + wakeup jitter) would swamp
     // per-op costs in the single-digit-microsecond range.
-    const auto until = std::chrono::steady_clock::now() +
-                       std::chrono::nanoseconds(
-                           static_cast<std::int64_t>(op_cost_us_ * 1e3));
+    const auto until =
+        std::chrono::steady_clock::now() +
+        std::chrono::nanoseconds(op_cost_ns_.load(std::memory_order_relaxed));
     while (std::chrono::steady_clock::now() < until) {
     }
   }
 
   std::unique_ptr<BlockDevice> inner_;
-  double op_cost_us_;
+  std::atomic<std::int64_t> op_cost_ns_;
 };
 
 }  // namespace pio

@@ -1,0 +1,110 @@
+#include "reliability/health.hpp"
+
+#include "obs/metrics.hpp"
+#include "reliability/retry.hpp"
+
+namespace pio {
+
+HealthMonitor::HealthMonitor(std::size_t devices, HealthOptions options)
+    : options_(options) {
+  if (options_.error_threshold == 0) options_.error_threshold = 1;
+  if (options_.open_ops == 0) options_.open_ops = 1;
+  devices_.reserve(devices);
+  for (std::size_t d = 0; d < devices; ++d) {
+    devices_.push_back(std::make_unique<Device>());
+  }
+  quarantine_counter_ =
+      &obs::MetricsRegistry::global().counter("reliability.quarantines");
+}
+
+bool HealthMonitor::allow(std::size_t d) {
+  Device& dev = *devices_[d];
+  std::scoped_lock lock(dev.mutex);
+  switch (dev.health.state) {
+    case CircuitState::closed:
+      return true;
+    case CircuitState::open:
+      if (++dev.denials >= options_.open_ops) {
+        dev.health.state = CircuitState::half_open;
+        dev.denials = 0;
+        return true;  // the one probe
+      }
+      return false;
+    case CircuitState::half_open:
+      return false;  // a probe is already in flight
+  }
+  return true;
+}
+
+void HealthMonitor::record_success(std::size_t d, double latency_us) {
+  Device& dev = *devices_[d];
+  std::scoped_lock lock(dev.mutex);
+  ++dev.health.successes;
+  dev.health.consecutive_errors = 0;
+  if (latency_us > 0.0) {
+    dev.health.latency_ewma_us =
+        dev.health.latency_ewma_us == 0.0
+            ? latency_us
+            : options_.latency_alpha * latency_us +
+                  (1.0 - options_.latency_alpha) * dev.health.latency_ewma_us;
+  }
+  if (dev.health.state == CircuitState::half_open) {
+    dev.health.state = CircuitState::closed;  // probe succeeded
+  }
+}
+
+void HealthMonitor::record_error(std::size_t d, Errc code) {
+  Device& dev = *devices_[d];
+  std::scoped_lock lock(dev.mutex);
+  ++dev.health.errors;
+  if (is_transient(code)) ++dev.health.transient_errors;
+  ++dev.health.consecutive_errors;
+  const bool hard_failure = code == Errc::device_failed;
+  switch (dev.health.state) {
+    case CircuitState::closed:
+      if (hard_failure ||
+          dev.health.consecutive_errors >= options_.error_threshold) {
+        dev.health.state = CircuitState::open;
+        dev.denials = 0;
+        ++dev.health.quarantines;
+        quarantine_counter_->inc();
+      }
+      break;
+    case CircuitState::half_open:
+      dev.health.state = CircuitState::open;  // probe failed: re-quarantine
+      dev.denials = 0;
+      break;
+    case CircuitState::open:
+      break;  // a straggler from before the trip; stay open
+  }
+}
+
+CircuitState HealthMonitor::state(std::size_t d) const {
+  Device& dev = *devices_[d];
+  std::scoped_lock lock(dev.mutex);
+  return dev.health.state;
+}
+
+void HealthMonitor::reset(std::size_t d) {
+  Device& dev = *devices_[d];
+  std::scoped_lock lock(dev.mutex);
+  dev.health.state = CircuitState::closed;
+  dev.health.consecutive_errors = 0;
+  dev.denials = 0;
+}
+
+HealthMonitor::DeviceHealth HealthMonitor::snapshot(std::size_t d) const {
+  Device& dev = *devices_[d];
+  std::scoped_lock lock(dev.mutex);
+  return dev.health;
+}
+
+std::vector<std::size_t> HealthMonitor::quarantined() const {
+  std::vector<std::size_t> out;
+  for (std::size_t d = 0; d < devices_.size(); ++d) {
+    if (state(d) != CircuitState::closed) out.push_back(d);
+  }
+  return out;
+}
+
+}  // namespace pio

@@ -1,0 +1,103 @@
+// HealthMonitor: per-device error/latency history with circuit-breaker
+// quarantine over a DeviceArray.
+//
+// Each device carries a three-state breaker:
+//
+//   closed    -> normal service; errors count toward a consecutive-error
+//                threshold (a hard device_failed trips immediately).
+//   open      -> quarantined: allow() denies every operation (callers go
+//                degraded or fail fast instead of hammering a dead or
+//                glitching device).  After `open_ops` denials, one probe
+//                operation is let through (half-open).
+//   half_open -> exactly one in-flight probe; its success closes the
+//                breaker, its failure re-opens it for another window.
+//
+// The denial count (not wall time) drives re-probing, so a seeded chaos
+// run quarantines and recovers at identical operation indices every time.
+// All transitions are per-device under a per-device mutex; allow() and the
+// recorders are safe from any thread.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "util/result.hpp"
+
+namespace pio::obs {
+class Counter;
+}  // namespace pio::obs
+
+namespace pio {
+
+enum class CircuitState : std::uint8_t { closed, open, half_open };
+
+constexpr const char* circuit_state_name(CircuitState s) noexcept {
+  switch (s) {
+    case CircuitState::closed: return "closed";
+    case CircuitState::open: return "open";
+    case CircuitState::half_open: return "half_open";
+  }
+  return "unknown";
+}
+
+struct HealthOptions {
+  /// Consecutive recoverable errors (media_error / transient) that open
+  /// the breaker.  A device_failed opens it immediately regardless.
+  std::uint32_t error_threshold = 4;
+  /// allow() denials while open before one half-open probe is admitted.
+  std::uint64_t open_ops = 64;
+  /// EWMA weight for the per-device latency estimate.
+  double latency_alpha = 0.2;
+};
+
+class HealthMonitor {
+ public:
+  explicit HealthMonitor(std::size_t devices, HealthOptions options = {});
+
+  /// Gate an operation on device `d`: true = proceed against the device,
+  /// false = quarantined (serve degraded / fail fast instead).  While
+  /// open, every call counts toward the re-probe window; the call that
+  /// ends the window returns true as the half-open probe.
+  bool allow(std::size_t d);
+
+  void record_success(std::size_t d, double latency_us = 0.0);
+  void record_error(std::size_t d, Errc code);
+
+  CircuitState state(std::size_t d) const;
+
+  /// Force the breaker closed and clear the error streak — called after an
+  /// out-of-band repair (rebuild completion) so traffic returns at once
+  /// instead of waiting out the probe window.
+  void reset(std::size_t d);
+
+  struct DeviceHealth {
+    std::uint64_t successes = 0;
+    std::uint64_t errors = 0;            ///< hard + recoverable
+    std::uint64_t transient_errors = 0;  ///< subset: busy/overloaded/timeout
+    std::uint32_t consecutive_errors = 0;
+    std::uint64_t quarantines = 0;  ///< closed->open transitions
+    double latency_ewma_us = 0.0;
+    CircuitState state = CircuitState::closed;
+  };
+  DeviceHealth snapshot(std::size_t d) const;
+
+  /// Indices currently quarantined (open or half-open).
+  std::vector<std::size_t> quarantined() const;
+
+  std::size_t size() const noexcept { return devices_.size(); }
+
+ private:
+  struct Device {
+    mutable std::mutex mutex;
+    DeviceHealth health;
+    std::uint64_t denials = 0;  ///< allow() denials since the breaker opened
+  };
+
+  HealthOptions options_;
+  std::vector<std::unique_ptr<Device>> devices_;
+  obs::Counter* quarantine_counter_;  ///< global reliability.quarantines
+};
+
+}  // namespace pio

@@ -1,0 +1,105 @@
+#include "reliability/rebuild.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace pio {
+
+namespace {
+constexpr std::uint32_t kRebuildTid = 990;  ///< trace lane for the rebuilder
+}  // namespace
+
+OnlineRebuilder::OnlineRebuilder(ParityGroup& group, std::size_t position,
+                                 BlockDevice& target, RebuildOptions options)
+    : group_(group),
+      position_(position),
+      target_(target),
+      options_(options),
+      total_(std::min<std::uint64_t>(group.protected_capacity(),
+                                     target.capacity())),
+      regions_(/*stripe_count=*/64) {
+  if (options_.chunk_bytes == 0) options_.chunk_bytes = 1 << 16;
+  auto& reg = obs::MetricsRegistry::global();
+  rebuild_bytes_counter_ = &reg.counter("reliability.rebuild_bytes");
+  rebuild_chunks_counter_ = &reg.counter("reliability.rebuild_chunks");
+  progress_gauge_ = &reg.gauge("reliability.rebuild_progress");
+}
+
+OnlineRebuilder::~OnlineRebuilder() {
+  cancel();
+  if (thread_.joinable()) thread_.join();
+}
+
+void OnlineRebuilder::start() {
+  if (started_.exchange(true, std::memory_order_acq_rel)) return;
+  thread_ = std::thread([this] { run(); });
+}
+
+Status OnlineRebuilder::wait() {
+  if (thread_.joinable()) thread_.join();
+  std::scoped_lock lock(status_mutex_);
+  if (status_.code != Errc::ok) return Status(Error(status_));
+  return ok_status();
+}
+
+void OnlineRebuilder::run() {
+  auto& tracer = obs::Tracer::global();
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::byte> window(options_.chunk_bytes);
+  std::uint64_t offset = 0;
+  Status st = ok_status();
+  bool cancelled = false;
+
+  while (offset < total_) {
+    if (cancel_.load(std::memory_order_acquire)) {
+      cancelled = true;
+      break;
+    }
+    const std::size_t n =
+        static_cast<std::size_t>(std::min<std::uint64_t>(
+            options_.chunk_bytes, total_ - offset));
+    const std::uint64_t chunk_index = offset / options_.chunk_bytes;
+    {
+      RecordLockTable::RangeExclusiveGuard region(regions_, chunk_index, 1);
+      obs::WallSpan span(tracer, "rebuild.chunk", "reliability", kRebuildTid);
+      std::span<std::byte> buf(window.data(), n);
+      st = group_.degraded_read(position_, offset, buf);
+      if (st.ok()) st = target_.write(offset, buf);
+    }
+    if (!st.ok()) break;
+    offset += n;
+    frontier_.store(offset, std::memory_order_release);
+    rebuild_bytes_counter_->inc(n);
+    rebuild_chunks_counter_->inc();
+    progress_gauge_->set(
+        static_cast<std::int64_t>(100.0 * static_cast<double>(offset) /
+                                  static_cast<double>(total_ ? total_ : 1)));
+    if (options_.max_bytes_per_sec > 0) {
+      // Pace against the wall clock: by `offset` bytes, at least
+      // offset/rate seconds must have elapsed since start.
+      const auto due =
+          start + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                      std::chrono::duration<double>(
+                          static_cast<double>(offset) /
+                          static_cast<double>(options_.max_bytes_per_sec)));
+      std::this_thread::sleep_until(due);
+    }
+  }
+
+  if (cancelled && st.ok()) {
+    st = make_error(Errc::busy, "rebuild cancelled at offset " +
+                                    std::to_string(offset));
+  }
+  if (st.ok() && options_.on_complete) options_.on_complete();
+  {
+    std::scoped_lock lock(status_mutex_);
+    if (!st.ok()) status_ = st.error();
+  }
+  done_.store(true, std::memory_order_release);
+}
+
+}  // namespace pio

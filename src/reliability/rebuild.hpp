@@ -1,0 +1,142 @@
+// OnlineRebuilder: reconstruct a failed parity-group member onto a
+// replacement device in rate-limited chunks on a background thread, WHILE
+// foreground traffic continues — §5's repair window made a live process
+// instead of a quiesced one (the repair_hours term in MTTDL is exactly
+// how long this thread runs).
+//
+// Concurrency protocol (shared with ResilientArray's degraded writes):
+//   - the rebuilder takes an exclusive REGION lock (RecordLockTable keyed
+//     by chunk index) around each reconstruct+write cycle;
+//   - any foreground writer that touches the replacement takes the same
+//     region locks for its byte range first;
+//   - parity-consistent reconstruction itself is serialized by the
+//     ParityGroup mutex.
+// A foreground write BEHIND the frontier refreshes the already-rebuilt
+// replacement; one AHEAD of the frontier is captured later because the
+// degraded write updated parity first.  Either way the replacement
+// converges to the device's logical contents.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <thread>
+
+#include "core/record_locks.hpp"
+#include "device/parity_group.hpp"
+
+namespace pio::obs {
+class Counter;
+class Gauge;
+}  // namespace pio::obs
+
+namespace pio {
+
+struct RebuildOptions {
+  /// Bytes reconstructed per region-locked cycle.
+  std::size_t chunk_bytes = 1 << 16;
+  /// Rate limit for rebuild traffic (0 = unthrottled): bounds the
+  /// interference the rebuild inflicts on foreground I/O, at the price of
+  /// a longer repair window.
+  std::uint64_t max_bytes_per_sec = 0;
+  /// Invoked on the rebuild thread after the last chunk lands on the
+  /// replacement and BEFORE done() flips — the hook that repairs the
+  /// device / swaps it live (ResilientArray clears its degraded routing
+  /// here).  Not called on error or cancellation.
+  std::function<void()> on_complete;
+};
+
+class OnlineRebuilder {
+ public:
+  /// Rebuild `group` data member `position` onto `target` (same capacity
+  /// as the group's protected capacity; typically the failed
+  /// FaultyDevice's inner device, or a hot spare).  All references must
+  /// outlive the rebuilder.
+  OnlineRebuilder(ParityGroup& group, std::size_t position,
+                  BlockDevice& target, RebuildOptions options = {});
+  ~OnlineRebuilder();  ///< cancels and joins if still running
+
+  OnlineRebuilder(const OnlineRebuilder&) = delete;
+  OnlineRebuilder& operator=(const OnlineRebuilder&) = delete;
+
+  /// Spawn the rebuild thread.  Must be called at most once.
+  void start();
+
+  /// Join the rebuild thread and return its final status (ok after a full
+  /// reconstruction; the first device error otherwise; Errc::busy when
+  /// cancelled mid-run).
+  Status wait();
+
+  void cancel() noexcept { cancel_.store(true, std::memory_order_release); }
+
+  bool started() const noexcept {
+    return started_.load(std::memory_order_acquire);
+  }
+  /// True once the rebuild thread has finished (success, error, or
+  /// cancel) AND any on_complete hook has run.
+  bool done() const noexcept { return done_.load(std::memory_order_acquire); }
+
+  std::uint64_t bytes_rebuilt() const noexcept {
+    return frontier_.load(std::memory_order_acquire);
+  }
+  std::uint64_t total_bytes() const noexcept { return total_; }
+  double progress() const noexcept {
+    return total_ == 0 ? 1.0
+                       : static_cast<double>(bytes_rebuilt()) /
+                             static_cast<double>(total_);
+  }
+
+  /// Region-lock table shared with foreground writers: lock chunk indices
+  /// [offset / chunk_bytes, (offset + len - 1) / chunk_bytes] exclusively
+  /// before touching the replacement for [offset, offset + len).
+  RecordLockTable& regions() noexcept { return regions_; }
+  std::size_t chunk_bytes() const noexcept { return options_.chunk_bytes; }
+
+  /// RAII region lock for a foreground byte range (no-op for len == 0).
+  class RegionGuard {
+   public:
+    RegionGuard(OnlineRebuilder& rebuilder, std::uint64_t offset,
+                std::uint64_t len)
+        : table_(rebuilder.regions_),
+          first_(offset / rebuilder.chunk_bytes()),
+          count_(len == 0 ? 0
+                          : (offset + len - 1) / rebuilder.chunk_bytes() -
+                                first_ + 1) {
+      if (count_ > 0) table_.lock_range_exclusive(first_, count_);
+    }
+    ~RegionGuard() {
+      if (count_ > 0) table_.unlock_range_exclusive(first_, count_);
+    }
+    RegionGuard(const RegionGuard&) = delete;
+    RegionGuard& operator=(const RegionGuard&) = delete;
+
+   private:
+    RecordLockTable& table_;
+    std::uint64_t first_;
+    std::uint64_t count_;
+  };
+
+ private:
+  void run();
+
+  ParityGroup& group_;
+  std::size_t position_;
+  BlockDevice& target_;
+  RebuildOptions options_;
+  std::uint64_t total_;
+  RecordLockTable regions_;
+
+  std::thread thread_;
+  std::atomic<bool> started_{false};
+  std::atomic<bool> cancel_{false};
+  std::atomic<bool> done_{false};
+  std::atomic<std::uint64_t> frontier_{0};
+  std::mutex status_mutex_;
+  Error status_;  ///< final error (ok while running / on success)
+
+  obs::Counter* rebuild_bytes_counter_;
+  obs::Counter* rebuild_chunks_counter_;
+  obs::Gauge* progress_gauge_;  ///< percent, 0..100
+};
+
+}  // namespace pio

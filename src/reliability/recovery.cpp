@@ -8,9 +8,10 @@ namespace pio {
 
 std::vector<std::size_t> find_failed_devices(DeviceArray& devices) {
   std::vector<std::size_t> failed;
-  std::byte probe[1];
   for (std::size_t d = 0; d < devices.size(); ++d) {
-    Status st = devices[d].read(0, probe);
+    // probe() rather than a data read: health sweeps must not consume
+    // FaultyDevice op-count budgets (fail_after_ops, FaultPlan windows).
+    Status st = devices[d].probe();
     if (!st.ok() && st.code() == Errc::device_failed) failed.push_back(d);
   }
   return failed;

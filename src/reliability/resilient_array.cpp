@@ -1,0 +1,288 @@
+#include "reliability/resilient_array.hpp"
+
+#include <chrono>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace pio {
+
+namespace {
+constexpr std::uint32_t kDegradedTid = 991;  ///< trace lane for degraded ops
+
+double elapsed_us(std::chrono::steady_clock::time_point t0) noexcept {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+}  // namespace
+
+ResilientArray::ResilientArray(DeviceArray& devices, ResilientOptions options)
+    : devices_(devices),
+      options_(options),
+      health_(devices.size(), options.health),
+      protection_(devices.size()) {
+  stale_flags_.reserve(devices.size());
+  for (std::size_t d = 0; d < devices.size(); ++d) {
+    stale_flags_.push_back(std::make_unique<std::atomic<bool>>(false));
+  }
+  auto& reg = obs::MetricsRegistry::global();
+  retries_counter_ = &reg.counter("reliability.retries");
+  transient_counter_ = &reg.counter("reliability.transient_errors");
+  degraded_reads_counter_ = &reg.counter("reliability.degraded_reads");
+  degraded_writes_counter_ = &reg.counter("reliability.degraded_writes");
+  timeouts_counter_ = &reg.counter("reliability.deadline_timeouts");
+  failfast_counter_ = &reg.counter("reliability.failfast");
+}
+
+Status ResilientArray::protect_with_parity(
+    ParityGroup& group, const std::vector<std::size_t>& members) {
+  if (members.size() != group.width()) {
+    return make_error(Errc::invalid_argument,
+                      "protect_with_parity: member count != group width");
+  }
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    const std::size_t d = members[i];
+    if (d >= devices_.size()) {
+      return make_error(Errc::out_of_range,
+                        "protect_with_parity: member index beyond array");
+    }
+    if (protection_[d].group != nullptr) {
+      return make_error(Errc::already_exists,
+                        devices_[d].name() + ": already parity-protected");
+    }
+    protection_[d] = Protection{&group, i};
+  }
+  return ok_status();
+}
+
+Rng ResilientArray::op_rng() noexcept {
+  const std::uint64_t seq = op_seq_.fetch_add(1, std::memory_order_relaxed);
+  return Rng(options_.seed ^ (seq * 0x9e3779b97f4a7c15ULL + 1));
+}
+
+template <typename Fn>
+RetryOutcome ResilientArray::retried(Fn&& fn) {
+  Rng rng = op_rng();
+  RetryOutcome out =
+      run_with_retry(options_.retry, rng, std::forward<Fn>(fn));
+  if (out.attempts > 1) retries_counter_->inc(out.attempts - 1);
+  if (out.transient_errors > 0) transient_counter_->inc(out.transient_errors);
+  if (out.deadline_hit) timeouts_counter_->inc();
+  return out;
+}
+
+template <typename Fn>
+Status ResilientArray::attempt(std::size_t d, Fn&& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  RetryOutcome out = retried(std::forward<Fn>(fn));
+  if (out.status.ok()) {
+    health_.record_success(d, elapsed_us(t0));
+  } else {
+    health_.record_error(d, out.status.code());
+  }
+  return std::move(out.status);
+}
+
+Status ResilientArray::quarantined_error(std::size_t d) const {
+  failfast_counter_->inc();
+  return make_error(Errc::busy,
+                    devices_[d].name() + ": quarantined (circuit open)");
+}
+
+Status ResilientArray::read(std::size_t d, std::uint64_t offset,
+                            std::span<std::byte> out) {
+  const Protection& p = protection_[d];
+  if (stale(d) || !health_.allow(d)) {
+    if (p.group != nullptr) return degraded_read(d, p, offset, out);
+    return quarantined_error(d);
+  }
+  Status st = attempt(d, [&] { return devices_[d].read(offset, out); });
+  if (st.ok() || p.group == nullptr || !is_degradable(st.code())) return st;
+  return degraded_read(d, p, offset, out);
+}
+
+Status ResilientArray::write(std::size_t d, std::uint64_t offset,
+                             std::span<const std::byte> in) {
+  const Protection& p = protection_[d];
+  if (p.group == nullptr) {
+    if (!health_.allow(d)) return quarantined_error(d);
+    return attempt(d, [&] { return devices_[d].write(offset, in); });
+  }
+  if (stale(d) || !health_.allow(d)) return degraded_write(d, p, offset, in);
+  const auto t0 = std::chrono::steady_clock::now();
+  RetryOutcome out =
+      retried([&] { return p.group->write(p.position, offset, in); });
+  if (out.status.ok()) {
+    health_.record_success(d, elapsed_us(t0));
+    return std::move(out.status);
+  }
+  // The group write touches the member AND the parity device; only go
+  // degraded (and only blame `d`) when the member itself is the one down —
+  // a parity-side failure must surface, or protection silently lapses.
+  if (is_degradable(out.status.code()) && !devices_[d].probe().ok()) {
+    health_.record_error(d, out.status.code());
+    return degraded_write(d, p, offset, in);
+  }
+  return std::move(out.status);
+}
+
+Status ResilientArray::readv(std::size_t d, std::span<const IoVec> iov) {
+  const Protection& p = protection_[d];
+  auto degraded_all = [&]() -> Status {
+    for (const IoVec& v : iov) PIO_TRY(degraded_read(d, p, v.offset, v.data));
+    return ok_status();
+  };
+  if (stale(d) || !health_.allow(d)) {
+    if (p.group != nullptr) return degraded_all();
+    return quarantined_error(d);
+  }
+  Status st = attempt(d, [&] { return devices_[d].readv(iov); });
+  if (st.ok() || p.group == nullptr || !is_degradable(st.code())) return st;
+  return degraded_all();
+}
+
+Status ResilientArray::writev(std::size_t d, std::span<const ConstIoVec> iov) {
+  const Protection& p = protection_[d];
+  auto degraded_all = [&]() -> Status {
+    for (const ConstIoVec& v : iov) {
+      PIO_TRY(degraded_write(d, p, v.offset, v.data));
+    }
+    return ok_status();
+  };
+  if (p.group == nullptr) {
+    if (!health_.allow(d)) return quarantined_error(d);
+    return attempt(d, [&] { return devices_[d].writev(iov); });
+  }
+  if (stale(d) || !health_.allow(d)) return degraded_all();
+  const auto t0 = std::chrono::steady_clock::now();
+  RetryOutcome out = retried([&] { return p.group->writev(p.position, iov); });
+  if (out.status.ok()) {
+    health_.record_success(d, elapsed_us(t0));
+    return std::move(out.status);
+  }
+  if (is_degradable(out.status.code()) && !devices_[d].probe().ok()) {
+    health_.record_error(d, out.status.code());
+    return degraded_all();
+  }
+  return std::move(out.status);
+}
+
+Status ResilientArray::degraded_read(std::size_t d, const Protection& p,
+                                     std::uint64_t offset,
+                                     std::span<std::byte> out) {
+  static_cast<void>(d);
+  degraded_reads_counter_->inc();
+  obs::WallSpan span(obs::Tracer::global(), "resilient.degraded_read",
+                     "reliability", kDegradedTid);
+  RetryOutcome o =
+      retried([&] { return p.group->degraded_read(p.position, offset, out); });
+  return std::move(o.status);
+}
+
+Status ResilientArray::degraded_write(std::size_t d, const Protection& p,
+                                      std::uint64_t offset,
+                                      std::span<const std::byte> in) {
+  degraded_writes_counter_->inc();
+  obs::WallSpan span(obs::Tracer::global(), "resilient.degraded_write",
+                     "reliability", kDegradedTid);
+  // Mark stale FIRST: once parity diverges from the member's on-device
+  // bytes, concurrent readers must reconstruct (even if the write below
+  // then fails, reconstructing is still correct — parity only changes
+  // when the write succeeds).
+  stale_flags_[d]->store(true, std::memory_order_release);
+  std::shared_ptr<RebuildHandle> rb = rebuild_for(d);
+  if (rb != nullptr) {
+    // Mirror onto the replacement under the rebuilder's region locks so
+    // the chunk reconstruct cannot interleave with this update; behind
+    // the frontier this refreshes rebuilt bytes, ahead of it the parity
+    // update below makes the later reconstruct pick the new data up.
+    OnlineRebuilder::RegionGuard guard(*rb->rebuilder, offset, in.size());
+    RetryOutcome o = retried(
+        [&] { return p.group->degraded_write(p.position, offset, in); });
+    if (!o.status.ok()) return std::move(o.status);
+    return rb->target->write(offset, in);
+  }
+  RetryOutcome o =
+      retried([&] { return p.group->degraded_write(p.position, offset, in); });
+  return std::move(o.status);
+}
+
+std::shared_ptr<ResilientArray::RebuildHandle> ResilientArray::rebuild_for(
+    std::size_t d) {
+  std::scoped_lock lock(rebuild_mutex_);
+  if (rebuild_ && rebuild_->device == d && !rebuild_->rebuilder->done()) {
+    return rebuild_;
+  }
+  return nullptr;
+}
+
+Status ResilientArray::start_rebuild(std::size_t d, BlockDevice& target,
+                                     RebuildOptions options) {
+  std::scoped_lock lock(rebuild_mutex_);
+  if (rebuild_ && !rebuild_->rebuilder->done()) {
+    return make_error(Errc::busy, "a rebuild is already in progress");
+  }
+  const Protection& p = protection_[d];
+  if (p.group == nullptr) {
+    return make_error(Errc::invalid_argument,
+                      devices_[d].name() + ": not parity-protected");
+  }
+  if (target.capacity() < p.group->protected_capacity()) {
+    return make_error(Errc::invalid_argument,
+                      "rebuild target smaller than protected capacity");
+  }
+  // Pin reads to the degraded path for the whole rebuild, even if the
+  // breaker closes meanwhile — the member's bytes are not current until
+  // the rebuilder says so.
+  stale_flags_[d]->store(true, std::memory_order_release);
+  auto user_hook = std::move(options.on_complete);
+  options.on_complete = [this, d, hook = std::move(user_hook)] {
+    if (hook) hook();  // repair/swap the device while writes still mirror
+    stale_flags_[d]->store(false, std::memory_order_release);
+    health_.reset(d);
+  };
+  auto handle = std::make_shared<RebuildHandle>();
+  handle->device = d;
+  handle->target = &target;
+  handle->rebuilder = std::make_unique<OnlineRebuilder>(
+      *p.group, p.position, target, std::move(options));
+  rebuild_ = handle;
+  handle->rebuilder->start();
+  return ok_status();
+}
+
+Status ResilientArray::wait_rebuild() {
+  std::shared_ptr<RebuildHandle> h;
+  {
+    std::scoped_lock lock(rebuild_mutex_);
+    h = rebuild_;
+  }
+  if (!h) return ok_status();
+  return h->rebuilder->wait();
+}
+
+bool ResilientArray::rebuild_active() const {
+  std::scoped_lock lock(rebuild_mutex_);
+  return rebuild_ && !rebuild_->rebuilder->done();
+}
+
+double ResilientArray::rebuild_progress() const {
+  std::scoped_lock lock(rebuild_mutex_);
+  return rebuild_ ? rebuild_->rebuilder->progress() : 1.0;
+}
+
+DeviceArray ResilientArray::resilient_view() {
+  DeviceArray view;
+  for (std::size_t d = 0; d < devices_.size(); ++d) {
+    view.add(std::make_unique<ResilientDevice>(*this, d));
+  }
+  return view;
+}
+
+ResilientDevice::ResilientDevice(ResilientArray& array, std::size_t index)
+    : array_(array),
+      index_(index),
+      name_("resilient(" + array.raw()[index].name() + ")") {}
+
+}  // namespace pio

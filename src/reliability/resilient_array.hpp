@@ -1,0 +1,200 @@
+// ResilientArray: the online fault-tolerance dispatch layer over a
+// DeviceArray.  Every operation flows through
+//
+//   circuit breaker (HealthMonitor) -> bounded retry (RetryPolicy)
+//     -> degraded parity service (ParityGroup) -> online rebuild
+//
+// so the failure modes of §5 — whole-device faults, media errors, and
+// transient glitches scaled up by N devices — are absorbed below the
+// file-organization layers instead of surfacing to every caller.
+//
+// Routing rules:
+//   * transient errors (busy/overloaded/timed_out) are retried in place
+//     with jittered exponential backoff;
+//   * a quarantined or hard-failed device that is parity-protected serves
+//     READS by reconstruction from the survivors and WRITES by updating
+//     parity only (degraded_write), leaving the member logically current;
+//   * the first degraded WRITE marks the member STALE: even after the
+//     breaker closes (e.g. a transient storm ends), reads keep
+//     reconstructing until an online rebuild has re-materialized the
+//     bytes — returning to a device that missed writes would serve stale
+//     data and poison parity RMW;
+//   * an OnlineRebuilder streams the logical contents back onto a
+//     replacement under region locks while this foreground traffic
+//     continues; its completion hook repairs the device, clears the stale
+//     bit, and resets the breaker.
+//
+// resilient_view() wraps the whole thing back up as a DeviceArray of
+// BlockDevice decorators, so IoScheduler / FileSystem / IoServer gain
+// fault tolerance without knowing this layer exists.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "device/device.hpp"
+#include "device/parity_group.hpp"
+#include "reliability/health.hpp"
+#include "reliability/rebuild.hpp"
+#include "reliability/retry.hpp"
+
+namespace pio::obs {
+class Counter;
+}  // namespace pio::obs
+
+namespace pio {
+
+/// Hard or persistent-transient errors for which reconstruction from the
+/// parity group is a valid answer.  Caller bugs (invalid_argument,
+/// out_of_range) are not — degrading would mask them.
+constexpr bool is_degradable(Errc code) noexcept {
+  switch (code) {
+    case Errc::device_failed:
+    case Errc::media_error:
+    case Errc::busy:
+    case Errc::overloaded:
+    case Errc::timed_out:
+      return true;
+    default:
+      return false;
+  }
+}
+
+struct ResilientOptions {
+  RetryPolicy retry{};
+  HealthOptions health{};
+  /// Seed for the jitter streams; each operation derives its own Rng from
+  /// (seed, op sequence number), so single-threaded runs are bit-exact.
+  std::uint64_t seed = 0x9e3779b97f4a7c15ULL;
+};
+
+class ResilientArray {
+ public:
+  /// Wrap `devices` (non-owning; must outlive this array).
+  explicit ResilientArray(DeviceArray& devices, ResilientOptions options = {});
+
+  /// Declare that `group` protects a subset of the array: members[i] is
+  /// the array index of group.data_device(i).  Call during setup, before
+  /// traffic; a device may belong to at most one group.
+  Status protect_with_parity(ParityGroup& group,
+                             const std::vector<std::size_t>& members);
+
+  Status read(std::size_t d, std::uint64_t offset, std::span<std::byte> out);
+  Status write(std::size_t d, std::uint64_t offset,
+               std::span<const std::byte> in);
+  Status readv(std::size_t d, std::span<const IoVec> iov);
+  Status writev(std::size_t d, std::span<const ConstIoVec> iov);
+
+  /// A DeviceArray of decorators routing through this layer — hand it to
+  /// IoScheduler / FileSystem / IoServer in place of the raw array.  The
+  /// view holds non-owning references; this ResilientArray must outlive it.
+  DeviceArray resilient_view();
+
+  HealthMonitor& health() noexcept { return health_; }
+  DeviceArray& raw() noexcept { return devices_; }
+  std::size_t size() const noexcept { return devices_.size(); }
+
+  /// True while member `d` has missed writes (degraded writes landed on
+  /// parity only) and must keep serving reads by reconstruction.
+  bool stale(std::size_t d) const noexcept {
+    return stale_flags_[d]->load(std::memory_order_acquire);
+  }
+
+  /// Kick off an online rebuild of parity-protected member `d` onto
+  /// `target` (typically the failed FaultyDevice's inner device, or a hot
+  /// spare) on a background thread; foreground traffic continues and is
+  /// mirrored onto the replacement under region locks.  On completion the
+  /// options' on_complete hook runs first (repair the device there), then
+  /// the stale bit clears and the breaker resets.  One rebuild at a time.
+  Status start_rebuild(std::size_t d, BlockDevice& target,
+                       RebuildOptions options = {});
+
+  /// Block until the current rebuild finishes; ok if none is active.
+  Status wait_rebuild();
+  bool rebuild_active() const;
+  /// Fraction complete of the current/last rebuild (1.0 when none).
+  double rebuild_progress() const;
+
+ private:
+  struct Protection {
+    ParityGroup* group = nullptr;  ///< null = unprotected passthrough
+    std::size_t position = 0;      ///< index within the group
+  };
+  struct RebuildHandle {
+    std::size_t device = 0;
+    BlockDevice* target = nullptr;
+    std::unique_ptr<OnlineRebuilder> rebuilder;
+  };
+
+  Rng op_rng() noexcept;
+  /// Retry wrapper that books retry/transient/timeout metrics.
+  template <typename Fn>
+  RetryOutcome retried(Fn&& fn);
+  /// retried() + health attribution to device `d` (latency on success,
+  /// error code on failure).
+  template <typename Fn>
+  Status attempt(std::size_t d, Fn&& fn);
+
+  Status degraded_read(std::size_t d, const Protection& p,
+                       std::uint64_t offset, std::span<std::byte> out);
+  Status degraded_write(std::size_t d, const Protection& p,
+                        std::uint64_t offset, std::span<const std::byte> in);
+  std::shared_ptr<RebuildHandle> rebuild_for(std::size_t d);
+  Status quarantined_error(std::size_t d) const;
+
+  DeviceArray& devices_;
+  ResilientOptions options_;
+  HealthMonitor health_;
+  std::vector<Protection> protection_;
+  std::vector<std::unique_ptr<std::atomic<bool>>> stale_flags_;
+  std::atomic<std::uint64_t> op_seq_{0};
+
+  mutable std::mutex rebuild_mutex_;
+  std::shared_ptr<RebuildHandle> rebuild_;
+
+  obs::Counter* retries_counter_;
+  obs::Counter* transient_counter_;
+  obs::Counter* degraded_reads_counter_;
+  obs::Counter* degraded_writes_counter_;
+  obs::Counter* timeouts_counter_;
+  obs::Counter* failfast_counter_;
+};
+
+/// BlockDevice decorator forwarding through a ResilientArray — what
+/// resilient_view() hands out.  Data ops gain retry/degraded service;
+/// capacity/counters/probe reflect the underlying device.
+class ResilientDevice final : public BlockDevice {
+ public:
+  ResilientDevice(ResilientArray& array, std::size_t index);
+
+  Status read(std::uint64_t offset, std::span<std::byte> out) override {
+    return array_.read(index_, offset, out);
+  }
+  Status write(std::uint64_t offset, std::span<const std::byte> in) override {
+    return array_.write(index_, offset, in);
+  }
+  Status readv(std::span<const IoVec> iov) override {
+    return array_.readv(index_, iov);
+  }
+  Status writev(std::span<const ConstIoVec> iov) override {
+    return array_.writev(index_, iov);
+  }
+  Status probe() override { return array_.raw()[index_].probe(); }
+
+  std::uint64_t capacity() const noexcept override {
+    return const_cast<ResilientArray&>(array_).raw()[index_].capacity();
+  }
+  const std::string& name() const noexcept override { return name_; }
+  const DeviceCounters& counters() const noexcept override {
+    return const_cast<ResilientArray&>(array_).raw()[index_].counters();
+  }
+
+ private:
+  ResilientArray& array_;
+  std::size_t index_;
+  std::string name_;
+};
+
+}  // namespace pio

@@ -1,0 +1,24 @@
+#include "reliability/retry.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pio {
+
+std::uint64_t backoff_ceiling_us(const RetryPolicy& policy,
+                                 std::uint32_t attempt) noexcept {
+  double b = static_cast<double>(policy.base_backoff_us) *
+             std::pow(policy.multiplier,
+                      static_cast<double>(attempt > 0 ? attempt - 1 : 0));
+  b = std::min(b, static_cast<double>(policy.max_backoff_us));
+  return static_cast<std::uint64_t>(b);
+}
+
+std::uint64_t backoff_us(const RetryPolicy& policy, std::uint32_t attempt,
+                         Rng& rng) noexcept {
+  const double ceiling = static_cast<double>(backoff_ceiling_us(policy, attempt));
+  const double jitter = std::clamp(policy.jitter, 0.0, 1.0);
+  return static_cast<std::uint64_t>(ceiling * (1.0 - jitter * rng.uniform()));
+}
+
+}  // namespace pio

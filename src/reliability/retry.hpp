@@ -1,0 +1,109 @@
+// RetryPolicy: bounded retries with exponential backoff, deterministic
+// jitter, and a per-request deadline, applied to TRANSIENT errors only.
+//
+// The paper's §5 arithmetic (N devices fail N times as often) makes error
+// handling a first-class layer, not an afterthought: most real device
+// errors are recoverable glitches (bus resets, command timeouts) that a
+// bounded retry absorbs inside the I/O layer, while hard faults
+// (device_failed, media_error) must fail FAST so the degraded-read path
+// can take over.  is_transient() is that taxonomy.
+//
+// Jitter comes from util/rng's xoshiro stream, so a seeded run retries at
+// identical instants every time — chaos tests stay deterministic.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+#include "util/result.hpp"
+#include "util/rng.hpp"
+
+namespace pio {
+
+/// Transient = worth retrying the SAME operation on the SAME device:
+/// the condition clears on its own (busy: resource contention / glitch,
+/// overloaded: admission backpressure, timed_out at a lower layer: queue
+/// spike).  Hard faults and caller bugs are never transient.
+constexpr bool is_transient(Errc code) noexcept {
+  switch (code) {
+    case Errc::busy:
+    case Errc::overloaded:
+    case Errc::timed_out:
+      return true;
+    default:
+      return false;
+  }
+}
+
+struct RetryPolicy {
+  /// Total tries, including the first (1 = no retries).
+  std::uint32_t max_attempts = 4;
+  /// Backoff before retry k (1-based) is
+  ///   min(base * multiplier^(k-1), max) * (1 - jitter * U[0,1)).
+  std::uint64_t base_backoff_us = 50;
+  double multiplier = 2.0;
+  std::uint64_t max_backoff_us = 5'000;
+  /// Fraction of each backoff randomized away (0 = fixed, 1 = full).
+  double jitter = 0.5;
+  /// Per-request time budget across ALL attempts and backoffs; once spent,
+  /// the request fails with Errc::timed_out.  0 = unbounded.
+  std::uint64_t deadline_us = 0;
+};
+
+/// Deterministic backoff (before jitter is subtracted) for 1-based retry
+/// `attempt` — exposed so tests can pin the schedule.
+std::uint64_t backoff_ceiling_us(const RetryPolicy& policy,
+                                 std::uint32_t attempt) noexcept;
+
+/// Jittered backoff for 1-based retry `attempt`, drawing one uniform from
+/// `rng`.
+std::uint64_t backoff_us(const RetryPolicy& policy, std::uint32_t attempt,
+                         Rng& rng) noexcept;
+
+struct RetryOutcome {
+  Status status = ok_status();
+  std::uint32_t attempts = 1;       ///< tries actually issued
+  std::uint64_t transient_errors = 0;
+  bool deadline_hit = false;
+};
+
+/// Run `fn` (returning Status) under `policy`: transient errors are
+/// retried with jittered backoff until they stop, attempts run out, or the
+/// deadline expires (-> Errc::timed_out carrying the last error's
+/// context).  Non-transient errors and success return immediately.
+template <typename Fn>
+RetryOutcome run_with_retry(const RetryPolicy& policy, Rng& rng, Fn&& fn) {
+  RetryOutcome out;
+  const auto start = std::chrono::steady_clock::now();
+  const auto deadline =
+      start + std::chrono::microseconds(policy.deadline_us);
+  for (std::uint32_t attempt = 1;; ++attempt) {
+    out.attempts = attempt;
+    Status st = fn();
+    if (st.ok() || !is_transient(st.code())) {
+      out.status = std::move(st);
+      return out;
+    }
+    ++out.transient_errors;
+    if (attempt >= policy.max_attempts) {
+      out.status = std::move(st);
+      return out;
+    }
+    const std::uint64_t pause = backoff_us(policy, attempt, rng);
+    if (policy.deadline_us > 0) {
+      const auto resume = std::chrono::steady_clock::now() +
+                          std::chrono::microseconds(pause);
+      if (resume >= deadline) {
+        out.deadline_hit = true;
+        out.status = make_error(
+            Errc::timed_out,
+            "retry deadline exhausted; last error: " + st.error().to_string());
+        return out;
+      }
+    }
+    if (pause > 0) std::this_thread::sleep_for(std::chrono::microseconds(pause));
+  }
+}
+
+}  // namespace pio

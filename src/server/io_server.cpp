@@ -49,6 +49,7 @@ IoServer::IoServer(FileSystem& fs, DeviceArray& devices,
   rejected_counter_ = &registry.counter("server.rejected");
   completed_counter_ = &registry.counter("server.completed");
   drained_counter_ = &registry.counter("server.drained");
+  timeout_counter_ = &registry.counter("server.timeouts");
   depth_gauge_ = &registry.gauge("server.queue_depth");
   inflight_gauge_ = &registry.gauge("server.inflight");
   inflight_bytes_gauge_ = &registry.gauge("server.inflight_bytes");
@@ -104,7 +105,9 @@ Result<Future> IoServer::submit(SessionId session, RequestOp op) {
   item.bytes = bytes;
   item.future = std::make_shared<Future::State>();
   obs::Tracer& tracer = obs::Tracer::global();
-  if (tracer.enabled()) item.enq_us = tracer.wall_now_us();
+  if (tracer.enabled() || options_.request_deadline_ms > 0) {
+    item.enq_us = tracer.wall_now_us();
+  }
   {
     std::scoped_lock lock(mutex_);
     if (state_ != State::accepting) {
@@ -206,7 +209,19 @@ void IoServer::dispatcher_loop(std::uint32_t tid) {
     depth_gauge_->add(-1);
 
     const bool tracing = tracer.enabled();
-    Response response = execute(item, tid);
+    Response response;
+    if (options_.request_deadline_ms > 0 &&
+        tracer.wall_now_us() - item.enq_us >=
+            static_cast<double>(options_.request_deadline_ms) * 1000.0) {
+      // Expired in the queue: resolve without touching the data path, so a
+      // backed-up server sheds stale work instead of serving it late.
+      timeout_counter_->inc();
+      response.op = op_type(item.op);
+      response.status = make_error(
+          Errc::timed_out, "request exceeded server queue deadline");
+    } else {
+      response = execute(item, tid);
+    }
     response.id = item.id;
     if (tracing) {
       const double done_us = tracer.wall_now_us();

@@ -60,6 +60,11 @@ struct IoServerOptions {
   /// Per-session in-flight payload-byte ceiling.  A single request larger
   /// than this is always rejected — the bound is absolute.
   std::uint64_t max_inflight_bytes_per_session = 8ull << 20;
+  /// Per-request deadline: a request still waiting for a dispatcher this
+  /// many milliseconds after acceptance resolves with Errc::timed_out
+  /// instead of executing — bounding client-visible tail latency when the
+  /// queue backs up behind a slow or failing device.  0 = no deadline.
+  std::uint64_t request_deadline_ms = 0;
   /// Disk-queue policy / coalescing for the server's IoScheduler.
   IoSchedulerOptions scheduler{};
   /// Sieving knobs for the strided paths (locks may be pointed at a
@@ -114,7 +119,7 @@ class IoServer {
     RequestOp op;
     std::shared_ptr<Future::State> future;
     std::uint64_t bytes = 0;
-    double enq_us = 0.0;  // wall timestamp (tracing only)
+    double enq_us = 0.0;  // wall timestamp (tracing or deadlines)
   };
 
   struct Session {
@@ -153,6 +158,7 @@ class IoServer {
   obs::Counter* rejected_counter_;
   obs::Counter* completed_counter_;
   obs::Counter* drained_counter_;
+  obs::Counter* timeout_counter_;
   obs::Gauge* depth_gauge_;
   obs::Gauge* inflight_gauge_;
   obs::Gauge* inflight_bytes_gauge_;

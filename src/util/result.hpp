@@ -32,6 +32,7 @@ enum class Errc : std::uint8_t {
   internal,           ///< library invariant violated (bookkeeping bug)
   overloaded,         ///< admission control rejected the request (backpressure)
   shutting_down,      ///< server draining/stopped; no new work accepted
+  timed_out,          ///< per-request deadline expired (queue delay or retries)
 };
 
 /// Human-readable name for an error code.
@@ -52,6 +53,7 @@ constexpr std::string_view errc_name(Errc e) noexcept {
     case Errc::internal: return "internal";
     case Errc::overloaded: return "overloaded";
     case Errc::shutting_down: return "shutting_down";
+    case Errc::timed_out: return "timed_out";
   }
   return "unknown";
 }

@@ -67,6 +67,17 @@ if "$PARIO" "$DIR" ls | grep -q "serve.scratch"; then
   exit 1
 fi
 
+# Fault-tolerance path: a scripted fault kills a parity-protected device
+# mid-workload; degraded service plus the online rebuild must keep every
+# op correct (the command self-verifies against a host-side model).
+CHAOS_OUT=$("$PARIO" "$DIR" chaos --ops 400 --device-kb 128)
+echo "$CHAOS_OUT" | grep -q "verified OK"
+echo "$CHAOS_OUT" | grep -q "killed=yes"
+if echo "$CHAOS_OUT" | grep -q "degraded_reads=0 "; then
+  echo "FAIL: chaos run never exercised degraded reads" >&2
+  exit 1
+fi
+
 # Unknown commands fail with usage.
 if "$PARIO" "$DIR" frobnicate > /dev/null 2>&1; then
   echo "FAIL: bogus command succeeded" >&2

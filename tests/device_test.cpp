@@ -164,6 +164,35 @@ TEST(FaultyDevice, PartialRewriteShrinksBadRange) {
   EXPECT_EQ(dev.read(120, buf).code(), Errc::media_error);
 }
 
+TEST(FaultyDevice, ProbeNeverConsumesCountdownOrPlanOps) {
+  // Health probes must be free: a monitor polling at any rate may not
+  // perturb a scripted fault timeline (satellite regression for the
+  // reliability layer's HealthMonitor / recovery sweeps).
+  FaultyDevice dev(std::make_unique<RamDisk>("d", 1024));
+  dev.fail_after_ops(3);
+  for (int i = 0; i < 50; ++i) PIO_EXPECT_OK(dev.probe());
+  EXPECT_FALSE(dev.failed());
+  std::vector<std::byte> buf(8);
+  PIO_EXPECT_OK(dev.read(0, buf));
+  PIO_EXPECT_OK(dev.read(0, buf));
+  PIO_EXPECT_OK(dev.read(0, buf));
+  PIO_EXPECT_OK(dev.probe());  // still exempt between data ops
+  EXPECT_EQ(dev.read(0, buf).code(), Errc::device_failed);
+  EXPECT_EQ(dev.probe().code(), Errc::device_failed);  // reports, post-failure
+  EXPECT_EQ(dev.ops_issued(), 4u);                     // probes uncounted
+}
+
+TEST(FaultyDevice, ProbeIgnoresFaultPlanWindows) {
+  FaultyDevice dev(std::make_unique<RamDisk>("d", 1024));
+  FaultPlan plan;
+  plan.transient_windows.push_back({0, 1000});  // every data op is busy
+  dev.set_plan(plan);
+  PIO_EXPECT_OK(dev.probe());
+  std::vector<std::byte> buf(8);
+  EXPECT_EQ(dev.read(0, buf).code(), Errc::busy);
+  PIO_EXPECT_OK(dev.probe());
+}
+
 // ------------------------------------------------------------ ShadowDevice
 
 ShadowDevice make_shadow(std::uint64_t cap = 1024) {
@@ -236,6 +265,65 @@ TEST(ShadowDevice, ResilverRejectsSmallReplacement) {
   auto dev = make_shadow();
   auto r = dev.resilver_shadow(std::make_unique<RamDisk>("tiny", 16));
   EXPECT_EQ(r.code(), Errc::invalid_argument);
+}
+
+TEST(ShadowDevice, OneSidedWriteFailureMarksDegraded) {
+  auto dev = make_shadow();
+  EXPECT_FALSE(dev.degraded());
+  static_cast<FaultyDevice&>(dev.primary()).fail_now();
+  auto data = pattern_bytes(64, 7);
+  PIO_ASSERT_OK(dev.write(0, data));  // shadow absorbed it
+  EXPECT_TRUE(dev.degraded());
+  EXPECT_TRUE(dev.primary_stale());
+  EXPECT_FALSE(dev.shadow_stale());
+}
+
+TEST(ShadowDevice, ResyncRestoresRedundancyAfterRepair) {
+  auto dev = make_shadow();
+  auto before = pattern_bytes(128, 8);
+  PIO_ASSERT_OK(dev.write(0, before));
+  static_cast<FaultyDevice&>(dev.primary()).fail_now();
+  auto after = pattern_bytes(128, 9);
+  PIO_ASSERT_OK(dev.write(0, after));  // one-sided: primary now stale
+  ASSERT_TRUE(dev.degraded());
+
+  // While the fault persists, resync surfaces the error and stays degraded.
+  EXPECT_EQ(dev.resync().code(), Errc::device_failed);
+  EXPECT_TRUE(dev.degraded());
+
+  static_cast<FaultyDevice&>(dev.primary()).repair();
+  auto copied = dev.resync(/*chunk=*/64);
+  ASSERT_TRUE(copied.ok()) << copied.error().to_string();
+  EXPECT_EQ(*copied, 1024u);  // whole survivor image re-copied
+  EXPECT_FALSE(dev.degraded());
+
+  // The once-stale primary now holds the survivor's (newer) bytes.
+  std::vector<std::byte> back(128);
+  PIO_ASSERT_OK(dev.primary().read(0, back));
+  EXPECT_EQ(back, after);
+}
+
+TEST(ShadowDevice, ResyncIsNoOpWhenHealthy) {
+  auto dev = make_shadow();
+  auto copied = dev.resync();
+  ASSERT_TRUE(copied.ok()) << copied.error().to_string();
+  EXPECT_EQ(*copied, 0u);
+}
+
+TEST(ShadowDevice, ResyncWithBothSidesStaleIsCorrupt) {
+  auto dev = make_shadow();
+  auto data = pattern_bytes(32, 10);
+  // Fail each side for one write so BOTH stale flags latch.
+  static_cast<FaultyDevice&>(dev.primary()).fail_now();
+  PIO_ASSERT_OK(dev.write(0, data));
+  static_cast<FaultyDevice&>(dev.primary()).repair();
+  static_cast<FaultyDevice&>(dev.shadow()).fail_now();
+  PIO_ASSERT_OK(dev.write(32, data));
+  static_cast<FaultyDevice&>(dev.shadow()).repair();
+  ASSERT_TRUE(dev.primary_stale());
+  ASSERT_TRUE(dev.shadow_stale());
+  // No side is authoritative any more; resync must refuse to guess.
+  EXPECT_EQ(dev.resync().code(), Errc::corrupt);
 }
 
 }  // namespace

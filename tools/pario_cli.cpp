@@ -33,12 +33,17 @@
 #include "core/access_methods.hpp"
 #include "core/file_system.hpp"
 #include "core/global_view.hpp"
+#include "device/faulty_device.hpp"
 #include "device/file_disk.hpp"
+#include "device/parity_group.hpp"
+#include "device/ram_disk.hpp"
 #include "obs/bridge.hpp"
 #include "obs/metrics.hpp"
+#include "reliability/resilient_array.hpp"
 #include "server/client.hpp"
 #include "server/io_server.hpp"
 #include "util/bytes.hpp"
+#include "util/rng.hpp"
 
 using namespace pio;
 
@@ -60,7 +65,11 @@ int usage() {
                "  strided write <name> <host-file> (same spec/sieve flags)\n"
                "  serve [--clients C] [--ops N] [--dispatchers K] [--queue Q]\n"
                "        [--record-bytes B] [--records-per-op R]\n"
-               "        (I/O-server smoke: async client traffic + drain)\n");
+               "        (I/O-server smoke: async client traffic + drain)\n"
+               "  chaos [--devices N] [--device-kb K] [--ops N] [--kill-op I]\n"
+               "        [--seed S]  (in-memory fault-tolerance demo: a scripted\n"
+               "        fault kills one parity-protected device mid-workload;\n"
+               "        degraded service + online rebuild keep every op correct)\n");
   return 2;
 }
 
@@ -512,6 +521,151 @@ int cmd_convert(FileSystem& fs, const std::string& src_name,
   return 0;
 }
 
+double metric_value(const std::string& name) {
+  for (const obs::MetricSample& s : obs::MetricsRegistry::global().snapshot()) {
+    if (s.name == name) return s.value;
+  }
+  return 0.0;
+}
+
+/// Self-contained fault-tolerance demo on an in-memory parity-protected
+/// array (no device directory needed): a FaultPlan kills one member mid
+/// workload, the ResilientArray keeps serving it degraded, then an online
+/// rebuild re-materializes the device while traffic continues.  Every op
+/// is checked against a host-side model; exits nonzero on any mismatch.
+int cmd_chaos(const Flags& flags) {
+  const auto n_data =
+      static_cast<std::size_t>(std::max<std::uint64_t>(2, flags.get_u64("devices", 3)));
+  const std::uint64_t cap = flags.get_u64("device-kb", 256) << 10;
+  const std::uint64_t n_ops = flags.get_u64("ops", 600);
+  // The kill index counts the VICTIM's own data ops (~1/devices of the
+  // workload), so the default must sit well inside phase 1's share.
+  const std::uint64_t kill_op = flags.get_u64("kill-op", 50);
+  const std::uint64_t seed = flags.get_u64("seed", 1989);
+  constexpr std::uint64_t kIo = 4096;
+  if (cap < kIo) {
+    return fail("chaos",
+                make_error(Errc::invalid_argument, "--device-kb must be at least 4"));
+  }
+
+  DeviceArray array;
+  std::vector<FaultyDevice*> faulty;
+  for (std::size_t d = 0; d < n_data; ++d) {
+    auto dev = std::make_unique<FaultyDevice>(
+        std::make_unique<RamDisk>("data" + std::to_string(d), cap));
+    faulty.push_back(dev.get());
+    array.add(std::move(dev));
+  }
+  RamDisk parity("parity", cap);
+  std::vector<BlockDevice*> members;
+  std::vector<std::size_t> indices;
+  for (std::size_t d = 0; d < n_data; ++d) {
+    members.push_back(&array[d]);
+    indices.push_back(d);
+  }
+  ParityGroup group(members, &parity);
+  ResilientOptions opts;
+  opts.retry.base_backoff_us = 0;  // demo: don't sleep on transients
+  opts.retry.max_backoff_us = 0;
+  opts.health.open_ops = 8;
+  ResilientArray resilient(array, opts);
+  if (auto st = resilient.protect_with_parity(group, indices); !st.ok()) {
+    return fail("chaos", st.error());
+  }
+
+  // Scripted fault on the victim: a couple of transient blips, then a hard
+  // kill at --kill-op (of the victim's own op counter).
+  const std::size_t victim = n_data / 2;
+  FaultPlan plan;
+  plan.transient_windows.push_back({kill_op / 4, kill_op / 4 + 2});
+  plan.fail_at_op = static_cast<std::int64_t>(kill_op);
+  plan.seed = seed;
+  faulty[victim]->set_plan(plan);
+
+  // Host-side model of what every device must logically contain.
+  std::vector<std::vector<std::byte>> model(
+      n_data, std::vector<std::byte>(static_cast<std::size_t>(cap)));
+  const std::uint64_t slots = cap / kIo;
+  Rng rng{seed};
+  std::vector<std::byte> buf(kIo);
+  std::uint64_t mismatches = 0;
+
+  const double degraded_reads0 = metric_value("reliability.degraded_reads");
+  const double rebuild_bytes0 = metric_value("reliability.rebuild_bytes");
+
+  auto run_ops = [&](std::uint64_t count) -> Status {
+    for (std::uint64_t i = 0; i < count; ++i) {
+      const auto d = static_cast<std::size_t>(rng.uniform_u64(n_data));
+      const std::uint64_t off = rng.uniform_u64(slots) * kIo;
+      if (rng.uniform() < 0.5) {
+        for (std::uint64_t b = 0; b < kIo; ++b) {
+          buf[b] = static_cast<std::byte>((i * 131 + d * 17 + off + b) & 0xff);
+        }
+        PIO_TRY(resilient.write(d, off, buf));
+        std::copy(buf.begin(), buf.end(),
+                  model[d].begin() + static_cast<std::ptrdiff_t>(off));
+      } else {
+        PIO_TRY(resilient.read(d, off, buf));
+        if (!std::equal(buf.begin(), buf.end(),
+                        model[d].begin() + static_cast<std::ptrdiff_t>(off))) {
+          ++mismatches;
+        }
+      }
+    }
+    return ok_status();
+  };
+
+  // Phase 1: enough traffic to hit the transient window and the kill.
+  if (auto st = run_ops(n_ops / 2); !st.ok()) return fail("chaos ops", st.error());
+  const bool killed = faulty[victim]->failed();
+
+  // Phase 2: online rebuild while the same traffic keeps flowing.
+  RebuildOptions rebuild;
+  rebuild.chunk_bytes = 16 * 1024;
+  FaultyDevice* dead = faulty[victim];
+  rebuild.on_complete = [dead] { dead->repair(); };
+  if (auto st = resilient.start_rebuild(victim, dead->inner(), rebuild); !st.ok()) {
+    return fail("chaos rebuild", st.error());
+  }
+  if (auto st = run_ops(n_ops - n_ops / 2); !st.ok()) {
+    return fail("chaos ops", st.error());
+  }
+  if (auto st = resilient.wait_rebuild(); !st.ok()) {
+    return fail("chaos rebuild", st.error());
+  }
+
+  // Verify every device's full contents — raw reads, no degraded service:
+  // the rebuild must have re-materialized the victim byte-for-byte.
+  for (std::size_t d = 0; d < n_data; ++d) {
+    for (std::uint64_t off = 0; off < cap; off += kIo) {
+      if (auto st = array[d].read(off, buf); !st.ok()) {
+        return fail("chaos verify", st.error());
+      }
+      if (!std::equal(buf.begin(), buf.end(),
+                      model[d].begin() + static_cast<std::ptrdiff_t>(off))) {
+        ++mismatches;
+      }
+    }
+  }
+
+  const double degraded_reads =
+      metric_value("reliability.degraded_reads") - degraded_reads0;
+  const double rebuild_bytes =
+      metric_value("reliability.rebuild_bytes") - rebuild_bytes0;
+  std::printf(
+      "chaos: devices=%zu ops=%llu killed_device=%zu killed=%s "
+      "degraded_reads=%.0f rebuild_bytes=%.0f mismatches=%llu\n",
+      n_data, static_cast<unsigned long long>(n_ops), victim,
+      killed ? "yes" : "no", degraded_reads, rebuild_bytes,
+      static_cast<unsigned long long>(mismatches));
+  if (mismatches != 0 || !killed) {
+    std::fprintf(stderr, "pario: chaos verification FAILED\n");
+    return 1;
+  }
+  std::printf("chaos: verified OK\n");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -521,6 +675,8 @@ int main(int argc, char** argv) {
   Flags flags(argc, argv, 3);
 
   if (cmd == "format") return cmd_format(dir, flags);
+  // chaos is self-contained (in-memory array) — no device directory needed.
+  if (cmd == "chaos") return cmd_chaos(flags);
 
   auto arr = open_array(dir);
   if (!arr.ok()) return fail(dir, arr.error());

@@ -7,6 +7,8 @@
 //                       [--sched fifo|scan|sstf]
 //   pario_sim load      [--devices D] [--rate-from A] [--rate-to B] [--arrivals N]
 //   pario_sim mtbf      [--devices N] [--mtbf-hours H] [--repair-hours R]
+//   pario_sim mttdl     [--devices N] [--mtbf-hours H] [--repair-hours R]
+//                       [--mission-hours M] [--trials T]
 //   pario_sim iosched   [--devices D] [--records N] [--streams S]
 //                       [--sched fifo|scan|sstf] [--max-merge BYTES]
 //                       [--op-cost-us C]
@@ -24,6 +26,7 @@
 // All results are deterministic virtual-time outputs of the calibrated
 // 1989 disk model (see src/device/disk_model.hpp).
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <optional>
@@ -94,6 +97,8 @@ int usage() {
                "            --sched fifo|scan|sstf (or legacy --scan 0|1)\n"
                "  load      --devices D --rate-from A --rate-to B --arrivals N\n"
                "  mtbf      --devices N --mtbf-hours H --repair-hours R\n"
+               "  mttdl     --devices N --mtbf-hours H --repair-hours R\n"
+               "            --mission-hours M --trials T\n"
                "  iosched   --devices D --records N --streams S\n"
                "            --sched fifo|scan|sstf --max-merge BYTES"
                " --op-cost-us C\n"
@@ -662,6 +667,40 @@ int cmd_mtbf(const Flags& flags) {
   return 0;
 }
 
+// ----------------------------------------------------------------- mttdl
+
+/// Cross-check of the closed-form MTTDL model against the Monte-Carlo
+/// simulator for parity-protected arrays: at each device count, print the
+/// analytic mean time to data loss and the mission-window loss probability
+/// both ways (analytic 1 - exp(-mission/MTTDL) vs sampled second-failure-
+/// during-repair trials).
+int cmd_mttdl(const Flags& flags) {
+  const std::uint64_t max_devices = flags.u64("devices", 64);
+  const double mtbf = flags.f64("mtbf-hours", kPaperDeviceMtbfHours);
+  const double repair = flags.f64("repair-hours", 24);
+  const double mission = flags.f64("mission-hours", kHoursPerYear);
+  const std::uint64_t trials = flags.u64("trials", 10000);
+  Rng rng{1989};
+  std::printf(
+      "Device MTBF %.0f h, repair window %.0f h, mission %.0f h, %llu "
+      "trials\n",
+      mtbf, repair, mission, static_cast<unsigned long long>(trials));
+  std::printf("%8s %12s %14s %16s %14s %14s\n", "devices", "failures/yr",
+              "MTTDL(parity) h", "MTTDL years", "P(loss) model",
+              "P(loss) MC");
+  for (std::uint64_t n = 2; n <= max_devices; n *= 2) {
+    const double mttdl = protected_mttdl_hours(mtbf, n, repair);
+    const double p_model = 1.0 - std::exp(-mission / mttdl);
+    const double p_mc = simulate_protected_loss_probability(
+        rng, n, mtbf, repair, mission, trials);
+    std::printf("%8llu %12.2f %14.0f %16.1f %14.4f %14.4f\n",
+                static_cast<unsigned long long>(n),
+                failures_per_year(mtbf, n), mttdl, mttdl / kHoursPerYear,
+                p_model, p_mc);
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -690,6 +729,8 @@ int main(int argc, char** argv) {
     rc = cmd_server(flags);
   } else if (cmd == "mtbf") {
     rc = cmd_mtbf(flags);
+  } else if (cmd == "mttdl") {
+    rc = cmd_mttdl(flags);
   } else {
     return usage();
   }
