@@ -11,6 +11,11 @@ void xor_bytes(std::span<std::byte> acc, std::span<const std::byte> src) noexcep
   for (std::size_t i = 0; i < acc.size(); ++i) acc[i] ^= src[i];
 }
 
+Status run_subop(const ParityGroup::SubOpRunner& run,
+                 const std::function<Status()>& op) {
+  return run ? run(op) : op();
+}
+
 }  // namespace
 
 ParityGroup::ParityGroup(std::vector<BlockDevice*> data, BlockDevice* parity)
@@ -22,17 +27,24 @@ ParityGroup::ParityGroup(std::vector<BlockDevice*> data, BlockDevice* parity)
 }
 
 Status ParityGroup::write(std::size_t d, std::uint64_t offset,
-                          std::span<const std::byte> in) {
+                          std::span<const std::byte> in,
+                          const SubOpRunner& run) {
   std::scoped_lock lock(mutex_);
   std::vector<std::byte> old_data(in.size());
   std::vector<std::byte> parity(in.size());
   // new_parity = old_parity XOR old_data XOR new_data
-  PIO_TRY(data_[d]->read(offset, old_data));
-  PIO_TRY(parity_->read(offset, parity));
+  PIO_TRY(run_subop(run, [&] { return data_[d]->read(offset, old_data); }));
+  PIO_TRY(run_subop(run, [&] { return parity_->read(offset, parity); }));
   xor_bytes(parity, old_data);
   xor_bytes(parity, in);
-  PIO_TRY(data_[d]->write(offset, in));
-  PIO_TRY(parity_->write(offset, parity));
+  PIO_TRY(run_subop(run, [&] { return data_[d]->write(offset, in); }));
+  Status pst = run_subop(run, [&] { return parity_->write(offset, parity); });
+  if (!pst.ok()) {
+    // Write hole: the member took the new data but parity still encodes
+    // the old bytes — reconstruction is poisoned until rebuild_parity().
+    parity_dirty_.store(true, std::memory_order_release);
+    return pst;
+  }
   ++rmw_count_;
   return ok_status();
 }
@@ -46,7 +58,8 @@ Status ParityGroup::readv(std::size_t d, std::span<const IoVec> iov) {
   return data_[d]->readv(iov);
 }
 
-Status ParityGroup::writev(std::size_t d, std::span<const ConstIoVec> iov) {
+Status ParityGroup::writev(std::size_t d, std::span<const ConstIoVec> iov,
+                           const SubOpRunner& run) {
   std::scoped_lock lock(mutex_);
   const std::size_t total = iov_bytes(iov);
   std::vector<std::byte> old_data(total);
@@ -62,19 +75,23 @@ Status ParityGroup::writev(std::size_t d, std::span<const ConstIoVec> iov) {
     filled += v.data.size();
   }
   // new_parity = old_parity XOR old_data XOR new_data, per fragment.
-  PIO_TRY(data_[d]->readv(old_vec));
-  PIO_TRY(parity_->readv(par_vec));
+  PIO_TRY(run_subop(run, [&] { return data_[d]->readv(old_vec); }));
+  PIO_TRY(run_subop(run, [&] { return parity_->readv(par_vec); }));
   xor_bytes(parity, old_data);
   filled = 0;
   for (const ConstIoVec& v : iov) {
     xor_bytes({parity.data() + filled, v.data.size()}, v.data);
     filled += v.data.size();
   }
-  PIO_TRY(data_[d]->writev(iov));
+  PIO_TRY(run_subop(run, [&] { return data_[d]->writev(iov); }));
   std::vector<ConstIoVec> par_out;
   par_out.reserve(par_vec.size());
   for (const IoVec& v : par_vec) par_out.push_back(ConstIoVec{v.offset, v.data});
-  PIO_TRY(parity_->writev(par_out));
+  Status pst = run_subop(run, [&] { return parity_->writev(par_out); });
+  if (!pst.ok()) {
+    parity_dirty_.store(true, std::memory_order_release);
+    return pst;
+  }
   ++rmw_count_;
   return ok_status();
 }
@@ -97,6 +114,11 @@ Status ParityGroup::xor_range_into(std::uint64_t offset, std::span<std::byte> ac
 Status ParityGroup::degraded_read(std::size_t d, std::uint64_t offset,
                                   std::span<std::byte> out) {
   std::scoped_lock lock(mutex_);
+  if (parity_dirty_.load(std::memory_order_acquire)) {
+    return make_error(Errc::corrupt,
+                      "parity dirty (write hole): rebuild_parity() required "
+                      "before degraded reads");
+  }
   std::fill(out.begin(), out.end(), std::byte{0});
   return xor_range_into(offset, out, d, /*include_parity=*/true);
 }
@@ -124,6 +146,7 @@ Status ParityGroup::rebuild_parity(std::size_t chunk) {
     PIO_TRY(xor_range_into(off, window, data_.size(), /*include_parity=*/false));
     PIO_TRY(parity_->write(off, window));
   }
+  parity_dirty_.store(false, std::memory_order_release);
   return ok_status();
 }
 
@@ -131,6 +154,11 @@ Result<std::uint64_t> ParityGroup::reconstruct_data(std::size_t d,
                                                     BlockDevice& replacement,
                                                     std::size_t chunk) {
   std::scoped_lock lock(mutex_);
+  if (parity_dirty_.load(std::memory_order_acquire)) {
+    return make_error(Errc::corrupt,
+                      "parity dirty (write hole): rebuild_parity() required "
+                      "before reconstruction");
+  }
   if (replacement.capacity() < capacity_) {
     return make_error(Errc::invalid_argument, "replacement device too small");
   }

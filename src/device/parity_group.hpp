@@ -10,6 +10,8 @@
 // survivors.
 #pragma once
 
+#include <atomic>
+#include <functional>
 #include <mutex>
 #include <vector>
 
@@ -19,6 +21,15 @@ namespace pio {
 
 class ParityGroup {
  public:
+  /// Hook wrapping each individual device sub-operation of a parity RMW
+  /// (old-data read, parity read, member write, parity write).  Callers
+  /// that retry transient errors must retry HERE, per sub-operation:
+  /// each sub-op is idempotent against the device, while re-running a
+  /// whole RMW after the member write landed re-reads old_data equal to
+  /// the new data, computes a zero parity delta, and silently loses the
+  /// parity update.  Empty = run each sub-op once.
+  using SubOpRunner = std::function<Status(const std::function<Status()>&)>;
+
   /// `data` are non-owning pointers to the protected devices; `parity` is
   /// the check-data device.  All must share the parity device's capacity.
   ParityGroup(std::vector<BlockDevice*> data, BlockDevice* parity);
@@ -29,8 +40,11 @@ class ParityGroup {
 
   /// Write to data device `d`, updating parity (read-modify-write).
   /// Serialized internally: concurrent parity RMWs to overlapping ranges
-  /// would corrupt the invariant.
-  Status write(std::size_t d, std::uint64_t offset, std::span<const std::byte> in);
+  /// would corrupt the invariant.  `run` wraps each device sub-operation
+  /// (see SubOpRunner) — pass a retrying wrapper there instead of
+  /// retrying the whole call.
+  Status write(std::size_t d, std::uint64_t offset, std::span<const std::byte> in,
+               const SubOpRunner& run = {});
 
   /// Plain read from data device `d` (no parity involvement).
   Status read(std::size_t d, std::uint64_t offset, std::span<std::byte> out);
@@ -42,10 +56,13 @@ class ParityGroup {
   /// covers the whole vector (old data + parity fetched vectored, XORed per
   /// fragment, new data + parity written vectored) — the vector counts once
   /// in parity_rmw_count() regardless of fragment count.
-  Status writev(std::size_t d, std::span<const ConstIoVec> iov);
+  Status writev(std::size_t d, std::span<const ConstIoVec> iov,
+                const SubOpRunner& run = {});
 
   /// Read from data device `d` even if it has failed, reconstructing the
   /// requested range from the survivors + parity (degraded-mode read).
+  /// Refuses with Errc::corrupt while parity_dirty() — reconstructing
+  /// from parity that missed an RMW update would return wrong bytes.
   Status degraded_read(std::size_t d, std::uint64_t offset,
                        std::span<std::byte> out);
 
@@ -58,11 +75,14 @@ class ParityGroup {
   Status degraded_write(std::size_t d, std::uint64_t offset,
                         std::span<const std::byte> in);
 
-  /// Recompute the parity device from scratch (after bulk loads).
+  /// Recompute the parity device from scratch (after bulk loads, or to
+  /// repair the write hole tracked by parity_dirty() — clears the flag on
+  /// success).
   Status rebuild_parity(std::size_t chunk = 1 << 16);
 
   /// Reconstruct the full contents of failed data device `d` onto
   /// `replacement` (XOR of survivors and parity).  Returns bytes rebuilt.
+  /// Refuses with Errc::corrupt while parity_dirty().
   Result<std::uint64_t> reconstruct_data(std::size_t d, BlockDevice& replacement,
                                          std::size_t chunk = 1 << 16);
 
@@ -76,6 +96,15 @@ class ParityGroup {
   /// the parity device — the §5 bottleneck for independent access).
   std::uint64_t parity_rmw_count() const noexcept { return rmw_count_; }
 
+  /// True after an RMW wrote the member but hard-failed the parity write
+  /// (the classic write hole): parity no longer covers the group, so
+  /// degraded_read()/reconstruct_data() refuse until rebuild_parity()
+  /// succeeds.  degraded_write() stays allowed — it recomputes parity
+  /// from survivors and so repairs the ranges it touches.
+  bool parity_dirty() const noexcept {
+    return parity_dirty_.load(std::memory_order_acquire);
+  }
+
  private:
   Status xor_range_into(std::uint64_t offset, std::span<std::byte> acc,
                         std::size_t skip_device, bool include_parity);
@@ -85,6 +114,7 @@ class ParityGroup {
   std::uint64_t capacity_;
   std::mutex mutex_;
   std::uint64_t rmw_count_ = 0;
+  std::atomic<bool> parity_dirty_{false};
 };
 
 }  // namespace pio

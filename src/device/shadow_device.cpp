@@ -1,6 +1,7 @@
 #include "device/shadow_device.hpp"
 
 #include <algorithm>
+#include <mutex>
 #include <vector>
 
 namespace pio {
@@ -16,6 +17,7 @@ std::uint64_t ShadowDevice::capacity() const noexcept {
 }
 
 Status ShadowDevice::read(std::uint64_t offset, std::span<std::byte> out) {
+  std::shared_lock lock(rw_mutex_);
   // Prefer the primary; on device/media failure fall over to the shadow.
   Status st = primary_->read(offset, out);
   if (st.ok()) {
@@ -35,16 +37,18 @@ Status ShadowDevice::write(std::uint64_t offset, std::span<const std::byte> in) 
   // single-side fault leaves the pair degraded but writable — and the
   // failed side STALE, which degraded()/resync() surface instead of
   // letting the mirrors diverge silently.  Both sides failing is fatal.
+  std::shared_lock lock(rw_mutex_);
   Status p = primary_->write(offset, in);
   Status s = shadow_->write(offset, in);
   if (!p.ok() && !s.ok()) return p;
-  if (!p.ok()) primary_stale_.store(true, std::memory_order_release);
-  if (!s.ok()) shadow_stale_.store(true, std::memory_order_release);
+  if (!p.ok()) mark_stale(primary_stale_);
+  if (!s.ok()) mark_stale(shadow_stale_);
   counters_.note_write(in.size());
   return ok_status();
 }
 
 Status ShadowDevice::readv(std::span<const IoVec> iov) {
+  std::shared_lock lock(rw_mutex_);
   Status st = primary_->readv(iov);
   if (st.ok()) {
     counters_.note_read(iov_bytes(iov));
@@ -59,11 +63,12 @@ Status ShadowDevice::readv(std::span<const IoVec> iov) {
 }
 
 Status ShadowDevice::writev(std::span<const ConstIoVec> iov) {
+  std::shared_lock lock(rw_mutex_);
   Status p = primary_->writev(iov);
   Status s = shadow_->writev(iov);
   if (!p.ok() && !s.ok()) return p;
-  if (!p.ok()) primary_stale_.store(true, std::memory_order_release);
-  if (!s.ok()) shadow_stale_.store(true, std::memory_order_release);
+  if (!p.ok()) mark_stale(primary_stale_);
+  if (!s.ok()) mark_stale(shadow_stale_);
   counters_.note_write(iov_bytes(iov));
   return ok_status();
 }
@@ -78,6 +83,10 @@ Result<std::uint64_t> ShadowDevice::copy_over(BlockDevice& from,
     const auto n =
         static_cast<std::size_t>(std::min<std::uint64_t>(chunk, cap - copied));
     const std::span<std::byte> window{buf.data(), n};
+    // Exclusive per chunk: a write cannot land between this read and
+    // write (it would be overwritten with the pre-write bytes); writes
+    // between chunks hit both sides and are copy-stable.
+    std::unique_lock lock(rw_mutex_);
     PIO_TRY(from.read(copied, window));
     PIO_TRY(to.write(copied, window));
     copied += n;
@@ -86,24 +95,44 @@ Result<std::uint64_t> ShadowDevice::copy_over(BlockDevice& from,
 }
 
 Result<std::uint64_t> ShadowDevice::resync(std::size_t chunk) {
-  const bool p_stale = primary_stale_.load(std::memory_order_acquire);
-  const bool s_stale = shadow_stale_.load(std::memory_order_acquire);
-  if (p_stale && s_stale) {
-    return make_error(Errc::corrupt,
-                      name_ + ": both replicas stale, no clean source");
+  std::uint64_t total = 0;
+  // A concurrent write failure during the copy re-diverges the mirrors;
+  // re-copy, but give up after a few passes rather than chase a device
+  // that keeps failing writes.
+  constexpr int kMaxPasses = 4;
+  for (int pass = 0; pass < kMaxPasses; ++pass) {
+    const std::uint64_t epoch =
+        divergence_epoch_.load(std::memory_order_acquire);
+    const bool p_stale = primary_stale_.load(std::memory_order_acquire);
+    const bool s_stale = shadow_stale_.load(std::memory_order_acquire);
+    if (p_stale && s_stale) {
+      return make_error(Errc::corrupt,
+                        name_ + ": both replicas stale, no clean source");
+    }
+    if (!p_stale && !s_stale) return total;
+    BlockDevice& from = p_stale ? *shadow_ : *primary_;
+    BlockDevice& to = p_stale ? *primary_ : *shadow_;
+    PIO_TRY_ASSIGN(const std::uint64_t copied, copy_over(from, to, chunk));
+    total += copied;
+    // Clear the flag only if no write failure re-diverged the pair while
+    // copying — checked exclusively, so no write is mid-flight.
+    std::unique_lock lock(rw_mutex_);
+    if (divergence_epoch_.load(std::memory_order_acquire) == epoch) {
+      (p_stale ? primary_stale_ : shadow_stale_)
+          .store(false, std::memory_order_release);
+      return total;
+    }
   }
-  if (!p_stale && !s_stale) return std::uint64_t{0};
-  BlockDevice& from = p_stale ? *shadow_ : *primary_;
-  BlockDevice& to = p_stale ? *primary_ : *shadow_;
-  PIO_TRY_ASSIGN(const std::uint64_t copied, copy_over(from, to, chunk));
-  (p_stale ? primary_stale_ : shadow_stale_)
-      .store(false, std::memory_order_release);
-  return copied;
+  return make_error(Errc::busy,
+                    name_ + ": resync lapped by concurrent write failures");
 }
 
 Result<std::uint64_t> ShadowDevice::resilver(
     std::unique_ptr<BlockDevice>& side, BlockDevice& survivor,
     std::unique_ptr<BlockDevice> blank, std::size_t chunk) {
+  // Exclusive for the whole copy + swap: data ops hold rw_mutex_ shared,
+  // so none can race the side pointer being replaced.
+  std::unique_lock lock(rw_mutex_);
   if (blank->capacity() < survivor.capacity()) {
     return make_error(Errc::invalid_argument,
                       "replacement smaller than surviving device");
@@ -119,21 +148,21 @@ Result<std::uint64_t> ShadowDevice::resilver(
     copied += n;
   }
   side = std::move(blank);
+  // Clear while still exclusive: no write can have re-diverged the fresh
+  // side before the flag drops.
+  (&side == &primary_ ? primary_stale_ : shadow_stale_)
+      .store(false, std::memory_order_release);
   return copied;
 }
 
 Result<std::uint64_t> ShadowDevice::resilver_primary(
     std::unique_ptr<BlockDevice> blank, std::size_t chunk) {
-  auto copied = resilver(primary_, *shadow_, std::move(blank), chunk);
-  if (copied.ok()) primary_stale_.store(false, std::memory_order_release);
-  return copied;
+  return resilver(primary_, *shadow_, std::move(blank), chunk);
 }
 
 Result<std::uint64_t> ShadowDevice::resilver_shadow(
     std::unique_ptr<BlockDevice> blank, std::size_t chunk) {
-  auto copied = resilver(shadow_, *primary_, std::move(blank), chunk);
-  if (copied.ok()) shadow_stale_.store(false, std::memory_order_release);
-  return copied;
+  return resilver(shadow_, *primary_, std::move(blank), chunk);
 }
 
 }  // namespace pio

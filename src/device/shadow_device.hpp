@@ -10,6 +10,7 @@
 #pragma once
 
 #include <atomic>
+#include <shared_mutex>
 
 #include "device/device.hpp"
 
@@ -56,6 +57,13 @@ class ShadowDevice final : public BlockDevice {
   /// Both sides stale (writes diverged in both directions over time) is
   /// unrecoverable in place and reports Errc::corrupt.  Returns bytes
   /// copied (0 when the pair was not degraded).
+  ///
+  /// Safe under concurrent I/O: each chunk's read+write is exclusive
+  /// against write()/writev() (writes interleave between chunks and land
+  /// on both sides, so the copy never overwrites newer data), and if a
+  /// concurrent write failure re-diverges the mirrors mid-copy the pass
+  /// repeats; after a few non-converging passes it gives up with
+  /// Errc::busy and the pair stays (correctly) degraded.
   Result<std::uint64_t> resync(std::size_t chunk = 1 << 16);
 
   /// Replace the failed side with `blank` and copy the survivor's contents
@@ -70,14 +78,27 @@ class ShadowDevice final : public BlockDevice {
                                  BlockDevice& survivor,
                                  std::unique_ptr<BlockDevice> blank,
                                  std::size_t chunk);
+  /// Chunk-wise copy; takes rw_mutex_ exclusively around each chunk's
+  /// read+write so concurrent writes never interleave inside one.
   Result<std::uint64_t> copy_over(BlockDevice& from, BlockDevice& to,
                                   std::size_t chunk);
+  void mark_stale(std::atomic<bool>& flag) noexcept {
+    flag.store(true, std::memory_order_release);
+    divergence_epoch_.fetch_add(1, std::memory_order_acq_rel);
+  }
 
   std::string name_;
   std::unique_ptr<BlockDevice> primary_;
   std::unique_ptr<BlockDevice> shadow_;
+  /// Shared: data ops (so resilver cannot swap a side under them).
+  /// Exclusive: each resync chunk copy, resilver — serializing repair
+  /// against foreground writes chunk-by-chunk.
+  std::shared_mutex rw_mutex_;
   std::atomic<bool> primary_stale_{false};
   std::atomic<bool> shadow_stale_{false};
+  /// Bumped whenever a write failure marks a side stale; resync uses it
+  /// to detect re-divergence during its copy.
+  std::atomic<std::uint64_t> divergence_epoch_{0};
   DeviceCounters counters_;
 };
 

@@ -31,7 +31,7 @@ OnlineRebuilder::OnlineRebuilder(ParityGroup& group, std::size_t position,
 
 OnlineRebuilder::~OnlineRebuilder() {
   cancel();
-  if (thread_.joinable()) thread_.join();
+  join();
 }
 
 void OnlineRebuilder::start() {
@@ -39,8 +39,13 @@ void OnlineRebuilder::start() {
   thread_ = std::thread([this] { run(); });
 }
 
-Status OnlineRebuilder::wait() {
+void OnlineRebuilder::join() {
+  std::scoped_lock lock(join_mutex_);
   if (thread_.joinable()) thread_.join();
+}
+
+Status OnlineRebuilder::wait() {
+  join();
   std::scoped_lock lock(status_mutex_);
   if (status_.code != Errc::ok) return Status(Error(status_));
   return ok_status();

@@ -118,6 +118,9 @@ class OnlineRebuilder {
 
  private:
   void run();
+  /// Join the rebuild thread exactly once; safe from concurrent wait()
+  /// callers and the destructor (bare std::thread::join races are UB).
+  void join();
 
   ParityGroup& group_;
   std::size_t position_;
@@ -127,6 +130,7 @@ class OnlineRebuilder {
   RecordLockTable regions_;
 
   std::thread thread_;
+  std::mutex join_mutex_;  ///< serializes wait()/destructor join() calls
   std::atomic<bool> started_{false};
   std::atomic<bool> cancel_{false};
   std::atomic<bool> done_{false};

@@ -90,6 +90,13 @@ Status ResilientArray::quarantined_error(std::size_t d) const {
                     devices_[d].name() + ": quarantined (circuit open)");
 }
 
+ParityGroup::SubOpRunner ResilientArray::subop_retrier() {
+  return [this](const std::function<Status()>& op) -> Status {
+    RetryOutcome o = retried(op);
+    return std::move(o.status);
+  };
+}
+
 Status ResilientArray::read(std::size_t d, std::uint64_t offset,
                             std::span<std::byte> out) {
   const Protection& p = protection_[d];
@@ -110,21 +117,29 @@ Status ResilientArray::write(std::size_t d, std::uint64_t offset,
     return attempt(d, [&] { return devices_[d].write(offset, in); });
   }
   if (stale(d) || !health_.allow(d)) return degraded_write(d, p, offset, in);
+  return protected_write(d, p, offset, in);
+}
+
+Status ResilientArray::protected_write(std::size_t d, const Protection& p,
+                                       std::uint64_t offset,
+                                       std::span<const std::byte> in) {
   const auto t0 = std::chrono::steady_clock::now();
-  RetryOutcome out =
-      retried([&] { return p.group->write(p.position, offset, in); });
-  if (out.status.ok()) {
+  // Retries happen INSIDE the RMW, per sub-operation: retrying the whole
+  // group write after the member write landed would re-read old_data equal
+  // to the new data and silently drop the parity update.
+  Status st = p.group->write(p.position, offset, in, subop_retrier());
+  if (st.ok()) {
     health_.record_success(d, elapsed_us(t0));
-    return std::move(out.status);
+    return st;
   }
   // The group write touches the member AND the parity device; only go
   // degraded (and only blame `d`) when the member itself is the one down —
   // a parity-side failure must surface, or protection silently lapses.
-  if (is_degradable(out.status.code()) && !devices_[d].probe().ok()) {
-    health_.record_error(d, out.status.code());
-    return degraded_write(d, p, offset, in);
+  if (is_degradable(st.code()) && !devices_[d].probe().ok()) {
+    health_.record_error(d, st.code());
+    return degraded_write(d, p, offset, in, /*device_down=*/true);
   }
-  return std::move(out.status);
+  return st;
 }
 
 Status ResilientArray::readv(std::size_t d, std::span<const IoVec> iov) {
@@ -144,28 +159,35 @@ Status ResilientArray::readv(std::size_t d, std::span<const IoVec> iov) {
 
 Status ResilientArray::writev(std::size_t d, std::span<const ConstIoVec> iov) {
   const Protection& p = protection_[d];
-  auto degraded_all = [&]() -> Status {
-    for (const ConstIoVec& v : iov) {
-      PIO_TRY(degraded_write(d, p, v.offset, v.data));
-    }
-    return ok_status();
-  };
   if (p.group == nullptr) {
     if (!health_.allow(d)) return quarantined_error(d);
     return attempt(d, [&] { return devices_[d].writev(iov); });
   }
-  if (stale(d) || !health_.allow(d)) return degraded_all();
+  if (stale(d) || !health_.allow(d)) {
+    for (const ConstIoVec& v : iov) {
+      PIO_TRY(degraded_write(d, p, v.offset, v.data));
+    }
+    return ok_status();
+  }
+  return protected_writev(d, p, iov);
+}
+
+Status ResilientArray::protected_writev(std::size_t d, const Protection& p,
+                                        std::span<const ConstIoVec> iov) {
   const auto t0 = std::chrono::steady_clock::now();
-  RetryOutcome out = retried([&] { return p.group->writev(p.position, iov); });
-  if (out.status.ok()) {
+  Status st = p.group->writev(p.position, iov, subop_retrier());
+  if (st.ok()) {
     health_.record_success(d, elapsed_us(t0));
-    return std::move(out.status);
+    return st;
   }
-  if (is_degradable(out.status.code()) && !devices_[d].probe().ok()) {
-    health_.record_error(d, out.status.code());
-    return degraded_all();
+  if (is_degradable(st.code()) && !devices_[d].probe().ok()) {
+    health_.record_error(d, st.code());
+    for (const ConstIoVec& v : iov) {
+      PIO_TRY(degraded_write(d, p, v.offset, v.data, /*device_down=*/true));
+    }
+    return ok_status();
   }
-  return std::move(out.status);
+  return st;
 }
 
 Status ResilientArray::degraded_read(std::size_t d, const Protection& p,
@@ -182,16 +204,36 @@ Status ResilientArray::degraded_read(std::size_t d, const Protection& p,
 
 Status ResilientArray::degraded_write(std::size_t d, const Protection& p,
                                       std::uint64_t offset,
-                                      std::span<const std::byte> in) {
+                                      std::span<const std::byte> in,
+                                      bool device_down) {
+  std::shared_ptr<RebuildHandle> rb;
+  bool take_degraded = false;
+  {
+    std::scoped_lock lock(rebuild_mutex_);
+    // Re-validate under the lock that serializes with the rebuild
+    // completion hook: a write routed here on a stale/quarantined check
+    // can arrive AFTER the rebuild repaired the member and cleared the
+    // bit.  Re-marking it stale then (with rebuild done, so no mirror)
+    // would park the data on parity only and strand the member degraded
+    // forever.  Route back to the normal path instead — bounded, because
+    // protected_write only re-enters here with device_down=true.
+    if (device_down || stale(d) ||
+        health_.state(d) != CircuitState::closed) {
+      // Mark stale FIRST: once parity diverges from the member's
+      // on-device bytes, concurrent readers must reconstruct (even if
+      // the write below then fails, reconstructing is still correct —
+      // parity only changes when the write succeeds).
+      stale_flags_[d]->store(true, std::memory_order_release);
+      if (rebuild_ && rebuild_->device == d && !rebuild_->rebuilder->done()) {
+        rb = rebuild_;
+      }
+      take_degraded = true;
+    }
+  }
+  if (!take_degraded) return protected_write(d, p, offset, in);
   degraded_writes_counter_->inc();
   obs::WallSpan span(obs::Tracer::global(), "resilient.degraded_write",
                      "reliability", kDegradedTid);
-  // Mark stale FIRST: once parity diverges from the member's on-device
-  // bytes, concurrent readers must reconstruct (even if the write below
-  // then fails, reconstructing is still correct — parity only changes
-  // when the write succeeds).
-  stale_flags_[d]->store(true, std::memory_order_release);
-  std::shared_ptr<RebuildHandle> rb = rebuild_for(d);
   if (rb != nullptr) {
     // Mirror onto the replacement under the rebuilder's region locks so
     // the chunk reconstruct cannot interleave with this update; behind
@@ -206,15 +248,6 @@ Status ResilientArray::degraded_write(std::size_t d, const Protection& p,
   RetryOutcome o =
       retried([&] { return p.group->degraded_write(p.position, offset, in); });
   return std::move(o.status);
-}
-
-std::shared_ptr<ResilientArray::RebuildHandle> ResilientArray::rebuild_for(
-    std::size_t d) {
-  std::scoped_lock lock(rebuild_mutex_);
-  if (rebuild_ && rebuild_->device == d && !rebuild_->rebuilder->done()) {
-    return rebuild_;
-  }
-  return nullptr;
 }
 
 Status ResilientArray::start_rebuild(std::size_t d, BlockDevice& target,
@@ -239,6 +272,10 @@ Status ResilientArray::start_rebuild(std::size_t d, BlockDevice& target,
   auto user_hook = std::move(options.on_complete);
   options.on_complete = [this, d, hook = std::move(user_hook)] {
     if (hook) hook();  // repair/swap the device while writes still mirror
+    // Clear under rebuild_mutex_ so degraded_write's re-validation
+    // serializes with this transition (no writer can re-mark the member
+    // stale after seeing the pre-completion state).
+    std::scoped_lock hook_lock(rebuild_mutex_);
     stale_flags_[d]->store(false, std::memory_order_release);
     health_.reset(d);
   };

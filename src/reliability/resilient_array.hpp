@@ -136,12 +136,28 @@ class ResilientArray {
   /// error code on failure).
   template <typename Fn>
   Status attempt(std::size_t d, Fn&& fn);
+  /// retried() packaged as a ParityGroup::SubOpRunner: the group RMW is
+  /// NOT idempotent as a whole (a retry after the member write landed
+  /// computes a zero parity delta), so retries apply per sub-operation.
+  ParityGroup::SubOpRunner subop_retrier();
+
+  /// Healthy-path parity-group write: RMW with per-sub-op retries, then
+  /// degraded fallback (device_down=true) only when member `d` itself is
+  /// the side that failed.
+  Status protected_write(std::size_t d, const Protection& p,
+                         std::uint64_t offset, std::span<const std::byte> in);
+  Status protected_writev(std::size_t d, const Protection& p,
+                          std::span<const ConstIoVec> iov);
 
   Status degraded_read(std::size_t d, const Protection& p,
                        std::uint64_t offset, std::span<std::byte> out);
+  /// Parity-only write for a down/stale member.  `device_down` = the
+  /// caller just proved the member failed (probe), so skip the
+  /// re-validation that routes back to the normal path when a rebuild
+  /// completed between routing and here.
   Status degraded_write(std::size_t d, const Protection& p,
-                        std::uint64_t offset, std::span<const std::byte> in);
-  std::shared_ptr<RebuildHandle> rebuild_for(std::size_t d);
+                        std::uint64_t offset, std::span<const std::byte> in,
+                        bool device_down = false);
   Status quarantined_error(std::size_t d) const;
 
   DeviceArray& devices_;

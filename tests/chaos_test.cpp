@@ -407,6 +407,46 @@ TEST(Resilient, ParityDeviceFailureSurfacesOnWrites) {
   EXPECT_EQ(st.code(), Errc::device_failed);
 }
 
+TEST(Resilient, TransientParityWriteFailureKeepsParityConsistent) {
+  // Regression: retries used to wrap the WHOLE parity RMW.  A transient
+  // failure of the parity write after the member write landed made the
+  // retry re-read old_data equal to the new data, compute a zero parity
+  // delta, and "succeed" while parity silently missed the update — a
+  // later degraded read reconstructed garbage.  Retries now apply per
+  // sub-operation, reusing the RMW's snapshot.
+  DeviceArray array;
+  for (int i = 0; i < 2; ++i) {
+    array.add(std::make_unique<FaultyDevice>(
+        std::make_unique<RamDisk>("d" + std::to_string(i), 8192)));
+  }
+  FaultyDevice parity(std::make_unique<RamDisk>("parity", 8192));
+  ParityGroup group({&array[0], &array[1]}, &parity);
+  ResilientArray resilient(array, ResilientRig::fast_options());
+  PIO_ASSERT_OK(resilient.protect_with_parity(group, {0, 1}));
+
+  const auto old_data = stamped(512, 30);
+  PIO_ASSERT_OK(resilient.write(0, 0, old_data));
+
+  // Parity-device plan ops for the next RMW: 0 = parity read, 1 = parity
+  // write.  Window {1,2} makes exactly the parity write glitch once.
+  FaultPlan plan;
+  plan.transient_windows.push_back({1, 2});
+  parity.set_plan(plan);
+  const auto new_data = stamped(512, 31);
+  PIO_ASSERT_OK(resilient.write(0, 0, new_data));
+
+  auto off = group.verify();
+  ASSERT_TRUE(off.ok());
+  EXPECT_EQ(*off, group.protected_capacity()) << "parity lost the update";
+
+  // The proof that matters: reconstruction of the member yields the NEW
+  // bytes, not silent corruption.
+  static_cast<FaultyDevice&>(array[0]).fail_now();
+  std::vector<std::byte> back(512);
+  PIO_ASSERT_OK(resilient.read(0, 0, back));
+  EXPECT_EQ(back, new_data);
+}
+
 TEST(Resilient, UnprotectedQuarantineFailsFast) {
   DeviceArray array;
   array.add(std::make_unique<FaultyDevice>(
@@ -563,6 +603,79 @@ TEST(Rebuild, ChaosKillMidWorkloadMatchesFaultFreeTwin) {
     PIO_ASSERT_OK(chaos.resilient->read(d, 0, got));
     PIO_ASSERT_OK(clean.resilient->read(d, 0, want));
     EXPECT_EQ(got, want) << "device " << d << " diverged from twin";
+  }
+}
+
+TEST(Rebuild, ConcurrentWaitersAreSafe) {
+  // Regression: OnlineRebuilder::wait() joined the std::thread without
+  // synchronization, so two concurrent waiters (or a waiter racing the
+  // destructor) raced joinable()/join() — UB / std::system_error.
+  ResilientRig rig;
+  PIO_ASSERT_OK(rig.resilient->write(0, 0, stamped(4096, 12)));
+  rig.faulty[0]->fail_now();
+  RebuildOptions opts;
+  opts.chunk_bytes = 4096;
+  opts.on_complete = [&] { rig.faulty[0]->repair(); };
+  PIO_ASSERT_OK(rig.resilient->start_rebuild(0, rig.faulty[0]->inner(), opts));
+  std::vector<std::thread> waiters;
+  for (int i = 0; i < 4; ++i) {
+    waiters.emplace_back([&] {
+      auto st = rig.resilient->wait_rebuild();
+      ASSERT_TRUE(st.ok()) << st.error().to_string();
+    });
+  }
+  for (auto& w : waiters) w.join();
+  EXPECT_FALSE(rig.resilient->rebuild_active());
+  EXPECT_FALSE(rig.resilient->stale(0));
+}
+
+TEST(Rebuild, WriteRacingCompletionDoesNotStrandStaleMember) {
+  // Regression: a write routed to the degraded path just before rebuild
+  // completion could re-mark the member stale AFTER the completion hook
+  // cleared the bit — with the rebuild done, the data parked on parity
+  // only and the member stayed degraded forever with no rebuild active.
+  // degraded_write now re-validates under rebuild_mutex_ and routes back
+  // to the normal path.
+  ResilientRig rig;
+  const auto data = stamped(512, 13);
+  for (int iter = 0; iter < 8; ++iter) {
+    rig.faulty[0]->fail_now();
+    PIO_ASSERT_OK(rig.resilient->write(0, 0, data));  // degraded, stale
+    ASSERT_TRUE(rig.resilient->stale(0));
+
+    RebuildOptions opts;
+    opts.chunk_bytes = 4096;
+    opts.on_complete = [&] { rig.faulty[0]->repair(); };
+    PIO_ASSERT_OK(
+        rig.resilient->start_rebuild(0, rig.faulty[0]->inner(), opts));
+    // Writers hammer the member while the rebuild races to completion.
+    std::atomic<bool> stop{false};
+    std::vector<std::thread> writers;
+    for (int t = 0; t < 2; ++t) {
+      writers.emplace_back([&, t] {
+        const auto wd = stamped(512, 40 + static_cast<std::uint64_t>(t));
+        const std::uint64_t off = 8192 + static_cast<std::uint64_t>(t) * 4096;
+        while (!stop.load(std::memory_order_acquire)) {
+          auto st = rig.resilient->write(0, off, wd);
+          ASSERT_TRUE(st.ok()) << st.error().to_string();
+        }
+      });
+    }
+    PIO_ASSERT_OK(rig.resilient->wait_rebuild());
+    stop.store(true, std::memory_order_release);
+    for (auto& w : writers) w.join();
+
+    // No rebuild is active, so the member must not be left stale: every
+    // post-completion write either mirrored onto the target in time or
+    // re-routed through the normal parity path.
+    EXPECT_FALSE(rig.resilient->rebuild_active());
+    EXPECT_FALSE(rig.resilient->stale(0)) << "stranded at iteration " << iter;
+    auto off = rig.group->verify();
+    ASSERT_TRUE(off.ok());
+    EXPECT_EQ(*off, rig.group->protected_capacity());
+    std::vector<std::byte> back(512);
+    PIO_ASSERT_OK(rig.resilient->read(0, 0, back));
+    EXPECT_EQ(back, data);
   }
 }
 

@@ -2,6 +2,7 @@
 // ShadowDevice, ParityGroup, DeviceArray.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <thread>
 
 #include "device/faulty_device.hpp"
@@ -324,6 +325,51 @@ TEST(ShadowDevice, ResyncWithBothSidesStaleIsCorrupt) {
   ASSERT_TRUE(dev.shadow_stale());
   // No side is authoritative any more; resync must refuse to guess.
   EXPECT_EQ(dev.resync().code(), Errc::corrupt);
+}
+
+TEST(ShadowDevice, ResyncConvergesUnderConcurrentWrites) {
+  // Regression: resync() used to copy a chunk non-atomically, so a
+  // concurrent write landing between its read and write was overwritten
+  // with pre-write bytes on the formerly-stale side — mirrors silently
+  // divergent with degraded() == false.
+  constexpr std::uint64_t kCap = 64 * 1024;
+  ShadowDevice dev(
+      std::make_unique<RamDisk>("p", kCap),
+      std::make_unique<FaultyDevice>(std::make_unique<RamDisk>("s", kCap)));
+  auto& shadow = static_cast<FaultyDevice&>(dev.shadow());
+
+  // Diverge the shadow, then repair it so resync can run.
+  shadow.fail_now();
+  PIO_ASSERT_OK(dev.write(0, pattern_bytes(512, 11)));
+  ASSERT_TRUE(dev.shadow_stale());
+  shadow.repair();
+
+  // Hammer writes from two threads for the whole duration of the resync.
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 2; ++t) {
+    writers.emplace_back([&, t] {
+      const auto data = pattern_bytes(512, 20 + static_cast<std::uint64_t>(t));
+      std::uint64_t i = 0;
+      while (!stop.load(std::memory_order_acquire)) {
+        const std::uint64_t off =
+            ((t * 61 + i++ * 13) % (kCap / 512)) * 512;
+        auto st = dev.write(off, data);
+        ASSERT_TRUE(st.ok()) << st.error().to_string();
+      }
+    });
+  }
+  auto copied = dev.resync(/*chunk=*/512);
+  stop.store(true, std::memory_order_release);
+  for (auto& w : writers) w.join();
+  ASSERT_TRUE(copied.ok()) << copied.error().to_string();
+  EXPECT_FALSE(dev.degraded());
+
+  // With all writers quiesced the mirrors must be byte-identical.
+  std::vector<std::byte> p(kCap), s(kCap);
+  PIO_ASSERT_OK(dev.primary().read(0, p));
+  PIO_ASSERT_OK(dev.shadow().read(0, s));
+  EXPECT_EQ(p, s);
 }
 
 }  // namespace

@@ -117,6 +117,37 @@ TEST_F(ParityFixture, RebuildParityAfterBulkLoad) {
   EXPECT_EQ(*fixed, kCap);
 }
 
+TEST_F(ParityFixture, ParityWriteHoleMarksDirtyAndBlocksDegradedService) {
+  PIO_ASSERT_OK(group->write(0, 0, stamp(20, 0)));
+  EXPECT_FALSE(group->parity_dirty());
+
+  // Kill the parity device at the parity-WRITE step of the next RMW
+  // (plan ops on the parity device: 0 = parity read, 1 = parity write).
+  // The member takes the new data, parity still encodes the old — the
+  // classic write hole.
+  FaultPlan plan;
+  plan.fail_at_op = 1;
+  parity->set_plan(plan);
+  EXPECT_EQ(group->write(0, 0, stamp(21, 0)).code(), Errc::device_failed);
+  EXPECT_TRUE(group->parity_dirty());
+
+  // Degraded service must refuse rather than reconstruct wrong bytes.
+  std::vector<std::byte> back(256);
+  EXPECT_EQ(group->degraded_read(1, 0, back).code(), Errc::corrupt);
+  RamDisk replacement("r", kCap);
+  EXPECT_EQ(group->reconstruct_data(1, replacement).code(), Errc::corrupt);
+
+  // rebuild_parity repairs the hole and re-enables degraded service.
+  parity->repair();
+  PIO_ASSERT_OK(group->rebuild_parity(512));
+  EXPECT_FALSE(group->parity_dirty());
+  auto v = group->verify();
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, kCap);
+  PIO_ASSERT_OK(group->degraded_read(0, 0, back));
+  EXPECT_EQ(back, stamp(21, 0));  // the member write DID land
+}
+
 TEST_F(ParityFixture, VerifyReportsFirstViolation) {
   PIO_ASSERT_OK(group->write(0, 0, stamp(8, 0)));
   // Corrupt one byte behind the group's back.
