@@ -20,17 +20,25 @@
 // concurrently.  Expected: aggregate server-mediated throughput with
 // K >= 4 clients exceeds the direct synchronous single caller.
 //
-// Honors --quick (fewer ops per client) and --json=PATH (default
-// BENCH_server.json).
+// Honors --quick (fewer ops per client), --json=PATH (default
+// BENCH_server.json), and --profile (per-stage latency attribution: stage
+// shares land in the benchmark counters and the full breakdown in
+// BENCH_server_profile.json — the measurement behind the flat-ceiling
+// diagnosis in ROADMAP item #2).
 #include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <deque>
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "bench_util.hpp"
 #include "device/ram_disk.hpp"
+#include "obs/report.hpp"
+#include "obs/reqtrace.hpp"
+#include "obs/sampler.hpp"
 #include "server/client.hpp"
 #include "server/io_server.hpp"
 
@@ -130,6 +138,27 @@ struct Rig {
   }
 };
 
+/// Accumulated per-run stage breakdowns, rewritten to
+/// BENCH_server_profile.json after every profiled run so the file is
+/// complete whenever the process exits.
+void record_profile_run(std::size_t clients, const std::string& profile_json) {
+  static std::vector<std::string> runs;
+  runs.push_back("{\"name\": \"server_async\", \"clients\": " +
+                 std::to_string(clients) + ", \"profile\": " + profile_json +
+                 "}");
+  std::FILE* f = std::fopen("BENCH_server_profile.json", "w");
+  if (f == nullptr) return;
+  std::fprintf(f,
+               "{\n  \"bench\": \"ablation_server stage breakdown\",\n"
+               "  \"quick\": %s,\n  \"runs\": [",
+               pio::bench::quick_flag ? "true" : "false");
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    std::fprintf(f, "%s\n    %s", i == 0 ? "" : ",", runs[i].c_str());
+  }
+  std::fprintf(f, "\n  ]\n}\n");
+  std::fclose(f);
+}
+
 /// Op i for the client owning `region`: alternating write/read over
 /// track-sized slots; consecutive slots rotate devices, and the region
 /// holds 171 slots, so every in-flight extent is distinct.
@@ -171,6 +200,31 @@ void BM_ServerAsync(benchmark::State& state) {
   options.queue_capacity = 128;
   options.max_inflight_per_session = kWindow;
   server::IoServer io_server(*rig.fs, rig.devices, options);
+
+  // --profile: per-stage timelines plus the background utilization
+  // sampler, reset per client count so each run's attribution is its own.
+  obs::Profiler& profiler = obs::Profiler::global();
+  std::unique_ptr<obs::UtilizationSampler> sampler;
+  if (pio::bench::profile_flag) {
+    profiler.reset();
+    profiler.set_enabled(true);
+    obs::SamplerOptions sampler_options;
+    sampler_options.period_us = 2000;
+    sampler = std::make_unique<obs::UtilizationSampler>(sampler_options);
+    server::IoServer* srv = &io_server;
+    sampler->add_series("server.inflight", [srv] {
+      return static_cast<double>(srv->inflight());
+    });
+    sampler->add_series("server.dispatcher_busy", [srv] {
+      return static_cast<double>(srv->executing()) /
+             static_cast<double>(kDevices);
+    });
+    sampler->add_series("iosched.worker_busy", [srv] {
+      return static_cast<double>(srv->scheduler().busy_workers()) /
+             static_cast<double>(kDevices);
+    });
+    sampler->start();
+  }
 
   std::uint64_t bytes = 0;
   std::atomic<int> errors{0};
@@ -226,6 +280,20 @@ void BM_ServerAsync(benchmark::State& state) {
   if (errors.load() != 0) state.SkipWithError("client errors");
   state.SetBytesProcessed(static_cast<std::int64_t>(bytes));
   state.counters["clients"] = static_cast<double>(clients);
+  if (pio::bench::profile_flag) {
+    sampler->stop();  // reads the scheduler; must precede server teardown
+    profiler.set_enabled(false);
+    const auto summaries = sampler->summary();
+    const obs::ProfileReport report =
+        obs::build_profile_report(profiler.snapshot());
+    for (const obs::StageReport& s : report.stages) {
+      state.counters["stage." + s.name + ".share"] = s.share;
+      state.counters["stage." + s.name + ".p95_us"] = s.p95_us;
+    }
+    state.counters["profile.e2e_p95_us"] = report.e2e_p95_us;
+    record_profile_run(clients, obs::profile_to_json(report, &summaries));
+    std::printf("%s", obs::profile_to_text(report, &summaries).c_str());
+  }
   pio::bench::report_registry(state);
 }
 

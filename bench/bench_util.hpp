@@ -40,6 +40,11 @@ inline bool quick_flag = false;
 /// benches may default it via PIO_BENCH_MAIN_JSON).
 inline std::string json_flag;
 
+/// `--profile` enables request-lifecycle stage profiling in benches that
+/// support it (bench_ablation_server): per-stage latency shares land in
+/// the benchmark counters and a stage-breakdown JSON file.
+inline bool profile_flag = false;
+
 /// Consume the harness flags from argv (google-benchmark rejects
 /// arguments it does not recognize).
 inline void strip_sched_flags(int& argc, char** argv) {
@@ -57,6 +62,8 @@ inline void strip_sched_flags(int& argc, char** argv) {
           std::strtoul(argv[i] + 14, nullptr, 10));
     } else if (arg == "--quick") {
       quick_flag = true;
+    } else if (arg == "--profile") {
+      profile_flag = true;
     } else if (arg.rfind("--json=", 0) == 0) {
       json_flag = std::string(arg.substr(7));
     } else {

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "obs/metrics.hpp"
+#include "obs/reqtrace.hpp"
 #include "obs/trace.hpp"
 
 namespace pio {
@@ -262,6 +263,7 @@ void IoScheduler::worker_loop(Worker& worker) {
       worker.executed += group.size();
     }
     depth_gauge_->add(-static_cast<std::int64_t>(group.size()));
+    obs::Profiler& profiler = obs::Profiler::global();
     if (options_.request_deadline_us > 0) {
       // Requests that overstayed their deadline in the queue complete with
       // timed_out instead of being issued.  Dropping members of a merged
@@ -277,6 +279,10 @@ void IoScheduler::worker_loop(Worker& worker) {
           r.batch->complete(make_error(
               Errc::timed_out, "request exceeded queue deadline on device " +
                                    devices_[worker.tid].name()));
+          if (r.owns_timeline) {
+            profiler.stamp(r.timeline, obs::Stage::completed);
+            profiler.retire(r.timeline);
+          }
         } else {
           group[kept++] = r;
         }
@@ -298,7 +304,37 @@ void IoScheduler::worker_loop(Worker& worker) {
       tracer.counter(worker.qd_track, worker.tid, deq_us,
                      static_cast<double>(depth_after), obs::TimeDomain::wall);
     }
-    const Status status = execute_group(worker, group, riov, wiov);
+    // Stage stamps for profiled members: one clock read covers the whole
+    // group.  set_first/set_last make fan-out well-defined — a server
+    // request split across devices keeps its earliest start and latest
+    // finish.
+    bool profiled = false;
+    for (const Request& r : group) profiled |= (r.timeline != nullptr);
+    if (profiled) {
+      const double start_us = profiler.now_us();
+      for (const Request& r : group) {
+        if (r.timeline != nullptr) {
+          r.timeline->set_first(obs::Stage::device_start, start_us);
+        }
+      }
+    }
+    busy_workers_.fetch_add(1, std::memory_order_relaxed);
+    Status status;
+    {
+      // Publish the group's timeline to reliability sub-layers (retry /
+      // degraded notes) for the duration of the device operation.
+      obs::TimelineScope scope(group.front().timeline);
+      status = execute_group(worker, group, riov, wiov);
+    }
+    busy_workers_.fetch_sub(1, std::memory_order_relaxed);
+    if (profiled) {
+      const double done_us = profiler.now_us();
+      for (const Request& r : group) {
+        if (r.timeline != nullptr) {
+          r.timeline->set_last(obs::Stage::device_done, done_us);
+        }
+      }
+    }
     completed_counter_->inc(group.size());
     if (tracing) {
       const double done_us = tracer.wall_now_us();
@@ -311,7 +347,13 @@ void IoScheduler::worker_loop(Worker& worker) {
     }
     // Every member batch observes the group's status; on failure that is
     // the FIRST error the device reported for the merged operation.
-    for (const Request& r : group) r.batch->complete(status);
+    for (const Request& r : group) {
+      r.batch->complete(status);
+      if (r.owns_timeline) {
+        profiler.stamp(r.timeline, obs::Stage::completed);
+        profiler.retire(r.timeline);
+      }
+    }
   }
 }
 
@@ -323,6 +365,25 @@ void IoScheduler::enqueue(std::size_t device, Request request) {
   const bool tracing = tracer.enabled();
   if (tracing || options_.request_deadline_us > 0) {
     request.enq_us = tracer.wall_now_us();
+  }
+  // Profiling: adopt the dispatcher's ambient timeline (one server request
+  // fans out to several segments stamping the same timeline), or acquire
+  // our own for bare scheduler traffic so `pario_sim --profile` attributes
+  // too.  All no-ops when profiling is disabled (acquire returns null
+  // after one relaxed load; stamp helpers null-check before the clock).
+  obs::Profiler& profiler = obs::Profiler::global();
+  request.timeline = obs::current_timeline();
+  if (request.timeline == nullptr && profiler.enabled()) {
+    request.timeline = profiler.acquire(request.kind == OpKind::read
+                                            ? obs::OpClass::sched_read
+                                            : obs::OpClass::sched_write);
+    if (request.timeline != nullptr) {
+      request.owns_timeline = true;
+      request.timeline->set(obs::Stage::accepted, profiler.now_us());
+    }
+  }
+  if (request.timeline != nullptr) {
+    request.timeline->set_first(obs::Stage::sched_queued, profiler.now_us());
   }
   enqueued_counter_->inc();
   depth_gauge_->add(1);

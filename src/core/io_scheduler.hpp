@@ -55,6 +55,7 @@ namespace pio::obs {
 class Counter;
 class Gauge;
 class LatencyHistogram;
+class RequestTimeline;
 }  // namespace pio::obs
 
 namespace pio {
@@ -151,6 +152,12 @@ class IoScheduler {
   /// each member; the DEVICE op reduction shows up in DeviceCounters).
   std::vector<std::uint64_t> ops_per_device() const;
 
+  /// Workers currently inside a device operation (utilization sampling).
+  std::size_t busy_workers() const noexcept {
+    return busy_workers_.load(std::memory_order_relaxed);
+  }
+  std::size_t worker_count() const noexcept { return workers_.size(); }
+
  private:
   enum class OpKind : std::uint8_t { read, write };
 
@@ -164,6 +171,12 @@ class IoScheduler {
     IoBatch* batch = nullptr;
     OpKind kind = OpKind::read;
     double enq_us = 0.0;  // wall enqueue timestamp (tracing or deadlines)
+    // Profiling: stage timeline this request stamps (null when profiling
+    // is off).  Inherited from the ambient TimelineScope when a server
+    // dispatcher enqueues, or acquired here (owns_timeline) for bare
+    // scheduler traffic; owned timelines are retired by the worker.
+    obs::RequestTimeline* timeline = nullptr;
+    bool owns_timeline = false;
   };
   struct Worker {
     mutable std::mutex mutex;
@@ -194,6 +207,7 @@ class IoScheduler {
   // (the destructor's store and a worker's predicate evaluation are not
   // ordered by a common mutex).
   std::atomic<bool> shutdown_{false};
+  std::atomic<std::size_t> busy_workers_{0};
 
   // Cached global metrics (registry owns them; pointers stay valid).
   obs::Counter* enqueued_counter_;

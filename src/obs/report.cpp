@@ -1,0 +1,220 @@
+#include "obs/report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace pio::obs {
+
+namespace {
+
+std::string fmt(const char* f, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), f, v);
+  return buf;
+}
+
+void json_number(std::ostringstream& out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  out << buf;
+}
+
+}  // namespace
+
+ProfileReport build_profile_report(const ProfileSnapshot& snap) {
+  ProfileReport r;
+  r.requests = snap.retired;
+  r.pool_exhausted = snap.pool_exhausted;
+  r.retries = snap.retries;
+  r.degraded = snap.degraded;
+  r.window_us = snap.window_hi_us > snap.window_lo_us
+                    ? snap.window_hi_us - snap.window_lo_us
+                    : 0.0;
+  r.e2e_mean_us = snap.e2e.mean();
+  r.e2e_max_us = snap.e2e.max();
+  if (snap.e2e_hist.count() > 0) {
+    r.e2e_p50_us = snap.e2e_hist.quantile(0.50);
+    r.e2e_p95_us = snap.e2e_hist.quantile(0.95);
+    r.e2e_p99_us = snap.e2e_hist.quantile(0.99);
+  }
+  r.slowest = snap.slowest;
+
+  double total = 0.0;
+  for (const auto& st : snap.stages) total += st.total_us;
+
+  r.stages.reserve(snap.stages.size());
+  double best_share = 0.0;
+  for (std::size_t i = 0; i < snap.stages.size(); ++i) {
+    const auto& st = snap.stages[i];
+    StageReport sr;
+    sr.name = std::string(interval_name(i));
+    sr.count = st.stats.count();
+    sr.mean_us = st.stats.mean();
+    sr.max_us = st.stats.max();
+    sr.total_us = st.total_us;
+    if (st.hist.count() > 0) {
+      sr.p50_us = st.hist.quantile(0.50);
+      sr.p95_us = st.hist.quantile(0.95);
+      sr.p99_us = st.hist.quantile(0.99);
+    }
+    sr.share = total > 0.0 ? st.total_us / total : 0.0;
+    sr.concurrency = r.window_us > 0.0 ? st.total_us / r.window_us : 0.0;
+    if (sr.share > best_share) {
+      best_share = sr.share;
+      r.dominant = sr.name;
+    }
+    r.stages.push_back(std::move(sr));
+  }
+  return r;
+}
+
+std::string profile_to_text(
+    const ProfileReport& r,
+    const std::vector<UtilizationSampler::SeriesSummary>* sampler) {
+  std::ostringstream out;
+  out << "== profile: request-lifecycle breakdown ==\n";
+  out << "requests " << r.requests << "   window "
+      << fmt("%.1f", r.window_us / 1000.0) << " ms   e2e p50 "
+      << fmt("%.1f", r.e2e_p50_us) << " us  p95 " << fmt("%.1f", r.e2e_p95_us)
+      << " us  p99 " << fmt("%.1f", r.e2e_p99_us) << " us  max "
+      << fmt("%.1f", r.e2e_max_us) << " us\n";
+  if (r.requests == 0) {
+    out << "(no retired requests; enable with --profile and run traffic)\n";
+    return out.str();
+  }
+  char line[160];
+  std::snprintf(line, sizeof(line), "%-12s %8s %10s %10s %10s %10s %7s %7s\n",
+                "stage", "count", "p50_us", "p95_us", "p99_us", "max_us",
+                "share", "conc");
+  out << line;
+  for (const StageReport& s : r.stages) {
+    std::snprintf(line, sizeof(line),
+                  "%-12s %8zu %10.1f %10.1f %10.1f %10.1f %6.1f%% %7.2f\n",
+                  s.name.c_str(), s.count, s.p50_us, s.p95_us, s.p99_us,
+                  s.max_us, s.share * 100.0, s.concurrency);
+    out << line;
+  }
+  if (!r.dominant.empty()) {
+    double share = 0.0;
+    for (const StageReport& s : r.stages) {
+      if (s.name == r.dominant) share = s.share;
+    }
+    out << "dominant stage: " << r.dominant << " ("
+        << fmt("%.1f", share * 100.0) << "% of end-to-end latency)\n";
+  }
+  out << "retries " << r.retries << "  degraded " << r.degraded
+      << "  pool_exhausted " << r.pool_exhausted << "\n";
+  if (!r.slowest.empty()) {
+    out << "slowest requests:\n";
+    for (const TimelineSnapshot& t : r.slowest) {
+      out << "  #" << t.seq << " " << op_class_name(t.op) << " "
+          << fmt("%.1f", t.e2e_us) << " us:";
+      // Re-derive the interval breakdown from the stamps for display.
+      double prev = 0.0;
+      bool have_prev = false;
+      for (std::size_t i = 0; i < kStageCount; ++i) {
+        const double s = t.stamp_us[i];
+        if (s <= 0.0) continue;
+        if (have_prev && i > 0) {
+          out << " " << interval_name(i - 1) << " "
+              << fmt("%.1f", std::max(0.0, s - prev));
+        }
+        prev = s;
+        have_prev = true;
+      }
+      if (t.retries > 0) out << " retries " << t.retries;
+      if (t.degraded > 0) out << " degraded " << t.degraded;
+      out << "\n";
+    }
+  }
+  if (sampler != nullptr && !sampler->empty()) {
+    out << "sampler:\n";
+    for (const auto& s : *sampler) {
+      std::snprintf(line, sizeof(line),
+                    "  %-28s mean %10.2f  max %10.2f  last %10.2f  (n=%zu)\n",
+                    s.name.c_str(), s.mean, s.max, s.last, s.samples);
+      out << line;
+    }
+  }
+  return out.str();
+}
+
+std::string profile_to_json(
+    const ProfileReport& r,
+    const std::vector<UtilizationSampler::SeriesSummary>* sampler) {
+  std::ostringstream out;
+  out << "{\"requests\":" << r.requests << ",\"window_us\":";
+  json_number(out, r.window_us);
+  out << ",\"e2e\":{\"mean_us\":";
+  json_number(out, r.e2e_mean_us);
+  out << ",\"p50_us\":";
+  json_number(out, r.e2e_p50_us);
+  out << ",\"p95_us\":";
+  json_number(out, r.e2e_p95_us);
+  out << ",\"p99_us\":";
+  json_number(out, r.e2e_p99_us);
+  out << ",\"max_us\":";
+  json_number(out, r.e2e_max_us);
+  out << "},\"dominant\":\"" << r.dominant << "\",\"retries\":" << r.retries
+      << ",\"degraded\":" << r.degraded
+      << ",\"pool_exhausted\":" << r.pool_exhausted << ",\"stages\":[";
+  for (std::size_t i = 0; i < r.stages.size(); ++i) {
+    const StageReport& s = r.stages[i];
+    if (i > 0) out << ",";
+    out << "{\"stage\":\"" << s.name << "\",\"count\":" << s.count
+        << ",\"mean_us\":";
+    json_number(out, s.mean_us);
+    out << ",\"p50_us\":";
+    json_number(out, s.p50_us);
+    out << ",\"p95_us\":";
+    json_number(out, s.p95_us);
+    out << ",\"p99_us\":";
+    json_number(out, s.p99_us);
+    out << ",\"max_us\":";
+    json_number(out, s.max_us);
+    out << ",\"total_us\":";
+    json_number(out, s.total_us);
+    out << ",\"share\":";
+    json_number(out, s.share);
+    out << ",\"concurrency\":";
+    json_number(out, s.concurrency);
+    out << "}";
+  }
+  out << "],\"slowest\":[";
+  for (std::size_t i = 0; i < r.slowest.size(); ++i) {
+    const TimelineSnapshot& t = r.slowest[i];
+    if (i > 0) out << ",";
+    out << "{\"seq\":" << t.seq << ",\"op\":\"" << op_class_name(t.op)
+        << "\",\"e2e_us\":";
+    json_number(out, t.e2e_us);
+    out << ",\"retries\":" << t.retries << ",\"degraded\":" << t.degraded
+        << ",\"stamps_us\":[";
+    for (std::size_t j = 0; j < kStageCount; ++j) {
+      if (j > 0) out << ",";
+      json_number(out, t.stamp_us[j]);
+    }
+    out << "]}";
+  }
+  out << "]";
+  if (sampler != nullptr) {
+    out << ",\"sampler\":[";
+    for (std::size_t i = 0; i < sampler->size(); ++i) {
+      const auto& s = (*sampler)[i];
+      if (i > 0) out << ",";
+      out << "{\"name\":\"" << s.name << "\",\"samples\":" << s.samples
+          << ",\"mean\":";
+      json_number(out, s.mean);
+      out << ",\"max\":";
+      json_number(out, s.max);
+      out << ",\"last\":";
+      json_number(out, s.last);
+      out << "}";
+    }
+    out << "]";
+  }
+  out << "}";
+  return out.str();
+}
+
+}  // namespace pio::obs

@@ -1,0 +1,61 @@
+// Bottleneck-attribution report over a ProfileSnapshot: per-stage
+// p50/p95/p99 latency, share of total end-to-end time, Little's-law
+// effective concurrency per stage, and the top-K slowest request
+// timelines — rendered as aligned human text or JSON.
+//
+// Stage shares telescope: each retired request's interval times sum
+// exactly to its end-to-end time, so the shares across stages sum to
+// ~100% and the largest one names the bottleneck.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/reqtrace.hpp"
+#include "obs/sampler.hpp"
+
+namespace pio::obs {
+
+struct StageReport {
+  std::string name;
+  std::size_t count = 0;     ///< requests that spent time in this stage
+  double mean_us = 0.0;
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+  double p99_us = 0.0;
+  double max_us = 0.0;
+  double total_us = 0.0;
+  double share = 0.0;        ///< fraction of summed end-to-end time
+  double concurrency = 0.0;  ///< Little's law: total_us / window_us
+};
+
+struct ProfileReport {
+  std::uint64_t requests = 0;
+  std::uint64_t pool_exhausted = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t degraded = 0;
+  double window_us = 0.0;  ///< first stamp .. last stamp observed
+  double e2e_mean_us = 0.0;
+  double e2e_p50_us = 0.0;
+  double e2e_p95_us = 0.0;
+  double e2e_p99_us = 0.0;
+  double e2e_max_us = 0.0;
+  std::vector<StageReport> stages;  ///< kIntervalCount entries, in order
+  std::string dominant;             ///< stage with the largest share
+  std::vector<TimelineSnapshot> slowest;
+};
+
+ProfileReport build_profile_report(const ProfileSnapshot& snap);
+
+/// Aligned human-readable rendering; sampler summaries appended when given.
+std::string profile_to_text(
+    const ProfileReport& report,
+    const std::vector<UtilizationSampler::SeriesSummary>* sampler = nullptr);
+
+/// Single JSON object (no trailing newline).
+std::string profile_to_json(
+    const ProfileReport& report,
+    const std::vector<UtilizationSampler::SeriesSummary>* sampler = nullptr);
+
+}  // namespace pio::obs

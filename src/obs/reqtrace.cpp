@@ -1,0 +1,213 @@
+#include "obs/reqtrace.hpp"
+
+#include <algorithm>
+
+namespace pio::obs {
+
+namespace {
+
+constexpr std::string_view kStageNames[kStageCount] = {
+    "accepted",     "queued",       "dequeued",    "dispatched",
+    "sched_queued", "device_start", "device_done", "completed",
+};
+
+// Interval i ends at stage i + 1; named for what the request was doing
+// during that gap.
+constexpr std::string_view kIntervalNames[kIntervalCount] = {
+    "admission",   // accepted -> queued
+    "queue_wait",  // queued -> dequeued
+    "dispatch",    // dequeued -> dispatched
+    "plan",        // dispatched -> sched_queued (split/coalesce/marshal)
+    "sched_wait",  // sched_queued -> device_start
+    "device",      // device_start -> device_done
+    "complete",    // device_done -> completed (wakeup/parity finish)
+};
+
+constexpr std::string_view kOpClassNames[kOpClassCount] = {
+    "open",   "close", "read",       "write",       "read_strided",
+    "write_strided", "stat",  "flush", "sched_read", "sched_write",
+};
+
+thread_local RequestTimeline* g_current_timeline = nullptr;
+
+}  // namespace
+
+std::string_view stage_name(Stage s) noexcept {
+  return kStageNames[static_cast<std::size_t>(s)];
+}
+
+std::string_view interval_name(std::size_t i) noexcept {
+  return kIntervalNames[i];
+}
+
+std::string_view op_class_name(OpClass c) noexcept {
+  const auto i = static_cast<std::size_t>(c);
+  return i < kOpClassCount - 1 ? kOpClassNames[i] : "other";
+}
+
+void RequestTimeline::set_first(Stage s, double us) noexcept {
+  auto& slot = stamp_us_[static_cast<std::size_t>(s)];
+  double expected = 0.0;
+  slot.compare_exchange_strong(expected, us, std::memory_order_relaxed,
+                               std::memory_order_relaxed);
+}
+
+void RequestTimeline::set_last(Stage s, double us) noexcept {
+  auto& slot = stamp_us_[static_cast<std::size_t>(s)];
+  double prev = slot.load(std::memory_order_relaxed);
+  while (prev < us && !slot.compare_exchange_weak(prev, us,
+                                                  std::memory_order_relaxed,
+                                                  std::memory_order_relaxed)) {
+  }
+}
+
+void RequestTimeline::arm(OpClass op, std::uint64_t seq) noexcept {
+  for (auto& s : stamp_us_) s.store(0.0, std::memory_order_relaxed);
+  retries_.store(0, std::memory_order_relaxed);
+  degraded_.store(0, std::memory_order_relaxed);
+  op_ = op;
+  seq_ = seq;
+}
+
+Profiler::Profiler(std::size_t capacity, std::size_t top_k)
+    : epoch_(std::chrono::steady_clock::now()), top_k_(top_k) {
+  slots_ = std::vector<RequestTimeline>(capacity);
+  free_.reserve(capacity);
+  for (std::size_t i = capacity; i > 0; --i) {
+    free_.push_back(static_cast<std::uint32_t>(i - 1));
+  }
+  agg_.stages.resize(kIntervalCount);
+}
+
+RequestTimeline* Profiler::acquire(OpClass op) {
+  if (!enabled()) return nullptr;
+  RequestTimeline* t = nullptr;
+  {
+    std::scoped_lock lock(pool_mutex_);
+    if (free_.empty()) {
+      std::scoped_lock stats(stats_mutex_);
+      ++agg_.pool_exhausted;
+      return nullptr;
+    }
+    t = &slots_[free_.back()];
+    free_.pop_back();
+  }
+  t->arm(op, seq_.fetch_add(1, std::memory_order_relaxed));
+  return t;
+}
+
+void Profiler::cancel(RequestTimeline* t) {
+  if (t == nullptr) return;
+  std::scoped_lock lock(pool_mutex_);
+  free_.push_back(static_cast<std::uint32_t>(t - slots_.data()));
+}
+
+void Profiler::retire(RequestTimeline* t) {
+  if (t == nullptr) return;
+
+  TimelineSnapshot snap;
+  for (std::size_t i = 0; i < kStageCount; ++i) {
+    snap.stamp_us[i] = t->stamp(static_cast<Stage>(i));
+  }
+  snap.retries = t->retries();
+  snap.degraded = t->degraded();
+  snap.op = t->op();
+  snap.seq = t->seq();
+
+  // Telescoping interval attribution: walk the stamped stages in order
+  // and charge each gap to the interval ending at the later stage, so
+  // the per-stage totals sum exactly to the end-to-end time even when a
+  // request skips stages (e.g. strided ops bypass the scheduler).
+  std::array<double, kIntervalCount> interval_us{};
+  double first = 0.0;
+  double last = 0.0;
+  double prev = 0.0;
+  for (std::size_t i = 0; i < kStageCount; ++i) {
+    const double s = snap.stamp_us[i];
+    if (s <= 0.0) continue;
+    if (first <= 0.0) {
+      first = s;
+    } else if (i > 0) {
+      interval_us[i - 1] += std::max(0.0, s - prev);
+    }
+    prev = s;
+    last = s;
+  }
+  snap.e2e_us = last > first ? last - first : 0.0;
+
+  {
+    std::scoped_lock lock(stats_mutex_);
+    ++agg_.retired;
+    agg_.retries += snap.retries;
+    agg_.degraded += snap.degraded;
+    ++agg_.per_op[static_cast<std::size_t>(snap.op)];
+    if (first > 0.0) {
+      if (agg_.window_lo_us == 0.0 || first < agg_.window_lo_us) {
+        agg_.window_lo_us = first;
+      }
+      agg_.window_hi_us = std::max(agg_.window_hi_us, last);
+    }
+    agg_.e2e.add(snap.e2e_us);
+    agg_.e2e_hist.add(snap.e2e_us);
+    for (std::size_t i = 0; i < kIntervalCount; ++i) {
+      if (interval_us[i] <= 0.0) continue;
+      auto& st = agg_.stages[i];
+      st.stats.add(interval_us[i]);
+      st.hist.add(interval_us[i]);
+      st.total_us += interval_us[i];
+    }
+    if (agg_.slowest.size() < top_k_ ||
+        snap.e2e_us > agg_.slowest.back().e2e_us) {
+      if (agg_.slowest.size() >= top_k_) agg_.slowest.pop_back();
+      agg_.slowest.push_back(snap);
+      std::sort(agg_.slowest.begin(), agg_.slowest.end(),
+                [](const TimelineSnapshot& a, const TimelineSnapshot& b) {
+                  return a.e2e_us > b.e2e_us;
+                });
+    }
+  }
+
+  std::scoped_lock lock(pool_mutex_);
+  free_.push_back(static_cast<std::uint32_t>(t - slots_.data()));
+}
+
+double Profiler::now_us() const {
+  if (clock_) return clock_();
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+void Profiler::set_clock(Clock clock) { clock_ = std::move(clock); }
+
+void Profiler::reset() {
+  std::scoped_lock lock(stats_mutex_);
+  agg_ = ProfileSnapshot{};
+  agg_.stages.resize(kIntervalCount);
+}
+
+ProfileSnapshot Profiler::snapshot() const {
+  std::scoped_lock lock(stats_mutex_);
+  return agg_;
+}
+
+std::size_t Profiler::in_flight() const {
+  std::scoped_lock lock(pool_mutex_);
+  return slots_.size() - free_.size();
+}
+
+Profiler& Profiler::global() {
+  static Profiler profiler(4096, 8);
+  return profiler;
+}
+
+RequestTimeline* current_timeline() noexcept { return g_current_timeline; }
+
+TimelineScope::TimelineScope(RequestTimeline* t) noexcept
+    : prev_(g_current_timeline) {
+  if (t != nullptr) g_current_timeline = t;
+}
+
+TimelineScope::~TimelineScope() { g_current_timeline = prev_; }
+
+}  // namespace pio::obs

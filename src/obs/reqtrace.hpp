@@ -1,0 +1,246 @@
+// Request-lifecycle profiling: pooled, allocation-free stage timelines.
+//
+// A RequestTimeline records wall-clock stamps at a fixed set of stages as
+// one request moves server queue -> dispatcher -> IoScheduler -> device.
+// The Profiler owns a preallocated pool of timelines and aggregates
+// retired ones into per-stage latency statistics that report.hpp renders
+// as a bottleneck-attribution report.
+//
+// Hot-path contract (mirrors Tracer/MetricsRegistry): when disabled,
+// acquire() is a single relaxed atomic load returning nullptr, and every
+// stamp on a null timeline is a null-pointer check — no lock, no
+// allocation, no clock read.  tests/obs_test.cpp proves both with a
+// counting operator new and an injected counting clock.
+//
+// Threading model: a timeline is carried by pointer inside the request
+// structs (IoServer::Item, IoScheduler::Request).  Layers that cannot see
+// those structs (ResilientArray retry/degraded paths) read the ambient
+// thread-local timeline published by TimelineScope around the service
+// call.  Stamps are relaxed atomics; cross-thread visibility of the final
+// values rides on the same synchronization that publishes request
+// completion (IoBatch/future mutexes), so retire() reads are ordered.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string_view>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace pio::obs {
+
+/// Lifecycle stages, in order.  A request stamps the subset it passes
+/// through; unset stages are skipped and their time is attributed to the
+/// interval ending at the next stamped stage.
+enum class Stage : std::uint8_t {
+  accepted = 0,      ///< admission passed (server submit / scheduler enqueue)
+  queued = 1,        ///< placed on the server request queue
+  dequeued = 2,      ///< popped by a dispatcher thread
+  dispatched = 3,    ///< dispatcher begins executing the operation
+  sched_queued = 4,  ///< first segment enqueued on the IoScheduler
+  device_start = 5,  ///< first device worker begins service
+  device_done = 6,   ///< last device worker finishes service
+  completed = 7,     ///< future resolved / batch completed
+};
+
+inline constexpr std::size_t kStageCount = 8;
+/// Interval i spans the gap ending at stage i + 1.
+inline constexpr std::size_t kIntervalCount = kStageCount - 1;
+
+std::string_view stage_name(Stage s) noexcept;
+std::string_view interval_name(std::size_t i) noexcept;
+
+/// Operation class a timeline is tagged with (obs cannot see the server's
+/// OpType, so callers map into this superset).
+enum class OpClass : std::uint8_t {
+  open = 0,
+  close = 1,
+  read = 2,
+  write = 3,
+  read_strided = 4,
+  write_strided = 5,
+  stat = 6,
+  flush = 7,
+  sched_read = 8,   ///< bare IoScheduler read (no server in front)
+  sched_write = 9,  ///< bare IoScheduler write
+  other = 10,
+};
+inline constexpr std::size_t kOpClassCount = 11;
+
+std::string_view op_class_name(OpClass c) noexcept;
+
+/// One pooled timeline slot.  All mutation is relaxed-atomic so several
+/// device workers can stamp one fanned-out request concurrently.
+class RequestTimeline {
+ public:
+  /// Unconditional stamp (single-writer stages).
+  void set(Stage s, double us) noexcept {
+    stamp_us_[static_cast<std::size_t>(s)].store(us,
+                                                 std::memory_order_relaxed);
+  }
+  /// First writer wins (e.g. device_start across fanned-out segments).
+  void set_first(Stage s, double us) noexcept;
+  /// Last writer wins: keeps the max (e.g. device_done across segments).
+  void set_last(Stage s, double us) noexcept;
+
+  double stamp(Stage s) const noexcept {
+    return stamp_us_[static_cast<std::size_t>(s)].load(
+        std::memory_order_relaxed);
+  }
+
+  /// Reliability sub-stages: counted, not timed (they nest inside the
+  /// device interval).
+  void note_retry(std::uint32_t n = 1) noexcept {
+    retries_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void note_degraded() noexcept {
+    degraded_.fetch_add(1, std::memory_order_relaxed);
+  }
+  std::uint32_t retries() const noexcept {
+    return retries_.load(std::memory_order_relaxed);
+  }
+  std::uint32_t degraded() const noexcept {
+    return degraded_.load(std::memory_order_relaxed);
+  }
+
+  OpClass op() const noexcept { return op_; }
+  std::uint64_t seq() const noexcept { return seq_; }
+
+ private:
+  friend class Profiler;
+  void arm(OpClass op, std::uint64_t seq) noexcept;
+
+  std::array<std::atomic<double>, kStageCount> stamp_us_{};
+  std::atomic<std::uint32_t> retries_{0};
+  std::atomic<std::uint32_t> degraded_{0};
+  OpClass op_ = OpClass::other;
+  std::uint64_t seq_ = 0;
+};
+
+/// Flattened copy of a retired timeline, kept for the top-K slow list.
+struct TimelineSnapshot {
+  std::array<double, kStageCount> stamp_us{};
+  std::uint32_t retries = 0;
+  std::uint32_t degraded = 0;
+  OpClass op = OpClass::other;
+  std::uint64_t seq = 0;
+  double e2e_us = 0.0;
+};
+
+/// Aggregated state copied out for report building.
+struct ProfileSnapshot {
+  // Geometric buckets: stage intervals span sub-microsecond dispatch
+  // hops to second-scale queue waits, so a linear histogram would fold
+  // everything into one bucket and fabricate identical quantiles.
+  struct StageAgg {
+    LogHistogram hist = LogHistogram(0.1, 1.0e7, 160);
+    OnlineStats stats;  ///< per-request interval time, microseconds
+    double total_us = 0.0;
+  };
+
+  std::uint64_t retired = 0;
+  std::uint64_t pool_exhausted = 0;  ///< acquire() failures while enabled
+  std::uint64_t retries = 0;
+  std::uint64_t degraded = 0;
+  double window_lo_us = 0.0;  ///< earliest stamp seen (0 when empty)
+  double window_hi_us = 0.0;  ///< latest stamp seen
+  OnlineStats e2e;
+  LogHistogram e2e_hist = LogHistogram(0.1, 1.0e7, 160);
+  std::vector<StageAgg> stages;  ///< kIntervalCount entries
+  std::array<std::uint64_t, kOpClassCount> per_op{};
+  std::vector<TimelineSnapshot> slowest;  ///< descending end-to-end time
+};
+
+/// Pool + aggregator.  One process-global instance (global()), plus
+/// independent instances for tests.
+class Profiler {
+ public:
+  /// Clock returns monotonic microseconds and must be strictly positive
+  /// (0.0 means "stage not stamped").  Injectable for tests; replace only
+  /// while no traffic is in flight.
+  using Clock = std::function<double()>;
+
+  explicit Profiler(std::size_t capacity = 4096, std::size_t top_k = 8);
+
+  bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+  void set_enabled(bool on) noexcept {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+
+  /// Pool slot, or nullptr when disabled (the zero-cost path) or the pool
+  /// is exhausted (counted in ProfileSnapshot::pool_exhausted).
+  RequestTimeline* acquire(OpClass op);
+  /// Return a slot without folding it into the statistics (rejected
+  /// submits).  Null-safe.
+  void cancel(RequestTimeline* t);
+  /// Fold a finished timeline into the per-stage statistics and return
+  /// the slot to the pool.  Null-safe.
+  void retire(RequestTimeline* t);
+
+  /// Stamp helpers: null timeline = no clock read.
+  void stamp(RequestTimeline* t, Stage s) {
+    if (t != nullptr) t->set(s, now_us());
+  }
+  void stamp_first(RequestTimeline* t, Stage s) {
+    if (t != nullptr) t->set_first(s, now_us());
+  }
+  void stamp_last(RequestTimeline* t, Stage s) {
+    if (t != nullptr) t->set_last(s, now_us());
+  }
+
+  double now_us() const;
+  /// Test hook; pass nullptr to restore the steady_clock default.
+  void set_clock(Clock clock);
+
+  /// Zero the aggregated statistics (in-flight timelines are unaffected
+  /// and still retire into the fresh window).
+  void reset();
+
+  ProfileSnapshot snapshot() const;
+
+  std::size_t capacity() const noexcept { return slots_.size(); }
+  std::size_t in_flight() const;
+
+  /// Process-wide profiler used by the instrumented layers.  Disabled by
+  /// default; tools enable it behind `--profile`.
+  static Profiler& global();
+
+ private:
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::uint64_t> seq_{0};
+
+  mutable std::mutex pool_mutex_;
+  std::vector<RequestTimeline> slots_;
+  std::vector<std::uint32_t> free_;
+
+  mutable std::mutex stats_mutex_;
+  Clock clock_;  // null = steady_clock since epoch_
+  std::chrono::steady_clock::time_point epoch_;
+  ProfileSnapshot agg_;
+  std::size_t top_k_;
+};
+
+/// Ambient timeline for layers that cannot see the request structs
+/// (ResilientArray retry/degraded notes).  Published per-thread by
+/// TimelineScope around the service call.
+RequestTimeline* current_timeline() noexcept;
+
+class TimelineScope {
+ public:
+  explicit TimelineScope(RequestTimeline* t) noexcept;
+  ~TimelineScope();
+  TimelineScope(const TimelineScope&) = delete;
+  TimelineScope& operator=(const TimelineScope&) = delete;
+
+ private:
+  RequestTimeline* prev_;
+};
+
+}  // namespace pio::obs

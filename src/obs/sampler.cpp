@@ -1,0 +1,105 @@
+#include "obs/sampler.hpp"
+
+#include <chrono>
+#include <utility>
+
+#include "obs/trace.hpp"
+
+namespace pio::obs {
+
+namespace {
+// Trace tid for sampler counter tracks; keeps them grouped below the
+// server (800s) and reliability (900s) track ranges.
+constexpr std::uint32_t kSamplerTid = 950;
+}  // namespace
+
+UtilizationSampler::UtilizationSampler(SamplerOptions options)
+    : options_(options) {}
+
+UtilizationSampler::~UtilizationSampler() { stop(); }
+
+void UtilizationSampler::add_series(std::string name,
+                                    std::function<double()> fn) {
+  std::scoped_lock lock(mutex_);
+  Series s;
+  s.track = Tracer::global().intern(name);
+  s.name = std::move(name);
+  s.fn = std::move(fn);
+  s.ring.reserve(options_.capacity);
+  series_.push_back(std::move(s));
+}
+
+void UtilizationSampler::start() {
+  if (thread_.joinable()) return;
+  {
+    std::scoped_lock lock(stop_mutex_);
+    stop_requested_ = false;
+  }
+  thread_ = std::thread([this] { run(); });
+}
+
+void UtilizationSampler::stop() {
+  if (!thread_.joinable()) return;
+  {
+    std::scoped_lock lock(stop_mutex_);
+    stop_requested_ = true;
+  }
+  stop_cv_.notify_all();
+  thread_.join();
+}
+
+void UtilizationSampler::run() {
+  std::unique_lock lock(stop_mutex_);
+  while (!stop_requested_) {
+    lock.unlock();
+    sample_once();
+    lock.lock();
+    stop_cv_.wait_for(lock, std::chrono::microseconds(options_.period_us),
+                      [&] { return stop_requested_; });
+  }
+}
+
+void UtilizationSampler::sample_once() {
+  Tracer& tracer = Tracer::global();
+  const bool trace = options_.trace_counters && tracer.enabled();
+  const double ts = trace ? tracer.wall_now_us() : 0.0;
+  std::scoped_lock lock(mutex_);
+  for (Series& s : series_) {
+    const double v = s.fn();
+    s.last = v;
+    s.stats.add(v);
+    if (s.ring.size() < options_.capacity) {
+      s.ring.push_back(static_cast<float>(v));
+    } else {
+      s.ring[samples_ % options_.capacity] = static_cast<float>(v);
+    }
+    if (trace) {
+      tracer.counter(s.track, kSamplerTid, ts, v, TimeDomain::wall);
+    }
+  }
+  ++samples_;
+}
+
+std::vector<UtilizationSampler::SeriesSummary> UtilizationSampler::summary()
+    const {
+  std::scoped_lock lock(mutex_);
+  std::vector<SeriesSummary> out;
+  out.reserve(series_.size());
+  for (const Series& s : series_) {
+    SeriesSummary sum;
+    sum.name = s.name;
+    sum.samples = s.stats.count();
+    sum.mean = s.stats.mean();
+    sum.max = s.stats.max();
+    sum.last = s.last;
+    out.push_back(std::move(sum));
+  }
+  return out;
+}
+
+std::uint64_t UtilizationSampler::samples_taken() const {
+  std::scoped_lock lock(mutex_);
+  return samples_;
+}
+
+}  // namespace pio::obs

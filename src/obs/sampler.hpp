@@ -1,0 +1,84 @@
+// Background utilization sampler: a single thread periodically polls a
+// set of registered gauge closures (queue depths, dispatcher busy
+// fraction, device-worker utilization, in-flight counts) into bounded,
+// preallocated time series, and mirrors each sample onto a Perfetto
+// counter track when the global Tracer is enabled.
+//
+// Series closures run on the sampler thread and must be safe to call
+// concurrently with the system they observe (read atomics or take the
+// observed component's own locks).  Register every series before
+// start(); the ring storage is preallocated there so sampling never
+// allocates.  stop() joins the thread and must be called before the
+// observed components are destroyed.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace pio::obs {
+
+struct SamplerOptions {
+  std::uint64_t period_us = 5000;  ///< poll interval
+  std::size_t capacity = 4096;     ///< samples retained per series
+  bool trace_counters = true;      ///< mirror onto Tracer counter tracks
+};
+
+class UtilizationSampler {
+ public:
+  explicit UtilizationSampler(SamplerOptions options = {});
+  ~UtilizationSampler();
+  UtilizationSampler(const UtilizationSampler&) = delete;
+  UtilizationSampler& operator=(const UtilizationSampler&) = delete;
+
+  /// Register a series; call before start().
+  void add_series(std::string name, std::function<double()> fn);
+
+  void start();
+  void stop();
+  bool running() const noexcept { return thread_.joinable(); }
+
+  /// Poll every series once (also used directly by tests for
+  /// deterministic sampling without the thread).
+  void sample_once();
+
+  struct SeriesSummary {
+    std::string name;
+    std::size_t samples = 0;
+    double mean = 0.0;
+    double max = 0.0;
+    double last = 0.0;
+  };
+  std::vector<SeriesSummary> summary() const;
+  std::uint64_t samples_taken() const;
+
+ private:
+  struct Series {
+    std::string name;
+    std::function<double()> fn;
+    const char* track = "";      // interned name for Tracer counters
+    std::vector<float> ring;     // preallocated at start()
+    OnlineStats stats;
+    double last = 0.0;
+  };
+
+  void run();
+
+  SamplerOptions options_;
+  mutable std::mutex mutex_;  // guards series_ data and samples_
+  std::vector<Series> series_;
+  std::uint64_t samples_ = 0;
+
+  std::mutex stop_mutex_;
+  std::condition_variable stop_cv_;
+  bool stop_requested_ = false;
+  std::thread thread_;
+};
+
+}  // namespace pio::obs

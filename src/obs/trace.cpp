@@ -4,15 +4,20 @@
 #include <cstdio>
 #include <fstream>
 
+#include "obs/metrics.hpp"
+
 namespace pio::obs {
 
 Tracer::Tracer(std::size_t capacity)
-    : cap_(capacity ? capacity : 1), epoch_(std::chrono::steady_clock::now()) {
+    : cap_(capacity ? capacity : 1),
+      epoch_(std::chrono::steady_clock::now()),
+      dropped_counter_(&MetricsRegistry::global().counter("obs.trace_dropped")) {
   ring_.resize(cap_);
 }
 
 void Tracer::record(const TraceEvent& ev) {
   std::scoped_lock lock(mutex_);
+  if (next_ >= cap_) dropped_counter_->inc();  // overwriting an unread slot
   ring_[static_cast<std::size_t>(next_ % cap_)] = ev;
   ++next_;
 }

@@ -24,6 +24,8 @@
 
 namespace pio::obs {
 
+class Counter;
+
 /// Which clock a timestamp came from; rendered as separate trace pids.
 enum class TimeDomain : std::uint8_t {
   wall = 1,          ///< std::chrono::steady_clock (threaded I/O path)
@@ -105,6 +107,7 @@ class Tracer {
   std::uint64_t next_ = 0;  // total events accepted
   std::deque<std::string> names_;  // interned track names (stable addresses)
   std::chrono::steady_clock::time_point epoch_;
+  Counter* dropped_counter_;  // obs.trace_dropped: ring overwrites
 };
 
 /// RAII wall-clock span: records one complete ('X') event on destruction.

@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "obs/metrics.hpp"
+#include "obs/reqtrace.hpp"
 #include "obs/trace.hpp"
 
 namespace pio {
@@ -66,7 +67,14 @@ RetryOutcome ResilientArray::retried(Fn&& fn) {
   Rng rng = op_rng();
   RetryOutcome out =
       run_with_retry(options_.retry, rng, std::forward<Fn>(fn));
-  if (out.attempts > 1) retries_counter_->inc(out.attempts - 1);
+  if (out.attempts > 1) {
+    retries_counter_->inc(out.attempts - 1);
+    // Attribute the retries to the profiled request being serviced (the
+    // scheduler worker / dispatcher publishes it around the device op).
+    if (obs::RequestTimeline* t = obs::current_timeline()) {
+      t->note_retry(out.attempts - 1);
+    }
+  }
   if (out.transient_errors > 0) transient_counter_->inc(out.transient_errors);
   if (out.deadline_hit) timeouts_counter_->inc();
   return out;
@@ -195,6 +203,7 @@ Status ResilientArray::degraded_read(std::size_t d, const Protection& p,
                                      std::span<std::byte> out) {
   static_cast<void>(d);
   degraded_reads_counter_->inc();
+  if (obs::RequestTimeline* t = obs::current_timeline()) t->note_degraded();
   obs::WallSpan span(obs::Tracer::global(), "resilient.degraded_read",
                      "reliability", kDegradedTid);
   RetryOutcome o =
@@ -232,6 +241,7 @@ Status ResilientArray::degraded_write(std::size_t d, const Protection& p,
   }
   if (!take_degraded) return protected_write(d, p, offset, in);
   degraded_writes_counter_->inc();
+  if (obs::RequestTimeline* t = obs::current_timeline()) t->note_degraded();
   obs::WallSpan span(obs::Tracer::global(), "resilient.degraded_write",
                      "reliability", kDegradedTid);
   if (rb != nullptr) {

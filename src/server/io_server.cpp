@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "obs/metrics.hpp"
+#include "obs/reqtrace.hpp"
 #include "obs/trace.hpp"
 
 namespace pio::server {
@@ -33,6 +34,20 @@ const char* op_span_name(OpType op) noexcept {
 /// A dispatcher blocking forever on a lost scheduler completion would wedge
 /// drain; bound the wait and surface the bookkeeping bug instead.
 constexpr std::chrono::milliseconds kBatchDeadline{60'000};
+
+obs::OpClass op_class(OpType op) noexcept {
+  switch (op) {
+    case OpType::open: return obs::OpClass::open;
+    case OpType::close: return obs::OpClass::close;
+    case OpType::read_records: return obs::OpClass::read;
+    case OpType::write_records: return obs::OpClass::write;
+    case OpType::read_strided: return obs::OpClass::read_strided;
+    case OpType::write_strided: return obs::OpClass::write_strided;
+    case OpType::stat: return obs::OpClass::stat;
+    case OpType::flush: return obs::OpClass::flush;
+  }
+  return obs::OpClass::other;
+}
 
 }  // namespace
 
@@ -108,27 +123,37 @@ Result<Future> IoServer::submit(SessionId session, RequestOp op) {
   if (tracer.enabled() || options_.request_deadline_ms > 0) {
     item.enq_us = tracer.wall_now_us();
   }
+  // Profiling: the timeline rides inside the Item; rejected submits
+  // cancel it (the slot returns unfolded).  Null (and free) when off.
+  obs::Profiler& profiler = obs::Profiler::global();
+  item.timeline = profiler.acquire(op_class(op_type(item.op)));
+  profiler.stamp(item.timeline, obs::Stage::accepted);
   {
     std::scoped_lock lock(mutex_);
     if (state_ != State::accepting) {
       rejected_counter_->inc();
+      profiler.cancel(item.timeline);
       return make_error(Errc::shutting_down, "server draining");
     }
     auto it = sessions_.find(session);
     if (it == sessions_.end()) {
+      profiler.cancel(item.timeline);
       return make_error(Errc::not_found, "unknown session");
     }
     Session& s = it->second;
     if (s.inflight >= options_.max_inflight_per_session) {
       rejected_counter_->inc();
+      profiler.cancel(item.timeline);
       return make_error(Errc::overloaded, "session request limit");
     }
     if (s.inflight_bytes + bytes > options_.max_inflight_bytes_per_session) {
       rejected_counter_->inc();
+      profiler.cancel(item.timeline);
       return make_error(Errc::overloaded, "session byte limit");
     }
     if (queue_.size() >= options_.queue_capacity) {
       rejected_counter_->inc();
+      profiler.cancel(item.timeline);
       return make_error(Errc::overloaded, "server queue full");
     }
     ++s.inflight;
@@ -140,6 +165,7 @@ Result<Future> IoServer::submit(SessionId session, RequestOp op) {
     inflight_bytes_gauge_->add(static_cast<std::int64_t>(bytes));
     Future future;
     future.state_ = item.future;
+    profiler.stamp(item.timeline, obs::Stage::queued);
     queue_.push_back(std::move(item));
     cv_work_.notify_one();
     return future;
@@ -172,6 +198,11 @@ IoServer::State IoServer::state() const {
 std::size_t IoServer::inflight() const {
   std::scoped_lock lock(mutex_);
   return queue_.size() + executing_;
+}
+
+std::size_t IoServer::executing() const {
+  std::scoped_lock lock(mutex_);
+  return executing_;
 }
 
 std::size_t IoServer::session_count() const {
@@ -207,6 +238,8 @@ void IoServer::dispatcher_loop(std::uint32_t tid) {
       ++executing_;
     }
     depth_gauge_->add(-1);
+    obs::Profiler& profiler = obs::Profiler::global();
+    profiler.stamp(item.timeline, obs::Stage::dequeued);
 
     const bool tracing = tracer.enabled();
     Response response;
@@ -220,6 +253,10 @@ void IoServer::dispatcher_loop(std::uint32_t tid) {
       response.status = make_error(
           Errc::timed_out, "request exceeded server queue deadline");
     } else {
+      profiler.stamp(item.timeline, obs::Stage::dispatched);
+      // Ambient scope: the scheduler's enqueue picks the timeline up for
+      // its segments, and reliability sub-layers note retries on it.
+      obs::TimelineScope scope(item.timeline);
       response = execute(item, tid);
     }
     response.id = item.id;
@@ -255,6 +292,8 @@ void IoServer::dispatcher_loop(std::uint32_t tid) {
       item.future->done = true;
     }
     item.future->cv.notify_all();
+    profiler.stamp(item.timeline, obs::Stage::completed);
+    profiler.retire(item.timeline);
   }
 }
 

@@ -45,6 +45,7 @@ namespace pio::obs {
 class Counter;
 class Gauge;
 class LatencyHistogram;
+class RequestTimeline;
 }  // namespace pio::obs
 
 namespace pio::server {
@@ -110,6 +111,13 @@ class IoServer {
   /// Requests accepted but not yet completed (queued + executing).
   std::size_t inflight() const;
 
+  /// Requests currently on a dispatcher (utilization sampling).
+  std::size_t executing() const;
+
+  /// The server's scheduler, for utilization sampling.  Valid while the
+  /// server is running; destroyed by shutdown().
+  IoScheduler& scheduler() noexcept { return *io_; }
+
   std::size_t session_count() const;
 
  private:
@@ -120,6 +128,7 @@ class IoServer {
     std::shared_ptr<Future::State> future;
     std::uint64_t bytes = 0;
     double enq_us = 0.0;  // wall timestamp (tracing or deadlines)
+    obs::RequestTimeline* timeline = nullptr;  // null unless profiling
   };
 
   struct Session {

@@ -77,6 +77,46 @@ double Histogram::quantile(double q) const noexcept {
   return hi_;
 }
 
+LogHistogram::LogHistogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo),
+      hi_(hi),
+      log_lo_(std::log(lo)),
+      log_width_((std::log(hi) - std::log(lo)) / static_cast<double>(buckets)),
+      buckets_(buckets, 0) {
+  assert(lo > 0.0 && hi > lo && buckets > 0);
+}
+
+void LogHistogram::add(double x) noexcept {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+  } else if (x >= hi_) {
+    ++overflow_;
+  } else {
+    auto idx =
+        static_cast<std::size_t>((std::log(x) - log_lo_) / log_width_);
+    if (idx >= buckets_.size()) idx = buckets_.size() - 1;  // fp edge
+    ++buckets_[idx];
+  }
+}
+
+double LogHistogram::quantile(double q) const noexcept {
+  if (total_ == 0) return lo_;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(total_);
+  double acc = static_cast<double>(underflow_);
+  if (target <= acc) return lo_;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    const double in_bucket = static_cast<double>(buckets_[i]);
+    if (acc + in_bucket >= target && in_bucket > 0) {
+      const double frac = (target - acc) / in_bucket;
+      return std::exp(log_lo_ + (static_cast<double>(i) + frac) * log_width_);
+    }
+    acc += in_bucket;
+  }
+  return hi_;
+}
+
 std::string Histogram::render(std::size_t width) const {
   std::size_t peak = 1;
   for (auto c : buckets_) peak = std::max(peak, c);

@@ -56,6 +56,30 @@ class Histogram {
   std::size_t total_ = 0;
 };
 
+/// Geometric-bucket histogram over [lo, hi): bucket edges grow by a
+/// constant ratio, giving uniform *relative* resolution across the whole
+/// range.  Right for latency distributions spanning several decades
+/// (sub-microsecond dispatch hops next to millisecond queue waits),
+/// where a linear histogram collapses everything into its first bucket.
+class LogHistogram {
+ public:
+  LogHistogram(double lo, double hi, std::size_t buckets);
+
+  void add(double x) noexcept;
+  std::size_t count() const noexcept { return total_; }
+
+  /// Approximate quantile q in [0, 1] by geometric interpolation inside
+  /// the containing bucket.  Returns lo/hi bounds for under/overflow mass.
+  double quantile(double q) const noexcept;
+
+ private:
+  double lo_, hi_, log_lo_, log_width_;
+  std::vector<std::size_t> buckets_;
+  std::size_t underflow_ = 0;
+  std::size_t overflow_ = 0;
+  std::size_t total_ = 0;
+};
+
 /// A labelled (x, y) series; experiments accumulate one per curve and the
 /// bench harness prints them as the paper-style table rows.
 struct Series {

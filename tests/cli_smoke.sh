@@ -89,6 +89,16 @@ fi
 "$PARIO" "$DIR" stats | grep -q "device\.disk0.*\.reads"
 "$PARIO" "$DIR" stats --json | grep -q '"device\.disk0.*\.bytes_read"'
 
+# Request-lifecycle profiling: `stats --profile` appends the stage report
+# (empty in a fresh process but present and well-formed), and
+# `serve --profile` produces a populated breakdown with a dominant stage.
+"$PARIO" "$DIR" stats --profile | grep -q "profile: request-lifecycle breakdown"
+PROFILE_OUT=$("$PARIO" "$DIR" serve --clients 2 --ops 8 --profile)
+echo "$PROFILE_OUT" | grep -q "profile: request-lifecycle breakdown"
+echo "$PROFILE_OUT" | grep -q "dominant stage:"
+echo "$PROFILE_OUT" | grep -q "queue_wait"
+echo "$PROFILE_OUT" | grep -q "sampler:"
+
 validate_json() {
   if command -v python3 > /dev/null 2>&1; then
     python3 -m json.tool "$1" > /dev/null

@@ -4,9 +4,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <new>
 #include <sstream>
+#include <thread>
 #include <vector>
 
 #include "buffer/lru_cache.hpp"
@@ -14,6 +16,9 @@
 #include "device/sim_disk.hpp"
 #include "obs/bridge.hpp"
 #include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/reqtrace.hpp"
+#include "obs/sampler.hpp"
 #include "obs/trace.hpp"
 #include "sim/engine.hpp"
 
@@ -109,6 +114,29 @@ TEST(Metrics, ResetZeroesButKeepsPointersValid) {
   EXPECT_EQ(c.value(), 0u);
   c.inc();  // cached pointer still usable after reset
   EXPECT_EQ(registry.counter("c").value(), 1u);
+}
+
+// reset() must clear a histogram's buckets and its moments together, and
+// drop callback gauges, while every cached pointer stays usable — the
+// consistency contract instrumented layers rely on between bench runs.
+TEST(Metrics, ResetClearsHistogramsAndCallbackGauges) {
+  MetricsRegistry registry;
+  obs::LatencyHistogram& h = registry.histogram("lat", 0.0, 100.0, 100);
+  for (int i = 0; i < 50; ++i) h.record(10.0);
+  registry.gauge_callback("cb", [] { return 42.0; });
+  registry.reset();
+
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.max(), 0.0);
+  EXPECT_EQ(h.quantile(0.5), 0.0);  // empty histogram reports its lo bound
+  for (const auto& s : registry.snapshot()) {
+    EXPECT_NE(s.name, "cb") << "callback gauges must not survive reset";
+  }
+
+  h.record(7.0);  // cached pointer still usable, stats and buckets agree
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.mean(), 7.0);
 }
 
 TEST(Metrics, JsonSnapshotIsWellFormed) {
@@ -372,6 +400,234 @@ TEST(Metrics, CounterAndGaugeUpdatesAllocateNothing) {
   }
   const std::uint64_t after = g_allocations.load(std::memory_order_relaxed);
   EXPECT_EQ(after - before, 0u);
+}
+
+// ------------------------------------------------- trace-drop accounting
+
+// Ring overwrites must be visible in the metrics registry (delta-based:
+// the counter is process-global and other tests may drop events too), and
+// the tracer's cached counter pointer must survive a registry reset.
+TEST(Tracer, RingDropsCountedInRegistry) {
+  obs::Counter& dropped =
+      MetricsRegistry::global().counter("obs.trace_dropped");
+  Tracer tracer(4);
+  tracer.set_enabled(true);
+
+  const std::uint64_t before = dropped.value();
+  for (int i = 0; i < 10; ++i) {
+    tracer.instant("ev", "t", 0, static_cast<double>(i));
+  }
+  EXPECT_EQ(dropped.value() - before, 6u);
+  EXPECT_EQ(tracer.dropped(), 6u);
+
+  MetricsRegistry::global().reset();
+  tracer.instant("ev", "t", 0, 11.0);  // ring full: every record now drops
+  EXPECT_EQ(dropped.value(), 1u) << "cached counter must work after reset";
+}
+
+// ------------------------------------------------- request profiling
+
+using obs::OpClass;
+using obs::Profiler;
+using obs::RequestTimeline;
+using obs::Stage;
+
+// The disabled path must be provably free: no allocation AND no clock
+// read, for both acquire() and every stamp helper.
+TEST(Profile, DisabledPathAllocatesNothingAndReadsNoClock) {
+  Profiler profiler(16);
+  std::atomic<std::uint64_t> clock_calls{0};
+  profiler.set_clock([&clock_calls] {
+    clock_calls.fetch_add(1, std::memory_order_relaxed);
+    return 1.0;
+  });
+  ASSERT_FALSE(profiler.enabled());
+
+  const std::uint64_t before = g_allocations.load(std::memory_order_relaxed);
+  for (int i = 0; i < 1000; ++i) {
+    RequestTimeline* t = profiler.acquire(OpClass::read);
+    EXPECT_EQ(t, nullptr);
+    profiler.stamp(t, Stage::accepted);
+    profiler.stamp_first(t, Stage::device_start);
+    profiler.stamp_last(t, Stage::device_done);
+    obs::TimelineScope scope(t);
+    profiler.cancel(t);
+    profiler.retire(t);
+  }
+  const std::uint64_t after = g_allocations.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0u) << "disabled profiling must not allocate";
+  EXPECT_EQ(clock_calls.load(), 0u) << "disabled profiling must not read the clock";
+}
+
+// Telescoping attribution: with every stage stamped, per-interval times
+// must sum exactly to the end-to-end time, and the report's shares to 1.
+TEST(Profile, StageAttributionSumsToEndToEnd) {
+  Profiler profiler(4);
+  profiler.set_enabled(true);
+  RequestTimeline* t = profiler.acquire(OpClass::write);
+  ASSERT_NE(t, nullptr);
+  t->set(Stage::accepted, 100.0);
+  t->set(Stage::queued, 110.0);
+  t->set(Stage::dequeued, 150.0);
+  t->set(Stage::dispatched, 152.0);
+  t->set(Stage::sched_queued, 160.0);
+  t->set(Stage::device_start, 200.0);
+  t->set(Stage::device_done, 380.0);
+  t->set(Stage::completed, 400.0);
+  profiler.retire(t);
+
+  const obs::ProfileSnapshot snap = profiler.snapshot();
+  EXPECT_EQ(snap.retired, 1u);
+  EXPECT_DOUBLE_EQ(snap.e2e.max(), 300.0);
+  double stage_sum = 0.0;
+  for (const auto& st : snap.stages) stage_sum += st.total_us;
+  EXPECT_DOUBLE_EQ(stage_sum, 300.0);
+
+  const obs::ProfileReport report = obs::build_profile_report(snap);
+  double share_sum = 0.0;
+  for (const auto& s : report.stages) share_sum += s.share;
+  EXPECT_NEAR(share_sum, 1.0, 1e-9);
+  EXPECT_EQ(report.dominant, "device");  // 180 of 300 us
+  EXPECT_DOUBLE_EQ(report.window_us, 300.0);
+}
+
+// A bare scheduler op skips the server stages; the gap up to the first
+// stamped stage after the skip is charged to the interval ending there.
+TEST(Profile, SkippedStagesChargeTheNextInterval) {
+  Profiler profiler(4);
+  profiler.set_enabled(true);
+  RequestTimeline* t = profiler.acquire(OpClass::sched_read);
+  ASSERT_NE(t, nullptr);
+  t->set(Stage::accepted, 100.0);
+  t->set(Stage::sched_queued, 120.0);  // queued/dequeued/dispatched unset
+  t->set(Stage::device_start, 130.0);
+  t->set(Stage::device_done, 170.0);
+  t->set(Stage::completed, 180.0);
+  profiler.retire(t);
+
+  const obs::ProfileSnapshot snap = profiler.snapshot();
+  EXPECT_DOUBLE_EQ(snap.stages[3].total_us, 20.0);  // plan <- accepted gap
+  EXPECT_DOUBLE_EQ(snap.stages[4].total_us, 10.0);  // sched_wait
+  EXPECT_DOUBLE_EQ(snap.stages[5].total_us, 40.0);  // device
+  EXPECT_DOUBLE_EQ(snap.stages[6].total_us, 10.0);  // complete
+  EXPECT_DOUBLE_EQ(snap.e2e.max(), 80.0);
+  double stage_sum = 0.0;
+  for (const auto& st : snap.stages) stage_sum += st.total_us;
+  EXPECT_DOUBLE_EQ(stage_sum, 80.0);
+}
+
+TEST(Profile, PoolExhaustionIsCountedAndRecovers) {
+  Profiler profiler(2);
+  profiler.set_enabled(true);
+  RequestTimeline* a = profiler.acquire(OpClass::read);
+  RequestTimeline* b = profiler.acquire(OpClass::read);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(profiler.in_flight(), 2u);
+
+  EXPECT_EQ(profiler.acquire(OpClass::read), nullptr);
+  EXPECT_EQ(profiler.snapshot().pool_exhausted, 1u);
+
+  profiler.cancel(a);  // cancelled slots return without polluting stats
+  RequestTimeline* c = profiler.acquire(OpClass::write);
+  ASSERT_NE(c, nullptr);
+  profiler.retire(c);
+  profiler.retire(b);
+  EXPECT_EQ(profiler.in_flight(), 0u);
+  const obs::ProfileSnapshot snap = profiler.snapshot();
+  EXPECT_EQ(snap.retired, 2u) << "cancel must not count as retired";
+}
+
+// Fan-out stamping: device_start keeps the earliest writer, device_done
+// the latest, so a request spread across workers spans its full service.
+TEST(Profile, FanOutKeepsEarliestStartAndLatestDone) {
+  Profiler profiler(2);
+  profiler.set_enabled(true);
+  RequestTimeline* t = profiler.acquire(OpClass::read);
+  ASSERT_NE(t, nullptr);
+  t->set_first(Stage::device_start, 50.0);
+  t->set_first(Stage::device_start, 30.0);
+  EXPECT_DOUBLE_EQ(t->stamp(Stage::device_start), 50.0);  // first CAS wins
+  t->set_last(Stage::device_done, 70.0);
+  t->set_last(Stage::device_done, 60.0);
+  EXPECT_DOUBLE_EQ(t->stamp(Stage::device_done), 70.0);
+  t->set_last(Stage::device_done, 90.0);
+  EXPECT_DOUBLE_EQ(t->stamp(Stage::device_done), 90.0);
+  t->note_retry(2);
+  t->note_degraded();
+  profiler.retire(t);
+
+  const obs::ProfileSnapshot snap = profiler.snapshot();
+  EXPECT_EQ(snap.retries, 2u);
+  EXPECT_EQ(snap.degraded, 1u);
+}
+
+// Reset starts a fresh aggregation window but leaves in-flight timelines
+// alive; they retire into the new window.
+TEST(Profile, ResetStartsFreshWindow) {
+  Profiler profiler(4);
+  profiler.set_enabled(true);
+  RequestTimeline* a = profiler.acquire(OpClass::read);
+  ASSERT_NE(a, nullptr);
+  a->set(Stage::accepted, 10.0);
+  a->set(Stage::completed, 20.0);
+  profiler.retire(a);
+  EXPECT_EQ(profiler.snapshot().retired, 1u);
+
+  RequestTimeline* b = profiler.acquire(OpClass::read);
+  ASSERT_NE(b, nullptr);
+  profiler.reset();
+  EXPECT_EQ(profiler.snapshot().retired, 0u);
+  b->set(Stage::accepted, 30.0);
+  b->set(Stage::completed, 45.0);
+  profiler.retire(b);
+  const obs::ProfileSnapshot snap = profiler.snapshot();
+  EXPECT_EQ(snap.retired, 1u);
+  EXPECT_DOUBLE_EQ(snap.e2e.max(), 15.0);
+}
+
+// Geometric buckets keep relative resolution across decades — the reason
+// stage quantiles are not all folded into one linear bucket.
+TEST(Stats, LogHistogramResolvesAcrossDecades) {
+  LogHistogram h(0.1, 1.0e7, 160);
+  for (int i = 0; i < 100; ++i) h.add(1.0);
+  for (int i = 0; i < 100; ++i) h.add(1000.0);
+  EXPECT_EQ(h.count(), 200u);
+  EXPECT_NEAR(h.quantile(0.25), 1.0, 0.2);
+  EXPECT_NEAR(h.quantile(0.75), 1000.0, 150.0);
+  EXPECT_EQ(h.quantile(0.0), 0.1);
+
+  LogHistogram empty(0.1, 1.0e7, 160);
+  EXPECT_EQ(empty.quantile(0.5), 0.1);  // empty reports its lo bound
+}
+
+// The sampler thread captures registered series into bounded storage and
+// summarizes them; stop() joins the thread.
+TEST(Sampler, CapturesRegisteredSeries) {
+  obs::SamplerOptions opts;
+  opts.period_us = 500;
+  opts.trace_counters = false;
+  obs::UtilizationSampler sampler(opts);
+  std::atomic<int> value{3};
+  sampler.add_series("test.value",
+                     [&value] { return static_cast<double>(value.load()); });
+  sampler.start();
+  while (sampler.samples_taken() < 3) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  value.store(9);
+  while (sampler.samples_taken() < 6) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  sampler.stop();
+
+  const auto summaries = sampler.summary();
+  ASSERT_EQ(summaries.size(), 1u);
+  EXPECT_EQ(summaries[0].name, "test.value");
+  EXPECT_GE(summaries[0].samples, 6u);
+  EXPECT_DOUBLE_EQ(summaries[0].max, 9.0);
+  EXPECT_DOUBLE_EQ(summaries[0].last, 9.0);
+  EXPECT_GT(summaries[0].mean, 3.0);
 }
 
 }  // namespace

@@ -16,6 +16,8 @@
 #include "core/access_methods.hpp"
 #include "device/ram_disk.hpp"
 #include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/reqtrace.hpp"
 #include "server/client.hpp"
 #include "server/io_server.hpp"
 #include "test_helpers.hpp"
@@ -596,6 +598,112 @@ TEST(Server, IoBatchWaitForTimesOutAndRecovers) {
   auto err = batch.wait_for(1000ms);
   ASSERT_TRUE(err.has_value());
   EXPECT_EQ(err->code(), Errc::media_error);
+}
+
+// ------------------------------------------------------------- profiling
+
+/// Decorator that prices every device operation with a fixed sleep, so a
+/// request's device-stage interval has a known lower bound.
+class LatencyDevice final : public BlockDevice {
+ public:
+  LatencyDevice(std::unique_ptr<BlockDevice> inner,
+                std::chrono::microseconds delay)
+      : inner_(std::move(inner)), delay_(delay) {}
+
+  Status read(std::uint64_t offset, std::span<std::byte> out) override {
+    std::this_thread::sleep_for(delay_);
+    return inner_->read(offset, out);
+  }
+  Status write(std::uint64_t offset, std::span<const std::byte> in) override {
+    std::this_thread::sleep_for(delay_);
+    return inner_->write(offset, in);
+  }
+  Status readv(std::span<const IoVec> iov) override {
+    std::this_thread::sleep_for(delay_);
+    return inner_->readv(iov);
+  }
+  Status writev(std::span<const ConstIoVec> iov) override {
+    std::this_thread::sleep_for(delay_);
+    return inner_->writev(iov);
+  }
+  std::uint64_t capacity() const noexcept override {
+    return inner_->capacity();
+  }
+  const std::string& name() const noexcept override { return inner_->name(); }
+  const DeviceCounters& counters() const noexcept override {
+    return inner_->counters();
+  }
+
+ private:
+  std::unique_ptr<BlockDevice> inner_;
+  std::chrono::microseconds delay_;
+};
+
+// End-to-end check of the request-lifecycle profiler against a priced
+// device: the known per-op sleep must reappear in the device stage (firm
+// lower bound, generous upper bound) and stage shares must telescope to
+// the full end-to-end latency.
+TEST(Server, ProfilerAttributesPricedDeviceLatency) {
+  constexpr auto kDelay = std::chrono::microseconds(2000);
+  DeviceArray devices;
+  for (std::size_t d = 0; d < 4; ++d) {
+    devices.add(std::make_unique<LatencyDevice>(
+        std::make_unique<RamDisk>("ram" + std::to_string(d), 4ull << 20),
+        kDelay));
+  }
+  auto formatted = FileSystem::format(devices);
+  ASSERT_TRUE(formatted.ok()) << formatted.error().to_string();
+  auto fs = std::move(formatted).take();
+
+  obs::Profiler& profiler = obs::Profiler::global();
+  profiler.reset();
+  profiler.set_enabled(true);
+  constexpr std::size_t kOps = 8;
+  {
+    IoServer server(*fs, devices);
+    CreateOptions opts;
+    opts.name = "priced";
+    opts.organization = Organization::sequential;
+    opts.record_bytes = 64;
+    opts.capacity_records = 256;
+    auto created = fs->create(opts);
+    ASSERT_TRUE(created.ok()) << created.error().to_string();
+    Client client = must_connect(server);
+    auto token = client.open("priced");
+    ASSERT_TRUE(token.ok());
+    std::vector<std::byte> buf(8 * 64);
+    for (std::size_t i = 0; i < kOps; ++i) {
+      if (i % 2 == 0) {
+        PIO_ASSERT_OK(client.write_records(*token, i * 8, 8, buf));
+      } else {
+        PIO_ASSERT_OK(client.read_records(*token, (i - 1) * 8, 8, buf));
+      }
+    }
+  }
+  profiler.set_enabled(false);
+
+  const obs::ProfileSnapshot snap = profiler.snapshot();
+  const obs::ProfileReport report = obs::build_profile_report(snap);
+  EXPECT_GE(snap.retired, kOps);
+
+  const obs::StageReport* device = nullptr;
+  for (const auto& s : report.stages) {
+    if (s.name == "device") device = &s;
+  }
+  ASSERT_NE(device, nullptr);
+  EXPECT_EQ(device->count, kOps);  // control ops never stamp device stages
+  // Every data op pays at least one priced sleep inside device service;
+  // the upper bound is generous (sleep overshoot, fan-out serialization).
+  EXPECT_GE(device->p50_us, 2000.0);
+  EXPECT_LT(device->p50_us, 200000.0);
+
+  double share_sum = 0.0;
+  for (const auto& s : report.stages) share_sum += s.share;
+  EXPECT_NEAR(share_sum, 1.0, 1e-9);
+  // With one sequential client and a 2 ms priced device, service time
+  // dominates queueing.
+  EXPECT_EQ(report.dominant, "device");
+  profiler.reset();
 }
 
 }  // namespace

@@ -39,6 +39,9 @@
 #include "device/ram_disk.hpp"
 #include "obs/bridge.hpp"
 #include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/reqtrace.hpp"
+#include "obs/sampler.hpp"
 #include "reliability/resilient_array.hpp"
 #include "server/client.hpp"
 #include "server/io_server.hpp"
@@ -54,7 +57,9 @@ int usage() {
                "usage: pario <dir> <command> [args]\n"
                "  format --devices N --device-mb M\n"
                "  ls | df | stat <name> | rm <name>\n"
-               "  stats [--json]   (per-device I/O counters + cache/metric snapshot)\n"
+               "  stats [--json] [--profile]   (per-device I/O counters +\n"
+               "        cache/metric snapshot; --profile appends the\n"
+               "        request-lifecycle stage report)\n"
                "  create <name> --org S|PS|IS|SS|GDA|PDA --record-bytes B\n"
                "         --capacity N [--partitions P] [--records-per-block R]\n"
                "  import <name> <host-file> | export <name> <host-file>\n"
@@ -64,8 +69,9 @@ int usage() {
                "          [--min-fill F] [--force direct|sieve]\n"
                "  strided write <name> <host-file> (same spec/sieve flags)\n"
                "  serve [--clients C] [--ops N] [--dispatchers K] [--queue Q]\n"
-               "        [--record-bytes B] [--records-per-op R]\n"
-               "        (I/O-server smoke: async client traffic + drain)\n"
+               "        [--record-bytes B] [--records-per-op R] [--profile]\n"
+               "        (I/O-server smoke: async client traffic + drain;\n"
+               "        --profile prints the per-stage bottleneck report)\n"
                "  chaos [--devices N] [--device-kb K] [--ops N] [--kill-op I]\n"
                "        [--seed S]  (in-memory fault-tolerance demo: a scripted\n"
                "        fault kills one parity-protected device mid-workload;\n"
@@ -282,7 +288,7 @@ int cmd_export(FileSystem& fs, const std::string& name,
   return 0;
 }
 
-int cmd_stats(FileSystem& fs, DeviceArray& devices, bool json) {
+int cmd_stats(FileSystem& fs, DeviceArray& devices, bool json, bool profile) {
   // Touch the catalog through every file so the snapshot reflects real
   // data-path activity, then bridge the per-device counters in.
   for (const FileMeta& meta : fs.list()) {
@@ -294,6 +300,17 @@ int cmd_stats(FileSystem& fs, DeviceArray& devices, bool json) {
     std::printf("%s", registry.to_json().c_str());
   } else {
     std::printf("%s", registry.to_text().c_str());
+  }
+  if (profile) {
+    // One-shot invocations accumulate no profiled traffic; the report is
+    // still well-formed (and documents how to get a populated one).
+    const obs::ProfileReport report =
+        obs::build_profile_report(obs::Profiler::global().snapshot());
+    if (json) {
+      std::printf("\n%s\n", obs::profile_to_json(report).c_str());
+    } else {
+      std::printf("%s", obs::profile_to_text(report).c_str());
+    }
   }
   return 0;
 }
@@ -393,7 +410,8 @@ int cmd_strided(FileSystem& fs, const std::string& op, const std::string& name,
 // overloaded->wait-oldest->retry reaction, then drain gracefully and
 // report the server's own counters.  Exit status is non-zero if any
 // request failed or the drain left requests behind.
-int cmd_serve(FileSystem& fs, DeviceArray& devices, const Flags& flags) {
+int cmd_serve(FileSystem& fs, DeviceArray& devices, const Flags& flags,
+              bool profile) {
   const auto clients =
       static_cast<std::size_t>(flags.get_u64("clients", 4));
   const std::uint64_t ops = flags.get_u64("ops", 32);
@@ -423,6 +441,42 @@ int cmd_serve(FileSystem& fs, DeviceArray& devices, const Flags& flags) {
   file->reset();  // hold no token ourselves; clients open by name
 
   server::IoServer io_server(fs, devices, options);
+
+  // --profile: stage timelines plus a background utilization sampler
+  // watching the queue/dispatcher/device levels while traffic runs.
+  obs::Profiler& profiler = obs::Profiler::global();
+  std::unique_ptr<obs::UtilizationSampler> sampler;
+  if (profile) {
+    profiler.reset();
+    profiler.set_enabled(true);
+    obs::SamplerOptions sampler_options;
+    sampler_options.period_us = 2000;
+    sampler = std::make_unique<obs::UtilizationSampler>(sampler_options);
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+    obs::Gauge& server_qd = reg.gauge("server.queue_depth");
+    obs::Gauge& sched_qd = reg.gauge("iosched.queue_depth");
+    server::IoServer* srv = &io_server;
+    const double dispatchers = static_cast<double>(options.dispatchers);
+    const double dev_workers = static_cast<double>(devices.size());
+    sampler->add_series("server.queue_depth", [&server_qd] {
+      return static_cast<double>(server_qd.value());
+    });
+    sampler->add_series("server.inflight", [srv] {
+      return static_cast<double>(srv->inflight());
+    });
+    sampler->add_series("server.dispatcher_busy", [srv, dispatchers] {
+      return static_cast<double>(srv->executing()) / dispatchers;
+    });
+    sampler->add_series("iosched.queue_depth", [&sched_qd] {
+      return static_cast<double>(sched_qd.value());
+    });
+    sampler->add_series("iosched.worker_busy", [srv, dev_workers] {
+      return static_cast<double>(srv->scheduler().busy_workers()) /
+             dev_workers;
+    });
+    sampler->start();
+  }
+
   std::atomic<std::uint64_t> failed{0};
   const auto t0 = std::chrono::steady_clock::now();
   {
@@ -469,6 +523,9 @@ int cmd_serve(FileSystem& fs, DeviceArray& devices, const Flags& flags) {
     }
     for (std::thread& t : threads) t.join();
   }
+  // The sampler reads the server's scheduler; stop it before shutdown()
+  // destroys that scheduler.
+  if (sampler) sampler->stop();
   if (auto st = io_server.shutdown(); !st.ok()) return fail("serve", st.error());
   const double elapsed =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
@@ -490,6 +547,13 @@ int cmd_serve(FileSystem& fs, DeviceArray& devices, const Flags& flags) {
                   registry.counter("server.rejected").value()),
               static_cast<unsigned long long>(
                   registry.counter("server.drained").value()));
+  if (profile) {
+    profiler.set_enabled(false);
+    const auto summaries = sampler->summary();
+    const obs::ProfileReport report =
+        obs::build_profile_report(profiler.snapshot());
+    std::printf("%s", obs::profile_to_text(report, &summaries).c_str());
+  }
   if (auto st = fs.remove(scratch); !st.ok()) {
     return fail("serve: remove scratch", st.error());
   }
@@ -669,6 +733,20 @@ int cmd_chaos(const Flags& flags) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Strip the valueless --profile flag anywhere on the line so the
+  // paired --key value scanner below never sees it.
+  bool profile = false;
+  {
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--profile") == 0) {
+        profile = true;
+        continue;
+      }
+      argv[out++] = argv[i];
+    }
+    argc = out;
+  }
   if (argc < 3) return usage();
   const std::string dir = argv[1];
   const std::string cmd = argv[2];
@@ -690,7 +768,7 @@ int main(int argc, char** argv) {
     for (int i = 3; i < argc; ++i) {
       if (std::strcmp(argv[i], "--json") == 0) json = true;
     }
-    return cmd_stats(**fs, *arr, json);
+    return cmd_stats(**fs, *arr, json, profile);
   }
   if (cmd == "stat" && argc >= 4) return cmd_stat(**fs, argv[3]);
   if (cmd == "rm" && argc >= 4) {
@@ -711,7 +789,7 @@ int main(int argc, char** argv) {
     return cmd_strided(**fs, op, argv[4], host_path,
                        Flags(argc, argv, host_path ? 6 : 5));
   }
-  if (cmd == "serve") return cmd_serve(**fs, *arr, flags);
+  if (cmd == "serve") return cmd_serve(**fs, *arr, flags, profile);
   if (cmd == "import" && argc >= 5) return cmd_import(**fs, argv[3], argv[4]);
   if (cmd == "export" && argc >= 5) return cmd_export(**fs, argv[3], argv[4]);
   if (cmd == "convert" && argc >= 5) return cmd_convert(**fs, argv[3], argv[4]);

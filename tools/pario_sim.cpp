@@ -38,6 +38,8 @@
 #include "device/throttle_device.hpp"
 #include "layout/layout.hpp"
 #include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/reqtrace.hpp"
 #include "obs/trace.hpp"
 #include "reliability/mtbf.hpp"
 #include "sim/channel.hpp"
@@ -108,7 +110,9 @@ int usage() {
                "            --ops M --block-kb B --compute-ms T\n"
                "observability (any experiment):\n"
                "  --trace FILE   export Chrome/Perfetto trace_event JSON\n"
-               "  --metrics      print the metrics registry after the run\n");
+               "  --metrics      print the metrics registry after the run\n"
+               "  --profile      print the request-lifecycle stage report\n"
+               "                 (threaded experiments: iosched, server)\n");
   return 2;
 }
 
@@ -711,6 +715,8 @@ int main(int argc, char** argv) {
   const std::optional<std::string> trace_path = flags.str("trace");
   if (trace_path && trace_path->empty()) return usage();
   if (trace_path) obs::Tracer::global().set_enabled(true);
+  const bool profile = flags.has("profile");
+  if (profile) obs::Profiler::global().set_enabled(true);
 
   int rc;
   if (cmd == "striping") {
@@ -752,6 +758,14 @@ int main(int argc, char** argv) {
   if (flags.has("metrics")) {
     std::printf("\n== metrics ==\n%s",
                 pio::obs::MetricsRegistry::global().to_text().c_str());
+  }
+  if (profile) {
+    obs::Profiler& profiler = obs::Profiler::global();
+    profiler.set_enabled(false);
+    std::printf("\n%s",
+                obs::profile_to_text(
+                    obs::build_profile_report(profiler.snapshot()))
+                    .c_str());
   }
   return rc;
 }
