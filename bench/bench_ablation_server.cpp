@@ -47,7 +47,12 @@ namespace {
 using namespace pio;
 using pio::bench::kTrack;
 
-constexpr std::size_t kDevices = 4;
+// Geometry sized so one client CANNOT saturate the device array: with a
+// window of 2 and 400 us per device op, a lone client sustains ~2 ops /
+// 400 us ≈ 5k ops/s, while 8 devices serve up to 20k ops/s — so aggregate
+// throughput has ~4x headroom to grow as clients are added, and the
+// dispatch engine (not the devices) decides whether it is reached.
+constexpr std::size_t kDevices = 8;
 constexpr double kDeviceOpUs = 400.0;  // positioning + one-track transfer
 constexpr double kComputeUs = 50.0;
 constexpr std::uint32_t kRecordBytes = 4096;
@@ -56,7 +61,8 @@ constexpr std::uint64_t kRecordsPerOp = 6;  // 24 KiB: exactly one track
 /// larger than the in-flight window (no overlapping extents in flight).
 constexpr std::uint64_t kRegionRecords = 171 * kRecordsPerOp;
 constexpr std::size_t kMaxClients = 8;
-constexpr std::size_t kWindow = 8;
+constexpr std::size_t kWindow = 2;
+constexpr std::size_t kDefaultDispatchers = 4;
 
 std::uint64_t ops_per_client() { return pio::bench::quick_flag ? 64 : 256; }
 
@@ -138,14 +144,51 @@ struct Rig {
   }
 };
 
+/// Client-scaling summary: aggregate MB/s per (clients, dispatchers) run,
+/// printed as a table once the process exits so the scaling ratio — the
+/// whole point of the sharded/non-blocking dispatch engine — is visible
+/// without spelunking the JSON.
+struct ScalingRow {
+  std::size_t clients;
+  std::size_t dispatchers;
+  double mb_per_s;
+};
+std::vector<ScalingRow>& scaling_rows() {
+  static std::vector<ScalingRow> rows;
+  return rows;
+}
+void print_scaling_summary() {
+  const auto& rows = scaling_rows();
+  if (rows.empty()) return;
+  double base = 0.0;  // 1-client aggregate at the default dispatcher count
+  for (const ScalingRow& r : rows) {
+    if (r.clients == 1 && base == 0.0) base = r.mb_per_s;
+  }
+  std::printf("\n--- client scaling (aggregate) ---\n");
+  std::printf("%8s %12s %12s %10s\n", "clients", "dispatchers", "MB/s",
+              "vs 1-cli");
+  for (const ScalingRow& r : rows) {
+    std::printf("%8zu %12zu %12.1f %9.2fx\n", r.clients, r.dispatchers,
+                r.mb_per_s, base > 0.0 ? r.mb_per_s / base : 0.0);
+  }
+  std::printf("\n");
+}
+void record_scaling_run(std::size_t clients, std::size_t dispatchers,
+                        double mb_per_s) {
+  if (scaling_rows().empty()) std::atexit(print_scaling_summary);
+  scaling_rows().push_back(ScalingRow{clients, dispatchers, mb_per_s});
+}
+
 /// Accumulated per-run stage breakdowns, rewritten to
 /// BENCH_server_profile.json after every profiled run so the file is
 /// complete whenever the process exits.
-void record_profile_run(std::size_t clients, const std::string& profile_json) {
+void record_profile_run(std::size_t clients, std::size_t dispatchers,
+                        const std::string& profile_json) {
   static std::vector<std::string> runs;
   runs.push_back("{\"name\": \"server_async\", \"clients\": " +
-                 std::to_string(clients) + ", \"profile\": " + profile_json +
-                 "}");
+                 std::to_string(clients) +
+                 ", \"dispatchers\": " + std::to_string(dispatchers) +
+                 ", \"profile\": " + profile_json + "}");
   std::FILE* f = std::fopen("BENCH_server_profile.json", "w");
   if (f == nullptr) return;
   std::fprintf(f,
@@ -194,9 +237,12 @@ void BM_DirectSync(benchmark::State& state) {
 
 void BM_ServerAsync(benchmark::State& state) {
   const auto clients = static_cast<std::size_t>(state.range(0));
+  const std::size_t dispatchers = pio::bench::dispatchers_flag > 0
+                                      ? pio::bench::dispatchers_flag
+                                      : static_cast<std::size_t>(state.range(1));
   Rig rig;
   server::IoServerOptions options;
-  options.dispatchers = kDevices;
+  options.dispatchers = dispatchers;
   options.queue_capacity = 128;
   options.max_inflight_per_session = kWindow;
   server::IoServer io_server(*rig.fs, rig.devices, options);
@@ -215,9 +261,12 @@ void BM_ServerAsync(benchmark::State& state) {
     sampler->add_series("server.inflight", [srv] {
       return static_cast<double>(srv->inflight());
     });
-    sampler->add_series("server.dispatcher_busy", [srv] {
-      return static_cast<double>(srv->executing()) /
-             static_cast<double>(kDevices);
+    sampler->add_series("server.dispatcher_busy", [srv, dispatchers] {
+      return static_cast<double>(srv->busy_dispatchers()) /
+             static_cast<double>(dispatchers);
+    });
+    sampler->add_series("server.queue_depth", [srv] {
+      return static_cast<double>(srv->queue_depth());
     });
     sampler->add_series("iosched.worker_busy", [srv] {
       return static_cast<double>(srv->scheduler().busy_workers()) /
@@ -228,6 +277,7 @@ void BM_ServerAsync(benchmark::State& state) {
 
   std::uint64_t bytes = 0;
   std::atomic<int> errors{0};
+  const auto wall_start = std::chrono::steady_clock::now();
   for (auto _ : state) {
     std::vector<std::thread> threads;
     for (std::size_t c = 0; c < clients; ++c) {
@@ -277,9 +327,19 @@ void BM_ServerAsync(benchmark::State& state) {
     for (std::thread& t : threads) t.join();
     bytes += clients * ops_per_client() * kRecordsPerOp * kRecordBytes;
   }
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
   if (errors.load() != 0) state.SkipWithError("client errors");
   state.SetBytesProcessed(static_cast<std::int64_t>(bytes));
   state.counters["clients"] = static_cast<double>(clients);
+  state.counters["dispatchers"] = static_cast<double>(dispatchers);
+  state.counters["server.steals"] = static_cast<double>(io_server.steals());
+  if (wall_s > 0.0) {
+    record_scaling_run(clients, dispatchers,
+                       static_cast<double>(bytes) / wall_s / 1.0e6);
+  }
   if (pio::bench::profile_flag) {
     sampler->stop();  // reads the scheduler; must precede server teardown
     profiler.set_enabled(false);
@@ -291,7 +351,8 @@ void BM_ServerAsync(benchmark::State& state) {
       state.counters["stage." + s.name + ".p95_us"] = s.p95_us;
     }
     state.counters["profile.e2e_p95_us"] = report.e2e_p95_us;
-    record_profile_run(clients, obs::profile_to_json(report, &summaries));
+    record_profile_run(clients, dispatchers,
+                       obs::profile_to_json(report, &summaries));
     std::printf("%s", obs::profile_to_text(report, &summaries).c_str());
   }
   pio::bench::report_registry(state);
@@ -302,9 +363,19 @@ void BM_ServerAsync(benchmark::State& state) {
 // Real time everywhere: device latency is off-CPU sleep, so CPU-time
 // throughput would flatter the synchronous baseline absurdly.
 BENCHMARK(BM_DirectSync)->UseRealTime();
+// Client scaling at the default dispatcher count, then a dispatcher sweep
+// at full client load: non-blocking dispatch means even few dispatchers
+// keep every device worker fed (`--dispatchers=N` pins the count for all
+// runs instead).
 BENCHMARK(BM_ServerAsync)
-    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
-    ->ArgNames({"clients"})
+    ->Args({1, kDefaultDispatchers})
+    ->Args({2, kDefaultDispatchers})
+    ->Args({4, kDefaultDispatchers})
+    ->Args({8, kDefaultDispatchers})
+    ->Args({8, 1})
+    ->Args({8, 2})
+    ->Args({8, 8})
+    ->ArgNames({"clients", "dispatchers"})
     ->UseRealTime();
 
 PIO_BENCH_MAIN_JSON(

@@ -45,6 +45,11 @@ inline std::string json_flag;
 /// the benchmark counters and a stage-breakdown JSON file.
 inline bool profile_flag = false;
 
+/// `--dispatchers=N` pins the server dispatcher count in
+/// bench_ablation_server, overriding the per-run sweep argument (0 =
+/// follow the sweep).
+inline std::size_t dispatchers_flag = 0;
+
 /// Consume the harness flags from argv (google-benchmark rejects
 /// arguments it does not recognize).
 inline void strip_sched_flags(int& argc, char** argv) {
@@ -64,6 +69,8 @@ inline void strip_sched_flags(int& argc, char** argv) {
       quick_flag = true;
     } else if (arg == "--profile") {
       profile_flag = true;
+    } else if (arg.rfind("--dispatchers=", 0) == 0) {
+      dispatchers_flag = std::strtoull(argv[i] + 14, nullptr, 10);
     } else if (arg.rfind("--json=", 0) == 0) {
       json_flag = std::string(arg.substr(7));
     } else {

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Gate the server stage profile on queue_wait staying a minority share.
+
+Reads the BENCH_server_profile.json written by `bench_ablation_server
+--profile` and asserts that, at the highest client count measured, the
+queue_wait stage accounts for less than THRESHOLD of end-to-end latency.
+
+queue_wait is the time a request spends parked on a dispatcher shard
+between admission and pickup.  With sharded queues and non-blocking
+dispatch it is a few percent even at full client load; if it climbs back
+toward a majority share, dispatch is serializing again (the flat-ceiling
+regression this check exists to catch).
+
+Usage: check_server_profile.py [profile.json] [--threshold=0.5]
+Exits non-zero on violation or malformed input.
+"""
+
+import json
+import sys
+
+THRESHOLD = 0.5
+
+
+def main(argv):
+    path = "BENCH_server_profile.json"
+    threshold = THRESHOLD
+    for arg in argv[1:]:
+        if arg.startswith("--threshold="):
+            threshold = float(arg.split("=", 1)[1])
+        else:
+            path = arg
+
+    with open(path) as f:
+        doc = json.load(f)
+
+    runs = doc.get("runs", [])
+    if not runs:
+        print(f"check_server_profile: no runs in {path}", file=sys.stderr)
+        return 1
+
+    max_clients = max(run.get("clients", 0) for run in runs)
+    checked = 0
+    failed = 0
+    for run in runs:
+        if run.get("clients", 0) != max_clients:
+            continue
+        stages = run.get("profile", {}).get("stages", [])
+        shares = {s.get("stage"): s.get("share", 0.0) for s in stages}
+        if "queue_wait" not in shares:
+            print(
+                f"check_server_profile: run {run.get('name')!r} has no "
+                "queue_wait stage",
+                file=sys.stderr,
+            )
+            return 1
+        share = shares["queue_wait"]
+        label = (
+            f"clients={run.get('clients')} "
+            f"dispatchers={run.get('dispatchers', '?')}"
+        )
+        verdict = "ok" if share < threshold else "FAIL"
+        print(
+            f"  {label}: queue_wait share {share:.3f} "
+            f"(threshold {threshold}) {verdict}"
+        )
+        checked += 1
+        if share >= threshold:
+            failed += 1
+
+    if checked == 0:
+        print(
+            f"check_server_profile: no runs at clients={max_clients}",
+            file=sys.stderr,
+        )
+        return 1
+    if failed:
+        print(
+            f"check_server_profile: {failed}/{checked} runs exceed the "
+            f"queue_wait share threshold — dispatch is serializing again",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"check_server_profile: queue_wait share < {threshold} on all "
+        f"{checked} run(s) at {max_clients} clients"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -385,6 +385,22 @@ Status read_strided_async(IoScheduler& io, ParallelFile& file,
   return ok_status();
 }
 
+Status write_strided_async(IoScheduler& io, ParallelFile& file,
+                           const StridedSpec& spec,
+                           std::span<const std::byte> in, IoBatch& batch) {
+  PIO_TRY(check_spec(file, spec, in.size()));
+  const std::uint64_t group_bytes =
+      spec.block_records * file.meta().record_bytes;
+  for (std::uint64_t k = 0; k < spec.count; ++k) {
+    io.write_records(file, spec.start_record + k * spec.stride_records,
+                     spec.block_records,
+                     in.subspan(static_cast<std::size_t>(k * group_bytes),
+                                static_cast<std::size_t>(group_bytes)),
+                     batch);
+  }
+  return ok_status();
+}
+
 Result<std::uint64_t> collective_read_two_phase(
     IoScheduler& io, ParallelFile& file, std::span<const StridedSpec> specs,
     std::span<const std::span<std::byte>> outs, const SieveOptions& options) {

@@ -125,6 +125,15 @@ Status read_strided_async(IoScheduler& io, ParallelFile& file,
                           const StridedSpec& spec, std::span<std::byte> out,
                           IoBatch& batch);
 
+/// Asynchronous strided write: every group's segments are queued on the
+/// scheduler's per-device workers straight from the caller's buffer (no
+/// staging copy); completion via `batch.wait()`.  Always direct, so hole
+/// records between groups are never touched — this is the server's
+/// zero-copy strided write path when sieving is not chosen.
+Status write_strided_async(IoScheduler& io, ParallelFile& file,
+                           const StridedSpec& spec,
+                           std::span<const std::byte> in, IoBatch& batch);
+
 /// Two-phase collective read: the covering extent of all ranks' strided
 /// views is partitioned into `options.aggregators` contiguous file
 /// domains processed concurrently.  Each aggregator reads its domain in

@@ -14,24 +14,58 @@ void IoBatch::expect(std::size_t n) {
   pending_ += n;
 }
 
-void IoBatch::complete(Status status) {
+void IoBatch::on_complete(CompletionFn fn, void* ctx) {
   std::scoped_lock lock(mutex_);
-  if (pending_ == 0) {
-    // Completion without a matching expect(): clamp instead of wrapping
-    // the counter around (which would deadlock every later wait()), and
-    // surface the bookkeeping bug to the next waiter.
-    if (first_error_.code == Errc::ok) {
-      first_error_ = make_error(Errc::internal,
-                                "IoBatch::complete without matching expect");
+  callback_ = fn;
+  callback_ctx_ = ctx;
+}
+
+void IoBatch::complete(Status status) { complete_n(status, 1); }
+
+void IoBatch::complete_n(Status status, std::size_t n) {
+  CompletionFn fn = nullptr;
+  void* ctx = nullptr;
+  Status fn_status = ok_status();
+  bool notify = false;
+  {
+    std::scoped_lock lock(mutex_);
+    if (n > pending_) {
+      // Completion without a matching expect(): clamp instead of wrapping
+      // the counter around (which would deadlock every later wait()), and
+      // surface the bookkeeping bug to the next waiter.
+      if (first_error_.code == Errc::ok) {
+        first_error_ = make_error(Errc::internal,
+                                  "IoBatch::complete without matching expect");
+      }
+      pending_ = 0;
+      notify = true;
+    } else {
+      pending_ -= n;
+      if (!status.ok() && first_error_.code == Errc::ok) {
+        first_error_ = status.error();
+      }
+      notify = pending_ == 0;
     }
-    cv_.notify_all();
-    return;
+    if (notify && callback_ != nullptr) {
+      fn = callback_;
+      ctx = callback_ctx_;
+      callback_ = nullptr;
+      callback_ctx_ = nullptr;
+      if (first_error_.code != Errc::ok) {
+        fn_status = Status{first_error_};
+        first_error_ = Error{};
+      }
+    }
+    // Notify while STILL holding the lock: the waiter owns this batch and
+    // may destroy it the instant wait() returns, so an after-unlock notify
+    // could touch a dead condition_variable.  (Notify-after-unlock is only
+    // safe for cvs whose owner outlives every notifier, e.g. the server's
+    // wake/drain cvs.)
+    if (notify) cv_.notify_all();
   }
-  --pending_;
-  if (!status.ok() && first_error_.code == Errc::ok) {
-    first_error_ = status.error();
-  }
-  if (pending_ == 0) cv_.notify_all();
+  // The callback runs last and `this` is never touched afterwards — it may
+  // recycle the batch's owner.
+  if (fn != nullptr) fn(ctx, fn_status);
 }
 
 Status IoBatch::wait() {
@@ -176,34 +210,55 @@ void IoScheduler::pick_group_locked(Worker& worker,
   group.push_back(queue[seed]);
   queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(seed));
 
-  // Coalesce: grow the group with same-kind requests abutting either end,
-  // keeping `group` sorted by offset, until nothing abuts or the merged
-  // operation would exceed max_merge_bytes.
+  // Coalesce: grow the group with same-kind requests abutting either end
+  // (or, with merge_gaps, lying strictly beyond an end within the span
+  // budget), keeping `group` sorted by offset, until nothing qualifies or
+  // the merged operation would exceed max_merge_bytes.  Gapped members
+  // are legal because vectored device ops carry per-fragment offsets.
   if (options_.max_merge_bytes > 0) {
     const OpKind kind = group.front().kind;
+    const bool gaps = options_.merge_gaps;
     std::uint64_t start = group.front().offset;
     std::uint64_t end = start + group.front().length;
     bool grew = true;
     while (grew) {
       grew = false;
+      // Prefer the candidate closest to the current span so gapped merges
+      // pack near neighbors first instead of greedily jumping far away.
+      auto best = queue.end();
+      std::uint64_t best_dist = 0;
+      bool best_after = true;
       for (auto it = queue.begin(); it != queue.end(); ++it) {
         if (it->kind != kind) continue;
-        if (it->offset == end &&
-            end - start + it->length <= options_.max_merge_bytes) {
-          end += it->length;
-          group.push_back(*it);
-          queue.erase(it);
-          grew = true;
-          break;
+        const std::uint64_t it_end = it->offset + it->length;
+        if ((gaps ? it->offset >= end : it->offset == end) &&
+            it_end - start <= options_.max_merge_bytes) {
+          const std::uint64_t dist = it->offset - end;
+          if (best == queue.end() || dist < best_dist) {
+            best = it;
+            best_dist = dist;
+            best_after = true;
+          }
+        } else if ((gaps ? it_end <= start : it_end == start) &&
+                   end - it->offset <= options_.max_merge_bytes) {
+          const std::uint64_t dist = start - it_end;
+          if (best == queue.end() || dist < best_dist) {
+            best = it;
+            best_dist = dist;
+            best_after = false;
+          }
         }
-        if (it->offset + it->length == start &&
-            end - it->offset <= options_.max_merge_bytes) {
-          start = it->offset;
-          group.insert(group.begin(), *it);
-          queue.erase(it);
-          grew = true;
-          break;
+      }
+      if (best != queue.end()) {
+        if (best_after) {
+          end = best->offset + best->length;
+          group.push_back(*best);
+        } else {
+          start = best->offset;
+          group.insert(group.begin(), *best);
         }
+        queue.erase(best);
+        grew = true;
       }
     }
   }
@@ -276,13 +331,15 @@ void IoScheduler::worker_loop(Worker& worker) {
         if (now_us - r.enq_us >= limit) {
           timeout_counter_->inc();
           completed_counter_->inc();
-          r.batch->complete(make_error(
-              Errc::timed_out, "request exceeded queue deadline on device " +
-                                   devices_[worker.tid].name()));
           if (r.owns_timeline) {
             profiler.stamp(r.timeline, obs::Stage::completed);
             profiler.retire(r.timeline);
           }
+          // May fire a completion callback that recycles the batch owner;
+          // nothing of `r` is touched afterwards.
+          r.batch->complete(make_error(
+              Errc::timed_out, "request exceeded queue deadline on device " +
+                                   devices_[worker.tid].name()));
         } else {
           group[kept++] = r;
         }
@@ -345,14 +402,35 @@ void IoScheduler::worker_loop(Worker& worker) {
           "iosched", worker.tid, deq_us, done_us - deq_us,
           obs::TimeDomain::wall);
     }
-    // Every member batch observes the group's status; on failure that is
-    // the FIRST error the device reported for the merged operation.
+    // Owned timelines retire BEFORE their batch completes: completion may
+    // fire a callback that recycles downstream state, and retiring first
+    // keeps the stamp/retire pair on this thread unconditionally.
     for (const Request& r : group) {
-      r.batch->complete(status);
       if (r.owns_timeline) {
         profiler.stamp(r.timeline, obs::Stage::completed);
         profiler.retire(r.timeline);
       }
+    }
+    // Every member batch observes the group's status; on failure that is
+    // the FIRST error the device reported for the merged operation.
+    // Members of one group often share a batch (a coalesced multi-segment
+    // request), so fold them into ONE complete_n — one lock acquisition
+    // and at most one wakeup per batch per group instead of per member.
+    for (std::size_t i = 0; i < group.size(); ++i) {
+      IoBatch* b = group[i].batch;
+      bool counted = false;
+      for (std::size_t j = 0; j < i; ++j) {
+        if (group[j].batch == b) {
+          counted = true;
+          break;
+        }
+      }
+      if (counted) continue;
+      std::size_t members = 1;
+      for (std::size_t j = i + 1; j < group.size(); ++j) {
+        if (group[j].batch == b) ++members;
+      }
+      b->complete_n(status, members);
     }
   }
 }

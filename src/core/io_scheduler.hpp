@@ -63,13 +63,38 @@ namespace pio {
 /// Completion join object for a group of asynchronous operations.
 class IoBatch {
  public:
+  /// Completion callback signature: raw function pointer + context so
+  /// arming never allocates (no std::function) on the submit hot path.
+  using CompletionFn = void (*)(void* ctx, Status status);
+
   /// Register `n` more expected completions (called by the scheduler).
   void expect(std::size_t n = 1);
+
+  /// Arm a one-shot completion callback, fired with the batch's first
+  /// error (or ok) on whichever thread drives `pending` to zero — i.e. a
+  /// device worker for scheduler traffic.  Firing consumes the error and
+  /// disarms the callback, leaving the batch reusable.
+  ///
+  /// Lifetime rules (the non-blocking dispatch contract):
+  ///  - Arm BEFORE the first expect() that the callback should observe,
+  ///    and hold the batch open with a submission guard — expect(1) before
+  ///    fan-out, complete(ok) after — so the callback cannot fire while
+  ///    segments are still being enqueued.
+  ///  - The callback may free or recycle the structure that owns the
+  ///    batch: complete()/complete_n() never touch the batch after the
+  ///    callback is invoked.
+  ///  - Do not wait() concurrently with an armed callback; the callback
+  ///    replaces the waiter.
+  void on_complete(CompletionFn fn, void* ctx);
 
   /// Report one completion (called on scheduler workers).  A completion
   /// with nothing pending is a bookkeeping bug: the count clamps at zero
   /// and the next wait() surfaces Errc::internal instead of underflowing.
   void complete(Status status);
+
+  /// Report `n` completions at once: one lock acquisition and at most one
+  /// wakeup for a whole drained group (batched completion wakeups).
+  void complete_n(Status status, std::size_t n);
 
   /// Block until every expected completion arrived; returns ok or the
   /// FIRST error reported.  The batch is reusable after wait().
@@ -90,6 +115,8 @@ class IoBatch {
   std::condition_variable cv_;
   std::size_t pending_ = 0;
   Error first_error_{};
+  CompletionFn callback_ = nullptr;
+  void* callback_ctx_ = nullptr;
 };
 
 /// Disk-queue service order for a scheduler's per-device queues.
@@ -116,6 +143,15 @@ struct IoSchedulerOptions {
   /// Byte ceiling for one coalesced (vectored) device operation; 0
   /// disables coalescing entirely.
   std::uint64_t max_merge_bytes = 0;
+  /// Allow coalescing same-kind requests whose extents do NOT abut, as
+  /// long as the merged operation's total span stays within
+  /// max_merge_bytes.  Every device's readv/writev carries per-fragment
+  /// offsets (FileDisk splits into contiguous preadv/pwritev runs;
+  /// ParityGroup does per-fragment RMW), so gapped vectors are legal and
+  /// only the fragments' own bytes move — this batches positioning for
+  /// strided (hole-y) access patterns, e.g. the server's zero-copy
+  /// strided path.  Ignored when max_merge_bytes == 0.
+  bool merge_gaps = false;
   /// Per-request deadline: a request still queued this many microseconds
   /// after enqueue completes with Errc::timed_out instead of being issued
   /// (bounding queue-delay tail latency when a device stalls or a breaker

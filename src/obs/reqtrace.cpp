@@ -7,8 +7,8 @@ namespace pio::obs {
 namespace {
 
 constexpr std::string_view kStageNames[kStageCount] = {
-    "accepted",     "queued",       "dequeued",    "dispatched",
-    "sched_queued", "device_start", "device_done", "completed",
+    "accepted",     "queued",  "dequeued",     "dispatched",  "sched_queued",
+    "handoff",      "device_start", "device_done", "completed",
 };
 
 // Interval i ends at stage i + 1; named for what the request was doing
@@ -18,7 +18,8 @@ constexpr std::string_view kIntervalNames[kIntervalCount] = {
     "queue_wait",  // queued -> dequeued
     "dispatch",    // dequeued -> dispatched
     "plan",        // dispatched -> sched_queued (split/coalesce/marshal)
-    "sched_wait",  // sched_queued -> device_start
+    "handoff",     // sched_queued -> handoff (dispatcher finishes submit)
+    "sched_wait",  // handoff -> device_start
     "device",      // device_start -> device_done
     "complete",    // device_done -> completed (wakeup/parity finish)
 };

@@ -43,12 +43,13 @@ enum class Stage : std::uint8_t {
   dequeued = 2,      ///< popped by a dispatcher thread
   dispatched = 3,    ///< dispatcher begins executing the operation
   sched_queued = 4,  ///< first segment enqueued on the IoScheduler
-  device_start = 5,  ///< first device worker begins service
-  device_done = 6,   ///< last device worker finishes service
-  completed = 7,     ///< future resolved / batch completed
+  handoff = 5,       ///< dispatcher finished submitting and moved on
+  device_start = 6,  ///< first device worker begins service
+  device_done = 7,   ///< last device worker finishes service
+  completed = 8,     ///< future resolved / batch completed
 };
 
-inline constexpr std::size_t kStageCount = 8;
+inline constexpr std::size_t kStageCount = 9;
 /// Interval i spans the gap ending at stage i + 1.
 inline constexpr std::size_t kIntervalCount = kStageCount - 1;
 

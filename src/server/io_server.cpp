@@ -16,6 +16,10 @@ namespace {
 // device-indexed tids and the buffer layer's 900 block.
 constexpr std::uint32_t kServerTidBase = 800;
 
+/// Items per pool slab: big enough that steady-state traffic touches the
+/// allocator only during warmup, small enough not to bloat tiny servers.
+constexpr std::size_t kItemBlock = 64;
+
 /// Static-lifetime span names, one per op (the tracer never copies names).
 const char* op_span_name(OpType op) noexcept {
   switch (op) {
@@ -30,10 +34,6 @@ const char* op_span_name(OpType op) noexcept {
   }
   return "server.unknown";
 }
-
-/// A dispatcher blocking forever on a lost scheduler completion would wedge
-/// drain; bound the wait and surface the bookkeeping bug instead.
-constexpr std::chrono::milliseconds kBatchDeadline{60'000};
 
 obs::OpClass op_class(OpType op) noexcept {
   switch (op) {
@@ -51,6 +51,21 @@ obs::OpClass op_class(OpType op) noexcept {
 
 }  // namespace
 
+bool IoServer::Shard::push(Item* item) {
+  if (size == ring.size()) return false;
+  ring[(head + size) % ring.size()] = item;
+  ++size;
+  return true;
+}
+
+IoServer::Item* IoServer::Shard::pop_locked() {
+  if (size == 0) return nullptr;
+  Item* item = ring[head];
+  head = (head + 1) % ring.size();
+  --size;
+  return item;
+}
+
 IoServer::IoServer(FileSystem& fs, DeviceArray& devices,
                    IoServerOptions options)
     : fs_(fs), devices_(devices), options_(options) {
@@ -65,6 +80,7 @@ IoServer::IoServer(FileSystem& fs, DeviceArray& devices,
   completed_counter_ = &registry.counter("server.completed");
   drained_counter_ = &registry.counter("server.drained");
   timeout_counter_ = &registry.counter("server.timeouts");
+  stolen_counter_ = &registry.counter("server.stolen");
   depth_gauge_ = &registry.gauge("server.queue_depth");
   inflight_gauge_ = &registry.gauge("server.inflight");
   inflight_bytes_gauge_ = &registry.gauge("server.inflight_bytes");
@@ -74,21 +90,73 @@ IoServer::IoServer(FileSystem& fs, DeviceArray& devices,
         "server." + std::string(op_name(static_cast<OpType>(i))) + ".op_us",
         0.0, 1e6, 200);
   }
+  shards_.reserve(options_.dispatchers);
+  for (std::size_t i = 0; i < options_.dispatchers; ++i) {
+    auto shard = std::make_unique<Shard>();
+    // Each ring holds the full global budget: admission bounds the SUM of
+    // shard depths at queue_capacity, so even total affinity skew onto one
+    // shard cannot overflow it.
+    shard->ring.resize(options_.queue_capacity, nullptr);
+    shard->depth_gauge =
+        &registry.gauge("server.shard" + std::to_string(i) + ".depth");
+    shards_.push_back(std::move(shard));
+  }
   io_ = std::make_unique<IoScheduler>(devices_, options_.scheduler);
   dispatchers_.reserve(options_.dispatchers);
   for (std::size_t i = 0; i < options_.dispatchers; ++i) {
     dispatchers_.emplace_back(
-        [this, tid = kServerTidBase + static_cast<std::uint32_t>(i)] {
-          dispatcher_loop(tid);
-        });
+        [this, idx = static_cast<std::uint32_t>(i)] { dispatcher_loop(idx); });
   }
 }
 
 IoServer::~IoServer() { (void)shutdown(); }
 
+IoServer::Item* IoServer::acquire_item() {
+  std::scoped_lock lock(pool_mutex_);
+  if (free_items_ == nullptr) {
+    auto block = std::make_unique<Item[]>(kItemBlock);
+    for (std::size_t i = 0; i < kItemBlock; ++i) {
+      block[i].next_free = free_items_;
+      free_items_ = &block[i];
+    }
+    item_blocks_.push_back(std::move(block));
+  }
+  Item* item = free_items_;
+  free_items_ = item->next_free;
+  item->next_free = nullptr;
+  return item;
+}
+
+void IoServer::release_item(Item* item) {
+  // Drop owned references before pooling so files/futures do not linger
+  // until the slot's next loan.
+  item->file.reset();
+  item->future.reset();
+  item->op = FlushOp{};  // frees any open/stat string payload
+  item->timeline = nullptr;
+  item->transferred = 0;
+  std::scoped_lock lock(pool_mutex_);
+  item->next_free = free_items_;
+  free_items_ = item;
+}
+
+void IoServer::release_inflight_slot() {
+  // seq_cst on both the counter RMW and the state load: paired with
+  // shutdown()'s seq_cst state store + inflight load, this closes the
+  // store-buffering race where neither side sees the other's write.
+  if (inflight_total_.fetch_sub(1) == 1 &&
+      state_.load() != State::accepting) {
+    // Handshake with shutdown()'s predicate check, then notify outside
+    // the lock.  Only the LAST release gets here — one wakeup per drained
+    // server, not one per request.
+    { std::scoped_lock lock(drain_mutex_); }
+    cv_drain_.notify_all();
+  }
+}
+
 Result<SessionId> IoServer::connect() {
-  std::scoped_lock lock(mutex_);
-  if (state_ != State::accepting) {
+  std::scoped_lock lock(sessions_mutex_);
+  if (state_.load(std::memory_order_acquire) != State::accepting) {
     return make_error(Errc::shutting_down, "server not accepting sessions");
   }
   const SessionId id = next_session_++;
@@ -98,7 +166,7 @@ Result<SessionId> IoServer::connect() {
 }
 
 Status IoServer::disconnect(SessionId session) {
-  std::scoped_lock lock(mutex_);
+  std::scoped_lock lock(sessions_mutex_);
   auto it = sessions_.find(session);
   if (it == sessions_.end()) {
     return make_error(Errc::not_found, "unknown session");
@@ -114,73 +182,122 @@ Status IoServer::disconnect(SessionId session) {
 
 Result<Future> IoServer::submit(SessionId session, RequestOp op) {
   const std::uint64_t bytes = op_payload_bytes(op);
-  Item item;
-  item.session = session;
-  item.op = std::move(op);
-  item.bytes = bytes;
-  item.future = std::make_shared<Future::State>();
   obs::Tracer& tracer = obs::Tracer::global();
+  double enq_us = 0.0;
   if (tracer.enabled() || options_.request_deadline_ms > 0) {
-    item.enq_us = tracer.wall_now_us();
+    enq_us = tracer.wall_now_us();
   }
   // Profiling: the timeline rides inside the Item; rejected submits
   // cancel it (the slot returns unfolded).  Null (and free) when off.
   obs::Profiler& profiler = obs::Profiler::global();
-  item.timeline = profiler.acquire(op_class(op_type(item.op)));
-  profiler.stamp(item.timeline, obs::Stage::accepted);
+  obs::RequestTimeline* timeline = profiler.acquire(op_class(op_type(op)));
+  profiler.stamp(timeline, obs::Stage::accepted);
+
+  // Reserve an inflight slot FIRST, then check the drain state: either
+  // shutdown() observes our reservation and waits for this request, or we
+  // observe draining and roll back — an accepted request can never slip
+  // past a drain that already saw zero inflight.
+  inflight_total_.fetch_add(1);
+  if (state_.load() != State::accepting) {
+    release_inflight_slot();
+    rejected_counter_->inc();
+    profiler.cancel(timeline);
+    return make_error(Errc::shutting_down, "server draining");
+  }
+  // Global queued budget, on an atomic — admission never touches a shard
+  // lock a dispatcher might hold.
+  if (queued_total_.fetch_add(1) >= options_.queue_capacity) {
+    queued_total_.fetch_sub(1);
+    release_inflight_slot();
+    rejected_counter_->inc();
+    profiler.cancel(timeline);
+    return make_error(Errc::overloaded, "server queue full");
+  }
   {
-    std::scoped_lock lock(mutex_);
-    if (state_ != State::accepting) {
-      rejected_counter_->inc();
-      profiler.cancel(item.timeline);
-      return make_error(Errc::shutting_down, "server draining");
-    }
+    std::scoped_lock lock(sessions_mutex_);
     auto it = sessions_.find(session);
     if (it == sessions_.end()) {
-      profiler.cancel(item.timeline);
+      queued_total_.fetch_sub(1);
+      release_inflight_slot();
+      profiler.cancel(timeline);
       return make_error(Errc::not_found, "unknown session");
     }
     Session& s = it->second;
     if (s.inflight >= options_.max_inflight_per_session) {
+      queued_total_.fetch_sub(1);
+      release_inflight_slot();
       rejected_counter_->inc();
-      profiler.cancel(item.timeline);
+      profiler.cancel(timeline);
       return make_error(Errc::overloaded, "session request limit");
     }
     if (s.inflight_bytes + bytes > options_.max_inflight_bytes_per_session) {
+      queued_total_.fetch_sub(1);
+      release_inflight_slot();
       rejected_counter_->inc();
-      profiler.cancel(item.timeline);
+      profiler.cancel(timeline);
       return make_error(Errc::overloaded, "session byte limit");
-    }
-    if (queue_.size() >= options_.queue_capacity) {
-      rejected_counter_->inc();
-      profiler.cancel(item.timeline);
-      return make_error(Errc::overloaded, "server queue full");
     }
     ++s.inflight;
     s.inflight_bytes += bytes;
-    item.id = next_request_++;
-    accepted_counter_->inc();
-    depth_gauge_->add(1);
-    inflight_gauge_->add(1);
-    inflight_bytes_gauge_->add(static_cast<std::int64_t>(bytes));
-    Future future;
-    future.state_ = item.future;
-    profiler.stamp(item.timeline, obs::Stage::queued);
-    queue_.push_back(std::move(item));
-    cv_work_.notify_one();
-    return future;
   }
+
+  Item* item = acquire_item();
+  item->session = session;
+  item->id = next_request_.fetch_add(1, std::memory_order_relaxed);
+  item->op = std::move(op);
+  item->future = std::make_shared<Future::State>();
+  item->bytes = bytes;
+  item->enq_us = enq_us;
+  item->timeline = timeline;
+  item->server = this;
+  item->transferred = 0;
+
+  Future future;
+  future.state_ = item->future;
+
+  accepted_counter_->inc();
+  depth_gauge_->add(1);
+  inflight_gauge_->add(1);
+  inflight_bytes_gauge_->add(static_cast<std::int64_t>(bytes));
+  profiler.stamp(timeline, obs::Stage::queued);
+
+  const std::size_t shard_index =
+      options_.shard_policy == ShardPolicy::affinity
+          ? static_cast<std::size_t>(session) % shards_.size()
+          : rr_next_.fetch_add(1, std::memory_order_relaxed) % shards_.size();
+  Shard& shard = *shards_[shard_index];
+  {
+    std::scoped_lock lock(shard.mutex);
+    const bool pushed = shard.push(item);
+    // The ring holds queue_capacity entries and admission bounds the sum
+    // of shard depths at queue_capacity, so a full ring is unreachable.
+    assert(pushed);
+    (void)pushed;
+  }
+  shard.depth_gauge->add(1);
+
+  // Wake one dispatcher AFTER every lock is released (hurry-up-and-wait
+  // otherwise).  The empty wake_mutex_ critical section pairs with the
+  // dispatcher's re-scan-then-wait under the same mutex: either the
+  // re-scan sees our push, or our notify reaches its wait.
+  { std::scoped_lock lock(wake_mutex_); }
+  cv_work_.notify_one();
+  return future;
 }
 
 Status IoServer::shutdown() {
-  {
-    std::unique_lock lock(mutex_);
-    if (state_ == State::stopped) return ok_status();
-    state_ = State::draining;
-    cv_drain_.wait(lock, [&] { return queue_.empty() && executing_ == 0; });
-    state_ = State::stopped;
-    stop_workers_ = true;
+  std::scoped_lock lifecycle(lifecycle_mutex_);
+  if (state_.load(std::memory_order_acquire) == State::stopped) {
+    return ok_status();
   }
+  state_.store(State::draining);
+  {
+    std::unique_lock lock(drain_mutex_);
+    cv_drain_.wait(lock, [&] { return inflight_total_.load() == 0; });
+  }
+  state_.store(State::stopped, std::memory_order_release);
+  stop_workers_.store(true, std::memory_order_release);
+  { std::scoped_lock lock(wake_mutex_); }
   cv_work_.notify_all();
   for (std::thread& t : dispatchers_) {
     if (t.joinable()) t.join();
@@ -190,29 +307,14 @@ Status IoServer::shutdown() {
   return ok_status();
 }
 
-IoServer::State IoServer::state() const {
-  std::scoped_lock lock(mutex_);
-  return state_;
-}
-
-std::size_t IoServer::inflight() const {
-  std::scoped_lock lock(mutex_);
-  return queue_.size() + executing_;
-}
-
-std::size_t IoServer::executing() const {
-  std::scoped_lock lock(mutex_);
-  return executing_;
-}
-
 std::size_t IoServer::session_count() const {
-  std::scoped_lock lock(mutex_);
+  std::scoped_lock lock(sessions_mutex_);
   return sessions_.size();
 }
 
 Result<std::shared_ptr<ParallelFile>> IoServer::lookup(SessionId session,
                                                        FileToken token) {
-  std::scoped_lock lock(mutex_);
+  std::scoped_lock lock(sessions_mutex_);
   auto it = sessions_.find(session);
   if (it == sessions_.end()) {
     return make_error(Errc::not_found, "unknown session");
@@ -225,93 +327,122 @@ Result<std::shared_ptr<ParallelFile>> IoServer::lookup(SessionId session,
   return ft->second;
 }
 
-void IoServer::dispatcher_loop(std::uint32_t tid) {
-  obs::Tracer& tracer = obs::Tracer::global();
-  for (;;) {
-    Item item;
-    {
-      std::unique_lock lock(mutex_);
-      cv_work_.wait(lock, [&] { return !queue_.empty() || stop_workers_; });
-      if (queue_.empty()) return;  // stopped with a drained queue
-      item = std::move(queue_.front());
-      queue_.pop_front();
-      ++executing_;
-    }
-    depth_gauge_->add(-1);
-    obs::Profiler& profiler = obs::Profiler::global();
-    profiler.stamp(item.timeline, obs::Stage::dequeued);
-
-    const bool tracing = tracer.enabled();
-    Response response;
-    if (options_.request_deadline_ms > 0 &&
-        tracer.wall_now_us() - item.enq_us >=
-            static_cast<double>(options_.request_deadline_ms) * 1000.0) {
-      // Expired in the queue: resolve without touching the data path, so a
-      // backed-up server sheds stale work instead of serving it late.
-      timeout_counter_->inc();
-      response.op = op_type(item.op);
-      response.status = make_error(
-          Errc::timed_out, "request exceeded server queue deadline");
+IoServer::Item* IoServer::pop_or_steal(std::size_t home, bool blocking) {
+  const std::size_t n = shards_.size();
+  for (std::size_t k = 0; k < n; ++k) {
+    Shard& shard = *shards_[(home + k) % n];
+    Item* item = nullptr;
+    if (k == 0 || blocking) {
+      std::scoped_lock lock(shard.mutex);
+      item = shard.pop_locked();
     } else {
-      profiler.stamp(item.timeline, obs::Stage::dispatched);
-      // Ambient scope: the scheduler's enqueue picks the timeline up for
-      // its segments, and reliability sub-layers note retries on it.
-      obs::TimelineScope scope(item.timeline);
-      response = execute(item, tid);
+      // Steal scan: a held lock means that shard's owner is active on it
+      // right now — skip instead of queueing behind it.
+      std::unique_lock lock(shard.mutex, std::try_to_lock);
+      if (lock.owns_lock()) item = shard.pop_locked();
     }
-    response.id = item.id;
-    if (tracing) {
-      const double done_us = tracer.wall_now_us();
-      tracer.complete(op_span_name(response.op), "server", tid, item.enq_us,
-                      done_us - item.enq_us, obs::TimeDomain::wall);
-      op_hist_[static_cast<std::size_t>(response.op)]->record(done_us -
-                                                              item.enq_us);
-    }
-
-    // Release accounting BEFORE resolving the future: a client that
-    // observes completion may immediately submit without a spurious
-    // overloaded rejection.
-    {
-      std::scoped_lock lock(mutex_);
-      --executing_;
-      auto it = sessions_.find(item.session);
-      if (it != sessions_.end()) {
-        assert(it->second.inflight > 0);
-        --it->second.inflight;
-        it->second.inflight_bytes -= item.bytes;
+    if (item != nullptr) {
+      queued_total_.fetch_sub(1);
+      depth_gauge_->add(-1);
+      shard.depth_gauge->add(-1);
+      if (k != 0) {
+        steals_.fetch_add(1, std::memory_order_relaxed);
+        stolen_counter_->inc();
       }
-      completed_counter_->inc();
-      if (state_ == State::draining) drained_counter_->inc();
-      inflight_gauge_->add(-1);
-      inflight_bytes_gauge_->add(-static_cast<std::int64_t>(item.bytes));
-      if (queue_.empty() && executing_ == 0) cv_drain_.notify_all();
+      return item;
     }
-    {
-      std::scoped_lock flock(item.future->mutex);
-      item.future->response = std::move(response);
-      item.future->done = true;
+  }
+  return nullptr;
+}
+
+void IoServer::dispatcher_loop(std::uint32_t index) {
+  const std::uint32_t tid = kServerTidBase + index;
+  for (;;) {
+    Item* item = pop_or_steal(index, /*blocking=*/false);
+    if (item == nullptr) {
+      std::unique_lock lock(wake_mutex_);
+      // Re-scan with blocking shard locks while holding wake_mutex_: any
+      // producer that pushed after this scan must pass through
+      // wake_mutex_ before notifying, so its wakeup cannot be lost.
+      item = pop_or_steal(index, /*blocking=*/true);
+      if (item == nullptr) {
+        if (stop_workers_.load(std::memory_order_acquire)) return;
+        cv_work_.wait(lock);
+        continue;
+      }
+      lock.unlock();
     }
-    item.future->cv.notify_all();
-    profiler.stamp(item.timeline, obs::Stage::completed);
-    profiler.retire(item.timeline);
+    busy_dispatchers_.fetch_add(1, std::memory_order_relaxed);
+    process(item, tid);
+    busy_dispatchers_.fetch_sub(1, std::memory_order_relaxed);
   }
 }
 
-Response IoServer::execute(Item& item, std::uint32_t tid) {
-  (void)tid;
-  Response resp;
-  resp.op = op_type(item.op);
+void IoServer::process(Item* item, std::uint32_t tid) {
+  executing_.fetch_add(1, std::memory_order_relaxed);
+  item->dispatch_tid = tid;
+  obs::Profiler& profiler = obs::Profiler::global();
+  profiler.stamp(item->timeline, obs::Stage::dequeued);
 
+  Response resp;
+  resp.op = op_type(item->op);
+  if (options_.request_deadline_ms > 0 &&
+      obs::Tracer::global().wall_now_us() - item->enq_us >=
+          static_cast<double>(options_.request_deadline_ms) * 1000.0) {
+    // Expired in the queue: resolve without touching the data path, so a
+    // backed-up server sheds stale work instead of serving it late.
+    timeout_counter_->inc();
+    resp.status =
+        make_error(Errc::timed_out, "request exceeded server queue deadline");
+    finish(item, std::move(resp));
+    return;
+  }
+
+  profiler.stamp(item->timeline, obs::Stage::dispatched);
+  bool async = false;
+  {
+    // Ambient scope: the scheduler's enqueue picks the timeline up for
+    // its segments, and reliability sub-layers note retries on it.
+    obs::TimelineScope scope(item->timeline);
+    async = execute(item, resp);
+  }
+  if (!async) finish(item, std::move(resp));
+}
+
+void IoServer::on_batch_complete(void* ctx, Status status) {
+  Item* item = static_cast<Item*>(ctx);
+  Response resp;
+  resp.op = op_type(item->op);
+  resp.status = std::move(status);
+  if (resp.status.ok()) resp.transferred = item->transferred;
+  item->server->finish(item, std::move(resp));
+}
+
+template <typename EnqueueFn>
+void IoServer::go_async(Item* item, EnqueueFn&& enqueue_fn) {
+  // Submission hold: expect(1) before fan-out so the callback cannot fire
+  // (and recycle the item) while segments are still being enqueued; the
+  // trailing complete() releases the hold with the planning status.
+  item->batch.on_complete(&IoServer::on_batch_complete, item);
+  item->batch.expect(1);
+  Status st = enqueue_fn();
+  // Stamp BEFORE the hold release: afterwards the callback may already
+  // have retired the timeline.
+  obs::Profiler::global().stamp(item->timeline, obs::Stage::handoff);
+  item->batch.complete(std::move(st));
+}
+
+bool IoServer::execute(Item* item, Response& resp) {
   switch (resp.op) {
     case OpType::open: {
-      auto& op = std::get<OpenOp>(item.op);
+      auto& op = std::get<OpenOp>(item->op);
       auto file = fs_.open(op.name);
       if (!file.ok()) {
         resp.status = Error(file.error());
         break;
       }
-      std::scoped_lock lock(mutex_);
-      auto it = sessions_.find(item.session);
+      std::scoped_lock lock(sessions_mutex_);
+      auto it = sessions_.find(item->session);
       if (it == sessions_.end()) {
         resp.status = make_error(Errc::not_found, "session disconnected");
         break;
@@ -322,9 +453,9 @@ Response IoServer::execute(Item& item, std::uint32_t tid) {
       break;
     }
     case OpType::close: {
-      auto& op = std::get<CloseOp>(item.op);
-      std::scoped_lock lock(mutex_);
-      auto it = sessions_.find(item.session);
+      auto& op = std::get<CloseOp>(item->op);
+      std::scoped_lock lock(sessions_mutex_);
+      auto it = sessions_.find(item->session);
       if (it == sessions_.end()) {
         resp.status = make_error(Errc::not_found, "session disconnected");
         break;
@@ -335,74 +466,109 @@ Response IoServer::execute(Item& item, std::uint32_t tid) {
       break;
     }
     case OpType::read_records: {
-      auto& op = std::get<ReadRecordsOp>(item.op);
-      auto file = lookup(item.session, op.file);
+      auto& op = std::get<ReadRecordsOp>(item->op);
+      auto file = lookup(item->session, op.file);
       if (!file.ok()) {
         resp.status = Error(file.error());
         break;
       }
-      const std::uint64_t bytes =
-          op.count * (*file)->meta().record_bytes;
+      const std::uint64_t bytes = op.count * (*file)->meta().record_bytes;
       if (op.out.size() < bytes) {
         resp.status = make_error(Errc::invalid_argument, "read span too small");
         break;
       }
-      IoBatch batch;
-      io_->read_records(**file, op.first, op.count, op.out, batch);
-      auto st = batch.wait_for(kBatchDeadline);
-      resp.status = st ? std::move(*st)
-                       : Status{make_error(Errc::internal,
-                                           "lost scheduler completion")};
-      if (resp.status.ok()) resp.transferred = op.count;
-      break;
+      // Zero-copy async: segments carry the client's span straight to the
+      // devices; the worker that completes the last one resolves the
+      // Future.  The item pins the file until then.
+      item->file = std::move(*file);
+      item->transferred = op.count;
+      go_async(item, [&] {
+        io_->read_records(*item->file, op.first, op.count, op.out,
+                          item->batch);
+        return ok_status();
+      });
+      return true;
     }
     case OpType::write_records: {
-      auto& op = std::get<WriteRecordsOp>(item.op);
-      auto file = lookup(item.session, op.file);
+      auto& op = std::get<WriteRecordsOp>(item->op);
+      auto file = lookup(item->session, op.file);
       if (!file.ok()) {
         resp.status = Error(file.error());
         break;
       }
-      const std::uint64_t bytes =
-          op.count * (*file)->meta().record_bytes;
+      const std::uint64_t bytes = op.count * (*file)->meta().record_bytes;
       if (op.in.size() < bytes) {
         resp.status =
             make_error(Errc::invalid_argument, "write span too small");
         break;
       }
-      IoBatch batch;
-      io_->write_records(**file, op.first, op.count, op.in, batch);
-      auto st = batch.wait_for(kBatchDeadline);
-      resp.status = st ? std::move(*st)
-                       : Status{make_error(Errc::internal,
-                                           "lost scheduler completion")};
-      if (resp.status.ok()) resp.transferred = op.count;
-      break;
+      item->file = std::move(*file);
+      item->transferred = op.count;
+      go_async(item, [&] {
+        io_->write_records(*item->file, op.first, op.count, op.in,
+                           item->batch);
+        return ok_status();
+      });
+      return true;
     }
     case OpType::read_strided: {
-      auto& op = std::get<ReadStridedOp>(item.op);
-      auto file = lookup(item.session, op.file);
+      auto& op = std::get<ReadStridedOp>(item->op);
+      auto file = lookup(item->session, op.file);
       if (!file.ok()) {
         resp.status = Error(file.error());
         break;
       }
-      resp.status = read_strided(**file, op.spec, op.out, options_.sieve);
-      if (resp.status.ok()) resp.transferred = op.spec.total_records();
-      break;
+      const bool sieve =
+          options_.sieve.path == SievePath::sieve ||
+          (options_.sieve.path == SievePath::auto_select &&
+           sieve_chosen(op.spec, (*file)->meta().record_bytes,
+                        options_.sieve));
+      if (sieve) {
+        // Staging path: chunked covering-extent read + in-memory scatter,
+        // synchronous on this dispatcher (the sieve buffer is its own).
+        resp.status = read_strided(**file, op.spec, op.out, options_.sieve);
+        if (resp.status.ok()) resp.transferred = op.spec.total_records();
+        break;
+      }
+      // Covering extents allow the direct path: the client's iovecs ride
+      // through planning to the devices' vectored readv — no staging.
+      item->file = std::move(*file);
+      item->transferred = op.spec.total_records();
+      go_async(item, [&] {
+        return read_strided_async(*io_, *item->file, op.spec, op.out,
+                                  item->batch);
+      });
+      return true;
     }
     case OpType::write_strided: {
-      auto& op = std::get<WriteStridedOp>(item.op);
-      auto file = lookup(item.session, op.file);
+      auto& op = std::get<WriteStridedOp>(item->op);
+      auto file = lookup(item->session, op.file);
       if (!file.ok()) {
         resp.status = Error(file.error());
         break;
       }
-      resp.status = write_strided(**file, op.spec, op.in, options_.sieve);
-      if (resp.status.ok()) resp.transferred = op.spec.total_records();
-      break;
+      const bool sieve =
+          options_.sieve.path == SievePath::sieve ||
+          (options_.sieve.path == SievePath::auto_select &&
+           sieve_chosen(op.spec, (*file)->meta().record_bytes,
+                        options_.sieve));
+      if (sieve) {
+        // Hole-preserving read-modify-write: the one case that still
+        // stages, synchronous on this dispatcher.
+        resp.status = write_strided(**file, op.spec, op.in, options_.sieve);
+        if (resp.status.ok()) resp.transferred = op.spec.total_records();
+        break;
+      }
+      item->file = std::move(*file);
+      item->transferred = op.spec.total_records();
+      go_async(item, [&] {
+        return write_strided_async(*io_, *item->file, op.spec, op.in,
+                                   item->batch);
+      });
+      return true;
     }
     case OpType::stat: {
-      auto& op = std::get<StatOp>(item.op);
+      auto& op = std::get<StatOp>(item->op);
       auto meta = fs_.stat(op.name);
       if (meta) {
         resp.meta = std::move(*meta);
@@ -416,7 +582,57 @@ Response IoServer::execute(Item& item, std::uint32_t tid) {
       break;
     }
   }
-  return resp;
+  return false;
+}
+
+void IoServer::finish(Item* item, Response&& resp) {
+  resp.id = item->id;
+  obs::Tracer& tracer = obs::Tracer::global();
+  if (tracer.enabled() && item->enq_us > 0.0) {
+    const double done_us = tracer.wall_now_us();
+    tracer.complete(op_span_name(resp.op), "server", item->dispatch_tid,
+                    item->enq_us, done_us - item->enq_us,
+                    obs::TimeDomain::wall);
+    op_hist_[static_cast<std::size_t>(resp.op)]->record(done_us -
+                                                        item->enq_us);
+  }
+
+  // Release accounting BEFORE resolving the future: a client that
+  // observes completion may immediately submit without a spurious
+  // overloaded rejection.
+  {
+    std::scoped_lock lock(sessions_mutex_);
+    auto it = sessions_.find(item->session);
+    if (it != sessions_.end()) {
+      assert(it->second.inflight > 0);
+      --it->second.inflight;
+      it->second.inflight_bytes -= item->bytes;
+    }
+  }
+  completed_counter_->inc();
+  if (state_.load(std::memory_order_acquire) != State::accepting) {
+    drained_counter_->inc();
+  }
+  inflight_gauge_->add(-1);
+  inflight_bytes_gauge_->add(-static_cast<std::int64_t>(item->bytes));
+  executing_.fetch_sub(1, std::memory_order_relaxed);
+
+  std::shared_ptr<Future::State> future = std::move(item->future);
+  {
+    std::scoped_lock flock(future->mutex);
+    future->response = std::move(resp);
+    future->done = true;
+  }
+  // Notify outside the future mutex (hurry-up-and-wait otherwise).
+  future->cv.notify_all();
+
+  obs::Profiler& profiler = obs::Profiler::global();
+  profiler.stamp(item->timeline, obs::Stage::completed);
+  profiler.retire(item->timeline);
+  release_item(item);
+  // Last: drop the inflight reservation (and maybe wake a drain waiter)
+  // only after the item is fully retired.
+  release_inflight_slot();
 }
 
 }  // namespace pio::server

@@ -6,12 +6,32 @@
 // strided views (sieving auto-select applies) — so compute processes shed
 // buffering, scheduling, and device management.
 //
-// Concurrency model
-//   - submit() is the MPSC producer side: any number of client threads
-//     append to ONE bounded queue under the server mutex.
-//   - `dispatchers` service threads drain the queue; each request executes
-//     to completion on a dispatcher (striped extents still fan out across
-//     the scheduler's per-device workers underneath).
+// Concurrency model (the sharded, non-blocking dispatch engine)
+//   - submit() is admission only: capacity is reserved on atomics, session
+//     accounting is a short critical section on `sessions_mutex_`, and the
+//     request lands on ONE of `dispatchers` sharded queues (client-session
+//     affinity by default, round-robin optional).  Admission never waits
+//     behind a dispatcher: dispatch holds a shard lock only for a ring-
+//     buffer pop, and never `sessions_mutex_` while executing.
+//   - Each dispatcher drains its own shard first and work-steals from the
+//     others (oldest first) when its shard is empty, so one hot session
+//     cannot idle the rest of the pool.
+//   - Dispatch is submit-and-move-on: record and covering-extent strided
+//     transfers are enqueued on the IoScheduler with a completion callback
+//     armed on the request's embedded IoBatch; the device worker that
+//     drives the batch to zero resolves the client Future directly.  The
+//     dispatcher never blocks on a transfer, so a handful of dispatchers
+//     keep every device worker fed.  Control ops (open/close/stat/flush)
+//     and sieved (staging RMW) strided ops still execute synchronously on
+//     the dispatcher.
+//   - Requests ride pooled `Item` slots (intrusive freelist, grown in
+//     blocks, never shrunk) so the steady-state hot path performs no
+//     per-request allocation beyond the Future's shared state.
+//
+// Data path: record reads/writes and non-sieved strided transfers move
+// bytes directly between the client's spans and the devices' vectored
+// readv/writev (zero-copy end to end).  Staging only happens when sieving
+// is chosen for a strided op — the hole-preserving read-modify-write case.
 //
 // Admission control & backpressure (per session AND global, checked at
 // submit time, never blocking the caller):
@@ -23,14 +43,15 @@
 //
 // Drain state machine:  accepting -> draining -> stopped.
 //   shutdown() stops admission (submits now fail with Errc::shutting_down),
-//   waits until every ACCEPTED request has completed, then joins the
-//   dispatchers.  Every accepted Future resolves; none is dropped.  The
-//   destructor runs shutdown() if the owner has not.
+//   waits until every ACCEPTED request has completed — dispatchers keep
+//   draining the shards, device workers keep resolving futures — then
+//   joins the dispatchers.  Every accepted Future resolves; none is
+//   dropped.  The destructor runs shutdown() if the owner has not.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -50,12 +71,24 @@ class RequestTimeline;
 
 namespace pio::server {
 
+/// How submit() picks a shard for an accepted request.
+enum class ShardPolicy : std::uint8_t {
+  /// session id % dispatchers: one session's requests stay on one shard
+  /// (cache-friendly, naturally fair across sessions); work stealing
+  /// covers imbalance.
+  affinity,
+  /// strict rotation across shards regardless of session.
+  round_robin,
+};
+
 struct IoServerOptions {
-  /// Service threads draining the request queue.
+  /// Service threads, one sharded request queue each.
   std::size_t dispatchers = 2;
-  /// Bounded server-wide submission queue (requests accepted but not yet
-  /// picked up by a dispatcher).
+  /// Bounded server-wide submission budget (requests accepted but not yet
+  /// picked up by a dispatcher), summed across shards.
   std::size_t queue_capacity = 64;
+  /// Shard selection for accepted requests.
+  ShardPolicy shard_policy = ShardPolicy::affinity;
   /// Per-session in-flight request ceiling (queued + executing).
   std::size_t max_inflight_per_session = 16;
   /// Per-session in-flight payload-byte ceiling.  A single request larger
@@ -99,20 +132,46 @@ class IoServer {
 
   /// Submit one request.  On acceptance the returned Future resolves
   /// exactly once; on rejection (overloaded / shutting_down / unknown
-  /// session) nothing was queued and no Future exists.
+  /// session) nothing was queued and no Future exists.  The Future may be
+  /// resolved by a device worker thread (non-blocking dispatch), so
+  /// completion latency does not include a dispatcher round-trip.
   Result<Future> submit(SessionId session, RequestOp op);
 
   /// Stop admission, wait for every accepted request to complete, join the
   /// dispatchers.  Safe to call more than once.
   Status shutdown();
 
-  State state() const;
+  State state() const noexcept {
+    return state_.load(std::memory_order_acquire);
+  }
 
   /// Requests accepted but not yet completed (queued + executing).
-  std::size_t inflight() const;
+  std::size_t inflight() const noexcept {
+    return inflight_total_.load(std::memory_order_relaxed);
+  }
 
-  /// Requests currently on a dispatcher (utilization sampling).
-  std::size_t executing() const;
+  /// Requests picked up by a dispatcher and not yet completed (includes
+  /// transfers in flight on the scheduler after their dispatcher moved on).
+  std::size_t executing() const noexcept {
+    return executing_.load(std::memory_order_relaxed);
+  }
+
+  /// Dispatchers currently processing a request (popped, still submitting
+  /// or executing inline).  With non-blocking dispatch this — not
+  /// executing() — measures dispatcher utilization.
+  std::size_t busy_dispatchers() const noexcept {
+    return busy_dispatchers_.load(std::memory_order_relaxed);
+  }
+
+  /// Requests queued on the shards, not yet picked up.
+  std::size_t queue_depth() const noexcept {
+    return queued_total_.load(std::memory_order_relaxed);
+  }
+
+  /// Requests a dispatcher popped from a shard it does not own.
+  std::uint64_t steals() const noexcept {
+    return steals_.load(std::memory_order_relaxed);
+  }
 
   /// The server's scheduler, for utilization sampling.  Valid while the
   /// server is running; destroyed by shutdown().
@@ -129,6 +188,27 @@ class IoServer {
     std::uint64_t bytes = 0;
     double enq_us = 0.0;  // wall timestamp (tracing or deadlines)
     obs::RequestTimeline* timeline = nullptr;  // null unless profiling
+    // Non-blocking dispatch state:
+    IoServer* server = nullptr;          ///< back-pointer for the callback
+    std::shared_ptr<ParallelFile> file;  ///< pins the file until completion
+    IoBatch batch;                       ///< embedded, reused across loans
+    std::uint64_t transferred = 0;       ///< records moved if status ok
+    std::uint32_t dispatch_tid = 0;      ///< trace track of the dispatcher
+    Item* next_free = nullptr;           ///< pool freelist link
+  };
+
+  /// One bounded per-dispatcher queue: a ring of pooled Item pointers.
+  /// Sized to hold queue_capacity entries so affinity skew can never
+  /// overflow a shard that global admission allowed.
+  struct Shard {
+    mutable std::mutex mutex;
+    std::vector<Item*> ring;
+    std::size_t head = 0;
+    std::size_t size = 0;
+    obs::Gauge* depth_gauge = nullptr;  ///< server.shard<i>.depth
+
+    bool push(Item* item);
+    Item* pop_locked();
   };
 
   struct Session {
@@ -138,9 +218,33 @@ class IoServer {
     std::uint64_t inflight_bytes = 0;
   };
 
-  void dispatcher_loop(std::uint32_t tid);
-  Response execute(Item& item, std::uint32_t tid);
-  /// Resolve a token to its file under the server mutex.
+  void dispatcher_loop(std::uint32_t index);
+  /// Pop from the home shard, else steal the oldest entry from another
+  /// shard.  `blocking` controls whether the steal scan waits on shard
+  /// locks (pre-sleep re-scan) or skips held ones (fast path).
+  Item* pop_or_steal(std::size_t home, bool blocking);
+  void process(Item* item, std::uint32_t tid);
+  /// Execute the op.  Returns true when the request went asynchronous (a
+  /// completion callback will finish it); false leaves `resp` ready for
+  /// an inline finish().
+  bool execute(Item* item, Response& resp);
+  /// Completion: accounting release, future resolution, timeline retire,
+  /// pool return, drain signal.  Runs on a dispatcher (sync ops, errors)
+  /// or on the device worker that drove the batch to zero (async ops).
+  void finish(Item* item, Response&& resp);
+  static void on_batch_complete(void* ctx, Status status);
+  /// Arm the callback, hold the batch open, run `enqueue_fn`, stamp
+  /// handoff, release the hold with its status.
+  template <typename EnqueueFn>
+  void go_async(Item* item, EnqueueFn&& enqueue_fn);
+
+  Item* acquire_item();
+  void release_item(Item* item);
+  /// Drop one reserved inflight slot and wake a drain waiter when it was
+  /// the last (rollback on rejected submits, tail of finish()).
+  void release_inflight_slot();
+
+  /// Resolve a token to its file under the sessions mutex.
   Result<std::shared_ptr<ParallelFile>> lookup(SessionId session,
                                                FileToken token);
 
@@ -149,16 +253,45 @@ class IoServer {
   IoServerOptions options_;
   std::unique_ptr<IoScheduler> io_;
 
-  mutable std::mutex mutex_;
-  std::condition_variable cv_work_;   ///< dispatchers wait for queue items
-  std::condition_variable cv_drain_;  ///< shutdown waits for inflight == 0
-  std::deque<Item> queue_;
+  // Session table + per-session accounting.  Short critical sections
+  // only: admission checks/bumps and completion releases — never held
+  // across execution or queue operations, so admission latency stays flat
+  // no matter how busy dispatch is.
+  mutable std::mutex sessions_mutex_;
   std::map<SessionId, Session> sessions_;
   SessionId next_session_ = 1;
-  RequestId next_request_ = 1;
-  std::size_t executing_ = 0;  ///< popped from queue_, not yet completed
-  State state_ = State::accepting;
-  bool stop_workers_ = false;
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<std::size_t> rr_next_{0};  ///< round_robin cursor
+
+  // Dispatcher wake protocol: producers push under a shard lock, then
+  // lock/unlock wake_mutex_ and notify (the handshake closes the window
+  // between a dispatcher's empty re-scan and its wait).  Dispatchers
+  // touch wake_mutex_ only to go to sleep — never on the pop fast path.
+  std::mutex wake_mutex_;
+  std::condition_variable cv_work_;
+
+  // Drain: shutdown() waits here for inflight_total_ to hit zero.  The
+  // last completion (and only it) takes drain_mutex_ and notifies — one
+  // wakeup per drained batch of work instead of one per request.
+  std::mutex drain_mutex_;
+  std::condition_variable cv_drain_;
+  std::mutex lifecycle_mutex_;  ///< serializes shutdown() calls
+
+  std::atomic<State> state_{State::accepting};
+  std::atomic<bool> stop_workers_{false};
+  std::atomic<std::uint64_t> next_request_{1};
+  std::atomic<std::size_t> inflight_total_{0};
+  std::atomic<std::size_t> queued_total_{0};
+  std::atomic<std::size_t> executing_{0};
+  std::atomic<std::size_t> busy_dispatchers_{0};
+  std::atomic<std::uint64_t> steals_{0};
+
+  // Item pool: intrusive freelist over block-allocated slabs; grows on
+  // demand, never shrinks, freed with the server.
+  std::mutex pool_mutex_;
+  Item* free_items_ = nullptr;
+  std::vector<std::unique_ptr<Item[]>> item_blocks_;
 
   std::vector<std::thread> dispatchers_;
 
@@ -168,6 +301,7 @@ class IoServer {
   obs::Counter* completed_counter_;
   obs::Counter* drained_counter_;
   obs::Counter* timeout_counter_;
+  obs::Counter* stolen_counter_;
   obs::Gauge* depth_gauge_;
   obs::Gauge* inflight_gauge_;
   obs::Gauge* inflight_bytes_gauge_;

@@ -802,7 +802,13 @@ TEST(Deadline, ServerShedsRequestsThatOverstayTheQueue) {
 
   server::IoServerOptions sopts;
   sopts.dispatchers = 1;
-  sopts.request_deadline_ms = 20;
+  // Generous deadline: the pinning request below must be DEQUEUED before it
+  // ages out even when this test shares one CPU with a parallel ctest run.
+  sopts.request_deadline_ms = 100;
+  // Force sieving so the first (strided) request executes synchronously on
+  // the dispatcher thread: plain record writes are submit-and-move-on and
+  // would never occupy the dispatcher long enough to age out the queue.
+  sopts.sieve.path = SievePath::sieve;
   server::IoServer server(*fs, devices, sopts);
   auto client = server::Client::connect(server);
   ASSERT_TRUE(client.ok());
@@ -810,19 +816,38 @@ TEST(Deadline, ServerShedsRequestsThatOverstayTheQueue) {
   ASSERT_TRUE(tok.ok());
 
   const std::uint64_t timeouts_before = counter_value("server.timeouts");
-  // Stall the devices again, then queue three writes behind the single
-  // dispatcher: the first occupies it at the gate, the rest expire in the
-  // server queue.
+  // Stall the devices again, then queue a sieved strided write plus two
+  // record writes behind the single dispatcher: the strided RMW blocks the
+  // dispatcher at the gate, the rest expire in the server queue.
   for (auto* g : gates) g->hold();
-  std::vector<std::byte> payload(3 * 64);
+  StridedSpec spec;
+  spec.start_record = 0;
+  spec.block_records = 1;
+  spec.stride_records = 2;
+  spec.count = 4;
+  std::vector<std::byte> payload(4 * 64);
   std::vector<server::Future> futures;
-  for (int i = 0; i < 3; ++i) {
+  {
+    auto f = client->write_strided_async(*tok, spec, payload);
+    ASSERT_TRUE(f.ok()) << f.error().to_string();
+    futures.push_back(std::move(f).take());
+  }
+  // Only queue the victims once the dispatcher provably holds the pinning
+  // request — otherwise a descheduled dispatcher could age out all three.
+  const auto pickup_deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (server.busy_dispatchers() < 1) {
+    ASSERT_LT(std::chrono::steady_clock::now(), pickup_deadline)
+        << "dispatcher never picked up the pinning request";
+    std::this_thread::yield();
+  }
+  for (int i = 0; i < 2; ++i) {
     auto f = client->write_async(
         *tok, 0, 1, std::span<const std::byte>(payload.data() + i * 64, 64));
     ASSERT_TRUE(f.ok()) << f.error().to_string();
     futures.push_back(std::move(f).take());
   }
-  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
   for (auto* g : gates) g->release();
   PIO_EXPECT_OK(futures[0].wait());
   EXPECT_EQ(futures[1].wait().code(), Errc::timed_out);

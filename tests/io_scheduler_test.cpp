@@ -268,6 +268,93 @@ TEST(IoScheduler, MergeRespectsByteCeiling) {
   EXPECT_EQ(devices[0].counters().reads.load(), 3u);  // blocker + 2 groups
 }
 
+// merge_gaps: non-abutting same-kind requests within the byte ceiling
+// coalesce into ONE gapped vectored op — the gap bytes are skipped by the
+// per-fragment iovec, never transferred or touched.
+TEST(IoScheduler, GapMergeCoalescesNonAbuttingRequests) {
+  DeviceArray devices;
+  devices.add(std::make_unique<ThrottledDevice>(
+      std::make_unique<RamDisk>("d0", 1 << 20), /*op_cost_us=*/10'000.0));
+  IoSchedulerOptions options;
+  options.policy = QueuePolicy::fifo;
+  // Span budget admits the gapped group [0, 320) but keeps the far blocker
+  // (offset 4096) out of it — with merge_gaps, ANY same-kind request inside
+  // the span budget is eligible, not just abutting ones.
+  options.max_merge_bytes = 1024;
+  options.merge_gaps = true;
+  IoScheduler io(devices, options);
+
+  // Pre-fill so reads have recognizable content and gap preservation is
+  // checkable after the gapped write below.
+  std::vector<std::byte> seed(512);
+  for (std::size_t i = 0; i < seed.size(); ++i) {
+    seed[i] = static_cast<std::byte>(i & 0xff);
+  }
+  {
+    IoBatch fill;
+    io.write(0, 0, seed, fill);
+    PIO_ASSERT_OK(fill.wait());
+  }
+  const std::uint64_t reads_before = devices[0].counters().reads.load();
+
+  // Far-away blocker pins the worker while three GAPPED 64-byte reads
+  // (offsets 0, 128, 256 — 64-byte holes between them) pile up.
+  std::vector<std::byte> blocker(64), a(64), b(64), c(64);
+  IoBatch blocker_batch, batch;
+  io.read(0, 4096, blocker, blocker_batch);
+  io.read(0, 0, a, batch);
+  io.read(0, 128, b, batch);
+  io.read(0, 256, c, batch);
+  PIO_ASSERT_OK(blocker_batch.wait());
+  PIO_ASSERT_OK(batch.wait());
+  // One merged gapped readv, not three singletons.
+  EXPECT_EQ(devices[0].counters().reads.load() - reads_before, 2u);
+  EXPECT_TRUE(std::equal(a.begin(), a.end(), seed.begin()));
+  EXPECT_TRUE(std::equal(b.begin(), b.end(), seed.begin() + 128));
+  EXPECT_TRUE(std::equal(c.begin(), c.end(), seed.begin() + 256));
+
+  // Gapped writes merge too, and the holes keep their bytes.
+  const std::uint64_t writes_before = devices[0].counters().writes.load();
+  std::vector<std::byte> wa(64, std::byte{0xaa}), wb(64, std::byte{0xbb});
+  IoBatch wblocker_batch, wbatch;
+  io.read(0, 4096, blocker, wblocker_batch);
+  io.write(0, 0, wa, wbatch);
+  io.write(0, 128, wb, wbatch);
+  PIO_ASSERT_OK(wblocker_batch.wait());
+  PIO_ASSERT_OK(wbatch.wait());
+  EXPECT_EQ(devices[0].counters().writes.load() - writes_before, 1u);
+  std::vector<std::byte> back(512);
+  IoBatch rb;
+  io.read(0, 0, back, rb);
+  PIO_ASSERT_OK(rb.wait());
+  EXPECT_TRUE(std::equal(back.begin(), back.begin() + 64, wa.begin()));
+  // The gap [64, 128) was never part of any iovec: original bytes intact.
+  EXPECT_TRUE(
+      std::equal(back.begin() + 64, back.begin() + 128, seed.begin() + 64));
+  EXPECT_TRUE(std::equal(back.begin() + 128, back.begin() + 192, wb.begin()));
+  EXPECT_TRUE(
+      std::equal(back.begin() + 192, back.begin() + 256, seed.begin() + 192));
+}
+
+// Default-off pin: without merge_gaps the same gapped layout stays three
+// separate device reads — only abutting extents coalesce.
+TEST(IoScheduler, GapsDoNotMergeByDefault) {
+  DeviceArray devices;
+  devices.add(std::make_unique<ThrottledDevice>(
+      std::make_unique<RamDisk>("d0", 1 << 20), /*op_cost_us=*/10'000.0));
+  IoScheduler io(devices, {QueuePolicy::fifo, /*max_merge_bytes=*/1 << 20});
+
+  std::vector<std::byte> blocker(64), a(64), b(64), c(64);
+  IoBatch blocker_batch, batch;
+  io.read(0, 4096, blocker, blocker_batch);
+  io.read(0, 0, a, batch);
+  io.read(0, 128, b, batch);
+  io.read(0, 256, c, batch);
+  PIO_ASSERT_OK(blocker_batch.wait());
+  PIO_ASSERT_OK(batch.wait());
+  EXPECT_EQ(devices[0].counters().reads.load(), 4u);  // blocker + 3 singles
+}
+
 // Concurrent submitters from many threads against a merging, reordering
 // scheduler: exercised under TSan in CI (thread-sanitizer job).
 TEST(IoScheduler, ConcurrentMultiBatchStress) {

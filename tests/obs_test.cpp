@@ -507,9 +507,10 @@ TEST(Profile, SkippedStagesChargeTheNextInterval) {
 
   const obs::ProfileSnapshot snap = profiler.snapshot();
   EXPECT_DOUBLE_EQ(snap.stages[3].total_us, 20.0);  // plan <- accepted gap
-  EXPECT_DOUBLE_EQ(snap.stages[4].total_us, 10.0);  // sched_wait
-  EXPECT_DOUBLE_EQ(snap.stages[5].total_us, 40.0);  // device
-  EXPECT_DOUBLE_EQ(snap.stages[6].total_us, 10.0);  // complete
+  EXPECT_DOUBLE_EQ(snap.stages[4].total_us, 0.0);   // handoff unset
+  EXPECT_DOUBLE_EQ(snap.stages[5].total_us, 10.0);  // sched_wait
+  EXPECT_DOUBLE_EQ(snap.stages[6].total_us, 40.0);  // device
+  EXPECT_DOUBLE_EQ(snap.stages[7].total_us, 10.0);  // complete
   EXPECT_DOUBLE_EQ(snap.e2e.max(), 80.0);
   double stage_sum = 0.0;
   for (const auto& st : snap.stages) stage_sum += st.total_us;
@@ -616,7 +617,11 @@ TEST(Sampler, CapturesRegisteredSeries) {
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
   value.store(9);
-  while (sampler.samples_taken() < 6) {
+  // Relative wait: under machine load the sampler may already be well past
+  // sample 6 by the time the store lands, so an absolute count could let
+  // stop() run before any sample observed the new value.
+  const std::uint64_t taken_at_store = sampler.samples_taken();
+  while (sampler.samples_taken() < taken_at_store + 3) {
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
   sampler.stop();

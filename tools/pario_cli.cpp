@@ -465,7 +465,10 @@ int cmd_serve(FileSystem& fs, DeviceArray& devices, const Flags& flags,
       return static_cast<double>(srv->inflight());
     });
     sampler->add_series("server.dispatcher_busy", [srv, dispatchers] {
-      return static_cast<double>(srv->executing()) / dispatchers;
+      // busy_dispatchers(), not executing(): with non-blocking dispatch a
+      // request stays "executing" while it waits at the device, so that
+      // count can exceed the dispatcher pool.
+      return static_cast<double>(srv->busy_dispatchers()) / dispatchers;
     });
     sampler->add_series("iosched.queue_depth", [&sched_qd] {
       return static_cast<double>(sched_qd.value());
