@@ -1,0 +1,206 @@
+// ABLATION: multi-server scale-out.  The paper's file concepts assume the
+// file system can spread one file over however many I/O nodes the machine
+// has; this bench measures whether the cluster layer actually converts
+// added data servers into added throughput for a FIXED client load.
+//
+//  cluster/S — S data servers (each 2 devices charging 400 us off-CPU
+//  latency per op, its own IoScheduler + IoServer), one MetadataService,
+//  and 8 client threads routing through ClusterClient.  Every op moves
+//  one track (24 KiB) that the block-cyclic distribution places wholly on
+//  one server; consecutive slots rotate servers, so the 8 threads' ops
+//  spread across the fleet.  The client load never changes — only the
+//  server count does.
+//
+// Expected: 1 server bottlenecks on its 2 devices (~2 ops in service at
+// once for 8 waiting clients); 4 servers lift the ceiling to 8 devices
+// and aggregate throughput by >= 2.5x; 8 servers plateau near the client
+// concurrency limit (8 synchronous threads cannot keep 16 devices busy).
+//
+// Honors --quick (fewer ops per client), --data-servers=N (pin the server
+// count instead of sweeping 1/2/4/8), --distribution=block|cyclic|strided
+// (file layout across servers), and --json=PATH (default
+// BENCH_cluster.json).
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "cluster/cluster.hpp"
+
+namespace {
+
+using namespace pio;
+using pio::bench::kTrack;
+
+constexpr std::size_t kClientThreads = 8;
+constexpr std::size_t kDevicesPerServer = 2;
+constexpr double kDeviceOpUs = 400.0;  // positioning + one-track transfer
+constexpr std::uint32_t kRecordBytes = 4096;
+constexpr std::uint64_t kRecordsPerOp = 6;  // 24 KiB: exactly one track
+constexpr std::uint64_t kSlotsPerClient = 64;
+constexpr std::uint64_t kCapacityRecords =
+    kClientThreads * kSlotsPerClient * kRecordsPerOp;
+
+std::uint64_t ops_per_client() { return pio::bench::quick_flag ? 48 : 160; }
+
+cluster::DistributionSpec bench_spec() {
+  cluster::DistributionSpec spec;
+  spec.kind = cluster::parse_distribution_kind(pio::bench::distribution_flag)
+                  .value_or(cluster::DistributionKind::strided);
+  // One op per chunk: an aligned track-sized transfer lands wholly on one
+  // server, and consecutive slots rotate servers.
+  spec.chunk_records = kRecordsPerOp;
+  return spec;
+}
+
+/// Server-scaling summary, printed at process exit: aggregate MB/s per
+/// server count and the ratio against the 1-server run — the scale-out
+/// claim in one table.
+struct ScalingRow {
+  std::size_t servers;
+  double mb_per_s;
+};
+std::vector<ScalingRow>& scaling_rows() {
+  static std::vector<ScalingRow> rows;
+  return rows;
+}
+void print_scaling_summary() {
+  const auto& rows = scaling_rows();
+  if (rows.empty()) return;
+  double base = 0.0;
+  for (const ScalingRow& r : rows) {
+    if (r.servers == 1 && base == 0.0) base = r.mb_per_s;
+  }
+  std::printf("\n--- data-server scaling (fixed %zu-thread client load) ---\n",
+              kClientThreads);
+  std::printf("%8s %12s %12s\n", "servers", "MB/s", "vs 1-srv");
+  for (const ScalingRow& r : rows) {
+    std::printf("%8zu %12.1f %11.2fx\n", r.servers, r.mb_per_s,
+                base > 0.0 ? r.mb_per_s / base : 0.0);
+  }
+  std::printf("\n");
+}
+void record_scaling_run(std::size_t servers, double mb_per_s) {
+  if (scaling_rows().empty()) std::atexit(print_scaling_summary);
+  scaling_rows().push_back(ScalingRow{servers, mb_per_s});
+}
+
+void BM_ClusterScaling(benchmark::State& state) {
+  const std::size_t servers =
+      pio::bench::data_servers_flag > 0
+          ? pio::bench::data_servers_flag
+          : static_cast<std::size_t>(state.range(0));
+
+  cluster::ClusterOptions options;
+  options.data_servers = servers;
+  options.data_server.devices = kDevicesPerServer;
+  options.data_server.device_bytes = 32ull << 20;
+  options.data_server.device_op_cost_us = kDeviceOpUs;
+  auto cl = cluster::Cluster::create(options);
+  if (!cl.ok()) {
+    state.SkipWithError(cl.error().to_string().c_str());
+    return;
+  }
+
+  cluster::ClusterCreateOptions create;
+  create.name = "bench";
+  create.record_bytes = kRecordBytes;
+  create.capacity_records = kCapacityRecords;
+  create.distribution = bench_spec();
+  if (auto meta = (*cl)->metadata().create(create); !meta.ok()) {
+    state.SkipWithError(meta.error().to_string().c_str());
+    return;
+  }
+
+  // Pre-populate (untimed) so reads move real data.
+  {
+    auto client = (*cl)->connect();
+    auto token = client->open("bench");
+    std::vector<std::byte> fill(kRecordsPerOp * kRecordBytes, std::byte{0x42});
+    for (std::uint64_t slot = 0; slot < kCapacityRecords / kRecordsPerOp;
+         ++slot) {
+      if (!client->write_records(*token, slot * kRecordsPerOp, kRecordsPerOp,
+                                 fill)
+               .ok()) {
+        state.SkipWithError("pre-populate failed");
+        return;
+      }
+    }
+  }
+
+  std::uint64_t bytes = 0;
+  std::atomic<int> errors{0};
+  const auto wall_start = std::chrono::steady_clock::now();
+  for (auto _ : state) {
+    std::vector<std::thread> threads;
+    for (std::size_t c = 0; c < kClientThreads; ++c) {
+      threads.emplace_back([&, c] {
+        auto client = (*cl)->connect();
+        if (!client.ok()) {
+          ++errors;
+          return;
+        }
+        auto token = client->open("bench");
+        if (!token.ok()) {
+          ++errors;
+          return;
+        }
+        std::vector<std::byte> buf(kRecordsPerOp * kRecordBytes, std::byte{9});
+        for (std::uint64_t i = 0; i < ops_per_client(); ++i) {
+          const std::uint64_t slot =
+              c * kSlotsPerClient + i % kSlotsPerClient;
+          const std::uint64_t first = slot * kRecordsPerOp;
+          const Status st =
+              i % 2 == 0
+                  ? client->write_records(*token, first, kRecordsPerOp, buf)
+                  : client->read_records(*token, first, kRecordsPerOp, buf);
+          if (!st.ok()) {
+            ++errors;
+            return;
+          }
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    bytes += kClientThreads * ops_per_client() * kRecordsPerOp * kRecordBytes;
+  }
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+  if (errors.load() != 0) state.SkipWithError("client errors");
+  state.SetBytesProcessed(static_cast<std::int64_t>(bytes));
+  state.counters["servers"] = static_cast<double>(servers);
+  state.counters["clients"] = static_cast<double>(kClientThreads);
+  if (wall_s > 0.0) {
+    const double mb_per_s = static_cast<double>(bytes) / wall_s / 1.0e6;
+    state.counters["MB_per_s"] = mb_per_s;
+    record_scaling_run(servers, mb_per_s);
+  }
+  pio::bench::report_registry(state);
+}
+
+}  // namespace
+
+// Real time: device latency is off-CPU sleep; CPU time would hide it.
+BENCHMARK(BM_ClusterScaling)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->ArgNames({"servers"})
+    ->UseRealTime()
+    ->Iterations(1);
+
+PIO_BENCH_MAIN_JSON(
+    "ABLATION: multi-server scale-out (fixed client load)",
+    "8 client threads route one-track (24 KiB) record ops through the\n"
+    "ClusterClient over 1/2/4/8 data servers, each with 2 devices charging\n"
+    "400 us off-CPU latency per op.  The block-cyclic distribution rotates\n"
+    "ops across servers.  Expected: 4 servers >= 2.5x the 1-server\n"
+    "aggregate; 8 servers plateau at the client concurrency limit.",
+    "BENCH_cluster.json")

@@ -113,6 +113,72 @@ void BM_Func_Configured(benchmark::State& state) {
   run_functional(state, options);
 }
 
+// ------------------------------------------ Part A2: gapped (strided) path
+
+// Every stream reads every OTHER record of its region — 64 B extents with
+// 64 B holes, the pattern strided record access produces on each device.
+// Abutting-only coalescing finds nothing to fold (no two extents touch);
+// merge_gaps packs the fragments into gapped vectored ops within the span
+// budget and pays the positioning charge once per group.
+void run_functional_gapped(benchmark::State& state, bool merge_gaps) {
+  std::uint64_t device_ops = 0;
+  std::uint64_t issued = 0;
+  for (auto _ : state) {
+    DeviceArray devices;
+    for (std::size_t d = 0; d < kFuncDevices; ++d) {
+      devices.add(std::make_unique<ThrottledDevice>(
+          std::make_unique<RamDisk>("ram" + std::to_string(d), 8ull << 20),
+          kOpCostUs));
+    }
+    FileMeta meta;
+    meta.name = "bench";
+    meta.organization = Organization::sequential;
+    meta.layout_kind = LayoutKind::striped;
+    meta.record_bytes = kFuncRecordBytes;
+    meta.stripe_unit = kFuncStripeUnit;
+    meta.capacity_records = kFuncRecords;
+    ParallelFile file(meta, devices,
+                      std::vector<std::uint64_t>(kFuncDevices, 0));
+    std::vector<std::byte> out(kFuncRecords * kFuncRecordBytes);
+    IoSchedulerOptions options;
+    options.policy = QueuePolicy::scan;
+    options.max_merge_bytes = 4096;
+    options.merge_gaps = merge_gaps;
+    issued = 0;
+    {
+      IoScheduler io(devices, options);
+      IoBatch batch;
+      constexpr std::uint64_t per_stream = kFuncRecords / kFuncStreams;
+      for (std::uint64_t wave = 0; wave < per_stream / 2; ++wave) {
+        for (std::uint64_t s = 0; s < kFuncStreams; ++s) {
+          const std::uint64_t r = s * per_stream + 2 * wave;  // every other
+          io.read_records(
+              file, r, 1,
+              std::span(out.data() + r * kFuncRecordBytes, kFuncRecordBytes),
+              batch);
+          ++issued;
+        }
+      }
+      benchmark::DoNotOptimize(batch.wait());
+    }
+    device_ops = 0;
+    for (std::size_t d = 0; d < kFuncDevices; ++d) {
+      device_ops += devices[d].counters().reads.load();
+    }
+  }
+  state.counters["device_ops"] = static_cast<double>(device_ops);
+  state.counters["ops_per_record"] =
+      static_cast<double>(device_ops) / static_cast<double>(issued);
+}
+
+void BM_Func_StridedNoGapMerge(benchmark::State& state) {
+  run_functional_gapped(state, /*merge_gaps=*/false);
+}
+
+void BM_Func_StridedGapMerge(benchmark::State& state) {
+  run_functional_gapped(state, /*merge_gaps=*/true);
+}
+
 // ----------------------------------------------- Part B: virtual-time path
 
 constexpr std::size_t kSimDevices = 4;
@@ -217,6 +283,8 @@ void BM_Sim_ScanMerged(benchmark::State& state) {
 BENCHMARK(BM_Func_FifoNoMerge);
 BENCHMARK(BM_Func_ScanMerge);
 BENCHMARK(BM_Func_Configured);
+BENCHMARK(BM_Func_StridedNoGapMerge);
+BENCHMARK(BM_Func_StridedGapMerge);
 BENCHMARK(BM_Sim_FifoUnmerged);
 BENCHMARK(BM_Sim_ScanMerged);
 

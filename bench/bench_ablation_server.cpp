@@ -12,7 +12,7 @@
 //                     and retries (the canonical backpressure reaction).
 //
 // Devices charge a fixed positioning+transfer latency per operation by
-// SLEEPING (LatencyDevice below), not busy-waiting like ThrottledDevice:
+// SLEEPING (device/latency_device.hpp), not busy-waiting like ThrottledDevice:
 // device time is off-CPU, as with a real disk arm + DMA, so service can
 // overlap compute even on single-core CI hosts.  Each op moves one track
 // (a single stripe-unit segment), and consecutive ops rotate devices, so
@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "bench_util.hpp"
+#include "device/latency_device.hpp"
 #include "device/ram_disk.hpp"
 #include "obs/report.hpp"
 #include "obs/reqtrace.hpp"
@@ -65,48 +66,6 @@ constexpr std::size_t kWindow = 2;
 constexpr std::size_t kDefaultDispatchers = 4;
 
 std::uint64_t ops_per_client() { return pio::bench::quick_flag ? 64 : 256; }
-
-/// Decorator charging a fixed per-operation latency as a SLEEP — device
-/// time off the CPU, so it overlaps host compute (contrast
-/// ThrottledDevice, whose busy-wait charge is itself CPU time).
-class LatencyDevice final : public BlockDevice {
- public:
-  LatencyDevice(std::unique_ptr<BlockDevice> inner, double op_us)
-      : inner_(std::move(inner)), op_us_(op_us) {}
-
-  Status read(std::uint64_t offset, std::span<std::byte> out) override {
-    charge();
-    return inner_->read(offset, out);
-  }
-  Status write(std::uint64_t offset, std::span<const std::byte> in) override {
-    charge();
-    return inner_->write(offset, in);
-  }
-  Status readv(std::span<const IoVec> iov) override {
-    charge();
-    return inner_->readv(iov);
-  }
-  Status writev(std::span<const ConstIoVec> iov) override {
-    charge();
-    return inner_->writev(iov);
-  }
-  std::uint64_t capacity() const noexcept override {
-    return inner_->capacity();
-  }
-  const std::string& name() const noexcept override { return inner_->name(); }
-  const DeviceCounters& counters() const noexcept override {
-    return inner_->counters();
-  }
-
- private:
-  void charge() const {
-    std::this_thread::sleep_for(std::chrono::nanoseconds(
-        static_cast<std::int64_t>(op_us_ * 1e3)));
-  }
-
-  std::unique_ptr<BlockDevice> inner_;
-  double op_us_;
-};
 
 /// Busy-wait compute phase — unlike device time this IS host CPU work.
 void compute() {

@@ -50,6 +50,13 @@ inline bool profile_flag = false;
 /// follow the sweep).
 inline std::size_t dispatchers_flag = 0;
 
+/// Cluster knobs (bench_ablation_cluster): `--data-servers=N` pins the
+/// data-server count, overriding the 1/2/4/8 sweep (0 = follow the
+/// sweep); `--distribution=block|cyclic|strided` picks the record
+/// distribution the routed file is created with.
+inline std::size_t data_servers_flag = 0;
+inline std::string distribution_flag = "strided";
+
 /// Consume the harness flags from argv (google-benchmark rejects
 /// arguments it does not recognize).
 inline void strip_sched_flags(int& argc, char** argv) {
@@ -71,6 +78,10 @@ inline void strip_sched_flags(int& argc, char** argv) {
       profile_flag = true;
     } else if (arg.rfind("--dispatchers=", 0) == 0) {
       dispatchers_flag = std::strtoull(argv[i] + 14, nullptr, 10);
+    } else if (arg.rfind("--data-servers=", 0) == 0) {
+      data_servers_flag = std::strtoull(argv[i] + 15, nullptr, 10);
+    } else if (arg.rfind("--distribution=", 0) == 0) {
+      distribution_flag = std::string(arg.substr(15));
     } else if (arg.rfind("--json=", 0) == 0) {
       json_flag = std::string(arg.substr(7));
     } else {

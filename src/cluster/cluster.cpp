@@ -1,0 +1,36 @@
+#include "cluster/cluster.hpp"
+
+namespace pio::cluster {
+
+Result<std::unique_ptr<Cluster>> Cluster::create(ClusterOptions options) {
+  if (options.data_servers == 0) {
+    return make_error(Errc::invalid_argument,
+                      "cluster needs at least one data server");
+  }
+  auto cluster = std::unique_ptr<Cluster>(new Cluster());
+  std::vector<server::IoServer*> io_servers;
+  std::vector<DataServer*> data_servers;
+  for (std::size_t s = 0; s < options.data_servers; ++s) {
+    DataServerOptions per = options.data_server;
+    per.name += std::to_string(s);
+    PIO_TRY_ASSIGN(auto ds, DataServer::create(std::move(per)));
+    io_servers.push_back(&ds->server());
+    data_servers.push_back(ds.get());
+    cluster->servers_.push_back(std::move(ds));
+  }
+  cluster->transport_ = std::make_unique<LocalTransport>(std::move(io_servers));
+  cluster->meta_ = std::make_unique<MetadataService>(std::move(data_servers));
+  return cluster;
+}
+
+Status Cluster::shutdown() {
+  Status result = ok_status();
+  for (auto& ds : servers_) {
+    if (auto st = ds->server().shutdown(); !st.ok() && result.ok()) {
+      result = st;
+    }
+  }
+  return result;
+}
+
+}  // namespace pio::cluster

@@ -1,0 +1,54 @@
+// Cluster: one-call wiring for the whole multi-server stack — N
+// DataServers (each its own devices + scheduler + IoServer, optionally
+// its own parity/ResilientArray), a LocalTransport over their bounded
+// queues, and the MetadataService fronting them.  Embedders that need a
+// custom topology can assemble the pieces directly; tests, benches, and
+// the CLI go through here.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cluster/cluster_client.hpp"
+#include "cluster/data_server.hpp"
+#include "cluster/metadata_service.hpp"
+#include "cluster/transport.hpp"
+
+namespace pio::cluster {
+
+struct ClusterOptions {
+  std::size_t data_servers = 4;
+  /// Per-server template; each server gets name "<name><index>".
+  DataServerOptions data_server{};
+};
+
+class Cluster {
+ public:
+  /// Build and start the full stack (rejects zero data servers and any
+  /// invalid per-server configuration with Errc::invalid_argument).
+  static Result<std::unique_ptr<Cluster>> create(ClusterOptions options);
+
+  std::size_t size() const noexcept { return servers_.size(); }
+  DataServer& data_server(std::size_t i) noexcept { return *servers_[i]; }
+  MetadataService& metadata() noexcept { return *meta_; }
+  Transport& transport() noexcept { return *transport_; }
+
+  /// Open a routed client session against all data servers.
+  Result<ClusterClient> connect(ClusterClientOptions options = {}) {
+    return ClusterClient::connect(*meta_, *transport_, options);
+  }
+
+  /// Drain every data server: in-flight requests complete, new submits
+  /// fail with Errc::shutting_down.  Idempotent.
+  Status shutdown();
+
+ private:
+  Cluster() = default;
+
+  std::vector<std::unique_ptr<DataServer>> servers_;
+  std::unique_ptr<LocalTransport> transport_;
+  std::unique_ptr<MetadataService> meta_;
+};
+
+}  // namespace pio::cluster

@@ -1,0 +1,457 @@
+#include "cluster/cluster_client.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "obs/metrics.hpp"
+#include "obs/reqtrace.hpp"
+
+namespace pio::cluster {
+namespace {
+
+obs::OpClass op_class(bool is_write, bool strided) {
+  if (strided) {
+    return is_write ? obs::OpClass::write_strided : obs::OpClass::read_strided;
+  }
+  return is_write ? obs::OpClass::write : obs::OpClass::read;
+}
+
+}  // namespace
+
+ClusterClient::ClusterClient(MetadataService& meta,
+                             ClusterClientOptions options)
+    : meta_(&meta), options_(options) {}
+
+ClusterClient::~ClusterClient() {
+  if (meta_ == nullptr) return;  // moved-from
+  for (std::size_t i = 0; i < open_.size(); ++i) {
+    if (open_[i].live) (void)close(static_cast<ClusterToken>(i + 1));
+  }
+}
+
+Result<ClusterClient> ClusterClient::connect(MetadataService& meta,
+                                             Transport& transport,
+                                             ClusterClientOptions options) {
+  if (options.max_subrequest_bytes == 0 || options.window_per_server == 0) {
+    return make_error(Errc::invalid_argument,
+                      "sub-request window must be non-zero");
+  }
+  if (transport.server_count() != meta.server_count() ||
+      transport.server_count() == 0) {
+    return make_error(Errc::invalid_argument,
+                      "transport and metadata disagree on the server set");
+  }
+  ClusterClient client(meta, options);
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+  client.requests_counter_ = &registry.counter("cluster.requests");
+  client.subrequests_counter_ = &registry.counter("cluster.subrequests");
+  client.direct_bytes_counter_ = &registry.counter("cluster.direct_bytes");
+  client.staged_bytes_counter_ = &registry.counter("cluster.staged_bytes");
+  client.overload_retries_counter_ =
+      &registry.counter("cluster.overload_retries");
+  for (std::size_t s = 0; s < transport.server_count(); ++s) {
+    PIO_TRY_ASSIGN(auto channel, transport.connect(s));
+    client.channels_.push_back(std::move(channel));
+    const std::string prefix = "cluster.server" + std::to_string(s);
+    client.server_subrequests_.push_back(
+        &registry.counter(prefix + ".subrequests"));
+    client.server_bytes_.push_back(&registry.counter(prefix + ".bytes"));
+  }
+  return client;
+}
+
+Result<ClusterToken> ClusterClient::open(const std::string& name) {
+  PIO_TRY_ASSIGN(auto opened, meta_->open(name));
+  OpenState state;
+  state.live = true;
+  state.handle = opened.first;
+  state.meta = opened.second;
+  state.dist =
+      Distribution(state.meta.distribution, state.meta.capacity_records);
+  state.tokens.assign(channels_.size(), 0);
+  for (std::uint32_t s = 0; s < state.meta.distribution.servers; ++s) {
+    if (state.dist.server_records(s) == 0) continue;
+    auto token = channels_[s]->open(name);
+    if (!token.ok()) {
+      for (std::uint32_t undo = 0; undo < s; ++undo) {
+        if (state.tokens[undo] != 0) {
+          (void)channels_[undo]->close(state.tokens[undo]);
+        }
+      }
+      (void)meta_->close(state.handle);
+      return Error(token.error());
+    }
+    state.tokens[s] = *token;
+  }
+  for (std::size_t i = 0; i < open_.size(); ++i) {
+    if (!open_[i].live) {
+      open_[i] = std::move(state);
+      return static_cast<ClusterToken>(i + 1);
+    }
+  }
+  open_.push_back(std::move(state));
+  return static_cast<ClusterToken>(open_.size());
+}
+
+Status ClusterClient::close(ClusterToken token) {
+  PIO_TRY_ASSIGN(OpenState * state, state_for(token));
+  Status result = ok_status();
+  for (std::size_t s = 0; s < state->tokens.size(); ++s) {
+    if (state->tokens[s] == 0) continue;
+    if (auto st = channels_[s]->close(state->tokens[s]); !st.ok()) {
+      if (result.ok()) result = st;
+    }
+  }
+  if (auto st = meta_->close(state->handle); !st.ok() && result.ok()) {
+    result = st;
+  }
+  state->live = false;
+  state->tokens.clear();
+  return result;
+}
+
+Result<ClusterFileMeta> ClusterClient::stat(const std::string& name) {
+  return meta_->stat(name);
+}
+
+Status ClusterClient::flush() {
+  for (auto& channel : channels_) PIO_TRY(channel->flush());
+  return ok_status();
+}
+
+Result<ClusterClient::OpenState*> ClusterClient::state_for(
+    ClusterToken token) {
+  if (token == 0 || token > open_.size() || !open_[token - 1].live) {
+    return make_error(Errc::invalid_argument, "bad cluster token");
+  }
+  return &open_[token - 1];
+}
+
+void ClusterClient::plan_range(const Distribution& dist, std::uint64_t first,
+                               std::uint64_t count, std::uint64_t view_first,
+                               std::vector<SubXfer>& subs) const {
+  std::vector<DistRun> runs;
+  dist.map_range(first, count, runs);
+  // Per server the image of a contiguous range is ONE contiguous local
+  // interval (see distribution.hpp), so bucketing runs by server yields
+  // at most one SubXfer per server, whose pieces arrive local-ascending.
+  for (const DistRun& run : runs) {
+    SubXfer* sub = nullptr;
+    for (SubXfer& existing : subs) {
+      if (existing.server == run.server) {
+        sub = &existing;
+        break;
+      }
+    }
+    if (sub == nullptr) {
+      subs.push_back(SubXfer{run.server, run.local_first, 0, {}});
+      sub = &subs.back();
+    }
+    assert(run.local_first == sub->local_first + sub->records &&
+           "contiguous range must map to one local interval per server");
+    sub->pieces.push_back(CopyPiece{view_first + (run.logical_first - first),
+                                    run.local_first - sub->local_first,
+                                    run.records});
+    sub->records += run.records;
+  }
+}
+
+void ClusterClient::plan_strided(const Distribution& dist,
+                                 const StridedSpec& spec,
+                                 std::vector<SubXfer>& subs) const {
+  // Decompose each group, remembering where it sits in the packed view
+  // buffer, then merge locally-contiguous runs per server so aligned
+  // strides collapse into few sub-requests instead of one per group.
+  struct RoutedRun {
+    std::uint32_t server;
+    std::uint64_t local_first;
+    std::uint64_t view_first;
+    std::uint64_t records;
+  };
+  std::vector<RoutedRun> routed;
+  std::vector<DistRun> runs;
+  for (std::uint64_t g = 0; g < spec.count; ++g) {
+    const std::uint64_t group_start = spec.start_record + g * spec.stride_records;
+    runs.clear();
+    dist.map_range(group_start, spec.block_records, runs);
+    for (const DistRun& run : runs) {
+      routed.push_back(RoutedRun{
+          run.server, run.local_first,
+          g * spec.block_records + (run.logical_first - group_start),
+          run.records});
+    }
+  }
+  std::stable_sort(routed.begin(), routed.end(),
+                   [](const RoutedRun& a, const RoutedRun& b) {
+                     if (a.server != b.server) return a.server < b.server;
+                     return a.local_first < b.local_first;
+                   });
+  for (const RoutedRun& run : routed) {
+    if (!subs.empty()) {
+      SubXfer& prev = subs.back();
+      if (prev.server == run.server &&
+          prev.local_first + prev.records == run.local_first) {
+        prev.pieces.push_back(
+            CopyPiece{run.view_first, prev.records, run.records});
+        prev.records += run.records;
+        continue;
+      }
+    }
+    subs.push_back(SubXfer{run.server, run.local_first, run.records,
+                           {CopyPiece{run.view_first, 0, run.records}}});
+  }
+}
+
+void ClusterClient::window_subs(std::uint32_t record_bytes,
+                                std::vector<SubXfer>& subs) const {
+  const std::uint64_t max_records =
+      std::max<std::uint64_t>(1, options_.max_subrequest_bytes / record_bytes);
+  std::vector<SubXfer> windowed;
+  windowed.reserve(subs.size());
+  for (SubXfer& sub : subs) {
+    if (sub.records <= max_records) {
+      windowed.push_back(std::move(sub));
+      continue;
+    }
+    for (std::uint64_t cut = 0; cut < sub.records; cut += max_records) {
+      const std::uint64_t cut_end = std::min(sub.records, cut + max_records);
+      SubXfer part{sub.server, sub.local_first + cut, cut_end - cut, {}};
+      for (const CopyPiece& piece : sub.pieces) {
+        const std::uint64_t lo = std::max(piece.sub_record, cut);
+        const std::uint64_t hi =
+            std::min(piece.sub_record + piece.records, cut_end);
+        if (lo >= hi) continue;
+        part.pieces.push_back(CopyPiece{
+            piece.buf_record + (lo - piece.sub_record), lo - cut, hi - lo});
+      }
+      windowed.push_back(std::move(part));
+    }
+  }
+  subs = std::move(windowed);
+}
+
+Status ClusterClient::execute(OpenState& state, std::vector<SubXfer>& subs,
+                              bool is_write, std::span<std::byte> out,
+                              std::span<const std::byte> in,
+                              obs::RequestTimeline* t) {
+  const std::uint32_t rb = state.meta.record_bytes;
+  window_subs(rb, subs);
+  subrequests_counter_->inc(subs.size());
+
+  // Staging buffers outlive their futures: sized up front so the outer
+  // vector never reallocates while sub-requests are in flight.
+  std::vector<std::vector<std::byte>> staged(subs.size());
+  std::vector<server::Future> futures(subs.size());
+  std::vector<std::deque<std::size_t>> inflight(channels_.size());
+  std::vector<std::size_t> inflight_order;  // submission order, for draining
+
+  Status first_error = ok_status();
+  std::uint64_t expected_records = 0;
+
+  for (std::size_t i = 0; i < subs.size() && first_error.ok(); ++i) {
+    SubXfer& sub = subs[i];
+    const std::size_t bytes = static_cast<std::size_t>(sub.records) * rb;
+    std::span<std::byte> read_span;
+    std::span<const std::byte> write_span;
+    if (sub.pieces.size() == 1) {
+      // One contiguous slice of the caller's buffer: zero-copy.
+      const std::size_t at =
+          static_cast<std::size_t>(sub.pieces[0].buf_record) * rb;
+      if (is_write) {
+        write_span = in.subspan(at, bytes);
+      } else {
+        read_span = out.subspan(at, bytes);
+      }
+      direct_bytes_counter_->inc(bytes);
+    } else {
+      staged[i].resize(bytes);
+      if (is_write) {
+        for (const CopyPiece& piece : sub.pieces) {
+          std::memcpy(staged[i].data() + piece.sub_record * rb,
+                      in.data() + piece.buf_record * rb, piece.records * rb);
+        }
+        write_span = staged[i];
+      } else {
+        read_span = staged[i];
+      }
+      staged_bytes_counter_->inc(bytes);
+    }
+
+    server::RequestOp op;
+    if (is_write) {
+      op = server::WriteRecordsOp{state.tokens[sub.server], sub.local_first,
+                                  sub.records, write_span};
+    } else {
+      op = server::ReadRecordsOp{state.tokens[sub.server], sub.local_first,
+                                 sub.records, read_span};
+    }
+
+    std::size_t overload_spins = 0;
+    for (;;) {
+      auto accepted = channels_[sub.server]->submit(op);
+      if (accepted.ok()) {
+        futures[i] = std::move(*accepted);
+        inflight[sub.server].push_back(i);
+        inflight_order.push_back(i);
+        expected_records += sub.records;
+        server_subrequests_[sub.server]->inc();
+        server_bytes_[sub.server]->inc(bytes);
+        break;
+      }
+      if (accepted.code() != Errc::overloaded) {
+        first_error = Error(accepted.error());
+        break;
+      }
+      // Canonical overload reaction: wait on our oldest in-flight
+      // sub-request on that server and retry; if the pressure is other
+      // sessions' load, back off a bounded number of times.
+      overload_retries_counter_->inc();
+      if (!inflight[sub.server].empty()) {
+        const std::size_t oldest = inflight[sub.server].front();
+        inflight[sub.server].pop_front();
+        if (auto st = futures[oldest].wait(); !st.ok() && first_error.ok()) {
+          first_error = st;
+          break;
+        }
+      } else if (++overload_spins <= options_.overload_retries) {
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(options_.overload_backoff_us));
+      } else {
+        first_error = Error(accepted.error());
+        break;
+      }
+    }
+    if (!first_error.ok()) break;
+
+    if (inflight[sub.server].size() >= options_.window_per_server) {
+      const std::size_t oldest = inflight[sub.server].front();
+      inflight[sub.server].pop_front();
+      if (auto st = futures[oldest].wait(); !st.ok()) first_error = st;
+    }
+  }
+
+  obs::Profiler::global().stamp(t, obs::Stage::handoff);
+
+  // Fan in: EVERY accepted future must resolve before any staging buffer
+  // (or the caller's spans) may be released — even on the error path.
+  std::uint64_t transferred = 0;
+  for (std::size_t i : inflight_order) {
+    const server::Response& response = futures[i].get();
+    if (!response.status.ok()) {
+      if (first_error.ok()) first_error = Status{response.status.error()};
+    } else {
+      transferred += response.transferred;
+    }
+  }
+  if (!first_error.ok()) return first_error;
+  if (transferred != expected_records) {
+    return make_error(Errc::internal, "cluster fan-in lost records");
+  }
+
+  if (!is_write) {
+    // Reassemble: scatter staged payloads into the caller's view buffer.
+    for (std::size_t i = 0; i < subs.size(); ++i) {
+      if (staged[i].empty()) continue;
+      for (const CopyPiece& piece : subs[i].pieces) {
+        std::memcpy(out.data() + piece.buf_record * rb,
+                    staged[i].data() + piece.sub_record * rb,
+                    piece.records * rb);
+      }
+    }
+  }
+  return ok_status();
+}
+
+Status ClusterClient::read_records(ClusterToken token, std::uint64_t first,
+                                   std::uint64_t count,
+                                   std::span<std::byte> out) {
+  PIO_TRY_ASSIGN(OpenState * state, state_for(token));
+  if (first + count > state->meta.capacity_records) return Errc::out_of_range;
+  if (out.size() < count * state->meta.record_bytes) {
+    return make_error(Errc::invalid_argument, "output buffer too small");
+  }
+  requests_counter_->inc();
+  obs::Profiler& profiler = obs::Profiler::global();
+  obs::RequestTimeline* t = profiler.acquire(op_class(false, false));
+  profiler.stamp(t, obs::Stage::accepted);
+  std::vector<SubXfer> subs;
+  plan_range(state->dist, first, count, 0, subs);
+  Status st = execute(*state, subs, false, out, {}, t);
+  profiler.stamp(t, obs::Stage::completed);
+  profiler.retire(t);
+  return st;
+}
+
+Status ClusterClient::write_records(ClusterToken token, std::uint64_t first,
+                                    std::uint64_t count,
+                                    std::span<const std::byte> in) {
+  PIO_TRY_ASSIGN(OpenState * state, state_for(token));
+  if (first + count > state->meta.capacity_records) return Errc::out_of_range;
+  if (in.size() < count * state->meta.record_bytes) {
+    return make_error(Errc::invalid_argument, "input buffer too small");
+  }
+  requests_counter_->inc();
+  obs::Profiler& profiler = obs::Profiler::global();
+  obs::RequestTimeline* t = profiler.acquire(op_class(true, false));
+  profiler.stamp(t, obs::Stage::accepted);
+  std::vector<SubXfer> subs;
+  plan_range(state->dist, first, count, 0, subs);
+  Status st = execute(*state, subs, true, {}, in, t);
+  profiler.stamp(t, obs::Stage::completed);
+  profiler.retire(t);
+  return st;
+}
+
+Status ClusterClient::read_strided(ClusterToken token, const StridedSpec& spec,
+                                   std::span<std::byte> out) {
+  PIO_TRY_ASSIGN(OpenState * state, state_for(token));
+  if (!spec.valid()) {
+    return make_error(Errc::invalid_argument, "malformed strided spec");
+  }
+  if (spec.end_record() > state->meta.capacity_records) {
+    return Errc::out_of_range;
+  }
+  if (out.size() < spec.total_records() * state->meta.record_bytes) {
+    return make_error(Errc::invalid_argument, "output buffer too small");
+  }
+  requests_counter_->inc();
+  obs::Profiler& profiler = obs::Profiler::global();
+  obs::RequestTimeline* t = profiler.acquire(op_class(false, true));
+  profiler.stamp(t, obs::Stage::accepted);
+  std::vector<SubXfer> subs;
+  plan_strided(state->dist, spec, subs);
+  Status st = execute(*state, subs, false, out, {}, t);
+  profiler.stamp(t, obs::Stage::completed);
+  profiler.retire(t);
+  return st;
+}
+
+Status ClusterClient::write_strided(ClusterToken token,
+                                    const StridedSpec& spec,
+                                    std::span<const std::byte> in) {
+  PIO_TRY_ASSIGN(OpenState * state, state_for(token));
+  if (!spec.valid()) {
+    return make_error(Errc::invalid_argument, "malformed strided spec");
+  }
+  if (spec.end_record() > state->meta.capacity_records) {
+    return Errc::out_of_range;
+  }
+  if (in.size() < spec.total_records() * state->meta.record_bytes) {
+    return make_error(Errc::invalid_argument, "input buffer too small");
+  }
+  requests_counter_->inc();
+  obs::Profiler& profiler = obs::Profiler::global();
+  obs::RequestTimeline* t = profiler.acquire(op_class(true, true));
+  profiler.stamp(t, obs::Stage::accepted);
+  std::vector<SubXfer> subs;
+  plan_strided(state->dist, spec, subs);
+  Status st = execute(*state, subs, true, {}, in, t);
+  profiler.stamp(t, obs::Stage::completed);
+  profiler.retire(t);
+  return st;
+}
+
+}  // namespace pio::cluster

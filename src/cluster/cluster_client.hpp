@@ -1,0 +1,145 @@
+// ClusterClient: the client-side router that keeps the paper's standard
+// one-file view over N data servers.  open() resolves a handle's
+// DistributionSpec from the MetadataService ONCE; every read/write then
+// routes client-side: the Distribution decomposes the logical record
+// range (or strided view) into per-server (local offset, length) runs,
+// the router issues the per-server sub-requests CONCURRENTLY through the
+// Transport's async futures, and reassembles the payloads so callers see
+// bytes identical to a single-server file at any server count.
+//
+// Reassembly policy: a sub-request whose payload is one contiguous slice
+// of the caller's buffer is issued zero-copy on that slice; scattered
+// mappings (cyclic/strided interleavings) stage per sub-request and
+// memcpy per run.  Large sub-requests are windowed to
+// max_subrequest_bytes and at most window_per_server ride one channel at
+// a time; Errc::overloaded from a server is absorbed by waiting on this
+// client's oldest in-flight sub-request (the canonical reaction), with a
+// bounded backoff when the pressure is other sessions' load.
+//
+// Observability: cluster.* counters (fan-out width, staged vs zero-copy
+// bytes, overload retries, per-server sub-request/byte counts) plus a
+// reqtrace timeline across the router hop — accepted at entry, handoff
+// once the fan-out is fully submitted, completed after reassembly — so
+// bottleneck attribution can split router time from server time.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/distribution.hpp"
+#include "cluster/metadata_service.hpp"
+#include "cluster/transport.hpp"
+
+namespace pio::obs {
+class Counter;
+class RequestTimeline;
+}  // namespace pio::obs
+
+namespace pio::cluster {
+
+/// Client-side handle to an open cluster file.  0 is never valid.
+using ClusterToken = std::uint32_t;
+
+struct ClusterClientOptions {
+  /// Ceiling on one sub-request's payload; larger per-server transfers
+  /// are windowed into several sub-requests.  Keep below the servers'
+  /// max_inflight_bytes_per_session (a single oversized request is
+  /// rejected outright there).
+  std::uint64_t max_subrequest_bytes = 4ull << 20;
+  /// Sub-requests in flight per server channel before the router waits
+  /// on its oldest future.
+  std::size_t window_per_server = 8;
+  /// Bounded retries when a server is overloaded by OTHER sessions and
+  /// this client has nothing of its own to wait on.
+  std::size_t overload_retries = 64;
+  std::uint64_t overload_backoff_us = 200;
+};
+
+class ClusterClient {
+ public:
+  static Result<ClusterClient> connect(MetadataService& meta,
+                                       Transport& transport,
+                                       ClusterClientOptions options = {});
+  ~ClusterClient();
+
+  ClusterClient(ClusterClient&&) noexcept = default;
+  ClusterClient& operator=(ClusterClient&&) noexcept = default;
+  ClusterClient(const ClusterClient&) = delete;
+  ClusterClient& operator=(const ClusterClient&) = delete;
+
+  Result<ClusterToken> open(const std::string& name);
+  Status close(ClusterToken token);
+  Result<ClusterFileMeta> stat(const std::string& name);
+  /// Flush every data server (fragment catalogs + data).
+  Status flush();
+
+  Status read_records(ClusterToken token, std::uint64_t first,
+                      std::uint64_t count, std::span<std::byte> out);
+  Status write_records(ClusterToken token, std::uint64_t first,
+                       std::uint64_t count, std::span<const std::byte> in);
+  Status read_strided(ClusterToken token, const StridedSpec& spec,
+                      std::span<std::byte> out);
+  Status write_strided(ClusterToken token, const StridedSpec& spec,
+                       std::span<const std::byte> in);
+
+ private:
+  /// One contiguous view-buffer <-> sub-request payload copy run.
+  struct CopyPiece {
+    std::uint64_t buf_record = 0;  ///< record offset in the caller buffer
+    std::uint64_t sub_record = 0;  ///< record offset in the sub-payload
+    std::uint64_t records = 0;
+  };
+  /// One per-server sub-request: a contiguous local fragment range plus
+  /// the scatter/gather map back into the caller's buffer.
+  struct SubXfer {
+    std::uint32_t server = 0;
+    std::uint64_t local_first = 0;
+    std::uint64_t records = 0;
+    std::vector<CopyPiece> pieces;
+  };
+  struct OpenState {
+    bool live = false;
+    ClusterHandle handle = 0;
+    ClusterFileMeta meta;
+    Distribution dist{DistributionSpec{}, 0};
+    /// Per-server fragment tokens; 0 where the file has no fragment.
+    std::vector<server::FileToken> tokens;
+  };
+
+  ClusterClient(MetadataService& meta, ClusterClientOptions options);
+
+  Result<OpenState*> state_for(ClusterToken token);
+  /// Decompose a contiguous record range; `view_first` is where the
+  /// range's first record sits in the caller's buffer.
+  void plan_range(const Distribution& dist, std::uint64_t first,
+                  std::uint64_t count, std::uint64_t view_first,
+                  std::vector<SubXfer>& subs) const;
+  /// Decompose a strided view (per-group plan_range + per-server merge).
+  void plan_strided(const Distribution& dist, const StridedSpec& spec,
+                    std::vector<SubXfer>& subs) const;
+  /// Split sub-requests larger than max_subrequest_bytes.
+  void window_subs(std::uint32_t record_bytes,
+                   std::vector<SubXfer>& subs) const;
+  /// Fan out `subs`, wait for every future, scatter/gather payloads.
+  Status execute(OpenState& state, std::vector<SubXfer>& subs, bool is_write,
+                 std::span<std::byte> out, std::span<const std::byte> in,
+                 obs::RequestTimeline* t);
+
+  MetadataService* meta_ = nullptr;
+  ClusterClientOptions options_;
+  std::vector<std::unique_ptr<ServerChannel>> channels_;
+  std::vector<OpenState> open_;  ///< index + 1 == ClusterToken
+
+  obs::Counter* requests_counter_ = nullptr;
+  obs::Counter* subrequests_counter_ = nullptr;
+  obs::Counter* direct_bytes_counter_ = nullptr;
+  obs::Counter* staged_bytes_counter_ = nullptr;
+  obs::Counter* overload_retries_counter_ = nullptr;
+  std::vector<obs::Counter*> server_subrequests_;
+  std::vector<obs::Counter*> server_bytes_;
+};
+
+}  // namespace pio::cluster

@@ -1,0 +1,85 @@
+#include "cluster/data_server.hpp"
+
+#include "device/latency_device.hpp"
+#include "device/ram_disk.hpp"
+
+namespace pio::cluster {
+namespace {
+
+std::unique_ptr<BlockDevice> make_disk(const DataServerOptions& options,
+                                       const std::string& name) {
+  std::unique_ptr<BlockDevice> dev =
+      std::make_unique<RamDisk>(name, options.device_bytes);
+  if (options.device_op_cost_us > 0.0) {
+    dev = std::make_unique<LatencyDevice>(std::move(dev),
+                                          options.device_op_cost_us);
+  }
+  return dev;
+}
+
+}  // namespace
+
+DataServer::DataServer(DataServerOptions options)
+    : options_(std::move(options)) {}
+
+Result<std::unique_ptr<DataServer>> DataServer::create(
+    DataServerOptions options) {
+  if (options.devices == 0) {
+    return make_error(Errc::invalid_argument,
+                      "data server needs at least one device");
+  }
+  if (options.resilient && options.devices < 2) {
+    return make_error(Errc::invalid_argument,
+                      "resilient data server needs at least two devices");
+  }
+  FileSystemOptions fs_options{};
+  if (options.device_bytes < fs_options.reserved_bytes()) {
+    return make_error(Errc::invalid_argument,
+                      "device too small for a file system fragment");
+  }
+  PIO_TRY(server::validate(options.server));
+
+  auto ds = std::unique_ptr<DataServer>(new DataServer(std::move(options)));
+  const DataServerOptions& opt = ds->options_;
+
+  if (opt.resilient) {
+    // Per-server reliability domain: FaultyDevice wrappers (scripted
+    // kills) + one parity device + ResilientArray, served via the
+    // resilient view so degraded reads/writes are transparent upstream.
+    std::vector<BlockDevice*> members;
+    std::vector<std::size_t> indices;
+    for (std::size_t d = 0; d < opt.devices; ++d) {
+      auto dev = std::make_unique<FaultyDevice>(
+          make_disk(opt, opt.name + ".disk" + std::to_string(d)));
+      ds->faulty_.push_back(dev.get());
+      ds->raw_.add(std::move(dev));
+      members.push_back(&ds->raw_[d]);
+      indices.push_back(d);
+    }
+    ds->parity_device_ =
+        std::make_unique<RamDisk>(opt.name + ".parity", opt.device_bytes);
+    ds->parity_group_ =
+        std::make_unique<ParityGroup>(members, ds->parity_device_.get());
+    ds->resilient_ = std::make_unique<ResilientArray>(ds->raw_, opt.resilience);
+    PIO_TRY(ds->resilient_->protect_with_parity(*ds->parity_group_, indices));
+    ds->serving_ = ds->resilient_->resilient_view();
+  } else {
+    for (std::size_t d = 0; d < opt.devices; ++d) {
+      ds->serving_.add(make_disk(opt, opt.name + ".disk" + std::to_string(d)));
+    }
+  }
+
+  PIO_TRY_ASSIGN(ds->fs_, FileSystem::format(ds->serving_));
+  ds->server_ =
+      std::make_unique<server::IoServer>(*ds->fs_, ds->serving_, opt.server);
+  return ds;
+}
+
+DataServer::~DataServer() {
+  // Drain the embedded server before any device teardown; a rebuild
+  // still running would otherwise race the parity group's destruction.
+  if (server_) (void)server_->shutdown();
+  if (resilient_) (void)resilient_->wait_rebuild();
+}
+
+}  // namespace pio::cluster

@@ -1,0 +1,87 @@
+// DataServer: one node of the cluster — today's whole single-server
+// stack (DeviceArray -> optional ResilientArray -> FileSystem fragment ->
+// IoServer) shrunk to a component and stamped out N times.  Each data
+// server owns its own devices, scheduler, and dispatchers, so aggregate
+// cluster bandwidth scales with the server count instead of being capped
+// by one machine's rings; with `resilient` set, every server carries its
+// own parity group + ResilientArray, making a device kill + online
+// rebuild a SERVER-local event the rest of the cluster never sees.
+//
+// The MetadataService drives the fragment FileSystem directly
+// (create/remove are control-plane); all data bytes flow through the
+// embedded IoServer via the Transport.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/file_system.hpp"
+#include "device/device.hpp"
+#include "device/faulty_device.hpp"
+#include "device/parity_group.hpp"
+#include "reliability/resilient_array.hpp"
+#include "server/io_server.hpp"
+
+namespace pio::cluster {
+
+struct DataServerOptions {
+  /// Prefix for device names ("<name>.disk<i>") and metrics labels.
+  std::string name = "ds";
+  std::size_t devices = 2;
+  std::uint64_t device_bytes = 32ull << 20;
+  /// Price each device op at this many microseconds of sleep (0 = free):
+  /// scaling benches and drain tests use this to stand in for real media.
+  double device_op_cost_us = 0.0;
+  /// Wrap the devices in FaultyDevice + per-server parity + ResilientArray
+  /// so scripted kills, degraded service, and online rebuild compose per
+  /// server (requires devices >= 2).
+  bool resilient = false;
+  ResilientOptions resilience{};
+  server::IoServerOptions server{};
+};
+
+class DataServer {
+ public:
+  /// Build the full per-server stack (rejects zero devices, undersized
+  /// devices, and invalid embedded server options with
+  /// Errc::invalid_argument — see server::validate()).
+  static Result<std::unique_ptr<DataServer>> create(DataServerOptions options);
+  ~DataServer();
+
+  DataServer(const DataServer&) = delete;
+  DataServer& operator=(const DataServer&) = delete;
+
+  const std::string& name() const noexcept { return options_.name; }
+  server::IoServer& server() noexcept { return *server_; }
+  FileSystem& fs() noexcept { return *fs_; }
+  std::size_t device_count() const noexcept { return serving_.size(); }
+
+  // ------------------------------------------------ resilient-mode hooks
+  // (null when the server was built with resilient = false)
+
+  ResilientArray* resilient() noexcept { return resilient_.get(); }
+  ParityGroup* parity_group() noexcept { return parity_group_.get(); }
+  /// The scripted-fault wrapper around data device `d`.
+  FaultyDevice* faulty(std::size_t d) noexcept {
+    return d < faulty_.size() ? faulty_[d] : nullptr;
+  }
+
+ private:
+  explicit DataServer(DataServerOptions options);
+
+  DataServerOptions options_;
+  // Destruction order matters (members destroyed bottom-up): the IoServer
+  // drains first, then the FileSystem, then the views, then the devices.
+  DeviceArray raw_;                             ///< owning, resilient mode
+  std::vector<FaultyDevice*> faulty_;           ///< non-owning, into raw_
+  std::unique_ptr<BlockDevice> parity_device_;  ///< resilient mode
+  std::unique_ptr<ParityGroup> parity_group_;
+  std::unique_ptr<ResilientArray> resilient_;
+  DeviceArray serving_;  ///< what FileSystem/IoServer actually see
+  std::unique_ptr<FileSystem> fs_;
+  std::unique_ptr<server::IoServer> server_;
+};
+
+}  // namespace pio::cluster

@@ -1,0 +1,92 @@
+#include "cluster/distribution.hpp"
+
+namespace pio::cluster {
+
+std::string_view distribution_kind_name(DistributionKind kind) {
+  switch (kind) {
+    case DistributionKind::block:
+      return "block";
+    case DistributionKind::cyclic:
+      return "cyclic";
+    case DistributionKind::strided:
+      return "strided";
+  }
+  return "unknown";
+}
+
+std::optional<DistributionKind> parse_distribution_kind(
+    std::string_view name) {
+  if (name == "block") return DistributionKind::block;
+  if (name == "cyclic") return DistributionKind::cyclic;
+  if (name == "strided") return DistributionKind::strided;
+  return std::nullopt;
+}
+
+Distribution::Distribution(const DistributionSpec& spec,
+                           std::uint64_t capacity_records)
+    : servers_(spec.servers == 0 ? 1 : spec.servers),
+      capacity_(capacity_records) {
+  switch (spec.kind) {
+    case DistributionKind::block:
+      // One contiguous slab per server; the last slab may be short.
+      chunk_ = capacity_ == 0 ? 1 : (capacity_ + servers_ - 1) / servers_;
+      break;
+    case DistributionKind::cyclic:
+      chunk_ = 1;
+      break;
+    case DistributionKind::strided:
+      chunk_ = spec.chunk_records == 0 ? 1 : spec.chunk_records;
+      break;
+  }
+  if (chunk_ == 0) chunk_ = 1;
+}
+
+std::pair<std::uint32_t, std::uint64_t> Distribution::locate(
+    std::uint64_t r) const {
+  const std::uint64_t k = r / chunk_;
+  const auto server = static_cast<std::uint32_t>(k % servers_);
+  const std::uint64_t local = (k / servers_) * chunk_ + r % chunk_;
+  return {server, local};
+}
+
+std::uint64_t Distribution::logical(std::uint32_t server,
+                                    std::uint64_t local) const {
+  const std::uint64_t k = (local / chunk_) * servers_ + server;
+  return k * chunk_ + local % chunk_;
+}
+
+std::uint64_t Distribution::server_records(std::uint32_t server) const {
+  if (capacity_ == 0) return 0;
+  const std::uint64_t chunks = (capacity_ + chunk_ - 1) / chunk_;
+  const std::uint64_t full = chunks / servers_;
+  const std::uint64_t rem = chunks % servers_;
+  std::uint64_t records = (full + (server < rem ? 1 : 0)) * chunk_;
+  // The globally last chunk may be short; its owner gives back the slack.
+  if ((chunks - 1) % servers_ == server) records -= chunks * chunk_ - capacity_;
+  return records;
+}
+
+void Distribution::map_range(std::uint64_t first, std::uint64_t count,
+                             std::vector<DistRun>& out) const {
+  std::uint64_t r = first;
+  const std::uint64_t end = first + count;
+  while (r < end) {
+    const std::uint64_t chunk_end = (r / chunk_ + 1) * chunk_;
+    const std::uint64_t n = std::min(end, chunk_end) - r;
+    const auto [server, local] = locate(r);
+    if (!out.empty()) {
+      DistRun& prev = out.back();
+      if (prev.server == server &&
+          prev.logical_first + prev.records == r &&
+          prev.local_first + prev.records == local) {
+        prev.records += n;
+        r += n;
+        continue;
+      }
+    }
+    out.push_back(DistRun{server, local, r, n});
+    r += n;
+  }
+}
+
+}  // namespace pio::cluster

@@ -1,0 +1,97 @@
+// Distribution: the cluster's answer to §3's mapping functions, lifted
+// from "which disk holds this block" to "which data server holds this
+// record".  A DistributionSpec names one of three pluggable layouts —
+// block (one contiguous slab per server), cyclic (record round-robin),
+// and strided (block-cyclic: chunks of `chunk_records` dealt round-robin)
+// — and Distribution turns it into the two maps the router needs:
+//
+//   locate(r)            -> (server, local record index)      forward
+//   logical(server, l)   -> r                                 inverse
+//
+// plus map_range(), which decomposes a contiguous logical record range
+// into per-server runs.  All three layouts are block-cyclic with some
+// chunk size c (cyclic: c = 1; block: c = ceil(capacity / servers)), so
+// one formula serves: record r lives in chunk k = r / c, on server
+// k % S, at local offset (k / S) * c + r % c.
+//
+// A property the router leans on: the image of a *contiguous* logical
+// range on any one server is a *contiguous* local interval (a partial
+// head chunk is covered through its end, a partial tail chunk from its
+// start, and interior chunks on one server are locally consecutive).
+// map_range still reports per-chunk runs so callers can reassemble
+// scattered view buffers, but per server there is exactly one hole-free
+// local interval — i.e. at most one sub-request per server per range.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace pio::cluster {
+
+enum class DistributionKind : std::uint8_t {
+  block,    ///< server s owns one contiguous slab of ceil(capacity/S) records
+  cyclic,   ///< record r lives on server r % S
+  strided,  ///< chunks of `chunk_records` dealt round-robin (block-cyclic)
+};
+
+/// "block" / "cyclic" / "strided" — for CLI flags and bench labels.
+std::string_view distribution_kind_name(DistributionKind kind);
+std::optional<DistributionKind> parse_distribution_kind(std::string_view name);
+
+/// Per-file distribution descriptor, chosen at create time and stored in
+/// the metadata service; clients resolve it once at open.
+struct DistributionSpec {
+  DistributionKind kind = DistributionKind::strided;
+  /// Number of data servers the file is spread over (0 = "all servers",
+  /// resolved by the MetadataService at create).
+  std::uint32_t servers = 0;
+  /// Records per chunk for `strided`; ignored for block and cyclic.
+  std::uint64_t chunk_records = 64;
+};
+
+/// One run of a decomposed logical range: `records` records that are
+/// contiguous both in the logical file (from `logical_first`) and in
+/// server `server`'s fragment (from `local_first`).
+struct DistRun {
+  std::uint32_t server = 0;
+  std::uint64_t local_first = 0;
+  std::uint64_t logical_first = 0;
+  std::uint64_t records = 0;
+};
+
+/// A resolved spec bound to a file capacity: pure arithmetic, no state.
+class Distribution {
+ public:
+  Distribution(const DistributionSpec& spec, std::uint64_t capacity_records);
+
+  std::uint32_t servers() const noexcept { return servers_; }
+  std::uint64_t chunk_records() const noexcept { return chunk_; }
+  std::uint64_t capacity_records() const noexcept { return capacity_; }
+
+  /// Forward map: owner of logical record `r` and its index in that
+  /// server's fragment.
+  std::pair<std::uint32_t, std::uint64_t> locate(std::uint64_t r) const;
+
+  /// Inverse map: the logical record stored at `local` on `server`.
+  std::uint64_t logical(std::uint32_t server, std::uint64_t local) const;
+
+  /// Fragment capacity: how many of the file's records land on `server`.
+  std::uint64_t server_records(std::uint32_t server) const;
+
+  /// Decompose [first, first + count) into per-chunk runs (appended to
+  /// `out` in logical order).  Adjacent pieces that stay contiguous on
+  /// the same server are merged, so S == 1 yields a single run.
+  void map_range(std::uint64_t first, std::uint64_t count,
+                 std::vector<DistRun>& out) const;
+
+ private:
+  std::uint32_t servers_ = 1;
+  std::uint64_t chunk_ = 1;
+  std::uint64_t capacity_ = 0;
+};
+
+}  // namespace pio::cluster

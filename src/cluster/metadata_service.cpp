@@ -1,0 +1,128 @@
+#include "cluster/metadata_service.hpp"
+
+#include "obs/metrics.hpp"
+
+namespace pio::cluster {
+
+MetadataService::MetadataService(std::vector<DataServer*> servers)
+    : servers_(std::move(servers)) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+  creates_counter_ = &registry.counter("cluster.meta.creates");
+  opens_counter_ = &registry.counter("cluster.meta.opens");
+  files_gauge_ = &registry.gauge("cluster.meta.files");
+  handles_gauge_ = &registry.gauge("cluster.meta.handles");
+}
+
+Result<ClusterFileMeta> MetadataService::create(
+    const ClusterCreateOptions& options) {
+  if (options.name.empty()) {
+    return make_error(Errc::invalid_argument, "empty file name");
+  }
+  if (options.record_bytes == 0) {
+    return make_error(Errc::invalid_argument, "record_bytes must be > 0");
+  }
+  if (options.capacity_records == 0) {
+    return make_error(Errc::invalid_argument, "capacity_records must be > 0");
+  }
+  DistributionSpec spec = options.distribution;
+  if (spec.servers == 0) {
+    spec.servers = static_cast<std::uint32_t>(servers_.size());
+  }
+  if (spec.servers > servers_.size()) {
+    return make_error(Errc::invalid_argument,
+                      "distribution names more servers than the cluster has");
+  }
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (files_.count(options.name) != 0) return Errc::already_exists;
+
+  // Carve the fragments: each touched server gets a same-named file whose
+  // capacity is exactly its share of the distribution.
+  const Distribution dist(spec, options.capacity_records);
+  std::vector<std::size_t> created;
+  for (std::uint32_t s = 0; s < spec.servers; ++s) {
+    const std::uint64_t records = dist.server_records(s);
+    if (records == 0) continue;
+    CreateOptions frag{};
+    frag.name = options.name;
+    frag.organization = Organization::sequential;
+    frag.record_bytes = options.record_bytes;
+    frag.capacity_records = records;
+    auto file = servers_[s]->fs().create(frag);
+    if (!file.ok()) {
+      for (std::size_t undo : created) {
+        (void)servers_[undo]->fs().remove(options.name);
+      }
+      return Error(file.error());
+    }
+    created.push_back(s);
+  }
+
+  ClusterFileMeta meta{options.name, options.record_bytes,
+                       options.capacity_records, spec};
+  files_.emplace(options.name, meta);
+  creates_counter_->inc();
+  files_gauge_->add(1);
+  return meta;
+}
+
+Result<std::pair<ClusterHandle, ClusterFileMeta>> MetadataService::open(
+    const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = files_.find(name);
+  if (it == files_.end()) return Errc::not_found;
+  const ClusterHandle handle = next_handle_++;
+  handles_.emplace(handle, name);
+  opens_counter_->inc();
+  handles_gauge_->add(1);
+  return std::make_pair(handle, it->second);
+}
+
+Status MetadataService::close(ClusterHandle handle) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (handles_.erase(handle) == 0) return Errc::not_found;
+  handles_gauge_->add(-1);
+  return ok_status();
+}
+
+Result<ClusterFileMeta> MetadataService::stat(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = files_.find(name);
+  if (it == files_.end()) return Errc::not_found;
+  return it->second;
+}
+
+Status MetadataService::remove(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = files_.find(name);
+  if (it == files_.end()) return Errc::not_found;
+  for (const auto& [handle, open_name] : handles_) {
+    if (open_name == name) {
+      return make_error(Errc::busy, "cluster file has open handles");
+    }
+  }
+  const Distribution dist(it->second.distribution,
+                          it->second.capacity_records);
+  for (std::uint32_t s = 0; s < it->second.distribution.servers; ++s) {
+    if (dist.server_records(s) == 0) continue;
+    PIO_TRY(servers_[s]->fs().remove(name));
+  }
+  files_.erase(it);
+  files_gauge_->add(-1);
+  return ok_status();
+}
+
+std::vector<ClusterFileMeta> MetadataService::list() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<ClusterFileMeta> out;
+  out.reserve(files_.size());
+  for (const auto& [name, meta] : files_) out.push_back(meta);
+  return out;
+}
+
+std::size_t MetadataService::open_handles() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return handles_.size();
+}
+
+}  // namespace pio::cluster

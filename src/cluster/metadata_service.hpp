@@ -1,0 +1,84 @@
+// MetadataService: the cluster's control plane — the PVFS/ViPIOS-style
+// split where ONE service owns names, handles, and layout while N data
+// servers own bytes.  create() carves a file into per-server fragments
+// (each data server's FileSystem gets a same-named file sized to exactly
+// the records the DistributionSpec lands there) and records the spec;
+// open() issues a ClusterHandle whose meta the client resolves ONCE and
+// then routes with — so no data byte, and no per-I/O round trip, ever
+// touches this service.  Everything here is control-plane-rate and sits
+// behind one mutex.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "cluster/data_server.hpp"
+#include "cluster/distribution.hpp"
+
+namespace pio::obs {
+class Counter;
+class Gauge;
+}  // namespace pio::obs
+
+namespace pio::cluster {
+
+using ClusterHandle = std::uint64_t;
+
+struct ClusterCreateOptions {
+  std::string name;
+  std::uint32_t record_bytes = 0;
+  std::uint64_t capacity_records = 0;
+  /// spec.servers == 0 means "spread over all data servers".
+  DistributionSpec distribution{};
+};
+
+struct ClusterFileMeta {
+  std::string name;
+  std::uint32_t record_bytes = 0;
+  std::uint64_t capacity_records = 0;
+  DistributionSpec distribution{};
+};
+
+class MetadataService {
+ public:
+  /// `servers` are non-owning and must outlive the service.
+  explicit MetadataService(std::vector<DataServer*> servers);
+
+  std::size_t server_count() const noexcept { return servers_.size(); }
+
+  /// Create fragments on every server the distribution touches; on any
+  /// fragment failure the already-created ones are rolled back.
+  Result<ClusterFileMeta> create(const ClusterCreateOptions& options);
+
+  /// Issue a handle for an existing cluster file.
+  Result<std::pair<ClusterHandle, ClusterFileMeta>> open(
+      const std::string& name);
+  Status close(ClusterHandle handle);
+
+  Result<ClusterFileMeta> stat(const std::string& name) const;
+
+  /// Drop the file and its fragments.  Fails with Errc::busy while any
+  /// handle is open (fragment FileSystems additionally refuse removal of
+  /// open files, protecting in-flight data-plane traffic).
+  Status remove(const std::string& name);
+
+  std::vector<ClusterFileMeta> list() const;
+  std::size_t open_handles() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<DataServer*> servers_;
+  std::map<std::string, ClusterFileMeta> files_;
+  std::map<ClusterHandle, std::string> handles_;
+  ClusterHandle next_handle_ = 1;
+
+  obs::Counter* creates_counter_;
+  obs::Counter* opens_counter_;
+  obs::Gauge* files_gauge_;
+  obs::Gauge* handles_gauge_;
+};
+
+}  // namespace pio::cluster

@@ -1,0 +1,36 @@
+#include "cluster/transport.hpp"
+
+namespace pio::cluster {
+namespace {
+
+class LocalChannel final : public ServerChannel {
+ public:
+  explicit LocalChannel(server::Client client) : client_(std::move(client)) {}
+
+  Result<server::Future> submit(server::RequestOp op) override {
+    return client_.submit(std::move(op));
+  }
+  Result<server::FileToken> open(const std::string& name) override {
+    return client_.open(name);
+  }
+  Status close(server::FileToken file) override { return client_.close(file); }
+  Status flush() override { return client_.flush(); }
+
+ private:
+  server::Client client_;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<ServerChannel>> LocalTransport::connect(
+    std::size_t server) {
+  if (server >= servers_.size()) {
+    return make_error(Errc::invalid_argument, "no such data server");
+  }
+  PIO_TRY_ASSIGN(auto client, server::Client::connect(*servers_[server]));
+  std::unique_ptr<ServerChannel> channel =
+      std::make_unique<LocalChannel>(std::move(client));
+  return channel;
+}
+
+}  // namespace pio::cluster

@@ -1,0 +1,62 @@
+// Transport: the cluster's "network" seam.  The router never touches an
+// IoServer directly — it talks to N ServerChannels handed out by a
+// Transport, so the in-process case (LocalTransport: each channel is a
+// server::Client session on that data server's bounded request rings)
+// and a future wire protocol present the same surface.  A channel is one
+// session: it carries the per-session admission bounds, and its futures
+// are the completion signal the router fans in on.
+//
+// Buffer lifetime follows server::Client: transfers carry caller-owned
+// spans that must stay alive until the returned Future resolves.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "server/client.hpp"
+
+namespace pio::cluster {
+
+/// One session against one data server.
+class ServerChannel {
+ public:
+  virtual ~ServerChannel() = default;
+
+  /// Any protocol request; may fail with Errc::overloaded (wait on an
+  /// outstanding Future and retry) or Errc::shutting_down.
+  virtual Result<server::Future> submit(server::RequestOp op) = 0;
+
+  // Sync control plane (open/close/flush block by design).
+  virtual Result<server::FileToken> open(const std::string& name) = 0;
+  virtual Status close(server::FileToken file) = 0;
+  virtual Status flush() = 0;
+};
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  virtual std::size_t server_count() const = 0;
+
+  /// Open a fresh session (channel) on data server `server`.
+  virtual Result<std::unique_ptr<ServerChannel>> connect(std::size_t server) = 0;
+};
+
+/// In-process transport over a fixed set of IoServers.  The "network" is
+/// each server's bounded submission rings; backpressure is the servers'
+/// own admission control surfacing as Errc::overloaded.
+class LocalTransport final : public Transport {
+ public:
+  explicit LocalTransport(std::vector<server::IoServer*> servers)
+      : servers_(std::move(servers)) {}
+
+  std::size_t server_count() const override { return servers_.size(); }
+  Result<std::unique_ptr<ServerChannel>> connect(std::size_t server) override;
+
+ private:
+  std::vector<server::IoServer*> servers_;
+};
+
+}  // namespace pio::cluster

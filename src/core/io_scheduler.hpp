@@ -150,8 +150,12 @@ struct IoSchedulerOptions {
   /// ParityGroup does per-fragment RMW), so gapped vectors are legal and
   /// only the fragments' own bytes move — this batches positioning for
   /// strided (hole-y) access patterns, e.g. the server's zero-copy
-  /// strided path.  Ignored when max_merge_bytes == 0.
-  bool merge_gaps = false;
+  /// strided path.  Ignored when max_merge_bytes == 0 (so the all-default
+  /// configuration still performs no coalescing at all).  Default ON: on
+  /// the gapped ablation workload it cuts device ops ~32x and wall time
+  /// ~25% versus abutting-only merging, and it never changes what data
+  /// moves (see bench_ablation_iosched BM_Func_Strided*).
+  bool merge_gaps = true;
   /// Per-request deadline: a request still queued this many microseconds
   /// after enqueue completes with Errc::timed_out instead of being issued
   /// (bounding queue-delay tail latency when a device stalls or a breaker

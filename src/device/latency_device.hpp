@@ -1,0 +1,62 @@
+// LatencyDevice: a decorator pricing every data op at a fixed wall-clock
+// cost by SLEEPING — not busy-waiting like ThrottledDevice — so a worker
+// blocked on "the device" yields its core instead of burning it.  That
+// makes it the right stand-in for real seek+transfer time in scaling
+// studies (server/cluster benches, drain tests): dozens of priced devices
+// can be "busy" concurrently on a few cores without fabricating CPU
+// contention.  Use ThrottledDevice instead when the point is to occupy
+// the worker thread itself.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <utility>
+
+#include "device/device.hpp"
+
+namespace pio {
+
+class LatencyDevice final : public BlockDevice {
+ public:
+  LatencyDevice(std::unique_ptr<BlockDevice> inner, double op_us)
+      : inner_(std::move(inner)), op_us_(op_us) {}
+
+  Status read(std::uint64_t offset, std::span<std::byte> out) override {
+    charge();
+    return inner_->read(offset, out);
+  }
+  Status write(std::uint64_t offset, std::span<const std::byte> in) override {
+    charge();
+    return inner_->write(offset, in);
+  }
+  Status readv(std::span<const IoVec> iov) override {
+    charge();
+    return inner_->readv(iov);
+  }
+  Status writev(std::span<const ConstIoVec> iov) override {
+    charge();
+    return inner_->writev(iov);
+  }
+  std::uint64_t capacity() const noexcept override {
+    return inner_->capacity();
+  }
+  const std::string& name() const noexcept override { return inner_->name(); }
+  const DeviceCounters& counters() const noexcept override {
+    return inner_->counters();
+  }
+
+  BlockDevice& inner() noexcept { return *inner_; }
+
+ private:
+  void charge() const {
+    std::this_thread::sleep_for(
+        std::chrono::nanoseconds(static_cast<std::int64_t>(op_us_ * 1e3)));
+  }
+
+  std::unique_ptr<BlockDevice> inner_;
+  double op_us_;
+};
+
+}  // namespace pio

@@ -66,6 +66,24 @@ IoServer::Item* IoServer::Shard::pop_locked() {
   return item;
 }
 
+Status validate(const IoServerOptions& options) {
+  if (options.dispatchers == 0) {
+    return make_error(Errc::invalid_argument, "dispatchers must be > 0");
+  }
+  if (options.queue_capacity == 0) {
+    return make_error(Errc::invalid_argument, "queue_capacity must be > 0");
+  }
+  if (options.max_inflight_per_session == 0) {
+    return make_error(Errc::invalid_argument,
+                      "max_inflight_per_session must be > 0");
+  }
+  if (options.max_inflight_bytes_per_session == 0) {
+    return make_error(Errc::invalid_argument,
+                      "max_inflight_bytes_per_session must be > 0");
+  }
+  return ok_status();
+}
+
 IoServer::IoServer(FileSystem& fs, DeviceArray& devices,
                    IoServerOptions options)
     : fs_(fs), devices_(devices), options_(options) {

@@ -106,6 +106,16 @@ struct IoServerOptions {
   SieveOptions sieve{};
 };
 
+/// Strict options check: rejects configurations that can only mean a
+/// caller bug (zero dispatchers, a zero-capacity queue, zero in-flight
+/// allowance) with Errc::invalid_argument.  The IoServer constructor
+/// still CLAMPS these to 1 for backward compatibility with direct
+/// construction (a constructor cannot return an error); factory-style
+/// callers — cluster::DataServer, anything building servers from user
+/// config — should validate() first so a typo'd config fails loudly
+/// instead of silently running with one dispatcher.
+Status validate(const IoServerOptions& options);
+
 class IoServer {
  public:
   enum class State : std::uint8_t { accepting, draining, stopped };

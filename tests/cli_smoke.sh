@@ -78,6 +78,20 @@ if echo "$CHAOS_OUT" | grep -q "degraded_reads=0 "; then
   exit 1
 fi
 
+# Multi-server path: client threads route record ops across in-memory
+# data servers through the metadata service + client-side router; the
+# command self-verifies every byte against a host-side model, for two
+# distributions and server counts (including the single-server edge).
+CLUSTER_OUT=$("$PARIO" "$DIR" cluster --data-servers 3 --clients 4 --ops 120)
+echo "$CLUSTER_OUT" | grep -q "verified OK"
+echo "$CLUSTER_OUT" | grep -q "server2: subrequests="
+"$PARIO" "$DIR" cluster --data-servers 1 --distribution block --ops 60 \
+    | grep -q "verified OK"
+if "$PARIO" "$DIR" cluster --distribution bogus > /dev/null 2>&1; then
+  echo "FAIL: bogus distribution accepted" >&2
+  exit 1
+fi
+
 # Unknown commands fail with usage.
 if "$PARIO" "$DIR" frobnicate > /dev/null 2>&1; then
   echo "FAIL: bogus command succeeded" >&2

@@ -1,0 +1,563 @@
+// Tests for the cluster subsystem (src/cluster/): distribution property
+// tests (forward/inverse round trip, full coverage, no overlap, awkward
+// sizes), byte-identical cluster-vs-single-server reads and writes
+// including strided holes, router windowing under tiny admission bounds,
+// drain semantics with in-flight cross-server requests, and a chaos case
+// that kills one data server's device mid-workload and rebuilds it online
+// through that server's ResilientArray.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "obs/metrics.hpp"
+
+namespace {
+
+using namespace pio;
+using namespace pio::cluster;
+
+std::byte pattern(std::uint64_t i) {
+  return static_cast<std::byte>((i * 131 + 7) & 0xff);
+}
+
+double metric_value(const std::string& name) {
+  for (const obs::MetricSample& s : obs::MetricsRegistry::global().snapshot()) {
+    if (s.name == name) return s.value;
+  }
+  return 0.0;
+}
+
+ClusterOptions small_cluster(std::size_t servers) {
+  ClusterOptions options;
+  options.data_servers = servers;
+  options.data_server.devices = 2;
+  options.data_server.device_bytes = 4ull << 20;
+  return options;
+}
+
+// ---------------------------------------------------------- distribution
+
+TEST(Distribution, RoundTripCoverageAndFragmentSizes) {
+  const std::uint64_t capacities[] = {1, 7, 64, 97, 997, 1000};
+  const std::uint32_t server_counts[] = {1, 2, 3, 5, 8};
+  const std::uint64_t chunks[] = {1, 3, 64};
+  std::vector<DistributionSpec> specs;
+  for (std::uint32_t s : server_counts) {
+    specs.push_back({DistributionKind::block, s, 0});
+    specs.push_back({DistributionKind::cyclic, s, 0});
+    for (std::uint64_t c : chunks) {
+      specs.push_back({DistributionKind::strided, s, c});
+    }
+  }
+  for (const DistributionSpec& spec : specs) {
+    for (std::uint64_t capacity : capacities) {
+      const Distribution dist(spec, capacity);
+      SCOPED_TRACE(std::string(distribution_kind_name(spec.kind)) +
+                   " servers=" + std::to_string(spec.servers) +
+                   " chunk=" + std::to_string(dist.chunk_records()) +
+                   " capacity=" + std::to_string(capacity));
+
+      // Fragment sizes sum to the capacity.
+      std::uint64_t total = 0;
+      for (std::uint32_t s = 0; s < spec.servers; ++s) {
+        total += dist.server_records(s);
+      }
+      EXPECT_EQ(total, capacity);
+
+      // Forward/inverse round trip, in-bounds locals, exactly-once
+      // coverage of every fragment slot.
+      std::vector<std::vector<char>> seen(spec.servers);
+      for (std::uint32_t s = 0; s < spec.servers; ++s) {
+        seen[s].assign(static_cast<std::size_t>(dist.server_records(s)), 0);
+      }
+      for (std::uint64_t r = 0; r < capacity; ++r) {
+        const auto [s, local] = dist.locate(r);
+        ASSERT_LT(s, spec.servers);
+        ASSERT_LT(local, dist.server_records(s));
+        EXPECT_EQ(dist.logical(s, local), r);
+        ASSERT_EQ(seen[s][static_cast<std::size_t>(local)], 0)
+            << "record " << r << " collides on server " << s;
+        seen[s][static_cast<std::size_t>(local)] = 1;
+      }
+      for (std::uint32_t s = 0; s < spec.servers; ++s) {
+        for (char c : seen[s]) EXPECT_EQ(c, 1);
+      }
+    }
+  }
+}
+
+TEST(Distribution, MapRangeMatchesLocateAndStaysContiguousPerServer) {
+  const DistributionSpec specs[] = {
+      {DistributionKind::block, 3, 0},
+      {DistributionKind::cyclic, 4, 0},
+      {DistributionKind::strided, 3, 5},
+      {DistributionKind::strided, 1, 7},
+  };
+  const std::uint64_t capacity = 211;  // prime: every boundary is awkward
+  for (const DistributionSpec& spec : specs) {
+    const Distribution dist(spec, capacity);
+    for (std::uint64_t first = 0; first < capacity; first += 13) {
+      for (std::uint64_t count : {std::uint64_t{1}, std::uint64_t{17},
+                                  capacity - first}) {
+        if (first + count > capacity) continue;
+        std::vector<DistRun> runs;
+        dist.map_range(first, count, runs);
+        // Runs partition [first, first + count) in logical order, agree
+        // with locate(), and form ONE contiguous local interval per
+        // server (the property the router's fan-out relies on).
+        std::uint64_t next = first;
+        std::vector<std::pair<std::uint64_t, std::uint64_t>> interval(
+            spec.servers, {UINT64_MAX, 0});
+        for (const DistRun& run : runs) {
+          EXPECT_EQ(run.logical_first, next);
+          for (std::uint64_t i = 0; i < run.records; ++i) {
+            const auto [s, local] = dist.locate(run.logical_first + i);
+            ASSERT_EQ(s, run.server);
+            ASSERT_EQ(local, run.local_first + i);
+          }
+          auto& [lo, hi] = interval[run.server];
+          if (lo == UINT64_MAX) {
+            lo = run.local_first;
+            hi = run.local_first + run.records;
+          } else {
+            ASSERT_EQ(hi, run.local_first) << "local interval tore";
+            hi += run.records;
+          }
+          next += run.records;
+        }
+        EXPECT_EQ(next, first + count);
+      }
+    }
+  }
+}
+
+TEST(Distribution, ParseNames) {
+  EXPECT_EQ(parse_distribution_kind("block"), DistributionKind::block);
+  EXPECT_EQ(parse_distribution_kind("cyclic"), DistributionKind::cyclic);
+  EXPECT_EQ(parse_distribution_kind("strided"), DistributionKind::strided);
+  EXPECT_FALSE(parse_distribution_kind("bogus").has_value());
+  EXPECT_EQ(distribution_kind_name(DistributionKind::block), "block");
+}
+
+// ------------------------------------------------------------ validation
+
+TEST(ClusterValidation, RejectsZeroedOptions) {
+  EXPECT_EQ(Cluster::create(ClusterOptions{0, {}}).code(),
+            Errc::invalid_argument);
+
+  server::IoServerOptions no_dispatchers;
+  no_dispatchers.dispatchers = 0;
+  EXPECT_EQ(server::validate(no_dispatchers).code(), Errc::invalid_argument);
+  server::IoServerOptions no_queue;
+  no_queue.queue_capacity = 0;
+  EXPECT_EQ(server::validate(no_queue).code(), Errc::invalid_argument);
+  server::IoServerOptions no_inflight;
+  no_inflight.max_inflight_per_session = 0;
+  EXPECT_EQ(server::validate(no_inflight).code(), Errc::invalid_argument);
+  EXPECT_TRUE(server::validate(server::IoServerOptions{}).ok());
+
+  // The zeroed knobs are rejected end-to-end through the factories.
+  ClusterOptions bad = small_cluster(1);
+  bad.data_server.server.dispatchers = 0;
+  EXPECT_EQ(Cluster::create(bad).code(), Errc::invalid_argument);
+  bad = small_cluster(1);
+  bad.data_server.server.queue_capacity = 0;
+  EXPECT_EQ(Cluster::create(bad).code(), Errc::invalid_argument);
+  bad = small_cluster(1);
+  bad.data_server.devices = 0;
+  EXPECT_EQ(Cluster::create(bad).code(), Errc::invalid_argument);
+  bad = small_cluster(1);
+  bad.data_server.resilient = true;
+  bad.data_server.devices = 1;
+  EXPECT_EQ(Cluster::create(bad).code(), Errc::invalid_argument);
+}
+
+TEST(ClusterValidation, MetadataRejectsBadCreates) {
+  auto cluster = Cluster::create(small_cluster(2));
+  ASSERT_TRUE(cluster.ok());
+  MetadataService& meta = (*cluster)->metadata();
+  EXPECT_EQ(meta.create({"", 64, 10, {}}).code(), Errc::invalid_argument);
+  EXPECT_EQ(meta.create({"f", 0, 10, {}}).code(), Errc::invalid_argument);
+  EXPECT_EQ(meta.create({"f", 64, 0, {}}).code(), Errc::invalid_argument);
+  DistributionSpec too_wide{DistributionKind::cyclic, 9, 0};
+  EXPECT_EQ(meta.create({"f", 64, 10, too_wide}).code(),
+            Errc::invalid_argument);
+}
+
+// ------------------------------------------------------- metadata plane
+
+TEST(MetadataService, LifecycleAndHandles) {
+  auto cluster = Cluster::create(small_cluster(3));
+  ASSERT_TRUE(cluster.ok());
+  MetadataService& meta = (*cluster)->metadata();
+
+  ClusterCreateOptions create;
+  create.name = "data";
+  create.record_bytes = 96;
+  create.capacity_records = 500;
+  create.distribution = {DistributionKind::strided, 0, 16};
+  auto created = meta.create(create);
+  ASSERT_TRUE(created.ok());
+  EXPECT_EQ(created->distribution.servers, 3u);  // 0 resolved to "all"
+  EXPECT_EQ(meta.create(create).code(), Errc::already_exists);
+
+  // Fragments exist on every server, sized to their share.
+  std::uint64_t fragment_records = 0;
+  for (std::size_t s = 0; s < 3; ++s) {
+    auto frag = (*cluster)->data_server(s).fs().stat("data");
+    ASSERT_TRUE(frag.has_value());
+    fragment_records += frag->capacity_records;
+  }
+  EXPECT_EQ(fragment_records, 500u);
+
+  ASSERT_TRUE(meta.stat("data").ok());
+  EXPECT_EQ(meta.list().size(), 1u);
+  auto opened = meta.open("data");
+  ASSERT_TRUE(opened.ok());
+  EXPECT_EQ(meta.open_handles(), 1u);
+  EXPECT_EQ(meta.remove("data").code(), Errc::busy);  // handle still open
+  EXPECT_TRUE(meta.close(opened->first).ok());
+  EXPECT_TRUE(meta.remove("data").ok());
+  EXPECT_EQ(meta.stat("data").code(), Errc::not_found);
+  for (std::size_t s = 0; s < 3; ++s) {
+    EXPECT_FALSE((*cluster)->data_server(s).fs().stat("data").has_value());
+  }
+}
+
+// --------------------------------------------- byte-identical global view
+
+struct Model {
+  std::uint32_t record_bytes;
+  std::vector<std::byte> bytes;
+
+  explicit Model(std::uint32_t rb, std::uint64_t records)
+      : record_bytes(rb), bytes(rb * records) {}
+
+  void write(std::uint64_t first, std::uint64_t count,
+             const std::byte* data) {
+    std::memcpy(bytes.data() + first * record_bytes, data,
+                count * record_bytes);
+  }
+  void write_strided(const StridedSpec& spec, const std::byte* view) {
+    for (std::uint64_t g = 0; g < spec.count; ++g) {
+      write(spec.start_record + g * spec.stride_records, spec.block_records,
+            view + g * spec.block_records * record_bytes);
+    }
+  }
+  std::vector<std::byte> read(std::uint64_t first, std::uint64_t count) const {
+    return {bytes.begin() + static_cast<std::ptrdiff_t>(first * record_bytes),
+            bytes.begin() +
+                static_cast<std::ptrdiff_t>((first + count) * record_bytes)};
+  }
+  std::vector<std::byte> read_strided(const StridedSpec& spec) const {
+    std::vector<std::byte> view;
+    for (std::uint64_t g = 0; g < spec.count; ++g) {
+      auto block = read(spec.start_record + g * spec.stride_records,
+                        spec.block_records);
+      view.insert(view.end(), block.begin(), block.end());
+    }
+    return view;
+  }
+};
+
+/// Drive an identical randomized workload (contiguous + strided writes
+/// and reads, including never-written holes) against the model and a
+/// cluster of `servers` data servers; every read must match the model —
+/// which by construction makes every cluster layout byte-identical to
+/// the single-server (servers == 1) global view.
+void run_workload(std::size_t servers, const DistributionSpec& spec,
+                  std::uint32_t record_bytes) {
+  SCOPED_TRACE(std::string(distribution_kind_name(spec.kind)) + " x" +
+               std::to_string(servers) + " rb=" +
+               std::to_string(record_bytes));
+  constexpr std::uint64_t kRecords = 613;  // prime: awkward everywhere
+  auto cluster = Cluster::create(small_cluster(servers));
+  ASSERT_TRUE(cluster.ok());
+  ClusterCreateOptions create;
+  create.name = "w";
+  create.record_bytes = record_bytes;
+  create.capacity_records = kRecords;
+  create.distribution = spec;
+  ASSERT_TRUE((*cluster)->metadata().create(create).ok());
+
+  ClusterClientOptions copts;
+  copts.max_subrequest_bytes = 64 * record_bytes;  // force windowing
+  auto client = (*cluster)->connect(copts);
+  ASSERT_TRUE(client.ok());
+  auto token = client->open("w");
+  ASSERT_TRUE(token.ok());
+
+  Model model(record_bytes, kRecords);
+  std::uint64_t salt = 0;
+
+  auto fill = [&](std::vector<std::byte>& buf) {
+    ++salt;
+    for (std::size_t i = 0; i < buf.size(); ++i) {
+      buf[i] = pattern(salt * 7919 + i);
+    }
+  };
+  auto check_read = [&](std::uint64_t first, std::uint64_t count) {
+    std::vector<std::byte> got(count * record_bytes);
+    ASSERT_TRUE(client->read_records(*token, first, count, got).ok());
+    EXPECT_EQ(got, model.read(first, count))
+        << "read [" << first << ", +" << count << ")";
+  };
+
+  // Contiguous writes at awkward offsets; interleave reads (covering
+  // written, unwritten-hole, and mixed ranges).
+  const std::pair<std::uint64_t, std::uint64_t> writes[] = {
+      {0, 1},  {1, 64}, {100, 129}, {350, 263}, {609, 4}, {64, 36}};
+  std::vector<std::byte> buf;
+  for (const auto& [first, count] : writes) {
+    buf.resize(count * record_bytes);
+    fill(buf);
+    ASSERT_TRUE(client->write_records(*token, first, count, buf).ok());
+    model.write(first, count, buf.data());
+    check_read(first, count);
+  }
+  check_read(0, kRecords);       // full file, incl. the [229, 350) hole
+  check_read(200, 200);          // straddles written + hole
+  check_read(229, 100);          // pure hole: must read back zeroes
+
+  // Strided views: write a fine interleave, read it back both strided
+  // and flat (hole records inside the covering extent must survive).
+  const StridedSpec strided_writes[] = {
+      {3, 2, 7, 41},    // fine interleave
+      {10, 5, 11, 30},  // wider blocks, prime stride
+      {0, 1, 2, 100},   // every other record
+  };
+  for (const StridedSpec& spec_w : strided_writes) {
+    buf.resize(spec_w.total_records() * record_bytes);
+    fill(buf);
+    ASSERT_TRUE(client->write_strided(*token, spec_w, buf).ok());
+    model.write_strided(spec_w, buf.data());
+
+    std::vector<std::byte> got(spec_w.total_records() * record_bytes);
+    ASSERT_TRUE(client->read_strided(*token, spec_w, got).ok());
+    EXPECT_EQ(got, model.read_strided(spec_w));
+    check_read(spec_w.start_record,
+               spec_w.end_record() - spec_w.start_record);
+  }
+  check_read(0, kRecords);
+
+  // Out-of-range and malformed requests are rejected, not misrouted.
+  std::vector<std::byte> tiny(record_bytes);
+  EXPECT_EQ(client->read_records(*token, kRecords, 1, tiny).code(),
+            Errc::out_of_range);
+  EXPECT_EQ(client->write_records(*token, kRecords - 1, 2, tiny).code(),
+            Errc::out_of_range);  // bounds are checked before buffer size
+  EXPECT_EQ(client->write_records(*token, 0, 2, tiny).code(),
+            Errc::invalid_argument);  // buffer too small for 2 records
+  StridedSpec bad{0, 4, 2, 2};       // stride < block
+  EXPECT_EQ(client->read_strided(*token, bad, tiny).code(),
+            Errc::invalid_argument);
+
+  EXPECT_TRUE(client->close(*token).ok());
+}
+
+TEST(ClusterClient, ByteIdenticalAcrossLayoutsAndServerCounts) {
+  for (std::size_t servers : {std::size_t{1}, std::size_t{3}}) {
+    run_workload(servers, {DistributionKind::block, 0, 0}, 96);
+    run_workload(servers, {DistributionKind::cyclic, 0, 0}, 96);
+    run_workload(servers, {DistributionKind::strided, 0, 13}, 96);
+  }
+  // Awkward record size, partial-width distribution (2 of 3 servers).
+  run_workload(3, {DistributionKind::strided, 2, 5}, 40);
+}
+
+TEST(ClusterClient, WindowedFanOutSurvivesTinyAdmissionBounds) {
+  // Tiny queues + tiny per-session allowances: the router must absorb
+  // Errc::overloaded by waiting on its own oldest sub-request.
+  ClusterOptions options = small_cluster(3);
+  options.data_server.server.queue_capacity = 2;
+  options.data_server.server.max_inflight_per_session = 2;
+  options.data_server.server.dispatchers = 1;
+  auto cluster = Cluster::create(options);
+  ASSERT_TRUE(cluster.ok());
+
+  constexpr std::uint32_t kRecordBytes = 128;
+  constexpr std::uint64_t kRecords = 1024;
+  ClusterCreateOptions create;
+  create.name = "windowed";
+  create.record_bytes = kRecordBytes;
+  create.capacity_records = kRecords;
+  create.distribution = {DistributionKind::strided, 0, 4};
+  ASSERT_TRUE((*cluster)->metadata().create(create).ok());
+
+  ClusterClientOptions copts;
+  copts.max_subrequest_bytes = 8 * kRecordBytes;  // >= 42 windows/server
+  copts.window_per_server = 2;
+  auto client = (*cluster)->connect(copts);
+  ASSERT_TRUE(client.ok());
+  auto token = client->open("windowed");
+  ASSERT_TRUE(token.ok());
+
+  const double subs0 = metric_value("cluster.subrequests");
+  std::vector<std::byte> out(kRecords * kRecordBytes);
+  std::vector<std::byte> in(kRecords * kRecordBytes);
+  for (std::size_t i = 0; i < in.size(); ++i) in[i] = pattern(i);
+  ASSERT_TRUE(client->write_records(*token, 0, kRecords, in).ok());
+  ASSERT_TRUE(client->read_records(*token, 0, kRecords, out).ok());
+  EXPECT_EQ(in, out);
+  EXPECT_GE(metric_value("cluster.subrequests") - subs0, 2.0 * 3 * 42);
+}
+
+// ------------------------------------------------------------------ drain
+
+TEST(Cluster, DrainCompletesInFlightCrossServerRequests) {
+  ClusterOptions options = small_cluster(3);
+  options.data_server.device_op_cost_us = 1500;  // keep requests in flight
+  auto cluster = Cluster::create(options);
+  ASSERT_TRUE(cluster.ok());
+
+  constexpr std::uint32_t kRecordBytes = 256;
+  constexpr std::uint64_t kRecords = 960;
+  ClusterCreateOptions create;
+  create.name = "drain";
+  create.record_bytes = kRecordBytes;
+  create.capacity_records = kRecords;
+  create.distribution = {DistributionKind::strided, 0, 8};
+  ASSERT_TRUE((*cluster)->metadata().create(create).ok());
+
+  constexpr std::size_t kThreads = 3;
+  std::atomic<std::uint64_t> completed{0};
+  std::atomic<std::uint64_t> rejected{0};
+  std::atomic<std::uint64_t> unexpected{0};
+  std::vector<std::thread> threads;
+  for (std::size_t c = 0; c < kThreads; ++c) {
+    threads.emplace_back([&, c] {
+      auto client = (*cluster)->connect();
+      if (!client.ok()) return;
+      auto token = client->open("drain");
+      if (!token.ok()) return;
+      std::vector<std::byte> buf(40 * kRecordBytes);
+      for (std::size_t i = 0; i < buf.size(); ++i) buf[i] = pattern(c + i);
+      for (std::uint64_t op = 0;; ++op) {
+        // Each op spans several servers (40 records over chunk 8).
+        const std::uint64_t first = (c * 320 + op * 40) % (kRecords - 40);
+        Status st = client->write_records(*token, first, 40, buf);
+        if (st.ok()) {
+          completed.fetch_add(1);
+          continue;
+        }
+        if (st.code() == Errc::shutting_down) {
+          rejected.fetch_add(1);
+        } else {
+          unexpected.fetch_add(1);
+        }
+        break;
+      }
+      // After drain, submits keep failing shutting_down — never hang.
+      if (client->write_records(*token, 0, 40, buf).code() !=
+          Errc::shutting_down) {
+        unexpected.fetch_add(1);
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  EXPECT_TRUE((*cluster)->shutdown().ok());
+  for (auto& t : threads) t.join();
+
+  EXPECT_GT(completed.load(), 0u);   // traffic flowed before the drain
+  EXPECT_EQ(rejected.load(), kThreads);
+  EXPECT_EQ(unexpected.load(), 0u);
+  for (std::size_t s = 0; s < (*cluster)->size(); ++s) {
+    EXPECT_EQ((*cluster)->data_server(s).server().inflight(), 0u);
+  }
+  EXPECT_TRUE((*cluster)->shutdown().ok());  // idempotent
+}
+
+// ------------------------------------------------------------------ chaos
+
+TEST(Cluster, DeviceKillMidWorkloadRebuildsOnlinePerServer) {
+  ClusterOptions options = small_cluster(2);
+  options.data_server.devices = 3;
+  options.data_server.resilient = true;
+  options.data_server.resilience.retry.base_backoff_us = 0;
+  options.data_server.resilience.retry.max_backoff_us = 0;
+  options.data_server.resilience.health.open_ops = 4;
+  auto cluster = Cluster::create(options);
+  ASSERT_TRUE(cluster.ok());
+
+  constexpr std::uint32_t kRecordBytes = 512;
+  constexpr std::uint64_t kRecords = 1200;
+  ClusterCreateOptions create;
+  create.name = "chaos";
+  create.record_bytes = kRecordBytes;
+  create.capacity_records = kRecords;
+  create.distribution = {DistributionKind::strided, 0, 16};
+  ASSERT_TRUE((*cluster)->metadata().create(create).ok());
+
+  auto client = (*cluster)->connect();
+  ASSERT_TRUE(client.ok());
+  auto token = client->open("chaos");
+  ASSERT_TRUE(token.ok());
+
+  Model model(kRecordBytes, kRecords);
+  const double degraded0 = metric_value("reliability.degraded_reads");
+
+  std::uint64_t salt = 0;
+  auto traffic = [&](std::uint64_t ops) {
+    std::vector<std::byte> buf;
+    for (std::uint64_t op = 0; op < ops; ++op) {
+      const std::uint64_t first = (op * 97) % (kRecords - 48);
+      const std::uint64_t count = 8 + (op % 5) * 10;
+      buf.resize(count * kRecordBytes);
+      ++salt;
+      for (std::size_t i = 0; i < buf.size(); ++i) {
+        buf[i] = pattern(salt * 7919 + i);
+      }
+      if (op % 3 != 2) {
+        ASSERT_TRUE(client->write_records(*token, first, count, buf).ok());
+        model.write(first, count, buf.data());
+      } else {
+        std::vector<std::byte> got(count * kRecordBytes);
+        ASSERT_TRUE(client->read_records(*token, first, count, got).ok());
+        ASSERT_EQ(got, model.read(first, count));
+      }
+    }
+  };
+
+  traffic(60);  // seed data on every server
+
+  // Kill one device on data server 0, mid-workload.
+  DataServer& victim_server = (*cluster)->data_server(0);
+  FaultyDevice* victim = victim_server.faulty(1);
+  ASSERT_NE(victim, nullptr);
+  victim->fail_now();
+  traffic(90);  // cluster keeps serving; server 0 runs degraded
+  // A full global read sweeps every stripe unit on every server — the
+  // victim's share must be reconstructed from parity (a narrow random
+  // workload can alias with the striping and miss the dead device).
+  std::vector<std::byte> sweep(kRecords * kRecordBytes);
+  ASSERT_TRUE(client->read_records(*token, 0, kRecords, sweep).ok());
+  EXPECT_EQ(sweep, model.bytes);
+  EXPECT_GT(metric_value("reliability.degraded_reads"), degraded0);
+
+  // Online rebuild through THAT server's ResilientArray while traffic
+  // continues on the whole cluster.
+  RebuildOptions rebuild;
+  rebuild.chunk_bytes = 64 * 1024;
+  rebuild.on_complete = [victim] { victim->repair(); };
+  ASSERT_TRUE(victim_server.resilient()
+                  ->start_rebuild(1, victim->inner(), rebuild)
+                  .ok());
+  traffic(90);
+  ASSERT_TRUE(victim_server.resilient()->wait_rebuild().ok());
+  EXPECT_FALSE(victim->failed());
+  EXPECT_FALSE(victim_server.resilient()->stale(1));
+
+  // Full global view must match the model byte-for-byte after repair.
+  std::vector<std::byte> got(kRecords * kRecordBytes);
+  ASSERT_TRUE(client->read_records(*token, 0, kRecords, got).ok());
+  EXPECT_EQ(got, model.bytes);
+
+  EXPECT_TRUE(client->close(*token).ok());
+  EXPECT_TRUE((*cluster)->shutdown().ok());
+}
+
+}  // namespace

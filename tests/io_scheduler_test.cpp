@@ -229,7 +229,11 @@ TEST(IoScheduler, CoalescedGroupSharesFirstError) {
   DeviceArray devices;
   devices.add(std::make_unique<ThrottledDevice>(std::move(faulty),
                                                 /*op_cost_us=*/10'000.0));
-  IoScheduler io(devices, {QueuePolicy::fifo, /*max_merge_bytes=*/1 << 20});
+  // Abutting-only merging: with gap merging the far blocker itself could
+  // race into the group (span fits the 1 MiB budget), making the merge
+  // set nondeterministic.
+  IoScheduler io(devices, {QueuePolicy::fifo, /*max_merge_bytes=*/1 << 20,
+                           /*merge_gaps=*/false});
 
   std::vector<std::byte> blocker(64), a(64), b(64), c(64);
   IoBatch blocker_batch, batch_a, batch_b, batch_c;
@@ -336,13 +340,47 @@ TEST(IoScheduler, GapMergeCoalescesNonAbuttingRequests) {
       std::equal(back.begin() + 192, back.begin() + 256, seed.begin() + 192));
 }
 
-// Default-off pin: without merge_gaps the same gapped layout stays three
-// separate device reads — only abutting extents coalesce.
-TEST(IoScheduler, GapsDoNotMergeByDefault) {
+// Default pins.  merge_gaps defaults ON (it wins decisively on gapped
+// strided workloads — see bench_ablation_iosched BM_Func_Strided*), but
+// max_merge_bytes defaults to 0, so all-default options still mean "no
+// coalescing of any kind".
+TEST(IoScheduler, DefaultOptionsEnableGapMergeButNotCoalescing) {
+  const IoSchedulerOptions defaults{};
+  EXPECT_TRUE(defaults.merge_gaps);
+  EXPECT_EQ(defaults.max_merge_bytes, 0u);
+  EXPECT_EQ(defaults.policy, QueuePolicy::fifo);
+}
+
+// Behavioral pin of the default: once coalescing is enabled, gapped
+// same-kind requests within the span budget merge into one vectored op
+// WITHOUT opting in to merge_gaps.  The 1024-byte budget keeps the far
+// blocker (offset 4096) out of the group, so the merge set is
+// deterministic.
+TEST(IoScheduler, GapsMergeByDefaultOnceCoalescingEnabled) {
   DeviceArray devices;
   devices.add(std::make_unique<ThrottledDevice>(
       std::make_unique<RamDisk>("d0", 1 << 20), /*op_cost_us=*/10'000.0));
-  IoScheduler io(devices, {QueuePolicy::fifo, /*max_merge_bytes=*/1 << 20});
+  IoScheduler io(devices, {QueuePolicy::fifo, /*max_merge_bytes=*/1024});
+
+  std::vector<std::byte> blocker(64), a(64), b(64), c(64);
+  IoBatch blocker_batch, batch;
+  io.read(0, 4096, blocker, blocker_batch);
+  io.read(0, 0, a, batch);
+  io.read(0, 128, b, batch);
+  io.read(0, 256, c, batch);
+  PIO_ASSERT_OK(blocker_batch.wait());
+  PIO_ASSERT_OK(batch.wait());
+  EXPECT_EQ(devices[0].counters().reads.load(), 2u);  // blocker + 1 merged
+}
+
+// Opt-out still works: with merge_gaps=false the same gapped layout stays
+// three separate device reads — only abutting extents coalesce.
+TEST(IoScheduler, GapsDoNotMergeWhenDisabled) {
+  DeviceArray devices;
+  devices.add(std::make_unique<ThrottledDevice>(
+      std::make_unique<RamDisk>("d0", 1 << 20), /*op_cost_us=*/10'000.0));
+  IoScheduler io(devices, {QueuePolicy::fifo, /*max_merge_bytes=*/1 << 20,
+                           /*merge_gaps=*/false});
 
   std::vector<std::byte> blocker(64), a(64), b(64), c(64);
   IoBatch blocker_batch, batch;
