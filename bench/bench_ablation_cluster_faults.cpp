@@ -1,0 +1,271 @@
+// ABLATION: cluster robustness under an unreliable network.  The
+// multi-server tier only earns its keep if a flaky transport or a dead
+// server degrades throughput instead of hanging clients or corrupting
+// data; this bench prices exactly that.
+//
+//  faults/healthy — 4 data servers (each 2 devices charging 400 us
+//  off-CPU latency per op), 8 client threads routing one-track (24 KiB)
+//  ops through the hardened ClusterClient with deadlines, retries, and
+//  the per-server breaker armed but NO faults injected: the healthy-path
+//  overhead of the robustness machinery (budget: < 5% vs BENCH_cluster's
+//  4-server row).
+//  faults/flaky — same load through a FaultyTransport with 5% busy
+//  submits and 1% dropped completions: every fault is retried inside the
+//  router (dropped-completion retries dedup server-side), so all ops
+//  still land; p99 shows the retry cost.
+//  faults/down — same load with server 1 dark for a 60 ms window
+//  mid-run: ops against it fail fast via the breaker and are retried by
+//  the app loop; recovery_ms is the gap between the server coming back
+//  and the next successful op.
+//
+// Reported per scenario: aggregate MB/s, p50/p99 per-op latency
+// (including app-level retries), app_retries, and recovery_ms (down
+// scenario only).  Honors --quick (fewer ops per client) and
+// --json=PATH (default BENCH_cluster_faults.json).
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "cluster/cluster.hpp"
+#include "cluster/faulty_transport.hpp"
+
+namespace {
+
+using namespace pio;
+using Clock = std::chrono::steady_clock;
+
+constexpr std::size_t kServers = 4;
+constexpr std::size_t kClientThreads = 8;
+constexpr std::size_t kDevicesPerServer = 2;
+constexpr double kDeviceOpUs = 400.0;
+constexpr std::uint32_t kRecordBytes = 4096;
+constexpr std::uint64_t kRecordsPerOp = 6;  // 24 KiB: one track
+constexpr std::uint64_t kSlotsPerClient = 64;
+constexpr std::uint64_t kCapacityRecords =
+    kClientThreads * kSlotsPerClient * kRecordsPerOp;
+
+enum Scenario : int { kHealthy = 0, kFlaky = 1, kDown = 2 };
+
+std::uint64_t ops_per_client() { return pio::bench::quick_flag ? 32 : 160; }
+
+const char* scenario_name(int s) {
+  switch (s) {
+    case kFlaky: return "flaky";
+    case kDown: return "down";
+    default: return "healthy";
+  }
+}
+
+cluster::ClusterClientOptions client_options() {
+  cluster::ClusterClientOptions copts;
+  copts.sub_deadline_ms = 300;
+  copts.op_deadline_ms = 10'000;
+  copts.retry.max_attempts = 4;
+  copts.retry.base_backoff_us = 200;
+  copts.retry.max_backoff_us = 2'000;
+  return copts;
+}
+
+void BM_ClusterFaults(benchmark::State& state) {
+  const int scenario = static_cast<int>(state.range(0));
+
+  cluster::ClusterOptions options;
+  options.data_servers = kServers;
+  options.data_server.devices = kDevicesPerServer;
+  options.data_server.device_bytes = 32ull << 20;
+  options.data_server.device_op_cost_us = kDeviceOpUs;
+  auto cl = cluster::Cluster::create(options);
+  if (!cl.ok()) {
+    state.SkipWithError(cl.error().to_string().c_str());
+    return;
+  }
+
+  cluster::ClusterCreateOptions create;
+  create.name = "bench";
+  create.record_bytes = kRecordBytes;
+  create.capacity_records = kCapacityRecords;
+  create.distribution = {cluster::DistributionKind::strided, 0, kRecordsPerOp};
+  if (auto meta = (*cl)->metadata().create(create); !meta.ok()) {
+    state.SkipWithError(meta.error().to_string().c_str());
+    return;
+  }
+
+  cluster::TransportFaultPlan plan;
+  if (scenario == kFlaky) {
+    plan.channel.busy_probability = 0.05;
+    plan.channel.drop_completion_probability = 0.01;
+    plan.channel.seed = 1234;
+  }
+  cluster::FaultyTransport faulty((*cl)->transport(), plan);
+  cluster::Transport& transport =
+      scenario == kHealthy ? (*cl)->transport()
+                           : static_cast<cluster::Transport&>(faulty);
+
+  // Pre-populate (untimed) so reads move real data.
+  {
+    auto client = (*cl)->connect();
+    auto token = client->open("bench");
+    std::vector<std::byte> fill(kRecordsPerOp * kRecordBytes, std::byte{0x42});
+    for (std::uint64_t slot = 0; slot < kCapacityRecords / kRecordsPerOp;
+         ++slot) {
+      if (!client->write_records(*token, slot * kRecordsPerOp, kRecordsPerOp,
+                                 fill)
+               .ok()) {
+        state.SkipWithError("pre-populate failed");
+        return;
+      }
+    }
+  }
+
+  std::uint64_t bytes = 0;
+  std::atomic<int> errors{0};
+  std::atomic<std::uint64_t> app_retries{0};
+  std::mutex latencies_mutex;
+  std::vector<double> latencies_us;
+  // Down scenario: when the server comes back, the first successful op
+  // completion stamps the recovery gap.
+  std::atomic<std::int64_t> up_at_us{-1};
+  std::atomic<std::int64_t> recovered_after_us{-1};
+  const Clock::time_point bench_epoch = Clock::now();
+  auto now_us = [&] {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                 bench_epoch)
+        .count();
+  };
+
+  const auto wall_start = Clock::now();
+  for (auto _ : state) {
+    std::thread outage;
+    if (scenario == kDown) {
+      const int start_ms = pio::bench::quick_flag ? 5 : 30;
+      const int len_ms = pio::bench::quick_flag ? 20 : 60;
+      outage = std::thread([&, start_ms, len_ms] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(start_ms));
+        faulty.set_server_down(1, true);
+        std::this_thread::sleep_for(std::chrono::milliseconds(len_ms));
+        faulty.set_server_down(1, false);
+        up_at_us.store(now_us(), std::memory_order_release);
+      });
+    }
+    std::vector<std::thread> threads;
+    for (std::size_t c = 0; c < kClientThreads; ++c) {
+      threads.emplace_back([&, c] {
+        auto client = cluster::ClusterClient::connect(
+            (*cl)->metadata(), transport, client_options());
+        if (!client.ok()) {
+          ++errors;
+          return;
+        }
+        auto token = client->open("bench");
+        if (!token.ok()) {
+          ++errors;
+          return;
+        }
+        std::vector<std::byte> buf(kRecordsPerOp * kRecordBytes, std::byte{9});
+        std::vector<double> local_lat;
+        local_lat.reserve(ops_per_client());
+        for (std::uint64_t i = 0; i < ops_per_client(); ++i) {
+          const std::uint64_t slot = c * kSlotsPerClient + i % kSlotsPerClient;
+          const std::uint64_t first = slot * kRecordsPerOp;
+          const auto op_start = Clock::now();
+          bool landed = false;
+          for (int attempt = 0; attempt < 200 && !landed; ++attempt) {
+            const Status st =
+                i % 2 == 0
+                    ? client->write_records(*token, first, kRecordsPerOp, buf)
+                    : client->read_records(*token, first, kRecordsPerOp, buf);
+            if (st.ok()) {
+              landed = true;
+            } else if (st.code() == Errc::unavailable ||
+                       st.code() == Errc::timed_out) {
+              app_retries.fetch_add(1, std::memory_order_relaxed);
+              std::this_thread::sleep_for(std::chrono::milliseconds(2));
+            } else {
+              ++errors;
+              return;
+            }
+          }
+          if (!landed) {
+            ++errors;
+            return;
+          }
+          const std::int64_t up = up_at_us.load(std::memory_order_acquire);
+          if (up >= 0 &&
+              recovered_after_us.load(std::memory_order_acquire) < 0) {
+            std::int64_t expected = -1;
+            recovered_after_us.compare_exchange_strong(expected,
+                                                       now_us() - up);
+          }
+          local_lat.push_back(std::chrono::duration<double, std::micro>(
+                                  Clock::now() - op_start)
+                                  .count());
+        }
+        std::scoped_lock lock(latencies_mutex);
+        latencies_us.insert(latencies_us.end(), local_lat.begin(),
+                            local_lat.end());
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    if (outage.joinable()) outage.join();
+    bytes += kClientThreads * ops_per_client() * kRecordsPerOp * kRecordBytes;
+  }
+  const double wall_s =
+      std::chrono::duration<double>(Clock::now() - wall_start).count();
+  if (errors.load() != 0) state.SkipWithError("client errors");
+
+  std::sort(latencies_us.begin(), latencies_us.end());
+  auto quantile = [&](double q) {
+    if (latencies_us.empty()) return 0.0;
+    const std::size_t at = std::min(
+        latencies_us.size() - 1,
+        static_cast<std::size_t>(q * static_cast<double>(latencies_us.size())));
+    return latencies_us[at];
+  };
+
+  state.SetBytesProcessed(static_cast<std::int64_t>(bytes));
+  state.SetLabel(scenario_name(scenario));
+  state.counters["servers"] = static_cast<double>(kServers);
+  state.counters["clients"] = static_cast<double>(kClientThreads);
+  if (wall_s > 0.0) {
+    state.counters["MB_per_s"] = static_cast<double>(bytes) / wall_s / 1.0e6;
+  }
+  state.counters["p50_us"] = quantile(0.50);
+  state.counters["p99_us"] = quantile(0.99);
+  state.counters["app_retries"] = static_cast<double>(app_retries.load());
+  if (scenario == kDown) {
+    const std::int64_t rec = recovered_after_us.load();
+    state.counters["recovery_ms"] =
+        rec >= 0 ? static_cast<double>(rec) / 1'000.0 : -1.0;
+  }
+  pio::bench::report_registry(state);
+}
+
+}  // namespace
+
+// Real time: device latency and fault windows are off-CPU sleeps.
+BENCHMARK(BM_ClusterFaults)
+    ->Arg(kHealthy)
+    ->Arg(kFlaky)
+    ->Arg(kDown)
+    ->ArgNames({"scenario"})
+    ->UseRealTime()
+    ->Iterations(1);
+
+PIO_BENCH_MAIN_JSON(
+    "ABLATION: cluster robustness under an unreliable network",
+    "8 client threads drive one-track (24 KiB) ops through the hardened\n"
+    "ClusterClient over 4 data servers (2 devices each, 400 us/op).\n"
+    "healthy = retry/deadline/breaker machinery armed, no faults (its\n"
+    "overhead must stay < 5% of BENCH_cluster's 4-server row); flaky = 5%\n"
+    "busy submits + 1% dropped completions absorbed by bounded retries\n"
+    "and the server dedup window; down = server 1 dark for 60 ms mid-run,\n"
+    "failed fast by the breaker, recovery_ms = gap from restore to the\n"
+    "next successful op.",
+    "BENCH_cluster_faults.json")

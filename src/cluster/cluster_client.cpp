@@ -1,9 +1,11 @@
 #include "cluster/cluster_client.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <chrono>
 #include <cstring>
+#include <numeric>
 #include <thread>
 
 #include "obs/metrics.hpp"
@@ -17,6 +19,28 @@ obs::OpClass op_class(bool is_write, bool strided) {
     return is_write ? obs::OpClass::write_strided : obs::OpClass::read_strided;
   }
   return is_write ? obs::OpClass::write : obs::OpClass::read;
+}
+
+/// Worth another submission of the SAME sub-request: transient conditions
+/// (is_transient), a lost channel (reconnect already happened at submit),
+/// and a breaker-opened server (a later round may win the half-open probe).
+bool sub_retryable(Errc code) noexcept {
+  return is_transient(code) || code == Errc::disconnected ||
+         code == Errc::unavailable;
+}
+
+/// Errors that say something about the SERVER's health (feed the
+/// breaker), as opposed to semantic failures (not_found, out_of_range...)
+/// that a healthy server produces on purpose.
+bool server_health_error(Errc code) noexcept {
+  return sub_retryable(code) || code == Errc::device_failed ||
+         code == Errc::shutting_down || code == Errc::internal;
+}
+
+/// Process-unique client ids decorrelate idem keys and jitter streams.
+std::uint64_t next_client_id() {
+  static std::atomic<std::uint64_t> ids{1};
+  return ids.fetch_add(1, std::memory_order_relaxed);
 }
 
 }  // namespace
@@ -44,7 +68,17 @@ Result<ClusterClient> ClusterClient::connect(MetadataService& meta,
     return make_error(Errc::invalid_argument,
                       "transport and metadata disagree on the server set");
   }
+  if (options.retry.max_attempts == 0) {
+    return make_error(Errc::invalid_argument, "retry.max_attempts must be > 0");
+  }
   ClusterClient client(meta, options);
+  client.transport_ = &transport;
+  client.client_id_ = next_client_id();
+  client.rng_ = Rng(options.seed != 0
+                        ? options.seed
+                        : 0x6c62272e07bb0142ULL ^ (client.client_id_ * 0x9e3779b97f4a7c15ULL));
+  client.breaker_ = std::make_unique<HealthMonitor>(transport.server_count(),
+                                                    options.breaker);
   obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
   client.requests_counter_ = &registry.counter("cluster.requests");
   client.subrequests_counter_ = &registry.counter("cluster.subrequests");
@@ -52,6 +86,10 @@ Result<ClusterClient> ClusterClient::connect(MetadataService& meta,
   client.staged_bytes_counter_ = &registry.counter("cluster.staged_bytes");
   client.overload_retries_counter_ =
       &registry.counter("cluster.overload_retries");
+  client.retries_counter_ = &registry.counter("cluster.retries");
+  client.timeouts_counter_ = &registry.counter("cluster.timeouts");
+  client.reconnects_counter_ = &registry.counter("cluster.reconnects");
+  client.breaker_open_counter_ = &registry.counter("cluster.breaker_open");
   for (std::size_t s = 0; s < transport.server_count(); ++s) {
     PIO_TRY_ASSIGN(auto channel, transport.connect(s));
     client.channels_.push_back(std::move(channel));
@@ -128,6 +166,24 @@ Result<ClusterClient::OpenState*> ClusterClient::state_for(
     return make_error(Errc::invalid_argument, "bad cluster token");
   }
   return &open_[token - 1];
+}
+
+Status ClusterClient::reconnect_server(std::size_t server) {
+  PIO_TRY_ASSIGN(auto channel, transport_->connect(server));
+  channels_[server] = std::move(channel);
+  reconnects_counter_->inc();
+  // Fragment tokens are per-session: re-open this server's fragment for
+  // every live handle so callers' tokens keep working transparently.
+  for (OpenState& state : open_) {
+    if (!state.live || state.tokens.size() <= server ||
+        state.tokens[server] == 0) {
+      continue;
+    }
+    auto token = channels_[server]->open(state.meta.name);
+    if (!token.ok()) return Error(token.error());
+    state.tokens[server] = *token;
+  }
+  return ok_status();
 }
 
 void ClusterClient::plan_range(const Distribution& dist, std::uint64_t first,
@@ -237,33 +293,52 @@ Status ClusterClient::execute(OpenState& state, std::vector<SubXfer>& subs,
                               bool is_write, std::span<std::byte> out,
                               std::span<const std::byte> in,
                               obs::RequestTimeline* t) {
+  using Clock = std::chrono::steady_clock;
   const std::uint32_t rb = state.meta.record_bytes;
   window_subs(rb, subs);
   subrequests_counter_->inc(subs.size());
 
+  const bool bounded =
+      options_.sub_deadline_ms > 0 || options_.op_deadline_ms > 0;
+  const Clock::time_point op_deadline =
+      options_.op_deadline_ms > 0
+          ? Clock::now() + std::chrono::milliseconds(options_.op_deadline_ms)
+          : Clock::time_point::max();
+
+  /// Per-sub retry state.  Payload spans are fixed up front; retries of a
+  /// write reuse the same idem_key so a duplicated apply is absorbed by
+  /// the server's at-most-once window.
+  struct SubRun {
+    server::Future future;
+    std::span<std::byte> read_span;
+    std::span<const std::byte> write_span;
+    Status status = ok_status();
+    std::uint64_t idem_key = 0;
+    std::uint64_t transferred = 0;
+    std::uint32_t attempts = 0;
+    bool inflight = false;
+    bool done = false;
+  };
+
   // Staging buffers outlive their futures: sized up front so the outer
   // vector never reallocates while sub-requests are in flight.
   std::vector<std::vector<std::byte>> staged(subs.size());
-  std::vector<server::Future> futures(subs.size());
+  std::vector<SubRun> runs(subs.size());
   std::vector<std::deque<std::size_t>> inflight(channels_.size());
-  std::vector<std::size_t> inflight_order;  // submission order, for draining
-
-  Status first_error = ok_status();
   std::uint64_t expected_records = 0;
 
-  for (std::size_t i = 0; i < subs.size() && first_error.ok(); ++i) {
+  for (std::size_t i = 0; i < subs.size(); ++i) {
     SubXfer& sub = subs[i];
     const std::size_t bytes = static_cast<std::size_t>(sub.records) * rb;
-    std::span<std::byte> read_span;
-    std::span<const std::byte> write_span;
+    expected_records += sub.records;
     if (sub.pieces.size() == 1) {
       // One contiguous slice of the caller's buffer: zero-copy.
       const std::size_t at =
           static_cast<std::size_t>(sub.pieces[0].buf_record) * rb;
       if (is_write) {
-        write_span = in.subspan(at, bytes);
+        runs[i].write_span = in.subspan(at, bytes);
       } else {
-        read_span = out.subspan(at, bytes);
+        runs[i].read_span = out.subspan(at, bytes);
       }
       direct_bytes_counter_->inc(bytes);
     } else {
@@ -273,80 +348,205 @@ Status ClusterClient::execute(OpenState& state, std::vector<SubXfer>& subs,
           std::memcpy(staged[i].data() + piece.sub_record * rb,
                       in.data() + piece.buf_record * rb, piece.records * rb);
         }
-        write_span = staged[i];
+        runs[i].write_span = staged[i];
       } else {
-        read_span = staged[i];
+        runs[i].read_span = staged[i];
       }
       staged_bytes_counter_->inc(bytes);
     }
+    if (is_write) runs[i].idem_key = next_idem_key();
+  }
 
-    server::RequestOp op;
-    if (is_write) {
-      op = server::WriteRecordsOp{state.tokens[sub.server], sub.local_first,
-                                  sub.records, write_span};
-    } else {
-      op = server::ReadRecordsOp{state.tokens[sub.server], sub.local_first,
-                                 sub.records, read_span};
+  // Resolve sub i's future with bounded waits (never a bare wait).  On
+  // sub-deadline expiry a detached-payload channel's future is abandoned
+  // and the sub marked timed_out (retryable); a zero-copy future is
+  // waited to resolution — abandoning it would release caller buffers the
+  // server still references (LocalTransport futures always resolve:
+  // IoServer drains every accepted request).
+  auto resolve = [&](std::size_t i) {
+    SubRun& run = runs[i];
+    const std::uint32_t srv = subs[i].server;
+    auto& queue = inflight[srv];
+    if (auto pos = std::find(queue.begin(), queue.end(), i);
+        pos != queue.end()) {
+      queue.erase(pos);
     }
-
-    std::size_t overload_spins = 0;
+    Clock::time_point sub_deadline =
+        options_.sub_deadline_ms > 0
+            ? Clock::now() + std::chrono::milliseconds(options_.sub_deadline_ms)
+            : Clock::time_point::max();
+    if (sub_deadline > op_deadline) sub_deadline = op_deadline;
+    bool counted_timeout = false;
     for (;;) {
-      auto accepted = channels_[sub.server]->submit(op);
-      if (accepted.ok()) {
-        futures[i] = std::move(*accepted);
-        inflight[sub.server].push_back(i);
-        inflight_order.push_back(i);
-        expected_records += sub.records;
-        server_subrequests_[sub.server]->inc();
-        server_bytes_[sub.server]->inc(bytes);
-        break;
+      auto slice = std::chrono::milliseconds(50);
+      if (bounded && !counted_timeout) {
+        const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+            sub_deadline - Clock::now());
+        slice = std::clamp(left, std::chrono::milliseconds(1), slice);
       }
-      if (accepted.code() != Errc::overloaded) {
-        first_error = Error(accepted.error());
-        break;
-      }
-      // Canonical overload reaction: wait on our oldest in-flight
-      // sub-request on that server and retry; if the pressure is other
-      // sessions' load, back off a bounded number of times.
-      overload_retries_counter_->inc();
-      if (!inflight[sub.server].empty()) {
-        const std::size_t oldest = inflight[sub.server].front();
-        inflight[sub.server].pop_front();
-        if (auto st = futures[oldest].wait(); !st.ok() && first_error.ok()) {
-          first_error = st;
-          break;
+      if (auto st = run.future.wait_for(slice)) {
+        run.inflight = false;
+        run.status = std::move(*st);
+        if (run.status.ok()) {
+          run.transferred = run.future.get().transferred;
+          breaker_->record_success(srv);
+        } else if (server_health_error(run.status.code())) {
+          breaker_->record_error(srv, run.status.code());
         }
-      } else if (++overload_spins <= options_.overload_retries) {
-        std::this_thread::sleep_for(
-            std::chrono::microseconds(options_.overload_backoff_us));
-      } else {
-        first_error = Error(accepted.error());
-        break;
+        return;
+      }
+      if (bounded && !counted_timeout && Clock::now() >= sub_deadline) {
+        counted_timeout = true;
+        timeouts_counter_->inc();
+        if (channels_[srv]->detached_payloads() && run.future.try_abandon()) {
+          run.inflight = false;
+          run.status =
+              make_error(Errc::timed_out, "sub-request deadline expired");
+          breaker_->record_error(srv, Errc::timed_out);
+          return;
+        }
       }
     }
-    if (!first_error.ok()) break;
+  };
 
-    if (inflight[sub.server].size() >= options_.window_per_server) {
-      const std::size_t oldest = inflight[sub.server].front();
-      inflight[sub.server].pop_front();
-      if (auto st = futures[oldest].wait(); !st.ok()) first_error = st;
+  // Submit sub i's next attempt: breaker fail-fast, overload absorption
+  // (wait our own oldest in-flight on that server, else jittered backoff),
+  // transparent reconnect on a dead channel.
+  auto submit_one = [&](std::size_t i) {
+    SubRun& run = runs[i];
+    const std::uint32_t srv = subs[i].server;
+    run.status = ok_status();
+    ++run.attempts;
+    if (!breaker_->allow(srv)) {
+      breaker_open_counter_->inc();
+      run.status = make_error(Errc::unavailable, "server circuit open");
+      return;
     }
+    std::size_t overload_spins = 0;
+    std::size_t reconnect_tries = 0;
+    for (;;) {
+      if (Clock::now() >= op_deadline) {
+        run.status = make_error(Errc::timed_out, "cluster op deadline expired");
+        return;
+      }
+      server::RequestOp op;
+      if (is_write) {
+        op = server::WriteRecordsOp{state.tokens[srv], subs[i].local_first,
+                                    subs[i].records, run.write_span,
+                                    run.idem_key};
+      } else {
+        op = server::ReadRecordsOp{state.tokens[srv], subs[i].local_first,
+                                   subs[i].records, run.read_span};
+      }
+      auto accepted = channels_[srv]->submit(std::move(op));
+      if (accepted.ok()) {
+        run.future = std::move(*accepted);
+        run.inflight = true;
+        inflight[srv].push_back(i);
+        server_subrequests_[srv]->inc();
+        server_bytes_[srv]->inc(subs[i].records * rb);
+        return;
+      }
+      const Errc code = accepted.code();
+      if (code == Errc::overloaded) {
+        // Canonical overload reaction: wait on our oldest in-flight
+        // sub-request on that server and retry; if the pressure is other
+        // sessions' load, back off a bounded number of times.
+        overload_retries_counter_->inc();
+        if (!inflight[srv].empty()) {
+          resolve(inflight[srv].front());
+          continue;
+        }
+        if (++overload_spins <= options_.overload_retries) {
+          RetryPolicy pace;
+          pace.base_backoff_us = options_.overload_backoff_us;
+          pace.multiplier = 1.0;
+          pace.max_backoff_us = options_.overload_backoff_us;
+          pace.jitter = options_.retry.jitter;
+          const std::uint64_t pause = backoff_us(pace, 1, rng_);
+          if (pause > 0) {
+            std::this_thread::sleep_for(std::chrono::microseconds(pause));
+          }
+          continue;
+        }
+        run.status = Error(accepted.error());
+        return;
+      }
+      if (code == Errc::disconnected && options_.reconnect &&
+          reconnect_tries++ == 0) {
+        if (reconnect_server(srv).ok()) continue;
+        breaker_->record_error(srv, Errc::disconnected);
+        run.status = make_error(Errc::unavailable, "reconnect failed");
+        return;
+      }
+      if (server_health_error(code)) breaker_->record_error(srv, code);
+      run.status = Error(accepted.error());
+      return;
+    }
+  };
+
+  // Retry rounds: fan the round's subs out, fan EVERY accepted future in
+  // (resolved or safely abandoned before any buffer may be reused), then
+  // classify — done, one more round after a jittered backoff, or final.
+  Status first_error = ok_status();
+  std::vector<std::size_t> round(subs.size());
+  std::iota(round.begin(), round.end(), 0);
+  std::uint32_t round_no = 0;
+
+  while (!round.empty()) {
+    ++round_no;
+    for (std::size_t i : round) {
+      submit_one(i);
+      const std::uint32_t srv = subs[i].server;
+      if (runs[i].inflight &&
+          inflight[srv].size() >= options_.window_per_server) {
+        resolve(inflight[srv].front());
+      }
+    }
+    if (round_no == 1) obs::Profiler::global().stamp(t, obs::Stage::handoff);
+    for (std::size_t i : round) {
+      if (runs[i].inflight) resolve(i);
+    }
+
+    std::vector<std::size_t> retry;
+    for (std::size_t i : round) {
+      SubRun& run = runs[i];
+      if (run.status.ok()) {
+        run.done = true;
+        continue;
+      }
+      if (sub_retryable(run.status.code()) &&
+          run.attempts < options_.retry.max_attempts &&
+          Clock::now() < op_deadline) {
+        retry.push_back(i);
+        continue;
+      }
+      run.done = true;
+      if (first_error.ok()) first_error = Status{run.status.error()};
+    }
+    if (!retry.empty()) {
+      retries_counter_->inc(retry.size());
+      if (t != nullptr) t->note_retry(static_cast<std::uint32_t>(retry.size()));
+      const std::uint64_t pause = backoff_us(options_.retry, round_no, rng_);
+      if (Clock::now() + std::chrono::microseconds(pause) >= op_deadline) {
+        for (std::size_t i : retry) {
+          runs[i].done = true;
+        }
+        if (first_error.ok()) {
+          first_error = make_error(Errc::timed_out,
+                                   "cluster op deadline expired during backoff");
+        }
+        retry.clear();
+      } else if (pause > 0) {
+        std::this_thread::sleep_for(std::chrono::microseconds(pause));
+      }
+    }
+    round = std::move(retry);
   }
 
-  obs::Profiler::global().stamp(t, obs::Stage::handoff);
-
-  // Fan in: EVERY accepted future must resolve before any staging buffer
-  // (or the caller's spans) may be released — even on the error path.
-  std::uint64_t transferred = 0;
-  for (std::size_t i : inflight_order) {
-    const server::Response& response = futures[i].get();
-    if (!response.status.ok()) {
-      if (first_error.ok()) first_error = Status{response.status.error()};
-    } else {
-      transferred += response.transferred;
-    }
-  }
   if (!first_error.ok()) return first_error;
+  std::uint64_t transferred = 0;
+  for (const SubRun& run : runs) transferred += run.transferred;
   if (transferred != expected_records) {
     return make_error(Errc::internal, "cluster fan-in lost records");
   }

@@ -32,6 +32,9 @@
 #include "cluster/distribution.hpp"
 #include "cluster/metadata_service.hpp"
 #include "cluster/transport.hpp"
+#include "reliability/health.hpp"
+#include "reliability/retry.hpp"
+#include "util/rng.hpp"
 
 namespace pio::obs {
 class Counter;
@@ -53,9 +56,38 @@ struct ClusterClientOptions {
   /// on its oldest future.
   std::size_t window_per_server = 8;
   /// Bounded retries when a server is overloaded by OTHER sessions and
-  /// this client has nothing of its own to wait on.
+  /// this client has nothing of its own to wait on.  The backoff is
+  /// jittered per client (RetryPolicy's recipe, retry.jitter fraction) so
+  /// N clients don't hammer a recovering server in lockstep.
   std::size_t overload_retries = 64;
   std::uint64_t overload_backoff_us = 200;
+  /// Per-sub-request deadline for ONE attempt: a sub-request unresolved
+  /// this long counts as timed out.  On a channel with detached payloads
+  /// its future is abandoned and the sub retried; on a zero-copy channel
+  /// (LocalTransport) the router keeps waiting — abandoning would release
+  /// caller buffers the server still references — and takes the eventual
+  /// result.  0 = unbounded.
+  std::uint64_t sub_deadline_ms = 10'000;
+  /// End-to-end budget for one cluster op across every attempt and
+  /// backoff; once spent, remaining failed subs resolve Errc::timed_out.
+  /// 0 = unbounded.
+  std::uint64_t op_deadline_ms = 60'000;
+  /// Retry schedule for transient sub-request failures (busy / overloaded
+  /// / timed_out, plus disconnected and unavailable which route through
+  /// reconnect / the breaker first).  max_attempts counts submissions of
+  /// one sub; backoff/jitter pace the retry rounds.
+  RetryPolicy retry{};
+  /// Reconnect a channel (Transport::connect) when it reports
+  /// Errc::disconnected, re-opening the live handles' fragment tokens.
+  bool reconnect = true;
+  /// Per-server circuit breaker: after error_threshold consecutive
+  /// failures the server fails fast with Errc::unavailable until a
+  /// half-open probe succeeds.
+  HealthOptions breaker{};
+  /// Jitter stream seed; 0 derives a per-client stream from the client's
+  /// instance id (deterministic within a process, decorrelated across
+  /// clients).
+  std::uint64_t seed = 0;
 };
 
 class ClusterClient {
@@ -112,6 +144,13 @@ class ClusterClient {
   ClusterClient(MetadataService& meta, ClusterClientOptions options);
 
   Result<OpenState*> state_for(ClusterToken token);
+  /// Replace a dead channel with a fresh Transport::connect session and
+  /// re-open every live handle's fragment token on it.
+  Status reconnect_server(std::size_t server);
+  /// At-most-once key for one write sub-request attempt chain.
+  std::uint64_t next_idem_key() noexcept {
+    return (client_id_ << 32) | (idem_seq_++ & 0xffffffffULL);
+  }
   /// Decompose a contiguous record range; `view_first` is where the
   /// range's first record sits in the caller's buffer.
   void plan_range(const Distribution& dist, std::uint64_t first,
@@ -129,15 +168,26 @@ class ClusterClient {
                  obs::RequestTimeline* t);
 
   MetadataService* meta_ = nullptr;
+  Transport* transport_ = nullptr;  ///< for reconnects
   ClusterClientOptions options_;
   std::vector<std::unique_ptr<ServerChannel>> channels_;
   std::vector<OpenState> open_;  ///< index + 1 == ClusterToken
+
+  /// Per-server circuit breaker (one "device" per data server).
+  std::unique_ptr<HealthMonitor> breaker_;
+  Rng rng_{1};                    ///< jitter stream (per client)
+  std::uint64_t client_id_ = 0;   ///< process-unique, for idem keys
+  std::uint64_t idem_seq_ = 1;
 
   obs::Counter* requests_counter_ = nullptr;
   obs::Counter* subrequests_counter_ = nullptr;
   obs::Counter* direct_bytes_counter_ = nullptr;
   obs::Counter* staged_bytes_counter_ = nullptr;
   obs::Counter* overload_retries_counter_ = nullptr;
+  obs::Counter* retries_counter_ = nullptr;
+  obs::Counter* timeouts_counter_ = nullptr;
+  obs::Counter* reconnects_counter_ = nullptr;
+  obs::Counter* breaker_open_counter_ = nullptr;
   std::vector<obs::Counter*> server_subrequests_;
   std::vector<obs::Counter*> server_bytes_;
 };

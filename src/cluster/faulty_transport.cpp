@@ -1,0 +1,250 @@
+#include "cluster/faulty_transport.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+namespace pio::cluster {
+namespace {
+
+bool in_windows(const std::vector<FaultWindow>& windows, std::uint64_t op) {
+  for (const FaultWindow& w : windows) {
+    if (w.contains(op)) return true;
+  }
+  return false;
+}
+
+std::uint64_t op_idem_key(const server::RequestOp& op) {
+  switch (server::op_type(op)) {
+    case server::OpType::write_records:
+      return std::get<server::WriteRecordsOp>(op).idem_key;
+    case server::OpType::write_strided:
+      return std::get<server::WriteStridedOp>(op).idem_key;
+    default:
+      return 0;
+  }
+}
+
+}  // namespace
+
+// ------------------------------------------------------- FaultyTransport
+
+bool FaultyTransport::Shared::tick_down(std::size_t server) {
+  const std::uint64_t op =
+      server_ops[server].fetch_add(1, std::memory_order_relaxed);
+  if (down[server].load(std::memory_order_acquire)) return true;
+  auto it = plan.server_down_windows.find(server);
+  return it != plan.server_down_windows.end() && in_windows(it->second, op);
+}
+
+FaultyTransport::FaultyTransport(Transport& inner, TransportFaultPlan plan)
+    : inner_(&inner),
+      shared_(std::make_shared<Shared>(std::move(plan), inner.server_count())) {
+}
+
+void FaultyTransport::set_server_down(std::size_t server, bool down) {
+  shared_->down[server].store(down, std::memory_order_release);
+}
+
+bool FaultyTransport::server_down(std::size_t server) const {
+  if (shared_->down[server].load(std::memory_order_acquire)) return true;
+  auto it = shared_->plan.server_down_windows.find(server);
+  return it != shared_->plan.server_down_windows.end() &&
+         in_windows(it->second,
+                    shared_->server_ops[server].load(std::memory_order_relaxed));
+}
+
+Result<std::unique_ptr<ServerChannel>> FaultyTransport::connect(
+    std::size_t server) {
+  if (server < shared_->down.size() && server_down(server)) {
+    return make_error(Errc::unavailable, "data server down");
+  }
+  PIO_TRY_ASSIGN(auto channel, inner_->connect(server));
+  std::unique_ptr<ServerChannel> wrapped = std::make_unique<FaultyChannel>(
+      std::move(channel), shared_->plan.plan_for(server), shared_, server);
+  return wrapped;
+}
+
+// --------------------------------------------------------- FaultyChannel
+
+FaultyChannel::FaultyChannel(std::unique_ptr<ServerChannel> inner,
+                             ChannelFaultPlan plan,
+                             std::shared_ptr<FaultyTransport::Shared> shared,
+                             std::size_t server)
+    : inner_(std::move(inner)),
+      plan_(std::move(plan)),
+      shared_(std::move(shared)),
+      server_(server),
+      rng_(plan_.seed ^ (0x9e3779b97f4a7c15ULL * (server + 1))),
+      wire_thread_([this] { wire_loop(); }) {}
+
+FaultyChannel::~FaultyChannel() {
+  {
+    std::scoped_lock lock(wire_mutex_);
+    wire_stop_ = true;
+  }
+  wire_cv_.notify_all();
+  // The wire thread drains every queued delivery before exiting — payload
+  // buffers may only be freed once their inner futures resolve.
+  if (wire_thread_.joinable()) wire_thread_.join();
+}
+
+void FaultyChannel::disconnect_now() {
+  disconnected_.store(true, std::memory_order_release);
+}
+
+Status FaultyChannel::gate() {
+  if (disconnected_.load(std::memory_order_acquire)) {
+    return make_error(Errc::disconnected, "channel disconnected");
+  }
+  if (shared_ && shared_->down[server_].load(std::memory_order_acquire)) {
+    return make_error(Errc::unavailable, "data server down");
+  }
+  return ok_status();
+}
+
+Result<server::Future> FaultyChannel::submit(server::RequestOp op) {
+  if (disconnected_.load(std::memory_order_acquire)) {
+    return make_error(Errc::disconnected, "channel disconnected");
+  }
+  const std::uint64_t index = ops_.fetch_add(1, std::memory_order_relaxed);
+  if (plan_.disconnect_at_op >= 0 &&
+      index >= static_cast<std::uint64_t>(plan_.disconnect_at_op)) {
+    disconnected_.store(true, std::memory_order_release);
+    return make_error(Errc::disconnected, "channel disconnected");
+  }
+  if (shared_ && shared_->tick_down(server_)) {
+    return make_error(Errc::unavailable, "data server down");
+  }
+  double busy_draw = 0.0, drop_draw = 0.0;
+  if (plan_.busy_probability > 0.0 || plan_.drop_completion_probability > 0.0) {
+    std::scoped_lock lock(rng_mutex_);
+    busy_draw = rng_.uniform();
+    drop_draw = rng_.uniform();
+  }
+  if (in_windows(plan_.busy_windows, index) ||
+      busy_draw < plan_.busy_probability) {
+    return make_error(Errc::busy, "transient channel fault");
+  }
+
+  // Detach payloads: writes are copied into a channel-owned buffer NOW,
+  // reads land in a channel-owned buffer and are copied back to the
+  // caller only at delivery (under the future's lock, skipped if the
+  // caller abandoned).  After this block the caller's spans are free.
+  Wire wire;
+  const std::uint64_t key = op_idem_key(op);
+  switch (server::op_type(op)) {
+    case server::OpType::write_records: {
+      auto& w = std::get<server::WriteRecordsOp>(op);
+      wire.payload = std::make_shared<std::vector<std::byte>>(w.in.begin(),
+                                                              w.in.end());
+      w.in = std::span<const std::byte>(*wire.payload);
+      break;
+    }
+    case server::OpType::write_strided: {
+      auto& w = std::get<server::WriteStridedOp>(op);
+      wire.payload = std::make_shared<std::vector<std::byte>>(w.in.begin(),
+                                                              w.in.end());
+      w.in = std::span<const std::byte>(*wire.payload);
+      break;
+    }
+    case server::OpType::read_records: {
+      auto& r = std::get<server::ReadRecordsOp>(op);
+      wire.payload =
+          std::make_shared<std::vector<std::byte>>(r.out.size());
+      wire.dest = r.out;
+      r.out = std::span<std::byte>(*wire.payload);
+      break;
+    }
+    case server::OpType::read_strided: {
+      auto& r = std::get<server::ReadStridedOp>(op);
+      wire.payload =
+          std::make_shared<std::vector<std::byte>>(r.out.size());
+      wire.dest = r.out;
+      r.out = std::span<std::byte>(*wire.payload);
+      break;
+    }
+    default:
+      break;
+  }
+
+  wire.lost = in_windows(plan_.lost_request_windows, index);
+  wire.drop = in_windows(plan_.drop_completion_windows, index) ||
+              drop_draw < plan_.drop_completion_probability;
+  wire.delay_us = plan_.delay_us;
+  if (key != 0 && in_windows(plan_.duplicate_windows, index)) {
+    wire.duplicate = true;
+    wire.dup_op = op;  // shares wire.payload's bytes via the rewritten span
+    wire.dup_delay_us = plan_.duplicate_delay_us;
+  }
+  if (!wire.lost) {
+    auto accepted = inner_->submit(std::move(op));
+    if (!accepted.ok()) return Error(accepted.error());  // real backpressure
+    wire.inner = std::move(*accepted);
+  }
+
+  server::Future future = wire.promise.future();
+  {
+    std::scoped_lock lock(wire_mutex_);
+    wire_queue_.push_back(std::move(wire));
+  }
+  wire_cv_.notify_one();
+  return future;
+}
+
+Result<server::FileToken> FaultyChannel::open(const std::string& name) {
+  PIO_TRY(gate());
+  return inner_->open(name);
+}
+
+Status FaultyChannel::close(server::FileToken file) {
+  PIO_TRY(gate());
+  return inner_->close(file);
+}
+
+Status FaultyChannel::flush() {
+  PIO_TRY(gate());
+  return inner_->flush();
+}
+
+void FaultyChannel::wire_loop() {
+  for (;;) {
+    Wire wire;
+    {
+      std::unique_lock lock(wire_mutex_);
+      wire_cv_.wait(lock, [&] { return wire_stop_ || !wire_queue_.empty(); });
+      if (wire_queue_.empty()) return;  // stopped and drained
+      wire = std::move(wire_queue_.front());
+      wire_queue_.pop_front();
+    }
+    if (wire.lost) continue;  // never submitted: nothing references payload
+    const server::Response& resp = wire.inner.get();
+    if (wire.delay_us > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(wire.delay_us));
+    }
+    if (!wire.drop) {
+      (void)wire.promise.set_with([&]() -> server::Response {
+        server::Response delivered = resp;
+        if (!wire.dest.empty() && delivered.status.ok()) {
+          std::memcpy(wire.dest.data(), wire.payload->data(),
+                      std::min(wire.dest.size(), wire.payload->size()));
+        }
+        return delivered;
+      });
+    }
+    if (wire.duplicate) {
+      // The late second copy of a keyed write: re-submitted after the
+      // primary's ack (and usually after subsequent writes), exercising
+      // the server's at-most-once window.  Its ack is discarded.
+      if (wire.dup_delay_us > 0) {
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(wire.dup_delay_us));
+      }
+      auto dup = inner_->submit(std::move(wire.dup_op));
+      if (dup.ok()) (void)dup->wait();
+    }
+  }
+}
+
+}  // namespace pio::cluster

@@ -1,0 +1,203 @@
+// FaultyTransport / FaultyChannel: a scriptable unreliable "network"
+// between the router and the data servers, in the style of
+// FaultyDevice::FaultPlan — every fault is deterministic (op-indexed
+// windows) or seeded (per-channel xoshiro stream), so a chaos run fails
+// and recovers at identical operation indices every time.
+//
+// Fault taxonomy (ChannelFaultPlan):
+//   - busy windows / probability  -> submit fails Errc::busy (glitch; the
+//     request never left the client — safe to retry immediately)
+//   - lost requests               -> submit is accepted but the request
+//     never reaches the server; its Future NEVER resolves (the client's
+//     sub-deadline turns this into a timeout)
+//   - dropped completions         -> the server APPLIES the op but the ack
+//     is never delivered — the at-most-once retry case
+//   - duplicate delivery          -> a keyed write is delivered twice, the
+//     second copy after duplicate_delay_us (late enough to reorder past
+//     subsequent writes — the stale-replay case dedup must absorb)
+//   - delay_us                    -> added wire latency on every completion
+//   - disconnect_at_op            -> the channel dies; every later call
+//     fails Errc::disconnected until the router reconnects
+//   - server-down windows / toggles (TransportFaultPlan) -> submits and
+//     connects to that server fail Errc::unavailable
+//
+// Wire semantics: FaultyChannel COPIES write payloads into channel-owned
+// buffers at submit and delivers read payloads into the caller's span
+// only at completion time, under the Future's lock and only if the future
+// was not abandoned (detached_payloads() == true).  That is what makes
+// client-side deadlines safe: an abandoned future's buffers belong to the
+// channel, never to the caller.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "cluster/transport.hpp"
+#include "util/rng.hpp"
+
+namespace pio::cluster {
+
+/// Half-open op-index interval [begin, end) against a channel's (or a
+/// server's) own submit counter.
+struct FaultWindow {
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;
+
+  bool contains(std::uint64_t op) const noexcept {
+    return op >= begin && op < end;
+  }
+};
+
+/// Faults scripted against ONE channel's submit counter (0-based).
+struct ChannelFaultPlan {
+  /// submit() fails Errc::busy inside these windows.
+  std::vector<FaultWindow> busy_windows;
+  /// ... or with this per-op probability (seeded, per-channel stream).
+  double busy_probability = 0.0;
+  /// Accepted but never submitted to the server; the Future never
+  /// resolves.  Client deadlines turn these into timeouts.
+  std::vector<FaultWindow> lost_request_windows;
+  /// Applied by the server; the completion is never delivered.
+  std::vector<FaultWindow> drop_completion_windows;
+  double drop_completion_probability = 0.0;
+  /// Keyed writes in these windows are delivered twice; the duplicate is
+  /// re-submitted duplicate_delay_us later by the wire thread.
+  std::vector<FaultWindow> duplicate_windows;
+  std::uint64_t duplicate_delay_us = 0;
+  /// Added latency between server completion and client-visible delivery.
+  std::uint64_t delay_us = 0;
+  /// Channel death: this submit and everything after it (including
+  /// open/close/flush) fails Errc::disconnected.  -1 = never.
+  std::int64_t disconnect_at_op = -1;
+  /// Stream for the probabilistic faults (decorrelated per channel by
+  /// xor-ing the server index in).
+  std::uint64_t seed = 1;
+};
+
+/// Cluster-wide plan: a template plan for every channel, per-server
+/// overrides, and per-server down windows indexed by that server's total
+/// submit count across ALL channels.
+struct TransportFaultPlan {
+  ChannelFaultPlan channel;
+  std::map<std::size_t, ChannelFaultPlan> per_server;
+  std::map<std::size_t, std::vector<FaultWindow>> server_down_windows;
+
+  const ChannelFaultPlan& plan_for(std::size_t server) const {
+    auto it = per_server.find(server);
+    return it == per_server.end() ? channel : it->second;
+  }
+};
+
+class FaultyChannel;
+
+/// Decorates any Transport.  connect() wraps the inner channel in a
+/// FaultyChannel; a down server (scripted window or manual toggle) fails
+/// connects and submits with Errc::unavailable.
+class FaultyTransport final : public Transport {
+ public:
+  explicit FaultyTransport(Transport& inner, TransportFaultPlan plan = {});
+
+  std::size_t server_count() const override { return inner_->server_count(); }
+  Result<std::unique_ptr<ServerChannel>> connect(std::size_t server) override;
+
+  /// Manual kill switch for chaos drivers that script downtime by wall
+  /// clock instead of op index.
+  void set_server_down(std::size_t server, bool down);
+  bool server_down(std::size_t server) const;
+
+ private:
+  friend class FaultyChannel;
+
+  /// Shared between the transport and every channel it handed out (a
+  /// channel may outlive a test's transport reference).
+  struct Shared {
+    TransportFaultPlan plan;
+    std::vector<std::atomic<bool>> down;
+    std::vector<std::atomic<std::uint64_t>> server_ops;
+
+    explicit Shared(TransportFaultPlan p, std::size_t servers)
+        : plan(std::move(p)), down(servers), server_ops(servers) {
+      for (std::size_t s = 0; s < servers; ++s) {
+        down[s].store(false, std::memory_order_relaxed);
+        server_ops[s].store(0, std::memory_order_relaxed);
+      }
+    }
+
+    /// One submit attempt against `server`: ticks its op counter and
+    /// reports whether the server is down (toggle or scripted window).
+    bool tick_down(std::size_t server);
+  };
+
+  Transport* inner_;
+  std::shared_ptr<Shared> shared_;
+};
+
+class FaultyChannel final : public ServerChannel {
+ public:
+  FaultyChannel(std::unique_ptr<ServerChannel> inner, ChannelFaultPlan plan,
+                std::shared_ptr<FaultyTransport::Shared> shared,
+                std::size_t server);
+  ~FaultyChannel() override;
+
+  Result<server::Future> submit(server::RequestOp op) override;
+  Result<server::FileToken> open(const std::string& name) override;
+  Status close(server::FileToken file) override;
+  Status flush() override;
+  bool detached_payloads() const override { return true; }
+
+  /// Kill the channel out of band (mid-workload chaos).
+  void disconnect_now();
+
+  std::uint64_t ops() const noexcept {
+    return ops_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  /// One queued delivery on the wire thread.
+  struct Wire {
+    server::Future inner;    ///< invalid for lost requests
+    server::Promise promise; ///< the client-facing completion
+    /// Channel-owned payload (write source or read landing buffer);
+    /// shared with a duplicate's re-submission.
+    std::shared_ptr<std::vector<std::byte>> payload;
+    std::span<std::byte> dest;  ///< caller read span (copy-back at delivery)
+    bool drop = false;          ///< deliver nothing (ack lost on the wire)
+    bool lost = false;          ///< never submitted; never resolves
+    /// Duplicate: re-submit `dup_op` (sharing `payload`) after
+    /// dup_delay_us, then discard its ack (the primary already answered).
+    bool duplicate = false;
+    server::RequestOp dup_op;
+    std::uint64_t dup_delay_us = 0;
+    std::uint64_t delay_us = 0;
+  };
+
+  Status gate();  ///< disconnected / server-down checks for every call
+  void wire_loop();
+
+  std::unique_ptr<ServerChannel> inner_;
+  ChannelFaultPlan plan_;
+  std::shared_ptr<FaultyTransport::Shared> shared_;
+  std::size_t server_ = 0;
+
+  std::atomic<std::uint64_t> ops_{0};
+  std::atomic<bool> disconnected_{false};
+
+  std::mutex rng_mutex_;
+  Rng rng_;
+
+  std::mutex wire_mutex_;
+  std::condition_variable wire_cv_;
+  std::deque<Wire> wire_queue_;
+  bool wire_stop_ = false;
+  std::thread wire_thread_;
+};
+
+}  // namespace pio::cluster

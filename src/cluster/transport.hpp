@@ -25,13 +25,23 @@ class ServerChannel {
   virtual ~ServerChannel() = default;
 
   /// Any protocol request; may fail with Errc::overloaded (wait on an
-  /// outstanding Future and retry) or Errc::shutting_down.
+  /// outstanding Future and retry), Errc::shutting_down,
+  /// Errc::disconnected (the channel is dead — reconnect via the
+  /// Transport), or Errc::unavailable (the server is down; fail fast).
   virtual Result<server::Future> submit(server::RequestOp op) = 0;
 
   // Sync control plane (open/close/flush block by design).
   virtual Result<server::FileToken> open(const std::string& name) = 0;
   virtual Status close(server::FileToken file) = 0;
   virtual Status flush() = 0;
+
+  /// True when submit() copies transfer payloads into channel-owned
+  /// buffers (wire semantics): the caller's spans are free the moment
+  /// submit returns, so an unresolved Future may be safely abandoned
+  /// (Future::try_abandon) on deadline expiry.  False (the zero-copy
+  /// default) means caller spans ride to the server and must stay alive
+  /// until the Future resolves — abandonment is NOT legal.
+  virtual bool detached_payloads() const { return false; }
 };
 
 class Transport {

@@ -35,6 +35,14 @@ const char* op_span_name(OpType op) noexcept {
   return "server.unknown";
 }
 
+std::uint64_t op_idem_key(const RequestOp& op) noexcept {
+  switch (op_type(op)) {
+    case OpType::write_records: return std::get<WriteRecordsOp>(op).idem_key;
+    case OpType::write_strided: return std::get<WriteStridedOp>(op).idem_key;
+    default: return 0;
+  }
+}
+
 obs::OpClass op_class(OpType op) noexcept {
   switch (op) {
     case OpType::open: return obs::OpClass::open;
@@ -99,6 +107,7 @@ IoServer::IoServer(FileSystem& fs, DeviceArray& devices,
   drained_counter_ = &registry.counter("server.drained");
   timeout_counter_ = &registry.counter("server.timeouts");
   stolen_counter_ = &registry.counter("server.stolen");
+  dedup_hits_counter_ = &registry.counter("server.dedup_hits");
   depth_gauge_ = &registry.gauge("server.queue_depth");
   inflight_gauge_ = &registry.gauge("server.inflight");
   inflight_bytes_gauge_ = &registry.gauge("server.inflight_bytes");
@@ -153,6 +162,7 @@ void IoServer::release_item(Item* item) {
   item->op = FlushOp{};  // frees any open/stat string payload
   item->timeline = nullptr;
   item->transferred = 0;
+  item->dedup_primary = false;
   std::scoped_lock lock(pool_mutex_);
   item->next_free = free_items_;
   free_items_ = item;
@@ -509,6 +519,10 @@ bool IoServer::execute(Item* item, Response& resp) {
     }
     case OpType::write_records: {
       auto& op = std::get<WriteRecordsOp>(item->op);
+      if (op.idem_key != 0 && options_.dedup_window > 0) {
+        bool async = false;
+        if (dedup_begin(item, op.idem_key, resp, async)) return async;
+      }
       auto file = lookup(item->session, op.file);
       if (!file.ok()) {
         resp.status = Error(file.error());
@@ -560,6 +574,10 @@ bool IoServer::execute(Item* item, Response& resp) {
     }
     case OpType::write_strided: {
       auto& op = std::get<WriteStridedOp>(item->op);
+      if (op.idem_key != 0 && options_.dedup_window > 0) {
+        bool async = false;
+        if (dedup_begin(item, op.idem_key, resp, async)) return async;
+      }
       auto file = lookup(item->session, op.file);
       if (!file.ok()) {
         resp.status = Error(file.error());
@@ -603,7 +621,74 @@ bool IoServer::execute(Item* item, Response& resp) {
   return false;
 }
 
+bool IoServer::dedup_begin(Item* item, std::uint64_t key, Response& resp,
+                           bool& async) {
+  std::scoped_lock lock(dedup_mutex_);
+  auto it = dedup_.find(key);
+  if (it != dedup_.end()) {
+    dedup_hits_counter_->inc();
+    if (it->second.done) {
+      // Applied once, acked twice: replay the recorded ack.
+      resp.status = ok_status();
+      resp.transferred = it->second.transferred;
+      return true;
+    }
+    // Duplicate of an in-flight write: ride the primary's completion.
+    it->second.waiters.push_back(item);
+    async = true;
+    return true;
+  }
+  DedupEntry entry;
+  entry.epoch = ++dedup_epoch_;
+  dedup_fifo_.emplace_back(key, entry.epoch);
+  dedup_.emplace(key, std::move(entry));
+  item->dedup_primary = true;
+  while (dedup_.size() > options_.dedup_window && !dedup_fifo_.empty()) {
+    const auto [old_key, old_epoch] = dedup_fifo_.front();
+    auto old_it = dedup_.find(old_key);
+    if (old_it == dedup_.end() || old_it->second.epoch != old_epoch) {
+      dedup_fifo_.pop_front();  // stale: key failed or was re-inserted
+      continue;
+    }
+    if (!old_it->second.done) break;  // never orphan a pending key's waiters
+    dedup_.erase(old_it);
+    dedup_fifo_.pop_front();
+  }
+  return false;
+}
+
+void IoServer::dedup_complete(Item* item, const Response& resp) {
+  const std::uint64_t key = op_idem_key(item->op);
+  std::vector<Item*> waiters;
+  {
+    std::scoped_lock lock(dedup_mutex_);
+    auto it = dedup_.find(key);
+    if (it == dedup_.end()) return;
+    waiters = std::move(it->second.waiters);
+    if (resp.status.ok()) {
+      it->second.done = true;
+      it->second.transferred = resp.transferred;
+      it->second.waiters.clear();
+    } else {
+      // Remember successes only: a failed key is released so the client's
+      // retry re-applies instead of replaying the failure from cache.
+      dedup_.erase(it);
+    }
+  }
+  for (Item* waiter : waiters) {
+    Response r;
+    r.op = op_type(waiter->op);
+    r.status = resp.status.ok() ? ok_status() : Status{resp.status.error()};
+    r.transferred = resp.transferred;
+    finish(waiter, std::move(r));
+  }
+}
+
 void IoServer::finish(Item* item, Response&& resp) {
+  if (item->dedup_primary) {
+    item->dedup_primary = false;
+    dedup_complete(item, resp);
+  }
   resp.id = item->id;
   obs::Tracer& tracer = obs::Tracer::global();
   if (tracer.enabled() && item->enq_us > 0.0) {

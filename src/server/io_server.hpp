@@ -52,10 +52,13 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "core/file_system.hpp"
@@ -99,6 +102,13 @@ struct IoServerOptions {
   /// instead of executing — bounding client-visible tail latency when the
   /// queue backs up behind a slow or failing device.  0 = no deadline.
   std::uint64_t request_deadline_ms = 0;
+  /// At-most-once window for keyed writes (WriteRecordsOp/WriteStridedOp
+  /// with idem_key != 0): the server remembers this many recently
+  /// completed keys and acks a duplicate — a retried-after-timeout or
+  /// wire-duplicated write — without re-applying it.  A duplicate of a
+  /// key still in flight is chained to the original's completion.  0
+  /// disables the window; unkeyed writes (idem_key == 0) never pay for it.
+  std::size_t dedup_window = 1024;
   /// Disk-queue policy / coalescing for the server's IoScheduler.
   IoSchedulerOptions scheduler{};
   /// Sieving knobs for the strided paths (locks may be pointed at a
@@ -204,6 +214,7 @@ class IoServer {
     IoBatch batch;                       ///< embedded, reused across loans
     std::uint64_t transferred = 0;       ///< records moved if status ok
     std::uint32_t dispatch_tid = 0;      ///< trace track of the dispatcher
+    bool dedup_primary = false;  ///< owns a pending dedup-window entry
     Item* next_free = nullptr;           ///< pool freelist link
   };
 
@@ -247,6 +258,16 @@ class IoServer {
   /// handoff, release the hold with its status.
   template <typename EnqueueFn>
   void go_async(Item* item, EnqueueFn&& enqueue_fn);
+
+  /// Admission into the at-most-once window for a keyed write.  Returns
+  /// true when the request is fully handled as a duplicate: of a COMPLETED
+  /// key — `resp` carries the recorded ack, finish inline; of an IN-FLIGHT
+  /// key — the item is chained to the primary's completion and `async` is
+  /// set.  False registers the item as the key's primary; execute normally.
+  bool dedup_begin(Item* item, std::uint64_t key, Response& resp, bool& async);
+  /// Primary completion: record a successful outcome (a failed key is
+  /// dropped so a retry re-applies), then finish chained duplicates.
+  void dedup_complete(Item* item, const Response& resp);
 
   Item* acquire_item();
   void release_item(Item* item);
@@ -297,6 +318,20 @@ class IoServer {
   std::atomic<std::size_t> busy_dispatchers_{0};
   std::atomic<std::uint64_t> steals_{0};
 
+  // At-most-once window (see IoServerOptions::dedup_window): key ->
+  // outcome-or-pending, FIFO-evicted by insertion order once full.  A
+  // pending key is never evicted — its waiters would be orphaned.
+  struct DedupEntry {
+    bool done = false;
+    std::uint64_t epoch = 0;  ///< disambiguates re-inserted keys in the FIFO
+    std::uint64_t transferred = 0;
+    std::vector<Item*> waiters;
+  };
+  std::mutex dedup_mutex_;
+  std::unordered_map<std::uint64_t, DedupEntry> dedup_;
+  std::deque<std::pair<std::uint64_t, std::uint64_t>> dedup_fifo_;
+  std::uint64_t dedup_epoch_ = 0;
+
   // Item pool: intrusive freelist over block-allocated slabs; grows on
   // demand, never shrinks, freed with the server.
   std::mutex pool_mutex_;
@@ -312,6 +347,7 @@ class IoServer {
   obs::Counter* drained_counter_;
   obs::Counter* timeout_counter_;
   obs::Counter* stolen_counter_;
+  obs::Counter* dedup_hits_counter_;
   obs::Gauge* depth_gauge_;
   obs::Gauge* inflight_gauge_;
   obs::Gauge* inflight_bytes_gauge_;

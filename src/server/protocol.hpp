@@ -86,6 +86,9 @@ struct WriteRecordsOp {
   std::uint64_t first = 0;
   std::uint64_t count = 0;
   std::span<const std::byte> in;  ///< >= count * record_bytes, caller-owned
+  /// Idempotency key for at-most-once retries (0 = none).  A duplicate of
+  /// an in-flight or recently completed key is acked without re-applying.
+  std::uint64_t idem_key = 0;
 };
 
 struct ReadStridedOp {
@@ -98,6 +101,7 @@ struct WriteStridedOp {
   FileToken file = 0;
   StridedSpec spec;
   std::span<const std::byte> in;  ///< >= total_records * record_bytes
+  std::uint64_t idem_key = 0;     ///< see WriteRecordsOp::idem_key
 };
 
 struct StatOp {
@@ -178,13 +182,28 @@ class Future {
     return copy_status(state_->response);
   }
 
+  /// Give up on an unresolved future: true = abandoned (no resolution will
+  /// be observed and a Promise's deferred payload delivery is suppressed),
+  /// false = already resolved (the result is available via get()).  ONLY
+  /// legal when the producing channel owns the payload buffers
+  /// (ServerChannel::detached_payloads()); abandoning a zero-copy future
+  /// would release caller spans the server still references.
+  bool try_abandon() const {
+    std::scoped_lock lock(state_->mutex);
+    if (state_->done) return false;
+    state_->abandoned = true;
+    return true;
+  }
+
  private:
   friend class IoServer;
+  friend class Promise;
 
   struct State {
     std::mutex mutex;
     std::condition_variable cv;
     bool done = false;
+    bool abandoned = false;
     Response response;
   };
 
@@ -193,6 +212,45 @@ class Future {
   }
 
   std::shared_ptr<State> state_;
+};
+
+/// Producer side of a Future for transports that fabricate completions
+/// themselves (fault injectors, future wire protocols) instead of handing
+/// out IoServer-resolved futures.  One-shot: the first set() wins.
+class Promise {
+ public:
+  Promise() : state_(std::make_shared<Future::State>()) {}
+
+  Future future() const {
+    Future f;
+    f.state_ = state_;
+    return f;
+  }
+
+  /// Resolve with `response`.  Returns false when the future was already
+  /// resolved or abandoned (the response is discarded).
+  bool set(Response response) {
+    return set_with([&]() -> Response&& { return std::move(response); });
+  }
+
+  /// Resolve with the Response returned by `fill()`, running `fill` under
+  /// the future's mutex ONLY when the consumer has not abandoned it.  This
+  /// is the delivery-time hook for copying payload bytes into a consumer
+  /// buffer: an abandoned consumer's buffer is never touched.
+  template <typename Fill>
+  bool set_with(Fill&& fill) {
+    {
+      std::scoped_lock lock(state_->mutex);
+      if (state_->done || state_->abandoned) return false;
+      state_->response = std::forward<Fill>(fill)();
+      state_->done = true;
+    }
+    state_->cv.notify_all();
+    return true;
+  }
+
+ private:
+  std::shared_ptr<Future::State> state_;
 };
 
 }  // namespace pio::server

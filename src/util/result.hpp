@@ -33,6 +33,8 @@ enum class Errc : std::uint8_t {
   overloaded,         ///< admission control rejected the request (backpressure)
   shutting_down,      ///< server draining/stopped; no new work accepted
   timed_out,          ///< per-request deadline expired (queue delay or retries)
+  unavailable,        ///< server/endpoint down or quarantined (fail fast)
+  disconnected,       ///< channel/session lost; reconnect before retrying
 };
 
 /// Human-readable name for an error code.
@@ -54,6 +56,8 @@ constexpr std::string_view errc_name(Errc e) noexcept {
     case Errc::overloaded: return "overloaded";
     case Errc::shutting_down: return "shutting_down";
     case Errc::timed_out: return "timed_out";
+    case Errc::unavailable: return "unavailable";
+    case Errc::disconnected: return "disconnected";
   }
   return "unknown";
 }

@@ -92,6 +92,24 @@ if "$PARIO" "$DIR" cluster --distribution bogus > /dev/null 2>&1; then
   exit 1
 fi
 
+# Cluster chaos: the same self-verifying workload over a fault-injecting
+# transport (busy submits, dropped completions, duplicated writes, channel
+# deaths, one mid-run server outage).  Deadlines + retries + reconnect +
+# the at-most-once window must still verify every byte, and the run must
+# actually have exercised the retry and breaker paths.
+CHAOS_CLUSTER_OUT=$("$PARIO" "$DIR" cluster --chaos --data-servers 4 \
+    --clients 4 --ops 60)
+echo "$CHAOS_CLUSTER_OUT" | grep -q "cluster: verified OK"
+echo "$CHAOS_CLUSTER_OUT" | grep -q "cluster-chaos: retries="
+if echo "$CHAOS_CLUSTER_OUT" | grep -q "retries=0 "; then
+  echo "FAIL: cluster chaos run never exercised the retry path" >&2
+  exit 1
+fi
+if echo "$CHAOS_CLUSTER_OUT" | grep -q "reconnects=0 "; then
+  echo "FAIL: cluster chaos run never exercised reconnect" >&2
+  exit 1
+fi
+
 # Unknown commands fail with usage.
 if "$PARIO" "$DIR" frobnicate > /dev/null 2>&1; then
   echo "FAIL: bogus command succeeded" >&2

@@ -1,0 +1,480 @@
+// Tests for the cluster fault path (src/cluster/faulty_transport.* plus
+// the hardened ClusterClient): transparent retry of transient channel
+// faults, bounded-time deadlines on never-resolving requests, at-most-once
+// application of retried and duplicated writes (server dedup window),
+// per-server circuit breaking with fail-fast and half-open recovery,
+// automatic channel reconnect with fragment-token re-open, metadata
+// create-rollback / remove-vs-open-handle races, and the chaos acceptance
+// run: concurrent writers over a flaky transport with a mid-workload
+// server-down window must finish in bounded time with a final image
+// byte-identical to a fault-free twin cluster.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "cluster/faulty_transport.hpp"
+#include "obs/metrics.hpp"
+
+namespace {
+
+using namespace pio;
+using namespace pio::cluster;
+using Clock = std::chrono::steady_clock;
+
+std::byte pattern(std::uint64_t i) {
+  return static_cast<std::byte>((i * 131 + 7) & 0xff);
+}
+
+double metric_value(const std::string& name) {
+  for (const obs::MetricSample& s : obs::MetricsRegistry::global().snapshot()) {
+    if (s.name == name) return s.value;
+  }
+  return 0.0;
+}
+
+ClusterOptions small_cluster(std::size_t servers) {
+  ClusterOptions options;
+  options.data_servers = servers;
+  options.data_server.devices = 2;
+  options.data_server.device_bytes = 4ull << 20;
+  return options;
+}
+
+/// Cluster + one file named "f" (block distribution over every server).
+std::unique_ptr<Cluster> cluster_with_file(std::size_t servers,
+                                           std::uint32_t record_bytes,
+                                           std::uint64_t records,
+                                           double device_op_cost_us = 0.0) {
+  ClusterOptions options = small_cluster(servers);
+  options.data_server.device_op_cost_us = device_op_cost_us;
+  auto cluster = Cluster::create(options);
+  EXPECT_TRUE(cluster.ok());
+  if (!cluster.ok()) return nullptr;
+  ClusterCreateOptions create;
+  create.name = "f";
+  create.record_bytes = record_bytes;
+  create.capacity_records = records;
+  create.distribution = {DistributionKind::block, 0, 0};
+  EXPECT_TRUE((*cluster)->metadata().create(create).ok());
+  return std::move(*cluster);
+}
+
+/// Client options with millisecond-scale deadlines and backoffs so fault
+/// tests converge fast.
+ClusterClientOptions fast_options() {
+  ClusterClientOptions o;
+  o.retry.max_attempts = 4;
+  o.retry.base_backoff_us = 200;
+  o.retry.max_backoff_us = 1'000;
+  o.sub_deadline_ms = 200;
+  o.op_deadline_ms = 20'000;
+  return o;
+}
+
+// ------------------------------------------------------- transient faults
+
+TEST(ClusterFaults, BusyWindowsAreRetriedTransparently) {
+  auto cluster = cluster_with_file(2, 64, 256);
+  ASSERT_NE(cluster, nullptr);
+
+  // Every channel's first two submits glitch with Errc::busy.
+  TransportFaultPlan plan;
+  plan.channel.busy_windows = {{0, 2}};
+  FaultyTransport faulty(cluster->transport(), plan);
+
+  auto client =
+      ClusterClient::connect(cluster->metadata(), faulty, fast_options());
+  ASSERT_TRUE(client.ok());
+  auto token = client->open("f");
+  ASSERT_TRUE(token.ok());
+
+  const double retries0 = metric_value("cluster.retries");
+  std::vector<std::byte> in(256 * 64);
+  for (std::size_t i = 0; i < in.size(); ++i) in[i] = pattern(i);
+  ASSERT_TRUE(client->write_records(*token, 0, 256, in).ok());
+
+  std::vector<std::byte> out(in.size());
+  ASSERT_TRUE(client->read_records(*token, 0, 256, out).ok());
+  EXPECT_EQ(in, out);
+  // Both servers' subs burned two busy attempts each before succeeding.
+  EXPECT_GE(metric_value("cluster.retries") - retries0, 4.0);
+}
+
+TEST(ClusterFaults, LostRequestResolvesTimedOutInBoundedTime) {
+  auto cluster = cluster_with_file(1, 64, 64);
+  ASSERT_NE(cluster, nullptr);
+
+  // Every request is accepted and then silently lost: its future would
+  // never resolve.  The per-sub deadline must turn that into a typed
+  // Errc::timed_out well inside the op budget — never a hang.
+  TransportFaultPlan plan;
+  plan.channel.lost_request_windows = {{0, 1'000'000}};
+  FaultyTransport faulty(cluster->transport(), plan);
+
+  ClusterClientOptions copts = fast_options();
+  copts.sub_deadline_ms = 100;
+  copts.retry.max_attempts = 2;
+  copts.op_deadline_ms = 10'000;
+  auto client = ClusterClient::connect(cluster->metadata(), faulty, copts);
+  ASSERT_TRUE(client.ok());
+  auto token = client->open("f");
+  ASSERT_TRUE(token.ok());
+
+  const double timeouts0 = metric_value("cluster.timeouts");
+  std::vector<std::byte> in(64 * 64, std::byte{0x5a});
+  const auto t0 = Clock::now();
+  const Status st = client->write_records(*token, 0, 64, in);
+  const auto elapsed =
+      std::chrono::duration_cast<std::chrono::milliseconds>(Clock::now() - t0);
+  EXPECT_EQ(st.code(), Errc::timed_out);
+  // Two attempts x 100 ms sub-deadline plus backoff: far below the 10 s
+  // op budget, and emphatically not an unbounded wait.
+  EXPECT_LT(elapsed.count(), 5'000);
+  EXPECT_GE(metric_value("cluster.timeouts") - timeouts0, 2.0);
+}
+
+// -------------------------------------------------- at-most-once retries
+
+TEST(ClusterFaults, DroppedCompletionRetryIsAppliedOnce) {
+  auto cluster = cluster_with_file(1, 64, 128);
+  ASSERT_NE(cluster, nullptr);
+
+  // The first write is APPLIED by the server but its ack never comes
+  // back; the client times the sub out and retries with the same idem
+  // key.  The server's dedup window must replay the ack instead of
+  // applying the write twice.
+  TransportFaultPlan plan;
+  plan.channel.drop_completion_windows = {{0, 1}};
+  FaultyTransport faulty(cluster->transport(), plan);
+
+  ClusterClientOptions copts = fast_options();
+  copts.sub_deadline_ms = 100;
+  auto client = ClusterClient::connect(cluster->metadata(), faulty, copts);
+  ASSERT_TRUE(client.ok());
+  auto token = client->open("f");
+  ASSERT_TRUE(token.ok());
+
+  const double hits0 = metric_value("server.dedup_hits");
+  const double retries0 = metric_value("cluster.retries");
+  std::vector<std::byte> in(128 * 64);
+  for (std::size_t i = 0; i < in.size(); ++i) in[i] = pattern(i + 1);
+  ASSERT_TRUE(client->write_records(*token, 0, 128, in).ok());
+  EXPECT_GE(metric_value("server.dedup_hits") - hits0, 1.0);
+  EXPECT_GE(metric_value("cluster.retries") - retries0, 1.0);
+
+  std::vector<std::byte> out(in.size());
+  ASSERT_TRUE(client->read_records(*token, 0, 128, out).ok());
+  EXPECT_EQ(in, out);
+}
+
+TEST(ClusterFaults, LateDuplicateCannotResurrectStaleBytes) {
+  auto cluster = cluster_with_file(1, 64, 32);
+  ASSERT_NE(cluster, nullptr);
+
+  // Write A is delivered twice, the second copy 30 ms late — after write
+  // B to the same records has committed.  Without the at-most-once
+  // window the stale replay of A would overwrite B.
+  TransportFaultPlan plan;
+  plan.channel.duplicate_windows = {{0, 1}};
+  plan.channel.duplicate_delay_us = 30'000;
+  FaultyTransport faulty(cluster->transport(), plan);
+
+  auto client =
+      ClusterClient::connect(cluster->metadata(), faulty, fast_options());
+  ASSERT_TRUE(client.ok());
+  auto token = client->open("f");
+  ASSERT_TRUE(token.ok());
+
+  const double hits0 = metric_value("server.dedup_hits");
+  std::vector<std::byte> a(32 * 64, std::byte{0xaa});
+  std::vector<std::byte> b(32 * 64, std::byte{0xbb});
+  ASSERT_TRUE(client->write_records(*token, 0, 32, a).ok());
+  // B's ack is delivered by the wire thread only AFTER it has replayed
+  // A's duplicate, so once this returns the reorder has already landed.
+  ASSERT_TRUE(client->write_records(*token, 0, 32, b).ok());
+
+  EXPECT_GE(metric_value("server.dedup_hits") - hits0, 1.0);
+  std::vector<std::byte> out(b.size());
+  ASSERT_TRUE(client->read_records(*token, 0, 32, out).ok());
+  EXPECT_EQ(out, b);
+}
+
+// ------------------------------------------------------- circuit breaker
+
+TEST(ClusterFaults, BreakerFailsFastWhileDownAndRecovers) {
+  auto cluster = cluster_with_file(1, 64, 64);
+  ASSERT_NE(cluster, nullptr);
+
+  FaultyTransport faulty(cluster->transport());
+
+  ClusterClientOptions copts = fast_options();
+  copts.retry.max_attempts = 2;
+  copts.breaker.error_threshold = 2;
+  copts.breaker.open_ops = 4;
+  auto client = ClusterClient::connect(cluster->metadata(), faulty, copts);
+  ASSERT_TRUE(client.ok());
+  auto token = client->open("f");
+  ASSERT_TRUE(token.ok());
+
+  std::vector<std::byte> in(64 * 64, std::byte{0x11});
+  ASSERT_TRUE(client->write_records(*token, 0, 64, in).ok());
+
+  faulty.set_server_down(0, true);
+  // First op burns the error threshold (both attempts fail unavailable).
+  EXPECT_EQ(client->write_records(*token, 0, 64, in).code(),
+            Errc::unavailable);
+
+  // Breaker is now open: subsequent ops fail fast — typed error, no
+  // deadline waits — and count the denial.
+  const double open0 = metric_value("cluster.breaker_open");
+  const auto t0 = Clock::now();
+  EXPECT_EQ(client->write_records(*token, 0, 64, in).code(),
+            Errc::unavailable);
+  const auto fast =
+      std::chrono::duration_cast<std::chrono::milliseconds>(Clock::now() - t0);
+  EXPECT_LT(fast.count(), 100);
+  EXPECT_GE(metric_value("cluster.breaker_open") - open0, 1.0);
+
+  // Server comes back: the half-open probe (after open_ops denials) must
+  // close the breaker and traffic resumes.
+  faulty.set_server_down(0, false);
+  bool recovered = false;
+  for (int tries = 0; tries < 50 && !recovered; ++tries) {
+    recovered = client->write_records(*token, 0, 64, in).ok();
+  }
+  EXPECT_TRUE(recovered);
+  std::vector<std::byte> out(in.size());
+  ASSERT_TRUE(client->read_records(*token, 0, 64, out).ok());
+  EXPECT_EQ(in, out);
+}
+
+// ------------------------------------------------------------- reconnect
+
+TEST(ClusterFaults, DisconnectedChannelReconnectsAndReopensTokens) {
+  auto cluster = cluster_with_file(2, 64, 256);
+  ASSERT_NE(cluster, nullptr);
+
+  // Server 0's channels die on their second submit; every replacement
+  // channel inherits the same plan, so each reconnect buys exactly one
+  // more good op — exercising repeated reconnects in one workload.
+  TransportFaultPlan plan;
+  plan.per_server[0].disconnect_at_op = 1;
+  FaultyTransport faulty(cluster->transport(), plan);
+
+  auto client =
+      ClusterClient::connect(cluster->metadata(), faulty, fast_options());
+  ASSERT_TRUE(client.ok());
+  auto token = client->open("f");
+  ASSERT_TRUE(token.ok());
+
+  const double reconnects0 = metric_value("cluster.reconnects");
+  std::vector<std::byte> in(256 * 64);
+  for (std::size_t i = 0; i < in.size(); ++i) in[i] = pattern(i + 3);
+  // Spans both servers; three round trips = several channel deaths.
+  ASSERT_TRUE(client->write_records(*token, 0, 256, in).ok());
+  std::vector<std::byte> out(in.size());
+  ASSERT_TRUE(client->read_records(*token, 0, 256, out).ok());
+  EXPECT_EQ(in, out);
+  ASSERT_TRUE(client
+                  ->write_records(*token, 64, 64,
+                                  std::span<const std::byte>(in.data(),
+                                                             64 * 64))
+                  .ok());
+
+  // The reconnect path re-opened the fragment token (I/O kept working on
+  // the fresh session) and counted each replacement.
+  EXPECT_GE(metric_value("cluster.reconnects") - reconnects0, 2.0);
+}
+
+// ------------------------------------------------- metadata fault paths
+
+TEST(MetadataFaults, CreateRollsBackFragmentsOnMidwayFailure) {
+  auto cluster = Cluster::create(small_cluster(3));
+  ASSERT_TRUE(cluster.ok());
+
+  // Pre-plant a colliding fragment on the LAST server the create will
+  // touch, so servers 0 and 1 succeed first and must be rolled back.
+  CreateOptions planted;
+  planted.name = "orphan";
+  planted.record_bytes = 64;
+  planted.capacity_records = 10;
+  ASSERT_TRUE((*cluster)->data_server(2).fs().create(planted).ok());
+
+  ClusterCreateOptions create;
+  create.name = "orphan";
+  create.record_bytes = 64;
+  create.capacity_records = 30;  // block: 10 records on each server
+  create.distribution = {DistributionKind::block, 0, 0};
+  EXPECT_EQ((*cluster)->metadata().create(create).code(),
+            Errc::already_exists);
+
+  // No orphan fragments on the servers that succeeded, the name is not
+  // registered, and the pre-existing file on server 2 is untouched.
+  EXPECT_FALSE((*cluster)->data_server(0).fs().stat("orphan").has_value());
+  EXPECT_FALSE((*cluster)->data_server(1).fs().stat("orphan").has_value());
+  EXPECT_TRUE((*cluster)->data_server(2).fs().stat("orphan").has_value());
+  EXPECT_EQ((*cluster)->metadata().stat("orphan").code(), Errc::not_found);
+
+  // The name is reusable once the collision is cleared.
+  ASSERT_TRUE((*cluster)->data_server(2).fs().remove("orphan").ok());
+  EXPECT_TRUE((*cluster)->metadata().create(create).ok());
+}
+
+TEST(MetadataFaults, RemoveRacingOpenHandleIsRefusedUntilClose) {
+  auto cluster = cluster_with_file(2, 64, 128);
+  ASSERT_NE(cluster, nullptr);
+
+  auto client = cluster->connect();
+  ASSERT_TRUE(client.ok());
+  auto token = client->open("f");
+  ASSERT_TRUE(token.ok());
+
+  // remove() must refuse while the handle is open — and the open
+  // handle's data plane keeps working afterwards.
+  EXPECT_EQ(cluster->metadata().remove("f").code(), Errc::busy);
+  std::vector<std::byte> in(128 * 64, std::byte{0x77});
+  ASSERT_TRUE(client->write_records(*token, 0, 128, in).ok());
+  std::vector<std::byte> out(in.size());
+  ASSERT_TRUE(client->read_records(*token, 0, 128, out).ok());
+  EXPECT_EQ(in, out);
+
+  ASSERT_TRUE(client->close(*token).ok());
+  EXPECT_TRUE(cluster->metadata().remove("f").ok());
+  EXPECT_EQ(cluster->metadata().stat("f").code(), Errc::not_found);
+  for (std::size_t s = 0; s < cluster->size(); ++s) {
+    EXPECT_FALSE(cluster->data_server(s).fs().stat("f").has_value());
+  }
+}
+
+// ------------------------------------------------------ chaos acceptance
+
+TEST(ClusterChaos, ConcurrentWritersSurviveFlakyTransportAndServerOutage) {
+  constexpr std::size_t kServers = 3;
+  constexpr std::uint32_t kRecordBytes = 64;
+  constexpr std::uint64_t kRecords = 3072;
+  constexpr std::size_t kWriters = 4;
+  constexpr std::uint64_t kSlice = kRecords / kWriters;
+  constexpr std::uint64_t kChunk = 48;
+
+  // Chaos cluster behind a flaky transport; twin cluster is fault-free.
+  auto chaos = cluster_with_file(kServers, kRecordBytes, kRecords, 100.0);
+  auto twin = cluster_with_file(kServers, kRecordBytes, kRecords);
+  ASSERT_NE(chaos, nullptr);
+  ASSERT_NE(twin, nullptr);
+
+  TransportFaultPlan plan;
+  plan.channel.busy_probability = 0.05;
+  plan.channel.drop_completion_probability = 0.02;
+  plan.channel.seed = 42;
+  FaultyTransport faulty(chaos->transport(), plan);
+
+  ClusterClientOptions copts = fast_options();
+  copts.sub_deadline_ms = 300;
+  copts.retry.max_attempts = 6;
+  copts.breaker.error_threshold = 3;
+  copts.breaker.open_ops = 8;
+
+  // Connect every writer BEFORE the outage so session setup itself never
+  // races the down window (mid-workload faults are the point here).
+  std::vector<ClusterClient> clients;
+  std::vector<ClusterToken> tokens;
+  for (std::size_t w = 0; w < kWriters; ++w) {
+    auto client = ClusterClient::connect(chaos->metadata(), faulty, copts);
+    ASSERT_TRUE(client.ok());
+    clients.push_back(std::move(*client));
+    auto token = clients.back().open("f");
+    ASSERT_TRUE(token.ok());
+    tokens.push_back(*token);
+  }
+
+  // Mid-workload outage: server 1 goes dark for 80 ms.
+  std::thread outage([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    faulty.set_server_down(1, true);
+    std::this_thread::sleep_for(std::chrono::milliseconds(80));
+    faulty.set_server_down(1, false);
+  });
+
+  // Each writer owns a disjoint record slice; every chunk is retried at
+  // the application level until it lands (the router's typed failures —
+  // unavailable while the breaker is open, timed_out past a deadline —
+  // are the ONLY acceptable interim outcomes).
+  std::atomic<std::uint64_t> unexpected{0};
+  std::atomic<std::uint64_t> gave_up{0};
+  auto fill_chunk = [&](std::size_t writer, std::uint64_t chunk,
+                        std::vector<std::byte>& buf) {
+    for (std::size_t i = 0; i < buf.size(); ++i) {
+      buf[i] = pattern(writer * 1'000'003 + chunk * 8'009 + i);
+    }
+  };
+  std::vector<std::thread> writers;
+  for (std::size_t w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      ClusterClient& client = clients[w];
+      const ClusterToken token = tokens[w];
+      std::vector<std::byte> buf(kChunk * kRecordBytes);
+      for (std::uint64_t c = 0; c < kSlice / kChunk; ++c) {
+        fill_chunk(w, c, buf);
+        const std::uint64_t first = w * kSlice + c * kChunk;
+        bool landed = false;
+        for (int attempt = 0; attempt < 400 && !landed; ++attempt) {
+          const Status st = client.write_records(token, first, kChunk, buf);
+          if (st.ok()) {
+            landed = true;
+          } else if (st.code() == Errc::unavailable ||
+                     st.code() == Errc::timed_out) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(2));
+          } else {
+            unexpected.fetch_add(1);
+            return;
+          }
+        }
+        if (!landed) {
+          gave_up.fetch_add(1);
+          return;
+        }
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  outage.join();
+  EXPECT_EQ(unexpected.load(), 0u);
+  EXPECT_EQ(gave_up.load(), 0u);
+
+  // Twin run: identical bytes, no faults.
+  {
+    auto client = twin->connect();
+    ASSERT_TRUE(client.ok());
+    auto token = client->open("f");
+    ASSERT_TRUE(token.ok());
+    std::vector<std::byte> buf(kChunk * kRecordBytes);
+    for (std::size_t w = 0; w < kWriters; ++w) {
+      for (std::uint64_t c = 0; c < kSlice / kChunk; ++c) {
+        fill_chunk(w, c, buf);
+        ASSERT_TRUE(
+            client->write_records(*token, w * kSlice + c * kChunk, kChunk, buf)
+                .ok());
+      }
+    }
+  }
+
+  // Final image (read through fault-free clients on BOTH clusters) must
+  // be byte-identical: every retry applied at most once, nothing lost.
+  auto read_all = [&](Cluster& cluster) {
+    std::vector<std::byte> image(kRecords * kRecordBytes);
+    auto client = cluster.connect();
+    EXPECT_TRUE(client.ok());
+    auto token = client->open("f");
+    EXPECT_TRUE(token.ok());
+    EXPECT_TRUE(client->read_records(*token, 0, kRecords, image).ok());
+    return image;
+  };
+  EXPECT_EQ(read_all(*chaos), read_all(*twin));
+}
+
+}  // namespace

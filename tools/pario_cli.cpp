@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "cluster/cluster.hpp"
+#include "cluster/faulty_transport.hpp"
 #include "core/access_methods.hpp"
 #include "core/file_system.hpp"
 #include "core/global_view.hpp"
@@ -82,7 +83,10 @@ int usage() {
                "          [--seed X]  (in-memory multi-server demo: C client\n"
                "          threads route record ops over S data servers through\n"
                "          the metadata service + client-side router; every byte\n"
-               "          is checked against a host-side model)\n");
+               "          is checked against a host-side model; --chaos runs the\n"
+               "          same workload over a fault-injecting transport with a\n"
+               "          mid-run server outage: deadlines, retries, reconnects,\n"
+               "          and the at-most-once window must still verify OK)\n");
   return 2;
 }
 
@@ -746,7 +750,7 @@ int cmd_chaos(const Flags& flags) {
 /// disjoint record region and checks every read against a host-side
 /// model; a final strided sweep and a full contiguous readback verify the
 /// distributed file stays byte-identical to the single-file view.
-int cmd_cluster(const Flags& flags) {
+int cmd_cluster(const Flags& flags, bool chaos) {
   const auto n_servers = static_cast<std::size_t>(
       std::max<std::uint64_t>(1, flags.get_u64("data-servers", 4)));
   const auto n_clients = static_cast<std::size_t>(
@@ -770,8 +774,45 @@ int cmd_cluster(const Flags& flags) {
   options.data_servers = n_servers;
   options.data_server.devices = 2;
   options.data_server.device_bytes = 4ull << 20;
+  // Chaos mode: price device ops so the workload outlasts the scripted
+  // outage window instead of finishing before the faults land.
+  if (chaos) options.data_server.device_op_cost_us = 200.0;
   auto cl = cluster::Cluster::create(options);
   if (!cl.ok()) return fail("cluster", cl.error());
+
+  // Chaos mode: a scriptable unreliable network between router and
+  // servers — transient busy submits, dropped completions (retried under
+  // the same idem key and deduplicated server-side), a late duplicated
+  // write, plus one mid-run server outage toggled by wall clock.
+  cluster::TransportFaultPlan fault_plan;
+  if (chaos) {
+    fault_plan.channel.busy_windows = {{3, 6}};
+    fault_plan.channel.busy_probability = 0.05;
+    fault_plan.channel.drop_completion_probability = 0.01;
+    fault_plan.channel.duplicate_windows = {{6, 8}};
+    fault_plan.channel.duplicate_delay_us = 2'000;
+    // Every channel (including reconnect replacements) dies on its 40th
+    // submit, so the demo exercises reconnect + token re-open too.
+    fault_plan.channel.disconnect_at_op = 40;
+    fault_plan.channel.seed = seed;
+  }
+  cluster::FaultyTransport faulty((*cl)->transport(), fault_plan);
+
+  cluster::ClusterClientOptions copts;
+  if (chaos) {
+    copts.sub_deadline_ms = 300;
+    copts.op_deadline_ms = 20'000;
+    copts.retry.max_attempts = 6;
+    copts.retry.base_backoff_us = 200;
+    copts.retry.max_backoff_us = 2'000;
+    copts.breaker.error_threshold = 3;
+    copts.breaker.open_ops = 8;
+  }
+  auto make_client = [&]() {
+    return chaos ? cluster::ClusterClient::connect((*cl)->metadata(), faulty,
+                                                   copts)
+                 : (*cl)->connect();
+  };
 
   cluster::ClusterCreateOptions create;
   create.name = "demo";
@@ -789,10 +830,35 @@ int cmd_cluster(const Flags& flags) {
   std::atomic<std::uint64_t> mismatches{0};
   std::atomic<int> errors{0};
 
+  // During the chaos outage the router fails fast with typed errors
+  // (unavailable while the breaker is open, timed_out past a deadline);
+  // the app-level reaction is a bounded retry until the server returns.
+  auto settle = [chaos](auto&& op) -> Status {
+    Status st = op();
+    for (int tries = 0;
+         chaos && !st.ok() && tries < 400 &&
+         (st.code() == Errc::unavailable || st.code() == Errc::timed_out);
+         ++tries) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      st = op();
+    }
+    return st;
+  };
+
+  std::thread outage;
+  if (chaos) {
+    outage = std::thread([&] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(30));
+      faulty.set_server_down(n_servers > 1 ? 1 : 0, true);
+      std::this_thread::sleep_for(std::chrono::milliseconds(80));
+      faulty.set_server_down(n_servers > 1 ? 1 : 0, false);
+    });
+  }
+
   std::vector<std::thread> threads;
   for (std::size_t c = 0; c < n_clients; ++c) {
     threads.emplace_back([&, c] {
-      auto client = (*cl)->connect();
+      auto client = make_client();
       if (!client.ok()) { ++errors; return; }
       auto token = client->open("demo");
       if (!token.ok()) { ++errors; return; }
@@ -808,14 +874,18 @@ int cmd_cluster(const Flags& flags) {
           for (std::size_t b = 0; b < buf.size(); ++b) {
             buf[b] = static_cast<std::byte>((i * 131 + first * 7 + b) & 0xff);
           }
-          if (!client->write_records(*token, first, count, buf).ok()) {
+          if (!settle([&] {
+                 return client->write_records(*token, first, count, buf);
+               }).ok()) {
             ++errors;
             return;
           }
           std::copy(buf.begin(), buf.end(),
                     region + (first - base) * record_bytes);
         } else {
-          if (!client->read_records(*token, first, count, buf).ok()) {
+          if (!settle([&] {
+                 return client->read_records(*token, first, count, buf);
+               }).ok()) {
             ++errors;
             return;
           }
@@ -832,7 +902,11 @@ int cmd_cluster(const Flags& flags) {
       spec.stride_records = 2;
       spec.count = per_client / 2;
       buf.assign(spec.total_records() * record_bytes, std::byte{0});
-      if (!client->read_strided(*token, spec, buf).ok()) { ++errors; return; }
+      if (!settle([&] { return client->read_strided(*token, spec, buf); })
+               .ok()) {
+        ++errors;
+        return;
+      }
       for (std::uint64_t g = 0; g < spec.count; ++g) {
         if (!std::equal(
                 buf.begin() + static_cast<std::ptrdiff_t>(g * record_bytes),
@@ -845,6 +919,7 @@ int cmd_cluster(const Flags& flags) {
     });
   }
   for (std::thread& t : threads) t.join();
+  if (outage.joinable()) outage.join();
 
   // Full contiguous readback: the distributed file equals the model.
   {
@@ -872,6 +947,15 @@ int cmd_cluster(const Flags& flags) {
                 metric_value(prefix + ".subrequests"),
                 metric_value(prefix + ".bytes"));
   }
+  if (chaos) {
+    std::printf("cluster-chaos: retries=%.0f timeouts=%.0f reconnects=%.0f "
+                "breaker_open=%.0f dedup_hits=%.0f\n",
+                metric_value("cluster.retries"),
+                metric_value("cluster.timeouts"),
+                metric_value("cluster.reconnects"),
+                metric_value("cluster.breaker_open"),
+                metric_value("server.dedup_hits"));
+  }
   if (auto st = (*cl)->shutdown(); !st.ok()) {
     return fail("cluster shutdown", st.error());
   }
@@ -888,14 +972,19 @@ int cmd_cluster(const Flags& flags) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Strip the valueless --profile flag anywhere on the line so the
-  // paired --key value scanner below never sees it.
+  // Strip the valueless --profile / --chaos flags anywhere on the line so
+  // the paired --key value scanner below never sees them.
   bool profile = false;
+  bool chaos_cluster = false;
   {
     int out = 1;
     for (int i = 1; i < argc; ++i) {
       if (std::strcmp(argv[i], "--profile") == 0) {
         profile = true;
+        continue;
+      }
+      if (std::strcmp(argv[i], "--chaos") == 0) {
+        chaos_cluster = true;
         continue;
       }
       argv[out++] = argv[i];
@@ -910,7 +999,7 @@ int main(int argc, char** argv) {
   if (cmd == "format") return cmd_format(dir, flags);
   // chaos is self-contained (in-memory array) — no device directory needed.
   if (cmd == "chaos") return cmd_chaos(flags);
-  if (cmd == "cluster") return cmd_cluster(flags);
+  if (cmd == "cluster") return cmd_cluster(flags, chaos_cluster);
 
   auto arr = open_array(dir);
   if (!arr.ok()) return fail(dir, arr.error());
